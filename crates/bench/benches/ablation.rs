@@ -1,0 +1,105 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - pair-splitting (Lemma 5.1): normalization cost for wide schemas,
+//!   where each `Σ` binder splits into many leaf binders;
+//! - congruence closure: growth with the number of equality atoms;
+//! - the deductive witness search: cost as hypothesis count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{BaseType, Schema};
+use uninomial::normalize::{normalize, Trace};
+use uninomial::syntax::{Term, UExpr, VarGen};
+
+fn wide_schema(width: usize) -> Schema {
+    Schema::flat(std::iter::repeat(BaseType::Int).take(width))
+}
+
+fn bench_pair_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/pair-split-width");
+    for width in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut gen = VarGen::new();
+                let x = gen.fresh(wide_schema(w));
+                let e = UExpr::sum(x.clone(), UExpr::rel("R", Term::var(&x)));
+                let mut tr = Trace::new();
+                let nf = normalize(&e, &mut gen, &mut tr);
+                assert_eq!(nf.terms[0].vars.len(), w);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_congruence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/congruence-chain");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut gen = VarGen::new();
+                let vars: Vec<_> = (0..n)
+                    .map(|_| gen.fresh(Schema::leaf(BaseType::Int)))
+                    .collect();
+                let mut cc = uninomial::congruence::Congruence::new();
+                for w in vars.windows(2) {
+                    cc.add_eq(&Term::var(&w[0]), &Term::var(&w[1]));
+                }
+                let fa = Term::func("f", vec![Term::var(&vars[0])]);
+                let fb = Term::func("f", vec![Term::var(&vars[n - 1])]);
+                assert!(cc.equal(&fa, &fb));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/witness-search");
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // hypotheses: R(c_1), …, R(c_n); goal: ∃x,y. R(x) × R(y).
+                let mut gen = VarGen::new();
+                let int = Schema::leaf(BaseType::Int);
+                let consts: Vec<_> = (0..n).map(|_| gen.fresh(int.clone())).collect();
+                let hyp = UExpr::product(
+                    consts.iter().map(|c| UExpr::rel("R", Term::var(c))),
+                );
+                let x = gen.fresh(int.clone());
+                let y = gen.fresh(int.clone());
+                let goal = UExpr::squash(UExpr::sum(
+                    x.clone(),
+                    UExpr::sum(
+                        y.clone(),
+                        UExpr::mul(
+                            UExpr::rel("R", Term::var(&x)),
+                            UExpr::rel("R", Term::var(&y)),
+                        ),
+                    ),
+                ));
+                let lhs = UExpr::mul(hyp.clone(), goal);
+                let rhs = hyp;
+                // lhs = rhs because the squash factor is entailed.
+                assert!(uninomial::prove_eq(&lhs, &rhs, &mut gen).is_ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion config: the harness binaries are the primary
+/// reporting path; these benches exist for regression tracking.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_pair_split, bench_congruence, bench_witness_search
+}
+criterion_main!(benches);

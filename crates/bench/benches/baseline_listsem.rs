@@ -1,0 +1,47 @@
+//! Criterion benchmark for the list-semantics baseline comparison
+//! (Sec. 2): permutation-equality vs normalized-multiset equality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{BaseType, Relation, Schema, Tuple};
+
+fn rows(n: u64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| Tuple::pair(Tuple::int((i % 17) as i64), Tuple::int((i % 23) as i64)))
+        .collect()
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/bag-equality");
+    for n in [1_000u64, 10_000] {
+        let a = rows(n);
+        let mut b_rows = a.clone();
+        b_rows.reverse();
+        group.bench_with_input(BenchmarkId::new("list-permutation", n), &n, |b, _| {
+            b.iter(|| assert!(listsem::bag_equal_lists(&a, &b_rows)))
+        });
+        let schema = Schema::flat([BaseType::Int, BaseType::Int]);
+        let ra = Relation::from_tuples(schema.clone(), a.clone()).unwrap();
+        let rb = Relation::from_tuples(schema.clone(), b_rows.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("k-relation", n), &n, |b, _| {
+            b.iter(|| assert!(ra.bag_eq(&rb)))
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion config: the harness binaries are the primary
+/// reporting path; these benches exist for regression tracking.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmark for the K-relation substrate operators (the
+//! simulator the experiments run on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::generate::{GenConfig, Generator};
+use relalg::{ops, BaseType, Card, Schema};
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for support in [100usize, 1_000] {
+        let mut gen = Generator::with_config(
+            1,
+            GenConfig {
+                max_support: support,
+                max_multiplicity: 3,
+                int_range: (0, 1_000),
+                max_schema_width: 2,
+            },
+        );
+        let schema = Schema::flat([BaseType::Int, BaseType::Int]);
+        let r = gen.relation(&schema);
+        let s = gen.relation(&schema);
+        group.bench_with_input(BenchmarkId::new("product", support), &support, |b, _| {
+            b.iter(|| ops::product(&r, &s))
+        });
+        group.bench_with_input(BenchmarkId::new("union_all", support), &support, |b, _| {
+            b.iter(|| ops::union_all(&r, &s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("distinct", support), &support, |b, _| {
+            b.iter(|| ops::distinct(&r))
+        });
+        group.bench_with_input(BenchmarkId::new("select", support), &support, |b, _| {
+            b.iter(|| {
+                ops::select(&r, |t| {
+                    Card::from_bool(t.fst().and_then(|x| x.value()).is_some())
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("project", support), &support, |b, _| {
+            b.iter(|| {
+                ops::project(&r, Schema::leaf(BaseType::Int), |t| {
+                    t.fst().unwrap().clone()
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion config: the harness binaries are the primary
+/// reporting path; these benches exist for regression tracking.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_operators
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmark for Fig. 8: proving each rule category.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dopcert::prove::prove_rule;
+use dopcert::rule::Category;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    for category in Category::FIG8 {
+        let rules = dopcert::catalog::rules_in(category);
+        if rules.is_empty() {
+            continue;
+        }
+        group.bench_function(category.name(), |b| {
+            b.iter(|| {
+                for rule in &rules {
+                    let report = prove_rule(rule);
+                    assert!(report.proved, "{} failed", rule.name);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion config: the harness binaries are the primary
+/// reporting path; these benches exist for regression tracking.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_fig8
+}
+criterion_main!(benches);

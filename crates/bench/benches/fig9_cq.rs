@@ -1,0 +1,71 @@
+//! Criterion benchmark for the Fig. 9 decision-procedure workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/set-containment-clique");
+    for k in [2u32, 3, 4, 5] {
+        let pattern = cq::generate::clique(k);
+        let graph = cq::generate::random_graph_query(42, 9, 0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| cq::containment::contained_in(&graph, &pattern))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bag_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/bag-equivalence-iso");
+    for n in [4u32, 8, 16] {
+        let q = cq::generate::random_cq(7, n, n / 2 + 1, &["R", "S", "T"]);
+        let copy = cq::generate::shuffled_copy(&q, 99);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| assert!(cq::bag::bag_equivalent(&q, &copy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ucq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/ucq-containment");
+    for w in [2u32, 4, 8] {
+        let a = cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 2)).collect());
+        let b_ucq =
+            cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 1)).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| assert!(cq::ucq::ucq_contained_in(&a, &b_ucq)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/minimize-star");
+    for n in [4u32, 8, 12] {
+        let q = cq::generate::star(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| assert_eq!(cq::minimize::minimize(&q).size(), 1))
+        });
+    }
+    group.finish();
+}
+
+
+/// Fast Criterion config: the harness binaries are the primary
+/// reporting path; these benches exist for regression tracking.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_containment,
+    bench_bag_equivalence,
+    bench_ucq,
+    bench_minimize
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Regenerates Fig. 8: rewrite rules proved per category with average
+//! proof effort.
+//!
+//! Usage: `cargo run -p bench --bin fig8 --release`
+
+fn main() {
+    let (reports, rows) = bench::fig8();
+    println!("=== Fig. 8: Rewrite rules proved ===\n");
+    println!("{}", bench::render_fig8(&rows));
+    println!("Per-rule detail:");
+    println!(
+        "{:<28} {:<18} {:<22} {:>8} {:>12}",
+        "rule", "category", "method", "steps", "time (µs)"
+    );
+    for r in &reports {
+        println!(
+            "{:<28} {:<18} {:<22} {:>8} {:>12}",
+            r.name,
+            r.category.name(),
+            r.method.map(|m| m.to_string()).unwrap_or_default(),
+            r.steps,
+            r.micros
+        );
+    }
+    println!("\nExtension rules (beyond the paper's catalog):");
+    for rule in dopcert::catalog::extension_rules() {
+        let report = dopcert::prove::prove_rule(&rule);
+        println!(
+            "  {:<28} {:<22} {:>4} steps",
+            rule.name,
+            report
+                .method
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "FAILED".into()),
+            report.steps
+        );
+        assert!(report.proved, "extension rule regressed");
+    }
+    let unsound = dopcert::catalog::unsound_rules();
+    println!("\nRejected (unsound) rules:");
+    for rule in &unsound {
+        let report = dopcert::prove::prove_rule(rule);
+        let outcome = dopcert::difftest::differential_test(rule, 200, 0x5EED);
+        let refuted = matches!(outcome, dopcert::difftest::DiffOutcome::Refuted(_));
+        println!(
+            "  {:<28} prover: {:<10} counterexample: {}",
+            rule.name,
+            if report.proved { "ACCEPTED(!)" } else { "rejected" },
+            if refuted { "found" } else { "none" },
+        );
+        assert!(!report.proved && refuted, "unsound rule handling regressed");
+    }
+}

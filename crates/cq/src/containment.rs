@@ -1,0 +1,266 @@
+//! Homomorphism-based containment and equivalence of conjunctive queries.
+//!
+//! The Chandra–Merlin theorem: `q₁ ⊆ q₂` (set semantics) iff there is a
+//! *homomorphism* `h : vars(q₂) → terms(q₁)` with `h(head₂) = head₁`
+//! mapping every atom of `q₂` onto an atom of `q₁`. Deciding this is
+//! NP-complete (Fig. 9); the implementation is a backtracking search over
+//! atom images with forward-checking on the variable assignment.
+//!
+//! The homomorphism witness is returned explicitly: printed, it is the
+//! arrow diagram of Fig. 10.
+
+use crate::{Cq, CqAtom, CqTerm};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A homomorphism witness: a mapping from the contained-in query's
+/// variables to terms of the containing query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// Variable assignment.
+    pub map: BTreeMap<u32, CqTerm>,
+}
+
+impl Homomorphism {
+    /// Applies the mapping to a term.
+    pub fn apply(&self, t: &CqTerm) -> CqTerm {
+        match t {
+            CqTerm::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            c => c.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Homomorphism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "x{v} ↦ {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Decides `sub ⊆ sup` under set semantics, returning a homomorphism
+/// `sup → sub` on success (Chandra–Merlin).
+pub fn containment_witness(sub: &Cq, sup: &Cq) -> Option<Homomorphism> {
+    if sub.head.len() != sup.head.len() {
+        return None;
+    }
+    let mut h = Homomorphism::default();
+    // The head must map exactly.
+    for (hsup, hsub) in sup.head.iter().zip(&sub.head) {
+        if !extend(&mut h, hsup, hsub) {
+            return None;
+        }
+    }
+    if search(&mut h, &sup.atoms, 0, &sub.atoms) {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+/// Decides `sub ⊆ sup` under set semantics.
+pub fn contained_in(sub: &Cq, sup: &Cq) -> bool {
+    containment_witness(sub, sup).is_some()
+}
+
+/// Decides set equivalence (containment both ways), returning both
+/// witnesses — the two mapping families of Fig. 10.
+pub fn equivalent_set_witness(a: &Cq, b: &Cq) -> Option<(Homomorphism, Homomorphism)> {
+    let fwd = containment_witness(a, b)?;
+    let bwd = containment_witness(b, a)?;
+    Some((fwd, bwd))
+}
+
+/// Decides set equivalence.
+pub fn equivalent_set(a: &Cq, b: &Cq) -> bool {
+    contained_in(a, b) && contained_in(b, a)
+}
+
+fn extend(h: &mut Homomorphism, from: &CqTerm, to: &CqTerm) -> bool {
+    match from {
+        CqTerm::Const(c) => match to {
+            CqTerm::Const(d) => c == d,
+            CqTerm::Var(_) => false,
+        },
+        CqTerm::Var(v) => match h.map.get(v) {
+            Some(existing) => existing == to,
+            None => {
+                h.map.insert(*v, to.clone());
+                true
+            }
+        },
+    }
+}
+
+fn search(h: &mut Homomorphism, goal_atoms: &[CqAtom], i: usize, body: &[CqAtom]) -> bool {
+    let Some(atom) = goal_atoms.get(i) else {
+        return true;
+    };
+    for target in body.iter().filter(|t| t.rel == atom.rel) {
+        if target.terms.len() != atom.terms.len() {
+            continue;
+        }
+        let saved = h.map.clone();
+        let ok = atom
+            .terms
+            .iter()
+            .zip(&target.terms)
+            .all(|(from, to)| extend(h, from, to));
+        if ok && search(h, goal_atoms, i + 1, body) {
+            return true;
+        }
+        h.map = saved;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::Value;
+
+    fn v(n: u32) -> CqTerm {
+        CqTerm::Var(n)
+    }
+
+    /// ans(x) :- R(x, y)
+    fn simple() -> Cq {
+        Cq::new(vec![v(0)], vec![CqAtom::new("R", vec![v(0), v(1)])])
+    }
+
+    /// ans(x) :- R(x, y), R(x, z)   (redundant self-join)
+    fn self_join() -> Cq {
+        Cq::new(
+            vec![v(0)],
+            vec![
+                CqAtom::new("R", vec![v(0), v(1)]),
+                CqAtom::new("R", vec![v(0), v(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn reflexive_containment() {
+        let q = simple();
+        assert!(contained_in(&q, &q));
+        assert!(equivalent_set(&q, &q));
+    }
+
+    #[test]
+    fn redundant_self_join_is_equivalent() {
+        // The Q2 ≡ Q3 example (Sec. 2): a redundant self-join collapses.
+        let q2 = simple();
+        let q3 = self_join();
+        assert!(equivalent_set(&q2, &q3));
+    }
+
+    #[test]
+    fn chain_containment_is_one_directional() {
+        // ans() :- R(x,y)            (some edge)
+        // ans() :- R(x,y), R(y,z)    (some path of length 2)
+        let edge = Cq::new(vec![], vec![CqAtom::new("R", vec![v(0), v(1)])]);
+        let path2 = Cq::new(
+            vec![],
+            vec![
+                CqAtom::new("R", vec![v(0), v(1)]),
+                CqAtom::new("R", vec![v(1), v(2)]),
+            ],
+        );
+        // Any instance with a 2-path has an edge: path2 ⊆ edge.
+        assert!(contained_in(&path2, &edge));
+        // But not conversely.
+        assert!(!contained_in(&edge, &path2));
+    }
+
+    #[test]
+    fn head_must_be_preserved() {
+        // ans(x) :- R(x, y)  vs  ans(y) :- R(x, y): not equivalent.
+        let q1 = Cq::new(vec![v(0)], vec![CqAtom::new("R", vec![v(0), v(1)])]);
+        let q2 = Cq::new(vec![v(1)], vec![CqAtom::new("R", vec![v(0), v(1)])]);
+        assert!(!equivalent_set(&q1, &q2));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let q_const = Cq::new(
+            vec![v(0)],
+            vec![CqAtom::new(
+                "R",
+                vec![v(0), CqTerm::Const(Value::Int(5))],
+            )],
+        );
+        let q_var = simple();
+        // q_const ⊆ q_var (drop the constant restriction)…
+        assert!(contained_in(&q_const, &q_var));
+        // …but not conversely.
+        assert!(!contained_in(&q_var, &q_const));
+    }
+
+    #[test]
+    fn fig10_example() {
+        // SELECT DISTINCT x.c1 FROM R1 x, R2 y WHERE x.c2 = y.c3
+        //   ≡ SELECT DISTINCT x.c1 FROM R1 x, R1 y, R2 z
+        //     WHERE x.c1 = y.c1 AND x.c2 = z.c3              (Sec. 5.2)
+        // As CQs over R1(c1, c2), R2(c3):
+        //   q1: ans(a) :- R1(a, b), R2(b)
+        //   q2: ans(a) :- R1(a, b), R1(a, c), R2(b)
+        let q1 = Cq::new(
+            vec![v(0)],
+            vec![
+                CqAtom::new("R1", vec![v(0), v(1)]),
+                CqAtom::new("R2", vec![v(1)]),
+            ],
+        );
+        let q2 = Cq::new(
+            vec![v(0)],
+            vec![
+                CqAtom::new("R1", vec![v(0), v(1)]),
+                CqAtom::new("R1", vec![v(0), v(2)]),
+                CqAtom::new("R2", vec![v(1)]),
+            ],
+        );
+        let (fwd, bwd) = equivalent_set_witness(&q1, &q2).expect("Fig. 10 equivalence");
+        // `fwd` witnesses q1 ⊆ q2: a homomorphism q2 → q1 that must fold
+        // both R1 atoms onto the single one (the red arrows of Fig. 10).
+        assert_eq!(fwd.apply(&v(1)), fwd.apply(&v(2)));
+        assert_eq!(fwd.apply(&v(0)), v(0));
+        // `bwd` witnesses q2 ⊆ q1: the identity-like embedding (blue).
+        assert_eq!(bwd.apply(&v(0)), v(0));
+        assert_eq!(bwd.apply(&v(1)), v(1));
+    }
+
+    #[test]
+    fn different_relation_names_not_contained() {
+        let q1 = Cq::new(vec![], vec![CqAtom::new("R", vec![v(0)])]);
+        let q2 = Cq::new(vec![], vec![CqAtom::new("S", vec![v(0)])]);
+        assert!(!contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn arity_mismatch_not_contained() {
+        let q1 = Cq::new(vec![], vec![CqAtom::new("R", vec![v(0)])]);
+        let q2 = Cq::new(vec![], vec![CqAtom::new("R", vec![v(0), v(1)])]);
+        assert!(!contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn head_width_mismatch() {
+        let q1 = Cq::new(vec![v(0)], vec![CqAtom::new("R", vec![v(0)])]);
+        let q2 = Cq::new(vec![v(0), v(0)], vec![CqAtom::new("R", vec![v(0)])]);
+        assert!(!contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn witness_display() {
+        let q2 = simple();
+        let q3 = self_join();
+        let (_, bwd) = equivalent_set_witness(&q2, &q3).unwrap();
+        let shown = bwd.to_string();
+        assert!(shown.contains("↦"), "{shown}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Workload generators for the Fig. 9 complexity benchmarks.
+//!
+//! Fig. 9 is a complexity table; reproducing its *shape* empirically
+//! means demonstrating, on synthetic CQ families, that (a) set
+//! containment exhibits the exponential blowup of an NP-complete problem
+//! on adversarial instances (clique-detection encodings), while (b) bag
+//! equivalence on structure-preserving pairs behaves like graph
+//! isomorphism on easy instances (polynomial in practice), and (c) the
+//! per-disjunct structure of UCQ containment multiplies CQ costs.
+
+use crate::{Cq, CqAtom, CqTerm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+fn v(n: u32) -> CqTerm {
+    CqTerm::Var(n)
+}
+
+/// The chain (path) query of length `n`:
+/// `ans(x₀, xₙ) :- E(x₀,x₁), …, E(xₙ₋₁,xₙ)`.
+pub fn chain(n: u32) -> Cq {
+    assert!(n >= 1, "chain length must be positive");
+    let atoms = (0..n)
+        .map(|i| CqAtom::new("E", vec![v(i), v(i + 1)]))
+        .collect();
+    Cq::new(vec![v(0), v(n)], atoms)
+}
+
+/// A Boolean chain (no head), used for containment scaling.
+pub fn boolean_chain(n: u32) -> Cq {
+    assert!(n >= 1);
+    let atoms = (0..n)
+        .map(|i| CqAtom::new("E", vec![v(i), v(i + 1)]))
+        .collect();
+    Cq::new(vec![], atoms)
+}
+
+/// The Boolean cycle query of length `n`:
+/// `ans() :- E(x₀,x₁), …, E(xₙ₋₁,x₀)`.
+pub fn cycle(n: u32) -> Cq {
+    assert!(n >= 1);
+    let atoms = (0..n)
+        .map(|i| CqAtom::new("E", vec![v(i), v((i + 1) % n)]))
+        .collect();
+    Cq::new(vec![], atoms)
+}
+
+/// The Boolean clique query on `k` variables:
+/// `ans() :- E(xᵢ,xⱼ)` for all `i ≠ j`. Deciding whether `clique(k)` has
+/// a homomorphism into a graph query is the NP-complete k-clique
+/// problem — the adversarial family for the Fig. 9 containment row.
+pub fn clique(k: u32) -> Cq {
+    let mut atoms = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                atoms.push(CqAtom::new("E", vec![v(i), v(j)]));
+            }
+        }
+    }
+    Cq::new(vec![], atoms)
+}
+
+/// A Boolean query whose body is a random graph on `n` variables with
+/// edge probability `p` (plus symmetric edges, so cliques can embed).
+pub fn random_graph_query(seed: u64, n: u32, p: f64) -> Cq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut atoms = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                atoms.push(CqAtom::new("E", vec![v(i), v(j)]));
+                atoms.push(CqAtom::new("E", vec![v(j), v(i)]));
+            }
+        }
+    }
+    if atoms.is_empty() {
+        atoms.push(CqAtom::new("E", vec![v(0), v(1)]));
+    }
+    Cq::new(vec![], atoms)
+}
+
+/// A star query: `ans(x₀) :- E(x₀,x₁), …, E(x₀,xₙ)`; its core is a
+/// single atom, making it the adversarial family for minimization.
+pub fn star(n: u32) -> Cq {
+    assert!(n >= 1);
+    let atoms = (1..=n).map(|i| CqAtom::new("E", vec![v(0), v(i)])).collect();
+    Cq::new(vec![v(0)], atoms)
+}
+
+/// An α-renamed, atom-shuffled copy of `q` — bag-equivalent to `q` by
+/// construction (the easy-isomorphism family for the Fig. 9 bag row).
+pub fn shuffled_copy(q: &Cq, seed: u64) -> Cq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars = q.variables();
+    let mut target: Vec<u32> = (0..vars.len() as u32).map(|i| i + 1000).collect();
+    // Fisher–Yates shuffle of the rename targets.
+    for i in (1..target.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        target.swap(i, j);
+    }
+    let map: BTreeMap<u32, u32> = vars.into_iter().zip(target).collect();
+    let mut renamed = q.rename(&map);
+    for i in (1..renamed.atoms.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        renamed.atoms.swap(i, j);
+    }
+    renamed
+}
+
+/// A random CQ over `rels` relation names with `n_atoms` binary atoms on
+/// `n_vars` variables, head on the first variable.
+pub fn random_cq(seed: u64, n_atoms: u32, n_vars: u32, rels: &[&str]) -> Cq {
+    assert!(n_vars >= 1 && !rels.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let atoms = (0..n_atoms)
+        .map(|_| {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let a = rng.gen_range(0..n_vars);
+            let b = rng.gen_range(0..n_vars);
+            CqAtom::new(rel, vec![v(a), v(b)])
+        })
+        .collect();
+    Cq::new(vec![v(0)], atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::bag_equivalent;
+    use crate::containment::contained_in;
+    use crate::minimize::minimize;
+
+    #[test]
+    fn chain_shapes() {
+        let c = chain(3);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.head, vec![v(0), v(3)]);
+        assert_eq!(boolean_chain(5).head.len(), 0);
+    }
+
+    #[test]
+    fn longer_boolean_chains_are_contained_in_shorter() {
+        // An instance with a 5-path has a 3-path.
+        assert!(contained_in(&boolean_chain(5), &boolean_chain(3)));
+        assert!(!contained_in(&boolean_chain(3), &boolean_chain(5)));
+    }
+
+    #[test]
+    fn cycle_contains_clique_relationship() {
+        // A triangle query is exactly clique(3) up to duplicate edges'
+        // orientation; cycle(3) ⊆ ... sanity: cycle(3) maps into clique(3).
+        assert!(contained_in(&clique(3), &cycle(3)));
+    }
+
+    #[test]
+    fn clique_embeds_iff_graph_has_clique() {
+        // Dense graph surely has a triangle; sparse (empty-ish) does not.
+        let dense = random_graph_query(1, 8, 0.9);
+        let sparse = random_graph_query(2, 8, 0.0);
+        assert!(contained_in(&dense, &clique(3)));
+        assert!(!contained_in(&sparse, &clique(3)));
+    }
+
+    #[test]
+    fn star_minimizes_to_one_atom() {
+        let s = star(6);
+        assert_eq!(minimize(&s).size(), 1);
+    }
+
+    #[test]
+    fn shuffled_copy_is_bag_equivalent() {
+        for seed in 0..5 {
+            let q = random_cq(seed, 6, 4, &["R", "S"]);
+            let q2 = shuffled_copy(&q, seed + 100);
+            assert!(bag_equivalent(&q, &q2), "seed {seed}: {q} vs {q2}");
+        }
+    }
+
+    #[test]
+    fn random_cq_is_deterministic() {
+        let a = random_cq(7, 5, 3, &["R"]);
+        let b = random_cq(7, 5, 3, &["R"]);
+        assert_eq!(a, b);
+    }
+}

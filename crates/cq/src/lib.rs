@@ -1,0 +1,369 @@
+//! Conjunctive queries and the automated decision procedure (Sec. 5.2).
+//!
+//! Conjunctive queries (CQs) are the fragment
+//! `DISTINCT SELECT p FROM q₁, …, qₙ WHERE b` where `b` is a conjunction
+//! of equalities — the best-studied decidable fragment of SQL (Fig. 9):
+//!
+//! | problem | complexity |
+//! |---|---|
+//! | set containment / equivalence | NP-complete (Chandra–Merlin) |
+//! | bag equivalence | graph isomorphism |
+//! | UCQ containment (set) | NP-complete (Sagiv–Yannakakis) |
+//!
+//! This crate implements the canonical representation ([`Cq`]),
+//! homomorphism-based containment with witness extraction (the mappings
+//! visualized in Fig. 10), bag equivalence via atom-multiset isomorphism,
+//! CQ minimization (cores), union-of-CQ containment, translation from
+//! HoTTSQL ([`translate`]), and workload generators for the Fig. 9
+//! scaling benchmarks ([`generate`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bag;
+pub mod containment;
+pub mod generate;
+pub mod minimize;
+pub mod translate;
+pub mod ucq;
+
+use relalg::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A term in a CQ atom or head: a variable or a constant.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CqTerm {
+    /// A query variable.
+    Var(u32),
+    /// A constant value.
+    Const(Value),
+}
+
+impl CqTerm {
+    /// The variable id, if this is a variable.
+    pub fn var(&self) -> Option<u32> {
+        match self {
+            CqTerm::Var(v) => Some(*v),
+            CqTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CqTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqTerm::Var(v) => write!(f, "x{v}"),
+            CqTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One relational atom `R(t₁, …, tₖ)` of a CQ body.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CqAtom {
+    /// Relation name.
+    pub rel: String,
+    /// Argument terms, one per column.
+    pub terms: Vec<CqTerm>,
+}
+
+impl CqAtom {
+    /// Builds an atom.
+    pub fn new(rel: impl Into<String>, terms: Vec<CqTerm>) -> CqAtom {
+        CqAtom {
+            rel: rel.into(),
+            terms,
+        }
+    }
+}
+
+impl fmt::Display for CqAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A conjunctive query `head(h₁,…,hₘ) :- atom₁, …, atomₙ`.
+///
+/// Equality predicates are represented by *variable identification*:
+/// building a [`Cq`] through [`CqBuilder`] merges equated variables, so a
+/// `Cq` is always in equality-collapsed form.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cq {
+    /// Projected terms, in output-column order.
+    pub head: Vec<CqTerm>,
+    /// Body atoms.
+    pub atoms: Vec<CqAtom>,
+}
+
+impl Cq {
+    /// Builds a CQ directly (callers must have collapsed equalities).
+    pub fn new(head: Vec<CqTerm>, atoms: Vec<CqAtom>) -> Cq {
+        Cq { head, atoms }
+    }
+
+    /// All variables occurring in the query (sorted).
+    pub fn variables(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .head
+            .iter()
+            .chain(self.atoms.iter().flat_map(|a| a.terms.iter()))
+            .filter_map(CqTerm::var)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of body atoms.
+    pub fn size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Renames all variables by the given map (ids absent from the map
+    /// are kept).
+    pub fn rename(&self, map: &BTreeMap<u32, u32>) -> Cq {
+        let fix = |t: &CqTerm| match t {
+            CqTerm::Var(v) => CqTerm::Var(*map.get(v).unwrap_or(v)),
+            c => c.clone(),
+        };
+        Cq {
+            head: self.head.iter().map(fix).collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| CqAtom::new(a.rel.clone(), a.terms.iter().map(fix).collect()))
+                .collect(),
+        }
+    }
+
+    /// Renames variables so the two queries share no ids (returns the
+    /// renamed `other`).
+    pub fn apart(&self, other: &Cq) -> Cq {
+        let max = self.variables().last().copied().unwrap_or(0);
+        let map: BTreeMap<u32, u32> = other
+            .variables()
+            .into_iter()
+            .map(|v| (v, v + max + 1))
+            .collect();
+        other.rename(&map)
+    }
+}
+
+impl fmt::Display for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ans(")?;
+        for (i, h) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental CQ builder with union-find variable identification for
+/// equality predicates.
+#[derive(Clone, Debug, Default)]
+pub struct CqBuilder {
+    next_var: u32,
+    parent: BTreeMap<u32, u32>,
+    consts: BTreeMap<u32, Value>,
+    atoms: Vec<CqAtom>,
+    contradictory: bool,
+}
+
+impl CqBuilder {
+    /// An empty builder.
+    pub fn new() -> CqBuilder {
+        CqBuilder::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh(&mut self) -> u32 {
+        let v = self.next_var;
+        self.next_var += 1;
+        self.parent.insert(v, v);
+        v
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let p = *self.parent.get(&v).unwrap_or(&v);
+        if p == v {
+            return v;
+        }
+        let r = self.find(p);
+        self.parent.insert(v, r);
+        r
+    }
+
+    /// Asserts `a = b` (variable identification).
+    pub fn equate(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Merge constant bindings.
+        match (self.consts.get(&ra).cloned(), self.consts.get(&rb).cloned()) {
+            (Some(x), Some(y)) if x != y => self.contradictory = true,
+            (Some(x), None) => {
+                self.consts.insert(rb, x);
+            }
+            _ => {}
+        }
+        self.parent.insert(ra, rb);
+    }
+
+    /// Binds a variable to a constant (`x = c` predicates).
+    pub fn bind_const(&mut self, v: u32, c: Value) {
+        let r = self.find(v);
+        match self.consts.get(&r) {
+            Some(prev) if *prev != c => self.contradictory = true,
+            _ => {
+                self.consts.insert(r, c);
+            }
+        }
+    }
+
+    /// Adds a body atom over variables.
+    pub fn atom(&mut self, rel: impl Into<String>, vars: Vec<u32>) {
+        self.atoms.push(CqAtom::new(
+            rel,
+            vars.into_iter().map(CqTerm::Var).collect(),
+        ));
+    }
+
+    /// Whether the accumulated equalities are unsatisfiable (two distinct
+    /// constants identified) — the query denotes the empty set.
+    pub fn contradictory(&self) -> bool {
+        self.contradictory
+    }
+
+    /// Finalizes into a [`Cq`] with the given head variables.
+    pub fn build(mut self, head: Vec<u32>) -> Cq {
+        let resolve = |b: &mut CqBuilder, v: u32| -> CqTerm {
+            let r = b.find(v);
+            match b.consts.get(&r) {
+                Some(c) => CqTerm::Const(c.clone()),
+                None => CqTerm::Var(r),
+            }
+        };
+        let head: Vec<CqTerm> = head
+            .into_iter()
+            .map(|v| resolve(&mut self, v))
+            .collect();
+        let atoms = self
+            .atoms
+            .clone()
+            .into_iter()
+            .map(|a| {
+                let terms = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        CqTerm::Var(v) => resolve(&mut self, *v),
+                        c => c.clone(),
+                    })
+                    .collect();
+                CqAtom::new(a.rel, terms)
+            })
+            .collect();
+        Cq { head, atoms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_identifies_variables() {
+        let mut b = CqBuilder::new();
+        let x = b.fresh();
+        let y = b.fresh();
+        let z = b.fresh();
+        b.atom("R", vec![x, y]);
+        b.atom("S", vec![y, z]);
+        b.equate(x, z);
+        let q = b.build(vec![x]);
+        // x and z collapse to one variable.
+        assert_eq!(q.variables().len(), 2);
+        assert_eq!(q.atoms[0].terms[0], q.atoms[1].terms[1]);
+    }
+
+    #[test]
+    fn builder_propagates_constants() {
+        let mut b = CqBuilder::new();
+        let x = b.fresh();
+        let y = b.fresh();
+        b.atom("R", vec![x, y]);
+        b.bind_const(x, Value::Int(3));
+        b.equate(x, y);
+        let q = b.build(vec![y]);
+        assert_eq!(q.head, vec![CqTerm::Const(Value::Int(3))]);
+        assert_eq!(q.atoms[0].terms[1], CqTerm::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn contradictory_constants_flagged() {
+        let mut b = CqBuilder::new();
+        let x = b.fresh();
+        let y = b.fresh();
+        b.bind_const(x, Value::Int(1));
+        b.bind_const(y, Value::Int(2));
+        assert!(!b.contradictory());
+        b.equate(x, y);
+        assert!(b.contradictory());
+    }
+
+    #[test]
+    fn rename_apart_disjoint() {
+        let q1 = Cq::new(
+            vec![CqTerm::Var(0)],
+            vec![CqAtom::new("R", vec![CqTerm::Var(0), CqTerm::Var(1)])],
+        );
+        let q2 = q1.clone();
+        let q2r = q1.apart(&q2);
+        let v1 = q1.variables();
+        let v2 = q2r.variables();
+        assert!(v1.iter().all(|v| !v2.contains(v)));
+    }
+
+    #[test]
+    fn display_is_datalog_like() {
+        let q = Cq::new(
+            vec![CqTerm::Var(0)],
+            vec![
+                CqAtom::new("R", vec![CqTerm::Var(0), CqTerm::Var(1)]),
+                CqAtom::new("S", vec![CqTerm::Var(1), CqTerm::Const(Value::Int(5))]),
+            ],
+        );
+        assert_eq!(q.to_string(), "ans(x0) :- R(x0, x1), S(x1, 5)");
+    }
+
+    #[test]
+    fn variables_sorted_dedup() {
+        let q = Cq::new(
+            vec![CqTerm::Var(3)],
+            vec![CqAtom::new("R", vec![CqTerm::Var(1), CqTerm::Var(3)])],
+        );
+        assert_eq!(q.variables(), vec![1, 3]);
+        assert_eq!(q.size(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! CQ minimization: computing the core.
+//!
+//! The *core* of a CQ is a minimal set-equivalent subquery; it is unique
+//! up to isomorphism (Chandra–Merlin). Minimization repeatedly tries to
+//! drop a body atom while preserving set equivalence — the foundation of
+//! redundant-join elimination (the Q2 ≡ Q3 pattern of Sec. 2 generalizes
+//! to: a CQ equals its core).
+
+use crate::containment::equivalent_set;
+use crate::Cq;
+
+/// Computes the core of a CQ.
+///
+/// Quadratic in the number of atoms times the (NP) cost of the
+/// containment checks; fine at rewrite-rule scale.
+pub fn minimize(q: &Cq) -> Cq {
+    let mut current = q.clone();
+    loop {
+        let mut reduced = None;
+        for i in 0..current.atoms.len() {
+            if current.atoms.len() == 1 {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.atoms.remove(i);
+            // Dropping an atom can only grow the result; equivalence
+            // holds iff the candidate is contained in the original.
+            if equivalent_set(&candidate, &current) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return current,
+        }
+    }
+}
+
+/// Whether a CQ is its own core (no removable atom).
+pub fn is_minimal(q: &Cq) -> bool {
+    minimize(q).size() == q.size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CqAtom, CqTerm};
+
+    fn v(n: u32) -> CqTerm {
+        CqTerm::Var(n)
+    }
+
+    #[test]
+    fn redundant_self_join_minimizes_to_single_atom() {
+        let q3 = Cq::new(
+            vec![v(0)],
+            vec![
+                CqAtom::new("R", vec![v(0), v(1)]),
+                CqAtom::new("R", vec![v(0), v(2)]),
+            ],
+        );
+        let core = minimize(&q3);
+        assert_eq!(core.size(), 1);
+        assert!(equivalent_set(&core, &q3));
+        assert!(!is_minimal(&q3));
+    }
+
+    #[test]
+    fn chain_is_already_minimal() {
+        // ans(x) :- R(x,y), S(y,z): both atoms needed.
+        let q = Cq::new(
+            vec![v(0)],
+            vec![
+                CqAtom::new("R", vec![v(0), v(1)]),
+                CqAtom::new("S", vec![v(1), v(2)]),
+            ],
+        );
+        assert!(is_minimal(&q));
+        assert_eq!(minimize(&q), q);
+    }
+
+    #[test]
+    fn triangle_with_pendant_edge() {
+        // ans() :- E(x,y), E(y,z), E(z,x), E(x,w):
+        // the pendant E(x,w) folds onto E(x,y), so the core is the
+        // triangle.
+        let q = Cq::new(
+            vec![],
+            vec![
+                CqAtom::new("E", vec![v(0), v(1)]),
+                CqAtom::new("E", vec![v(1), v(2)]),
+                CqAtom::new("E", vec![v(2), v(0)]),
+                CqAtom::new("E", vec![v(0), v(3)]),
+            ],
+        );
+        let core = minimize(&q);
+        assert_eq!(core.size(), 3);
+        assert!(equivalent_set(&core, &q));
+    }
+
+    #[test]
+    fn head_variables_protect_atoms() {
+        // ans(x, w) :- E(x,y), E(x,w): w is in the head, so its atom
+        // cannot fold away; only y's can.
+        let q = Cq::new(
+            vec![v(0), v(3)],
+            vec![
+                CqAtom::new("E", vec![v(0), v(1)]),
+                CqAtom::new("E", vec![v(0), v(3)]),
+            ],
+        );
+        let core = minimize(&q);
+        assert_eq!(core.size(), 1);
+        assert_eq!(core.head, vec![v(0), v(3)]);
+        // The surviving atom must be the one with the head variable.
+        assert_eq!(core.atoms[0].terms, vec![v(0), v(3)]);
+    }
+
+    #[test]
+    fn single_atom_is_minimal() {
+        let q = Cq::new(vec![v(0)], vec![CqAtom::new("R", vec![v(0)])]);
+        assert!(is_minimal(&q));
+    }
+}

@@ -1,0 +1,287 @@
+//! Translation from HoTTSQL queries to conjunctive queries.
+//!
+//! Recognizes the CQ fragment of Sec. 5.2:
+//! `DISTINCT SELECT p FROM t₁, …, tₙ [WHERE b]` where every `tᵢ` is a
+//! base table, `p` is built from paths/pairs/constants, and `b` is a
+//! conjunction of equalities between paths (or paths and constants).
+//! Returns `None` for queries outside the fragment — the caller then
+//! falls back to the general prover.
+
+use crate::{Cq, CqBuilder, CqTerm};
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::env::QueryEnv;
+use relalg::Schema;
+
+/// The tuple shape of a context, with CQ variables at the leaves.
+#[derive(Clone, Debug)]
+enum Shape {
+    Unit,
+    Leaf(CqTerm),
+    Node(Box<Shape>, Box<Shape>),
+}
+
+impl Shape {
+    fn leaves(&self, out: &mut Vec<CqTerm>) {
+        match self {
+            Shape::Unit => {}
+            Shape::Leaf(t) => out.push(t.clone()),
+            Shape::Node(l, r) => {
+                l.leaves(out);
+                r.leaves(out);
+            }
+        }
+    }
+}
+
+/// Attempts to view a HoTTSQL query (closed, empty context) as a CQ.
+///
+/// Returns `None` when the query falls outside the conjunctive fragment.
+pub fn from_query(q: &Query, env: &QueryEnv) -> Option<Cq> {
+    let Query::Distinct(inner) = q else {
+        return None;
+    };
+    let Query::Select(proj, body) = &**inner else {
+        return None;
+    };
+    let (from, pred) = match &**body {
+        Query::Where(f, b) => (&**f, Some(b)),
+        other => (other, None),
+    };
+    let mut builder = CqBuilder::new();
+    let from_shape = shape_of_from(from, env, &mut builder)?;
+    // Context of the projection and predicate: node(empty, σ_from).
+    let ctx = Shape::Node(Box::new(Shape::Unit), Box::new(from_shape));
+    if let Some(b) = pred {
+        collect_equalities(b, &ctx, &mut builder)?;
+    }
+    let head_shape = resolve_proj(proj, &ctx, &mut builder)?;
+    let mut head = Vec::new();
+    head_shape.leaves(&mut head);
+    // Resolve head through the union-find by rebuilding with build():
+    let head_vars: Option<Vec<u32>> = head
+        .iter()
+        .map(|t| match t {
+            CqTerm::Var(v) => Some(*v),
+            CqTerm::Const(_) => None,
+        })
+        .collect();
+    match head_vars {
+        Some(vars) => Some(builder.build(vars)),
+        None => {
+            // Heads with constants: build with placeholder vars bound to
+            // the constants.
+            let vars: Vec<u32> = head
+                .iter()
+                .map(|t| match t {
+                    CqTerm::Var(v) => *v,
+                    CqTerm::Const(c) => {
+                        let v = builder.fresh();
+                        builder.bind_const(v, c.clone());
+                        v
+                    }
+                })
+                .collect();
+            Some(builder.build(vars))
+        }
+    }
+}
+
+/// Builds the shape of a FROM clause: a left-nested product of tables.
+fn shape_of_from(q: &Query, env: &QueryEnv, b: &mut CqBuilder) -> Option<Shape> {
+    match q {
+        Query::Table(name) => {
+            let schema = env.table(name)?;
+            let (shape, vars) = fresh_shape(schema, b);
+            b.atom(name.clone(), vars);
+            Some(shape)
+        }
+        Query::Product(l, r) => {
+            let ls = shape_of_from(l, env, b)?;
+            let rs = shape_of_from(r, env, b)?;
+            Some(Shape::Node(Box::new(ls), Box::new(rs)))
+        }
+        _ => None,
+    }
+}
+
+fn fresh_shape(schema: &Schema, b: &mut CqBuilder) -> (Shape, Vec<u32>) {
+    match schema {
+        Schema::Empty => (Shape::Unit, Vec::new()),
+        Schema::Leaf(_) => {
+            let v = b.fresh();
+            (Shape::Leaf(CqTerm::Var(v)), vec![v])
+        }
+        Schema::Node(l, r) => {
+            let (ls, mut lv) = fresh_shape(l, b);
+            let (rs, rv) = fresh_shape(r, b);
+            lv.extend(rv);
+            (Shape::Node(Box::new(ls), Box::new(rs)), lv)
+        }
+    }
+}
+
+/// Collects conjunctive equality predicates into the builder.
+fn collect_equalities(p: &Predicate, ctx: &Shape, b: &mut CqBuilder) -> Option<()> {
+    match p {
+        Predicate::True => Some(()),
+        Predicate::And(x, y) => {
+            collect_equalities(x, ctx, b)?;
+            collect_equalities(y, ctx, b)
+        }
+        Predicate::Eq(e1, e2) => {
+            let t1 = resolve_scalar(e1, ctx, b)?;
+            let t2 = resolve_scalar(e2, ctx, b)?;
+            match (t1, t2) {
+                (CqTerm::Var(x), CqTerm::Var(y)) => b.equate(x, y),
+                (CqTerm::Var(x), CqTerm::Const(c)) | (CqTerm::Const(c), CqTerm::Var(x)) => {
+                    b.bind_const(x, c)
+                }
+                (CqTerm::Const(c), CqTerm::Const(d)) => {
+                    if c != d {
+                        // Unsatisfiable query; representable but we bail
+                        // to the general prover for clarity.
+                        return None;
+                    }
+                }
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn resolve_scalar(e: &Expr, ctx: &Shape, b: &mut CqBuilder) -> Option<CqTerm> {
+    match e {
+        Expr::P2E(p) => match resolve_proj(p, ctx, b)? {
+            Shape::Leaf(t) => Some(t),
+            _ => None,
+        },
+        Expr::Const(v) => Some(CqTerm::Const(v.clone())),
+        _ => None,
+    }
+}
+
+fn resolve_proj(p: &Proj, ctx: &Shape, b: &mut CqBuilder) -> Option<Shape> {
+    match p {
+        Proj::Star => Some(ctx.clone()),
+        Proj::Left => match ctx {
+            Shape::Node(l, _) => Some((**l).clone()),
+            _ => None,
+        },
+        Proj::Right => match ctx {
+            Shape::Node(_, r) => Some((**r).clone()),
+            _ => None,
+        },
+        Proj::Empty => Some(Shape::Unit),
+        Proj::Dot(p1, p2) => {
+            let mid = resolve_proj(p1, ctx, b)?;
+            resolve_proj(p2, &mid, b)
+        }
+        Proj::Pair(p1, p2) => Some(Shape::Node(
+            Box::new(resolve_proj(p1, ctx, b)?),
+            Box::new(resolve_proj(p2, ctx, b)?),
+        )),
+        Proj::E2P(e) => Some(Shape::Leaf(resolve_scalar(e, ctx, b)?)),
+        Proj::Var(_) => None, // meta-variables are outside the decidable fragment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent_set;
+    use hottsql::parse::parse_query;
+    use relalg::BaseType;
+
+    fn env() -> QueryEnv {
+        QueryEnv::new()
+            .with_table("R1", Schema::flat([BaseType::Int, BaseType::Int]))
+            .with_table("R2", Schema::flat([BaseType::Int]))
+            .with_table("R", Schema::flat([BaseType::Int, BaseType::Int]))
+    }
+
+    #[test]
+    fn translates_simple_projection() {
+        let q = parse_query("DISTINCT SELECT Right.Left FROM R").unwrap();
+        let cq = from_query(&q, &env()).unwrap();
+        assert_eq!(cq.atoms.len(), 1);
+        assert_eq!(cq.atoms[0].rel, "R");
+        assert_eq!(cq.head.len(), 1);
+        assert_eq!(cq.head[0], cq.atoms[0].terms[0]);
+    }
+
+    #[test]
+    fn translates_join_with_equality() {
+        // The Sec. 5.2 / Fig. 10 left query:
+        // DISTINCT SELECT x.c1 FROM R1 x, R2 y WHERE x.c2 = y.c3
+        let q = parse_query(
+            "DISTINCT SELECT Right.Left.Left FROM R1, R2 \
+             WHERE Right.Left.Right = Right.Right",
+        )
+        .unwrap();
+        let cq = from_query(&q, &env()).unwrap();
+        assert_eq!(cq.atoms.len(), 2);
+        // The equality identified R1's second column with R2's column.
+        assert_eq!(cq.atoms[0].terms[1], cq.atoms[1].terms[0]);
+    }
+
+    #[test]
+    fn fig10_pair_equivalence_via_decision_procedure() {
+        let q1 = parse_query(
+            "DISTINCT SELECT Right.Left.Left FROM R1, R2 \
+             WHERE Right.Left.Right = Right.Right",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "DISTINCT SELECT Right.Left.Left.Left FROM (R1, R1), R2 \
+             WHERE Right.Left.Left.Left = Right.Left.Right.Left \
+             AND Right.Left.Left.Right = Right.Right",
+        )
+        .unwrap();
+        let e = env();
+        let c1 = from_query(&q1, &e).unwrap();
+        let c2 = from_query(&q2, &e).unwrap();
+        assert!(equivalent_set(&c1, &c2), "{c1}  vs  {c2}");
+    }
+
+    #[test]
+    fn constants_translate() {
+        let q = parse_query("DISTINCT SELECT Right.Left FROM R WHERE Right.Right = 5").unwrap();
+        let cq = from_query(&q, &env()).unwrap();
+        assert!(cq
+            .atoms[0]
+            .terms
+            .iter()
+            .any(|t| matches!(t, CqTerm::Const(relalg::Value::Int(5)))));
+    }
+
+    #[test]
+    fn non_cq_features_are_rejected() {
+        let e = env();
+        // No DISTINCT.
+        let q = parse_query("SELECT Right.Left FROM R").unwrap();
+        assert!(from_query(&q, &e).is_none());
+        // Disjunction.
+        let q = parse_query(
+            "DISTINCT SELECT Right.Left FROM R WHERE Right.Right = 1 OR Right.Right = 2",
+        )
+        .unwrap();
+        assert!(from_query(&q, &e).is_none());
+        // EXCEPT.
+        let q = parse_query("DISTINCT SELECT Right.Left FROM (R EXCEPT R)").unwrap();
+        assert!(from_query(&q, &e).is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_constant_equality_rejected() {
+        let q = parse_query("DISTINCT SELECT Right.Left FROM R WHERE 1 = 2").unwrap();
+        assert!(from_query(&q, &env()).is_none());
+    }
+
+    #[test]
+    fn star_head_projects_all_columns() {
+        let q = parse_query("DISTINCT SELECT Right FROM R").unwrap();
+        let cq = from_query(&q, &env()).unwrap();
+        assert_eq!(cq.head.len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based validation of the CQ decision procedures against a
+//! brute-force evaluator: homomorphism-based containment must match
+//! actual containment of query results on random instances, bag
+//! equivalence must imply set equivalence, and minimization must
+//! preserve semantics.
+
+use cq::{Cq, CqTerm};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A tiny database: each relation is a set of integer tuples.
+type Db = BTreeMap<String, BTreeSet<Vec<i64>>>;
+
+/// Brute-force CQ evaluation (set semantics): enumerate all assignments
+/// of the query's variables over the active domain.
+fn eval_cq(q: &Cq, db: &Db) -> BTreeSet<Vec<i64>> {
+    let mut domain: BTreeSet<i64> = BTreeSet::new();
+    for rows in db.values() {
+        for row in rows {
+            domain.extend(row.iter().copied());
+        }
+    }
+    if domain.is_empty() {
+        domain.insert(0);
+    }
+    let domain: Vec<i64> = domain.into_iter().collect();
+    let vars = q.variables();
+    let mut out = BTreeSet::new();
+    let mut assignment: BTreeMap<u32, i64> = BTreeMap::new();
+    enumerate(q, db, &domain, &vars, 0, &mut assignment, &mut out);
+    out
+}
+
+fn resolve(t: &CqTerm, a: &BTreeMap<u32, i64>) -> i64 {
+    match t {
+        CqTerm::Var(v) => a[v],
+        CqTerm::Const(c) => c.as_int().unwrap_or(0),
+    }
+}
+
+fn enumerate(
+    q: &Cq,
+    db: &Db,
+    domain: &[i64],
+    vars: &[u32],
+    i: usize,
+    assignment: &mut BTreeMap<u32, i64>,
+    out: &mut BTreeSet<Vec<i64>>,
+) {
+    if i == vars.len() {
+        let satisfied = q.atoms.iter().all(|atom| {
+            let row: Vec<i64> = atom.terms.iter().map(|t| resolve(t, assignment)).collect();
+            db.get(&atom.rel).map(|rs| rs.contains(&row)) == Some(true)
+        });
+        if satisfied {
+            out.insert(q.head.iter().map(|t| resolve(t, assignment)).collect());
+        }
+        return;
+    }
+    for &d in domain {
+        assignment.insert(vars[i], d);
+        enumerate(q, db, domain, vars, i + 1, assignment, out);
+    }
+    assignment.remove(&vars[i]);
+}
+
+fn random_db(seed: u64) -> Db {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Db::new();
+    for rel in ["R", "S"] {
+        let mut rows = BTreeSet::new();
+        for _ in 0..rng.gen_range(0..6) {
+            rows.insert(vec![rng.gen_range(0..3i64), rng.gen_range(0..3i64)]);
+        }
+        db.insert(rel.to_string(), rows);
+    }
+    db
+}
+
+fn random_cq_pair(seed: u64) -> (Cq, Cq) {
+    let a = cq::generate::random_cq(seed, 3, 3, &["R", "S"]);
+    let b = cq::generate::random_cq(seed ^ 0xFFFF, 3, 3, &["R", "S"]);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn containment_is_sound(seed in 0u64..50_000) {
+        let (a, b) = random_cq_pair(seed);
+        if cq::containment::contained_in(&a, &b) {
+            for db_seed in 0..4u64 {
+                let db = random_db(seed ^ db_seed);
+                let ra = eval_cq(&a, &db);
+                let rb = eval_cq(&b, &db);
+                prop_assert!(
+                    ra.is_subset(&rb),
+                    "seed {}: {} ⊆ {} claimed but {:?} ⊄ {:?}", seed, a, b, ra, rb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_is_sound(seed in 0u64..20_000) {
+        let (a, b) = random_cq_pair(seed);
+        if cq::containment::equivalent_set(&a, &b) {
+            for db_seed in 0..4u64 {
+                let db = random_db(seed ^ db_seed);
+                prop_assert_eq!(eval_cq(&a, &db), eval_cq(&b, &db));
+            }
+        }
+    }
+
+    #[test]
+    fn bag_equivalence_implies_set_equivalence(seed in 0u64..20_000) {
+        let (a, b) = random_cq_pair(seed);
+        if cq::bag::bag_equivalent(&a, &b) {
+            prop_assert!(cq::containment::equivalent_set(&a, &b));
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_semantics(seed in 0u64..20_000) {
+        let q = cq::generate::random_cq(seed, 4, 3, &["R", "S"]);
+        let core = cq::minimize::minimize(&q);
+        prop_assert!(core.size() <= q.size());
+        prop_assert!(cq::containment::equivalent_set(&q, &core));
+        for db_seed in 0..3u64 {
+            let db = random_db(seed ^ db_seed);
+            prop_assert_eq!(eval_cq(&q, &db), eval_cq(&core, &db));
+        }
+    }
+
+    #[test]
+    fn shuffled_copies_stay_equivalent(seed in 0u64..20_000) {
+        let q = cq::generate::random_cq(seed, 4, 3, &["R", "S"]);
+        let copy = cq::generate::shuffled_copy(&q, seed ^ 0xABC);
+        prop_assert!(cq::bag::bag_equivalent(&q, &copy));
+        for db_seed in 0..2u64 {
+            let db = random_db(seed ^ db_seed);
+            prop_assert_eq!(eval_cq(&q, &db), eval_cq(&copy, &db));
+        }
+    }
+
+    #[test]
+    fn ucq_containment_is_sound(seed in 0u64..10_000) {
+        let a = cq::ucq::Ucq::new(vec![
+            cq::generate::random_cq(seed, 2, 2, &["R"]),
+            cq::generate::random_cq(seed ^ 1, 2, 2, &["S"]),
+        ]);
+        let b = cq::ucq::Ucq::new(vec![
+            cq::generate::random_cq(seed ^ 2, 2, 2, &["R"]),
+            cq::generate::random_cq(seed ^ 3, 2, 2, &["S"]),
+        ]);
+        if cq::ucq::ucq_contained_in(&a, &b) {
+            for db_seed in 0..3u64 {
+                let db = random_db(seed ^ db_seed);
+                let ra: BTreeSet<Vec<i64>> = a
+                    .disjuncts
+                    .iter()
+                    .flat_map(|q| eval_cq(q, &db))
+                    .collect();
+                let rb: BTreeSet<Vec<i64>> = b
+                    .disjuncts
+                    .iter()
+                    .flat_map(|q| eval_cq(q, &db))
+                    .collect();
+                prop_assert!(ra.is_subset(&rb));
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The DOPCERT command-line checker.
+//!
+//! ```sh
+//! dopcert check file.dop     # run a verification script
+//! dopcert catalog            # verify the whole built-in rule catalog
+//! ```
+//!
+//! Script syntax (see `dopcert::script`):
+//!
+//! ```text
+//! table R(int, int);
+//! verify DISTINCT SELECT Right.Left FROM R
+//!     == DISTINCT SELECT Right.Left.Left FROM R, R
+//!        WHERE Right.Left.Left = Right.Right.Left;
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let source = match args.get(1).map(String::as_str) {
+                Some("-") | None => {
+                    let mut buf = String::new();
+                    if std::io::stdin().read_to_string(&mut buf).is_err() {
+                        eprintln!("error: cannot read stdin");
+                        return ExitCode::FAILURE;
+                    }
+                    buf
+                }
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let script = match dopcert::script::parse_script(&source) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let outcomes = dopcert::script::run_script(&script);
+            let mut ok = true;
+            for (goal, outcome) in script.goals.iter().zip(&outcomes) {
+                let expected = if goal.expect_equivalent { "verify" } else { "refute" };
+                let satisfied = outcome.satisfies(goal.expect_equivalent);
+                ok &= satisfied;
+                println!(
+                    "[{}] {expected}: {}\n    {}",
+                    if satisfied { "ok" } else { "FAIL" },
+                    goal.lhs,
+                    outcome
+                );
+            }
+            if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+        }
+        Some("catalog") => {
+            let results = dopcert::script::run_catalog();
+            let mut ok = true;
+            for (name, passed) in &results {
+                println!("[{}] {name}", if *passed { "ok" } else { "FAIL" });
+                ok &= passed;
+            }
+            println!("{} rules checked", results.len());
+            if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+        }
+        _ => {
+            eprintln!("usage: dopcert check <file.dop | -> | dopcert catalog");
+            ExitCode::FAILURE
+        }
+    }
+}

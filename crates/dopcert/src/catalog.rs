@@ -1,0 +1,93 @@
+//! The assembled rule catalog (Fig. 8 plus rejected rules).
+
+use crate::rule::{Category, Rule};
+use crate::rules;
+
+/// Every rule in the catalog: the 23 sound rules of Fig. 8 followed by
+/// the known-unsound rules.
+pub fn all_rules() -> Vec<Rule> {
+    let mut out = Vec::new();
+    out.extend(rules::basic::rules());
+    out.extend(rules::aggregation::rules());
+    out.extend(rules::subquery::rules());
+    out.extend(rules::magic::rules());
+    out.extend(rules::index::rules());
+    out.extend(rules::cq_rules::rules());
+    out.extend(rules::extensions::rules());
+    out.extend(rules::wrong::rules());
+    out
+}
+
+/// Only the 23 sound rules of Fig. 8 (extensions excluded, so the
+/// reproduction census matches the paper exactly).
+pub fn sound_rules() -> Vec<Rule> {
+    all_rules()
+        .into_iter()
+        .filter(|r| r.expected_sound && r.category != Category::Extension)
+        .collect()
+}
+
+/// The extension rules beyond the paper's catalog.
+pub fn extension_rules() -> Vec<Rule> {
+    rules_in(Category::Extension)
+}
+
+/// Only the known-unsound rules.
+pub fn unsound_rules() -> Vec<Rule> {
+    all_rules()
+        .into_iter()
+        .filter(|r| !r.expected_sound)
+        .collect()
+}
+
+/// Rules in one category.
+pub fn rules_in(category: Category) -> Vec<Rule> {
+    all_rules()
+        .into_iter()
+        .filter(|r| r.category == category)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_census() {
+        // Fig. 8: Basic 8, Aggregation 1, Subquery 2, Magic Set 7,
+        // Index 3, Conjunctive Query 2 — total 23.
+        assert_eq!(rules_in(Category::Basic).len(), 8);
+        assert_eq!(rules_in(Category::Aggregation).len(), 1);
+        assert_eq!(rules_in(Category::Subquery).len(), 2);
+        assert_eq!(rules_in(Category::MagicSet).len(), 7);
+        assert_eq!(rules_in(Category::Index).len(), 3);
+        assert_eq!(rules_in(Category::ConjunctiveQuery).len(), 2);
+        assert_eq!(sound_rules().len(), 23);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let rules = all_rules();
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_rule_builds_generically() {
+        for rule in all_rules() {
+            let inst = rule.generic();
+            // Both sides must at least type-check generically (even the
+            // unsound rules are well-typed — they are wrong, not ill-formed).
+            let sl =
+                hottsql::ty::infer_query(&inst.lhs, &inst.env, &relalg::Schema::Empty);
+            let sr =
+                hottsql::ty::infer_query(&inst.rhs, &inst.env, &relalg::Schema::Empty);
+            assert!(sl.is_ok(), "{} lhs: {:?}", rule.name, sl);
+            assert!(sr.is_ok(), "{} rhs: {:?}", rule.name, sr);
+            assert_eq!(sl.unwrap(), sr.unwrap(), "{} schemas differ", rule.name);
+        }
+    }
+}

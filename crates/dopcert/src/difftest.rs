@@ -1,0 +1,279 @@
+//! Differential testing of rewrite rules on random database instances.
+//!
+//! Soundness insurance orthogonal to the symbolic proofs: instantiate a
+//! rule's schema parameters randomly, fill every table with a random
+//! relation (respecting declared key constraints), give every
+//! meta-variable a random — but deterministic and seeded — concrete
+//! implementation, execute both sides with the K-relation evaluator, and
+//! compare bag-for-bag. The list-semantics baseline is run as a second,
+//! independently-implemented oracle on the left side.
+//!
+//! For a sound rule this must never fail; for the known-unsound rules of
+//! [`crate::rules::wrong`] it must produce a counterexample.
+
+use crate::rule::{InstanceConstraint, Rule, RuleInstance};
+use hottsql::eval::{eval_query, Instance};
+use relalg::generate::{GenConfig, Generator};
+use relalg::{BaseType, Relation, Schema, Tuple, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A found counterexample: the instance description and the two results.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Trial seed that produced the counterexample.
+    pub seed: u64,
+    /// Rendered description of the instance tables.
+    pub instance: String,
+    /// Rendered left result.
+    pub lhs_result: String,
+    /// Rendered right result.
+    pub rhs_result: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "counterexample (seed {}):\n  tables: {}\n  lhs: {}\n  rhs: {}",
+            self.seed, self.instance, self.lhs_result, self.rhs_result
+        )
+    }
+}
+
+/// Outcome of a differential-testing run.
+#[derive(Clone, Debug)]
+pub enum DiffOutcome {
+    /// All trials agreed.
+    Agreed {
+        /// Number of trials executed.
+        trials: usize,
+    },
+    /// A trial disagreed.
+    Refuted(Box<Counterexample>),
+    /// A trial failed to execute (reported, counts as a harness bug).
+    Error(String),
+}
+
+impl DiffOutcome {
+    /// Whether every trial agreed.
+    pub fn agreed(&self) -> bool {
+        matches!(self, DiffOutcome::Agreed { .. })
+    }
+}
+
+/// Runs `trials` random instances of `rule` and compares both sides.
+pub fn differential_test(rule: &Rule, trials: usize, base_seed: u64) -> DiffOutcome {
+    for i in 0..trials {
+        let seed = base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+        let inst_rule = rule.random(seed);
+        match run_trial(&inst_rule, seed) {
+            Ok(None) => {}
+            Ok(Some(cex)) => return DiffOutcome::Refuted(Box::new(cex)),
+            Err(e) => return DiffOutcome::Error(format!("trial {i} (seed {seed}): {e}")),
+        }
+    }
+    DiffOutcome::Agreed { trials }
+}
+
+fn run_trial(inst_rule: &RuleInstance, seed: u64) -> Result<Option<Counterexample>, String> {
+    let instance = build_instance(inst_rule, seed);
+    let lhs = eval_query(
+        &inst_rule.lhs,
+        &inst_rule.env,
+        &instance,
+        &Schema::Empty,
+        &Tuple::Unit,
+    )
+    .map_err(|e| format!("lhs: {e}"))?;
+    let rhs = eval_query(
+        &inst_rule.rhs,
+        &inst_rule.env,
+        &instance,
+        &Schema::Empty,
+        &Tuple::Unit,
+    )
+    .map_err(|e| format!("rhs: {e}"))?;
+    // Second oracle: the list-semantics evaluation of the lhs must agree
+    // with the K-relation evaluation bag-wise.
+    let lhs_list = listsem::eval_query_list(
+        &inst_rule.lhs,
+        &inst_rule.env,
+        &instance,
+        &Schema::Empty,
+        &Tuple::Unit,
+    )
+    .map_err(|e| format!("listsem lhs: {e}"))?;
+    let lhs_as_rel = Relation::from_tuples(lhs.schema().clone(), lhs_list)
+        .map_err(|e| format!("listsem conversion: {e}"))?;
+    if !lhs_as_rel.bag_eq(&lhs) {
+        return Err("list semantics disagrees with K-relation semantics".into());
+    }
+    if lhs.bag_eq(&rhs) {
+        Ok(None)
+    } else {
+        let tables: Vec<String> = instance
+            .tables
+            .iter()
+            .map(|(n, r)| format!("{n} = {r:?}"))
+            .collect();
+        Ok(Some(Counterexample {
+            seed,
+            instance: tables.join("; "),
+            lhs_result: format!("{lhs:?}"),
+            rhs_result: format!("{rhs:?}"),
+        }))
+    }
+}
+
+/// Deterministic hash of anything hashable, salted.
+fn salted_hash<T: Hash>(value: &T, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Produces a deterministic pseudo-random value of the given type from a
+/// hash (small domains, matching the relation generator, so predicates
+/// and joins actually fire).
+fn value_from_hash(h: u64, ty: BaseType) -> Value {
+    match ty {
+        BaseType::Int => Value::Int((h % 4) as i64),
+        BaseType::Bool => Value::Bool(h % 2 == 0),
+        BaseType::Str => {
+            let letters = ["a", "b", "c"];
+            Value::str(letters[(h % 3) as usize])
+        }
+    }
+}
+
+/// Builds a deterministic tuple of `schema` from an input tuple hash.
+fn tuple_from_hash(input: &Tuple, schema: &Schema, salt: u64) -> Tuple {
+    match schema {
+        Schema::Empty => Tuple::Unit,
+        Schema::Leaf(t) => Tuple::Leaf(value_from_hash(salted_hash(input, salt), *t)),
+        Schema::Node(l, r) => Tuple::pair(
+            tuple_from_hash(input, l, salt.wrapping_mul(31).wrapping_add(1)),
+            tuple_from_hash(input, r, salt.wrapping_mul(31).wrapping_add(2)),
+        ),
+    }
+}
+
+/// Builds a concrete [`Instance`] for a rule instantiation: random tables
+/// (keyed where required) and deterministic hashed implementations for
+/// every meta-variable.
+pub fn build_instance(rule: &RuleInstance, seed: u64) -> Instance {
+    let mut gen = Generator::with_config(
+        seed,
+        GenConfig {
+            max_support: 5,
+            max_multiplicity: 3,
+            int_range: (0, 3),
+            max_schema_width: 3,
+        },
+    );
+    let mut instance = Instance::new();
+    // Tables.
+    for (name, schema) in rule.env.tables() {
+        let keyed = rule.constraints.iter().any(|c| match c {
+            InstanceConstraint::KeyedByFirst { table, .. } => table == name,
+        });
+        let rel = if keyed {
+            gen.keyed_relation(schema)
+        } else {
+            gen.relation(schema)
+        };
+        instance = instance.with_table(name.clone(), rel);
+    }
+    // Key projections for keyed tables.
+    for c in &rule.constraints {
+        let InstanceConstraint::KeyedByFirst { key_proj, .. } = c;
+        instance = instance.with_proj(key_proj.clone(), |t: &Tuple| {
+            t.fst().cloned().expect("keyed tuples are pairs")
+        });
+    }
+    // Remaining projection meta-variables: deterministic hash functions.
+    for (name, (_, output)) in rule.env.projs() {
+        if instance.projs.contains_key(name) {
+            continue;
+        }
+        let salt = salted_hash(&name, seed);
+        let out_schema = output.clone();
+        instance = instance.with_proj(name.clone(), move |t: &Tuple| {
+            tuple_from_hash(t, &out_schema, salt)
+        });
+    }
+    // Predicate meta-variables.
+    for (name, _) in rule.env.preds() {
+        let salt = salted_hash(&name, seed ^ 0xBEEF);
+        instance = instance.with_pred(name.clone(), move |t: &Tuple| {
+            salted_hash(t, salt) % 2 == 0
+        });
+    }
+    // Expression meta-variables.
+    for (name, (_, ty)) in rule.env.exprs() {
+        let salt = salted_hash(&name, seed ^ 0xCAFE);
+        let ty = *ty;
+        instance = instance.with_expr(name.clone(), move |t: &Tuple| {
+            value_from_hash(salted_hash(t, salt), ty)
+        });
+    }
+    // Uninterpreted scalar functions (including nullary "constants").
+    for (name, ty) in rule.env.fns() {
+        let salt = salted_hash(&name, seed ^ 0xF00D);
+        instance = instance.with_fn(name.clone(), move |vs: &[Value]| {
+            value_from_hash(salted_hash(&vs, salt), ty)
+        });
+    }
+    // Uninterpreted predicates.
+    for (name, _) in rule.env.upreds() {
+        let salt = salted_hash(&name, seed ^ 0xD1CE);
+        instance = instance.with_upred(name.clone(), move |vs: &[Value]| {
+            salted_hash(&vs, salt) % 2 == 0
+        });
+    }
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    const TRIALS: usize = 24;
+
+    #[test]
+    fn sound_rules_pass_differential_testing() {
+        for rule in catalog::sound_rules() {
+            let outcome = differential_test(&rule, TRIALS, 0xDA7A);
+            match &outcome {
+                DiffOutcome::Agreed { .. } => {}
+                DiffOutcome::Refuted(cex) => {
+                    panic!("sound rule {} refuted: {cex}", rule.name)
+                }
+                DiffOutcome::Error(e) => panic!("rule {} errored: {e}", rule.name),
+            }
+        }
+    }
+
+    #[test]
+    fn unsound_rules_are_refuted() {
+        for rule in catalog::unsound_rules() {
+            let outcome = differential_test(&rule, 200, 0x5EED);
+            assert!(
+                matches!(outcome, DiffOutcome::Refuted(_)),
+                "unsound rule {} was not refuted: {outcome:?}",
+                rule.name
+            );
+        }
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let rule = &catalog::sound_rules()[0];
+        let a = build_instance(&rule.random(7), 7);
+        let b = build_instance(&rule.random(7), 7);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

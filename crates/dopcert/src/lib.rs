@@ -1,0 +1,41 @@
+//! DOPCERT: a system for proving SQL rewrite rules (Sec. 5).
+//!
+//! This crate assembles the full pipeline of the paper:
+//!
+//! 1. a rewrite rule is two HoTTSQL queries with shared meta-variables
+//!    ([`rule`]);
+//! 2. both sides are denoted into UniNomial (Fig. 7) and proved equal by
+//!    the tactic library, or — for conjunctive-query rules — by the fully
+//!    automated decision procedure ([`prove`], Sec. 5.2);
+//! 3. every rule (sound or not) is additionally *differentially tested*:
+//!    both sides are executed on hundreds of random database instances and
+//!    compared bag-for-bag ([`difftest`]); unsound rules must be rejected
+//!    by the prover *and* refuted by a concrete counterexample.
+//!
+//! The rule catalog ([`catalog`]) reproduces Fig. 8: 23 rules in six
+//! categories (8 basic, 1 aggregation, 2 subquery, 7 magic set, 3 index,
+//! 2 conjunctive query), plus known-unsound rules from the paper's
+//! motivation (Sec. 1, Sec. 7) that the system must reject.
+//!
+//! # Example
+//!
+//! ```
+//! let rules = dopcert::catalog::sound_rules();
+//! assert_eq!(rules.len(), 23); // the Fig. 8 census
+//! let fig1 = rules.iter().find(|r| r.name == "union-slct-distr").unwrap();
+//! let report = dopcert::prove::prove_rule(fig1);
+//! assert!(report.proved);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod difftest;
+pub mod prove;
+pub mod rule;
+pub mod rules;
+pub mod script;
+
+pub use prove::{prove_rule, RuleReport};
+pub use rule::{Category, Rule, RuleInstance, SchemaSource};

@@ -1,0 +1,265 @@
+//! Rewrite-rule representation.
+//!
+//! A rewrite rule quantifies over relations, predicates, expressions,
+//! attribute projections, *and schemas* (Sec. 3.3). Universally-
+//! quantified schemas are modeled by making each rule a Rust function
+//! from a [`SchemaSource`] to a concrete [`RuleInstance`]:
+//!
+//! - the **prover** instantiates every schema parameter with a single
+//!   opaque leaf — the fully generic reading, in which a whole unknown
+//!   tuple is one sum variable and no structure-specific reasoning is
+//!   available (exactly the strength of the paper's schema-polymorphic
+//!   proofs);
+//! - the **differential tester** instantiates schema parameters with
+//!   random concrete schemas and random relations over them.
+
+use hottsql::ast::Query;
+use hottsql::env::QueryEnv;
+use relalg::generate::Generator;
+use relalg::{BaseType, Schema};
+use std::fmt;
+use uninomial::axioms::RelAxiom;
+
+/// The Fig. 8 rule categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Fundamental algebraic rewrites (Sec. 5.1.1).
+    Basic,
+    /// Aggregation / GROUP BY rewrites (Sec. 5.1.2).
+    Aggregation,
+    /// Subquery elimination rewrites.
+    Subquery,
+    /// Magic-set (semijoin) rewrites (Sec. 5.1.3).
+    MagicSet,
+    /// Index rewrites (Sec. 5.1.4).
+    Index,
+    /// Conjunctive-query rules decided automatically (Sec. 5.2).
+    ConjunctiveQuery,
+    /// Known-unsound rules that must be rejected (Sec. 1 / Sec. 7).
+    Unsound,
+    /// Additional sound rules beyond the paper's catalog (kept out of
+    /// the Fig. 8 census).
+    Extension,
+}
+
+impl Category {
+    /// All sound categories in Fig. 8 order.
+    pub const FIG8: [Category; 6] = [
+        Category::Basic,
+        Category::Aggregation,
+        Category::Subquery,
+        Category::MagicSet,
+        Category::Index,
+        Category::ConjunctiveQuery,
+    ];
+
+    /// Display name matching Fig. 8.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Basic => "Basic",
+            Category::Aggregation => "Aggregation",
+            Category::Subquery => "Subquery",
+            Category::MagicSet => "Magic Set",
+            Category::Index => "Index",
+            Category::ConjunctiveQuery => "Conjunctive Query",
+            Category::Unsound => "Unsound (rejected)",
+            Category::Extension => "Extension",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Declares whether a table instance must satisfy a constraint during
+/// differential testing, mirroring a [`RelAxiom`] used by the proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceConstraint {
+    /// The table's schema is `node (leaf int) rest`, its first column is
+    /// a key, and the named projection meta-variable extracts it.
+    KeyedByFirst {
+        /// Table name.
+        table: String,
+        /// The projection meta-variable bound to the key extractor.
+        key_proj: String,
+    },
+}
+
+/// A fully instantiated rewrite rule: environment, two queries, proof
+/// axioms, and instance constraints.
+#[derive(Clone, Debug)]
+pub struct RuleInstance {
+    /// Signature environment shared by both sides.
+    pub env: QueryEnv,
+    /// Left-hand side (the query being rewritten).
+    pub lhs: Query,
+    /// Right-hand side (the rewritten query).
+    pub rhs: Query,
+    /// Integrity-constraint axioms assumed by the proof (Sec. 4.2).
+    pub axioms: Vec<RelAxiom>,
+    /// Constraints random instances must satisfy.
+    pub constraints: Vec<InstanceConstraint>,
+}
+
+impl RuleInstance {
+    /// A rule with no axioms or constraints.
+    pub fn plain(env: QueryEnv, lhs: Query, rhs: Query) -> RuleInstance {
+        RuleInstance {
+            env,
+            lhs,
+            rhs,
+            axioms: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+}
+
+/// A source of schemas for a rule's universally-quantified schema
+/// parameters. Each named parameter is resolved once and cached, so both
+/// sides of a rule agree.
+pub trait SchemaSource {
+    /// The schema bound to parameter `name`.
+    fn schema(&mut self, name: &str) -> Schema;
+
+    /// A schema of the shape `node (leaf int) rest` used for keyed
+    /// tables (the key is the first column).
+    fn keyed_schema(&mut self, name: &str) -> Schema {
+        Schema::node(Schema::leaf(BaseType::Int), self.schema(name))
+    }
+}
+
+/// The generic instantiation: every schema parameter is one opaque leaf.
+///
+/// A proof under this instantiation treats the whole tuple as a single
+/// sum variable, which is exactly the reasoning available for an unknown
+/// schema — so the proof is schema-polymorphic.
+#[derive(Debug, Default)]
+pub struct Generic;
+
+impl SchemaSource for Generic {
+    fn schema(&mut self, _name: &str) -> Schema {
+        Schema::leaf(BaseType::Int)
+    }
+}
+
+/// Random concrete schemas (cached per name), for differential testing.
+#[derive(Debug)]
+pub struct RandomSchemas {
+    gen: Generator,
+    cache: std::collections::BTreeMap<String, Schema>,
+}
+
+impl RandomSchemas {
+    /// Creates a random source with the given seed.
+    pub fn new(seed: u64) -> RandomSchemas {
+        RandomSchemas {
+            gen: Generator::new(seed),
+            cache: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl SchemaSource for RandomSchemas {
+    fn schema(&mut self, name: &str) -> Schema {
+        if let Some(s) = self.cache.get(name) {
+            return s.clone();
+        }
+        let s = self.gen.schema();
+        self.cache.insert(name.to_owned(), s.clone());
+        s
+    }
+}
+
+/// A named rewrite rule: a builder from schemas to instances.
+pub struct Rule {
+    /// Unique kebab-case name.
+    pub name: &'static str,
+    /// Fig. 8 category.
+    pub category: Category,
+    /// One-line description (the paper section it comes from).
+    pub description: &'static str,
+    /// Instantiates the rule for given schema parameters.
+    pub build: fn(&mut dyn SchemaSource) -> RuleInstance,
+    /// `true` for the 23 sound rules; `false` for the rejected ones.
+    pub expected_sound: bool,
+}
+
+impl Rule {
+    /// Builds the generic (prover) instantiation.
+    pub fn generic(&self) -> RuleInstance {
+        (self.build)(&mut Generic)
+    }
+
+    /// Builds a random instantiation for differential testing.
+    pub fn random(&self, seed: u64) -> RuleInstance {
+        (self.build)(&mut RandomSchemas::new(seed))
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .field("expected_sound", &self.expected_sound)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hottsql::ast::Query;
+
+    fn trivial(src: &mut dyn SchemaSource) -> RuleInstance {
+        let sigma = src.schema("sigma");
+        let env = QueryEnv::new().with_table("R", sigma);
+        RuleInstance::plain(env, Query::table("R"), Query::table("R"))
+    }
+
+    const TRIVIAL: Rule = Rule {
+        name: "trivial",
+        category: Category::Basic,
+        description: "R ≡ R",
+        build: trivial,
+        expected_sound: true,
+    };
+
+    #[test]
+    fn generic_source_gives_leaves() {
+        let inst = TRIVIAL.generic();
+        assert_eq!(
+            inst.env.table("R"),
+            Some(&Schema::leaf(BaseType::Int))
+        );
+    }
+
+    #[test]
+    fn random_source_is_cached_and_seeded() {
+        let mut s = RandomSchemas::new(3);
+        let a = s.schema("x");
+        let b = s.schema("x");
+        assert_eq!(a, b, "same name, same schema");
+        let mut s2 = RandomSchemas::new(3);
+        assert_eq!(a, s2.schema("x"), "same seed, same schema");
+    }
+
+    #[test]
+    fn keyed_schema_shape() {
+        let mut g = Generic;
+        let s = g.keyed_schema("r");
+        assert_eq!(
+            s,
+            Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int))
+        );
+    }
+
+    #[test]
+    fn category_names() {
+        assert_eq!(Category::MagicSet.to_string(), "Magic Set");
+        assert_eq!(Category::FIG8.len(), 6);
+    }
+}

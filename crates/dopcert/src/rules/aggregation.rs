@@ -1,0 +1,72 @@
+//! The aggregation / GROUP BY rule (Sec. 5.1.2): 1 rule.
+
+use crate::rule::{Category, Rule, RuleInstance, SchemaSource};
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::desugar::group_by_agg;
+use hottsql::env::QueryEnv;
+use relalg::{BaseType, Schema};
+
+/// The single aggregation rule of Fig. 8.
+pub fn rules() -> Vec<Rule> {
+    vec![Rule {
+        name: "groupby-filter-pushdown",
+        category: Category::Aggregation,
+        description: "Sec. 5.1.2: filtering a GROUP BY on its key pushes below the grouping",
+        build: groupby_filter_pushdown,
+        expected_sound: true,
+    }]
+}
+
+/// ```text
+/// SELECT * FROM (SELECT k, SUM(b) FROM R GROUP BY k) WHERE k = l
+///   ≡ SELECT k, SUM(b) FROM R WHERE k = l GROUP BY k
+/// ```
+fn groupby_filter_pushdown(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma_r");
+    let leaf = Schema::leaf(BaseType::Int);
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_proj("k", sigma.clone(), leaf.clone())
+        .with_proj("b", sigma, leaf)
+        .with_fn("l", BaseType::Int);
+    let l = || Expr::func("l", vec![]);
+    // lhs: filter the grouped result on its key column (the grouped
+    // schema is node(leaf_k, leaf_sum); key column = Right.Left in the
+    // WHERE context node(empty, node(leaf, leaf))).
+    let grouped = group_by_agg(Query::table("R"), Proj::var("k"), "SUM", Proj::var("b"));
+    let lhs = Query::where_(
+        grouped,
+        Predicate::eq(
+            Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
+            l(),
+        ),
+    );
+    // rhs: group the filtered table. The filter's context is
+    // node(Γ*, σR) for whatever Γ* the desugaring supplies, so the path
+    // Right.k is context-polymorphic.
+    let filtered = Query::where_(
+        Query::table("R"),
+        Predicate::eq(Expr::p2e(Proj::path([Proj::Right, Proj::var("k")])), l()),
+    );
+    let rhs = group_by_agg(filtered, Proj::var("k"), "SUM", Proj::var("b"));
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::prove_rule;
+
+    #[test]
+    fn aggregation_rule_proves() {
+        for rule in rules() {
+            let report = prove_rule(&rule);
+            assert!(report.proved, "{} failed: {:?}", rule.name, report.failure);
+        }
+    }
+
+    #[test]
+    fn there_is_one() {
+        assert_eq!(rules().len(), 1);
+    }
+}

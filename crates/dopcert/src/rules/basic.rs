@@ -1,0 +1,229 @@
+//! Basic rewrite rules (Sec. 5.1.1 and Fig. 1/Fig. 2): 8 rules.
+
+use crate::rule::{Category, Rule, RuleInstance, SchemaSource};
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::env::QueryEnv;
+use relalg::{BaseType, Schema};
+
+/// All eight basic rules.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "union-slct-distr",
+            category: Category::Basic,
+            description: "Fig. 1: selection distributes over UNION ALL",
+            build: union_slct_distr,
+            expected_sound: true,
+        },
+        Rule {
+            name: "conj-slct-split",
+            category: Category::Basic,
+            description: "Sec. 5.1.1: WHERE p1 AND p2 splits into nested selections",
+            build: conj_slct_split,
+            expected_sound: true,
+        },
+        Rule {
+            name: "join-commute",
+            category: Category::Basic,
+            description: "Sec. 5.1.1: commutativity of joins",
+            build: join_commute,
+            expected_sound: true,
+        },
+        Rule {
+            name: "join-assoc",
+            category: Category::Basic,
+            description: "associativity of joins",
+            build: join_assoc,
+            expected_sound: true,
+        },
+        Rule {
+            name: "self-join-dedup",
+            category: Category::Basic,
+            description: "Fig. 2: redundant self-join under DISTINCT (Q2 ≡ Q3)",
+            build: self_join_dedup,
+            expected_sound: true,
+        },
+        Rule {
+            name: "union-all-commute",
+            category: Category::Basic,
+            description: "commutativity of UNION ALL",
+            build: union_all_commute,
+            expected_sound: true,
+        },
+        Rule {
+            name: "distinct-idempotent",
+            category: Category::Basic,
+            description: "DISTINCT DISTINCT q ≡ DISTINCT q",
+            build: distinct_idempotent,
+            expected_sound: true,
+        },
+        Rule {
+            name: "where-false-empty",
+            category: Category::Basic,
+            description: "R WHERE FALSE ≡ R EXCEPT R",
+            build: where_false_empty,
+            expected_sound: true,
+        },
+    ]
+}
+
+fn union_slct_distr(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_table("S", sigma.clone())
+        .with_pred("b", Schema::node(Schema::Empty, sigma));
+    let lhs = Query::where_(
+        Query::union_all(Query::table("R"), Query::table("S")),
+        Predicate::var("b"),
+    );
+    let rhs = Query::union_all(
+        Query::where_(Query::table("R"), Predicate::var("b")),
+        Query::where_(Query::table("S"), Predicate::var("b")),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+fn conj_slct_split(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let pred_ctx = Schema::node(Schema::Empty, sigma.clone());
+    let env = QueryEnv::new()
+        .with_table("R", sigma)
+        .with_pred("b1", pred_ctx.clone())
+        .with_pred("b2", pred_ctx);
+    let lhs = Query::where_(
+        Query::table("R"),
+        Predicate::and(Predicate::var("b1"), Predicate::var("b2")),
+    );
+    let rhs = Query::where_(
+        Query::where_(Query::table("R"), Predicate::var("b1")),
+        Predicate::var("b2"),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+fn join_commute(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (sr, ss) = (src.schema("sigma_r"), src.schema("sigma_s"));
+    let env = QueryEnv::new()
+        .with_table("R", sr)
+        .with_table("S", ss);
+    let lhs = Query::product(Query::table("R"), Query::table("S"));
+    // SELECT (Right.Right, Right.Left) FROM S, R — flip the pair back.
+    let rhs = Query::select(
+        Proj::pair(
+            Proj::path([Proj::Right, Proj::Right]),
+            Proj::path([Proj::Right, Proj::Left]),
+        ),
+        Query::product(Query::table("S"), Query::table("R")),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+fn join_assoc(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (sr, ss, st) = (
+        src.schema("sigma_r"),
+        src.schema("sigma_s"),
+        src.schema("sigma_t"),
+    );
+    let env = QueryEnv::new()
+        .with_table("R", sr)
+        .with_table("S", ss)
+        .with_table("T", st);
+    let lhs = Query::product(
+        Query::product(Query::table("R"), Query::table("S")),
+        Query::table("T"),
+    );
+    // SELECT ((R, S), T) FROM R, (S, T).
+    let rhs = Query::select(
+        Proj::pair(
+            Proj::pair(
+                Proj::path([Proj::Right, Proj::Left]),
+                Proj::path([Proj::Right, Proj::Right, Proj::Left]),
+            ),
+            Proj::path([Proj::Right, Proj::Right, Proj::Right]),
+        ),
+        Query::product(
+            Query::table("R"),
+            Query::product(Query::table("S"), Query::table("T")),
+        ),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+fn self_join_dedup(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_proj("a", sigma, Schema::leaf(BaseType::Int));
+    // Q2: DISTINCT SELECT a FROM R.
+    let lhs = Query::distinct(Query::select(
+        Proj::path([Proj::Right, Proj::var("a")]),
+        Query::table("R"),
+    ));
+    // Q3: DISTINCT SELECT x.a FROM R x, R y WHERE x.a = y.a.
+    let x_a = Proj::path([Proj::Right, Proj::Left, Proj::var("a")]);
+    let y_a = Proj::path([Proj::Right, Proj::Right, Proj::var("a")]);
+    let rhs = Query::distinct(Query::select(
+        x_a.clone(),
+        Query::where_(
+            Query::product(Query::table("R"), Query::table("R")),
+            Predicate::eq(Expr::p2e(x_a), Expr::p2e(y_a)),
+        ),
+    ));
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+fn union_all_commute(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_table("S", sigma);
+    RuleInstance::plain(
+        env,
+        Query::union_all(Query::table("R"), Query::table("S")),
+        Query::union_all(Query::table("S"), Query::table("R")),
+    )
+}
+
+fn distinct_idempotent(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new().with_table("R", sigma);
+    RuleInstance::plain(
+        env,
+        Query::distinct(Query::distinct(Query::table("R"))),
+        Query::distinct(Query::table("R")),
+    )
+}
+
+fn where_false_empty(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new().with_table("R", sigma);
+    RuleInstance::plain(
+        env,
+        Query::where_(Query::table("R"), Predicate::False),
+        Query::except(Query::table("R"), Query::table("R")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::prove_rule;
+
+    #[test]
+    fn all_basic_rules_prove() {
+        for rule in rules() {
+            let report = prove_rule(&rule);
+            assert!(
+                report.proved,
+                "{} failed: {:?}",
+                rule.name, report.failure
+            );
+        }
+    }
+
+    #[test]
+    fn there_are_eight() {
+        assert_eq!(rules().len(), 8);
+    }
+}

@@ -1,0 +1,93 @@
+//! Conjunctive-query rules decided automatically (Sec. 5.2): 2 rules.
+//!
+//! Both are stated with concrete schemas (the decision procedure works on
+//! the collapsed column structure) and verified by the Chandra–Merlin
+//! procedure — the "1 line (automatic)" row of Fig. 8.
+
+use crate::rule::{Category, Rule, RuleInstance, SchemaSource};
+use hottsql::env::QueryEnv;
+use hottsql::parse::parse_query;
+use relalg::{BaseType, Schema};
+
+/// Both conjunctive-query rules.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "cq-fig10",
+            category: Category::ConjunctiveQuery,
+            description: "Sec. 5.2: the Fig. 10 equivalence, decided automatically",
+            build: cq_fig10,
+            expected_sound: true,
+        },
+        Rule {
+            name: "cq-self-join",
+            category: Category::ConjunctiveQuery,
+            description: "Q2 ≡ Q3 (Sec. 2) as a conjunctive-query decision",
+            build: cq_self_join,
+            expected_sound: true,
+        },
+    ]
+}
+
+fn two_int() -> Schema {
+    Schema::flat([BaseType::Int, BaseType::Int])
+}
+
+/// The Sec. 5.2 example over R1(c1, c2) and R2(c3).
+fn cq_fig10(_src: &mut dyn SchemaSource) -> RuleInstance {
+    let env = QueryEnv::new()
+        .with_table("R1", two_int())
+        .with_table("R2", Schema::leaf(BaseType::Int));
+    let lhs = parse_query(
+        "DISTINCT SELECT Right.Left.Left FROM R1, R2 \
+         WHERE Right.Left.Right = Right.Right",
+    )
+    .expect("lhs parses");
+    let rhs = parse_query(
+        "DISTINCT SELECT Right.Left.Left.Left FROM (R1, R1), R2 \
+         WHERE Right.Left.Left.Left = Right.Left.Right.Left \
+         AND Right.Left.Left.Right = Right.Right",
+    )
+    .expect("rhs parses");
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+/// Q2 ≡ Q3 with a concrete two-column schema.
+fn cq_self_join(_src: &mut dyn SchemaSource) -> RuleInstance {
+    let env = QueryEnv::new().with_table("R", two_int());
+    let lhs = parse_query("DISTINCT SELECT Right.Left FROM R").expect("lhs parses");
+    let rhs = parse_query(
+        "DISTINCT SELECT Right.Left.Left FROM R, R \
+         WHERE Right.Left.Left = Right.Right.Left",
+    )
+    .expect("rhs parses");
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::{decide_cq, prove_rule};
+
+    #[test]
+    fn cq_rules_decided_automatically() {
+        for rule in rules() {
+            let report = prove_rule(&rule);
+            assert!(report.proved, "{} failed: {:?}", rule.name, report.failure);
+            assert_eq!(report.steps, 1, "decision procedure is one step");
+        }
+    }
+
+    #[test]
+    fn instances_are_in_the_fragment() {
+        for rule in rules() {
+            let inst = rule.generic();
+            assert_eq!(decide_cq(&inst), Some(true), "{}", rule.name);
+        }
+    }
+
+    #[test]
+    fn there_are_two() {
+        assert_eq!(rules().len(), 2);
+    }
+}

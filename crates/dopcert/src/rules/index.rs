@@ -1,0 +1,199 @@
+//! Index rewrite rules (Sec. 5.1.4): 3 rules.
+//!
+//! An index on attribute `a` of relation `R` with key `k` is the logical
+//! relation `I := SELECT k, a FROM R` (Sec. 4.2, after Tsatalos et al.).
+//! The rules inline `I`'s definition; the first and third are only valid
+//! under the key constraint, which enters the proof as a
+//! [`RelAxiom::Key`] axiom and the instance generator as a
+//! [`InstanceConstraint::KeyedByFirst`] constraint.
+
+use crate::rule::{Category, InstanceConstraint, Rule, RuleInstance, SchemaSource};
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::env::QueryEnv;
+use relalg::{BaseType, Schema};
+use uninomial::axioms::RelAxiom;
+
+/// All three index rules.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "index-scan-to-lookup",
+            category: Category::Index,
+            description: "Sec. 5.1.4: full scan with filter becomes index lookup + join",
+            build: index_scan_to_lookup,
+            expected_sound: true,
+        },
+        Rule {
+            name: "index-only-scan",
+            category: Category::Index,
+            description: "a (k, a)-projection with filter is answered by the index alone",
+            build: index_only_scan,
+            expected_sound: true,
+        },
+        Rule {
+            name: "key-self-join",
+            category: Category::Index,
+            description: "Sec. 4.2: self-join on a key is the identity",
+            build: key_self_join,
+            expected_sound: true,
+        },
+    ]
+}
+
+fn keyed_env(src: &mut dyn SchemaSource) -> (QueryEnv, Schema) {
+    let sigma = src.keyed_schema("sigma_r");
+    let leaf = Schema::leaf(BaseType::Int);
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_proj("k", sigma.clone(), leaf.clone())
+        .with_proj("a", sigma.clone(), leaf)
+        .with_fn("l", BaseType::Int);
+    (env, sigma)
+}
+
+fn key_axiom() -> Vec<RelAxiom> {
+    vec![RelAxiom::Key {
+        rel: "R".into(),
+        key_fn: "k".into(),
+    }]
+}
+
+fn key_constraint() -> Vec<InstanceConstraint> {
+    vec![InstanceConstraint::KeyedByFirst {
+        table: "R".into(),
+        key_proj: "k".into(),
+    }]
+}
+
+/// The index as a query: `I = SELECT (k, a) FROM R`.
+fn index_query() -> Query {
+    Query::select(
+        Proj::pair(
+            Proj::path([Proj::Right, Proj::var("k")]),
+            Proj::path([Proj::Right, Proj::var("a")]),
+        ),
+        Query::table("R"),
+    )
+}
+
+/// `SELECT * FROM R WHERE a = l`
+/// ≡ `SELECT R.* FROM I, R WHERE I.a = l AND I.k = R.k`.
+fn index_scan_to_lookup(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, _) = keyed_env(src);
+    let l = Expr::func("l", vec![]);
+    let lhs = Query::where_(
+        Query::table("R"),
+        Predicate::eq(
+            Expr::p2e(Proj::path([Proj::Right, Proj::var("a")])),
+            l.clone(),
+        ),
+    );
+    // Context of the join predicate: node(empty, node σI σR) with
+    // σI = node(leaf, leaf).
+    let rhs = Query::select(
+        Proj::path([Proj::Right, Proj::Right]),
+        Query::where_(
+            Query::product(index_query(), Query::table("R")),
+            Predicate::and(
+                Predicate::eq(
+                    Expr::p2e(Proj::path([Proj::Right, Proj::Left, Proj::Right])),
+                    l,
+                ),
+                Predicate::eq(
+                    Expr::p2e(Proj::path([Proj::Right, Proj::Left, Proj::Left])),
+                    Expr::p2e(Proj::path([Proj::Right, Proj::Right, Proj::var("k")])),
+                ),
+            ),
+        ),
+    );
+    RuleInstance {
+        env,
+        lhs,
+        rhs,
+        axioms: key_axiom(),
+        constraints: key_constraint(),
+    }
+}
+
+/// `SELECT (k, a) FROM R WHERE a = l ≡ SELECT * FROM I WHERE I.a = l`.
+/// (No key constraint needed: the index is exactly the projection.)
+fn index_only_scan(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, _) = keyed_env(src);
+    let l = Expr::func("l", vec![]);
+    let lhs = Query::select(
+        Proj::pair(
+            Proj::path([Proj::Right, Proj::var("k")]),
+            Proj::path([Proj::Right, Proj::var("a")]),
+        ),
+        Query::where_(
+            Query::table("R"),
+            Predicate::eq(
+                Expr::p2e(Proj::path([Proj::Right, Proj::var("a")])),
+                l.clone(),
+            ),
+        ),
+    );
+    let rhs = Query::where_(
+        index_query(),
+        Predicate::eq(Expr::p2e(Proj::path([Proj::Right, Proj::Right])), l),
+    );
+    RuleInstance {
+        env,
+        lhs,
+        rhs,
+        axioms: Vec::new(),
+        constraints: Vec::new(),
+    }
+}
+
+/// `SELECT Left FROM R, R WHERE k(x) = k(y) ≡ SELECT * FROM R`
+/// — the semantic key definition of Sec. 4.2, usable as a rewrite.
+fn key_self_join(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, _) = keyed_env(src);
+    let lhs = Query::select(
+        Proj::path([Proj::Right, Proj::Left]),
+        Query::where_(
+            Query::product(Query::table("R"), Query::table("R")),
+            Predicate::eq(
+                Expr::p2e(Proj::path([Proj::Right, Proj::Left, Proj::var("k")])),
+                Expr::p2e(Proj::path([Proj::Right, Proj::Right, Proj::var("k")])),
+            ),
+        ),
+    );
+    let rhs = Query::table("R");
+    RuleInstance {
+        env,
+        lhs,
+        rhs,
+        axioms: key_axiom(),
+        constraints: key_constraint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::prove_rule;
+
+    #[test]
+    fn index_rules_prove() {
+        for rule in rules() {
+            let report = prove_rule(&rule);
+            assert!(report.proved, "{} failed: {:?}", rule.name, report.failure);
+        }
+    }
+
+    #[test]
+    fn key_rules_carry_axiom_and_constraint() {
+        let rs = rules();
+        let scan = rs.iter().find(|r| r.name == "index-scan-to-lookup").unwrap();
+        let inst = scan.generic();
+        assert_eq!(inst.axioms.len(), 1);
+        assert_eq!(inst.constraints.len(), 1);
+    }
+
+    #[test]
+    fn there_are_three() {
+        assert_eq!(rules().len(), 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Magic-set (semijoin) rewrite rules (Sec. 5.1.3): 7 rules.
+//!
+//! Magic-set rewrites are composed from semijoin-algebra identities; the
+//! paper proves the three generators (introduction of θ-semijoin, pushing
+//! θ-semijoin through join, pushing θ-semijoin through aggregation) and
+//! additional structural laws. `A SEMIJOIN B ON θ` abbreviates
+//! `SELECT * FROM A WHERE EXISTS (SELECT * FROM B WHERE θ)`.
+
+use crate::rule::{Category, Rule, RuleInstance, SchemaSource};
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::desugar::{group_by_agg, semijoin};
+use hottsql::env::QueryEnv;
+use relalg::{BaseType, Schema};
+
+/// All seven magic-set rules.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "semijoin-intro",
+            category: Category::MagicSet,
+            description: "Sec. 5.1.3: introduction of θ-semijoin",
+            build: semijoin_intro,
+            expected_sound: true,
+        },
+        Rule {
+            name: "semijoin-push-join",
+            category: Category::MagicSet,
+            description: "Sec. 5.1.3: pushing θ-semijoin through join",
+            build: semijoin_push_join,
+            expected_sound: true,
+        },
+        Rule {
+            name: "semijoin-push-agg",
+            category: Category::MagicSet,
+            description: "Sec. 5.1.3: pushing θ-semijoin through aggregation",
+            build: semijoin_push_agg,
+            expected_sound: true,
+        },
+        Rule {
+            name: "semijoin-idempotent",
+            category: Category::MagicSet,
+            description: "(A ⋉θ B) ⋉θ B ≡ A ⋉θ B",
+            build: semijoin_idempotent,
+            expected_sound: true,
+        },
+        Rule {
+            name: "semijoin-filter-commute",
+            category: Category::MagicSet,
+            description: "(A WHERE p) ⋉θ B ≡ (A ⋉θ B) WHERE p",
+            build: semijoin_filter_commute,
+            expected_sound: true,
+        },
+        Rule {
+            name: "semijoin-union-distr",
+            category: Category::MagicSet,
+            description: "(A ∪ B) ⋉θ C ≡ (A ⋉θ C) ∪ (B ⋉θ C)",
+            build: semijoin_union_distr,
+            expected_sound: true,
+        },
+        Rule {
+            name: "semijoin-distinct-commute",
+            category: Category::MagicSet,
+            description: "DISTINCT(A) ⋉θ B ≡ DISTINCT(A ⋉θ B)",
+            build: semijoin_distinct_commute,
+            expected_sound: true,
+        },
+    ]
+}
+
+/// Context projection from `node (node Γ σ₂) σ₁` (the semijoin θ
+/// context) to `node Γ (node σ₂ σ₁)` (the join θ context) — the explicit
+/// CASTPRED the paper advertises (Sec. 3.3).
+fn semijoin_to_join_cast() -> Proj {
+    Proj::pair(
+        Proj::path([Proj::Left, Proj::Left]),
+        Proj::pair(Proj::path([Proj::Left, Proj::Right]), Proj::Right),
+    )
+}
+
+/// `SELECT * FROM R2, R1 WHERE θ ≡ SELECT * FROM (R2 ⋉θ R1), R1 WHERE θ`.
+fn semijoin_intro(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (s1, s2) = (src.schema("sigma1"), src.schema("sigma2"));
+    // θ over the join context: node(empty, node σ2 σ1).
+    let theta_ctx = Schema::node(Schema::Empty, Schema::node(s2.clone(), s1.clone()));
+    let env = QueryEnv::new()
+        .with_table("R1", s1)
+        .with_table("R2", s2)
+        .with_pred("theta", theta_ctx);
+    let lhs = Query::where_(
+        Query::product(Query::table("R2"), Query::table("R1")),
+        Predicate::var("theta"),
+    );
+    let semi = semijoin(
+        Query::table("R2"),
+        Query::table("R1"),
+        Predicate::cast(semijoin_to_join_cast(), Predicate::var("theta")),
+    );
+    let rhs = Query::where_(
+        Query::product(semi, Query::table("R1")),
+        Predicate::var("theta"),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+/// `(R1 ⋈θ1 R2) ⋉θ2 R3 ≡ (R1 ⋈θ1 R2′) ⋉θ2 R3`
+/// where `R2′ = R2 ⋉(θ1 ∧ θ2) (R1 ⋈ R3)`.
+fn semijoin_push_join(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (s1, s2, s3) = (
+        src.schema("sigma1"),
+        src.schema("sigma2"),
+        src.schema("sigma3"),
+    );
+    let join12 = Schema::node(s1.clone(), s2.clone());
+    // θ1 over node(empty, node σ1 σ2); θ2 over node(node(empty, node σ1 σ2), σ3).
+    let theta1_ctx = Schema::node(Schema::Empty, join12.clone());
+    let theta2_ctx = Schema::node(theta1_ctx.clone(), s3.clone());
+    let env = QueryEnv::new()
+        .with_table("R1", s1)
+        .with_table("R2", s2)
+        .with_table("R3", s3)
+        .with_pred("theta1", theta1_ctx)
+        .with_pred("theta2", theta2_ctx);
+    let join = |r2: Query| {
+        Query::where_(
+            Query::product(Query::table("R1"), r2),
+            Predicate::var("theta1"),
+        )
+    };
+    let lhs = semijoin(
+        join(Query::table("R2")),
+        Query::table("R3"),
+        Predicate::var("theta2"),
+    );
+    // R2′ = R2 ⋉ (R1 ⋈ R3) on θ1 ∧ θ2, with both predicates re-targeted
+    // from the context node(node(empty, σ2), node σ1 σ3).
+    //   θ1 wants node(empty, node σ1 σ2):
+    let p1 = Proj::pair(
+        Proj::path([Proj::Left, Proj::Left]),
+        Proj::pair(
+            Proj::path([Proj::Right, Proj::Left]),
+            Proj::path([Proj::Left, Proj::Right]),
+        ),
+    );
+    //   θ2 wants node(node(empty, node σ1 σ2), σ3):
+    let p2 = Proj::pair(
+        Proj::pair(
+            Proj::path([Proj::Left, Proj::Left]),
+            Proj::pair(
+                Proj::path([Proj::Right, Proj::Left]),
+                Proj::path([Proj::Left, Proj::Right]),
+            ),
+        ),
+        Proj::path([Proj::Right, Proj::Right]),
+    );
+    let r2_prime = semijoin(
+        Query::table("R2"),
+        Query::product(Query::table("R1"), Query::table("R3")),
+        Predicate::and(
+            Predicate::cast(p1, Predicate::var("theta1")),
+            Predicate::cast(p2, Predicate::var("theta2")),
+        ),
+    );
+    let rhs = semijoin(join(r2_prime), Query::table("R3"), Predicate::var("theta2"));
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+/// `(GROUP BY c1 COUNT) (R1) ⋉(c1=c2) R2
+///  ≡ (GROUP BY c1 COUNT) (R1 ⋉(c1=c2) R2)` (Sec. 5.1.3, third rule).
+fn semijoin_push_agg(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (s1, s2) = (src.schema("sigma1"), src.schema("sigma2"));
+    let leaf = Schema::leaf(BaseType::Int);
+    let env = QueryEnv::new()
+        .with_table("R1", s1.clone())
+        .with_table("R2", s2.clone())
+        .with_proj("c1", s1.clone(), leaf.clone())
+        .with_proj("c2", s2, leaf)
+        // The aggregated attribute of R1 (COUNT's input column).
+        .with_proj("a_any", s1, Schema::leaf(BaseType::Int));
+    let grouped = |table: Query| {
+        group_by_agg(table, Proj::var("c1"), "COUNT", Proj::var("a_any"))
+    };
+    // θ on the grouped side: context node(node(empty, node(key, int)), σ2):
+    // compare the group key (Left.Right.Left) with c2 of R2 (Right.c2).
+    let theta_grouped = Predicate::eq(
+        Expr::p2e(Proj::path([Proj::Left, Proj::Right, Proj::Left])),
+        Expr::p2e(Proj::path([Proj::Right, Proj::var("c2")])),
+    );
+    // θ on the raw side: context node(node(Γ, σ1), σ2): compare c1 of the
+    // R1 tuple with c2 of R2.
+    let theta_raw = Predicate::eq(
+        Expr::p2e(Proj::path([Proj::Left, Proj::Right, Proj::var("c1")])),
+        Expr::p2e(Proj::path([Proj::Right, Proj::var("c2")])),
+    );
+    let lhs = semijoin(grouped(Query::table("R1")), Query::table("R2"), theta_grouped);
+    let rhs = grouped(semijoin(Query::table("R1"), Query::table("R2"), theta_raw));
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+fn theta_env(src: &mut dyn SchemaSource) -> (QueryEnv, Schema, Schema) {
+    let (sa, sb) = (src.schema("sigma_a"), src.schema("sigma_b"));
+    let theta_ctx = Schema::node(Schema::node(Schema::Empty, sa.clone()), sb.clone());
+    let env = QueryEnv::new()
+        .with_table("A", sa.clone())
+        .with_table("B", sb.clone())
+        .with_pred("theta", theta_ctx);
+    (env, sa, sb)
+}
+
+/// `(A ⋉θ B) ⋉θ B ≡ A ⋉θ B`.
+fn semijoin_idempotent(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, _, _) = theta_env(src);
+    let once = semijoin(Query::table("A"), Query::table("B"), Predicate::var("theta"));
+    let twice = semijoin(once.clone(), Query::table("B"), Predicate::var("theta"));
+    RuleInstance::plain(env, twice, once)
+}
+
+/// `(A WHERE p) ⋉θ B ≡ (A ⋉θ B) WHERE p`.
+fn semijoin_filter_commute(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, sa, _) = theta_env(src);
+    let env = env.with_pred("p", Schema::node(Schema::Empty, sa));
+    let lhs = semijoin(
+        Query::where_(Query::table("A"), Predicate::var("p")),
+        Query::table("B"),
+        Predicate::var("theta"),
+    );
+    let rhs = Query::where_(
+        semijoin(Query::table("A"), Query::table("B"), Predicate::var("theta")),
+        Predicate::var("p"),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+/// `(A ∪ A′) ⋉θ B ≡ (A ⋉θ B) ∪ (A′ ⋉θ B)`.
+fn semijoin_union_distr(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, sa, _) = theta_env(src);
+    let env = env.with_table("A2", sa);
+    let lhs = semijoin(
+        Query::union_all(Query::table("A"), Query::table("A2")),
+        Query::table("B"),
+        Predicate::var("theta"),
+    );
+    let rhs = Query::union_all(
+        semijoin(Query::table("A"), Query::table("B"), Predicate::var("theta")),
+        semijoin(Query::table("A2"), Query::table("B"), Predicate::var("theta")),
+    );
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+/// `DISTINCT(A) ⋉θ B ≡ DISTINCT(A ⋉θ B)`.
+fn semijoin_distinct_commute(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (env, _, _) = theta_env(src);
+    let lhs = semijoin(
+        Query::distinct(Query::table("A")),
+        Query::table("B"),
+        Predicate::var("theta"),
+    );
+    let rhs = Query::distinct(semijoin(
+        Query::table("A"),
+        Query::table("B"),
+        Predicate::var("theta"),
+    ));
+    RuleInstance::plain(env, lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::prove_rule;
+
+    #[test]
+    fn magic_set_rules_prove() {
+        for rule in rules() {
+            let report = prove_rule(&rule);
+            assert!(report.proved, "{} failed: {:?}", rule.name, report.failure);
+        }
+    }
+
+    #[test]
+    fn there_are_seven() {
+        assert_eq!(rules().len(), 7);
+    }
+}

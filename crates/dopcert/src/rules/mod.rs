@@ -1,0 +1,10 @@
+//! The rewrite-rule catalog, organized by Fig. 8 category.
+
+pub mod aggregation;
+pub mod basic;
+pub mod cq_rules;
+pub mod extensions;
+pub mod index;
+pub mod magic;
+pub mod subquery;
+pub mod wrong;

@@ -1,0 +1,163 @@
+//! Known-unsound rewrite rules that the system must *reject*.
+//!
+//! The paper's motivation (Sec. 1) is that plausible-looking rewrites
+//! ship in production optimizers and silently corrupt results
+//! (PostgreSQL bug #5673, MySQL bug #70038). Each rule here is a
+//! documented mistake: the prover must fail on it, and the differential
+//! tester must produce a concrete counterexample instance.
+
+use crate::rule::{Category, Rule, RuleInstance, SchemaSource};
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::env::QueryEnv;
+use relalg::{BaseType, Schema};
+
+/// All rejected rules.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "wrong-distinct-union",
+            category: Category::Unsound,
+            description: "DISTINCT(R ∪ S) ≠ DISTINCT R ∪ DISTINCT S under bags",
+            build: wrong_distinct_union,
+            expected_sound: false,
+        },
+        Rule {
+            name: "wrong-except-restore",
+            category: Category::Unsound,
+            description: "(R EXCEPT S) ∪ S ≠ R",
+            build: wrong_except_restore,
+            expected_sound: false,
+        },
+        Rule {
+            name: "wrong-three-valued-em",
+            category: Category::Unsound,
+            description: "Sec. 7: excluded middle fails under three-valued logic",
+            build: wrong_three_valued_em,
+            expected_sound: false,
+        },
+        Rule {
+            name: "wrong-project-distinct-swap",
+            category: Category::Unsound,
+            description: "DISTINCT(SELECT a R) ≠ SELECT a (DISTINCT R) (MySQL #70038 family)",
+            build: wrong_project_distinct_swap,
+            expected_sound: false,
+        },
+        Rule {
+            name: "wrong-join-union-typo",
+            category: Category::Unsound,
+            description: "R × (S ∪ T) ≠ (R × S) ∪ (R × S) — a one-character typo",
+            build: wrong_join_union_typo,
+            expected_sound: false,
+        },
+    ]
+}
+
+fn wrong_distinct_union(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_table("S", sigma);
+    RuleInstance::plain(
+        env,
+        Query::distinct(Query::union_all(Query::table("R"), Query::table("S"))),
+        Query::union_all(
+            Query::distinct(Query::table("R")),
+            Query::distinct(Query::table("S")),
+        ),
+    )
+}
+
+fn wrong_except_restore(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_table("S", sigma);
+    RuleInstance::plain(
+        env,
+        Query::union_all(
+            Query::except(Query::table("R"), Query::table("S")),
+            Query::table("S"),
+        ),
+        Query::table("R"),
+    )
+}
+
+/// `SELECT * FROM R WHERE istrue(eq3(a, l)) OR istrue(not3(eq3(a, l)))`
+/// vs `SELECT * FROM R`: with `eq3`/`not3`/`istrue` modeling SQL's
+/// three-valued comparison (Sec. 7), a NULL-ish value makes both branches
+/// non-true and the row is dropped from the left side only.
+fn wrong_three_valued_em(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_proj("a", sigma, Schema::leaf(BaseType::Int))
+        .with_fn("eq3", BaseType::Int)
+        .with_fn("not3", BaseType::Int)
+        .with_fn("l", BaseType::Int)
+        .with_upred("istrue", 1);
+    let a = || Expr::p2e(Proj::path([Proj::Right, Proj::var("a")]));
+    let eq3 = Expr::func("eq3", vec![a(), Expr::func("l", vec![])]);
+    let lhs = Query::where_(
+        Query::table("R"),
+        Predicate::or(
+            Predicate::uninterp("istrue", vec![eq3.clone()]),
+            Predicate::uninterp("istrue", vec![Expr::func("not3", vec![eq3])]),
+        ),
+    );
+    RuleInstance::plain(env, lhs, Query::table("R"))
+}
+
+fn wrong_project_distinct_swap(src: &mut dyn SchemaSource) -> RuleInstance {
+    let sigma = src.schema("sigma");
+    let env = QueryEnv::new()
+        .with_table("R", sigma.clone())
+        .with_proj("a", sigma, Schema::leaf(BaseType::Int));
+    let a = Proj::path([Proj::Right, Proj::var("a")]);
+    RuleInstance::plain(
+        env,
+        Query::distinct(Query::select(a.clone(), Query::table("R"))),
+        Query::select(a, Query::distinct(Query::table("R"))),
+    )
+}
+
+fn wrong_join_union_typo(src: &mut dyn SchemaSource) -> RuleInstance {
+    let (sr, ss) = (src.schema("sigma_r"), src.schema("sigma_s"));
+    let env = QueryEnv::new()
+        .with_table("R", sr)
+        .with_table("S", ss.clone())
+        .with_table("T", ss);
+    RuleInstance::plain(
+        env,
+        Query::product(
+            Query::table("R"),
+            Query::union_all(Query::table("S"), Query::table("T")),
+        ),
+        Query::union_all(
+            Query::product(Query::table("R"), Query::table("S")),
+            Query::product(Query::table("R"), Query::table("S")),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::prove_rule;
+
+    #[test]
+    fn wrong_rules_are_rejected_by_the_prover() {
+        for rule in rules() {
+            let report = prove_rule(&rule);
+            assert!(
+                !report.proved,
+                "{} must NOT prove, but did",
+                rule.name
+            );
+        }
+    }
+
+    #[test]
+    fn there_are_five() {
+        assert_eq!(rules().len(), 5);
+    }
+}

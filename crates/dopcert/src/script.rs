@@ -1,0 +1,359 @@
+//! The DOPCERT script language: a small declarative front end for
+//! checking query pairs, in the spirit of the Cosette web tool the
+//! paper's artifact shipped (<http://dopcert.cs.washington.edu>).
+//!
+//! A script declares tables and poses verification goals:
+//!
+//! ```text
+//! -- comments run to end of line
+//! table R(int, int);
+//! table S(int);
+//!
+//! verify SELECT Right.Left FROM R
+//!     == SELECT Right.Left FROM R;
+//!
+//! refute DISTINCT (R UNION ALL R) == R;   -- expect a counterexample
+//! ```
+//!
+//! Each `verify` goal is checked with the full pipeline: conjunctive-
+//! query decision procedure first, then denotation + tactics; on failure
+//! a counterexample search runs. `refute` goals assert the pair is
+//! *inequivalent* and must produce a counterexample.
+
+use crate::difftest::{differential_test, DiffOutcome};
+use crate::prove::{decide_cq, prove_instance, VerifyMethod};
+use crate::rule::RuleInstance;
+use hottsql::ast::Query;
+use hottsql::env::QueryEnv;
+use hottsql::error::HottsqlError;
+use hottsql::parse::parse_query;
+use relalg::{BaseType, Schema};
+use std::fmt;
+
+/// A parsed script.
+#[derive(Clone, Debug, Default)]
+pub struct Script {
+    /// Declared tables.
+    pub env: QueryEnv,
+    /// Goals in declaration order.
+    pub goals: Vec<Goal>,
+}
+
+/// One goal.
+#[derive(Clone, Debug)]
+pub struct Goal {
+    /// `verify` (must be equivalent) or `refute` (must differ).
+    pub expect_equivalent: bool,
+    /// Left query.
+    pub lhs: Query,
+    /// Right query.
+    pub rhs: Query,
+}
+
+/// Result of checking one goal.
+#[derive(Clone, Debug)]
+pub enum GoalOutcome {
+    /// Proved equivalent.
+    Proved {
+        /// Which prover closed it.
+        method: VerifyMethod,
+        /// Proof-trace length.
+        steps: usize,
+    },
+    /// Refuted with a counterexample.
+    Refuted {
+        /// Rendered counterexample.
+        counterexample: String,
+    },
+    /// Neither proved nor refuted (equivalence is undecidable in
+    /// general — Fig. 9 last row).
+    Unknown {
+        /// The prover's diagnostics.
+        diagnostics: String,
+    },
+}
+
+impl GoalOutcome {
+    /// Whether the outcome satisfies the goal's expectation.
+    pub fn satisfies(&self, expect_equivalent: bool) -> bool {
+        match self {
+            GoalOutcome::Proved { .. } => expect_equivalent,
+            GoalOutcome::Refuted { .. } => !expect_equivalent,
+            GoalOutcome::Unknown { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for GoalOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoalOutcome::Proved { method, steps } => {
+                write!(f, "proved by {method} in {steps} steps")
+            }
+            GoalOutcome::Refuted { counterexample } => {
+                write!(f, "refuted: {counterexample}")
+            }
+            GoalOutcome::Unknown { diagnostics } => write!(f, "unknown: {diagnostics}"),
+        }
+    }
+}
+
+/// Parses a script.
+///
+/// # Errors
+///
+/// Returns a [`HottsqlError::Parse`] describing the first problem.
+pub fn parse_script(input: &str) -> Result<Script, HottsqlError> {
+    let mut script = Script::default();
+    // Strip comments.
+    let cleaned: String = input
+        .lines()
+        .map(|l| l.split("--").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (i, stmt) in cleaned.split(';').enumerate() {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("table") {
+            let (name, cols) = parse_table_decl(rest).map_err(|m| HottsqlError::Parse {
+                message: format!("statement {}: {m}", i + 1),
+                offset: 0,
+            })?;
+            script.env = script.env.with_table(name, Schema::flat(cols));
+        } else if let Some(rest) = stmt
+            .strip_prefix("verify")
+            .map(|r| (true, r))
+            .or_else(|| stmt.strip_prefix("refute").map(|r| (false, r)))
+        {
+            let (expect_equivalent, body) = rest;
+            let Some((l, r)) = body.split_once("==") else {
+                return Err(HottsqlError::Parse {
+                    message: format!("statement {}: goal needs `==`", i + 1),
+                    offset: 0,
+                });
+            };
+            script.goals.push(Goal {
+                expect_equivalent,
+                lhs: parse_query(l.trim())?,
+                rhs: parse_query(r.trim())?,
+            });
+        } else {
+            return Err(HottsqlError::Parse {
+                message: format!(
+                    "statement {}: expected `table`, `verify`, or `refute`",
+                    i + 1
+                ),
+                offset: 0,
+            });
+        }
+    }
+    Ok(script)
+}
+
+fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>), String> {
+    let rest = rest.trim();
+    let open = rest.find('(').ok_or("missing ( in table declaration")?;
+    let close = rest.rfind(')').ok_or("missing ) in table declaration")?;
+    let name = rest[..open].trim();
+    if name.is_empty() {
+        return Err("missing table name".into());
+    }
+    let mut cols = Vec::new();
+    for c in rest[open + 1..close].split(',') {
+        match c.trim() {
+            "int" => cols.push(BaseType::Int),
+            "bool" => cols.push(BaseType::Bool),
+            "string" => cols.push(BaseType::Str),
+            other => return Err(format!("unknown column type {other:?}")),
+        }
+    }
+    if cols.is_empty() {
+        return Err("table needs at least one column".into());
+    }
+    Ok((name.to_owned(), cols))
+}
+
+/// Checks one goal with the full pipeline.
+pub fn check_goal(env: &QueryEnv, goal: &Goal) -> GoalOutcome {
+    let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
+    // 1. Decision procedure for the conjunctive fragment.
+    if let Some(decided) = decide_cq(&inst) {
+        if decided {
+            return GoalOutcome::Proved {
+                method: VerifyMethod::CqDecision,
+                steps: 1,
+            };
+        }
+        // CQ-decidable and NOT equivalent: hunt a witness instance.
+        if let Some(cex) = hunt_counterexample(env, goal) {
+            return GoalOutcome::Refuted {
+                counterexample: cex,
+            };
+        }
+        return GoalOutcome::Unknown {
+            diagnostics: "decision procedure says inequivalent, \
+                          but no small counterexample found"
+                .into(),
+        };
+    }
+    // 2. General prover.
+    match prove_instance(&inst) {
+        Ok((method, steps)) => GoalOutcome::Proved {
+            method: VerifyMethod::Tactic(method),
+            steps,
+        },
+        Err(diag) => match hunt_counterexample(env, goal) {
+            Some(cex) => GoalOutcome::Refuted {
+                counterexample: cex,
+            },
+            None => GoalOutcome::Unknown { diagnostics: diag },
+        },
+    }
+}
+
+/// Random-instance counterexample search (script schemas are concrete,
+/// so instances are built directly from the environment).
+fn hunt_counterexample(env: &QueryEnv, goal: &Goal) -> Option<String> {
+    let rule_inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
+    for seed in 0..400u64 {
+        let instance = crate::difftest::build_instance(&rule_inst, seed);
+        let l = hottsql::eval::eval_query(
+            &goal.lhs,
+            env,
+            &instance,
+            &Schema::Empty,
+            &relalg::Tuple::Unit,
+        )
+        .ok()?;
+        let r = hottsql::eval::eval_query(
+            &goal.rhs,
+            env,
+            &instance,
+            &Schema::Empty,
+            &relalg::Tuple::Unit,
+        )
+        .ok()?;
+        if !l.bag_eq(&r) {
+            let tables: Vec<String> = instance
+                .tables
+                .iter()
+                .map(|(n, rel)| format!("{n} = {rel:?}"))
+                .collect();
+            return Some(format!(
+                "on {} the sides give {l:?} vs {r:?}",
+                tables.join(", ")
+            ));
+        }
+    }
+    None
+}
+
+/// Runs a whole script; returns per-goal outcomes.
+pub fn run_script(script: &Script) -> Vec<GoalOutcome> {
+    script
+        .goals
+        .iter()
+        .map(|g| check_goal(&script.env, g))
+        .collect()
+}
+
+/// Convenience: run all built-in catalog rules as if they were a script
+/// (used by the CLI's `--catalog` mode).
+pub fn run_catalog() -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    for rule in crate::catalog::all_rules() {
+        let report = crate::prove::prove_rule(&rule);
+        let ok = report.proved == rule.expected_sound
+            || (!rule.expected_sound
+                && matches!(
+                    differential_test(&rule, 200, 0xC11),
+                    DiffOutcome::Refuted(_)
+                ));
+        out.push((rule.name.to_owned(), ok));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "\
+-- the Sec. 2 example
+table R(int, int);
+
+verify DISTINCT SELECT Right.Left FROM R
+    == DISTINCT SELECT Right.Left.Left FROM R, R
+       WHERE Right.Left.Left = Right.Right.Left;
+
+refute DISTINCT SELECT Right.Left FROM R
+    == SELECT Right.Left FROM R;
+";
+
+    #[test]
+    fn parses_tables_and_goals() {
+        let s = parse_script(SCRIPT).unwrap();
+        assert!(s.env.table("R").is_some());
+        assert_eq!(s.goals.len(), 2);
+        assert!(s.goals[0].expect_equivalent);
+        assert!(!s.goals[1].expect_equivalent);
+    }
+
+    #[test]
+    fn runs_the_sec2_script() {
+        let s = parse_script(SCRIPT).unwrap();
+        let outcomes = run_script(&s);
+        assert!(
+            matches!(outcomes[0], GoalOutcome::Proved { .. }),
+            "{}",
+            outcomes[0]
+        );
+        assert!(
+            matches!(outcomes[1], GoalOutcome::Refuted { .. }),
+            "{}",
+            outcomes[1]
+        );
+        assert!(outcomes[0].satisfies(true));
+        assert!(outcomes[1].satisfies(false));
+    }
+
+    #[test]
+    fn general_prover_reached_for_non_cq_goals() {
+        let s = parse_script(
+            "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);",
+        )
+        .unwrap();
+        let outcomes = run_script(&s);
+        match &outcomes[0] {
+            GoalOutcome::Proved { method, .. } => {
+                assert!(matches!(method, VerifyMethod::Tactic(_)));
+            }
+            other => panic!("expected tactic proof, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_for_unprovable_but_true_goals_is_honest() {
+        // Two different tables: inequivalent; refuted by search.
+        let s = parse_script("table R(int);\ntable S(int);\nrefute R == S;").unwrap();
+        let outcomes = run_script(&s);
+        assert!(outcomes[0].satisfies(false), "{}", outcomes[0]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_script("tble R(int);").is_err());
+        assert!(parse_script("table R();").is_err());
+        assert!(parse_script("table R(int); verify R;").is_err());
+        assert!(parse_script("table R(float);").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let s = parse_script("-- nothing\n  \ntable R(int); -- trailing\n").unwrap();
+        assert_eq!(s.goals.len(), 0);
+        assert!(s.env.table("R").is_some());
+    }
+}

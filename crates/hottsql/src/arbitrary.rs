@@ -1,0 +1,253 @@
+//! Random query generation for property-based testing.
+//!
+//! Generates well-typed closed HoTTSQL queries over a set of declared
+//! tables. Used by the cross-semantics property tests (the operational
+//! evaluator of [`crate::eval`] must agree with the denotational
+//! semantics of [`crate::denote`] evaluated symbolically, and with the
+//! list-semantics baseline).
+
+use crate::ast::{Expr, Predicate, Proj, Query};
+use crate::env::QueryEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relalg::{BaseType, Schema};
+
+/// A deterministic, seedable generator of well-typed queries.
+#[derive(Debug)]
+pub struct QueryGen {
+    rng: StdRng,
+    tables: Vec<(String, Schema)>,
+    env: QueryEnv,
+}
+
+impl QueryGen {
+    /// Creates a generator over the given tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty.
+    pub fn new(seed: u64, tables: Vec<(String, Schema)>) -> QueryGen {
+        assert!(!tables.is_empty(), "need at least one table");
+        let mut env = QueryEnv::new();
+        for (n, s) in &tables {
+            env = env.with_table(n.clone(), s.clone());
+        }
+        QueryGen {
+            rng: StdRng::seed_from_u64(seed),
+            tables,
+            env,
+        }
+    }
+
+    /// The environment declaring the generator's tables.
+    pub fn env(&self) -> &QueryEnv {
+        &self.env
+    }
+
+    /// Generates a random closed query and its output schema.
+    pub fn query(&mut self) -> (Query, Schema) {
+        let depth = self.rng.gen_range(1..=3);
+        self.query_at(depth)
+    }
+
+    fn base_table(&mut self) -> (Query, Schema) {
+        let (n, s) = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
+        (Query::table(n), s)
+    }
+
+    fn query_at(&mut self, depth: usize) -> (Query, Schema) {
+        if depth == 0 {
+            return self.base_table();
+        }
+        match self.rng.gen_range(0..7) {
+            0 => self.base_table(),
+            1 => {
+                // Product.
+                let (a, sa) = self.query_at(depth - 1);
+                let (b, sb) = self.query_at(depth - 1);
+                (Query::product(a, b), Schema::node(sa, sb))
+            }
+            2 => {
+                // Where with a random predicate.
+                let (q, s) = self.query_at(depth - 1);
+                let ctx = Schema::node(Schema::Empty, s.clone());
+                let b = self.pred(&ctx, 2);
+                (Query::where_(q, b), s)
+            }
+            3 => {
+                // Union / except of structurally related operands.
+                let (q, s) = self.query_at(depth - 1);
+                let ctx = Schema::node(Schema::Empty, s.clone());
+                let filtered = Query::where_(q.clone(), self.pred(&ctx, 1));
+                if self.rng.gen_bool(0.5) {
+                    (Query::union_all(q, filtered), s)
+                } else {
+                    (Query::except(q, filtered), s)
+                }
+            }
+            4 => {
+                // Distinct.
+                let (q, s) = self.query_at(depth - 1);
+                (Query::distinct(q), s)
+            }
+            5 => {
+                // Select a random sub-projection.
+                let (q, s) = self.query_at(depth - 1);
+                let ctx = Schema::node(Schema::Empty, s);
+                let (p, out) = self.proj(&ctx);
+                (Query::select(p, q), out)
+            }
+            _ => {
+                // Select a pair of sub-projections.
+                let (q, s) = self.query_at(depth - 1);
+                let ctx = Schema::node(Schema::Empty, s);
+                let (p1, o1) = self.proj(&ctx);
+                let (p2, o2) = self.proj(&ctx);
+                (
+                    Query::select(Proj::pair(p1, p2), q),
+                    Schema::node(o1, o2),
+                )
+            }
+        }
+    }
+
+    /// A random path to a subtree of `from`, returned with its schema.
+    fn proj(&mut self, from: &Schema) -> (Proj, Schema) {
+        match from {
+            Schema::Node(l, r) if self.rng.gen_bool(0.7) => {
+                if self.rng.gen_bool(0.5) {
+                    let (p, s) = self.proj(l);
+                    (Proj::dot(Proj::Left, p), s)
+                } else {
+                    let (p, s) = self.proj(r);
+                    (Proj::dot(Proj::Right, p), s)
+                }
+            }
+            _ => (Proj::Star, from.clone()),
+        }
+    }
+
+    /// All paths to leaves of `from`, with their types.
+    fn leaf_paths(from: &Schema) -> Vec<(Proj, BaseType)> {
+        match from {
+            Schema::Empty => Vec::new(),
+            Schema::Leaf(t) => vec![(Proj::Star, *t)],
+            Schema::Node(l, r) => {
+                let mut out: Vec<(Proj, BaseType)> = Self::leaf_paths(l)
+                    .into_iter()
+                    .map(|(p, t)| (Proj::dot(Proj::Left, p), t))
+                    .collect();
+                out.extend(
+                    Self::leaf_paths(r)
+                        .into_iter()
+                        .map(|(p, t)| (Proj::dot(Proj::Right, p), t)),
+                );
+                out
+            }
+        }
+    }
+
+    /// A random predicate over context `ctx`.
+    pub fn pred(&mut self, ctx: &Schema, depth: usize) -> Predicate {
+        if depth > 0 {
+            match self.rng.gen_range(0..6) {
+                0 => {
+                    return Predicate::and(
+                        self.pred(ctx, depth - 1),
+                        self.pred(ctx, depth - 1),
+                    )
+                }
+                1 => {
+                    return Predicate::or(
+                        self.pred(ctx, depth - 1),
+                        self.pred(ctx, depth - 1),
+                    )
+                }
+                2 => return Predicate::not(self.pred(ctx, depth - 1)),
+                _ => {}
+            }
+        }
+        // Atom: an equality between two leaves of the same type, a
+        // comparison against a constant, or a constant predicate.
+        let leaves = Self::leaf_paths(ctx);
+        if leaves.is_empty() || self.rng.gen_bool(0.15) {
+            return if self.rng.gen_bool(0.5) {
+                Predicate::True
+            } else {
+                Predicate::False
+            };
+        }
+        let (p1, t1) = leaves[self.rng.gen_range(0..leaves.len())].clone();
+        let same_type: Vec<&(Proj, BaseType)> =
+            leaves.iter().filter(|(_, t)| *t == t1).collect();
+        if self.rng.gen_bool(0.5) && same_type.len() > 1 {
+            let (p2, _) = same_type[self.rng.gen_range(0..same_type.len())].clone();
+            Predicate::eq(Expr::p2e(p1), Expr::p2e(p2))
+        } else {
+            let c = match t1 {
+                BaseType::Int => Expr::int(self.rng.gen_range(-2..=2)),
+                BaseType::Bool => Expr::value(self.rng.gen_bool(0.5)),
+                BaseType::Str => {
+                    Expr::value(["", "a", "b"][self.rng.gen_range(0..3)])
+                }
+            };
+            Predicate::eq(Expr::p2e(p1), c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::infer_query;
+
+    fn tables() -> Vec<(String, Schema)> {
+        vec![
+            (
+                "R".into(),
+                Schema::flat([BaseType::Int, BaseType::Int]),
+            ),
+            (
+                "S".into(),
+                Schema::node(
+                    Schema::leaf(BaseType::Bool),
+                    Schema::leaf(BaseType::Int),
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn generated_queries_are_well_typed() {
+        for seed in 0..60 {
+            let mut g = QueryGen::new(seed, tables());
+            let (q, claimed) = g.query();
+            let inferred = infer_query(&q, g.env(), &Schema::Empty)
+                .unwrap_or_else(|e| panic!("seed {seed}: {q} ill-typed: {e}"));
+            assert_eq!(inferred, claimed, "seed {seed}: {q}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (q1, _) = QueryGen::new(9, tables()).query();
+        let (q2, _) = QueryGen::new(9, tables()).query();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn generated_predicates_check() {
+        let mut g = QueryGen::new(4, tables());
+        let ctx = Schema::node(
+            Schema::Empty,
+            Schema::flat([BaseType::Int, BaseType::Bool]),
+        );
+        for _ in 0..40 {
+            let b = g.pred(&ctx, 2);
+            assert!(
+                crate::ty::check_pred(&b, g.env(), &ctx).is_ok(),
+                "{b} ill-typed"
+            );
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The abstract syntax of HoTTSQL (Fig. 5 of the paper).
+//!
+//! Four syntactic categories: queries, predicates, expressions, and
+//! projections. Meta-variables (for relations, predicates, expressions,
+//! and attribute projections) make the language a language of *rewrite
+//! rules*: a rule holds for all instantiations of its meta-variables
+//! (Sec. 3.3).
+
+use relalg::Value;
+use std::fmt;
+
+/// A query (`q` in Fig. 5). `FROM q₁, …, qₙ` is represented by nested
+/// binary [`Query::Product`]s (left-associated), matching the paper's
+/// binary `node` schemas.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Query {
+    /// A base table or a relation meta-variable.
+    Table(String),
+    /// `SELECT p q` — projection.
+    Select(Proj, Box<Query>),
+    /// `FROM q₁, q₂` — cross product with schema `node σ₁ σ₂`.
+    Product(Box<Query>, Box<Query>),
+    /// `q WHERE b` — selection.
+    Where(Box<Query>, Predicate),
+    /// `q₁ UNION ALL q₂` — bag union.
+    UnionAll(Box<Query>, Box<Query>),
+    /// `q₁ EXCEPT q₂` — the paper's negation-style difference.
+    Except(Box<Query>, Box<Query>),
+    /// `DISTINCT q` — duplicate elimination.
+    Distinct(Box<Query>),
+}
+
+impl Query {
+    /// A base-table reference.
+    pub fn table(name: impl Into<String>) -> Query {
+        Query::Table(name.into())
+    }
+
+    /// `SELECT p q`.
+    pub fn select(p: Proj, q: Query) -> Query {
+        Query::Select(p, Box::new(q))
+    }
+
+    /// `FROM a, b`.
+    pub fn product(a: Query, b: Query) -> Query {
+        Query::Product(Box::new(a), Box::new(b))
+    }
+
+    /// Left-associated product of several queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn product_all(qs: impl IntoIterator<Item = Query>) -> Query {
+        let mut it = qs.into_iter();
+        let first = it.next().expect("product of at least one query");
+        it.fold(first, Query::product)
+    }
+
+    /// `q WHERE b`.
+    pub fn where_(q: Query, b: Predicate) -> Query {
+        Query::Where(Box::new(q), b)
+    }
+
+    /// `a UNION ALL b`.
+    pub fn union_all(a: Query, b: Query) -> Query {
+        Query::UnionAll(Box::new(a), Box::new(b))
+    }
+
+    /// `a EXCEPT b`.
+    pub fn except(a: Query, b: Query) -> Query {
+        Query::Except(Box::new(a), Box::new(b))
+    }
+
+    /// `DISTINCT q`.
+    pub fn distinct(q: Query) -> Query {
+        Query::Distinct(Box::new(q))
+    }
+
+    /// Names of all tables/relation meta-variables referenced.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Query::Table(n) => out.push(n),
+            Query::Select(_, q) | Query::Distinct(q) => q.collect_tables(out),
+            Query::Product(a, b) | Query::UnionAll(a, b) | Query::Except(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+            Query::Where(q, b) => {
+                q.collect_tables(out);
+                b.collect_tables(out);
+            }
+        }
+    }
+}
+
+/// A predicate (`b` in Fig. 5), extended with uninterpreted predicate
+/// applications (used by e.g. the magic-set rules' `θ`, `age < 30`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Predicate {
+    /// `e₁ = e₂`.
+    Eq(Expr, Expr),
+    /// `NOT b`.
+    Not(Box<Predicate>),
+    /// `b₁ AND b₂`.
+    And(Box<Predicate>, Box<Predicate>),
+    /// `b₁ OR b₂`.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// `TRUE`.
+    True,
+    /// `FALSE`.
+    False,
+    /// `CASTPRED p b` — evaluate `b` in the context reached by `p`
+    /// (Sec. 3.3).
+    CastPred(Proj, Box<Predicate>),
+    /// `EXISTS q`.
+    Exists(Box<Query>),
+    /// A predicate meta-variable applied to the whole context tuple.
+    Var(String),
+    /// An uninterpreted predicate applied to expressions (e.g. `lt(a, b)`).
+    Uninterp(String, Vec<Expr>),
+}
+
+impl Predicate {
+    /// `e₁ = e₂`.
+    pub fn eq(a: Expr, b: Expr) -> Predicate {
+        Predicate::Eq(a, b)
+    }
+
+    /// `NOT b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(b: Predicate) -> Predicate {
+        Predicate::Not(Box::new(b))
+    }
+
+    /// `a AND b`.
+    pub fn and(a: Predicate, b: Predicate) -> Predicate {
+        Predicate::And(Box::new(a), Box::new(b))
+    }
+
+    /// Conjunction of several predicates (`TRUE` if empty).
+    pub fn and_all(ps: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let mut it = ps.into_iter();
+        match it.next() {
+            None => Predicate::True,
+            Some(first) => it.fold(first, Predicate::and),
+        }
+    }
+
+    /// `a OR b`.
+    pub fn or(a: Predicate, b: Predicate) -> Predicate {
+        Predicate::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `CASTPRED p b`.
+    pub fn cast(p: Proj, b: Predicate) -> Predicate {
+        Predicate::CastPred(p, Box::new(b))
+    }
+
+    /// `EXISTS q`.
+    pub fn exists(q: Query) -> Predicate {
+        Predicate::Exists(Box::new(q))
+    }
+
+    /// A predicate meta-variable.
+    pub fn var(name: impl Into<String>) -> Predicate {
+        Predicate::Var(name.into())
+    }
+
+    /// An uninterpreted predicate application.
+    pub fn uninterp(name: impl Into<String>, args: Vec<Expr>) -> Predicate {
+        Predicate::Uninterp(name.into(), args)
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Eq(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+            Predicate::Not(b) | Predicate::CastPred(_, b) => b.collect_tables(out),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+            Predicate::Exists(q) => q.collect_tables(out),
+            Predicate::Uninterp(_, es) => {
+                for e in es {
+                    e.collect_tables(out);
+                }
+            }
+            Predicate::True | Predicate::False | Predicate::Var(_) => {}
+        }
+    }
+}
+
+/// A value expression (`e` in Fig. 5).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// `P2E p` — a projection used as a scalar expression.
+    P2E(Proj),
+    /// An uninterpreted scalar function `f(e₁, …, eₙ)`.
+    Fn(String, Vec<Expr>),
+    /// `agg(q)` — an aggregate of a single-column query.
+    Agg(String, Box<Query>),
+    /// `CASTEXPR p e` — evaluate `e` in the context reached by `p`.
+    CastExpr(Proj, Box<Expr>),
+    /// A scalar constant (a nullary uninterpreted function, made
+    /// first-class for convenience).
+    Const(Value),
+    /// An expression meta-variable applied to the whole context tuple.
+    Var(String),
+}
+
+impl Expr {
+    /// A projection as an expression.
+    pub fn p2e(p: Proj) -> Expr {
+        Expr::P2E(p)
+    }
+
+    /// An uninterpreted function application.
+    pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Fn(name.into(), args)
+    }
+
+    /// An aggregate of a query.
+    pub fn agg(name: impl Into<String>, q: Query) -> Expr {
+        Expr::Agg(name.into(), Box::new(q))
+    }
+
+    /// `CASTEXPR p e`.
+    pub fn cast(p: Proj, e: Expr) -> Expr {
+        Expr::CastExpr(p, Box::new(e))
+    }
+
+    /// An integer constant.
+    pub fn int(n: i64) -> Expr {
+        Expr::Const(Value::Int(n))
+    }
+
+    /// A constant value.
+    pub fn value(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// An expression meta-variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::P2E(_) | Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Fn(_, es) => {
+                for e in es {
+                    e.collect_tables(out);
+                }
+            }
+            Expr::Agg(_, q) => q.collect_tables(out),
+            Expr::CastExpr(_, e) => e.collect_tables(out),
+        }
+    }
+}
+
+/// A projection (`p` in Fig. 5): a tuple-to-tuple function.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Proj {
+    /// `*` — identity.
+    Star,
+    /// `Left` — first component.
+    Left,
+    /// `Right` — second component.
+    Right,
+    /// `Empty` — the unit tuple.
+    Empty,
+    /// `p₁ . p₂` — composition (apply `p₁`, then `p₂`).
+    Dot(Box<Proj>, Box<Proj>),
+    /// `p₁ , p₂` — pairing.
+    Pair(Box<Proj>, Box<Proj>),
+    /// `E2P e` — an expression as a (singleton-tuple) projection.
+    E2P(Box<Expr>),
+    /// A projection meta-variable (a generic attribute, Sec. 3.3).
+    Var(String),
+}
+
+impl Proj {
+    /// Composition `p₁ . p₂`.
+    pub fn dot(p1: Proj, p2: Proj) -> Proj {
+        Proj::Dot(Box::new(p1), Box::new(p2))
+    }
+
+    /// Composition of a path of projections, left to right.
+    ///
+    /// ```
+    /// use hottsql::ast::Proj;
+    /// let p = Proj::path([Proj::Left, Proj::Right]);
+    /// assert_eq!(p, Proj::dot(Proj::Left, Proj::Right));
+    /// ```
+    pub fn path(ps: impl IntoIterator<Item = Proj>) -> Proj {
+        let mut it = ps.into_iter();
+        let first = it.next().unwrap_or(Proj::Star);
+        it.fold(first, Proj::dot)
+    }
+
+    /// Pairing `p₁ , p₂`.
+    pub fn pair(p1: Proj, p2: Proj) -> Proj {
+        Proj::Pair(Box::new(p1), Box::new(p2))
+    }
+
+    /// An expression as a projection.
+    pub fn e2p(e: Expr) -> Proj {
+        Proj::E2P(Box::new(e))
+    }
+
+    /// A projection meta-variable.
+    pub fn var(name: impl Into<String>) -> Proj {
+        Proj::Var(name.into())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Table(n) => write!(f, "{n}"),
+            Query::Select(p, q) => write!(f, "SELECT {p} FROM ({q})"),
+            Query::Product(a, b) => write!(f, "({a}), ({b})"),
+            Query::Where(q, b) => write!(f, "({q}) WHERE {b}"),
+            Query::UnionAll(a, b) => write!(f, "({a}) UNION ALL ({b})"),
+            Query::Except(a, b) => write!(f, "({a}) EXCEPT ({b})"),
+            Query::Distinct(q) => write!(f, "DISTINCT ({q})"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Eq(a, b) => write!(f, "{a} = {b}"),
+            Predicate::Not(b) => write!(f, "NOT ({b})"),
+            Predicate::And(a, b) => write!(f, "({a}) AND ({b})"),
+            Predicate::Or(a, b) => write!(f, "({a}) OR ({b})"),
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::False => write!(f, "FALSE"),
+            Predicate::CastPred(p, b) => write!(f, "CASTPRED {p} ({b})"),
+            Predicate::Exists(q) => write!(f, "EXISTS ({q})"),
+            Predicate::Var(n) => write!(f, "{n}"),
+            Predicate::Uninterp(n, es) => {
+                write!(f, "{n}(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::P2E(p) => write!(f, "{p}"),
+            Expr::Fn(n, es) => {
+                write!(f, "{n}(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Agg(n, q) => write!(f, "{n}({q})"),
+            Expr::CastExpr(p, e) => write!(f, "CASTEXPR {p} ({e})"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Proj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proj::Star => write!(f, "*"),
+            Proj::Left => write!(f, "Left"),
+            Proj::Right => write!(f, "Right"),
+            Proj::Empty => write!(f, "Empty"),
+            Proj::Dot(a, b) => write!(f, "{a}.{b}"),
+            Proj::Pair(a, b) => write!(f, "({a}, {b})"),
+            Proj::E2P(e) => write!(f, "E2P({e})"),
+            Proj::Var(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        // SELECT Left.* FROM R, S  (q1 of Sec. 3.2)
+        let q = Query::select(
+            Proj::dot(Proj::Right, Proj::Left),
+            Query::product(Query::table("R"), Query::table("S")),
+        );
+        assert_eq!(q.table_names(), vec!["R", "S"]);
+        let shown = q.to_string();
+        assert!(shown.contains("SELECT"), "{shown}");
+    }
+
+    #[test]
+    fn product_all_left_associates() {
+        let q = Query::product_all([
+            Query::table("A"),
+            Query::table("B"),
+            Query::table("C"),
+        ]);
+        assert_eq!(
+            q,
+            Query::product(
+                Query::product(Query::table("A"), Query::table("B")),
+                Query::table("C"),
+            )
+        );
+    }
+
+    #[test]
+    fn and_all_of_empty_is_true() {
+        assert_eq!(Predicate::and_all([]), Predicate::True);
+        let p = Predicate::and_all([Predicate::True, Predicate::False]);
+        assert_eq!(p, Predicate::and(Predicate::True, Predicate::False));
+    }
+
+    #[test]
+    fn table_names_dedup_and_see_subqueries() {
+        let q = Query::where_(
+            Query::table("R"),
+            Predicate::exists(Query::product(Query::table("R"), Query::table("S"))),
+        );
+        assert_eq!(q.table_names(), vec!["R", "S"]);
+    }
+
+    #[test]
+    fn table_names_inside_aggregates() {
+        let q = Query::select(
+            Proj::e2p(Expr::agg("SUM", Query::table("T"))),
+            Query::table("R"),
+        );
+        // Aggregates live inside projections, which table_names does not
+        // traverse (projections are tuple functions, not queries) — but
+        // predicates do:
+        let q2 = Query::where_(
+            Query::table("R"),
+            Predicate::eq(Expr::agg("SUM", Query::table("T")), Expr::int(0)),
+        );
+        assert_eq!(q2.table_names(), vec!["R", "T"]);
+        drop(q);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let p = Proj::path([Proj::Right, Proj::Left, Proj::var("k")]);
+        assert_eq!(p.to_string(), "Right.Left.k");
+        let b = Predicate::eq(
+            Expr::p2e(Proj::dot(Proj::Left, Proj::var("a"))),
+            Expr::int(5),
+        );
+        assert_eq!(b.to_string(), "Left.a = 5");
+    }
+
+    #[test]
+    fn path_of_empty_is_star() {
+        assert_eq!(Proj::path([]), Proj::Star);
+    }
+}

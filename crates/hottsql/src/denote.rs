@@ -1,0 +1,446 @@
+//! The denotational semantics of HoTTSQL (Fig. 7 of the paper).
+//!
+//! A query under context `Γ` denotes a function
+//! `Tuple Γ → Tuple σ → U`; here the two arguments are symbolic
+//! [`Term`]s (typically free variables `g` and `t`), and the result is a
+//! [`UExpr`] over them. The rules are transcribed from Fig. 7:
+//!
+//! ```text
+//! ⟦Γ ⊢ table : σ⟧ g t        = ⟦table⟧ t
+//! ⟦Γ ⊢ SELECT p q : σ⟧ g t   = Σ t′. (⟦p⟧ (g,t′) = t) × ⟦q⟧ g t′
+//! ⟦Γ ⊢ FROM q₁,q₂⟧ g t       = ⟦q₁⟧ g t.1 × ⟦q₂⟧ g t.2
+//! ⟦Γ ⊢ q WHERE b⟧ g t        = ⟦q⟧ g t × ⟦b⟧ (g,t)
+//! ⟦Γ ⊢ q₁ UNION ALL q₂⟧ g t  = ⟦q₁⟧ g t + ⟦q₂⟧ g t
+//! ⟦Γ ⊢ q₁ EXCEPT q₂⟧ g t     = ⟦q₁⟧ g t × (⟦q₂⟧ g t → 0)
+//! ⟦Γ ⊢ DISTINCT q⟧ g t       = ‖⟦q⟧ g t‖
+//! ```
+//!
+//! Meta-variables denote uninterpreted symbols: a relation meta-variable
+//! becomes a [`UExpr::Rel`] atom; a predicate meta-variable becomes a
+//! [`UExpr::Pred`] atom on the context tuple; expression and projection
+//! meta-variables become uninterpreted term functions of the context.
+
+use crate::ast::{Expr, Predicate, Proj, Query};
+use crate::env::QueryEnv;
+use crate::error::Result;
+use crate::ty::{infer_proj, infer_query};
+use relalg::Schema;
+use uninomial::syntax::{Term, UExpr, Var, VarGen};
+
+/// Denotes a query: the multiplicity of tuple-term `t` in `q` evaluated
+/// under context tuple-term `g` (of schema `ctx`).
+///
+/// # Errors
+///
+/// Propagates typing errors ([`crate::error::HottsqlError`]).
+pub fn denote_query(
+    q: &Query,
+    env: &QueryEnv,
+    ctx: &Schema,
+    g: &Term,
+    t: &Term,
+    gen: &mut VarGen,
+) -> Result<UExpr> {
+    match q {
+        Query::Table(name) => {
+            // Tables ignore the context (Fig. 7 row 1).
+            infer_query(q, env, ctx)?;
+            Ok(UExpr::rel(name.clone(), t.clone()))
+        }
+        Query::Select(p, inner) => {
+            let sigma_inner = infer_query(inner, env, ctx)?;
+            let tv = gen.fresh(sigma_inner);
+            let select_ctx = Schema::node(ctx.clone(), tv.schema.clone());
+            let projected = denote_proj(p, env, &select_ctx, &Term::pair(g.clone(), Term::var(&tv)), gen)?;
+            let body = UExpr::mul(
+                UExpr::eq(projected, t.clone()),
+                denote_query(inner, env, ctx, g, &Term::var(&tv), gen)?,
+            );
+            Ok(UExpr::sum(tv, body))
+        }
+        Query::Product(a, b) => Ok(UExpr::mul(
+            denote_query(a, env, ctx, g, &Term::fst(t.clone()), gen)?,
+            denote_query(b, env, ctx, g, &Term::snd(t.clone()), gen)?,
+        )),
+        Query::Where(inner, b) => {
+            let sigma = infer_query(inner, env, ctx)?;
+            let where_ctx = Schema::node(ctx.clone(), sigma);
+            Ok(UExpr::mul(
+                denote_query(inner, env, ctx, g, t, gen)?,
+                denote_pred(b, env, &where_ctx, &Term::pair(g.clone(), t.clone()), gen)?,
+            ))
+        }
+        Query::UnionAll(a, b) => Ok(UExpr::add(
+            denote_query(a, env, ctx, g, t, gen)?,
+            denote_query(b, env, ctx, g, t, gen)?,
+        )),
+        Query::Except(a, b) => Ok(UExpr::mul(
+            denote_query(a, env, ctx, g, t, gen)?,
+            UExpr::not(denote_query(b, env, ctx, g, t, gen)?),
+        )),
+        Query::Distinct(inner) => Ok(UExpr::squash(denote_query(inner, env, ctx, g, t, gen)?)),
+    }
+}
+
+/// Denotes a predicate under context tuple-term `gamma` of schema `ctx`.
+///
+/// # Errors
+///
+/// Propagates typing errors.
+pub fn denote_pred(
+    b: &Predicate,
+    env: &QueryEnv,
+    ctx: &Schema,
+    gamma: &Term,
+    gen: &mut VarGen,
+) -> Result<UExpr> {
+    match b {
+        Predicate::Eq(e1, e2) => Ok(UExpr::eq(
+            denote_expr(e1, env, ctx, gamma, gen)?,
+            denote_expr(e2, env, ctx, gamma, gen)?,
+        )),
+        Predicate::Not(inner) => Ok(UExpr::not(denote_pred(inner, env, ctx, gamma, gen)?)),
+        Predicate::And(x, y) => Ok(UExpr::mul(
+            denote_pred(x, env, ctx, gamma, gen)?,
+            denote_pred(y, env, ctx, gamma, gen)?,
+        )),
+        Predicate::Or(x, y) => Ok(UExpr::squash(UExpr::add(
+            denote_pred(x, env, ctx, gamma, gen)?,
+            denote_pred(y, env, ctx, gamma, gen)?,
+        ))),
+        Predicate::True => Ok(UExpr::One),
+        Predicate::False => Ok(UExpr::Zero),
+        Predicate::CastPred(p, inner) => {
+            let target = infer_proj(p, env, ctx)?;
+            let cast = denote_proj(p, env, ctx, gamma, gen)?;
+            denote_pred(inner, env, &target, &cast, gen)
+        }
+        Predicate::Exists(q) => {
+            let sigma = infer_query(q, env, ctx)?;
+            let tv = gen.fresh(sigma);
+            let body = denote_query(q, env, ctx, gamma, &Term::var(&tv), gen)?;
+            Ok(UExpr::squash(UExpr::sum(tv, body)))
+        }
+        Predicate::Var(name) => {
+            crate::ty::check_pred(b, env, ctx)?;
+            Ok(UExpr::pred(name.clone(), gamma.clone()))
+        }
+        Predicate::Uninterp(name, args) => {
+            let mut terms = Vec::with_capacity(args.len());
+            for a in args {
+                terms.push(denote_expr(a, env, ctx, gamma, gen)?);
+            }
+            // Tuple the arguments right-nested.
+            let arg = terms
+                .into_iter()
+                .rev()
+                .reduce(|acc, t| Term::pair(t, acc))
+                .unwrap_or(Term::Unit);
+            Ok(UExpr::pred(name.clone(), arg))
+        }
+    }
+}
+
+/// Denotes an expression to a scalar [`Term`] under context tuple-term
+/// `gamma`.
+///
+/// # Errors
+///
+/// Propagates typing errors.
+pub fn denote_expr(
+    e: &Expr,
+    env: &QueryEnv,
+    ctx: &Schema,
+    gamma: &Term,
+    gen: &mut VarGen,
+) -> Result<Term> {
+    match e {
+        Expr::P2E(p) => denote_proj(p, env, ctx, gamma, gen),
+        Expr::Fn(name, args) => {
+            let mut terms = Vec::with_capacity(args.len());
+            for a in args {
+                terms.push(denote_expr(a, env, ctx, gamma, gen)?);
+            }
+            Ok(Term::Fn(name.clone(), terms))
+        }
+        Expr::Agg(name, q) => {
+            let sigma = infer_query(q, env, ctx)?;
+            let tv = gen.fresh(sigma);
+            let body = denote_query(q, env, ctx, gamma, &Term::var(&tv), gen)?;
+            Ok(Term::agg(name.clone(), tv, body))
+        }
+        Expr::CastExpr(p, inner) => {
+            let target = infer_proj(p, env, ctx)?;
+            let cast = denote_proj(p, env, ctx, gamma, gen)?;
+            denote_expr(inner, env, &target, &cast, gen)
+        }
+        Expr::Const(v) => Ok(Term::Const(v.clone())),
+        Expr::Var(name) => {
+            crate::ty::infer_expr(e, env, ctx)?;
+            Ok(Term::Fn(name.clone(), vec![gamma.clone()]))
+        }
+    }
+}
+
+/// Denotes a projection applied to tuple-term `gamma` of schema `ctx`.
+///
+/// # Errors
+///
+/// Propagates typing errors.
+pub fn denote_proj(
+    p: &Proj,
+    env: &QueryEnv,
+    ctx: &Schema,
+    gamma: &Term,
+    gen: &mut VarGen,
+) -> Result<Term> {
+    match p {
+        Proj::Star => Ok(gamma.clone()),
+        Proj::Left => {
+            infer_proj(p, env, ctx)?;
+            Ok(Term::fst(gamma.clone()))
+        }
+        Proj::Right => {
+            infer_proj(p, env, ctx)?;
+            Ok(Term::snd(gamma.clone()))
+        }
+        Proj::Empty => Ok(Term::Unit),
+        Proj::Dot(p1, p2) => {
+            let mid_schema = infer_proj(p1, env, ctx)?;
+            let mid = denote_proj(p1, env, ctx, gamma, gen)?;
+            denote_proj(p2, env, &mid_schema, &mid, gen)
+        }
+        Proj::Pair(p1, p2) => Ok(Term::pair(
+            denote_proj(p1, env, ctx, gamma, gen)?,
+            denote_proj(p2, env, ctx, gamma, gen)?,
+        )),
+        Proj::E2P(e) => denote_expr(e, env, ctx, gamma, gen),
+        Proj::Var(name) => {
+            infer_proj(p, env, ctx)?;
+            Ok(Term::Fn(name.clone(), vec![gamma.clone()]))
+        }
+    }
+}
+
+/// Denotes a *closed* query (empty outer context) as a function of a
+/// single tuple variable: returns `(t, ⟦q⟧ () t)`.
+///
+/// # Errors
+///
+/// Propagates typing errors.
+pub fn denote_closed_query(
+    q: &Query,
+    env: &QueryEnv,
+    gen: &mut VarGen,
+) -> Result<(Var, UExpr)> {
+    let sigma = infer_query(q, env, &Schema::Empty)?;
+    let t = gen.fresh(sigma);
+    let e = denote_query(q, env, &Schema::Empty, &Term::Unit, &Term::var(&t), gen)?;
+    Ok((t, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::BaseType;
+    use uninomial::normalize::{normalize, Trace};
+    use uninomial::prove_eq;
+
+    fn int() -> Schema {
+        Schema::leaf(BaseType::Int)
+    }
+
+    fn env_rs() -> QueryEnv {
+        QueryEnv::new()
+            .with_table("R", int())
+            .with_table("S", int())
+    }
+
+    #[test]
+    fn table_denotes_to_rel_atom() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let (t, e) = denote_closed_query(&Query::table("R"), &env, &mut gen).unwrap();
+        assert_eq!(e, UExpr::rel("R", Term::var(&t)));
+    }
+
+    #[test]
+    fn union_denotes_to_add() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let q = Query::union_all(Query::table("R"), Query::table("S"));
+        let (t, e) = denote_closed_query(&q, &env, &mut gen).unwrap();
+        assert_eq!(
+            e,
+            UExpr::add(
+                UExpr::rel("R", Term::var(&t)),
+                UExpr::rel("S", Term::var(&t))
+            )
+        );
+    }
+
+    #[test]
+    fn product_denotes_to_mul_of_projections() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let q = Query::product(Query::table("R"), Query::table("S"));
+        let (t, e) = denote_closed_query(&q, &env, &mut gen).unwrap();
+        assert_eq!(
+            e,
+            UExpr::mul(
+                UExpr::rel("R", Term::fst(Term::var(&t))),
+                UExpr::rel("S", Term::snd(Term::var(&t)))
+            )
+        );
+    }
+
+    #[test]
+    fn distinct_denotes_to_squash() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let q = Query::distinct(Query::table("R"));
+        let (t, e) = denote_closed_query(&q, &env, &mut gen).unwrap();
+        assert_eq!(e, UExpr::squash(UExpr::rel("R", Term::var(&t))));
+    }
+
+    #[test]
+    fn except_denotes_to_negation() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let q = Query::except(Query::table("R"), Query::table("S"));
+        let (t, e) = denote_closed_query(&q, &env, &mut gen).unwrap();
+        assert_eq!(
+            e,
+            UExpr::mul(
+                UExpr::rel("R", Term::var(&t)),
+                UExpr::not(UExpr::rel("S", Term::var(&t)))
+            )
+        );
+    }
+
+    #[test]
+    fn where_extends_context_for_predicate() {
+        // R WHERE b, with b over node(empty, σR): denotes to
+        // R(t) × b(((), t)).
+        let sigma_b = Schema::node(Schema::Empty, int());
+        let env = env_rs().with_pred("b", sigma_b);
+        let mut gen = VarGen::new();
+        let q = Query::where_(Query::table("R"), Predicate::var("b"));
+        let (t, e) = denote_closed_query(&q, &env, &mut gen).unwrap();
+        assert_eq!(
+            e,
+            UExpr::mul(
+                UExpr::rel("R", Term::var(&t)),
+                UExpr::pred("b", Term::pair(Term::Unit, Term::var(&t)))
+            )
+        );
+    }
+
+    #[test]
+    fn fig1_rule_proves_from_denotations() {
+        // SELECT * FROM (R UNION ALL S) WHERE b
+        //   ≡ (SELECT * FROM R WHERE b) UNION ALL (SELECT * FROM S WHERE b)
+        let sigma_b = Schema::node(Schema::Empty, int());
+        let env = env_rs().with_pred("b", sigma_b);
+        let mut gen = VarGen::new();
+        let lhs = Query::where_(
+            Query::union_all(Query::table("R"), Query::table("S")),
+            Predicate::var("b"),
+        );
+        let rhs = Query::union_all(
+            Query::where_(Query::table("R"), Predicate::var("b")),
+            Query::where_(Query::table("S"), Predicate::var("b")),
+        );
+        let (t, el) = denote_closed_query(&lhs, &env, &mut gen).unwrap();
+        let er = denote_query(
+            &rhs,
+            &env,
+            &Schema::Empty,
+            &Term::Unit,
+            &Term::var(&t),
+            &mut gen,
+        )
+        .unwrap();
+        let proof = prove_eq(&el, &er, &mut gen).expect("Fig. 1 from real denotations");
+        assert!(proof.steps() >= 1);
+    }
+
+    #[test]
+    fn select_star_is_identity() {
+        // SELECT Right.* FROM R ≡ R.
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let q = Query::select(Proj::dot(Proj::Right, Proj::Star), Query::table("R"));
+        let (t, e) = denote_closed_query(&q, &env, &mut gen).unwrap();
+        let plain = UExpr::rel("R", Term::var(&t));
+        let proof = prove_eq(&e, &plain, &mut gen).expect("projection identity");
+        assert!(proof.steps() >= 1);
+    }
+
+    #[test]
+    fn exists_denotes_to_squashed_sum() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let b = Predicate::exists(Query::table("R"));
+        let e = denote_pred(&b, &env, &Schema::Empty, &Term::Unit, &mut gen).unwrap();
+        let mut tr = Trace::new();
+        let n = normalize(&e, &mut gen, &mut tr);
+        assert_eq!(n.terms.len(), 1);
+        assert!(matches!(
+            n.terms[0].atoms[0],
+            uninomial::Atom::Squash(_)
+        ));
+    }
+
+    #[test]
+    fn castpred_composes_projections() {
+        // CASTPRED Right b under context node(σS, σR): b sees σR.
+        let env = env_rs().with_pred("b", int());
+        let mut gen = VarGen::new();
+        let ctx = Schema::node(int(), int());
+        let g = gen.fresh(ctx.clone());
+        let b = Predicate::cast(Proj::Right, Predicate::var("b"));
+        let e = denote_pred(&b, &env, &ctx, &Term::var(&g), &mut gen).unwrap();
+        assert_eq!(e, UExpr::pred("b", Term::snd(Term::var(&g))));
+    }
+
+    #[test]
+    fn proj_var_denotes_to_uninterpreted_fn() {
+        let env = env_rs().with_proj("k", int(), int());
+        let mut gen = VarGen::new();
+        let g = gen.fresh(int());
+        let term = denote_proj(&Proj::var("k"), &env, &int(), &Term::var(&g), &mut gen).unwrap();
+        assert_eq!(term, Term::Fn("k".into(), vec![Term::var(&g)]));
+    }
+
+    #[test]
+    fn uninterp_predicate_tuples_arguments() {
+        let env = env_rs().with_upred("lt", 2);
+        let mut gen = VarGen::new();
+        let g = gen.fresh(int());
+        let b = Predicate::uninterp(
+            "lt",
+            vec![Expr::p2e(Proj::Star), Expr::int(30)],
+        );
+        let e = denote_pred(&b, &env, &int(), &Term::var(&g), &mut gen).unwrap();
+        assert_eq!(
+            e,
+            UExpr::pred("lt", Term::pair(Term::var(&g), Term::int(30)))
+        );
+    }
+
+    #[test]
+    fn aggregate_denotes_to_agg_term() {
+        let env = env_rs();
+        let mut gen = VarGen::new();
+        let e = Expr::agg("SUM", Query::table("R"));
+        let term = denote_expr(&e, &env, &Schema::Empty, &Term::Unit, &mut gen).unwrap();
+        match term {
+            Term::Agg(name, v, body) => {
+                assert_eq!(name, "SUM");
+                assert_eq!(*body, UExpr::rel("R", Term::var(&v)));
+            }
+            other => panic!("expected aggregate, got {other}"),
+        }
+    }
+}

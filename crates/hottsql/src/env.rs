@@ -1,0 +1,178 @@
+//! Declaration environments: schemas for tables and meta-variables.
+//!
+//! A rewrite rule quantifies over its meta-variables (Sec. 3.3). To type
+//! and denote the rule we need each meta-variable's *signature*:
+//!
+//! - a relation meta-variable has a schema;
+//! - a predicate meta-variable has the context schema it reads;
+//! - an expression meta-variable has a context schema and a result type;
+//! - a projection meta-variable (a generic "attribute") has an input
+//!   schema and an output schema.
+//!
+//! Generic rules are Rust functions from schemas to [`QueryEnv`]-plus-
+//! queries; proving instantiates schema parameters with an opaque leaf
+//! type, testing instantiates them with random concrete schemas.
+
+use relalg::{BaseType, Schema};
+use std::collections::BTreeMap;
+
+/// Signature environment for a query or rewrite rule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryEnv {
+    tables: BTreeMap<String, Schema>,
+    preds: BTreeMap<String, Schema>,
+    exprs: BTreeMap<String, (Schema, BaseType)>,
+    projs: BTreeMap<String, (Schema, Schema)>,
+    fns: BTreeMap<String, BaseType>,
+    upreds: BTreeMap<String, usize>,
+}
+
+impl QueryEnv {
+    /// An empty environment.
+    pub fn new() -> QueryEnv {
+        QueryEnv::default()
+    }
+
+    /// Declares a table (or relation meta-variable) with its schema.
+    pub fn with_table(mut self, name: impl Into<String>, schema: Schema) -> QueryEnv {
+        self.tables.insert(name.into(), schema);
+        self
+    }
+
+    /// Declares a predicate meta-variable reading the given context.
+    pub fn with_pred(mut self, name: impl Into<String>, context: Schema) -> QueryEnv {
+        self.preds.insert(name.into(), context);
+        self
+    }
+
+    /// Declares an expression meta-variable.
+    pub fn with_expr(
+        mut self,
+        name: impl Into<String>,
+        context: Schema,
+        result: BaseType,
+    ) -> QueryEnv {
+        self.exprs.insert(name.into(), (context, result));
+        self
+    }
+
+    /// Declares a projection meta-variable (a generic attribute) from
+    /// `input` to `output`.
+    pub fn with_proj(
+        mut self,
+        name: impl Into<String>,
+        input: Schema,
+        output: Schema,
+    ) -> QueryEnv {
+        self.projs.insert(name.into(), (input, output));
+        self
+    }
+
+    /// Declares an uninterpreted scalar function's result type.
+    pub fn with_fn(mut self, name: impl Into<String>, result: BaseType) -> QueryEnv {
+        self.fns.insert(name.into(), result);
+        self
+    }
+
+    /// Declares an uninterpreted predicate of the given arity.
+    pub fn with_upred(mut self, name: impl Into<String>, arity: usize) -> QueryEnv {
+        self.upreds.insert(name.into(), arity);
+        self
+    }
+
+    /// Schema of a table.
+    pub fn table(&self, name: &str) -> Option<&Schema> {
+        self.tables.get(name)
+    }
+
+    /// Context schema of a predicate meta-variable.
+    pub fn pred(&self, name: &str) -> Option<&Schema> {
+        self.preds.get(name)
+    }
+
+    /// Signature of an expression meta-variable.
+    pub fn expr(&self, name: &str) -> Option<&(Schema, BaseType)> {
+        self.exprs.get(name)
+    }
+
+    /// Signature of a projection meta-variable.
+    pub fn proj(&self, name: &str) -> Option<&(Schema, Schema)> {
+        self.projs.get(name)
+    }
+
+    /// Result type of an uninterpreted function (`Int` by default for
+    /// undeclared names, mirroring the paper's untyped uninterpreted
+    /// functions).
+    pub fn fn_result(&self, name: &str) -> BaseType {
+        self.fns.get(name).copied().unwrap_or(BaseType::Int)
+    }
+
+    /// Arity of an uninterpreted predicate, if declared.
+    pub fn upred(&self, name: &str) -> Option<usize> {
+        self.upreds.get(name).copied()
+    }
+
+    /// Iterates over declared tables.
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &Schema)> {
+        self.tables.iter()
+    }
+
+    /// Iterates over declared predicate meta-variables.
+    pub fn preds(&self) -> impl Iterator<Item = (&String, &Schema)> {
+        self.preds.iter()
+    }
+
+    /// Iterates over declared projection meta-variables.
+    pub fn projs(&self) -> impl Iterator<Item = (&String, &(Schema, Schema))> {
+        self.projs.iter()
+    }
+
+    /// Iterates over declared expression meta-variables.
+    pub fn exprs(&self) -> impl Iterator<Item = (&String, &(Schema, BaseType))> {
+        self.exprs.iter()
+    }
+
+    /// Iterates over declared uninterpreted predicates.
+    pub fn upreds(&self) -> impl Iterator<Item = (&String, usize)> {
+        self.upreds.iter().map(|(n, a)| (n, *a))
+    }
+
+    /// Iterates over declared uninterpreted functions.
+    pub fn fns(&self) -> impl Iterator<Item = (&String, BaseType)> {
+        self.fns.iter().map(|(n, t)| (n, *t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let s = Schema::flat([BaseType::Int, BaseType::Bool]);
+        let env = QueryEnv::new()
+            .with_table("R", s.clone())
+            .with_pred("b", s.clone())
+            .with_expr("e", s.clone(), BaseType::Int)
+            .with_proj("k", s.clone(), Schema::leaf(BaseType::Int))
+            .with_fn("add", BaseType::Int)
+            .with_upred("lt", 2);
+        assert_eq!(env.table("R"), Some(&s));
+        assert_eq!(env.pred("b"), Some(&s));
+        assert_eq!(env.expr("e"), Some(&(s.clone(), BaseType::Int)));
+        assert_eq!(env.proj("k"), Some(&(s.clone(), Schema::leaf(BaseType::Int))));
+        assert_eq!(env.fn_result("add"), BaseType::Int);
+        assert_eq!(env.fn_result("undeclared"), BaseType::Int);
+        assert_eq!(env.upred("lt"), Some(2));
+        assert_eq!(env.table("S"), None);
+    }
+
+    #[test]
+    fn iteration_orders_are_deterministic() {
+        let env = QueryEnv::new()
+            .with_table("B", Schema::Empty)
+            .with_table("A", Schema::Empty);
+        let names: Vec<&String> = env.tables().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the `hottsql` crate.
+
+use relalg::Schema;
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, HottsqlError>;
+
+/// Errors raised by typing, parsing, denotation, or evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HottsqlError {
+    /// An undeclared table / meta-variable.
+    Unbound(String),
+    /// A typing error with a description and the offending context.
+    Type {
+        /// Human-readable description.
+        message: String,
+        /// The context schema at the error site.
+        context: Schema,
+    },
+    /// A parse error with position information.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// An evaluation error (delegated from `relalg` or symbol lookup).
+    Eval(String),
+}
+
+impl HottsqlError {
+    pub(crate) fn ty(message: impl Into<String>, context: &Schema) -> HottsqlError {
+        HottsqlError::Type {
+            message: message.into(),
+            context: context.clone(),
+        }
+    }
+}
+
+impl fmt::Display for HottsqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HottsqlError::Unbound(n) => write!(f, "unbound name: {n}"),
+            HottsqlError::Type { message, context } => {
+                write!(f, "type error: {message} (context {context})")
+            }
+            HottsqlError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            HottsqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HottsqlError {}
+
+impl From<relalg::RelalgError> for HottsqlError {
+    fn from(e: relalg::RelalgError) -> Self {
+        HottsqlError::Eval(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = HottsqlError::Unbound("R".into());
+        assert_eq!(e.to_string(), "unbound name: R");
+        let e = HottsqlError::ty("Left on a leaf", &Schema::Empty);
+        assert!(e.to_string().contains("type error"));
+    }
+
+    #[test]
+    fn relalg_errors_convert() {
+        let e: HottsqlError = relalg::RelalgError::TypeError("x".into()).into();
+        assert!(matches!(e, HottsqlError::Eval(_)));
+    }
+}

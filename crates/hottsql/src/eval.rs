@@ -1,0 +1,498 @@
+//! Concrete evaluation of HoTTSQL queries against database instances.
+//!
+//! This is the *executable* reading of Fig. 7: instead of producing a
+//! symbolic UniNomial expression, each construct is computed directly on
+//! [`relalg::Relation`]s. The differential-testing harness runs both
+//! sides of every proved rewrite rule through this evaluator on random
+//! instances; integration tests additionally cross-check this evaluator
+//! against the symbolic denotation evaluated with [`uninomial::eval`].
+
+use crate::ast::{Expr, Predicate, Proj, Query};
+use crate::env::QueryEnv;
+use crate::error::{HottsqlError, Result};
+use crate::ty::{infer_proj, infer_query};
+use relalg::ops::{self, Aggregate};
+use relalg::{Relation, Schema, Tuple, Value};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Concrete interpretation of a predicate meta-variable.
+pub type PredImpl = Rc<dyn Fn(&Tuple) -> bool>;
+/// Concrete interpretation of an expression meta-variable.
+pub type ExprImpl = Rc<dyn Fn(&Tuple) -> Value>;
+/// Concrete interpretation of a projection meta-variable.
+pub type ProjImpl = Rc<dyn Fn(&Tuple) -> Tuple>;
+/// Concrete interpretation of an uninterpreted scalar function.
+pub type FnImpl = Rc<dyn Fn(&[Value]) -> Value>;
+/// Concrete interpretation of an uninterpreted predicate.
+pub type UpredImpl = Rc<dyn Fn(&[Value]) -> bool>;
+
+/// A database instance: concrete interpretations for every table and
+/// meta-variable a query mentions.
+#[derive(Clone, Default)]
+pub struct Instance {
+    /// Table contents.
+    pub tables: BTreeMap<String, Relation>,
+    /// Predicate meta-variable implementations.
+    pub preds: HashMap<String, PredImpl>,
+    /// Expression meta-variable implementations.
+    pub exprs: HashMap<String, ExprImpl>,
+    /// Projection meta-variable implementations.
+    pub projs: HashMap<String, ProjImpl>,
+    /// Uninterpreted scalar functions.
+    pub fns: HashMap<String, FnImpl>,
+    /// Uninterpreted predicates.
+    pub upreds: HashMap<String, UpredImpl>,
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instance")
+            .field("tables", &self.tables)
+            .field("preds", &self.preds.keys().collect::<Vec<_>>())
+            .field("exprs", &self.exprs.keys().collect::<Vec<_>>())
+            .field("projs", &self.projs.keys().collect::<Vec<_>>())
+            .field("fns", &self.fns.keys().collect::<Vec<_>>())
+            .field("upreds", &self.upreds.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Instance {
+    /// An empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Adds a table.
+    pub fn with_table(mut self, name: impl Into<String>, r: Relation) -> Instance {
+        self.tables.insert(name.into(), r);
+        self
+    }
+
+    /// Adds a predicate meta-variable implementation.
+    pub fn with_pred(
+        mut self,
+        name: impl Into<String>,
+        p: impl Fn(&Tuple) -> bool + 'static,
+    ) -> Instance {
+        self.preds.insert(name.into(), Rc::new(p));
+        self
+    }
+
+    /// Adds an expression meta-variable implementation.
+    pub fn with_expr(
+        mut self,
+        name: impl Into<String>,
+        e: impl Fn(&Tuple) -> Value + 'static,
+    ) -> Instance {
+        self.exprs.insert(name.into(), Rc::new(e));
+        self
+    }
+
+    /// Adds a projection meta-variable implementation.
+    pub fn with_proj(
+        mut self,
+        name: impl Into<String>,
+        p: impl Fn(&Tuple) -> Tuple + 'static,
+    ) -> Instance {
+        self.projs.insert(name.into(), Rc::new(p));
+        self
+    }
+
+    /// Adds an uninterpreted scalar function.
+    pub fn with_fn(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Value + 'static,
+    ) -> Instance {
+        self.fns.insert(name.into(), Rc::new(f));
+        self
+    }
+
+    /// Adds an uninterpreted predicate.
+    pub fn with_upred(
+        mut self,
+        name: impl Into<String>,
+        p: impl Fn(&[Value]) -> bool + 'static,
+    ) -> Instance {
+        self.upreds.insert(name.into(), Rc::new(p));
+        self
+    }
+}
+
+/// Evaluates `Γ ⊢ q : σ` under context tuple `g` to a concrete relation.
+///
+/// # Errors
+///
+/// Returns a [`HottsqlError`] for typing problems, unbound
+/// interpretations, or aggregate errors (e.g. `SUM` over `ω`).
+pub fn eval_query(
+    q: &Query,
+    env: &QueryEnv,
+    inst: &Instance,
+    ctx: &Schema,
+    g: &Tuple,
+) -> Result<Relation> {
+    match q {
+        Query::Table(name) => {
+            infer_query(q, env, ctx)?;
+            inst.tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))
+        }
+        Query::Select(p, inner) => {
+            let r = eval_query(inner, env, inst, ctx, g)?;
+            let sigma_inner = infer_query(inner, env, ctx)?;
+            let select_ctx = Schema::node(ctx.clone(), sigma_inner);
+            let out_schema = infer_proj(p, env, &select_ctx)?;
+            let mut out = Relation::empty(out_schema);
+            for (t, c) in r.iter() {
+                let gt = Tuple::pair(g.clone(), t.clone());
+                let projected = eval_proj(p, env, inst, &select_ctx, &gt)?;
+                out.try_insert_with(projected, c)?;
+            }
+            Ok(out)
+        }
+        Query::Product(a, b) => Ok(ops::product(
+            &eval_query(a, env, inst, ctx, g)?,
+            &eval_query(b, env, inst, ctx, g)?,
+        )),
+        Query::Where(inner, b) => {
+            let r = eval_query(inner, env, inst, ctx, g)?;
+            let sigma = infer_query(inner, env, ctx)?;
+            let where_ctx = Schema::node(ctx.clone(), sigma);
+            let mut out = Relation::empty(r.schema().clone());
+            for (t, c) in r.iter() {
+                let gt = Tuple::pair(g.clone(), t.clone());
+                if eval_pred(b, env, inst, &where_ctx, &gt)? {
+                    out.insert_with(t.clone(), c);
+                }
+            }
+            Ok(out)
+        }
+        Query::UnionAll(a, b) => Ok(ops::union_all(
+            &eval_query(a, env, inst, ctx, g)?,
+            &eval_query(b, env, inst, ctx, g)?,
+        )?),
+        Query::Except(a, b) => Ok(ops::except(
+            &eval_query(a, env, inst, ctx, g)?,
+            &eval_query(b, env, inst, ctx, g)?,
+        )?),
+        Query::Distinct(inner) => Ok(ops::distinct(&eval_query(inner, env, inst, ctx, g)?)),
+    }
+}
+
+/// Evaluates a predicate under context tuple `gamma`.
+///
+/// # Errors
+///
+/// See [`eval_query`].
+pub fn eval_pred(
+    b: &Predicate,
+    env: &QueryEnv,
+    inst: &Instance,
+    ctx: &Schema,
+    gamma: &Tuple,
+) -> Result<bool> {
+    match b {
+        Predicate::Eq(e1, e2) => Ok(eval_expr(e1, env, inst, ctx, gamma)?
+            == eval_expr(e2, env, inst, ctx, gamma)?),
+        Predicate::Not(inner) => Ok(!eval_pred(inner, env, inst, ctx, gamma)?),
+        Predicate::And(x, y) => Ok(eval_pred(x, env, inst, ctx, gamma)?
+            && eval_pred(y, env, inst, ctx, gamma)?),
+        Predicate::Or(x, y) => Ok(eval_pred(x, env, inst, ctx, gamma)?
+            || eval_pred(y, env, inst, ctx, gamma)?),
+        Predicate::True => Ok(true),
+        Predicate::False => Ok(false),
+        Predicate::CastPred(p, inner) => {
+            let target = infer_proj(p, env, ctx)?;
+            let cast = eval_proj(p, env, inst, ctx, gamma)?;
+            eval_pred(inner, env, inst, &target, &cast)
+        }
+        Predicate::Exists(q) => Ok(!eval_query(q, env, inst, ctx, gamma)?.is_empty()),
+        Predicate::Var(name) => {
+            crate::ty::check_pred(b, env, ctx)?;
+            let p = inst
+                .preds
+                .get(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            Ok(p(gamma))
+        }
+        Predicate::Uninterp(name, args) => {
+            let f = inst
+                .upreds
+                .get(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, env, inst, ctx, gamma)?);
+            }
+            Ok(f(&vals))
+        }
+    }
+}
+
+/// Evaluates an expression under context tuple `gamma`.
+///
+/// # Errors
+///
+/// See [`eval_query`].
+pub fn eval_expr(
+    e: &Expr,
+    env: &QueryEnv,
+    inst: &Instance,
+    ctx: &Schema,
+    gamma: &Tuple,
+) -> Result<Value> {
+    match e {
+        Expr::P2E(p) => match eval_proj(p, env, inst, ctx, gamma)? {
+            Tuple::Leaf(v) => Ok(v),
+            other => Err(HottsqlError::Eval(format!(
+                "projection produced non-scalar {other}"
+            ))),
+        },
+        Expr::Fn(name, args) => {
+            let f = inst
+                .fns
+                .get(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, env, inst, ctx, gamma)?);
+            }
+            Ok(f(&vals))
+        }
+        Expr::Agg(name, q) => {
+            let agg = Aggregate::parse(name)
+                .ok_or_else(|| HottsqlError::Unbound(format!("aggregate {name}")))?;
+            let r = eval_query(q, env, inst, ctx, gamma)?;
+            Ok(relalg::ops::aggregate(agg, &r)?)
+        }
+        Expr::CastExpr(p, inner) => {
+            let target = infer_proj(p, env, ctx)?;
+            let cast = eval_proj(p, env, inst, ctx, gamma)?;
+            eval_expr(inner, env, inst, &target, &cast)
+        }
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(name) => {
+            crate::ty::infer_expr(e, env, ctx)?;
+            let f = inst
+                .exprs
+                .get(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            Ok(f(gamma))
+        }
+    }
+}
+
+/// Evaluates a projection applied to tuple `gamma`.
+///
+/// # Errors
+///
+/// See [`eval_query`].
+pub fn eval_proj(
+    p: &Proj,
+    env: &QueryEnv,
+    inst: &Instance,
+    ctx: &Schema,
+    gamma: &Tuple,
+) -> Result<Tuple> {
+    match p {
+        Proj::Star => Ok(gamma.clone()),
+        Proj::Left => gamma
+            .fst()
+            .cloned()
+            .ok_or_else(|| HottsqlError::Eval(format!("Left on non-pair {gamma}"))),
+        Proj::Right => gamma
+            .snd()
+            .cloned()
+            .ok_or_else(|| HottsqlError::Eval(format!("Right on non-pair {gamma}"))),
+        Proj::Empty => Ok(Tuple::Unit),
+        Proj::Dot(p1, p2) => {
+            let mid_schema = infer_proj(p1, env, ctx)?;
+            let mid = eval_proj(p1, env, inst, ctx, gamma)?;
+            eval_proj(p2, env, inst, &mid_schema, &mid)
+        }
+        Proj::Pair(p1, p2) => Ok(Tuple::pair(
+            eval_proj(p1, env, inst, ctx, gamma)?,
+            eval_proj(p2, env, inst, ctx, gamma)?,
+        )),
+        Proj::E2P(e) => Ok(Tuple::Leaf(eval_expr(e, env, inst, ctx, gamma)?)),
+        Proj::Var(name) => {
+            infer_proj(p, env, ctx)?;
+            let f = inst
+                .projs
+                .get(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            Ok(f(gamma))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::{BaseType, Card};
+
+    fn int() -> Schema {
+        Schema::leaf(BaseType::Int)
+    }
+
+    /// The running example of Sec. 2: R(a, b) with instance
+    /// {(1,40), (2,40), (2,50)}.
+    fn sec2_setup() -> (QueryEnv, Instance) {
+        let sigma = Schema::node(int(), int());
+        let r = Relation::from_tuples(
+            sigma.clone(),
+            [
+                Tuple::pair(Tuple::int(1), Tuple::int(40)),
+                Tuple::pair(Tuple::int(2), Tuple::int(40)),
+                Tuple::pair(Tuple::int(2), Tuple::int(50)),
+            ],
+        )
+        .unwrap();
+        (
+            QueryEnv::new().with_table("R", sigma),
+            Instance::new().with_table("R", r),
+        )
+    }
+
+    #[test]
+    fn q1_projection_returns_bag() {
+        // Q1: SELECT a FROM R returns {1, 2, 2}.
+        let (env, inst) = sec2_setup();
+        let q = Query::select(Proj::path([Proj::Right, Proj::Left]), Query::table("R"));
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert_eq!(r.multiplicity(&Tuple::int(1)), Card::Fin(1));
+        assert_eq!(r.multiplicity(&Tuple::int(2)), Card::Fin(2));
+    }
+
+    #[test]
+    fn q2_distinct_returns_set() {
+        // Q2: SELECT DISTINCT a FROM R returns {1, 2}.
+        let (env, inst) = sec2_setup();
+        let q = Query::distinct(Query::select(
+            Proj::path([Proj::Right, Proj::Left]),
+            Query::table("R"),
+        ));
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert_eq!(r.multiplicity(&Tuple::int(1)), Card::ONE);
+        assert_eq!(r.multiplicity(&Tuple::int(2)), Card::ONE);
+        assert_eq!(r.support_size(), 2);
+    }
+
+    #[test]
+    fn q3_redundant_self_join_equals_q2() {
+        // Q3: SELECT DISTINCT x.a FROM R x, R y WHERE x.a = y.a  ≡  Q2.
+        let (env, inst) = sec2_setup();
+        let x_a = Proj::path([Proj::Right, Proj::Left, Proj::Left]);
+        let y_a = Proj::path([Proj::Right, Proj::Right, Proj::Left]);
+        let q3 = Query::distinct(Query::select(
+            x_a.clone(),
+            Query::where_(
+                Query::product(Query::table("R"), Query::table("R")),
+                Predicate::eq(Expr::p2e(x_a), Expr::p2e(y_a)),
+            ),
+        ));
+        let q2 = Query::distinct(Query::select(
+            Proj::path([Proj::Right, Proj::Left]),
+            Query::table("R"),
+        ));
+        let r3 = eval_query(&q3, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        let r2 = eval_query(&q2, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert!(r3.bag_eq(&r2));
+    }
+
+    #[test]
+    fn where_with_meta_predicate() {
+        let (env, inst) = sec2_setup();
+        let env = env.with_pred("young", Schema::node(Schema::Empty, Schema::node(int(), int())));
+        let inst = inst.with_pred("young", |gt: &Tuple| {
+            // predicate over ((), (a, b)): keep a = 2
+            gt.snd()
+                .and_then(Tuple::fst)
+                .and_then(Tuple::value)
+                .and_then(Value::as_int)
+                == Some(2)
+        });
+        let q = Query::where_(Query::table("R"), Predicate::var("young"));
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert_eq!(r.total_multiplicity(), Card::Fin(2));
+    }
+
+    #[test]
+    fn exists_correlated_subquery() {
+        // SELECT * FROM R WHERE EXISTS (R2 WHERE R2.a = outer R.a):
+        // with R2 = {(2, 99)}, keeps only a = 2 rows.
+        let (env, inst) = sec2_setup();
+        let sigma = Schema::node(int(), int());
+        let env = env.with_table("R2", sigma.clone());
+        let r2 = Relation::from_tuples(
+            sigma,
+            [Tuple::pair(Tuple::int(2), Tuple::int(99))],
+        )
+        .unwrap();
+        let inst = inst.with_table("R2", r2);
+        // Context of the inner WHERE: node(node(empty, σR), σR2).
+        let outer_a = Proj::path([Proj::Left, Proj::Right, Proj::Left]);
+        let inner_a = Proj::path([Proj::Right, Proj::Left]);
+        let subquery = Query::where_(
+            Query::table("R2"),
+            Predicate::eq(Expr::p2e(inner_a), Expr::p2e(outer_a)),
+        );
+        let q = Query::where_(Query::table("R"), Predicate::exists(subquery));
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert_eq!(r.total_multiplicity(), Card::Fin(2)); // the two a=2 rows
+    }
+
+    #[test]
+    fn aggregate_expression() {
+        // R WHERE SUM(SELECT a FROM R) = 5 keeps everything (1+2+2 = 5).
+        let (env, inst) = sec2_setup();
+        let inner = Query::select(Proj::path([Proj::Right, Proj::Left]), Query::table("R"));
+        let q = Query::where_(
+            Query::table("R"),
+            Predicate::eq(Expr::agg("SUM", inner), Expr::int(5)),
+        );
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert_eq!(r.total_multiplicity(), Card::Fin(3));
+    }
+
+    #[test]
+    fn except_and_union() {
+        let (env, inst) = sec2_setup();
+        let q = Query::except(
+            Query::union_all(Query::table("R"), Query::table("R")),
+            Query::table("R"),
+        );
+        // Every tuple of R appears in the subtrahend, so nothing survives.
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unbound_table_reports_error() {
+        let (env, inst) = sec2_setup();
+        let env = env.with_table("Ghost", int());
+        let r = eval_query(&Query::table("Ghost"), &env, &inst, &Schema::Empty, &Tuple::Unit);
+        assert!(matches!(r, Err(HottsqlError::Unbound(_))));
+    }
+
+    #[test]
+    fn meta_projection_instance() {
+        let (env, inst) = sec2_setup();
+        let sigma = Schema::node(int(), int());
+        let select_ctx = Schema::node(Schema::Empty, sigma);
+        let env = env.with_proj("k", select_ctx, int());
+        let inst = inst.with_proj("k", |gt: &Tuple| {
+            gt.snd().and_then(Tuple::fst).cloned().expect("pair")
+        });
+        let q = Query::select(Proj::var("k"), Query::table("R"));
+        let r = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+        assert_eq!(r.multiplicity(&Tuple::int(2)), Card::Fin(2));
+    }
+}

@@ -1,0 +1,603 @@
+//! A recursive-descent parser for HoTTSQL concrete syntax.
+//!
+//! The grammar follows the paper's examples (Sec. 3.2, Sec. 5):
+//!
+//! ```text
+//! query    := unionq
+//! unionq   := exceptq ("UNION" "ALL" exceptq)*
+//! exceptq  := atomq ("EXCEPT" atomq)*
+//! atomq    := "DISTINCT" atomq
+//!           | "SELECT" proj "FROM" fromlist ["WHERE" pred]
+//!           | ident
+//!           | "(" query ")"
+//! fromlist := atomq ("," atomq)*            (left-associated products)
+//! pred     := orp;  orp := andp ("OR" andp)*;  andp := notp ("AND" notp)*
+//! notp     := "NOT" notp | "TRUE" | "FALSE"
+//!           | "EXISTS" atomq
+//!           | "CASTPRED" proj "(" pred ")"
+//!           | expr "=" expr
+//!           | ident "(" expr,* ")"          (uninterpreted predicate)
+//!           | ident                          (predicate meta-variable)
+//! expr     := "CASTEXPR" proj "(" expr ")"
+//!           | AGGNAME "(" query ")"
+//!           | ident "(" expr,* ")"          (uninterpreted function)
+//!           | integer | string | "TRUE" | "FALSE" constants
+//!           | proj                           (implicit P2E)
+//! proj     := projatom ("." projatom)*
+//! projatom := "*" | "Left" | "Right" | "Empty" | ident
+//!           | "(" proj "," proj ")"
+//! ```
+//!
+//! Identifiers in query position are tables; in predicate position,
+//! meta-variables; in projection position, attribute meta-variables.
+
+use crate::ast::{Expr, Predicate, Proj, Query};
+use crate::error::{HottsqlError, Result};
+use relalg::ops::Aggregate;
+use relalg::Value;
+
+/// Parses a HoTTSQL query.
+///
+/// # Errors
+///
+/// Returns [`HottsqlError::Parse`] with a byte offset on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use hottsql::parse::parse_query;
+/// let q = parse_query("DISTINCT SELECT Right.a FROM R WHERE Right.a = Right.b").unwrap();
+/// assert!(matches!(q, hottsql::Query::Distinct(_)));
+/// ```
+pub fn parse_query(input: &str) -> Result<Query> {
+    let mut p = Parser::new(input);
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parses a HoTTSQL predicate (useful in tests and examples).
+///
+/// # Errors
+///
+/// Returns [`HottsqlError::Parse`] on malformed input.
+pub fn parse_pred(input: &str) -> Result<Predicate> {
+    let mut p = Parser::new(input);
+    let b = p.pred()?;
+    p.expect_eof()?;
+    Ok(b)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Star,
+    Dot,
+    Comma,
+    Eq,
+    LParen,
+    RParen,
+    Eof,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Parser {
+        Parser {
+            toks: lex(input),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(HottsqlError::Parse {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input {:?}", self.peek()))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut q = self.commaq()?;
+        while self.peek_kw("UNION") {
+            self.bump();
+            self.expect_kw("ALL")?;
+            let rhs = self.commaq()?;
+            q = Query::union_all(q, rhs);
+        }
+        Ok(q)
+    }
+
+    /// Comma-products `q₁, q₂, …` (left-associated) with an optional
+    /// postfix bare selection `… WHERE b` — so the `Display` output of
+    /// [`Query::Product`] and [`Query::Where`] re-parses. `SELECT`'s own
+    /// FROM/WHERE handling bypasses this level, so a `WHERE` after a
+    /// FROM-list still binds to the whole list there.
+    fn commaq(&mut self) -> Result<Query> {
+        let mut q = self.exceptq()?;
+        loop {
+            if *self.peek() == Tok::Comma {
+                self.bump();
+                q = Query::product(q, self.exceptq()?);
+            } else if self.eat_kw("WHERE") {
+                let b = self.pred()?;
+                q = Query::where_(q, b);
+            } else {
+                return Ok(q);
+            }
+        }
+    }
+
+    fn exceptq(&mut self) -> Result<Query> {
+        let mut q = self.atomq()?;
+        while self.eat_kw("EXCEPT") {
+            let rhs = self.atomq()?;
+            q = Query::except(q, rhs);
+        }
+        Ok(q)
+    }
+
+    fn atomq(&mut self) -> Result<Query> {
+        if self.eat_kw("DISTINCT") {
+            return Ok(Query::distinct(self.atomq()?));
+        }
+        if self.eat_kw("SELECT") {
+            let p = self.proj()?;
+            self.expect_kw("FROM")?;
+            let mut from = self.atomq()?;
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                from = Query::product(from, self.atomq()?);
+            }
+            if self.eat_kw("WHERE") {
+                let b = self.pred()?;
+                from = Query::where_(from, b);
+            }
+            return Ok(Query::select(p, from));
+        }
+        match self.bump() {
+            Tok::Ident(name) => Ok(Query::table(name)),
+            Tok::LParen => {
+                // Parenthesized query, a parenthesized FROM-list
+                // `(q₁, q₂, …)` denoting their product (the paper writes
+                // `FROM (FROM R1, R1), R2`; we accept `(R1, R1), R2`),
+                // or a parenthesized bare selection `(q WHERE b)` as
+                // emitted by `Query`'s `Display`.
+                let mut q = self.query()?;
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    q = Query::product(q, self.query()?);
+                }
+                if self.eat_kw("WHERE") {
+                    let b = self.pred()?;
+                    q = Query::where_(q, b);
+                }
+                self.expect(Tok::RParen)?;
+                Ok(q)
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected a query, found {other:?}"))
+            }
+        }
+    }
+
+    fn pred(&mut self) -> Result<Predicate> {
+        let mut b = self.andp()?;
+        while self.eat_kw("OR") {
+            b = Predicate::or(b, self.andp()?);
+        }
+        Ok(b)
+    }
+
+    fn andp(&mut self) -> Result<Predicate> {
+        let mut b = self.notp()?;
+        while self.eat_kw("AND") {
+            b = Predicate::and(b, self.notp()?);
+        }
+        Ok(b)
+    }
+
+    fn notp(&mut self) -> Result<Predicate> {
+        if self.eat_kw("NOT") {
+            return Ok(Predicate::not(self.notp()?));
+        }
+        if self.eat_kw("TRUE") {
+            return Ok(Predicate::True);
+        }
+        if self.eat_kw("FALSE") {
+            return Ok(Predicate::False);
+        }
+        if self.eat_kw("EXISTS") {
+            return Ok(Predicate::exists(self.atomq()?));
+        }
+        if self.eat_kw("CASTPRED") {
+            let p = self.proj()?;
+            self.expect(Tok::LParen)?;
+            let b = self.pred()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Predicate::cast(p, b));
+        }
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            let b = self.pred()?;
+            self.expect(Tok::RParen)?;
+            return Ok(b);
+        }
+        // Either `expr = expr`, an uninterpreted predicate call, or a
+        // bare predicate meta-variable.
+        let start = self.pos;
+        let e = self.expr()?;
+        if *self.peek() == Tok::Eq {
+            self.bump();
+            let rhs = self.expr()?;
+            return Ok(Predicate::eq(e, rhs));
+        }
+        match e {
+            // A bare call that is not followed by `=` is an
+            // uninterpreted predicate.
+            Expr::Fn(name, args) => Ok(Predicate::Uninterp(name, args)),
+            // A bare identifier parsed as a projection meta-variable is
+            // really a predicate meta-variable here.
+            Expr::P2E(Proj::Var(name)) => Ok(Predicate::Var(name)),
+            _ => {
+                self.pos = start;
+                self.err("expected a predicate")
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("CASTEXPR") {
+            let p = self.proj()?;
+            self.expect(Tok::LParen)?;
+            let e = self.expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Expr::cast(p, e));
+        }
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::int(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Value::str(s)))
+            }
+            Tok::Ident(name) => {
+                // Aggregate or function call?
+                if self.toks[self.pos + 1].0 == Tok::LParen {
+                    if Aggregate::parse(&name).is_some() {
+                        self.bump();
+                        self.bump(); // (
+                        let q = self.query()?;
+                        self.expect(Tok::RParen)?;
+                        return Ok(Expr::agg(name.to_ascii_uppercase(), q));
+                    }
+                    self.bump();
+                    self.bump(); // (
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::func(name, args));
+                }
+                // Otherwise a projection path used as an expression.
+                Ok(Expr::p2e(self.proj()?))
+            }
+            _ => Ok(Expr::p2e(self.proj()?)),
+        }
+    }
+
+    fn proj(&mut self) -> Result<Proj> {
+        let mut p = self.projatom()?;
+        while *self.peek() == Tok::Dot {
+            self.bump();
+            let rhs = self.projatom()?;
+            p = Proj::dot(p, rhs);
+        }
+        Ok(p)
+    }
+
+    fn projatom(&mut self) -> Result<Proj> {
+        match self.bump() {
+            Tok::Star => Ok(Proj::Star),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("Left") => Ok(Proj::Left),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("Right") => Ok(Proj::Right),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("Empty") => Ok(Proj::Empty),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("E2P") => {
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Proj::e2p(e))
+            }
+            Tok::Ident(s) => Ok(Proj::var(s)),
+            Tok::LParen => {
+                let a = self.proj()?;
+                self.expect(Tok::Comma)?;
+                let b = self.proj()?;
+                self.expect(Tok::RParen)?;
+                Ok(Proj::pair(a, b))
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected a projection, found {other:?}"))
+            }
+        }
+    }
+}
+
+fn lex(input: &str) -> Vec<(Tok, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                out.push((Tok::Star, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, i));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] as char != quote {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                i += 1; // closing quote (or EOF)
+                out.push((Tok::Str(s), start));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let neg = c == '-';
+                if neg {
+                    i += 1;
+                }
+                let mut n: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n * 10 + (bytes[i] - b'0') as i64;
+                    i += 1;
+                }
+                out.push((Tok::Int(if neg { -n } else { n }), start));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                let mut s = String::new();
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        s.push(c);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), start));
+            }
+            _ => {
+                // Unknown character: emit as EOF marker position; the
+                // parser will report an error here.
+                out.push((Tok::Eof, i));
+                i += 1;
+            }
+        }
+    }
+    out.push((Tok::Eof, input.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_products() {
+        let q = parse_query("SELECT * FROM R, S, T").unwrap();
+        match q {
+            Query::Select(Proj::Star, from) => match *from {
+                Query::Product(ab, c) => {
+                    assert_eq!(*c, Query::table("T"));
+                    assert!(matches!(*ab, Query::Product(_, _)));
+                }
+                other => panic!("expected product, got {other}"),
+            },
+            other => panic!("expected select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig1_rule_sides() {
+        let lhs = parse_query("SELECT * FROM (R UNION ALL S) WHERE b").unwrap();
+        let rhs =
+            parse_query("(SELECT * FROM R WHERE b) UNION ALL (SELECT * FROM S WHERE b)").unwrap();
+        assert!(matches!(lhs, Query::Select(_, _)));
+        assert!(matches!(rhs, Query::UnionAll(_, _)));
+    }
+
+    #[test]
+    fn parses_distinct_and_paths() {
+        let q = parse_query(
+            "DISTINCT SELECT Right.Left.a FROM R, R WHERE Right.Left.a = Right.Right.a",
+        )
+        .unwrap();
+        match &q {
+            Query::Distinct(inner) => match &**inner {
+                Query::Select(p, _) => {
+                    assert_eq!(p.to_string(), "Right.Left.a");
+                }
+                other => panic!("expected select, got {other}"),
+            },
+            other => panic!("expected distinct, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_except_and_union_precedence() {
+        let q = parse_query("R EXCEPT S UNION ALL T").unwrap();
+        // EXCEPT binds tighter: (R EXCEPT S) UNION ALL T.
+        assert!(matches!(q, Query::UnionAll(_, _)));
+    }
+
+    #[test]
+    fn parses_exists_and_castpred() {
+        let b = parse_pred("EXISTS (SELECT * FROM S WHERE CASTPRED Right (b))").unwrap();
+        assert!(matches!(b, Predicate::Exists(_)));
+        let b = parse_pred("CASTPRED Right (b)").unwrap();
+        assert_eq!(b, Predicate::cast(Proj::Right, Predicate::var("b")));
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let b = parse_pred("NOT (x = y) AND TRUE OR lt(Left, 30)").unwrap();
+        assert!(matches!(b, Predicate::Or(_, _)));
+        let b = parse_pred("b1 AND b2").unwrap();
+        assert_eq!(
+            b,
+            Predicate::and(Predicate::var("b1"), Predicate::var("b2"))
+        );
+    }
+
+    #[test]
+    fn parses_aggregates_and_functions() {
+        let b = parse_pred("SUM(SELECT Right.g FROM R) = add(1, 2)").unwrap();
+        match b {
+            Predicate::Eq(Expr::Agg(name, _), Expr::Fn(f, args)) => {
+                assert_eq!(name, "SUM");
+                assert_eq!(f, "add");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_constants() {
+        let b = parse_pred("Left.name = 'bob'").unwrap();
+        assert!(matches!(b, Predicate::Eq(_, Expr::Const(Value::Str(_)))));
+        let b = parse_pred("Left.age = -3").unwrap();
+        assert!(matches!(b, Predicate::Eq(_, Expr::Const(Value::Int(-3)))));
+    }
+
+    #[test]
+    fn parses_pair_projections() {
+        let q = parse_query("SELECT (Left.p1, Right.p2) FROM R, S").unwrap();
+        match q {
+            Query::Select(Proj::Pair(_, _), _) => {}
+            other => panic!("expected pair projection, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_parse_errors_with_offsets() {
+        let err = parse_query("SELECT FROM").unwrap_err();
+        match err {
+            HottsqlError::Parse { offset, .. } => assert!(offset > 0),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(parse_query("SELECT * FROM R extra garbage ^^^").is_err());
+    }
+
+    #[test]
+    fn parses_nested_parens() {
+        let q = parse_query("((R))").unwrap();
+        assert_eq!(q, Query::table("R"));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_query("select * from r where true").unwrap();
+        assert!(matches!(q, Query::Select(_, _)));
+    }
+}

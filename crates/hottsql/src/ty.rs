@@ -1,0 +1,393 @@
+//! The context-schema type system (`Γ ⊢ q : σ`).
+//!
+//! Typing follows the judgments implicit in Fig. 7: a query is typed
+//! under a context schema `Γ` (the concatenation of all tuple variables
+//! in surrounding scopes, Sec. 4) and produces an output schema `σ`;
+//! predicates are checked against a context; expressions produce a base
+//! type; projections map one schema to another.
+
+use crate::ast::{Expr, Predicate, Proj, Query};
+use crate::env::QueryEnv;
+use crate::error::{HottsqlError, Result};
+use relalg::ops::Aggregate;
+use relalg::{BaseType, Schema};
+
+/// Infers the output schema of `q` under context `ctx`: `Γ ⊢ q : σ`.
+///
+/// # Errors
+///
+/// Returns a [`HottsqlError`] for unbound names or shape mismatches.
+pub fn infer_query(q: &Query, env: &QueryEnv, ctx: &Schema) -> Result<Schema> {
+    match q {
+        Query::Table(name) => env
+            .table(name)
+            .cloned()
+            .ok_or_else(|| HottsqlError::Unbound(name.clone())),
+        Query::Select(p, inner) => {
+            let sigma_inner = infer_query(inner, env, ctx)?;
+            let select_ctx = Schema::node(ctx.clone(), sigma_inner);
+            infer_proj(p, env, &select_ctx)
+        }
+        Query::Product(a, b) => Ok(Schema::node(
+            infer_query(a, env, ctx)?,
+            infer_query(b, env, ctx)?,
+        )),
+        Query::Where(inner, b) => {
+            let sigma = infer_query(inner, env, ctx)?;
+            check_pred(b, env, &Schema::node(ctx.clone(), sigma.clone()))?;
+            Ok(sigma)
+        }
+        Query::UnionAll(a, b) | Query::Except(a, b) => {
+            let sa = infer_query(a, env, ctx)?;
+            let sb = infer_query(b, env, ctx)?;
+            if sa != sb {
+                return Err(HottsqlError::ty(
+                    format!("operands have schemas {sa} vs {sb}"),
+                    ctx,
+                ));
+            }
+            Ok(sa)
+        }
+        Query::Distinct(inner) => infer_query(inner, env, ctx),
+    }
+}
+
+/// Checks a predicate under context `ctx`: `Γ ⊢ b`.
+///
+/// # Errors
+///
+/// Returns a [`HottsqlError`] for unbound names, context mismatches on
+/// predicate meta-variables, or ill-typed equalities.
+pub fn check_pred(b: &Predicate, env: &QueryEnv, ctx: &Schema) -> Result<()> {
+    match b {
+        Predicate::Eq(a, e) => {
+            let ta = infer_expr(a, env, ctx)?;
+            let te = infer_expr(e, env, ctx)?;
+            if ta != te {
+                return Err(HottsqlError::ty(
+                    format!("equality between {ta} and {te}"),
+                    ctx,
+                ));
+            }
+            Ok(())
+        }
+        Predicate::Not(inner) => check_pred(inner, env, ctx),
+        Predicate::And(x, y) | Predicate::Or(x, y) => {
+            check_pred(x, env, ctx)?;
+            check_pred(y, env, ctx)
+        }
+        Predicate::True | Predicate::False => Ok(()),
+        Predicate::CastPred(p, inner) => {
+            let target = infer_proj(p, env, ctx)?;
+            check_pred(inner, env, &target)
+        }
+        Predicate::Exists(q) => {
+            infer_query(q, env, ctx)?;
+            Ok(())
+        }
+        Predicate::Var(name) => {
+            let declared = env
+                .pred(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            if declared != ctx {
+                return Err(HottsqlError::ty(
+                    format!("predicate {name} declared over {declared}"),
+                    ctx,
+                ));
+            }
+            Ok(())
+        }
+        Predicate::Uninterp(name, args) => {
+            if let Some(arity) = env.upred(name) {
+                if arity != args.len() {
+                    return Err(HottsqlError::ty(
+                        format!("predicate {name} expects {arity} arguments"),
+                        ctx,
+                    ));
+                }
+            }
+            for a in args {
+                infer_expr(a, env, ctx)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Infers the base type of an expression under context `ctx`:
+/// `Γ ⊢ e : τ`.
+///
+/// # Errors
+///
+/// Returns a [`HottsqlError`] for unbound names or non-leaf projections
+/// used as expressions.
+pub fn infer_expr(e: &Expr, env: &QueryEnv, ctx: &Schema) -> Result<BaseType> {
+    match e {
+        Expr::P2E(p) => match infer_proj(p, env, ctx)? {
+            Schema::Leaf(t) => Ok(t),
+            other => Err(HottsqlError::ty(
+                format!("projection used as expression has schema {other}"),
+                ctx,
+            )),
+        },
+        Expr::Fn(name, args) => {
+            for a in args {
+                infer_expr(a, env, ctx)?;
+            }
+            Ok(env.fn_result(name))
+        }
+        Expr::Agg(name, q) => {
+            let agg = Aggregate::parse(name).ok_or_else(|| {
+                HottsqlError::Unbound(format!("aggregate {name}"))
+            })?;
+            let sigma = infer_query(q, env, ctx)?;
+            match sigma {
+                Schema::Leaf(t) => match agg {
+                    Aggregate::Count => Ok(BaseType::Int),
+                    Aggregate::Sum | Aggregate::Avg => {
+                        if t == BaseType::Int {
+                            Ok(BaseType::Int)
+                        } else {
+                            Err(HottsqlError::ty(
+                                format!("{name} over non-integer column"),
+                                ctx,
+                            ))
+                        }
+                    }
+                    Aggregate::Max | Aggregate::Min => Ok(t),
+                },
+                other => Err(HottsqlError::ty(
+                    format!("aggregate over non-scalar query of schema {other}"),
+                    ctx,
+                )),
+            }
+        }
+        Expr::CastExpr(p, inner) => {
+            let target = infer_proj(p, env, ctx)?;
+            infer_expr(inner, env, &target)
+        }
+        Expr::Const(v) => v
+            .base_type()
+            .ok_or_else(|| HottsqlError::ty("NULL constant needs a typed context", ctx)),
+        Expr::Var(name) => {
+            let (declared, result) = env
+                .expr(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            if declared != ctx {
+                return Err(HottsqlError::ty(
+                    format!("expression {name} declared over {declared}"),
+                    ctx,
+                ));
+            }
+            Ok(*result)
+        }
+    }
+}
+
+/// Infers the target schema of a projection: `p : Γ ⇒ Γ′`.
+///
+/// # Errors
+///
+/// Returns a [`HottsqlError`] when a path selector does not match the
+/// shape of `from` or a meta-variable's declared input differs.
+pub fn infer_proj(p: &Proj, env: &QueryEnv, from: &Schema) -> Result<Schema> {
+    match p {
+        Proj::Star => Ok(from.clone()),
+        Proj::Left => match from {
+            Schema::Node(l, _) => Ok((**l).clone()),
+            other => Err(HottsqlError::ty("Left on a non-node schema", other)),
+        },
+        Proj::Right => match from {
+            Schema::Node(_, r) => Ok((**r).clone()),
+            other => Err(HottsqlError::ty("Right on a non-node schema", other)),
+        },
+        Proj::Empty => Ok(Schema::Empty),
+        Proj::Dot(p1, p2) => {
+            let mid = infer_proj(p1, env, from)?;
+            infer_proj(p2, env, &mid)
+        }
+        Proj::Pair(p1, p2) => Ok(Schema::node(
+            infer_proj(p1, env, from)?,
+            infer_proj(p2, env, from)?,
+        )),
+        Proj::E2P(e) => Ok(Schema::Leaf(infer_expr(e, env, from)?)),
+        Proj::Var(name) => {
+            let (input, output) = env
+                .proj(name)
+                .ok_or_else(|| HottsqlError::Unbound(name.clone()))?;
+            if input != from {
+                return Err(HottsqlError::ty(
+                    format!("projection {name} declared on input {input}"),
+                    from,
+                ));
+            }
+            Ok(output.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int() -> Schema {
+        Schema::leaf(BaseType::Int)
+    }
+
+    fn r_env() -> QueryEnv {
+        QueryEnv::new()
+            .with_table("R", Schema::node(int(), int()))
+            .with_table("S", Schema::leaf(BaseType::Bool))
+    }
+
+    #[test]
+    fn table_lookup() {
+        let env = r_env();
+        assert_eq!(
+            infer_query(&Query::table("R"), &env, &Schema::Empty).unwrap(),
+            Schema::node(int(), int())
+        );
+        assert!(matches!(
+            infer_query(&Query::table("Z"), &env, &Schema::Empty),
+            Err(HottsqlError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn product_builds_node() {
+        let env = r_env();
+        let q = Query::product(Query::table("R"), Query::table("S"));
+        assert_eq!(
+            infer_query(&q, &env, &Schema::Empty).unwrap(),
+            Schema::node(Schema::node(int(), int()), Schema::leaf(BaseType::Bool))
+        );
+    }
+
+    #[test]
+    fn select_context_includes_outer() {
+        // SELECT Right.Left FROM R under empty context: the projection's
+        // input is node(empty, σR).
+        let env = r_env();
+        let q = Query::select(Proj::dot(Proj::Right, Proj::Left), Query::table("R"));
+        assert_eq!(infer_query(&q, &env, &Schema::Empty).unwrap(), int());
+    }
+
+    #[test]
+    fn select_left_reaches_outer_context() {
+        // Under a nonempty context, SELECT Left.* returns the context —
+        // legal (if unusual) per Fig. 7.
+        let env = r_env();
+        let ctx = Schema::leaf(BaseType::Str);
+        let q = Query::select(Proj::Left, Query::table("R"));
+        assert_eq!(infer_query(&q, &env, &ctx).unwrap(), ctx);
+    }
+
+    #[test]
+    fn union_requires_equal_schemas() {
+        let env = r_env();
+        let ok = Query::union_all(Query::table("R"), Query::table("R"));
+        assert!(infer_query(&ok, &env, &Schema::Empty).is_ok());
+        let bad = Query::union_all(Query::table("R"), Query::table("S"));
+        assert!(infer_query(&bad, &env, &Schema::Empty).is_err());
+    }
+
+    #[test]
+    fn where_types_predicate_under_extended_context() {
+        let env = r_env();
+        // R WHERE Right.Left = Right.Right: predicate context is
+        // node(empty, σR).
+        let b = Predicate::eq(
+            Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
+            Expr::p2e(Proj::path([Proj::Right, Proj::Right])),
+        );
+        let q = Query::where_(Query::table("R"), b);
+        assert!(infer_query(&q, &env, &Schema::Empty).is_ok());
+        // Comparing int with bool fails.
+        let env2 = r_env().with_table("T", Schema::node(int(), Schema::leaf(BaseType::Bool)));
+        let b2 = Predicate::eq(
+            Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
+            Expr::p2e(Proj::path([Proj::Right, Proj::Right])),
+        );
+        let q2 = Query::where_(Query::table("T"), b2);
+        assert!(infer_query(&q2, &env2, &Schema::Empty).is_err());
+    }
+
+    #[test]
+    fn pred_var_context_must_match() {
+        let sigma = Schema::node(Schema::Empty, Schema::node(int(), int()));
+        let env = r_env().with_pred("b", sigma);
+        let q = Query::where_(Query::table("R"), Predicate::var("b"));
+        assert!(infer_query(&q, &env, &Schema::Empty).is_ok());
+        // Under a different outer context the declared context no longer
+        // matches.
+        assert!(infer_query(&q, &env, &int()).is_err());
+    }
+
+    #[test]
+    fn castpred_retargets_context() {
+        // CASTPRED Right b where b is declared over σR.
+        let sigma_r = Schema::node(int(), int());
+        let env = r_env().with_pred("b", sigma_r);
+        let b = Predicate::cast(Proj::Right, Predicate::var("b"));
+        let ctx = Schema::node(Schema::Empty, Schema::node(int(), int()));
+        assert!(check_pred(&b, &env, &ctx).is_ok());
+    }
+
+    #[test]
+    fn exists_checks_subquery() {
+        let env = r_env();
+        let b = Predicate::exists(Query::table("R"));
+        assert!(check_pred(&b, &env, &Schema::Empty).is_ok());
+        let bad = Predicate::exists(Query::table("Z"));
+        assert!(check_pred(&bad, &env, &Schema::Empty).is_err());
+    }
+
+    #[test]
+    fn aggregates_type() {
+        let env = r_env().with_table("C", int());
+        let e = Expr::agg("SUM", Query::table("C"));
+        assert_eq!(infer_expr(&e, &env, &Schema::Empty).unwrap(), BaseType::Int);
+        let e = Expr::agg("COUNT", Query::table("C"));
+        assert_eq!(infer_expr(&e, &env, &Schema::Empty).unwrap(), BaseType::Int);
+        // SUM over a two-column query is ill-typed.
+        let e = Expr::agg("SUM", Query::table("R"));
+        assert!(infer_expr(&e, &env, &Schema::Empty).is_err());
+        // Unknown aggregate.
+        let e = Expr::agg("MEDIAN", Query::table("C"));
+        assert!(infer_expr(&e, &env, &Schema::Empty).is_err());
+    }
+
+    #[test]
+    fn proj_var_signature_checked() {
+        let sigma_r = Schema::node(int(), int());
+        let env = r_env().with_proj("k", sigma_r.clone(), int());
+        assert_eq!(infer_proj(&Proj::var("k"), &env, &sigma_r).unwrap(), int());
+        assert!(infer_proj(&Proj::var("k"), &env, &int()).is_err());
+        assert!(infer_proj(&Proj::var("z"), &env, &sigma_r).is_err());
+    }
+
+    #[test]
+    fn e2p_wraps_expression_type() {
+        let env = r_env();
+        let p = Proj::e2p(Expr::int(3));
+        assert_eq!(infer_proj(&p, &env, &Schema::Empty).unwrap(), int());
+    }
+
+    #[test]
+    fn null_constant_is_untypable() {
+        let env = r_env();
+        let e = Expr::Const(relalg::Value::Null);
+        assert!(infer_expr(&e, &env, &Schema::Empty).is_err());
+    }
+
+    #[test]
+    fn star_and_empty() {
+        let env = r_env();
+        let s = Schema::node(int(), int());
+        assert_eq!(infer_proj(&Proj::Star, &env, &s).unwrap(), s);
+        assert_eq!(
+            infer_proj(&Proj::Empty, &env, &s).unwrap(),
+            Schema::Empty
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Parser round-trips and error handling on a corpus of paper queries.
+
+use hottsql::ast::{Predicate, Proj, Query};
+use hottsql::parse::{parse_pred, parse_query};
+
+/// Queries lifted from the paper (Sec. 2, 3.2, 4.2, 5.1, 5.2), in our
+/// concrete syntax.
+const CORPUS: &[&str] = &[
+    "SELECT Right.Left FROM R",
+    "DISTINCT SELECT Right.Left FROM R",
+    "SELECT Right FROM (R UNION ALL S) WHERE b",
+    "(SELECT Right FROM R WHERE b) UNION ALL (SELECT Right FROM S WHERE b)",
+    "DISTINCT SELECT Right.Left.a FROM R, R WHERE Right.Left.a = Right.Right.a",
+    "SELECT Right.Left FROM R, S",
+    "SELECT Right.Right.p FROM R, S",
+    "SELECT (Right.Left.p1, Right.Right.p2) FROM R, S",
+    "SELECT E2P(add(Right.p1, Right.p2)) FROM R",
+    "R EXCEPT S",
+    "DISTINCT SELECT Right.Left.Left FROM (R1, R1), R2 \
+     WHERE Right.Left.Left.Left = Right.Left.Right.Left \
+     AND Right.Left.Left.Right = Right.Right",
+    "SELECT Right FROM R WHERE EXISTS (SELECT Right FROM S WHERE CASTPRED Right (b))",
+    "SELECT Right FROM R WHERE NOT (Right.a = 5) AND TRUE",
+    "SELECT Right FROM R WHERE lt(Right.age, 30) OR Right.name = 'bob'",
+    "SELECT Right FROM R WHERE SUM(SELECT Right.g FROM R) = 5",
+];
+
+#[test]
+fn corpus_parses() {
+    for text in CORPUS {
+        parse_query(text).unwrap_or_else(|e| panic!("{text}\n  -> {e}"));
+    }
+}
+
+#[test]
+fn display_of_parsed_corpus_reparses_equal() {
+    // Query's Display emits fully parenthesized concrete syntax; parsing
+    // it back must give the same AST (a weak printer-parser adjunction).
+    for text in CORPUS {
+        let q = parse_query(text).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed form of {text} does not reparse: {printed}\n  -> {e}"));
+        assert_eq!(q, q2, "{text}\n  printed: {printed}");
+    }
+}
+
+#[test]
+fn pred_display_reparses() {
+    let preds = [
+        "Left.a = Right.b",
+        "NOT (b1) AND (b2 OR TRUE)",
+        "EXISTS (SELECT Right FROM R)",
+        "CASTPRED Right (b)",
+        "lt(Left.x, 3)",
+    ];
+    for text in preds {
+        let b = parse_pred(text).unwrap();
+        let printed = b.to_string();
+        let b2 = parse_pred(&printed)
+            .unwrap_or_else(|e| panic!("printed pred does not reparse: {printed}\n  -> {e}"));
+        assert_eq!(b, b2, "{text} -> {printed}");
+    }
+}
+
+#[test]
+fn structure_of_nested_from_lists() {
+    let q = parse_query("SELECT Right FROM A, B, C").unwrap();
+    match q {
+        Query::Select(Proj::Right, from) => {
+            assert_eq!(
+                *from,
+                Query::product(
+                    Query::product(Query::table("A"), Query::table("B")),
+                    Query::table("C")
+                )
+            );
+        }
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn where_binds_to_whole_from_list() {
+    let q = parse_query("SELECT Right FROM A, B WHERE TRUE").unwrap();
+    match q {
+        Query::Select(_, body) => match *body {
+            Query::Where(from, Predicate::True) => {
+                assert!(matches!(*from, Query::Product(_, _)));
+            }
+            other => panic!("unexpected {other}"),
+        },
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn malformed_inputs_error_cleanly() {
+    for text in [
+        "",
+        "SELECT",
+        "SELECT * FROM",
+        "SELECT * FROM R WHERE",
+        "R UNION S",      // missing ALL
+        "((R)",           // unbalanced
+        "SELECT * FROM R WHERE x =",
+        "SELECT *. FROM R",
+    ] {
+        assert!(parse_query(text).is_err(), "{text:?} should not parse");
+    }
+}
+
+#[test]
+fn generated_queries_roundtrip_through_display() {
+    use hottsql::arbitrary::QueryGen;
+    use relalg::{BaseType, Schema};
+    let tables = vec![
+        (
+            "R".to_string(),
+            Schema::flat([BaseType::Int, BaseType::Int]),
+        ),
+        ("T".to_string(), Schema::leaf(BaseType::Int)),
+    ];
+    for seed in 0..80u64 {
+        let mut g = QueryGen::new(seed, tables.clone());
+        let (q, _) = g.query();
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {printed}\n  -> {e}"));
+        // Projection paths may re-associate (`a.(b.c)` vs `(a.b).c` are
+        // the same function), so compare up to a display fixpoint.
+        assert_eq!(
+            printed,
+            reparsed.to_string(),
+            "seed {seed}: display not stable under reparse"
+        );
+    }
+}
+
+#[test]
+fn keywords_do_not_shadow_identifiers() {
+    // "Lefty" is an identifier, not the Left selector.
+    let q = parse_query("SELECT Right.Lefty FROM R").unwrap();
+    match q {
+        Query::Select(p, _) => assert_eq!(p, Proj::dot(Proj::Right, Proj::var("Lefty"))),
+        other => panic!("unexpected {other}"),
+    }
+}

@@ -1,0 +1,291 @@
+//! Cardinals: natural numbers extended with the countable infinite `ω`.
+//!
+//! HoTTSQL's first generalization of K-relations (Sec. 2) drops the
+//! finite-support requirement and lets a tuple's multiplicity be *any*
+//! cardinal. In the executable model we represent cardinals as
+//! `ℕ ∪ {ω}`; `ω` stands for any infinite multiplicity (the distinction
+//! between infinite cardinals is never observable through UniNomial
+//! operations used by SQL queries on countable domains).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// A cardinal number: a finite natural or the countable infinite `ω`.
+///
+/// `Card` forms the commutative semiring the paper requires of
+/// multiplicities, together with the derived unary operations of
+/// Definition 3.1: [`Card::squash`] (`‖·‖`) and [`Card::not`] (`· → 0`).
+///
+/// # Example
+///
+/// ```
+/// use relalg::Card;
+/// assert_eq!(Card::Fin(2) + Card::Fin(3), Card::Fin(5));
+/// assert_eq!(Card::Omega * Card::ZERO, Card::ZERO); // ω × 0 = 0
+/// assert_eq!(Card::Fin(7).squash(), Card::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Card {
+    /// A finite multiplicity.
+    Fin(u64),
+    /// An infinite multiplicity (`ω`).
+    Omega,
+}
+
+impl Card {
+    /// The additive identity `0` (the empty type).
+    pub const ZERO: Card = Card::Fin(0);
+    /// The multiplicative identity `1` (the unit type).
+    pub const ONE: Card = Card::Fin(1);
+
+    /// Returns `true` if this cardinal is zero.
+    ///
+    /// ```
+    /// use relalg::Card;
+    /// assert!(Card::ZERO.is_zero());
+    /// assert!(!Card::Omega.is_zero());
+    /// ```
+    pub fn is_zero(self) -> bool {
+        self == Card::ZERO
+    }
+
+    /// The squash `‖n‖` of Definition 3.1: `0` if `n = 0`, otherwise `1`.
+    ///
+    /// This is the multiplicity-level meaning of SQL `DISTINCT`.
+    ///
+    /// ```
+    /// use relalg::Card;
+    /// assert_eq!(Card::Omega.squash(), Card::ONE);
+    /// assert_eq!(Card::ZERO.squash(), Card::ZERO);
+    /// ```
+    pub fn squash(self) -> Card {
+        if self.is_zero() {
+            Card::ZERO
+        } else {
+            Card::ONE
+        }
+    }
+
+    /// The negation `n → 0` of Definition 3.1: `1` if `n = 0`, else `0`.
+    ///
+    /// Used to denote `NOT` and `EXCEPT` (Sec. 3.4).
+    ///
+    /// ```
+    /// use relalg::Card;
+    /// assert_eq!(Card::ZERO.not(), Card::ONE);
+    /// assert_eq!(Card::Fin(3).not(), Card::ZERO);
+    /// ```
+    pub fn not(self) -> Card {
+        if self.is_zero() {
+            Card::ONE
+        } else {
+            Card::ZERO
+        }
+    }
+
+    /// Converts a boolean proposition into its propositional cardinal:
+    /// `true ↦ 1`, `false ↦ 0`.
+    ///
+    /// ```
+    /// use relalg::Card;
+    /// assert_eq!(Card::from_bool(1 + 1 == 2), Card::ONE);
+    /// ```
+    pub fn from_bool(b: bool) -> Card {
+        if b {
+            Card::ONE
+        } else {
+            Card::ZERO
+        }
+    }
+
+    /// Returns the finite value, or `None` for `ω`.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Card::Fin(n) => Some(n),
+            Card::Omega => None,
+        }
+    }
+
+    /// Saturating exponent-free multiplication helper used internally:
+    /// identical to `*` but avoids constructing temporaries.
+    pub(crate) fn mul_card(self, rhs: Card) -> Card {
+        match (self, rhs) {
+            (Card::Fin(0), _) | (_, Card::Fin(0)) => Card::ZERO,
+            (Card::Fin(a), Card::Fin(b)) => match a.checked_mul(b) {
+                Some(p) => Card::Fin(p),
+                // Multiplicities beyond u64 are indistinguishable from ω for
+                // every operation SQL queries can perform on them.
+                None => Card::Omega,
+            },
+            _ => Card::Omega,
+        }
+    }
+}
+
+impl Default for Card {
+    fn default() -> Self {
+        Card::ZERO
+    }
+}
+
+impl fmt::Debug for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Card::Fin(n) => write!(f, "{n}"),
+            Card::Omega => write!(f, "ω"),
+        }
+    }
+}
+
+impl fmt::Display for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Card {
+    fn from(n: u64) -> Self {
+        Card::Fin(n)
+    }
+}
+
+impl From<bool> for Card {
+    fn from(b: bool) -> Self {
+        Card::from_bool(b)
+    }
+}
+
+impl Add for Card {
+    type Output = Card;
+
+    fn add(self, rhs: Card) -> Card {
+        match (self, rhs) {
+            (Card::Fin(a), Card::Fin(b)) => match a.checked_add(b) {
+                Some(s) => Card::Fin(s),
+                None => Card::Omega,
+            },
+            _ => Card::Omega,
+        }
+    }
+}
+
+impl AddAssign for Card {
+    fn add_assign(&mut self, rhs: Card) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul for Card {
+    type Output = Card;
+
+    fn mul(self, rhs: Card) -> Card {
+        self.mul_card(rhs)
+    }
+}
+
+impl MulAssign for Card {
+    fn mul_assign(&mut self, rhs: Card) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Card {
+    fn sum<I: Iterator<Item = Card>>(iter: I) -> Card {
+        iter.fold(Card::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_identity() {
+        for c in [Card::ZERO, Card::Fin(7), Card::Omega] {
+            assert_eq!(c + Card::ZERO, c);
+            assert_eq!(Card::ZERO + c, c);
+        }
+    }
+
+    #[test]
+    fn multiplicative_identity() {
+        for c in [Card::ZERO, Card::Fin(7), Card::Omega] {
+            assert_eq!(c * Card::ONE, c);
+            assert_eq!(Card::ONE * c, c);
+        }
+    }
+
+    #[test]
+    fn annihilation_by_zero_including_omega() {
+        // The crucial semiring law for infinite multiplicities: ω × 0 = 0.
+        assert_eq!(Card::Omega * Card::ZERO, Card::ZERO);
+        assert_eq!(Card::ZERO * Card::Omega, Card::ZERO);
+    }
+
+    #[test]
+    fn omega_absorbs_addition() {
+        assert_eq!(Card::Omega + Card::Fin(3), Card::Omega);
+        assert_eq!(Card::Fin(3) + Card::Omega, Card::Omega);
+        assert_eq!(Card::Omega + Card::Omega, Card::Omega);
+    }
+
+    #[test]
+    fn omega_absorbs_nonzero_multiplication() {
+        assert_eq!(Card::Omega * Card::Fin(2), Card::Omega);
+        assert_eq!(Card::Fin(2) * Card::Omega, Card::Omega);
+        assert_eq!(Card::Omega * Card::Omega, Card::Omega);
+    }
+
+    #[test]
+    fn squash_and_not() {
+        assert_eq!(Card::ZERO.squash(), Card::ZERO);
+        assert_eq!(Card::Fin(1).squash(), Card::ONE);
+        assert_eq!(Card::Fin(42).squash(), Card::ONE);
+        assert_eq!(Card::Omega.squash(), Card::ONE);
+        assert_eq!(Card::ZERO.not(), Card::ONE);
+        assert_eq!(Card::Fin(42).not(), Card::ZERO);
+        assert_eq!(Card::Omega.not(), Card::ZERO);
+    }
+
+    #[test]
+    fn double_negation_is_squash() {
+        // ‖n‖ = (n → 0) → 0, Definition 3.1.
+        for c in [Card::ZERO, Card::ONE, Card::Fin(9), Card::Omega] {
+            assert_eq!(c.not().not(), c.squash());
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_omega() {
+        assert_eq!(Card::Fin(u64::MAX) + Card::ONE, Card::Omega);
+        assert_eq!(Card::Fin(u64::MAX) * Card::Fin(2), Card::Omega);
+    }
+
+    #[test]
+    fn distributivity_samples() {
+        let cases = [
+            (Card::Fin(2), Card::Fin(3), Card::Fin(4)),
+            (Card::Omega, Card::Fin(3), Card::ZERO),
+            (Card::Fin(5), Card::Omega, Card::Fin(1)),
+            (Card::ZERO, Card::Omega, Card::Omega),
+        ];
+        for (a, b, c) in cases {
+            assert_eq!(a * (b + c), a * b + a * c, "a={a:?} b={b:?} c={c:?}");
+        }
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Card = [Card::Fin(1), Card::Fin(2), Card::Fin(3)].into_iter().sum();
+        assert_eq!(total, Card::Fin(6));
+        let total: Card = [Card::Fin(1), Card::Omega].into_iter().sum();
+        assert_eq!(total, Card::Omega);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Card::Fin(12).to_string(), "12");
+        assert_eq!(Card::Omega.to_string(), "ω");
+    }
+}

@@ -1,0 +1,258 @@
+//! Integrity constraints: keys and functional dependencies (Sec. 4.2).
+//!
+//! The paper defines a key semantically: a projection `k` is a key of `R`
+//! iff `R` equals its self-join on `k` projected back (so the self-join
+//! keeps every tuple with unchanged multiplicity). Operationally, that is
+//! equivalent to: every tuple of `R` has multiplicity 1 and no two
+//! distinct tuples agree on `k`. This module provides both the semantic
+//! (self-join) check — matching the paper's definition literally — and
+//! the operational check, and tests that they coincide.
+
+use crate::card::Card;
+use crate::ops;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Checks `key(k)(R)` operationally: all multiplicities are 1 and the
+/// projection `k` is injective on the support.
+///
+/// ```
+/// use relalg::{constraints, BaseType, Relation, Schema, Tuple};
+/// let s = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+/// let r = Relation::from_tuples(s, [
+///     Tuple::pair(Tuple::int(1), Tuple::int(10)),
+///     Tuple::pair(Tuple::int(2), Tuple::int(10)),
+/// ]).unwrap();
+/// assert!(constraints::is_key(&r, |t| t.fst().unwrap().clone()));
+/// assert!(!constraints::is_key(&r, |t| t.snd().unwrap().clone()));
+/// ```
+pub fn is_key(r: &Relation, k: impl Fn(&Tuple) -> Tuple) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    for (t, c) in r.iter() {
+        if c != Card::ONE {
+            return false;
+        }
+        if !seen.insert(k(t)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks `key(k)(R)` with the paper's semantic definition (Sec. 4.2):
+///
+/// ```text
+/// SELECT * FROM R  ≡  SELECT Left.* FROM R, R WHERE Right.Left.k = Right.Right.k
+/// ```
+///
+/// i.e. the self-join of `R` on `k`, projected to the left copy, is
+/// bag-equal to `R` itself.
+pub fn is_key_semantic(r: &Relation, k: impl Fn(&Tuple) -> Tuple) -> bool {
+    let joined = ops::product(r, r);
+    let filtered = ops::select(&joined, |t| {
+        let l = t.fst().expect("product tuple");
+        let rr = t.snd().expect("product tuple");
+        Card::from_bool(k(l) == k(rr))
+    });
+    let projected = ops::project(&filtered, r.schema().clone(), |t| {
+        t.fst().expect("product tuple").clone()
+    })
+    .expect("projection to left copy conforms");
+    projected.bag_eq(r)
+}
+
+/// Checks the functional dependency `a → b` on `R`: any two tuples that
+/// agree on `a` also agree on `b` (Sec. 4.2).
+///
+/// ```
+/// use relalg::{constraints, BaseType, Relation, Schema, Tuple};
+/// let s = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+/// let r = Relation::from_tuples(s, [
+///     Tuple::pair(Tuple::int(1), Tuple::int(10)),
+///     Tuple::pair(Tuple::int(1), Tuple::int(10)),
+///     Tuple::pair(Tuple::int(2), Tuple::int(20)),
+/// ]).unwrap();
+/// assert!(constraints::functional_dependency(
+///     &r,
+///     |t| t.fst().unwrap().clone(),
+///     |t| t.snd().unwrap().clone(),
+/// ));
+/// ```
+pub fn functional_dependency(
+    r: &Relation,
+    a: impl Fn(&Tuple) -> Tuple,
+    b: impl Fn(&Tuple) -> Tuple,
+) -> bool {
+    let mut map: std::collections::BTreeMap<Tuple, Tuple> = std::collections::BTreeMap::new();
+    for (t, _) in r.iter() {
+        let av = a(t);
+        let bv = b(t);
+        match map.get(&av) {
+            Some(prev) if *prev != bv => return false,
+            Some(_) => {}
+            None => {
+                map.insert(av, bv);
+            }
+        }
+    }
+    true
+}
+
+/// The paper's reduction (Sec. 4.2): `a → b` holds on `R` iff `a` is a key
+/// of `DISTINCT (SELECT a, b FROM R)`.
+pub fn functional_dependency_via_key(
+    r: &Relation,
+    a: impl Fn(&Tuple) -> Tuple,
+    b: impl Fn(&Tuple) -> Tuple,
+) -> bool {
+    // Project to (a, b) pairs, then dedup.
+    let mut projected = Relation::empty(crate::Schema::Empty);
+    let mut first = true;
+    for (t, c) in r.iter() {
+        let pair = Tuple::pair(a(t), b(t));
+        if first {
+            // Infer the output schema from the first projected tuple: the
+            // generic caller supplies untyped projections.
+            projected = Relation::empty(infer_schema(&pair));
+            first = false;
+        }
+        projected.insert_with(pair, c);
+    }
+    if first {
+        return true; // empty relation satisfies every FD
+    }
+    let deduped = ops::distinct(&projected);
+    is_key(&deduped, |t| t.fst().expect("pair tuple").clone())
+}
+
+/// Infers the (unique) schema a concrete NULL-free tuple conforms to.
+/// NULL leaves are assigned `int` arbitrarily.
+pub fn infer_schema(t: &Tuple) -> crate::Schema {
+    use crate::{BaseType, Schema};
+    match t {
+        Tuple::Unit => Schema::Empty,
+        Tuple::Leaf(v) => Schema::Leaf(v.base_type().unwrap_or(BaseType::Int)),
+        Tuple::Pair(l, r) => Schema::node(infer_schema(l), infer_schema(r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BaseType;
+    use crate::Schema;
+
+    fn two_col(rows: &[(i64, i64)]) -> Relation {
+        let s = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+        Relation::from_tuples(
+            s,
+            rows.iter()
+                .map(|&(a, b)| Tuple::pair(Tuple::int(a), Tuple::int(b))),
+        )
+        .unwrap()
+    }
+
+    fn fst(t: &Tuple) -> Tuple {
+        t.fst().unwrap().clone()
+    }
+    fn snd(t: &Tuple) -> Tuple {
+        t.snd().unwrap().clone()
+    }
+
+    #[test]
+    fn key_holds() {
+        let r = two_col(&[(1, 10), (2, 10), (3, 30)]);
+        assert!(is_key(&r, fst));
+        assert!(is_key_semantic(&r, fst));
+    }
+
+    #[test]
+    fn key_fails_on_duplicate_key_values() {
+        let r = two_col(&[(1, 10), (1, 20)]);
+        assert!(!is_key(&r, fst));
+        assert!(!is_key_semantic(&r, fst));
+    }
+
+    #[test]
+    fn key_fails_on_duplicate_rows() {
+        let r = two_col(&[(1, 10), (1, 10)]);
+        assert!(!is_key(&r, fst));
+        assert!(!is_key_semantic(&r, fst));
+    }
+
+    #[test]
+    fn semantic_and_operational_key_agree_on_samples() {
+        let cases: &[&[(i64, i64)]] = &[
+            &[],
+            &[(1, 1)],
+            &[(1, 1), (2, 1)],
+            &[(1, 1), (1, 2)],
+            &[(1, 1), (2, 2), (2, 2)],
+            &[(0, 5), (1, 5), (2, 5), (3, 5)],
+        ];
+        for rows in cases {
+            let r = two_col(rows);
+            assert_eq!(
+                is_key(&r, fst),
+                is_key_semantic(&r, fst),
+                "disagreement on {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_holds() {
+        let r = two_col(&[(1, 10), (1, 10), (2, 20)]);
+        assert!(functional_dependency(&r, fst, snd));
+        assert!(functional_dependency_via_key(&r, fst, snd));
+    }
+
+    #[test]
+    fn fd_fails() {
+        let r = two_col(&[(1, 10), (1, 20)]);
+        assert!(!functional_dependency(&r, fst, snd));
+        assert!(!functional_dependency_via_key(&r, fst, snd));
+    }
+
+    #[test]
+    fn fd_on_empty_relation() {
+        let r = two_col(&[]);
+        assert!(functional_dependency(&r, fst, snd));
+        assert!(functional_dependency_via_key(&r, fst, snd));
+    }
+
+    #[test]
+    fn fd_definitions_agree_on_samples() {
+        let cases: &[&[(i64, i64)]] = &[
+            &[],
+            &[(1, 1)],
+            &[(1, 1), (2, 1)],
+            &[(1, 1), (1, 2)],
+            &[(1, 1), (1, 1), (2, 3)],
+            &[(5, 5), (6, 5), (5, 6)],
+        ];
+        for rows in cases {
+            let r = two_col(rows);
+            assert_eq!(
+                functional_dependency(&r, fst, snd),
+                functional_dependency_via_key(&r, fst, snd),
+                "disagreement on {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_implies_fd_to_everything() {
+        let r = two_col(&[(1, 7), (2, 9), (3, 7)]);
+        assert!(is_key(&r, fst));
+        assert!(functional_dependency(&r, fst, snd));
+        assert!(functional_dependency(&r, fst, |t| t.clone()));
+    }
+
+    #[test]
+    fn infer_schema_roundtrip() {
+        let t = Tuple::pair(Tuple::string("x"), Tuple::pair(Tuple::int(1), Tuple::bool(true)));
+        let s = infer_schema(&t);
+        assert!(t.conforms_to(&s));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the `relalg` crate.
+
+use crate::schema::Schema;
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, RelalgError>;
+
+/// Errors raised by relational operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelalgError {
+    /// A tuple does not conform to the schema of the relation it was
+    /// inserted into or evaluated against.
+    SchemaMismatch {
+        /// The expected schema.
+        expected: Schema,
+        /// A description of the offending tuple.
+        tuple: String,
+    },
+    /// Two relations that must share a schema do not.
+    IncompatibleSchemas {
+        /// Schema of the left operand.
+        left: Schema,
+        /// Schema of the right operand.
+        right: Schema,
+    },
+    /// An aggregate was applied to a value of the wrong type.
+    TypeError(String),
+    /// An operation required a finite relation but received one with an
+    /// `ω` multiplicity (e.g. `AVG` over an infinite bag).
+    InfiniteCardinality(String),
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::SchemaMismatch { expected, tuple } => {
+                write!(f, "tuple {tuple} does not conform to schema {expected}")
+            }
+            RelalgError::IncompatibleSchemas { left, right } => {
+                write!(f, "incompatible schemas {left} and {right}")
+            }
+            RelalgError::TypeError(msg) => write!(f, "type error: {msg}"),
+            RelalgError::InfiniteCardinality(msg) => {
+                write!(f, "operation requires finite multiplicities: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = RelalgError::TypeError("SUM over bool".into());
+        assert_eq!(e.to_string(), "type error: SUM over bool");
+        let e = RelalgError::IncompatibleSchemas {
+            left: Schema::Empty,
+            right: Schema::Empty,
+        };
+        assert!(e.to_string().contains("incompatible schemas"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RelalgError>();
+    }
+}

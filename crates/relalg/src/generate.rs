@@ -1,0 +1,255 @@
+//! Random schema and instance generators.
+//!
+//! The differential-testing harness (see the `dopcert` crate) validates
+//! every proved rewrite rule by executing both sides on randomly generated
+//! database instances. This module provides deterministic, seedable
+//! generators for schemas, tuples, and relations.
+
+use crate::card::Card;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{BaseType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random instance generation.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum number of distinct tuples per generated relation.
+    pub max_support: usize,
+    /// Maximum multiplicity per tuple.
+    pub max_multiplicity: u64,
+    /// Inclusive range of integer values (small, to force collisions —
+    /// equality-heavy rewrite rules are only exercised when values repeat).
+    pub int_range: (i64, i64),
+    /// Maximum leaves when generating random schemas.
+    pub max_schema_width: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_support: 6,
+            max_multiplicity: 3,
+            int_range: (0, 3),
+            max_schema_width: 3,
+        }
+    }
+}
+
+/// A seedable generator of schemas, tuples, and relations.
+#[derive(Debug)]
+pub struct Generator {
+    rng: StdRng,
+    config: GenConfig,
+}
+
+impl Generator {
+    /// Creates a generator with the given seed and default configuration.
+    ///
+    /// ```
+    /// use relalg::generate::Generator;
+    /// let mut g = Generator::new(42);
+    /// let schema = g.schema();
+    /// let r = g.relation(&schema);
+    /// for (t, _) in r.iter() {
+    ///     assert!(t.conforms_to(&schema));
+    /// }
+    /// ```
+    pub fn new(seed: u64) -> Generator {
+        Generator::with_config(seed, GenConfig::default())
+    }
+
+    /// Creates a generator with an explicit configuration.
+    pub fn with_config(seed: u64, config: GenConfig) -> Generator {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Generates a random base type (ints weighted higher: most rewrite
+    /// rules compare attributes, and integer collisions exercise joins).
+    pub fn base_type(&mut self) -> BaseType {
+        match self.rng.gen_range(0..4) {
+            0 => BaseType::Bool,
+            1 => BaseType::Str,
+            _ => BaseType::Int,
+        }
+    }
+
+    /// Generates a random schema with between 1 and `max_schema_width`
+    /// leaves, with random tree shape.
+    pub fn schema(&mut self) -> Schema {
+        let width = self.rng.gen_range(1..=self.config.max_schema_width);
+        self.schema_of_width(width)
+    }
+
+    /// Generates a random schema with exactly `width` leaves.
+    pub fn schema_of_width(&mut self, width: usize) -> Schema {
+        match width {
+            0 => Schema::Empty,
+            1 => Schema::Leaf(self.base_type()),
+            _ => {
+                let left = self.rng.gen_range(1..width);
+                Schema::node(
+                    self.schema_of_width(left),
+                    self.schema_of_width(width - left),
+                )
+            }
+        }
+    }
+
+    /// Generates a random value of the given type.
+    pub fn value(&mut self, ty: BaseType) -> Value {
+        match ty {
+            BaseType::Int => {
+                let (lo, hi) = self.config.int_range;
+                Value::Int(self.rng.gen_range(lo..=hi))
+            }
+            BaseType::Bool => Value::Bool(self.rng.gen()),
+            BaseType::Str => {
+                let letters = ["a", "b", "c"];
+                Value::str(letters[self.rng.gen_range(0..letters.len())])
+            }
+        }
+    }
+
+    /// Generates a random tuple conforming to `schema`.
+    pub fn tuple(&mut self, schema: &Schema) -> Tuple {
+        match schema {
+            Schema::Empty => Tuple::Unit,
+            Schema::Leaf(t) => Tuple::Leaf(self.value(*t)),
+            Schema::Node(l, r) => Tuple::pair(self.tuple(l), self.tuple(r)),
+        }
+    }
+
+    /// Generates a random relation over `schema` with finite
+    /// multiplicities.
+    pub fn relation(&mut self, schema: &Schema) -> Relation {
+        let support = self.rng.gen_range(0..=self.config.max_support);
+        let mut r = Relation::empty(schema.clone());
+        for _ in 0..support {
+            let t = self.tuple(schema);
+            let m = self.rng.gen_range(1..=self.config.max_multiplicity);
+            r.insert_with(t, Card::Fin(m));
+        }
+        r
+    }
+
+    /// Generates a relation where `fst` is a key (for index/FD rules).
+    /// Keys are consecutive integers; the rest of the tuple is random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schema` is not a `node` with an `int` leaf on the left.
+    pub fn keyed_relation(&mut self, schema: &Schema) -> Relation {
+        let (left, right) = schema
+            .children()
+            .expect("keyed relation schema must be a node");
+        assert_eq!(
+            *left,
+            Schema::leaf(BaseType::Int),
+            "key column must be a single int leaf"
+        );
+        let support = self.rng.gen_range(0..=self.config.max_support);
+        let mut r = Relation::empty(schema.clone());
+        for i in 0..support {
+            let t = Tuple::pair(Tuple::int(i as i64), self.tuple(right));
+            r.insert_with(t, Card::ONE);
+        }
+        r
+    }
+
+    /// Access to the underlying RNG for ad-hoc choices.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Generator::new(7);
+        let mut b = Generator::new(7);
+        let s = a.schema();
+        assert_eq!(s, b.schema());
+        assert!(a.relation(&s).bag_eq(&b.relation(&s)));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mut a = Generator::new(1);
+        let mut b = Generator::new(2);
+        let sa: Vec<Schema> = (0..8).map(|_| a.schema()).collect();
+        let sb: Vec<Schema> = (0..8).map(|_| b.schema()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn generated_tuples_conform() {
+        let mut g = Generator::new(3);
+        for _ in 0..50 {
+            let s = g.schema();
+            let t = g.tuple(&s);
+            assert!(t.conforms_to(&s), "{t} !: {s}");
+        }
+    }
+
+    #[test]
+    fn generated_relations_conform_and_are_finite() {
+        let mut g = Generator::new(4);
+        for _ in 0..20 {
+            let s = g.schema();
+            let r = g.relation(&s);
+            assert_eq!(r.schema(), &s);
+            for (t, c) in r.iter() {
+                assert!(t.conforms_to(&s));
+                assert!(c.finite().is_some());
+                assert!(!c.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn schema_width_respected() {
+        let mut g = Generator::new(5);
+        for w in 1..6 {
+            assert_eq!(g.schema_of_width(w).width(), w);
+        }
+    }
+
+    #[test]
+    fn keyed_relation_has_key() {
+        let mut g = Generator::new(6);
+        let schema = Schema::node(
+            Schema::leaf(BaseType::Int),
+            Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Bool)),
+        );
+        for _ in 0..10 {
+            let r = g.keyed_relation(&schema);
+            assert!(crate::constraints::is_key(&r, |t| t
+                .fst()
+                .unwrap()
+                .clone()));
+        }
+    }
+
+    #[test]
+    fn small_int_range_forces_collisions() {
+        let mut g = Generator::new(8);
+        let s = Schema::leaf(BaseType::Int);
+        let mut total = 0usize;
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let t = g.tuple(&s);
+            distinct.insert(t);
+            total += 1;
+        }
+        assert!(distinct.len() < total / 2, "domain too large for collisions");
+    }
+}

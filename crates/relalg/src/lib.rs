@@ -1,0 +1,60 @@
+//! Executable K-relation substrate for the HoTTSQL reproduction.
+//!
+//! The paper (Sec. 2–3) interprets a SQL relation as a function
+//! `Tuple σ → U` from tuples to univalent types, whose *cardinality* is the
+//! multiplicity of the tuple. This crate provides the concrete, executable
+//! counterpart of that model:
+//!
+//! - [`BaseType`] / [`Value`] — SQL scalar types and values (Fig. 3).
+//! - [`Schema`] — schemas as binary trees of base types (Fig. 3).
+//! - [`Tuple`] — tuples as nested pairs mirroring their schema (Fig. 3/4).
+//! - [`Card`] — cardinals `ℕ ∪ {ω}`: the paper generalizes K-relations to
+//!   infinite multiplicities (Sec. 2, "HoTTSQL Semantics"); `ω` is the
+//!   countable infinite cardinal.
+//! - [`Relation`] — a finitely *represented* K-relation: a map from tuples
+//!   to nonzero cardinals. (Tuples may carry multiplicity `ω`, so the
+//!   represented bag can be infinite even though its support is finite.)
+//! - [`ops`] — the relational operators of Fig. 7 expressed over
+//!   multiplicities: product is `×`, union-all is `+`, distinct is squash,
+//!   except is `× (‖·‖ → 0)`, projection is `Σ`.
+//! - [`constraints`] — keys and functional dependencies (Sec. 4.2).
+//! - [`index`] — index-as-relation (Sec. 4.2, after Tsatalos et al.).
+//! - [`generate`] — random schema/instance generators used by the
+//!   differential-testing harness.
+//!
+//! # Example
+//!
+//! ```
+//! use relalg::{BaseType, Relation, Schema, Tuple};
+//!
+//! // R(a:int, b:int) with instance {(1,40), (2,40), (2,50)} (Sec. 2, Q1).
+//! let schema = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+//! let mut r = Relation::empty(schema);
+//! for (a, b) in [(1, 40), (2, 40), (2, 50)] {
+//!     r.insert(Tuple::pair(Tuple::int(a), Tuple::int(b)));
+//! }
+//! assert_eq!(r.total_multiplicity(), relalg::Card::Fin(3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod card;
+mod error;
+mod relation;
+mod schema;
+mod tuple;
+mod value;
+
+pub mod constraints;
+pub mod generate;
+pub mod index;
+pub mod ops;
+pub mod provenance;
+
+pub use card::Card;
+pub use error::{RelalgError, Result};
+pub use relation::Relation;
+pub use schema::Schema;
+pub use tuple::Tuple;
+pub use value::{BaseType, Value};

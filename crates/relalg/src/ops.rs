@@ -1,0 +1,450 @@
+//! Relational operators over K-relations, following Fig. 7 of the paper.
+//!
+//! Each operator is defined pointwise on multiplicities:
+//!
+//! | SQL | multiplicity semantics |
+//! |---|---|
+//! | `FROM R, S` (product) | `⟦R⟧ t.1 × ⟦S⟧ t.2` |
+//! | `R UNION ALL S` | `⟦R⟧ t + ⟦S⟧ t` |
+//! | `R WHERE b` | `⟦R⟧ t × ⟦b⟧ t` |
+//! | `SELECT p R` (projection) | `Σ_{t'} (p t' = t) × ⟦R⟧ t'` |
+//! | `R EXCEPT S` | `⟦R⟧ t × (‖⟦S⟧ t‖ → 0)` |
+//! | `DISTINCT R` | `‖⟦R⟧ t‖` |
+
+use crate::card::Card;
+use crate::error::{RelalgError, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Cross product `R ⋈ S`: the output schema is `node σ_R σ_S` and the
+/// multiplicity of `(t₁, t₂)` is the product of the inputs'.
+///
+/// ```
+/// use relalg::{ops, BaseType, Card, Relation, Schema, Tuple};
+/// let s = Schema::leaf(BaseType::Int);
+/// let r = Relation::from_tuples(s.clone(), [Tuple::int(1), Tuple::int(1)]).unwrap();
+/// let q = Relation::from_tuples(s, [Tuple::int(9)]).unwrap();
+/// let p = ops::product(&r, &q);
+/// assert_eq!(p.multiplicity(&Tuple::pair(Tuple::int(1), Tuple::int(9))), Card::Fin(2));
+/// ```
+pub fn product(r: &Relation, s: &Relation) -> Relation {
+    let mut out = Relation::empty(Schema::node(r.schema().clone(), s.schema().clone()));
+    for (t1, c1) in r.iter() {
+        for (t2, c2) in s.iter() {
+            out.insert_with(Tuple::pair(t1.clone(), t2.clone()), c1 * c2);
+        }
+    }
+    out
+}
+
+/// Bag union `R UNION ALL S`: multiplicities add.
+///
+/// # Errors
+///
+/// Returns [`RelalgError::IncompatibleSchemas`] when the schemas differ.
+pub fn union_all(r: &Relation, s: &Relation) -> Result<Relation> {
+    if r.schema() != s.schema() {
+        return Err(RelalgError::IncompatibleSchemas {
+            left: r.schema().clone(),
+            right: s.schema().clone(),
+        });
+    }
+    let mut out = r.clone();
+    for (t, c) in s.iter() {
+        out.insert_with(t.clone(), c);
+    }
+    Ok(out)
+}
+
+/// Bag difference with *negation* semantics (the paper's `EXCEPT`,
+/// Sec. 3.4): a tuple keeps its full multiplicity from `R` iff its
+/// multiplicity in `S` is zero.
+///
+/// Note this is the paper's `⟦R⟧ t × (‖⟦S⟧ t‖ → 0)`, not SQL's per-copy
+/// `EXCEPT ALL` subtraction.
+///
+/// # Errors
+///
+/// Returns [`RelalgError::IncompatibleSchemas`] when the schemas differ.
+pub fn except(r: &Relation, s: &Relation) -> Result<Relation> {
+    if r.schema() != s.schema() {
+        return Err(RelalgError::IncompatibleSchemas {
+            left: r.schema().clone(),
+            right: s.schema().clone(),
+        });
+    }
+    let mut out = Relation::empty(r.schema().clone());
+    for (t, c) in r.iter() {
+        let keep = s.multiplicity(t).squash().not();
+        out.insert_with(t.clone(), c * keep);
+    }
+    Ok(out)
+}
+
+/// Duplicate elimination `DISTINCT R`: squashes every multiplicity.
+pub fn distinct(r: &Relation) -> Relation {
+    r.map_multiplicities(Card::squash)
+}
+
+/// Selection `R WHERE b`: multiplies each multiplicity by the predicate's
+/// propositional cardinal (`0` or `1`). The predicate is an arbitrary
+/// closure so that callers can evaluate HoTTSQL predicates under a
+/// context tuple.
+pub fn select(r: &Relation, pred: impl Fn(&Tuple) -> Card) -> Relation {
+    let mut out = Relation::empty(r.schema().clone());
+    for (t, c) in r.iter() {
+        out.insert_with(t.clone(), c * pred(t).squash());
+    }
+    out
+}
+
+/// Projection `SELECT p R`: for each output tuple the multiplicity is the
+/// (possibly infinite) sum `Σ_{t'} (p t' = t) × ⟦R⟧ t'`. Because the
+/// represented support is finite, the sum ranges over the support only.
+///
+/// # Errors
+///
+/// Returns [`RelalgError::SchemaMismatch`] when `p` maps some tuple
+/// outside `out_schema`.
+pub fn project(
+    r: &Relation,
+    out_schema: Schema,
+    p: impl Fn(&Tuple) -> Tuple,
+) -> Result<Relation> {
+    let mut out = Relation::empty(out_schema);
+    for (t, c) in r.iter() {
+        out.try_insert_with(p(t), c)?;
+    }
+    Ok(out)
+}
+
+/// Scales every multiplicity by `k` — the semiring scalar action, useful
+/// in tests of distributivity.
+pub fn scale(r: &Relation, k: Card) -> Relation {
+    r.map_multiplicities(|c| c * k)
+}
+
+/// The supported aggregate functions (Sec. 4.2 uses SUM/AVG/COUNT).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// Sum of an integer column (each tuple counted with multiplicity).
+    Sum,
+    /// Number of rows (with multiplicity).
+    Count,
+    /// Maximum value.
+    Max,
+    /// Minimum value.
+    Min,
+    /// Average (integer division, as the paper's examples only compare).
+    Avg,
+}
+
+impl Aggregate {
+    /// Parses an aggregate name as written in queries (`SUM`, `COUNT`, …).
+    pub fn parse(name: &str) -> Option<Aggregate> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(Aggregate::Sum),
+            "COUNT" => Some(Aggregate::Count),
+            "MAX" => Some(Aggregate::Max),
+            "MIN" => Some(Aggregate::Min),
+            "AVG" => Some(Aggregate::Avg),
+            _ => None,
+        }
+    }
+
+    /// The name as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Sum => "SUM",
+            Aggregate::Count => "COUNT",
+            Aggregate::Max => "MAX",
+            Aggregate::Min => "MIN",
+            Aggregate::Avg => "AVG",
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies an aggregate to a single-attribute relation (the paper's
+/// `agg(q)` expression form takes a query returning `leaf τ`).
+///
+/// Empty bags yield `SUM = 0`, `COUNT = 0`, and `MAX/MIN/AVG = NULL`
+/// (mirroring SQL).
+///
+/// # Errors
+///
+/// - [`RelalgError::InfiniteCardinality`] if any multiplicity is `ω`;
+/// - [`RelalgError::TypeError`] if the relation is not a bag of scalars or
+///   a numeric aggregate meets a non-integer.
+pub fn aggregate(agg: Aggregate, r: &Relation) -> Result<Value> {
+    let mut count: i64 = 0;
+    let mut sum: i64 = 0;
+    let mut max: Option<Value> = None;
+    let mut min: Option<Value> = None;
+    for (t, c) in r.iter() {
+        let n = match c {
+            Card::Fin(n) => n as i64,
+            Card::Omega => {
+                return Err(RelalgError::InfiniteCardinality(format!(
+                    "{agg} over a bag with ω multiplicities"
+                )))
+            }
+        };
+        let v = t.value().ok_or_else(|| {
+            RelalgError::TypeError(format!("{agg} over non-scalar tuples"))
+        })?;
+        count += n;
+        match agg {
+            Aggregate::Sum | Aggregate::Avg => {
+                let x = v.as_int().ok_or_else(|| {
+                    RelalgError::TypeError(format!("{agg} over non-integer values"))
+                })?;
+                sum += x * n;
+            }
+            Aggregate::Max => {
+                if max.as_ref().is_none_or(|m| v > m) {
+                    max = Some(v.clone());
+                }
+            }
+            Aggregate::Min => {
+                if min.as_ref().is_none_or(|m| v < m) {
+                    min = Some(v.clone());
+                }
+            }
+            Aggregate::Count => {}
+        }
+    }
+    Ok(match agg {
+        Aggregate::Count => Value::Int(count),
+        Aggregate::Sum => Value::Int(sum),
+        Aggregate::Avg => {
+            if count == 0 {
+                Value::Null
+            } else {
+                Value::Int(sum / count)
+            }
+        }
+        Aggregate::Max => max.unwrap_or(Value::Null),
+        Aggregate::Min => min.unwrap_or(Value::Null),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BaseType;
+
+    fn ints(vals: &[i64]) -> Relation {
+        Relation::from_tuples(
+            Schema::leaf(BaseType::Int),
+            vals.iter().map(|&n| Tuple::int(n)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn product_multiplies_multiplicities() {
+        let r = ints(&[1, 1, 2]);
+        let s = ints(&[1, 2, 2]);
+        let p = product(&r, &s);
+        assert_eq!(
+            p.multiplicity(&Tuple::pair(Tuple::int(1), Tuple::int(2))),
+            Card::Fin(4)
+        );
+        assert_eq!(p.total_multiplicity(), Card::Fin(9));
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let r = ints(&[1, 2]);
+        let e = Relation::empty(Schema::leaf(BaseType::Int));
+        assert!(product(&r, &e).is_empty());
+    }
+
+    #[test]
+    fn union_all_adds() {
+        let r = ints(&[1, 1]);
+        let s = ints(&[1, 2]);
+        let u = union_all(&r, &s).unwrap();
+        assert_eq!(u.multiplicity(&Tuple::int(1)), Card::Fin(3));
+        assert_eq!(u.multiplicity(&Tuple::int(2)), Card::Fin(1));
+    }
+
+    #[test]
+    fn union_all_schema_mismatch() {
+        let r = ints(&[1]);
+        let s = Relation::empty(Schema::leaf(BaseType::Bool));
+        assert!(union_all(&r, &s).is_err());
+    }
+
+    #[test]
+    fn except_is_negation_not_subtraction() {
+        // Paper semantics: 3 copies of 1 EXCEPT 1 copy of 1 = nothing,
+        // because ‖1‖ → 0 = 0. Not SQL's EXCEPT ALL.
+        let r = ints(&[1, 1, 1, 2]);
+        let s = ints(&[1]);
+        let d = except(&r, &s).unwrap();
+        assert_eq!(d.multiplicity(&Tuple::int(1)), Card::ZERO);
+        assert_eq!(d.multiplicity(&Tuple::int(2)), Card::Fin(1));
+    }
+
+    #[test]
+    fn distinct_squashes() {
+        let r = ints(&[1, 1, 2]);
+        let d = distinct(&r);
+        assert_eq!(d.multiplicity(&Tuple::int(1)), Card::ONE);
+        assert_eq!(d.multiplicity(&Tuple::int(2)), Card::ONE);
+    }
+
+    #[test]
+    fn distinct_idempotent() {
+        let r = ints(&[3, 3, 3, 4]);
+        assert!(distinct(&distinct(&r)).bag_eq(&distinct(&r)));
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = ints(&[1, 2, 3, 3]);
+        let s = select(&r, |t| {
+            Card::from_bool(t.value().and_then(Value::as_int).unwrap() > 1)
+        });
+        assert_eq!(s.multiplicity(&Tuple::int(1)), Card::ZERO);
+        assert_eq!(s.multiplicity(&Tuple::int(3)), Card::Fin(2));
+    }
+
+    #[test]
+    fn select_squashes_predicate_cardinality() {
+        // Even if a "predicate" returns a large cardinal, selection treats
+        // it as a proposition (Sec. 4.1: predicates denote squash types).
+        let r = ints(&[5]);
+        let s = select(&r, |_| Card::Fin(17));
+        assert_eq!(s.multiplicity(&Tuple::int(5)), Card::Fin(1));
+    }
+
+    #[test]
+    fn project_sums_preimages() {
+        // SELECT a FROM R(a,b): Q1 of Sec. 2 — {(1,40),(2,40),(2,50)} ↦ {1,2,2}.
+        let schema = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+        let r = Relation::from_tuples(
+            schema,
+            [
+                Tuple::pair(Tuple::int(1), Tuple::int(40)),
+                Tuple::pair(Tuple::int(2), Tuple::int(40)),
+                Tuple::pair(Tuple::int(2), Tuple::int(50)),
+            ],
+        )
+        .unwrap();
+        let p = project(&r, Schema::leaf(BaseType::Int), |t| t.fst().unwrap().clone())
+            .unwrap();
+        assert_eq!(p.multiplicity(&Tuple::int(1)), Card::Fin(1));
+        assert_eq!(p.multiplicity(&Tuple::int(2)), Card::Fin(2));
+    }
+
+    #[test]
+    fn q2_distinct_projection() {
+        // Q2 of Sec. 2: SELECT DISTINCT a FROM R = {1, 2}.
+        let schema = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+        let r = Relation::from_tuples(
+            schema,
+            [
+                Tuple::pair(Tuple::int(1), Tuple::int(40)),
+                Tuple::pair(Tuple::int(2), Tuple::int(40)),
+                Tuple::pair(Tuple::int(2), Tuple::int(50)),
+            ],
+        )
+        .unwrap();
+        let p = project(&r, Schema::leaf(BaseType::Int), |t| t.fst().unwrap().clone())
+            .unwrap();
+        let d = distinct(&p);
+        assert_eq!(d.support_size(), 2);
+        assert_eq!(d.total_multiplicity(), Card::Fin(2));
+    }
+
+    #[test]
+    fn scale_distributes_over_union() {
+        let r = ints(&[1, 2]);
+        let s = ints(&[2, 3]);
+        let k = Card::Fin(3);
+        let lhs = scale(&union_all(&r, &s).unwrap(), k);
+        let rhs = union_all(&scale(&r, k), &scale(&s, k)).unwrap();
+        assert!(lhs.bag_eq(&rhs));
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = ints(&[1, 2, 2, 5]);
+        assert_eq!(aggregate(Aggregate::Sum, &r).unwrap(), Value::Int(10));
+        assert_eq!(aggregate(Aggregate::Count, &r).unwrap(), Value::Int(4));
+        assert_eq!(aggregate(Aggregate::Max, &r).unwrap(), Value::Int(5));
+        assert_eq!(aggregate(Aggregate::Min, &r).unwrap(), Value::Int(1));
+        assert_eq!(aggregate(Aggregate::Avg, &r).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn aggregates_respect_multiplicity() {
+        let mut r = Relation::empty(Schema::leaf(BaseType::Int));
+        r.insert_with(Tuple::int(4), Card::Fin(3));
+        assert_eq!(aggregate(Aggregate::Sum, &r).unwrap(), Value::Int(12));
+        assert_eq!(aggregate(Aggregate::Count, &r).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn aggregates_on_empty() {
+        let e = Relation::empty(Schema::leaf(BaseType::Int));
+        assert_eq!(aggregate(Aggregate::Sum, &e).unwrap(), Value::Int(0));
+        assert_eq!(aggregate(Aggregate::Count, &e).unwrap(), Value::Int(0));
+        assert_eq!(aggregate(Aggregate::Max, &e).unwrap(), Value::Null);
+        assert_eq!(aggregate(Aggregate::Avg, &e).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn aggregate_rejects_omega() {
+        let mut r = Relation::empty(Schema::leaf(BaseType::Int));
+        r.insert_with(Tuple::int(1), Card::Omega);
+        assert!(matches!(
+            aggregate(Aggregate::Sum, &r),
+            Err(RelalgError::InfiniteCardinality(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_rejects_non_scalars() {
+        let schema = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
+        let r = Relation::from_tuples(schema, [Tuple::pair(Tuple::int(1), Tuple::int(2))])
+            .unwrap();
+        assert!(matches!(
+            aggregate(Aggregate::Sum, &r),
+            Err(RelalgError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_parse_roundtrip() {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Count,
+            Aggregate::Max,
+            Aggregate::Min,
+            Aggregate::Avg,
+        ] {
+            assert_eq!(Aggregate::parse(agg.name()), Some(agg));
+        }
+        assert_eq!(Aggregate::parse("median"), None);
+    }
+
+    #[test]
+    fn product_preserves_omega_times_zero() {
+        // ω-multiplicity tuple joined with empty relation disappears.
+        let mut r = Relation::empty(Schema::leaf(BaseType::Int));
+        r.insert_with(Tuple::int(1), Card::Omega);
+        let e = Relation::empty(Schema::leaf(BaseType::Int));
+        assert!(product(&r, &e).is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Finitely-represented K-relations: maps from tuples to nonzero cardinals.
+
+use crate::card::Card;
+use crate::error::{RelalgError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A K-relation with finite support representation.
+///
+/// The paper's relations are functions `Tuple σ → U`; executing a query
+/// only ever produces relations whose *support* (set of tuples with
+/// nonzero multiplicity) is finite, although individual multiplicities may
+/// be the infinite cardinal [`Card::Omega`] (Sec. 2's generalization).
+///
+/// Invariants maintained by every method:
+/// - no entry maps to [`Card::ZERO`];
+/// - every tuple in the support conforms to [`Relation::schema`].
+///
+/// # Example
+///
+/// ```
+/// use relalg::{BaseType, Card, Relation, Schema, Tuple};
+/// let mut r = Relation::empty(Schema::leaf(BaseType::Int));
+/// r.insert_with(Tuple::int(1), Card::Fin(2));
+/// r.insert(Tuple::int(1));
+/// assert_eq!(r.multiplicity(&Tuple::int(1)), Card::Fin(3));
+/// assert_eq!(r.support_size(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    entries: BTreeMap<Tuple, Card>,
+}
+
+impl Relation {
+    /// The empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a bag relation from a list of tuples (each occurrence adds
+    /// multiplicity one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelalgError::SchemaMismatch`] if any tuple does not
+    /// conform to `schema`.
+    pub fn from_tuples(
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Relation> {
+        let mut r = Relation::empty(schema);
+        for t in tuples {
+            r.try_insert_with(t, Card::ONE)?;
+        }
+        Ok(r)
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The multiplicity `⟦R⟧ t` of a tuple (zero if absent).
+    pub fn multiplicity(&self, t: &Tuple) -> Card {
+        self.entries.get(t).copied().unwrap_or(Card::ZERO)
+    }
+
+    /// Adds one occurrence of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not conform to the schema; use
+    /// [`Relation::try_insert_with`] for a fallible variant.
+    pub fn insert(&mut self, t: Tuple) {
+        self.insert_with(t, Card::ONE);
+    }
+
+    /// Adds `t` with multiplicity `c` (a no-op when `c` is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not conform to the schema.
+    pub fn insert_with(&mut self, t: Tuple, c: Card) {
+        self.try_insert_with(t, c)
+            .expect("tuple must conform to relation schema");
+    }
+
+    /// Fallible insertion used by operators that cannot statically
+    /// guarantee conformance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelalgError::SchemaMismatch`] on shape mismatch.
+    pub fn try_insert_with(&mut self, t: Tuple, c: Card) -> Result<()> {
+        if !t.conforms_to(&self.schema) {
+            return Err(RelalgError::SchemaMismatch {
+                expected: self.schema.clone(),
+                tuple: t.to_string(),
+            });
+        }
+        if c.is_zero() {
+            return Ok(());
+        }
+        let entry = self.entries.entry(t).or_insert(Card::ZERO);
+        *entry += c;
+        Ok(())
+    }
+
+    /// Number of distinct tuples in the support.
+    pub fn support_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the relation is empty (no tuple has nonzero
+    /// multiplicity).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all multiplicities (the bag's total size; `ω` if any tuple
+    /// is infinite or the sum overflows).
+    pub fn total_multiplicity(&self) -> Card {
+        self.entries.values().copied().sum()
+    }
+
+    /// Iterates over `(tuple, multiplicity)` pairs in deterministic
+    /// (tuple-ordered) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, Card)> {
+        self.entries.iter().map(|(t, c)| (t, *c))
+    }
+
+    /// The support as a vector of tuples (deterministic order).
+    pub fn support(&self) -> Vec<&Tuple> {
+        self.entries.keys().collect()
+    }
+
+    /// Expands the bag into an explicit list with duplicates, in
+    /// deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelalgError::InfiniteCardinality`] if any multiplicity is
+    /// `ω`.
+    pub fn to_list(&self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        for (t, c) in self.iter() {
+            match c {
+                Card::Fin(n) => {
+                    for _ in 0..n {
+                        out.push(t.clone());
+                    }
+                }
+                Card::Omega => {
+                    return Err(RelalgError::InfiniteCardinality(format!(
+                        "tuple {t} has multiplicity ω"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Two relations are *bag-equal* when they agree on every
+    /// multiplicity. Because the representation is normalized (sorted map,
+    /// no zero entries), this coincides with `==`, but also checks schemas.
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        self.schema == other.schema && self.entries == other.entries
+    }
+
+    /// Two relations are *set-equal* when their supports coincide
+    /// (multiplicities squashed).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.schema == other.schema
+            && self.entries.len() == other.entries.len()
+            && self.entries.keys().eq(other.entries.keys())
+    }
+
+    /// Applies `f` to every multiplicity, dropping entries that become
+    /// zero. The workhorse behind `DISTINCT` and scaling.
+    pub fn map_multiplicities(&self, f: impl Fn(Card) -> Card) -> Relation {
+        let mut out = Relation::empty(self.schema.clone());
+        for (t, c) in self.iter() {
+            let c2 = f(c);
+            if !c2.is_zero() {
+                out.entries.insert(t.clone(), c2);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation[{}]{{", self.schema)?;
+        for (i, (t, c)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}↦{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BaseType;
+
+    fn int_schema() -> Schema {
+        Schema::leaf(BaseType::Int)
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(int_schema());
+        assert!(r.is_empty());
+        assert_eq!(r.multiplicity(&Tuple::int(3)), Card::ZERO);
+        assert_eq!(r.total_multiplicity(), Card::ZERO);
+    }
+
+    #[test]
+    fn insert_accumulates() {
+        let mut r = Relation::empty(int_schema());
+        r.insert(Tuple::int(1));
+        r.insert(Tuple::int(1));
+        r.insert(Tuple::int(2));
+        assert_eq!(r.multiplicity(&Tuple::int(1)), Card::Fin(2));
+        assert_eq!(r.multiplicity(&Tuple::int(2)), Card::Fin(1));
+        assert_eq!(r.support_size(), 2);
+        assert_eq!(r.total_multiplicity(), Card::Fin(3));
+    }
+
+    #[test]
+    fn zero_insert_is_noop() {
+        let mut r = Relation::empty(int_schema());
+        r.insert_with(Tuple::int(1), Card::ZERO);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut r = Relation::empty(int_schema());
+        let err = r.try_insert_with(Tuple::bool(true), Card::ONE).unwrap_err();
+        assert!(matches!(err, RelalgError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "conform")]
+    fn insert_panics_on_mismatch() {
+        let mut r = Relation::empty(int_schema());
+        r.insert(Tuple::Unit);
+    }
+
+    #[test]
+    fn omega_multiplicity_supported() {
+        let mut r = Relation::empty(int_schema());
+        r.insert_with(Tuple::int(5), Card::Omega);
+        assert_eq!(r.multiplicity(&Tuple::int(5)), Card::Omega);
+        assert_eq!(r.total_multiplicity(), Card::Omega);
+        assert!(r.to_list().is_err());
+    }
+
+    #[test]
+    fn to_list_expands_duplicates() {
+        let r = Relation::from_tuples(
+            int_schema(),
+            [Tuple::int(2), Tuple::int(1), Tuple::int(2)],
+        )
+        .unwrap();
+        assert_eq!(
+            r.to_list().unwrap(),
+            vec![Tuple::int(1), Tuple::int(2), Tuple::int(2)]
+        );
+    }
+
+    #[test]
+    fn bag_vs_set_equality() {
+        let a = Relation::from_tuples(int_schema(), [Tuple::int(1), Tuple::int(1)]).unwrap();
+        let b = Relation::from_tuples(int_schema(), [Tuple::int(1)]).unwrap();
+        assert!(!a.bag_eq(&b));
+        assert!(a.set_eq(&b));
+        assert!(a.bag_eq(&a.clone()));
+    }
+
+    #[test]
+    fn map_multiplicities_distinct() {
+        let a = Relation::from_tuples(int_schema(), [Tuple::int(1), Tuple::int(1)]).unwrap();
+        let d = a.map_multiplicities(Card::squash);
+        assert_eq!(d.multiplicity(&Tuple::int(1)), Card::ONE);
+        let z = a.map_multiplicities(|_| Card::ZERO);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn debug_format_is_deterministic() {
+        let r = Relation::from_tuples(int_schema(), [Tuple::int(2), Tuple::int(1)]).unwrap();
+        assert_eq!(format!("{r:?}"), "Relation[int]{1↦1, 2↦1}");
+    }
+}

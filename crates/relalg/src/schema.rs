@@ -1,0 +1,232 @@
+//! Schemas as binary trees of base types (Fig. 3 of the paper).
+//!
+//! HoTTSQL deliberately models a schema as a *binary tree* rather than an
+//! ordered list of attributes (Sec. 3.1, "Discussion"): tree-shaped schemas
+//! make generic rewrite rules expressible, because a meta-variable
+//! projection can navigate to any subtree, and two schemas concatenate with
+//! a single `node` constructor.
+
+use crate::value::BaseType;
+use std::fmt;
+
+/// A HoTTSQL schema: `σ ::= empty | leaf τ | node σ₁ σ₂` (Fig. 3).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Schema {
+    /// The empty schema; its only tuple is the unit tuple.
+    Empty,
+    /// A single attribute of base type `τ`.
+    Leaf(BaseType),
+    /// The concatenation of two schemas.
+    Node(Box<Schema>, Box<Schema>),
+}
+
+impl Schema {
+    /// Constructs a leaf schema.
+    ///
+    /// ```
+    /// use relalg::{BaseType, Schema};
+    /// let s = Schema::leaf(BaseType::Int);
+    /// assert_eq!(s.width(), 1);
+    /// ```
+    pub fn leaf(ty: BaseType) -> Schema {
+        Schema::Leaf(ty)
+    }
+
+    /// Constructs the concatenation `node σ₁ σ₂`.
+    pub fn node(left: Schema, right: Schema) -> Schema {
+        Schema::Node(Box::new(left), Box::new(right))
+    }
+
+    /// Builds a right-leaning schema from a sequence of base types, the
+    /// common case of a flat relation `R(a, b, c, …)`.
+    ///
+    /// An empty sequence yields [`Schema::Empty`].
+    ///
+    /// ```
+    /// use relalg::{BaseType, Schema};
+    /// let s = Schema::flat([BaseType::Int, BaseType::Bool]);
+    /// assert_eq!(s, Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Bool)));
+    /// ```
+    pub fn flat(types: impl IntoIterator<Item = BaseType>) -> Schema {
+        let mut tys: Vec<BaseType> = types.into_iter().collect();
+        match tys.len() {
+            0 => Schema::Empty,
+            1 => Schema::Leaf(tys.remove(0)),
+            _ => {
+                let first = tys.remove(0);
+                Schema::node(Schema::Leaf(first), Schema::flat(tys))
+            }
+        }
+    }
+
+    /// Number of leaves (attributes) in the schema.
+    ///
+    /// ```
+    /// use relalg::{BaseType, Schema};
+    /// assert_eq!(Schema::Empty.width(), 0);
+    /// assert_eq!(Schema::flat([BaseType::Int; 3]).width(), 3);
+    /// ```
+    pub fn width(&self) -> usize {
+        match self {
+            Schema::Empty => 0,
+            Schema::Leaf(_) => 1,
+            Schema::Node(l, r) => l.width() + r.width(),
+        }
+    }
+
+    /// Depth of the schema tree (`Empty` and `Leaf` have depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Schema::Empty | Schema::Leaf(_) => 1,
+            Schema::Node(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// The base types of the leaves, left to right.
+    pub fn leaf_types(&self) -> Vec<BaseType> {
+        let mut out = Vec::with_capacity(self.width());
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<BaseType>) {
+        match self {
+            Schema::Empty => {}
+            Schema::Leaf(t) => out.push(*t),
+            Schema::Node(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Returns the left/right children if this is a `Node`.
+    pub fn children(&self) -> Option<(&Schema, &Schema)> {
+        match self {
+            Schema::Node(l, r) => Some((l, r)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the empty schema.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Schema::Empty)
+    }
+
+    /// Enumerates every tuple of this schema whose leaves are drawn from
+    /// each base type's [`BaseType::sample_domain`]. Used by exhaustive
+    /// tests of small active domains.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic, but the result grows exponentially with
+    /// [`Schema::width`]; keep widths small.
+    pub fn enumerate_sample_tuples(&self) -> Vec<crate::Tuple> {
+        use crate::Tuple;
+        match self {
+            Schema::Empty => vec![Tuple::Unit],
+            Schema::Leaf(t) => t.sample_domain().into_iter().map(Tuple::Leaf).collect(),
+            Schema::Node(l, r) => {
+                let ls = l.enumerate_sample_tuples();
+                let rs = r.enumerate_sample_tuples();
+                let mut out = Vec::with_capacity(ls.len() * rs.len());
+                for lt in &ls {
+                    for rt in &rs {
+                        out.push(Tuple::pair(lt.clone(), rt.clone()));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Schema::Empty
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Schema::Empty => write!(f, "empty"),
+            Schema::Leaf(t) => write!(f, "{t}"),
+            Schema::Node(l, r) => write!(f, "({l} × {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tuple;
+
+    #[test]
+    fn fig4_example_schema() {
+        // σ = node (leaf string) (node (leaf int) (leaf bool))  — Fig. 4.
+        let sigma = Schema::node(
+            Schema::leaf(BaseType::Str),
+            Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Bool)),
+        );
+        assert_eq!(sigma.width(), 3);
+        assert_eq!(sigma.depth(), 3);
+        assert_eq!(
+            sigma.leaf_types(),
+            vec![BaseType::Str, BaseType::Int, BaseType::Bool]
+        );
+        assert_eq!(sigma.to_string(), "(string × (int × bool))");
+    }
+
+    #[test]
+    fn flat_construction() {
+        assert_eq!(Schema::flat([]), Schema::Empty);
+        assert_eq!(Schema::flat([BaseType::Int]), Schema::Leaf(BaseType::Int));
+        let three = Schema::flat([BaseType::Int, BaseType::Int, BaseType::Bool]);
+        assert_eq!(three.width(), 3);
+        assert_eq!(
+            three,
+            Schema::node(
+                Schema::leaf(BaseType::Int),
+                Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Bool)),
+            )
+        );
+    }
+
+    #[test]
+    fn children_accessor() {
+        let s = Schema::node(Schema::Empty, Schema::leaf(BaseType::Int));
+        let (l, r) = s.children().unwrap();
+        assert!(l.is_empty());
+        assert_eq!(*r, Schema::leaf(BaseType::Int));
+        assert!(Schema::Empty.children().is_none());
+    }
+
+    #[test]
+    fn enumerate_empty_schema() {
+        assert_eq!(Schema::Empty.enumerate_sample_tuples(), vec![Tuple::Unit]);
+    }
+
+    #[test]
+    fn enumerate_product_counts_multiply() {
+        let s = Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Bool));
+        let tuples = s.enumerate_sample_tuples();
+        assert_eq!(tuples.len(), 4);
+        for t in &tuples {
+            assert!(t.conforms_to(&s));
+        }
+    }
+
+    #[test]
+    fn width_of_nested_empty() {
+        let s = Schema::node(Schema::Empty, Schema::node(Schema::Empty, Schema::Empty));
+        assert_eq!(s.width(), 0);
+        assert_eq!(s.enumerate_sample_tuples().len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Tuples as nested pairs mirroring their schema (Fig. 3/4 of the paper).
+//!
+//! A HoTTSQL tuple is a dependent type on its schema: `Tuple empty = Unit`,
+//! `Tuple (leaf τ) = ⟦τ⟧`, and `Tuple (node σ₁ σ₂) = Tuple σ₁ × Tuple σ₂`.
+//! Rust has no dependent types, so conformance is a runtime invariant
+//! checked by [`Tuple::conforms_to`]; every operator in this workspace
+//! preserves it.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: a nested pair with the same shape as its schema.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tuple {
+    /// The unique tuple of the empty schema.
+    Unit,
+    /// A scalar tuple of a leaf schema.
+    Leaf(Value),
+    /// A pair of tuples, conforming to `node σ₁ σ₂`.
+    Pair(Box<Tuple>, Box<Tuple>),
+}
+
+impl Tuple {
+    /// Constructs a pair tuple.
+    ///
+    /// ```
+    /// use relalg::Tuple;
+    /// let t = Tuple::pair(Tuple::int(52), Tuple::bool(true));
+    /// assert_eq!(t.fst().unwrap(), &Tuple::int(52));
+    /// ```
+    pub fn pair(left: Tuple, right: Tuple) -> Tuple {
+        Tuple::Pair(Box::new(left), Box::new(right))
+    }
+
+    /// Constructs a leaf tuple from any value convertible to [`Value`].
+    pub fn leaf(v: impl Into<Value>) -> Tuple {
+        Tuple::Leaf(v.into())
+    }
+
+    /// Constructs an integer leaf tuple.
+    pub fn int(n: i64) -> Tuple {
+        Tuple::Leaf(Value::Int(n))
+    }
+
+    /// Constructs a boolean leaf tuple.
+    pub fn bool(b: bool) -> Tuple {
+        Tuple::Leaf(Value::Bool(b))
+    }
+
+    /// Constructs a string leaf tuple.
+    pub fn string(s: impl Into<String>) -> Tuple {
+        Tuple::Leaf(Value::Str(s.into()))
+    }
+
+    /// Builds a right-leaning tuple from a sequence of values, matching the
+    /// shape produced by [`Schema::flat`].
+    ///
+    /// ```
+    /// use relalg::{Tuple, Value};
+    /// let t = Tuple::flat([Value::Int(1), Value::Int(40)]);
+    /// assert_eq!(t, Tuple::pair(Tuple::int(1), Tuple::int(40)));
+    /// ```
+    pub fn flat(values: impl IntoIterator<Item = Value>) -> Tuple {
+        let mut vs: Vec<Value> = values.into_iter().collect();
+        match vs.len() {
+            0 => Tuple::Unit,
+            1 => Tuple::Leaf(vs.remove(0)),
+            _ => {
+                let first = vs.remove(0);
+                Tuple::pair(Tuple::Leaf(first), Tuple::flat(vs))
+            }
+        }
+    }
+
+    /// The first component (`t.1` in the paper's notation).
+    pub fn fst(&self) -> Option<&Tuple> {
+        match self {
+            Tuple::Pair(l, _) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The second component (`t.2` in the paper's notation).
+    pub fn snd(&self) -> Option<&Tuple> {
+        match self {
+            Tuple::Pair(_, r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The scalar value of a leaf tuple.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Tuple::Leaf(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checks the dependent-type invariant: does this tuple have exactly
+    /// the shape of `schema`?
+    ///
+    /// ```
+    /// use relalg::{BaseType, Schema, Tuple};
+    /// let sigma = Schema::node(Schema::leaf(BaseType::Str), Schema::leaf(BaseType::Int));
+    /// let t = Tuple::pair(Tuple::string("Bob"), Tuple::int(52));
+    /// assert!(t.conforms_to(&sigma));
+    /// assert!(!Tuple::Unit.conforms_to(&sigma));
+    /// ```
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        match (self, schema) {
+            (Tuple::Unit, Schema::Empty) => true,
+            (Tuple::Leaf(v), Schema::Leaf(t)) => v.conforms_to(*t),
+            (Tuple::Pair(l, r), Schema::Node(sl, sr)) => {
+                l.conforms_to(sl) && r.conforms_to(sr)
+            }
+            _ => false,
+        }
+    }
+
+    /// The leaf values of the tuple, left to right (flattened view).
+    pub fn leaves(&self) -> Vec<&Value> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Value>) {
+        match self {
+            Tuple::Unit => {}
+            Tuple::Leaf(v) => out.push(v),
+            Tuple::Pair(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Returns `true` if any leaf of the tuple is `NULL` (Sec. 7 extension).
+    pub fn contains_null(&self) -> bool {
+        self.leaves().iter().any(|v| v.is_null())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tuple::Unit => write!(f, "()"),
+            Tuple::Leaf(v) => write!(f, "{v}"),
+            Tuple::Pair(l, r) => write!(f, "({l}, {r})"),
+        }
+    }
+}
+
+impl From<Value> for Tuple {
+    fn from(v: Value) -> Self {
+        Tuple::Leaf(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BaseType;
+
+    fn fig4_schema() -> Schema {
+        Schema::node(
+            Schema::leaf(BaseType::Str),
+            Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Bool)),
+        )
+    }
+
+    fn fig4_tuple() -> Tuple {
+        // t = ("Bob", (52, true)) — Fig. 4.
+        Tuple::pair(
+            Tuple::string("Bob"),
+            Tuple::pair(Tuple::int(52), Tuple::bool(true)),
+        )
+    }
+
+    #[test]
+    fn fig4_conformance() {
+        assert!(fig4_tuple().conforms_to(&fig4_schema()));
+    }
+
+    #[test]
+    fn fig4_path_access() {
+        // Left.Right retrieves 52 (Sec. 3.1): denoted .2 then .1 … in our
+        // encoding Right then Left of the nested pair.
+        let t = fig4_tuple();
+        let inner = t.snd().unwrap();
+        assert_eq!(inner.fst().unwrap(), &Tuple::int(52));
+    }
+
+    #[test]
+    fn mismatched_shapes_fail_conformance() {
+        let sigma = fig4_schema();
+        assert!(!Tuple::int(1).conforms_to(&sigma));
+        assert!(!Tuple::pair(Tuple::int(1), Tuple::int(2)).conforms_to(&sigma));
+        // Wrong leaf type.
+        let t = Tuple::pair(
+            Tuple::int(0),
+            Tuple::pair(Tuple::int(52), Tuple::bool(true)),
+        );
+        assert!(!t.conforms_to(&sigma));
+    }
+
+    #[test]
+    fn flat_matches_flat_schema() {
+        let s = Schema::flat([BaseType::Int, BaseType::Int, BaseType::Bool]);
+        let t = Tuple::flat([Value::Int(1), Value::Int(2), Value::Bool(false)]);
+        assert!(t.conforms_to(&s));
+        assert_eq!(t.leaves().len(), 3);
+    }
+
+    #[test]
+    fn unit_conforms_only_to_empty() {
+        assert!(Tuple::Unit.conforms_to(&Schema::Empty));
+        assert!(!Tuple::Unit.conforms_to(&Schema::leaf(BaseType::Int)));
+    }
+
+    #[test]
+    fn null_detection() {
+        let t = Tuple::pair(Tuple::Leaf(Value::Null), Tuple::int(1));
+        assert!(t.contains_null());
+        assert!(!fig4_tuple().contains_null());
+    }
+
+    #[test]
+    fn null_conforms_to_any_leaf() {
+        assert!(Tuple::Leaf(Value::Null).conforms_to(&Schema::leaf(BaseType::Int)));
+        assert!(Tuple::Leaf(Value::Null).conforms_to(&Schema::leaf(BaseType::Str)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(fig4_tuple().to_string(), "(\"Bob\", (52, true))");
+        assert_eq!(Tuple::Unit.to_string(), "()");
+    }
+
+    #[test]
+    fn ordering_is_total_for_conforming_tuples() {
+        let s = Schema::flat([BaseType::Int, BaseType::Int]);
+        let mut ts = s.enumerate_sample_tuples();
+        ts.sort();
+        ts.dedup();
+        assert_eq!(ts.len(), 25);
+    }
+}

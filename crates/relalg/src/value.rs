@@ -1,0 +1,204 @@
+//! SQL scalar types and values (Fig. 3 of the paper).
+//!
+//! The paper assumes a set of SQL base types `Type = {int, bool, string, …}`
+//! denoted into host-language types. We model three base types, which is
+//! enough to express every query and rewrite rule in the paper, plus a
+//! `Null` value used by the three-valued-logic extension of Sec. 7.
+
+use std::fmt;
+
+/// A SQL base type (`τ ∈ Type` in Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseType {
+    /// Integers, denoted to `i64`.
+    Int,
+    /// Booleans, denoted to `bool`.
+    Bool,
+    /// Strings, denoted to `String`.
+    Str,
+}
+
+impl BaseType {
+    /// All base types, in a fixed order (useful for generators).
+    pub const ALL: [BaseType; 3] = [BaseType::Int, BaseType::Bool, BaseType::Str];
+
+    /// A small, fixed sample domain for this type, used when a test needs
+    /// to enumerate "all" values of a finite active domain.
+    ///
+    /// ```
+    /// use relalg::BaseType;
+    /// assert!(BaseType::Bool.sample_domain().len() >= 2);
+    /// ```
+    pub fn sample_domain(self) -> Vec<Value> {
+        match self {
+            BaseType::Int => (-2..=2).map(Value::Int).collect(),
+            BaseType::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            BaseType::Str => ["", "a", "b"].iter().map(|s| Value::str(*s)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseType::Int => write!(f, "int"),
+            BaseType::Bool => write!(f, "bool"),
+            BaseType::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// A SQL scalar value.
+///
+/// `Null` is only produced/consumed by the three-valued-logic extension
+/// (Sec. 7); the core semantics never constructs it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+    /// A string value.
+    Str(String),
+    /// SQL `NULL` of an (untyped) base type — Sec. 7 extension.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    ///
+    /// ```
+    /// use relalg::Value;
+    /// assert_eq!(Value::str("bob"), Value::Str("bob".to_owned()));
+    /// ```
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The base type of this value, or `None` for `Null`.
+    pub fn base_type(&self) -> Option<BaseType> {
+        match self {
+            Value::Int(_) => Some(BaseType::Int),
+            Value::Bool(_) => Some(BaseType::Bool),
+            Value::Str(_) => Some(BaseType::Str),
+            Value::Null => None,
+        }
+    }
+
+    /// Returns `true` if the value conforms to `ty` (`Null` conforms to
+    /// every type, as in SQL).
+    pub fn conforms_to(&self, ty: BaseType) -> bool {
+        match self.base_type() {
+            Some(t) => t == ty,
+            None => true,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int(3).base_type(), Some(BaseType::Int));
+        assert_eq!(Value::Bool(true).base_type(), Some(BaseType::Bool));
+        assert_eq!(Value::str("x").base_type(), Some(BaseType::Str));
+        assert_eq!(Value::Null.base_type(), None);
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Int(1).conforms_to(BaseType::Int));
+        assert!(!Value::Int(1).conforms_to(BaseType::Bool));
+        assert!(Value::Null.conforms_to(BaseType::Str));
+    }
+
+    #[test]
+    fn sample_domains_are_well_typed() {
+        for ty in BaseType::ALL {
+            for v in ty.sample_domain() {
+                assert!(v.conforms_to(ty), "{v} should conform to {ty}");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("s").as_int(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(BaseType::Str.to_string(), "string");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+    }
+}

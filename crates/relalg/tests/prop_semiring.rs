@@ -1,0 +1,165 @@
+//! Property-based tests: `Card` is a commutative semiring with the
+//! squash/negation laws of Definition 3.1, and the relational operators
+//! satisfy the algebraic identities the denotation relies on.
+
+use proptest::prelude::*;
+use relalg::generate::{GenConfig, Generator};
+use relalg::{ops, Card, Relation, Schema, Tuple};
+
+fn arb_card() -> impl Strategy<Value = Card> {
+    prop_oneof![
+        4 => (0u64..50).prop_map(Card::Fin),
+        1 => Just(Card::Omega),
+        1 => Just(Card::Fin(u64::MAX)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in arb_card(), b in arb_card()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_card(), b in arb_card(), c in arb_card()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_card(), b in arb_card()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in arb_card(), b in arb_card(), c in arb_card()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in arb_card(), b in arb_card(), c in arb_card()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn units_and_zero(a in arb_card()) {
+        prop_assert_eq!(a + Card::ZERO, a);
+        prop_assert_eq!(a * Card::ONE, a);
+        prop_assert_eq!(a * Card::ZERO, Card::ZERO);
+    }
+
+    #[test]
+    fn squash_is_truncation(a in arb_card()) {
+        prop_assert_eq!(a.squash(), a.not().not());
+        prop_assert_eq!(a.squash().squash(), a.squash());
+        prop_assert_eq!((a * a).squash(), a.squash());
+    }
+
+    #[test]
+    fn negation_involutions(a in arb_card()) {
+        prop_assert_eq!(a.not().not().not(), a.not());
+        prop_assert_eq!(a * a.not(), Card::ZERO);
+    }
+}
+
+/// Random relation from a seed, over a fixed two-column schema.
+fn rel(seed: u64) -> Relation {
+    let mut g = Generator::with_config(
+        seed,
+        GenConfig {
+            max_support: 6,
+            max_multiplicity: 4,
+            int_range: (0, 2),
+            max_schema_width: 2,
+        },
+    );
+    g.relation(&Schema::flat([relalg::BaseType::Int, relalg::BaseType::Int]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_all_commutes(s1 in 0u64..5000, s2 in 0u64..5000) {
+        let (a, b) = (rel(s1), rel(s2));
+        prop_assert!(ops::union_all(&a, &b).unwrap().bag_eq(&ops::union_all(&b, &a).unwrap()));
+    }
+
+    #[test]
+    fn product_distributes_over_union(s1 in 0u64..5000, s2 in 0u64..5000, s3 in 0u64..5000) {
+        let (a, b, c) = (rel(s1), rel(s2), rel(s3));
+        let lhs = ops::product(&a, &ops::union_all(&b, &c).unwrap());
+        let rhs = ops::union_all(&ops::product(&a, &b), &ops::product(&a, &c)).unwrap();
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_monotone(s in 0u64..5000) {
+        let a = rel(s);
+        let d = ops::distinct(&a);
+        prop_assert!(ops::distinct(&d).bag_eq(&d));
+        prop_assert!(d.set_eq(&a));
+        for (t, c) in d.iter() {
+            prop_assert_eq!(c, Card::ONE);
+            prop_assert!(!a.multiplicity(t).is_zero());
+        }
+    }
+
+    #[test]
+    fn except_self_is_empty(s in 0u64..5000) {
+        let a = rel(s);
+        prop_assert!(ops::except(&a, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn except_against_empty_is_identity(s in 0u64..5000) {
+        let a = rel(s);
+        let empty = Relation::empty(a.schema().clone());
+        prop_assert!(ops::except(&a, &empty).unwrap().bag_eq(&a));
+    }
+
+    #[test]
+    fn select_true_is_identity_select_false_empty(s in 0u64..5000) {
+        let a = rel(s);
+        prop_assert!(ops::select(&a, |_| Card::ONE).bag_eq(&a));
+        prop_assert!(ops::select(&a, |_| Card::ZERO).is_empty());
+    }
+
+    #[test]
+    fn projection_preserves_total_multiplicity(s in 0u64..5000) {
+        let a = rel(s);
+        let p = ops::project(&a, Schema::leaf(relalg::BaseType::Int), |t| {
+            t.fst().unwrap().clone()
+        })
+        .unwrap();
+        prop_assert_eq!(p.total_multiplicity(), a.total_multiplicity());
+    }
+
+    #[test]
+    fn semijoin_via_ops_matches_filter(s1 in 0u64..2000, s2 in 0u64..2000) {
+        // A ⋉ B on first column, built two ways.
+        let (a, b) = (rel(s1), rel(s2));
+        let keys: std::collections::BTreeSet<Tuple> =
+            b.iter().map(|(t, _)| t.fst().unwrap().clone()).collect();
+        let filtered = ops::select(&a, |t| {
+            Card::from_bool(keys.contains(t.fst().unwrap()))
+        });
+        // Alternative: distinct-projected B joined and projected back.
+        let b_keys = ops::distinct(
+            &ops::project(&b, Schema::leaf(relalg::BaseType::Int), |t| {
+                t.fst().unwrap().clone()
+            })
+            .unwrap(),
+        );
+        let joined = ops::product(&a, &b_keys);
+        let matched = ops::select(&joined, |t| {
+            let a_part = t.fst().unwrap();
+            let key = t.snd().unwrap();
+            Card::from_bool(a_part.fst().unwrap() == key)
+        });
+        let projected = ops::project(&matched, a.schema().clone(), |t| {
+            t.fst().unwrap().clone()
+        })
+        .unwrap();
+        prop_assert!(projected.bag_eq(&filtered));
+    }
+}

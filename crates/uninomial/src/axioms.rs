@@ -1,0 +1,225 @@
+//! Relation axioms: integrity constraints as proof hypotheses.
+//!
+//! The index rewrite rules of Sec. 5.1.4 only hold when `k` is a *key* of
+//! `R`. The paper encodes `key(k)(R)` as an equation between two queries
+//! (Sec. 4.2):
+//!
+//! ```text
+//! ⟦SELECT * FROM R⟧ = ⟦SELECT Left.* FROM R, R WHERE k(Right.Left) = k(Right.Right)⟧
+//! ```
+//!
+//! i.e. `R t = R t × Σ t₂. R t₂ × (k t = k t₂)`. Two consequences are
+//! what proofs actually use, and this module implements them as a
+//! *saturation pass* over normal forms:
+//!
+//! 1. **key-derived equality**: inside a product containing `R x`, `R y`,
+//!    and a provable `k x = k y`, the equality `x = y` may be adjoined
+//!    (Lemma 5.3: the product entails it), which then triggers
+//!    singleton-sum elimination (Lemma 5.2);
+//! 2. **multiplicity one**: `R x × R y` collapses to `R x` once `x = y`
+//!    is known, because a keyed relation is duplicate-free.
+
+use crate::deduce::build_cc;
+use crate::lemmas::Lemma;
+use crate::normalize::{simplify_term, Atom, Spnf, Trace};
+use crate::syntax::{Term, VarGen};
+
+/// An assumed integrity constraint usable by the prover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelAxiom {
+    /// `key_fn` is a key of relation `rel` (Sec. 4.2).
+    Key {
+        /// The relation symbol.
+        rel: String,
+        /// The uninterpreted function computing the key of a tuple.
+        key_fn: String,
+    },
+}
+
+/// Saturates a normal form under the given axioms: adjoins key-derived
+/// equalities, re-runs simplification (which may eliminate sum binders),
+/// and collapses duplicate keyed-relation atoms. Sound: every step is an
+/// instance of Lemma 5.2/5.3 plus the key equation.
+pub fn saturate(spnf: &Spnf, axioms: &[RelAxiom], gen: &mut VarGen, trace: &mut Trace) -> Spnf {
+    if axioms.is_empty() {
+        return spnf.clone();
+    }
+    let mut out = Spnf::zero();
+    'terms: for term in &spnf.terms {
+        let mut vars = term.vars.clone();
+        let mut atoms = term.atoms.clone();
+        // Bounded fixpoint: each round either adds an equality (bounded
+        // by pairs of Rel atoms) or stops.
+        for _round in 0..16 {
+            let mut cc = build_cc(&atoms);
+            let mut added = false;
+            for RelAxiom::Key { rel, key_fn } in axioms {
+                let args: Vec<Term> = atoms
+                    .iter()
+                    .filter_map(|a| match a {
+                        Atom::Rel(r, t) if r == rel => Some(t.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for i in 0..args.len() {
+                    for j in (i + 1)..args.len() {
+                        let (x, y) = (&args[i], &args[j]);
+                        if cc.equal(x, y) {
+                            continue;
+                        }
+                        let kx = Term::func(key_fn.clone(), vec![x.clone()]);
+                        let ky = Term::func(key_fn.clone(), vec![y.clone()]);
+                        if cc.equal(&kx, &ky) {
+                            trace.step(
+                                Lemma::Absorption,
+                                format!("key({key_fn})({rel}) derives {x} = {y}"),
+                            );
+                            match crate::normalize::eq_atoms(x, y, gen, trace) {
+                                // Refutable equality: the product is 0.
+                                None => continue 'terms,
+                                Some(eqs) => atoms.extend(eqs),
+                            }
+                            cc.add_eq(x, y);
+                            added = true;
+                        }
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+            // Re-simplify: the new equalities may eliminate binders.
+            match simplify_term(vars, atoms, gen, trace) {
+                Some(t) => {
+                    vars = t.vars;
+                    atoms = t.atoms;
+                }
+                None => continue 'terms, // term became 0
+            }
+        }
+        // Multiplicity-one collapse for keyed relations.
+        let mut cc = build_cc(&atoms);
+        let mut kept: Vec<Atom> = Vec::new();
+        for a in atoms {
+            if let Atom::Rel(r, t) = &a {
+                let keyed = axioms
+                    .iter()
+                    .any(|RelAxiom::Key { rel, .. }| rel == r);
+                if keyed {
+                    let dup = kept.iter().any(|k| match k {
+                        Atom::Rel(r2, t2) => r2 == r && cc.equal(t, t2),
+                        _ => false,
+                    });
+                    if dup {
+                        trace.step(
+                            Lemma::Absorption,
+                            format!("keyed relation {r} is duplicate-free"),
+                        );
+                        continue;
+                    }
+                }
+            }
+            kept.push(a);
+        }
+        match simplify_term(vars, kept, gen, trace) {
+            Some(t) => out.terms.push(t),
+            None => continue,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::syntax::{UExpr, Var};
+    use relalg::{BaseType, Schema};
+
+    fn leaf_int() -> Schema {
+        Schema::leaf(BaseType::Int)
+    }
+
+    fn key_axiom() -> Vec<RelAxiom> {
+        vec![RelAxiom::Key {
+            rel: "R".into(),
+            key_fn: "k".into(),
+        }]
+    }
+
+    #[test]
+    fn key_self_join_collapses() {
+        // Σt2. R(t) × R(t2) × (k t = k t2)  ⇝  R(t)   given key(k)(R).
+        let mut gen = VarGen::new();
+        let mut tr = Trace::new();
+        let t = gen.fresh(leaf_int());
+        let t2 = gen.fresh(leaf_int());
+        let k = |v: &Var| Term::func("k", vec![Term::var(v)]);
+        let e = UExpr::sum(
+            t2.clone(),
+            UExpr::product([
+                UExpr::rel("R", Term::var(&t)),
+                UExpr::rel("R", Term::var(&t2)),
+                UExpr::eq(k(&t), k(&t2)),
+            ]),
+        );
+        let nf = normalize(&e, &mut gen, &mut tr);
+        let sat = saturate(&nf, &key_axiom(), &mut gen, &mut tr);
+        assert_eq!(sat.terms.len(), 1);
+        let term = &sat.terms[0];
+        assert!(term.vars.is_empty(), "binder should be eliminated: {sat}");
+        assert_eq!(term.atoms, vec![Atom::Rel("R".into(), Term::var(&t))]);
+    }
+
+    #[test]
+    fn no_axiom_no_change() {
+        let mut gen = VarGen::new();
+        let mut tr = Trace::new();
+        let t = gen.fresh(leaf_int());
+        let e = UExpr::mul(
+            UExpr::rel("R", Term::var(&t)),
+            UExpr::rel("R", Term::var(&t)),
+        );
+        let nf = normalize(&e, &mut gen, &mut tr);
+        let sat = saturate(&nf, &[], &mut gen, &mut tr);
+        assert_eq!(sat, nf);
+        // With the axiom the duplicate collapses.
+        let sat2 = saturate(&nf, &key_axiom(), &mut gen, &mut tr);
+        assert_eq!(sat2.terms[0].atoms.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_relations_untouched() {
+        let mut gen = VarGen::new();
+        let mut tr = Trace::new();
+        let t = gen.fresh(leaf_int());
+        let e = UExpr::mul(
+            UExpr::rel("S", Term::var(&t)),
+            UExpr::rel("S", Term::var(&t)),
+        );
+        let nf = normalize(&e, &mut gen, &mut tr);
+        let sat = saturate(&nf, &key_axiom(), &mut gen, &mut tr);
+        assert_eq!(sat.terms[0].atoms.len(), 2, "S is not keyed");
+    }
+
+    #[test]
+    fn key_equality_requires_provable_key_match() {
+        // Σt2. R(t) × R(t2) × (a t = a t2) with key k ≠ a: no collapse.
+        let mut gen = VarGen::new();
+        let mut tr = Trace::new();
+        let t = gen.fresh(leaf_int());
+        let t2 = gen.fresh(leaf_int());
+        let a = |v: &Var| Term::func("a", vec![Term::var(v)]);
+        let e = UExpr::sum(
+            t2.clone(),
+            UExpr::product([
+                UExpr::rel("R", Term::var(&t)),
+                UExpr::rel("R", Term::var(&t2)),
+                UExpr::eq(a(&t), a(&t2)),
+            ]),
+        );
+        let nf = normalize(&e, &mut gen, &mut tr);
+        let sat = saturate(&nf, &key_axiom(), &mut gen, &mut tr);
+        assert_eq!(sat.terms[0].vars.len(), 1, "binder must remain: {sat}");
+    }
+}

@@ -1,0 +1,177 @@
+//! The trusted axiom catalog.
+//!
+//! Every rewrite performed by the normalizer and the provers is an
+//! instance of one of these named lemmas. Each is a theorem of homotopy
+//! type theory about the structure `(U, 0, 1, +, ×, ·→0, ‖·‖, Σ)` of
+//! Definition 3.1 (most are stated explicitly in the paper; the rest are
+//! the semiring laws). The concrete-evaluation oracle in
+//! [`crate::eval`] property-tests every axiom against random
+//! interpretations — see `tests` in this module and in `eval`.
+//!
+//! Proof traces ([`crate::prove::ProofTrace`]) reference these by the
+//! [`Lemma`] enum, making each proof auditable step by step.
+
+use std::fmt;
+
+/// A named trusted axiom (lemma) of the UniNomial algebra.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lemma {
+    // --- commutative semiring laws (Definition 3.1) ---
+    /// `a + b = b + a`, `(a + b) + c = a + (b + c)`, `a + 0 = a`.
+    AddAcu,
+    /// `a × b = b × a`, `(a × b) × c = a × (b × c)`, `a × 1 = a`.
+    MulAcu,
+    /// `a × 0 = 0`.
+    MulZero,
+    /// `a × (b + c) = a × b + a × c`.
+    Distrib,
+    // --- infinitary sums ---
+    /// `Σx.(f x + g x) = Σx.f x + Σx.g x`.
+    SumAdd,
+    /// `a × Σx.f x = Σx.(a × f x)` when `x ∉ fv(a)`.
+    SumHoist,
+    /// `Σx.0 = 0`.
+    SumZero,
+    /// Lemma 5.1: `Σ_{x:A×B} P x = Σ_{x₁:A} Σ_{x₂:B} P (x₁,x₂)`,
+    /// plus `Σ_{x:1} P x = P ()`.
+    SumPairSplit,
+    /// Lemma 5.2 (singleton sums): `Σx.(x = e) × P x = P e`
+    /// when `x ∉ fv(e)`.
+    SumSingleton,
+    // --- squash / negation (propositions) ---
+    /// `‖0‖ = 0`, `‖1‖ = 1`, `‖‖n‖‖ = ‖n‖`.
+    SquashBase,
+    /// `‖n × n‖ = ‖n‖` — more generally duplicate factors collapse under
+    /// squash.
+    SquashDedup,
+    /// `‖a‖ × ‖b‖ = ‖a × b‖` and a product of propositions is a
+    /// proposition.
+    SquashMul,
+    /// Squash of an already-propositional expression is the expression.
+    SquashProp,
+    /// `(0 → 0) = 1` and `(n → 0) = 0` for inhabited `n`; `¬¬¬n = ¬n`.
+    NotBase,
+    /// `¬(a + b) = ¬a × ¬b`.
+    NotAdd,
+    /// `¬‖n‖ = ¬n`.
+    NotSquash,
+    /// Lemma 5.3: `(T → P) ⇒ (T × P = T)` for propositional `P` —
+    /// absorbing an entailed proposition into a product.
+    Absorption,
+    // --- tuple equality (identity types of sets) ---
+    /// `(t = t) = 1`.
+    EqRefl,
+    /// Distinct constants are unequal: `(c₁ = c₂) = 0` for `c₁ ≠ c₂`.
+    EqConstNeq,
+    /// `( (a,b) = (c,d) ) = (a = c) × (b = d)`.
+    EqPairSplit,
+    /// `(a = b) = (b = a)` (used to orient equalities canonically).
+    EqSym,
+    /// Congruence: from `a = b` derive `f a = f b` (and transitivity /
+    /// substitution as computed by congruence closure).
+    EqCongruence,
+    /// β/η of tuple pairing: `(a,b).1 = a`, `(a,b).2 = b`,
+    /// `(t.1, t.2) = t`.
+    TupleBeta,
+    // --- proof-level moves ---
+    /// Function extensionality (a consequence of univalence, Sec. 2):
+    /// two queries are equal iff their denotations agree on every tuple.
+    FunExt,
+    /// Propositional univalence: `(A ↔ B) ⇒ (‖A‖ = ‖B‖)`.
+    PropExt,
+    /// Instantiating an existential (`Σ` under squash) with a witness.
+    ExistsWitness,
+    /// Case analysis on a hypothesis disjunction under squash.
+    CaseSplit,
+    /// α-renaming of bound variables.
+    AlphaRename,
+}
+
+impl Lemma {
+    /// Human-readable name used in printed proofs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lemma::AddAcu => "add-assoc-comm-unit",
+            Lemma::MulAcu => "mul-assoc-comm-unit",
+            Lemma::MulZero => "mul-zero",
+            Lemma::Distrib => "distributivity",
+            Lemma::SumAdd => "sum-add",
+            Lemma::SumHoist => "sum-hoist",
+            Lemma::SumZero => "sum-zero",
+            Lemma::SumPairSplit => "sum-pair-split (Lemma 5.1)",
+            Lemma::SumSingleton => "sum-singleton (Lemma 5.2)",
+            Lemma::SquashBase => "squash-base",
+            Lemma::SquashDedup => "squash-dedup (‖n×n‖=‖n‖)",
+            Lemma::SquashMul => "squash-mul",
+            Lemma::SquashProp => "squash-prop",
+            Lemma::NotBase => "not-base",
+            Lemma::NotAdd => "not-add",
+            Lemma::NotSquash => "not-squash",
+            Lemma::Absorption => "absorption (Lemma 5.3)",
+            Lemma::EqRefl => "eq-refl",
+            Lemma::EqConstNeq => "eq-const-neq",
+            Lemma::EqPairSplit => "eq-pair-split",
+            Lemma::EqSym => "eq-sym",
+            Lemma::EqCongruence => "eq-congruence",
+            Lemma::TupleBeta => "tuple-beta-eta",
+            Lemma::FunExt => "functional-extensionality",
+            Lemma::PropExt => "prop-ext ((A↔B)⇒(‖A‖=‖B‖))",
+            Lemma::ExistsWitness => "exists-witness",
+            Lemma::CaseSplit => "case-split",
+            Lemma::AlphaRename => "alpha-rename",
+        }
+    }
+}
+
+impl fmt::Display for Lemma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            Lemma::AddAcu,
+            Lemma::MulAcu,
+            Lemma::MulZero,
+            Lemma::Distrib,
+            Lemma::SumAdd,
+            Lemma::SumHoist,
+            Lemma::SumZero,
+            Lemma::SumPairSplit,
+            Lemma::SumSingleton,
+            Lemma::SquashBase,
+            Lemma::SquashDedup,
+            Lemma::SquashMul,
+            Lemma::SquashProp,
+            Lemma::NotBase,
+            Lemma::NotAdd,
+            Lemma::NotSquash,
+            Lemma::Absorption,
+            Lemma::EqRefl,
+            Lemma::EqConstNeq,
+            Lemma::EqPairSplit,
+            Lemma::EqSym,
+            Lemma::EqCongruence,
+            Lemma::TupleBeta,
+            Lemma::FunExt,
+            Lemma::PropExt,
+            Lemma::ExistsWitness,
+            Lemma::CaseSplit,
+            Lemma::AlphaRename,
+        ];
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Lemma::Distrib.to_string(), "distributivity");
+        assert_eq!(Lemma::Absorption.to_string(), "absorption (Lemma 5.3)");
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based soundness of the normalizer and the equivalence
+//! checker: random UniNomial expressions, evaluated over random finite
+//! interpretations, must keep their value across normalization; and
+//! whenever the equivalence checker says two normal forms are equal,
+//! their evaluations agree.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relalg::{BaseType, Card, Relation, Schema, Tuple, Value};
+use uninomial::deduce::Ctx;
+use uninomial::eval::{eval, eval_spnf, Env, Interp};
+use uninomial::normalize::{normalize, Trace};
+use uninomial::syntax::{Term, UExpr, Var, VarGen};
+
+/// Builds a random UniNomial expression. Bound variables are tracked in
+/// `scope` (plus one free variable) so every generated expression is
+/// well-scoped; schemas are drawn from leaf/node over int so that sums
+/// stay enumerable.
+struct ExprGen {
+    rng: StdRng,
+    gen: VarGen,
+}
+
+impl ExprGen {
+    fn new(seed: u64) -> ExprGen {
+        ExprGen {
+            rng: StdRng::seed_from_u64(seed),
+            gen: VarGen::new(),
+        }
+    }
+
+    fn schema(&mut self) -> Schema {
+        if self.rng.gen_bool(0.7) {
+            Schema::leaf(BaseType::Int)
+        } else {
+            Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int))
+        }
+    }
+
+    fn term(&mut self, scope: &[Var], depth: usize) -> Term {
+        // Prefer variables; fall back to constants.
+        let leafy: Vec<&Var> = scope
+            .iter()
+            .filter(|v| matches!(v.schema, Schema::Leaf(_)))
+            .collect();
+        match self.rng.gen_range(0..6) {
+            0 if depth > 0 => Term::func(
+                "f",
+                vec![self.term(scope, depth - 1)]
+                    .into_iter()
+                    .filter(|t| matches!(t.schema(), Some(Schema::Leaf(_)) | None))
+                    .collect(),
+            ),
+            1 => Term::int(self.rng.gen_range(-2..=2)),
+            _ if !leafy.is_empty() => {
+                Term::var(leafy[self.rng.gen_range(0..leafy.len())])
+            }
+            _ => Term::int(self.rng.gen_range(-2..=2)),
+        }
+    }
+
+    fn expr(&mut self, scope: &[Var], depth: usize) -> UExpr {
+        if depth == 0 {
+            return self.atom(scope);
+        }
+        match self.rng.gen_range(0..8) {
+            0 => UExpr::add(self.expr(scope, depth - 1), self.expr(scope, depth - 1)),
+            1 => UExpr::mul(self.expr(scope, depth - 1), self.expr(scope, depth - 1)),
+            2 => UExpr::not(self.expr(scope, depth - 1)),
+            3 => UExpr::squash(self.expr(scope, depth - 1)),
+            4 | 5 => {
+                let schema = self.schema();
+                let v = self.gen.fresh(schema);
+                let mut inner = scope.to_vec();
+                inner.push(v.clone());
+                // Guard the sum with a relation atom so it stays finite
+                // in spirit (evaluation is over a finite domain anyway).
+                let body = UExpr::mul(
+                    UExpr::rel(if self.rng.gen_bool(0.5) { "R" } else { "S" }, Term::var(&v)),
+                    self.expr(&inner, depth - 1),
+                );
+                UExpr::sum(v, body)
+            }
+            _ => self.atom(scope),
+        }
+    }
+
+    fn atom(&mut self, scope: &[Var]) -> UExpr {
+        match self.rng.gen_range(0..5) {
+            0 => UExpr::One,
+            1 => UExpr::Zero,
+            2 => UExpr::eq(self.term(scope, 1), self.term(scope, 1)),
+            3 => UExpr::pred("b", self.term(scope, 1)),
+            _ => {
+                // Relation atoms over a leaf-schema'd term.
+                let t = self.term(scope, 0);
+                UExpr::rel("R", t)
+            }
+        }
+    }
+}
+
+/// A small interpretation: R and S over both leaf and pair schemas is
+/// impossible (one schema per symbol), so relations are keyed by leaf
+/// tuples and pair lookups simply miss (multiplicity 0) — which is fine:
+/// the SAME interpretation is used before and after normalization.
+fn interp(seed: u64) -> Interp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Relation::empty(Schema::leaf(BaseType::Int));
+    let mut s = Relation::empty(Schema::leaf(BaseType::Int));
+    for v in -2..=2i64 {
+        let m = rng.gen_range(0..3u64);
+        if m > 0 {
+            r.insert_with(Tuple::int(v), Card::Fin(m));
+        }
+        let m = rng.gen_range(0..3u64);
+        if m > 0 {
+            s.insert_with(Tuple::int(v), Card::Fin(m));
+        }
+    }
+    let parity = rng.gen_bool(0.5);
+    let shift = rng.gen_range(-1..=1i64);
+    Interp::new()
+        .with_rel("R", r)
+        .with_rel("S", s)
+        .with_pred("b", move |t: &Tuple| {
+            (format!("{t}").len() % 2 == 0) == parity
+        })
+        .with_fn("f", move |vs: &[Value]| {
+            // Map back into the sample domain so singleton sums stay
+            // exact under finite-domain evaluation.
+            let x = vs.first().and_then(Value::as_int).unwrap_or(0);
+            Value::Int(((x + shift).rem_euclid(5)) - 2)
+        })
+}
+
+/// Evaluates an expression under an environment binding its free vars.
+fn eval_with_free(
+    e: &UExpr,
+    i: &Interp,
+    free: &std::collections::BTreeSet<Var>,
+    assignment_seed: u64,
+) -> Option<Vec<Card>> {
+    // Evaluate at a few random assignments of the free variables.
+    let mut rng = StdRng::seed_from_u64(assignment_seed);
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        let mut env = Env::new();
+        for v in free {
+            let tuples = i.enumerate(&v.schema);
+            if tuples.is_empty() {
+                return None;
+            }
+            env.insert(v.id, tuples[rng.gen_range(0..tuples.len())].clone());
+        }
+        out.push(eval(e, i, &env).ok()?);
+    }
+    Some(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn normalization_is_sound(seed in 0u64..100_000) {
+        let mut eg = ExprGen::new(seed);
+        let e = eg.expr(&[], 3);
+        let mut gen = eg.gen;
+        let mut trace = Trace::new();
+        let nf = normalize(&e, &mut gen, &mut trace);
+        let i = interp(seed ^ 0x5A5A);
+        let free = e.free_vars();
+        let before = eval_with_free(&e, &i, &free, seed);
+        let reified = nf.reify();
+        let after = eval_with_free(&reified, &i, &free, seed);
+        prop_assert_eq!(
+            before, after,
+            "seed {}: {} ⇓ {} changed value", seed, e, nf
+        );
+    }
+
+    #[test]
+    fn equivalence_checker_is_sound(seed in 0u64..30_000) {
+        // Generate two expressions; when the checker claims equality,
+        // evaluation must agree everywhere we can test.
+        let mut eg = ExprGen::new(seed);
+        let scope_var = eg.gen.fresh(Schema::leaf(BaseType::Int));
+        let a = eg.expr(&[scope_var.clone()], 2);
+        let b = eg.expr(&[scope_var.clone()], 2);
+        let mut gen = eg.gen;
+        let mut trace = Trace::new();
+        let na = normalize(&a, &mut gen, &mut trace);
+        let nb = normalize(&b, &mut gen, &mut trace);
+        let mut ctx = Ctx::new(&mut gen, &mut trace);
+        if uninomial::equiv::equiv(&na, &nb, &[], &mut ctx) {
+            let i = interp(seed ^ 0x1234);
+            for v in -2..=2i64 {
+                let mut env = Env::new();
+                env.insert(scope_var.id, Tuple::int(v));
+                let va = eval_spnf(&na, &i, &env).ok();
+                let vb = eval_spnf(&nb, &i, &env).ok();
+                prop_assert_eq!(
+                    va, vb,
+                    "seed {}: checker equated {} and {} but values differ at {}",
+                    seed, na, nb, v
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deductive_prover_is_sound_on_random_prop_goals() {
+    // When prove_iff succeeds on two squashed expressions, their squashed
+    // evaluations agree.
+    let mut agreed = 0;
+    for seed in 0..400u64 {
+        let mut eg = ExprGen::new(seed);
+        let free = eg.gen.fresh(Schema::leaf(BaseType::Int));
+        let a = UExpr::squash(eg.expr(&[free.clone()], 2));
+        let b = UExpr::squash(eg.expr(&[free.clone()], 2));
+        let mut gen = eg.gen;
+        let mut trace = Trace::new();
+        let na = normalize(&a, &mut gen, &mut trace);
+        let nb = normalize(&b, &mut gen, &mut trace);
+        if !(na.is_prop() && nb.is_prop()) {
+            continue;
+        }
+        let mut ctx = Ctx::new(&mut gen, &mut trace);
+        if uninomial::deduce::prove_iff(&na, &nb, &[], &mut ctx) {
+            agreed += 1;
+            let i = interp(seed ^ 0x777);
+            for v in -2..=2i64 {
+                let mut env = Env::new();
+                env.insert(free.id, Tuple::int(v));
+                let va = eval_spnf(&na, &i, &env).map(Card::squash).ok();
+                let vb = eval_spnf(&nb, &i, &env).map(Card::squash).ok();
+                assert_eq!(va, vb, "seed {seed}: prove_iff equated {na} and {nb}");
+            }
+        }
+    }
+    assert!(agreed > 3, "prove_iff succeeded on {agreed} random pairs");
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the HoTTSQL reproduction workspace.
+//!
+//! This crate re-exports the individual subsystem crates so that examples
+//! and integration tests can use a single dependency:
+//!
+//! - [`relalg`] — the executable K-relation substrate (values, schemas,
+//!   tuples, cardinals, relations, operators, constraints, indexes).
+//! - [`uninomial`] — the UniNomial algebra of Definition 3.1 and the
+//!   equational/deductive provers.
+//! - [`hottsql`] — the HoTTSQL language: AST, type checker, parser,
+//!   desugaring, denotational semantics (Fig. 7), concrete evaluation.
+//! - [`cq`] — conjunctive queries and the automated decision procedure.
+//! - [`listsem`] — the list-semantics baseline of Sec. 2.
+//! - [`dopcert`] — the DOPCERT prover: tactics, the 23-rule catalog of
+//!   Fig. 8, and the differential-testing harness.
+
+pub use cq;
+pub use dopcert;
+pub use hottsql;
+pub use listsem;
+pub use relalg;
+pub use uninomial;

@@ -1,0 +1,230 @@
+//! Cross-semantics agreement: the three independent readings of Fig. 7
+//! must coincide on random well-typed queries and random instances.
+//!
+//! 1. the operational K-relation evaluator (`hottsql::eval`);
+//! 2. the denotational semantics (`hottsql::denote`) evaluated
+//!    symbolically over a finite domain (`uninomial::eval`);
+//! 3. the list-semantics baseline (`listsem`), compared bag-wise.
+//!
+//! Any bug in the denotation rules, the evaluator, or the baseline shows
+//! up as a disagreement on some seed.
+
+use hottsql::arbitrary::QueryGen;
+use hottsql::denote::denote_closed_query;
+use hottsql::eval::{eval_query, Instance};
+use relalg::generate::{GenConfig, Generator};
+use relalg::{BaseType, Relation, Schema, Tuple, Value};
+use uninomial::eval::{eval, Env, Interp};
+use uninomial::syntax::VarGen;
+
+fn tables() -> Vec<(String, Schema)> {
+    vec![
+        ("R".into(), Schema::flat([BaseType::Int, BaseType::Int])),
+        (
+            "S".into(),
+            Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Int)),
+        ),
+        ("T".into(), Schema::leaf(BaseType::Int)),
+    ]
+}
+
+/// Builds an interpretation whose finite domains cover the sample
+/// domains plus every value in the instance tables (so that every sum in
+/// the denotation is exact).
+fn interp_of(instance: &Instance) -> Interp {
+    let mut interp = Interp::new();
+    for (name, rel) in &instance.tables {
+        interp.rels.insert(name.clone(), rel.clone());
+        for (t, _) in rel.iter() {
+            for v in t.leaves() {
+                if let Some(ty) = v.base_type() {
+                    let dom = interp.domains.entry(ty).or_default();
+                    if !dom.contains(v) {
+                        dom.push(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    interp
+}
+
+fn random_instance(seed: u64) -> Instance {
+    let mut gen = Generator::with_config(
+        seed,
+        GenConfig {
+            max_support: 4,
+            max_multiplicity: 2,
+            int_range: (-2, 2),
+            max_schema_width: 2,
+        },
+    );
+    let mut inst = Instance::new();
+    for (name, schema) in tables() {
+        inst = inst.with_table(name, gen.relation(&schema));
+    }
+    inst
+}
+
+/// Product of all `Σ` binder domain sizes — an upper bound on the work
+/// one denotational evaluation performs. Used to skip pathologically
+/// wide seeds (the semantics is exact regardless; the test must stay
+/// fast).
+fn eval_cost(e: &uninomial::UExpr, interp: &Interp) -> f64 {
+    use uninomial::UExpr as E;
+    match e {
+        E::Zero | E::One | E::Eq(_, _) | E::Rel(_, _) | E::Pred(_, _) => 1.0,
+        E::Add(a, b) | E::Mul(a, b) => eval_cost(a, interp) + eval_cost(b, interp),
+        E::Not(x) | E::Squash(x) => eval_cost(x, interp),
+        E::Sum(v, body) => {
+            interp.enumerate(&v.schema).len() as f64 * eval_cost(body, interp)
+        }
+    }
+}
+
+#[test]
+fn operational_equals_denotational_equals_lists() {
+    let mut checked_tuples = 0usize;
+    let mut denotation_checked_seeds = 0usize;
+    for seed in 0..120u64 {
+        let mut qg = QueryGen::new(seed, tables());
+        let (query, sigma) = qg.query();
+        let env = qg.env().clone();
+        let instance = random_instance(seed ^ 0xABCD);
+
+        // 1. Operational evaluation.
+        let operational = eval_query(&query, &env, &instance, &Schema::Empty, &Tuple::Unit)
+            .unwrap_or_else(|e| panic!("seed {seed}: {query} failed operationally: {e}"));
+        assert_eq!(operational.schema(), &sigma, "seed {seed}: {query}");
+
+        // 2. List-semantics baseline must agree bag-wise.
+        let rows = listsem::eval_query_list(&query, &env, &instance, &Schema::Empty, &Tuple::Unit)
+            .unwrap_or_else(|e| panic!("seed {seed}: {query} failed in listsem: {e}"));
+        let as_rel = Relation::from_tuples(sigma.clone(), rows)
+            .unwrap_or_else(|e| panic!("seed {seed}: nonconforming listsem row: {e}"));
+        assert!(
+            as_rel.bag_eq(&operational),
+            "seed {seed}: listsem disagrees on {query}\n  lists: {as_rel:?}\n  krel:  {operational:?}"
+        );
+
+        // 3. Denotational semantics, evaluated at every tuple of the
+        //    (covering) finite domain — bounded to keep the test fast.
+        let mut vgen = VarGen::new();
+        let (tvar, expr) = denote_closed_query(&query, &env, &mut vgen)
+            .unwrap_or_else(|e| panic!("seed {seed}: {query} failed to denote: {e}"));
+        let interp = interp_of(&instance);
+        let domain = interp.enumerate(&sigma);
+        if domain.len() > 700 || eval_cost(&expr, &interp) * domain.len() as f64 > 2e6 {
+            continue; // pathologically wide seed; covered by narrower ones
+        }
+        denotation_checked_seeds += 1;
+        for tu in &domain {
+            let mut venv = Env::new();
+            venv.insert(tvar.id, tu.clone());
+            let denoted = eval(&expr, &interp, &venv)
+                .unwrap_or_else(|e| panic!("seed {seed}: denotation eval failed: {e}"));
+            assert_eq!(
+                denoted,
+                operational.multiplicity(tu),
+                "seed {seed}: {query} multiplicity of {tu} differs\n  denotation: {expr}"
+            );
+            checked_tuples += 1;
+        }
+        // Every operational output tuple must be inside the enumerated
+        // domain (otherwise the check above silently skipped it).
+        let dom: std::collections::BTreeSet<&Tuple> = domain.iter().collect();
+        for (t, _) in operational.iter() {
+            assert!(
+                dom.contains(t),
+                "seed {seed}: output tuple {t} escaped the finite domain"
+            );
+        }
+    }
+    assert!(checked_tuples > 1_000, "exercised {checked_tuples} points");
+    assert!(
+        denotation_checked_seeds > 50,
+        "only {denotation_checked_seeds} seeds were narrow enough"
+    );
+}
+
+#[test]
+fn normalization_preserves_denotation_on_queries() {
+    // Stronger than the unit tests: normalize the *actual denotations* of
+    // random queries and re-evaluate.
+    for seed in 200..260u64 {
+        let mut qg = QueryGen::new(seed, tables());
+        let (query, sigma) = qg.query();
+        let env = qg.env().clone();
+        let instance = random_instance(seed);
+        let interp = interp_of(&instance);
+        let mut vgen = VarGen::new();
+        let (tvar, expr) = denote_closed_query(&query, &env, &mut vgen).expect("denotes");
+        let mut trace = uninomial::normalize::Trace::new();
+        let nf = uninomial::normalize::normalize(&expr, &mut vgen, &mut trace);
+        for tu in interp.enumerate(&sigma).into_iter().take(40) {
+            let mut venv = Env::new();
+            venv.insert(tvar.id, tu.clone());
+            let before = eval(&expr, &interp, &venv).expect("pre-normalization eval");
+            let after = uninomial::eval::eval_spnf(&nf, &interp, &venv).expect("nf eval");
+            assert_eq!(
+                before, after,
+                "seed {seed}: normalization changed {query} at {tu}\n  nf: {nf}"
+            );
+        }
+    }
+}
+
+#[test]
+fn except_union_distinct_identities_hold_concretely() {
+    // A few structural identities checked across many instances — these
+    // are the concrete shadows of proved rules.
+    for seed in 0..40u64 {
+        let instance = random_instance(seed);
+        let env = QueryGen::new(0, tables()).env().clone();
+        let r = hottsql::ast::Query::table("R");
+        let cases = [
+            (
+                hottsql::ast::Query::distinct(hottsql::ast::Query::distinct(r.clone())),
+                hottsql::ast::Query::distinct(r.clone()),
+            ),
+            (
+                hottsql::ast::Query::except(r.clone(), r.clone()),
+                hottsql::ast::Query::where_(r.clone(), hottsql::ast::Predicate::False),
+            ),
+            (
+                hottsql::ast::Query::union_all(r.clone(), r.clone()),
+                hottsql::ast::Query::union_all(r.clone(), r.clone()),
+            ),
+        ];
+        for (a, b) in cases {
+            let ra = eval_query(&a, &env, &instance, &Schema::Empty, &Tuple::Unit).unwrap();
+            let rb = eval_query(&b, &env, &instance, &Schema::Empty, &Tuple::Unit).unwrap();
+            assert!(ra.bag_eq(&rb), "seed {seed}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn string_and_bool_values_survive_roundtrips() {
+    // Values of every base type flow through evaluation unchanged.
+    let env = hottsql::env::QueryEnv::new()
+        .with_table("S", Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Str)));
+    let rel = Relation::from_tuples(
+        Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Str)),
+        [
+            Tuple::pair(Tuple::bool(true), Tuple::leaf(Value::str("a"))),
+            Tuple::pair(Tuple::bool(false), Tuple::leaf(Value::str(""))),
+        ],
+    )
+    .unwrap();
+    let inst = Instance::new().with_table("S", rel.clone());
+    let out = eval_query(
+        &hottsql::ast::Query::table("S"),
+        &env,
+        &inst,
+        &Schema::Empty,
+        &Tuple::Unit,
+    )
+    .unwrap();
+    assert!(out.bag_eq(&rel));
+}

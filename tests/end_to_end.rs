@@ -1,0 +1,261 @@
+//! End-to-end narrative test: the Sec. 2 running example through every
+//! layer of the system — parse, type, evaluate, denote, prove, decide.
+
+use hottsql::ast::{Expr, Predicate, Proj, Query};
+use hottsql::denote::{denote_closed_query, denote_query};
+use hottsql::env::QueryEnv;
+use hottsql::eval::{eval_query, Instance};
+use hottsql::parse::parse_query;
+use relalg::{BaseType, Card, Relation, Schema, Tuple};
+use uninomial::syntax::{Term, VarGen};
+
+fn sec2_env() -> QueryEnv {
+    QueryEnv::new().with_table("R", Schema::flat([BaseType::Int, BaseType::Int]))
+}
+
+fn sec2_instance() -> Instance {
+    let r = Relation::from_tuples(
+        Schema::flat([BaseType::Int, BaseType::Int]),
+        [
+            Tuple::flat([1.into(), 40.into()]),
+            Tuple::flat([2.into(), 40.into()]),
+            Tuple::flat([2.into(), 50.into()]),
+        ],
+    )
+    .unwrap();
+    Instance::new().with_table("R", r)
+}
+
+#[test]
+fn sec2_q1_q2_q3_pipeline() {
+    let env = sec2_env();
+    let inst = sec2_instance();
+
+    // Q1: SELECT a FROM R — bag {1, 2, 2}.
+    let q1 = parse_query("SELECT Right.Left FROM R").unwrap();
+    assert_eq!(
+        hottsql::ty::infer_query(&q1, &env, &Schema::Empty).unwrap(),
+        Schema::leaf(BaseType::Int)
+    );
+    let r1 = eval_query(&q1, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+    assert_eq!(r1.multiplicity(&Tuple::int(2)), Card::Fin(2));
+
+    // Q2: SELECT DISTINCT a FROM R — set {1, 2}.
+    let q2 = parse_query("DISTINCT SELECT Right.Left FROM R").unwrap();
+    let r2 = eval_query(&q2, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+    assert_eq!(r2.total_multiplicity(), Card::Fin(2));
+
+    // Q3: the redundant self-join.
+    let q3 = parse_query(
+        "DISTINCT SELECT Right.Left.Left FROM R, R \
+         WHERE Right.Left.Left = Right.Right.Left",
+    )
+    .unwrap();
+    let r3 = eval_query(&q3, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+    assert!(r2.bag_eq(&r3), "Q2 ≡ Q3 on the Sec. 2 instance");
+
+    // Prove Q2 ≡ Q3 symbolically from their denotations.
+    let mut gen = VarGen::new();
+    let (t, e2) = denote_closed_query(&q2, &env, &mut gen).unwrap();
+    let e3 = denote_query(&q3, &env, &Schema::Empty, &Term::Unit, &Term::var(&t), &mut gen)
+        .unwrap();
+    let proof = uninomial::prove_eq(&e2, &e3, &mut gen).expect("Q2 ≡ Q3 proves");
+    assert!(proof.steps() >= 1);
+
+    // And decide it with the CQ procedure.
+    let c2 = cq::translate::from_query(&q2, &env).expect("Q2 is a CQ");
+    let c3 = cq::translate::from_query(&q3, &env).expect("Q3 is a CQ");
+    assert!(cq::containment::equivalent_set(&c2, &c3));
+    // But they are NOT bag-equivalent without DISTINCT.
+    assert!(!cq::bag::bag_equivalent(&c2, &c3));
+}
+
+#[test]
+fn group_by_pipeline_with_constraints() {
+    // Employees grouped by department; the department id is a key of the
+    // groups (checked via both the operational and the paper's semantic
+    // key definitions).
+    let schema = Schema::flat([BaseType::Int, BaseType::Int]);
+    let env = QueryEnv::new().with_table("Emp", schema.clone());
+    let emp = Relation::from_tuples(
+        schema,
+        [
+            Tuple::flat([1.into(), 100.into()]),
+            Tuple::flat([1.into(), 50.into()]),
+            Tuple::flat([2.into(), 70.into()]),
+        ],
+    )
+    .unwrap();
+    let inst = Instance::new().with_table("Emp", emp);
+    let grouped = hottsql::desugar::group_by_agg(
+        Query::table("Emp"),
+        Proj::Left,
+        "SUM",
+        Proj::Right,
+    );
+    let out = eval_query(&grouped, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+    assert_eq!(
+        out.multiplicity(&Tuple::pair(Tuple::int(1), Tuple::int(150))),
+        Card::ONE
+    );
+    assert_eq!(
+        out.multiplicity(&Tuple::pair(Tuple::int(2), Tuple::int(70))),
+        Card::ONE
+    );
+    // The group key is a key of the result.
+    let key = |t: &Tuple| t.fst().unwrap().clone();
+    assert!(relalg::constraints::is_key(&out, key));
+    assert!(relalg::constraints::is_key_semantic(&out, key));
+    // And key → sum is a functional dependency, twice over.
+    assert!(relalg::constraints::functional_dependency(
+        &out,
+        key,
+        |t| t.snd().unwrap().clone()
+    ));
+}
+
+#[test]
+fn where_filter_on_aggregate_subquery() {
+    // Departments whose total salary exceeds a threshold — correlated
+    // aggregate in a predicate.
+    let schema = Schema::flat([BaseType::Int, BaseType::Int]);
+    let env = QueryEnv::new()
+        .with_table("Emp", schema.clone())
+        .with_table("Dept", Schema::leaf(BaseType::Int));
+    let emp = Relation::from_tuples(
+        schema,
+        [
+            Tuple::flat([1.into(), 100.into()]),
+            Tuple::flat([1.into(), 50.into()]),
+            Tuple::flat([2.into(), 70.into()]),
+        ],
+    )
+    .unwrap();
+    let dept =
+        Relation::from_tuples(Schema::leaf(BaseType::Int), [Tuple::int(1), Tuple::int(2)])
+            .unwrap();
+    let inst = Instance::new().with_table("Emp", emp).with_table("Dept", dept);
+    // SELECT * FROM Dept WHERE SUM(SELECT sal FROM Emp WHERE did = dept) = 150
+    // Inner select context: node(node(empty, int), σEmp).
+    let salaries = Query::select(
+        Proj::path([Proj::Right, Proj::Right]),
+        Query::where_(
+            Query::table("Emp"),
+            Predicate::eq(
+                Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
+                Expr::p2e(Proj::path([Proj::Left, Proj::Right])),
+            ),
+        ),
+    );
+    let q = Query::where_(
+        Query::table("Dept"),
+        Predicate::eq(Expr::agg("SUM", salaries), Expr::int(150)),
+    );
+    let out = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+    assert_eq!(out.multiplicity(&Tuple::int(1)), Card::ONE);
+    assert_eq!(out.multiplicity(&Tuple::int(2)), Card::ZERO);
+}
+
+#[test]
+fn index_machinery_end_to_end() {
+    // Build a physical index over a keyed relation and check that the
+    // index-as-relation of Sec. 4.2 answers scans exactly like the
+    // symbolic index rules promise.
+    let schema = Schema::flat([BaseType::Int, BaseType::Int]);
+    let r = Relation::from_tuples(
+        schema,
+        [
+            Tuple::flat([0.into(), 5.into()]),
+            Tuple::flat([1.into(), 7.into()]),
+            Tuple::flat([2.into(), 5.into()]),
+        ],
+    )
+    .unwrap();
+    let fst = |t: &Tuple| t.fst().unwrap().clone();
+    let snd = |t: &Tuple| t.snd().unwrap().clone();
+    let idx = relalg::index::Index::build(
+        &r,
+        Schema::leaf(BaseType::Int),
+        Schema::leaf(BaseType::Int),
+        fst,
+        snd,
+    )
+    .expect("first column is a key");
+    let via_index = idx.scan_via_index(&r, &relalg::Value::Int(5), fst);
+    let full = relalg::ops::select(&r, |t| {
+        Card::from_bool(t.snd().unwrap() == &Tuple::int(5))
+    });
+    assert!(via_index.bag_eq(&full));
+    assert_eq!(via_index.support_size(), 2);
+}
+
+#[test]
+fn outer_join_and_nulls_integration() {
+    let s_schema = Schema::flat([BaseType::Int, BaseType::Int]);
+    let env = hottsql::desugar::declare_null_fns(
+        QueryEnv::new()
+            .with_table("R", Schema::leaf(BaseType::Int))
+            .with_table("S", s_schema.clone()),
+    );
+    let r = Relation::from_tuples(
+        Schema::leaf(BaseType::Int),
+        [Tuple::int(1), Tuple::int(2), Tuple::int(3)],
+    )
+    .unwrap();
+    let s = Relation::from_tuples(
+        s_schema.clone(),
+        [Tuple::flat([1.into(), 10.into()]), Tuple::flat([3.into(), 30.into()])],
+    )
+    .unwrap();
+    let inst = hottsql::desugar::install_null_fns(
+        Instance::new().with_table("R", r).with_table("S", s),
+    );
+    let theta = Predicate::eq(
+        Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
+        Expr::p2e(Proj::path([Proj::Right, Proj::Right, Proj::Left])),
+    );
+    let loj = hottsql::desugar::left_outer_join(
+        Query::table("R"),
+        Query::table("S"),
+        theta,
+        &s_schema,
+    );
+    let out = eval_query(&loj, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
+    assert_eq!(out.support_size(), 3, "{out:?}");
+    // The unmatched row (2) is NULL-padded.
+    let padded: Vec<&Tuple> = out
+        .support()
+        .into_iter()
+        .filter(|t| t.contains_null())
+        .collect();
+    assert_eq!(padded.len(), 1);
+    assert_eq!(padded[0].fst().unwrap(), &Tuple::int(2));
+}
+
+#[test]
+fn parser_typing_denotation_round_trip_for_paper_queries() {
+    // The example queries of Sec. 3.2 (q1–q5 shapes) all parse, type,
+    // and denote.
+    let sr = Schema::flat([BaseType::Int, BaseType::Int]);
+    let ss = Schema::flat([BaseType::Int, BaseType::Int]);
+    let env = QueryEnv::new()
+        .with_table("R", sr.clone())
+        .with_table("S", ss.clone())
+        .with_proj("p", Schema::node(Schema::Empty, Schema::node(sr.clone(), ss.clone())), Schema::leaf(BaseType::Int))
+        .with_fn("add", BaseType::Int);
+    let queries = [
+        "SELECT Right.Left FROM R, S",                       // q1: R.*
+        "SELECT Right.Right FROM R, S",                      // q2: S.*
+        "SELECT Right.Right.Left FROM R, S",                 // q3: S.p
+        "SELECT (Right.Left.Left, Right.Right.Right) FROM R, S", // q4
+        "SELECT E2P(add(Right.Left, Right.Right)) FROM R",   // q5: p1 + p2
+    ];
+    for text in queries {
+        let q = parse_query(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        hottsql::ty::infer_query(&q, &env, &Schema::Empty)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
+        let mut gen = VarGen::new();
+        denote_closed_query(&q, &env, &mut gen)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Heavier differential testing of the full rule catalog than the unit
+//! tests run: every sound rule on many random schema instantiations and
+//! instances; every unsound rule refuted with a concrete counterexample.
+
+use dopcert::difftest::{differential_test, DiffOutcome};
+
+#[test]
+fn all_sound_rules_survive_many_random_instances() {
+    for rule in dopcert::catalog::sound_rules() {
+        let outcome = differential_test(&rule, 60, 0xBEEF_CAFE);
+        match outcome {
+            DiffOutcome::Agreed { trials } => assert_eq!(trials, 60),
+            DiffOutcome::Refuted(cex) => panic!("{} refuted: {cex}", rule.name),
+            DiffOutcome::Error(e) => panic!("{} errored: {e}", rule.name),
+        }
+    }
+}
+
+#[test]
+fn all_unsound_rules_have_counterexamples() {
+    for rule in dopcert::catalog::unsound_rules() {
+        let outcome = differential_test(&rule, 300, 0x0BAD_F00D);
+        match outcome {
+            DiffOutcome::Refuted(cex) => {
+                // The counterexample must carry enough data to reproduce.
+                let shown = cex.to_string();
+                assert!(shown.contains("seed"), "{shown}");
+                assert!(shown.contains("lhs"), "{shown}");
+            }
+            other => panic!("{} not refuted: {other:?}", rule.name),
+        }
+    }
+}
+
+#[test]
+fn proof_and_testing_verdicts_agree() {
+    // The prover accepts exactly the sound rules; differential testing
+    // refutes exactly the unsound ones. No rule may land in the
+    // ambiguous quadrants (proved-but-refuted would be a soundness bug;
+    // unproved-and-unrefuted is acceptable only for sound rules, and all
+    // our sound rules do prove).
+    for rule in dopcert::catalog::all_rules() {
+        let report = dopcert::prove::prove_rule(&rule);
+        let outcome = differential_test(&rule, 40, 0x7E57);
+        match (rule.expected_sound, report.proved, outcome.agreed()) {
+            (true, true, true) => {}
+            (false, false, false) => {}
+            (sound, proved, agreed) => panic!(
+                "{}: expected_sound={sound} proved={proved} difftest-agreed={agreed}",
+                rule.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn counterexamples_are_reproducible() {
+    // Re-running the same seed reproduces the refutation.
+    let rules = dopcert::catalog::unsound_rules();
+    let rule = &rules[0];
+    let a = differential_test(rule, 300, 42);
+    let b = differential_test(rule, 300, 42);
+    match (a, b) {
+        (DiffOutcome::Refuted(x), DiffOutcome::Refuted(y)) => {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.instance, y.instance);
+        }
+        other => panic!("expected two identical refutations, got {other:?}"),
+    }
+}
