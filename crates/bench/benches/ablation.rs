@@ -11,7 +11,7 @@ use uninomial::normalize::{normalize, Trace};
 use uninomial::syntax::{Term, UExpr, VarGen};
 
 fn wide_schema(width: usize) -> Schema {
-    Schema::flat(std::iter::repeat(BaseType::Int).take(width))
+    Schema::flat(std::iter::repeat_n(BaseType::Int, width))
 }
 
 fn bench_pair_split(c: &mut Criterion) {
@@ -62,9 +62,7 @@ fn bench_witness_search(c: &mut Criterion) {
                 let mut gen = VarGen::new();
                 let int = Schema::leaf(BaseType::Int);
                 let consts: Vec<_> = (0..n).map(|_| gen.fresh(int.clone())).collect();
-                let hyp = UExpr::product(
-                    consts.iter().map(|c| UExpr::rel("R", Term::var(c))),
-                );
+                let hyp = UExpr::product(consts.iter().map(|c| UExpr::rel("R", Term::var(c))));
                 let x = gen.fresh(int.clone());
                 let y = gen.fresh(int.clone());
                 let goal = UExpr::squash(UExpr::sum(
@@ -86,7 +84,6 @@ fn bench_witness_search(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Fast Criterion config: the harness binaries are the primary
 /// reporting path; these benches exist for regression tracking.

@@ -48,7 +48,6 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion config: the harness binaries are the primary
 /// reporting path; these benches exist for regression tracking.
 fn quick() -> Criterion {

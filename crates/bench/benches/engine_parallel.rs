@@ -1,0 +1,86 @@
+//! Criterion benchmark for the batch proving engine: the full Fig. 8
+//! catalog proved by the sequential loop vs the hash-consed parallel
+//! engine at several worker counts, plus the memoization ablation
+//! (1-thread engine = sequential order + cache, isolating the
+//! hash-consing win from the parallelism win).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dopcert::engine::Engine;
+use dopcert::prove::prove_rule;
+
+fn bench_catalog_proving(c: &mut Criterion) {
+    let rules = dopcert::catalog::sound_rules();
+    let mut group = c.benchmark_group("engine-parallel/fig8-catalog");
+
+    group.bench_function("sequential-baseline", |b| {
+        b.iter(|| {
+            for rule in &rules {
+                let report = prove_rule(rule);
+                assert!(report.proved, "{} failed", rule.name);
+            }
+        })
+    });
+
+    let max = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut counts = vec![1usize, 2, 4];
+    if max > 4 {
+        counts.push(max);
+    }
+    counts.dedup();
+    for threads in counts {
+        let engine = Engine::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("engine", threads), &threads, |b, _| {
+            b.iter(|| {
+                let reports = engine.prove_catalog(&rules);
+                assert!(reports.iter().all(|r| r.proved), "catalog regressed");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_difftest(c: &mut Criterion) {
+    let rules = dopcert::catalog::sound_rules();
+    let mut group = c.benchmark_group("engine-parallel/difftest");
+    const TRIALS: usize = 8;
+
+    group.bench_function("sequential-baseline", |b| {
+        b.iter(|| {
+            for rule in &rules {
+                assert!(
+                    dopcert::difftest::differential_test(rule, TRIALS, 0xDA7A).agreed(),
+                    "{} refuted",
+                    rule.name
+                );
+            }
+        })
+    });
+
+    let engine = Engine::new();
+    group.bench_function("engine-all-cores", |b| {
+        b.iter(|| {
+            let outcomes = engine.difftest_catalog(&rules, TRIALS, 0xDA7A);
+            assert!(
+                outcomes.iter().all(|(_, o)| o.agreed()),
+                "difftest regressed"
+            );
+        })
+    });
+    group.finish();
+}
+
+/// Fast Criterion config: the harness binaries are the primary
+/// reporting path; these benches exist for regression tracking.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_catalog_proving, bench_difftest
+}
+criterion_main!(benches);

@@ -30,8 +30,7 @@ fn bench_ucq(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9/ucq-containment");
     for w in [2u32, 4, 8] {
         let a = cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 2)).collect());
-        let b_ucq =
-            cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 1)).collect());
+        let b_ucq = cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 1)).collect());
         group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
             b.iter(|| assert!(cq::ucq::ucq_contained_in(&a, &b_ucq)))
         });
@@ -49,7 +48,6 @@ fn bench_minimize(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Fast Criterion config: the harness binaries are the primary
 /// reporting path; these benches exist for regression tracking.

@@ -45,7 +45,11 @@ fn main() {
         println!(
             "  {:<28} prover: {:<10} counterexample: {}",
             rule.name,
-            if report.proved { "ACCEPTED(!)" } else { "rejected" },
+            if report.proved {
+                "ACCEPTED(!)"
+            } else {
+                "rejected"
+            },
             if refuted { "found" } else { "none" },
         );
         assert!(!report.proved && refuted, "unsound rule handling regressed");

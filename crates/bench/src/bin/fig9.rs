@@ -41,6 +41,10 @@ fn main() {
     let minimize = bench::minimize_series(&[2, 4, 8, 12]);
     println!(
         "{}",
-        bench::render_series("CQ minimization: star queries fold to their core", "arms", &minimize)
+        bench::render_series(
+            "CQ minimization: star queries fold to their core",
+            "arms",
+            &minimize
+        )
     );
 }

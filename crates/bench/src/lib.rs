@@ -9,12 +9,20 @@
 #![warn(missing_debug_implementations)]
 
 use cq::Cq;
+use dopcert::engine::Engine;
 use dopcert::prove::{fig8_table, prove_rule, Fig8Row, RuleReport};
 use std::time::{Duration, Instant};
 
-/// Runs the full Fig. 8 experiment: proves every sound rule and returns
-/// the per-rule reports.
+/// Runs the full Fig. 8 experiment on the parallel batch engine:
+/// proves every sound rule and returns the per-rule reports (catalog
+/// order; verdicts identical to the sequential path).
 pub fn fig8_reports() -> Vec<RuleReport> {
+    Engine::new().prove_catalog(&dopcert::catalog::sound_rules())
+}
+
+/// The sequential baseline the engine replaced: one rule after another,
+/// no memoization. Kept for the `engine_parallel` benchmark comparison.
+pub fn fig8_reports_sequential() -> Vec<RuleReport> {
     dopcert::catalog::sound_rules()
         .iter()
         .map(prove_rule)
@@ -89,8 +97,7 @@ pub fn fig9_containment_series(ks: &[u32], graph_vars: u32) -> Vec<ScalePoint> {
             let pattern = cq::generate::clique(k);
             // A sparse-ish graph so the backtracking search must work.
             let graph = cq::generate::random_graph_query(42, graph_vars, 0.3);
-            let (time, answer) =
-                timed(|| cq::containment::contained_in(&graph, &pattern));
+            let (time, answer) = timed(|| cq::containment::contained_in(&graph, &pattern));
             ScalePoint {
                 size: k,
                 time,
@@ -125,12 +132,8 @@ pub fn fig9_ucq_series(widths: &[u32]) -> Vec<ScalePoint> {
     widths
         .iter()
         .map(|&w| {
-            let a = cq::ucq::Ucq::new(
-                (0..w).map(|i| cq::generate::boolean_chain(i + 2)).collect(),
-            );
-            let b = cq::ucq::Ucq::new(
-                (0..w).map(|i| cq::generate::boolean_chain(i + 1)).collect(),
-            );
+            let a = cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 2)).collect());
+            let b = cq::ucq::Ucq::new((0..w).map(|i| cq::generate::boolean_chain(i + 1)).collect());
             let (time, answer) = timed(|| cq::ucq::ucq_contained_in(&a, &b));
             ScalePoint {
                 size: w,
@@ -160,7 +163,10 @@ pub fn minimize_series(sizes: &[u32]) -> Vec<ScalePoint> {
 
 /// Renders a scaling series as a printable table.
 pub fn render_series(title: &str, unit: &str, points: &[ScalePoint]) -> String {
-    let mut out = format!("{title}\n{:<10} {:>14} {:>8}\n", unit, "time (µs)", "answer");
+    let mut out = format!(
+        "{title}\n{:<10} {:>14} {:>8}\n",
+        unit, "time (µs)", "answer"
+    );
     for p in points {
         out.push_str(&format!(
             "{:<10} {:>14.1} {:>8}\n",
@@ -193,12 +199,7 @@ pub fn baseline_equivalence_times(n: u64) -> (Duration, Duration) {
     use relalg::{BaseType, Relation, Schema, Tuple};
     let schema = Schema::flat([BaseType::Int, BaseType::Int]);
     let rows: Vec<Tuple> = (0..n)
-        .map(|i| {
-            Tuple::pair(
-                Tuple::int((i % 17) as i64),
-                Tuple::int((i % 23) as i64),
-            )
-        })
+        .map(|i| Tuple::pair(Tuple::int((i % 17) as i64), Tuple::int((i % 23) as i64)))
         .collect();
     let mut reversed = rows.clone();
     reversed.reverse();

@@ -25,7 +25,7 @@ pub fn bag_equivalent_witness(a: &Cq, b: &Cq) -> Option<BTreeMap<u32, u32>> {
     }
     let mut map: BTreeMap<u32, u32> = BTreeMap::new();
     let mut used_b: BTreeMap<u32, u32> = BTreeMap::new(); // reverse map
-    // Head must map pointwise.
+                                                          // Head must map pointwise.
     for (ta, tb) in a.head.iter().zip(&b.head) {
         if !extend(&mut map, &mut used_b, ta, tb) {
             return None;
@@ -52,17 +52,15 @@ fn extend(
 ) -> bool {
     match (ta, tb) {
         (CqTerm::Const(x), CqTerm::Const(y)) => x == y,
-        (CqTerm::Var(x), CqTerm::Var(y)) => {
-            match (map.get(x), rev.get(y)) {
-                (Some(mapped), _) if mapped != y => false,
-                (_, Some(src)) if src != x => false,
-                _ => {
-                    map.insert(*x, *y);
-                    rev.insert(*y, *x);
-                    true
-                }
+        (CqTerm::Var(x), CqTerm::Var(y)) => match (map.get(x), rev.get(y)) {
+            (Some(mapped), _) if mapped != y => false,
+            (_, Some(src)) if src != x => false,
+            _ => {
+                map.insert(*x, *y);
+                rev.insert(*y, *x);
+                true
             }
-        }
+        },
         _ => false,
     }
 }
@@ -165,14 +163,8 @@ mod tests {
 
     #[test]
     fn head_order_matters() {
-        let a = Cq::new(
-            vec![v(0), v(1)],
-            vec![CqAtom::new("R", vec![v(0), v(1)])],
-        );
-        let b = Cq::new(
-            vec![v(1), v(0)],
-            vec![CqAtom::new("R", vec![v(0), v(1)])],
-        );
+        let a = Cq::new(vec![v(0), v(1)], vec![CqAtom::new("R", vec![v(0), v(1)])]);
+        let b = Cq::new(vec![v(1), v(0)], vec![CqAtom::new("R", vec![v(0), v(1)])]);
         assert!(!bag_equivalent(&a, &b));
     }
 

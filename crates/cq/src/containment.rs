@@ -43,20 +43,55 @@ impl fmt::Display for Homomorphism {
     }
 }
 
+/// A conjunctive query with its homomorphism-target side index built:
+/// body atoms grouped by relation name, so the backtracking search asks
+/// "candidate images of `R(…)`" in one map lookup instead of scanning
+/// the whole body per goal atom.
+///
+/// Preparing is the batching primitive: when one query participates in
+/// many containment checks (catalog proving, script goals, UCQ
+/// disjuncts), [`prepare`] it once and reuse it for every check.
+#[derive(Clone, Debug)]
+pub struct PreparedCq<'a> {
+    /// The underlying query.
+    pub cq: &'a Cq,
+    by_rel: BTreeMap<&'a str, Vec<&'a CqAtom>>,
+}
+
+/// Builds the containment-target index of a query.
+pub fn prepare(cq: &Cq) -> PreparedCq<'_> {
+    let mut by_rel: BTreeMap<&str, Vec<&CqAtom>> = BTreeMap::new();
+    for atom in &cq.atoms {
+        by_rel.entry(atom.rel.as_str()).or_default().push(atom);
+    }
+    PreparedCq { cq, by_rel }
+}
+
+impl PreparedCq<'_> {
+    fn candidates(&self, rel: &str) -> &[&CqAtom] {
+        self.by_rel.get(rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// Decides `sub ⊆ sup` under set semantics, returning a homomorphism
 /// `sup → sub` on success (Chandra–Merlin).
 pub fn containment_witness(sub: &Cq, sup: &Cq) -> Option<Homomorphism> {
-    if sub.head.len() != sup.head.len() {
+    containment_witness_prepared(&prepare(sub), sup)
+}
+
+/// [`containment_witness`] against a pre-indexed `sub` side.
+pub fn containment_witness_prepared(sub: &PreparedCq<'_>, sup: &Cq) -> Option<Homomorphism> {
+    if sub.cq.head.len() != sup.head.len() {
         return None;
     }
     let mut h = Homomorphism::default();
     // The head must map exactly.
-    for (hsup, hsub) in sup.head.iter().zip(&sub.head) {
+    for (hsup, hsub) in sup.head.iter().zip(&sub.cq.head) {
         if !extend(&mut h, hsup, hsub) {
             return None;
         }
     }
-    if search(&mut h, &sup.atoms, 0, &sub.atoms) {
+    if search(&mut h, &sup.atoms, 0, sub) {
         Some(h)
     } else {
         None
@@ -66,6 +101,11 @@ pub fn containment_witness(sub: &Cq, sup: &Cq) -> Option<Homomorphism> {
 /// Decides `sub ⊆ sup` under set semantics.
 pub fn contained_in(sub: &Cq, sup: &Cq) -> bool {
     containment_witness(sub, sup).is_some()
+}
+
+/// [`contained_in`] against a pre-indexed `sub` side.
+pub fn contained_in_prepared(sub: &PreparedCq<'_>, sup: &Cq) -> bool {
+    containment_witness_prepared(sub, sup).is_some()
 }
 
 /// Decides set equivalence (containment both ways), returning both
@@ -79,6 +119,25 @@ pub fn equivalent_set_witness(a: &Cq, b: &Cq) -> Option<(Homomorphism, Homomorph
 /// Decides set equivalence.
 pub fn equivalent_set(a: &Cq, b: &Cq) -> bool {
     contained_in(a, b) && contained_in(b, a)
+}
+
+/// Batch set-equivalence: decides every `(i, j)` pair over a slice of
+/// queries, indexing each query **once** no matter how many pairs it
+/// participates in. This is the API the proving engine and the script
+/// runner use for multi-goal workloads.
+///
+/// # Panics
+///
+/// Panics when a pair index is out of bounds.
+pub fn equivalent_set_batch(queries: &[Cq], pairs: &[(usize, usize)]) -> Vec<bool> {
+    let prepared: Vec<PreparedCq<'_>> = queries.iter().map(prepare).collect();
+    pairs
+        .iter()
+        .map(|&(i, j)| {
+            contained_in_prepared(&prepared[i], prepared[j].cq)
+                && contained_in_prepared(&prepared[j], prepared[i].cq)
+        })
+        .collect()
 }
 
 fn extend(h: &mut Homomorphism, from: &CqTerm, to: &CqTerm) -> bool {
@@ -97,11 +156,11 @@ fn extend(h: &mut Homomorphism, from: &CqTerm, to: &CqTerm) -> bool {
     }
 }
 
-fn search(h: &mut Homomorphism, goal_atoms: &[CqAtom], i: usize, body: &[CqAtom]) -> bool {
+fn search(h: &mut Homomorphism, goal_atoms: &[CqAtom], i: usize, body: &PreparedCq<'_>) -> bool {
     let Some(atom) = goal_atoms.get(i) else {
         return true;
     };
-    for target in body.iter().filter(|t| t.rel == atom.rel) {
+    for target in body.candidates(&atom.rel) {
         if target.terms.len() != atom.terms.len() {
             continue;
         }
@@ -189,10 +248,7 @@ mod tests {
     fn constants_must_match() {
         let q_const = Cq::new(
             vec![v(0)],
-            vec![CqAtom::new(
-                "R",
-                vec![v(0), CqTerm::Const(Value::Int(5))],
-            )],
+            vec![CqAtom::new("R", vec![v(0), CqTerm::Const(Value::Int(5))])],
         );
         let q_var = simple();
         // q_const ⊆ q_var (drop the constant restriction)…
@@ -253,6 +309,34 @@ mod tests {
         let q1 = Cq::new(vec![v(0)], vec![CqAtom::new("R", vec![v(0)])]);
         let q2 = Cq::new(vec![v(0), v(0)], vec![CqAtom::new("R", vec![v(0)])]);
         assert!(!contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn batch_matches_pairwise_decisions() {
+        let queries = vec![
+            simple(),
+            self_join(),
+            Cq::new(vec![v(0)], vec![CqAtom::new("S", vec![v(0), v(1)])]),
+        ];
+        let pairs = vec![(0, 1), (0, 2), (1, 1), (2, 0)];
+        let batch = equivalent_set_batch(&queries, &pairs);
+        let pairwise: Vec<bool> = pairs
+            .iter()
+            .map(|&(i, j)| equivalent_set(&queries[i], &queries[j]))
+            .collect();
+        assert_eq!(batch, pairwise);
+        assert_eq!(batch, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn prepared_containment_matches_unprepared() {
+        let queries = [simple(), self_join()];
+        for a in &queries {
+            let pa = prepare(a);
+            for b in &queries {
+                assert_eq!(contained_in_prepared(&pa, b), contained_in(a, b));
+            }
+        }
     }
 
     #[test]

@@ -85,7 +85,9 @@ pub fn random_graph_query(seed: u64, n: u32, p: f64) -> Cq {
 /// single atom, making it the adversarial family for minimization.
 pub fn star(n: u32) -> Cq {
     assert!(n >= 1);
-    let atoms = (1..=n).map(|i| CqAtom::new("E", vec![v(0), v(i)])).collect();
+    let atoms = (1..=n)
+        .map(|i| CqAtom::new("E", vec![v(0), v(i)]))
+        .collect();
     Cq::new(vec![v(0)], atoms)
 }
 

@@ -264,10 +264,7 @@ impl CqBuilder {
                 None => CqTerm::Var(r),
             }
         };
-        let head: Vec<CqTerm> = head
-            .into_iter()
-            .map(|v| resolve(&mut self, v))
-            .collect();
+        let head: Vec<CqTerm> = head.into_iter().map(|v| resolve(&mut self, v)).collect();
         let atoms = self
             .atoms
             .clone()

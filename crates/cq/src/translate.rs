@@ -248,8 +248,7 @@ mod tests {
     fn constants_translate() {
         let q = parse_query("DISTINCT SELECT Right.Left FROM R WHERE Right.Right = 5").unwrap();
         let cq = from_query(&q, &env()).unwrap();
-        assert!(cq
-            .atoms[0]
+        assert!(cq.atoms[0]
             .terms
             .iter()
             .any(|t| matches!(t, CqTerm::Const(relalg::Value::Int(5)))));

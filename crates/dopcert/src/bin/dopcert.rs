@@ -1,8 +1,9 @@
 //! The DOPCERT command-line checker.
 //!
 //! ```sh
-//! dopcert check file.dop     # run a verification script
-//! dopcert catalog            # verify the whole built-in rule catalog
+//! dopcert check file.dop       # run a verification script
+//! dopcert catalog              # verify the whole built-in rule catalog
+//! dopcert catalog --jobs 4     # …on an explicit number of worker threads
 //! ```
 //!
 //! Script syntax (see `dopcert::script`):
@@ -16,6 +17,23 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+
+/// Parses `--jobs N` / `-j N` out of the trailing arguments.
+fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let n = it
+                .next()
+                .ok_or_else(|| format!("{arg} needs a thread count"))?;
+            return n
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("invalid thread count {n:?}"));
+        }
+    }
+    Ok(None)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,7 +66,11 @@ fn main() -> ExitCode {
             let outcomes = dopcert::script::run_script(&script);
             let mut ok = true;
             for (goal, outcome) in script.goals.iter().zip(&outcomes) {
-                let expected = if goal.expect_equivalent { "verify" } else { "refute" };
+                let expected = if goal.expect_equivalent {
+                    "verify"
+                } else {
+                    "refute"
+                };
                 let satisfied = outcome.satisfies(goal.expect_equivalent);
                 ok &= satisfied;
                 println!(
@@ -58,20 +80,42 @@ fn main() -> ExitCode {
                     outcome
                 );
             }
-            if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Some("catalog") => {
-            let results = dopcert::script::run_catalog();
+            let engine = match parse_jobs(&args[1..]) {
+                Ok(None) => dopcert::engine::Engine::new(),
+                Ok(Some(n)) => dopcert::engine::Engine::with_threads(n),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let start = std::time::Instant::now();
+            let results = engine.check_catalog(&dopcert::catalog::all_rules());
             let mut ok = true;
             for (name, passed) in &results {
                 println!("[{}] {name}", if *passed { "ok" } else { "FAIL" });
                 ok &= passed;
             }
-            println!("{} rules checked", results.len());
-            if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+            println!(
+                "{} rules checked on {} threads in {:.1} ms",
+                results.len(),
+                engine.threads(),
+                start.elapsed().as_secs_f64() * 1e3,
+            );
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         _ => {
-            eprintln!("usage: dopcert check <file.dop | -> | dopcert catalog");
+            eprintln!("usage: dopcert check <file.dop | -> | dopcert catalog [--jobs N]");
             ExitCode::FAILURE
         }
     }

@@ -81,10 +81,8 @@ mod tests {
             let inst = rule.generic();
             // Both sides must at least type-check generically (even the
             // unsound rules are well-typed — they are wrong, not ill-formed).
-            let sl =
-                hottsql::ty::infer_query(&inst.lhs, &inst.env, &relalg::Schema::Empty);
-            let sr =
-                hottsql::ty::infer_query(&inst.rhs, &inst.env, &relalg::Schema::Empty);
+            let sl = hottsql::ty::infer_query(&inst.lhs, &inst.env, &relalg::Schema::Empty);
+            let sr = hottsql::ty::infer_query(&inst.rhs, &inst.env, &relalg::Schema::Empty);
             assert!(sl.is_ok(), "{} lhs: {:?}", rule.name, sl);
             assert!(sr.is_ok(), "{} rhs: {:?}", rule.name, sr);
             assert_eq!(sl.unwrap(), sr.unwrap(), "{} schemas differ", rule.name);

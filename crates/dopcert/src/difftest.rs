@@ -140,7 +140,7 @@ fn salted_hash<T: Hash>(value: &T, salt: u64) -> u64 {
 fn value_from_hash(h: u64, ty: BaseType) -> Value {
     match ty {
         BaseType::Int => Value::Int((h % 4) as i64),
-        BaseType::Bool => Value::Bool(h % 2 == 0),
+        BaseType::Bool => Value::Bool(h.is_multiple_of(2)),
         BaseType::Str => {
             let letters = ["a", "b", "c"];
             Value::str(letters[(h % 3) as usize])
@@ -208,7 +208,7 @@ pub fn build_instance(rule: &RuleInstance, seed: u64) -> Instance {
     for (name, _) in rule.env.preds() {
         let salt = salted_hash(&name, seed ^ 0xBEEF);
         instance = instance.with_pred(name.clone(), move |t: &Tuple| {
-            salted_hash(t, salt) % 2 == 0
+            salted_hash(t, salt).is_multiple_of(2)
         });
     }
     // Expression meta-variables.
@@ -230,7 +230,7 @@ pub fn build_instance(rule: &RuleInstance, seed: u64) -> Instance {
     for (name, _) in rule.env.upreds() {
         let salt = salted_hash(&name, seed ^ 0xD1CE);
         instance = instance.with_upred(name.clone(), move |vs: &[Value]| {
-            salted_hash(&vs, salt) % 2 == 0
+            salted_hash(&vs, salt).is_multiple_of(2)
         });
     }
     instance

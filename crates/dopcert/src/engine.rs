@@ -1,0 +1,244 @@
+//! The batch proving engine: verify and differentially test whole rule
+//! catalogs across CPU cores.
+//!
+//! The sequential pipeline (`for rule in rules { prove_rule(rule) }`)
+//! leaves every core but one idle and re-normalizes the same denotation
+//! fragments for every rule. This module fixes both:
+//!
+//! - **Parallelism** — rules are distributed over a scoped worker pool
+//!   (`std::thread`; the environment has no third-party crates, so the
+//!   work-stealing is a simple shared atomic cursor — ideal for this
+//!   catalog-shaped workload of few, coarse, unevenly-sized tasks).
+//! - **Sharing** — before the workers start, every catalog rule's
+//!   denotation is interned into one [`Interner`], which is then frozen
+//!   into a lock-free [`InternerSnapshot`]. Each worker clones the
+//!   snapshot once into a private [`NormCache`] and keeps it for all the
+//!   rules it proves, so structurally shared subterms normalize once per
+//!   worker instead of once per occurrence.
+//!
+//! Determinism: every worker uses its own [`VarGen`] (created per rule
+//! inside the prover, exactly as on the sequential path), and reports
+//! are returned **in catalog order** regardless of which worker finished
+//! when. `prove_catalog` is observationally identical to the sequential
+//! loop — same verdicts, methods, and step counts (wall-clock fields
+//! excepted) — which `tests/engine.rs` asserts for the full catalog.
+//!
+//! [`Interner`]: uninomial::Interner
+//! [`VarGen`]: uninomial::VarGen
+
+use crate::difftest::{differential_test, DiffOutcome};
+use crate::prove::{denote_instance, prove_rule_cached, RuleReport};
+use crate::rule::Rule;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use uninomial::normalize::{normalization_input, NormCache};
+use uninomial::syntax::intern::{Interner, InternerSnapshot};
+
+/// Tuning for the batch engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub threads: NonZeroUsize,
+    /// Whether to pre-intern every rule denotation into the shared
+    /// snapshot before starting the workers (on by default; costs one
+    /// sequential denotation pass, saves re-interning in every worker).
+    pub warm_interner: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: std::thread::available_parallelism()
+                .unwrap_or(NonZeroUsize::new(1).expect("1 is nonzero")),
+            warm_interner: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with an explicit worker count.
+    pub fn with_threads(threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads: NonZeroUsize::new(threads.max(1)).expect("clamped to >= 1"),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// The batch proving engine. Construction is cheap; the interner
+/// snapshot is built lazily per batch from the rules it is given.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with default configuration (all cores).
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    /// An engine with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Engine {
+        Engine::with_config(EngineConfig::with_threads(threads))
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.config.threads.get()
+    }
+
+    /// Builds the frozen interner snapshot shared by all workers: for
+    /// every rule, the exact normalization-input trees
+    /// ([`uninomial::normalize::normalization_input`] over the same
+    /// `VarGen` stream the prover uses) — seeding the raw denotations
+    /// instead would produce nodes the workers never match, because
+    /// normalization refreshes every binder first. With a single worker
+    /// the pass is skipped — there is nobody to share the snapshot
+    /// with, and the lone worker interns on the fly anyway.
+    fn seed_snapshot(&self, rules: &[Rule]) -> InternerSnapshot {
+        let mut interner = Interner::new();
+        if self.config.warm_interner && self.threads() > 1 {
+            for rule in rules {
+                if let Ok((el, er, mut gen)) = denote_instance(&rule.generic()) {
+                    interner.intern(&normalization_input(&el, &mut gen));
+                    interner.intern(&normalization_input(&er, &mut gen));
+                }
+            }
+        }
+        interner.snapshot()
+    }
+
+    /// Proves every rule of the catalog in parallel, returning reports
+    /// in catalog order. Verdicts, methods, and step counts are
+    /// identical to running [`crate::prove::prove_rule`] sequentially.
+    pub fn prove_catalog(&self, rules: &[Rule]) -> Vec<RuleReport> {
+        let snapshot = self.seed_snapshot(rules);
+        self.par_map(rules, &snapshot, |rule, cache| {
+            prove_rule_cached(rule, cache)
+        })
+    }
+
+    /// Differentially tests every rule in parallel (`trials` random
+    /// instances each), returning `(name, outcome)` in catalog order.
+    pub fn difftest_catalog(
+        &self,
+        rules: &[Rule],
+        trials: usize,
+        base_seed: u64,
+    ) -> Vec<(String, DiffOutcome)> {
+        // Difftest evaluates concrete instances — the normalizer cache
+        // is idle here, but the same pool machinery applies.
+        let snapshot = Interner::new().snapshot();
+        self.par_map(rules, &snapshot, |rule, _cache| {
+            (
+                rule.name.to_owned(),
+                differential_test(rule, trials, base_seed),
+            )
+        })
+    }
+
+    /// The full catalog check the CLI runs: each rule passes when the
+    /// prover's verdict matches its expected soundness; an unsound rule
+    /// the prover *wrongly accepts* can still pass via the fallback —
+    /// differential testing refuting it with a concrete counterexample
+    /// (the same acceptance condition as the old sequential
+    /// `script::run_catalog` loop this replaces). Returns
+    /// `(name, passed)` in catalog order.
+    pub fn check_catalog(&self, rules: &[Rule]) -> Vec<(String, bool)> {
+        let snapshot = self.seed_snapshot(rules);
+        self.par_map(rules, &snapshot, |rule, cache| {
+            let report = prove_rule_cached(rule, cache);
+            let ok = report.proved == rule.expected_sound
+                || (!rule.expected_sound
+                    && matches!(differential_test(rule, 200, 0xC11), DiffOutcome::Refuted(_)));
+            (rule.name.to_owned(), ok)
+        })
+    }
+
+    /// Order-preserving parallel map over the rules: a shared atomic
+    /// cursor hands out indices, each worker owns a [`NormCache`] seeded
+    /// from the frozen snapshot, and results land in their input slots.
+    fn par_map<R, F>(&self, rules: &[Rule], snapshot: &InternerSnapshot, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Rule, &mut NormCache) -> R + Sync,
+    {
+        let threads = self.threads().min(rules.len().max(1));
+        if threads <= 1 {
+            // Degenerate pool: run inline (still through the cache, so
+            // single-threaded callers get the memoization win).
+            let mut cache = NormCache::from_interner((**snapshot).clone());
+            return rules.iter().map(|r| f(r, &mut cache)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..rules.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Per-worker state: a private VarGen lives inside
+                    // each prove call; the cache persists across the
+                    // rules this worker claims.
+                    let mut cache = NormCache::from_interner((**snapshot).clone());
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(rule) = rules.get(i) else { break };
+                        let result = f(rule, &mut cache);
+                        slots.lock().expect("no poisoned workers")[i] = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("scope joined all workers")
+            .into_iter()
+            .map(|slot| slot.expect("every index was claimed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn single_threaded_engine_matches_sequential_prover() {
+        let rules = catalog::sound_rules();
+        let engine = Engine::with_threads(1);
+        let parallel = engine.prove_catalog(&rules);
+        assert_eq!(parallel.len(), rules.len());
+        for (rule, report) in rules.iter().zip(&parallel) {
+            let sequential = crate::prove::prove_rule(rule);
+            assert_eq!(report.name, sequential.name);
+            assert_eq!(report.proved, sequential.proved, "{}", rule.name);
+            assert_eq!(report.method, sequential.method, "{}", rule.name);
+            assert_eq!(report.steps, sequential.steps, "{}", rule.name);
+        }
+    }
+
+    #[test]
+    fn thread_count_clamps_to_at_least_one() {
+        let engine = Engine::with_threads(0);
+        assert_eq!(engine.threads(), 1);
+    }
+
+    #[test]
+    fn difftest_catalog_preserves_order() {
+        let rules: Vec<Rule> = catalog::sound_rules().into_iter().take(4).collect();
+        let engine = Engine::with_threads(4);
+        let outcomes = engine.difftest_catalog(&rules, 8, 0xDA7A);
+        assert_eq!(outcomes.len(), 4);
+        for (rule, (name, outcome)) in rules.iter().zip(&outcomes) {
+            assert_eq!(rule.name, name);
+            assert!(outcome.agreed(), "{name}: {outcome:?}");
+        }
+    }
+}

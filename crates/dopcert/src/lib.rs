@@ -32,10 +32,12 @@
 
 pub mod catalog;
 pub mod difftest;
+pub mod engine;
 pub mod prove;
 pub mod rule;
 pub mod rules;
 pub mod script;
 
-pub use prove::{prove_rule, RuleReport};
+pub use engine::{Engine, EngineConfig};
+pub use prove::{prove_rule, prove_rule_cached, RuleReport};
 pub use rule::{Category, Rule, RuleInstance, SchemaSource};

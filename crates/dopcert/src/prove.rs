@@ -9,8 +9,9 @@ use crate::rule::{Category, Rule, RuleInstance};
 use hottsql::denote::{denote_closed_query, denote_query};
 use relalg::Schema;
 use std::time::Instant;
-use uninomial::prove::{prove_eq_with_axioms, Method};
-use uninomial::syntax::{Term, VarGen};
+use uninomial::normalize::NormCache;
+use uninomial::prove::{prove_eq_cached, prove_eq_with_axioms, Method};
+use uninomial::syntax::{Term, UExpr, VarGen};
 
 /// How a rule was verified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +53,18 @@ pub struct RuleReport {
 
 /// Verifies a rule with the appropriate procedure.
 pub fn prove_rule(rule: &Rule) -> RuleReport {
+    prove_rule_impl(rule, None)
+}
+
+/// [`prove_rule`] with memoized normalization through a reusable
+/// [`NormCache`]. Produces the same verdict, method, and step count as
+/// [`prove_rule`]; only `micros` (wall clock) may differ. This is the
+/// per-worker entry point of [`crate::engine`].
+pub fn prove_rule_cached(rule: &Rule, cache: &mut NormCache) -> RuleReport {
+    prove_rule_impl(rule, Some(cache))
+}
+
+fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>) -> RuleReport {
     let start = Instant::now();
     let inst = rule.generic();
     // Conjunctive-query rules go to the decision procedure.
@@ -71,7 +84,7 @@ pub fn prove_rule(rule: &Rule) -> RuleReport {
             },
         };
     }
-    match prove_instance(&inst) {
+    match prove_instance_impl(&inst, cache) {
         Ok((method, steps)) => RuleReport {
             name: rule.name,
             category: rule.category,
@@ -108,9 +121,44 @@ pub fn decide_cq(inst: &RuleInstance) -> Option<bool> {
 ///
 /// Returns a diagnostic string (typing error or differing normal forms).
 pub fn prove_instance(inst: &RuleInstance) -> Result<(Method, usize), String> {
+    prove_instance_impl(inst, None)
+}
+
+/// Denotes both sides of an instance without proving anything — used by
+/// the batch engine to pre-seed the shared interner snapshot with every
+/// catalog denotation before the workers start.
+///
+/// Returns the [`VarGen`] alongside the denotations: its state matches
+/// what [`prove_instance`] holds when it reaches normalization (same
+/// fresh-variable stream, consumed in the same order), which lets the
+/// engine's warm pass reproduce the exact trees the workers intern.
+///
+/// # Errors
+///
+/// Returns the denotation diagnostic when either side fails Fig. 7.
+pub fn denote_instance(inst: &RuleInstance) -> Result<(UExpr, UExpr, VarGen), String> {
     let mut gen = VarGen::new();
-    let (t, el) = denote_closed_query(&inst.lhs, &inst.env, &mut gen)
-        .map_err(|e| format!("lhs: {e}"))?;
+    let (t, el) =
+        denote_closed_query(&inst.lhs, &inst.env, &mut gen).map_err(|e| format!("lhs: {e}"))?;
+    let er = denote_query(
+        &inst.rhs,
+        &inst.env,
+        &Schema::Empty,
+        &Term::Unit,
+        &Term::var(&t),
+        &mut gen,
+    )
+    .map_err(|e| format!("rhs: {e}"))?;
+    Ok((el, er, gen))
+}
+
+fn prove_instance_impl(
+    inst: &RuleInstance,
+    cache: Option<&mut NormCache>,
+) -> Result<(Method, usize), String> {
+    let mut gen = VarGen::new();
+    let (t, el) =
+        denote_closed_query(&inst.lhs, &inst.env, &mut gen).map_err(|e| format!("lhs: {e}"))?;
     let er = denote_query(
         &inst.rhs,
         &inst.env,
@@ -128,7 +176,11 @@ pub fn prove_instance(inst: &RuleInstance) -> Result<(Method, usize), String> {
     if sl != sr {
         return Err(format!("schema mismatch: {sl} vs {sr}"));
     }
-    match prove_eq_with_axioms(&el, &er, &inst.axioms, &mut gen) {
+    let outcome = match cache {
+        Some(cache) => prove_eq_cached(&el, &er, &inst.axioms, &mut gen, cache),
+        None => prove_eq_with_axioms(&el, &er, &inst.axioms, &mut gen),
+    };
+    match outcome {
         Ok(proof) => Ok((proof.method(), proof.steps())),
         Err(e) => Err(e.to_string()),
     }

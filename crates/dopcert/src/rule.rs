@@ -231,10 +231,7 @@ mod tests {
     #[test]
     fn generic_source_gives_leaves() {
         let inst = TRIVIAL.generic();
-        assert_eq!(
-            inst.env.table("R"),
-            Some(&Schema::leaf(BaseType::Int))
-        );
+        assert_eq!(inst.env.table("R"), Some(&Schema::leaf(BaseType::Int)));
     }
 
     #[test]

@@ -36,10 +36,7 @@ fn groupby_filter_pushdown(src: &mut dyn SchemaSource) -> RuleInstance {
     let grouped = group_by_agg(Query::table("R"), Proj::var("k"), "SUM", Proj::var("b"));
     let lhs = Query::where_(
         grouped,
-        Predicate::eq(
-            Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
-            l(),
-        ),
+        Predicate::eq(Expr::p2e(Proj::path([Proj::Right, Proj::Left])), l()),
     );
     // rhs: group the filtered table. The filter's context is
     // node(Γ*, σR) for whatever Γ* the desugaring supplies, so the path

@@ -104,9 +104,7 @@ fn conj_slct_split(src: &mut dyn SchemaSource) -> RuleInstance {
 
 fn join_commute(src: &mut dyn SchemaSource) -> RuleInstance {
     let (sr, ss) = (src.schema("sigma_r"), src.schema("sigma_s"));
-    let env = QueryEnv::new()
-        .with_table("R", sr)
-        .with_table("S", ss);
+    let env = QueryEnv::new().with_table("R", sr).with_table("S", ss);
     let lhs = Query::product(Query::table("R"), Query::table("S"));
     // SELECT (Right.Right, Right.Left) FROM S, R — flip the pair back.
     let rhs = Query::select(
@@ -152,9 +150,11 @@ fn join_assoc(src: &mut dyn SchemaSource) -> RuleInstance {
 
 fn self_join_dedup(src: &mut dyn SchemaSource) -> RuleInstance {
     let sigma = src.schema("sigma");
-    let env = QueryEnv::new()
-        .with_table("R", sigma.clone())
-        .with_proj("a", sigma, Schema::leaf(BaseType::Int));
+    let env = QueryEnv::new().with_table("R", sigma.clone()).with_proj(
+        "a",
+        sigma,
+        Schema::leaf(BaseType::Int),
+    );
     // Q2: DISTINCT SELECT a FROM R.
     let lhs = Query::distinct(Query::select(
         Proj::path([Proj::Right, Proj::var("a")]),
@@ -214,11 +214,7 @@ mod tests {
     fn all_basic_rules_prove() {
         for rule in rules() {
             let report = prove_rule(&rule);
-            assert!(
-                report.proved,
-                "{} failed: {:?}",
-                rule.name, report.failure
-            );
+            assert!(report.proved, "{} failed: {:?}", rule.name, report.failure);
         }
     }
 

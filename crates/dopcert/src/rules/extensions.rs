@@ -120,9 +120,7 @@ fn except_union_distr(src: &mut dyn SchemaSource) -> RuleInstance {
 
 fn distinct_product(src: &mut dyn SchemaSource) -> RuleInstance {
     let (sa, sb) = (src.schema("sigma_a"), src.schema("sigma_b"));
-    let env = QueryEnv::new()
-        .with_table("A", sa)
-        .with_table("B", sb);
+    let env = QueryEnv::new().with_table("A", sa).with_table("B", sb);
     RuleInstance::plain(
         env,
         Query::distinct(Query::product(Query::table("A"), Query::table("B"))),
@@ -176,12 +174,19 @@ fn proj_fusion(src: &mut dyn SchemaSource) -> RuleInstance {
     let leaf = Schema::leaf(BaseType::Int);
     let env = QueryEnv::new()
         .with_table("R", sigma.clone())
-        .with_proj("p1", sigma.clone(), Schema::node(leaf.clone(), leaf.clone()))
+        .with_proj(
+            "p1",
+            sigma.clone(),
+            Schema::node(leaf.clone(), leaf.clone()),
+        )
         .with_proj("p2", Schema::node(leaf.clone(), leaf.clone()), leaf);
     // lhs: SELECT p2(Right) FROM (SELECT p1(Right) FROM R)
     let lhs = Query::select(
         Proj::path([Proj::Right, Proj::var("p2")]),
-        Query::select(Proj::path([Proj::Right, Proj::var("p1")]), Query::table("R")),
+        Query::select(
+            Proj::path([Proj::Right, Proj::var("p1")]),
+            Query::table("R"),
+        ),
     );
     // rhs: SELECT p2(p1(Right)) FROM R
     let rhs = Query::select(

@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn key_rules_carry_axiom_and_constraint() {
         let rs = rules();
-        let scan = rs.iter().find(|r| r.name == "index-scan-to-lookup").unwrap();
+        let scan = rs
+            .iter()
+            .find(|r| r.name == "index-scan-to-lookup")
+            .unwrap();
         let inst = scan.generic();
         assert_eq!(inst.axioms.len(), 1);
         assert_eq!(inst.constraints.len(), 1);

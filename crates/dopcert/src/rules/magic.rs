@@ -176,9 +176,7 @@ fn semijoin_push_agg(src: &mut dyn SchemaSource) -> RuleInstance {
         .with_proj("c2", s2, leaf)
         // The aggregated attribute of R1 (COUNT's input column).
         .with_proj("a_any", s1, Schema::leaf(BaseType::Int));
-    let grouped = |table: Query| {
-        group_by_agg(table, Proj::var("c1"), "COUNT", Proj::var("a_any"))
-    };
+    let grouped = |table: Query| group_by_agg(table, Proj::var("c1"), "COUNT", Proj::var("a_any"));
     // θ on the grouped side: context node(node(empty, node(key, int)), σ2):
     // compare the group key (Left.Right.Left) with c2 of R2 (Right.c2).
     let theta_grouped = Predicate::eq(
@@ -191,7 +189,11 @@ fn semijoin_push_agg(src: &mut dyn SchemaSource) -> RuleInstance {
         Expr::p2e(Proj::path([Proj::Left, Proj::Right, Proj::var("c1")])),
         Expr::p2e(Proj::path([Proj::Right, Proj::var("c2")])),
     );
-    let lhs = semijoin(grouped(Query::table("R1")), Query::table("R2"), theta_grouped);
+    let lhs = semijoin(
+        grouped(Query::table("R1")),
+        Query::table("R2"),
+        theta_grouped,
+    );
     let rhs = grouped(semijoin(Query::table("R1"), Query::table("R2"), theta_raw));
     RuleInstance::plain(env, lhs, rhs)
 }
@@ -209,7 +211,11 @@ fn theta_env(src: &mut dyn SchemaSource) -> (QueryEnv, Schema, Schema) {
 /// `(A ⋉θ B) ⋉θ B ≡ A ⋉θ B`.
 fn semijoin_idempotent(src: &mut dyn SchemaSource) -> RuleInstance {
     let (env, _, _) = theta_env(src);
-    let once = semijoin(Query::table("A"), Query::table("B"), Predicate::var("theta"));
+    let once = semijoin(
+        Query::table("A"),
+        Query::table("B"),
+        Predicate::var("theta"),
+    );
     let twice = semijoin(once.clone(), Query::table("B"), Predicate::var("theta"));
     RuleInstance::plain(env, twice, once)
 }
@@ -224,7 +230,11 @@ fn semijoin_filter_commute(src: &mut dyn SchemaSource) -> RuleInstance {
         Predicate::var("theta"),
     );
     let rhs = Query::where_(
-        semijoin(Query::table("A"), Query::table("B"), Predicate::var("theta")),
+        semijoin(
+            Query::table("A"),
+            Query::table("B"),
+            Predicate::var("theta"),
+        ),
         Predicate::var("p"),
     );
     RuleInstance::plain(env, lhs, rhs)
@@ -240,8 +250,16 @@ fn semijoin_union_distr(src: &mut dyn SchemaSource) -> RuleInstance {
         Predicate::var("theta"),
     );
     let rhs = Query::union_all(
-        semijoin(Query::table("A"), Query::table("B"), Predicate::var("theta")),
-        semijoin(Query::table("A2"), Query::table("B"), Predicate::var("theta")),
+        semijoin(
+            Query::table("A"),
+            Query::table("B"),
+            Predicate::var("theta"),
+        ),
+        semijoin(
+            Query::table("A2"),
+            Query::table("B"),
+            Predicate::var("theta"),
+        ),
     );
     RuleInstance::plain(env, lhs, rhs)
 }

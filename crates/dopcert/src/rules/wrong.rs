@@ -109,9 +109,11 @@ fn wrong_three_valued_em(src: &mut dyn SchemaSource) -> RuleInstance {
 
 fn wrong_project_distinct_swap(src: &mut dyn SchemaSource) -> RuleInstance {
     let sigma = src.schema("sigma");
-    let env = QueryEnv::new()
-        .with_table("R", sigma.clone())
-        .with_proj("a", sigma, Schema::leaf(BaseType::Int));
+    let env = QueryEnv::new().with_table("R", sigma.clone()).with_proj(
+        "a",
+        sigma,
+        Schema::leaf(BaseType::Int),
+    );
     let a = Proj::path([Proj::Right, Proj::var("a")]);
     RuleInstance::plain(
         env,
@@ -148,11 +150,7 @@ mod tests {
     fn wrong_rules_are_rejected_by_the_prover() {
         for rule in rules() {
             let report = prove_rule(&rule);
-            assert!(
-                !report.proved,
-                "{} must NOT prove, but did",
-                rule.name
-            );
+            assert!(!report.proved, "{} must NOT prove, but did", rule.name);
         }
     }
 

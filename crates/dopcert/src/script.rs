@@ -20,7 +20,6 @@
 //! a counterexample search runs. `refute` goals assert the pair is
 //! *inequivalent* and must produce a counterexample.
 
-use crate::difftest::{differential_test, DiffOutcome};
 use crate::prove::{decide_cq, prove_instance, VerifyMethod};
 use crate::rule::RuleInstance;
 use hottsql::ast::Query;
@@ -178,8 +177,27 @@ fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>), String> {
 /// Checks one goal with the full pipeline.
 pub fn check_goal(env: &QueryEnv, goal: &Goal) -> GoalOutcome {
     let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
+    let decision = decide_cq(&inst);
+    check_goal_inst(env, goal, inst, decision)
+}
+
+/// Entry point of the batched path: the CQ decision was precomputed by
+/// [`run_script`]'s batch pass (`Some` = decided, `None` = outside the
+/// conjunctive fragment).
+fn check_goal_with_decision(env: &QueryEnv, goal: &Goal, cq_decision: Option<bool>) -> GoalOutcome {
+    let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
+    check_goal_inst(env, goal, inst, cq_decision)
+}
+
+/// The shared tail: instance already built, CQ decision already known.
+fn check_goal_inst(
+    env: &QueryEnv,
+    goal: &Goal,
+    inst: RuleInstance,
+    cq_decision: Option<bool>,
+) -> GoalOutcome {
     // 1. Decision procedure for the conjunctive fragment.
-    if let Some(decided) = decide_cq(&inst) {
+    if let Some(decided) = cq_decision {
         if decided {
             return GoalOutcome::Proved {
                 method: VerifyMethod::CqDecision,
@@ -251,29 +269,47 @@ fn hunt_counterexample(env: &QueryEnv, goal: &Goal) -> Option<String> {
 }
 
 /// Runs a whole script; returns per-goal outcomes.
+///
+/// The conjunctive-query fragment is decided in one batch: every
+/// CQ-translatable side across all goals is indexed once
+/// ([`cq::containment::equivalent_set_batch`]), so a script with many
+/// goals over the same tables pays the homomorphism-target indexing per
+/// query, not per goal.
 pub fn run_script(script: &Script) -> Vec<GoalOutcome> {
+    // Translate every goal side once; collect the CQ-decidable goals.
+    let mut queries = Vec::new();
+    let mut pair_of_goal: Vec<Option<(usize, usize)>> = Vec::new();
+    for goal in &script.goals {
+        let l = cq::translate::from_query(&goal.lhs, &script.env);
+        let r = cq::translate::from_query(&goal.rhs, &script.env);
+        pair_of_goal.push(match (l, r) {
+            (Some(l), Some(r)) => {
+                queries.push(l);
+                queries.push(r);
+                Some((queries.len() - 2, queries.len() - 1))
+            }
+            _ => None,
+        });
+    }
+    let pairs: Vec<(usize, usize)> = pair_of_goal.iter().flatten().copied().collect();
+    let mut decisions = cq::containment::equivalent_set_batch(&queries, &pairs).into_iter();
     script
         .goals
         .iter()
-        .map(|g| check_goal(&script.env, g))
+        .zip(&pair_of_goal)
+        .map(|(goal, cq_pair)| {
+            let decision = cq_pair.map(|_| decisions.next().expect("one decision per CQ goal"));
+            check_goal_with_decision(&script.env, goal, decision)
+        })
         .collect()
 }
 
 /// Convenience: run all built-in catalog rules as if they were a script
-/// (used by the CLI's `--catalog` mode).
+/// (used by the CLI's `--catalog` mode). Delegates to the parallel
+/// batch engine — the sequential loop this function used to be lives on
+/// only as `Engine::with_threads(1)`.
 pub fn run_catalog() -> Vec<(String, bool)> {
-    let mut out = Vec::new();
-    for rule in crate::catalog::all_rules() {
-        let report = crate::prove::prove_rule(&rule);
-        let ok = report.proved == rule.expected_sound
-            || (!rule.expected_sound
-                && matches!(
-                    differential_test(&rule, 200, 0xC11),
-                    DiffOutcome::Refuted(_)
-                ));
-        out.push((rule.name.to_owned(), ok));
-    }
-    out
+    crate::engine::Engine::new().check_catalog(&crate::catalog::all_rules())
 }
 
 #[cfg(test)]
@@ -321,10 +357,7 @@ refute DISTINCT SELECT Right.Left FROM R
 
     #[test]
     fn general_prover_reached_for_non_cq_goals() {
-        let s = parse_script(
-            "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);",
-        )
-        .unwrap();
+        let s = parse_script("table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);").unwrap();
         let outcomes = run_script(&s);
         match &outcomes[0] {
             GoalOutcome::Proved { method, .. } => {

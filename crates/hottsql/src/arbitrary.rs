@@ -103,10 +103,7 @@ impl QueryGen {
                 let ctx = Schema::node(Schema::Empty, s);
                 let (p1, o1) = self.proj(&ctx);
                 let (p2, o2) = self.proj(&ctx);
-                (
-                    Query::select(Proj::pair(p1, p2), q),
-                    Schema::node(o1, o2),
-                )
+                (Query::select(Proj::pair(p1, p2), q), Schema::node(o1, o2))
             }
         }
     }
@@ -151,18 +148,8 @@ impl QueryGen {
     pub fn pred(&mut self, ctx: &Schema, depth: usize) -> Predicate {
         if depth > 0 {
             match self.rng.gen_range(0..6) {
-                0 => {
-                    return Predicate::and(
-                        self.pred(ctx, depth - 1),
-                        self.pred(ctx, depth - 1),
-                    )
-                }
-                1 => {
-                    return Predicate::or(
-                        self.pred(ctx, depth - 1),
-                        self.pred(ctx, depth - 1),
-                    )
-                }
+                0 => return Predicate::and(self.pred(ctx, depth - 1), self.pred(ctx, depth - 1)),
+                1 => return Predicate::or(self.pred(ctx, depth - 1), self.pred(ctx, depth - 1)),
                 2 => return Predicate::not(self.pred(ctx, depth - 1)),
                 _ => {}
             }
@@ -178,8 +165,7 @@ impl QueryGen {
             };
         }
         let (p1, t1) = leaves[self.rng.gen_range(0..leaves.len())].clone();
-        let same_type: Vec<&(Proj, BaseType)> =
-            leaves.iter().filter(|(_, t)| *t == t1).collect();
+        let same_type: Vec<&(Proj, BaseType)> = leaves.iter().filter(|(_, t)| *t == t1).collect();
         if self.rng.gen_bool(0.5) && same_type.len() > 1 {
             let (p2, _) = same_type[self.rng.gen_range(0..same_type.len())].clone();
             Predicate::eq(Expr::p2e(p1), Expr::p2e(p2))
@@ -187,9 +173,7 @@ impl QueryGen {
             let c = match t1 {
                 BaseType::Int => Expr::int(self.rng.gen_range(-2..=2)),
                 BaseType::Bool => Expr::value(self.rng.gen_bool(0.5)),
-                BaseType::Str => {
-                    Expr::value(["", "a", "b"][self.rng.gen_range(0..3)])
-                }
+                BaseType::Str => Expr::value(["", "a", "b"][self.rng.gen_range(0..3)]),
             };
             Predicate::eq(Expr::p2e(p1), c)
         }
@@ -203,16 +187,10 @@ mod tests {
 
     fn tables() -> Vec<(String, Schema)> {
         vec![
-            (
-                "R".into(),
-                Schema::flat([BaseType::Int, BaseType::Int]),
-            ),
+            ("R".into(), Schema::flat([BaseType::Int, BaseType::Int])),
             (
                 "S".into(),
-                Schema::node(
-                    Schema::leaf(BaseType::Bool),
-                    Schema::leaf(BaseType::Int),
-                ),
+                Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Int)),
             ),
         ]
     }
@@ -238,10 +216,7 @@ mod tests {
     #[test]
     fn generated_predicates_check() {
         let mut g = QueryGen::new(4, tables());
-        let ctx = Schema::node(
-            Schema::Empty,
-            Schema::flat([BaseType::Int, BaseType::Bool]),
-        );
+        let ctx = Schema::node(Schema::Empty, Schema::flat([BaseType::Int, BaseType::Bool]));
         for _ in 0..40 {
             let b = g.pred(&ctx, 2);
             assert!(

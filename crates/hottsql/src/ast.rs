@@ -421,11 +421,7 @@ mod tests {
 
     #[test]
     fn product_all_left_associates() {
-        let q = Query::product_all([
-            Query::table("A"),
-            Query::table("B"),
-            Query::table("C"),
-        ]);
+        let q = Query::product_all([Query::table("A"), Query::table("B"), Query::table("C")]);
         assert_eq!(
             q,
             Query::product(

@@ -51,7 +51,13 @@ pub fn denote_query(
             let sigma_inner = infer_query(inner, env, ctx)?;
             let tv = gen.fresh(sigma_inner);
             let select_ctx = Schema::node(ctx.clone(), tv.schema.clone());
-            let projected = denote_proj(p, env, &select_ctx, &Term::pair(g.clone(), Term::var(&tv)), gen)?;
+            let projected = denote_proj(
+                p,
+                env,
+                &select_ctx,
+                &Term::pair(g.clone(), Term::var(&tv)),
+                gen,
+            )?;
             let body = UExpr::mul(
                 UExpr::eq(projected, t.clone()),
                 denote_query(inner, env, ctx, g, &Term::var(&tv), gen)?,
@@ -228,11 +234,7 @@ pub fn denote_proj(
 /// # Errors
 ///
 /// Propagates typing errors.
-pub fn denote_closed_query(
-    q: &Query,
-    env: &QueryEnv,
-    gen: &mut VarGen,
-) -> Result<(Var, UExpr)> {
+pub fn denote_closed_query(q: &Query, env: &QueryEnv, gen: &mut VarGen) -> Result<(Var, UExpr)> {
     let sigma = infer_query(q, env, &Schema::Empty)?;
     let t = gen.fresh(sigma);
     let e = denote_query(q, env, &Schema::Empty, &Term::Unit, &Term::var(&t), gen)?;
@@ -386,10 +388,7 @@ mod tests {
         let mut tr = Trace::new();
         let n = normalize(&e, &mut gen, &mut tr);
         assert_eq!(n.terms.len(), 1);
-        assert!(matches!(
-            n.terms[0].atoms[0],
-            uninomial::Atom::Squash(_)
-        ));
+        assert!(matches!(n.terms[0].atoms[0], uninomial::Atom::Squash(_)));
     }
 
     #[test]
@@ -418,10 +417,7 @@ mod tests {
         let env = env_rs().with_upred("lt", 2);
         let mut gen = VarGen::new();
         let g = gen.fresh(int());
-        let b = Predicate::uninterp(
-            "lt",
-            vec![Expr::p2e(Proj::Star), Expr::int(30)],
-        );
+        let b = Predicate::uninterp("lt", vec![Expr::p2e(Proj::Star), Expr::int(30)]);
         let e = denote_pred(&b, &env, &int(), &Term::var(&g), &mut gen).unwrap();
         assert_eq!(
             e,

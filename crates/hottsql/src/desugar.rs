@@ -112,10 +112,7 @@ pub fn left_outer_join(r: Query, s: Query, theta: Predicate, s_schema: &Schema) 
         Predicate::not(Predicate::exists(Query::where_(s, theta_prime))),
     );
     // Pad: SELECT (Right.*, NULLs) FROM unmatched.
-    let padded = Query::select(
-        Proj::pair(Proj::Right, null_proj(s_schema)),
-        unmatched,
-    );
+    let padded = Query::select(Proj::pair(Proj::Right, null_proj(s_schema)), unmatched);
     Query::union_all(joined, padded)
 }
 
@@ -177,8 +174,8 @@ mod tests {
         let env = QueryEnv::new()
             .with_table("A", int())
             .with_table("B", int());
-        let a = Relation::from_tuples(int(), [Tuple::int(1), Tuple::int(1), Tuple::int(2)])
-            .unwrap();
+        let a =
+            Relation::from_tuples(int(), [Tuple::int(1), Tuple::int(1), Tuple::int(2)]).unwrap();
         let b = Relation::from_tuples(int(), [Tuple::int(1)]).unwrap();
         let inst = Instance::new().with_table("A", a).with_table("B", b);
         // θ under node(node(Γ, σA), σB): A-tuple at Left.Right, B at Right.
@@ -213,10 +210,7 @@ mod tests {
         let q = left_outer_join(Query::table("R"), Query::table("S"), theta, &s_schema);
         assert!(infer_query(&q, &env, &Schema::Empty).is_ok());
         let out = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
-        let matched = Tuple::pair(
-            Tuple::int(1),
-            Tuple::pair(Tuple::int(1), Tuple::int(10)),
-        );
+        let matched = Tuple::pair(Tuple::int(1), Tuple::pair(Tuple::int(1), Tuple::int(10)));
         let padded = Tuple::pair(
             Tuple::int(2),
             Tuple::pair(Tuple::Leaf(Value::Null), Tuple::Leaf(Value::Null)),
@@ -228,7 +222,10 @@ mod tests {
 
     #[test]
     fn null_proj_shapes_follow_schema() {
-        let s = Schema::node(int(), Schema::node(Schema::leaf(BaseType::Bool), Schema::Empty));
+        let s = Schema::node(
+            int(),
+            Schema::node(Schema::leaf(BaseType::Bool), Schema::Empty),
+        );
         match null_proj(&s) {
             Proj::Pair(l, r) => {
                 assert!(matches!(*l, Proj::E2P(_)));

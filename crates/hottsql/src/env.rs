@@ -58,12 +58,7 @@ impl QueryEnv {
 
     /// Declares a projection meta-variable (a generic attribute) from
     /// `input` to `output`.
-    pub fn with_proj(
-        mut self,
-        name: impl Into<String>,
-        input: Schema,
-        output: Schema,
-    ) -> QueryEnv {
+    pub fn with_proj(mut self, name: impl Into<String>, input: Schema, output: Schema) -> QueryEnv {
         self.projs.insert(name.into(), (input, output));
         self
     }
@@ -160,7 +155,10 @@ mod tests {
         assert_eq!(env.table("R"), Some(&s));
         assert_eq!(env.pred("b"), Some(&s));
         assert_eq!(env.expr("e"), Some(&(s.clone(), BaseType::Int)));
-        assert_eq!(env.proj("k"), Some(&(s.clone(), Schema::leaf(BaseType::Int))));
+        assert_eq!(
+            env.proj("k"),
+            Some(&(s.clone(), Schema::leaf(BaseType::Int)))
+        );
         assert_eq!(env.fn_result("add"), BaseType::Int);
         assert_eq!(env.fn_result("undeclared"), BaseType::Int);
         assert_eq!(env.upred("lt"), Some(2));

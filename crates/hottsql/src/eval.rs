@@ -199,13 +199,16 @@ pub fn eval_pred(
     gamma: &Tuple,
 ) -> Result<bool> {
     match b {
-        Predicate::Eq(e1, e2) => Ok(eval_expr(e1, env, inst, ctx, gamma)?
-            == eval_expr(e2, env, inst, ctx, gamma)?),
+        Predicate::Eq(e1, e2) => {
+            Ok(eval_expr(e1, env, inst, ctx, gamma)? == eval_expr(e2, env, inst, ctx, gamma)?)
+        }
         Predicate::Not(inner) => Ok(!eval_pred(inner, env, inst, ctx, gamma)?),
-        Predicate::And(x, y) => Ok(eval_pred(x, env, inst, ctx, gamma)?
-            && eval_pred(y, env, inst, ctx, gamma)?),
-        Predicate::Or(x, y) => Ok(eval_pred(x, env, inst, ctx, gamma)?
-            || eval_pred(y, env, inst, ctx, gamma)?),
+        Predicate::And(x, y) => {
+            Ok(eval_pred(x, env, inst, ctx, gamma)? && eval_pred(y, env, inst, ctx, gamma)?)
+        }
+        Predicate::Or(x, y) => {
+            Ok(eval_pred(x, env, inst, ctx, gamma)? || eval_pred(y, env, inst, ctx, gamma)?)
+        }
         Predicate::True => Ok(true),
         Predicate::False => Ok(false),
         Predicate::CastPred(p, inner) => {
@@ -410,7 +413,10 @@ mod tests {
     #[test]
     fn where_with_meta_predicate() {
         let (env, inst) = sec2_setup();
-        let env = env.with_pred("young", Schema::node(Schema::Empty, Schema::node(int(), int())));
+        let env = env.with_pred(
+            "young",
+            Schema::node(Schema::Empty, Schema::node(int(), int())),
+        );
         let inst = inst.with_pred("young", |gt: &Tuple| {
             // predicate over ((), (a, b)): keep a = 2
             gt.snd()
@@ -431,11 +437,8 @@ mod tests {
         let (env, inst) = sec2_setup();
         let sigma = Schema::node(int(), int());
         let env = env.with_table("R2", sigma.clone());
-        let r2 = Relation::from_tuples(
-            sigma,
-            [Tuple::pair(Tuple::int(2), Tuple::int(99))],
-        )
-        .unwrap();
+        let r2 =
+            Relation::from_tuples(sigma, [Tuple::pair(Tuple::int(2), Tuple::int(99))]).unwrap();
         let inst = inst.with_table("R2", r2);
         // Context of the inner WHERE: node(node(empty, σR), σR2).
         let outer_a = Proj::path([Proj::Left, Proj::Right, Proj::Left]);
@@ -478,7 +481,13 @@ mod tests {
     fn unbound_table_reports_error() {
         let (env, inst) = sec2_setup();
         let env = env.with_table("Ghost", int());
-        let r = eval_query(&Query::table("Ghost"), &env, &inst, &Schema::Empty, &Tuple::Unit);
+        let r = eval_query(
+            &Query::table("Ghost"),
+            &env,
+            &inst,
+            &Schema::Empty,
+            &Tuple::Unit,
+        );
         assert!(matches!(r, Err(HottsqlError::Unbound(_))));
     }
 

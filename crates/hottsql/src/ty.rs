@@ -137,9 +137,8 @@ pub fn infer_expr(e: &Expr, env: &QueryEnv, ctx: &Schema) -> Result<BaseType> {
             Ok(env.fn_result(name))
         }
         Expr::Agg(name, q) => {
-            let agg = Aggregate::parse(name).ok_or_else(|| {
-                HottsqlError::Unbound(format!("aggregate {name}"))
-            })?;
+            let agg = Aggregate::parse(name)
+                .ok_or_else(|| HottsqlError::Unbound(format!("aggregate {name}")))?;
             let sigma = infer_query(q, env, ctx)?;
             match sigma {
                 Schema::Leaf(t) => match agg {
@@ -385,9 +384,6 @@ mod tests {
         let env = r_env();
         let s = Schema::node(int(), int());
         assert_eq!(infer_proj(&Proj::Star, &env, &s).unwrap(), s);
-        assert_eq!(
-            infer_proj(&Proj::Empty, &env, &s).unwrap(),
-            Schema::Empty
-        );
+        assert_eq!(infer_proj(&Proj::Empty, &env, &s).unwrap(), Schema::Empty);
     }
 }

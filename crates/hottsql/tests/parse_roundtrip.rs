@@ -39,8 +39,9 @@ fn display_of_parsed_corpus_reparses_equal() {
     for text in CORPUS {
         let q = parse_query(text).unwrap();
         let printed = q.to_string();
-        let q2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("printed form of {text} does not reparse: {printed}\n  -> {e}"));
+        let q2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("printed form of {text} does not reparse: {printed}\n  -> {e}")
+        });
         assert_eq!(q, q2, "{text}\n  printed: {printed}");
     }
 }
@@ -101,8 +102,8 @@ fn malformed_inputs_error_cleanly() {
         "SELECT",
         "SELECT * FROM",
         "SELECT * FROM R WHERE",
-        "R UNION S",      // missing ALL
-        "((R)",           // unbalanced
+        "R UNION S", // missing ALL
+        "((R)",      // unbalanced
         "SELECT * FROM R WHERE x =",
         "SELECT *. FROM R",
     ] {
@@ -125,8 +126,8 @@ fn generated_queries_roundtrip_through_display() {
         let mut g = QueryGen::new(seed, tables.clone());
         let (q, _) = g.query();
         let printed = q.to_string();
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("seed {seed}: {printed}\n  -> {e}"));
+        let reparsed =
+            parse_query(&printed).unwrap_or_else(|e| panic!("seed {seed}: {printed}\n  -> {e}"));
         // Projection paths may re-associate (`a.(b.c)` vs `(a.b).c` are
         // the same function), so compare up to a display fixpoint.
         assert_eq!(

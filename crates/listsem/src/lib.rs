@@ -122,10 +122,14 @@ fn eval_pred_list(
         Predicate::Eq(e1, e2) => Ok(eval_expr_list(e1, env, inst, ctx, gamma)?
             == eval_expr_list(e2, env, inst, ctx, gamma)?),
         Predicate::Not(x) => Ok(!eval_pred_list(x, env, inst, ctx, gamma)?),
-        Predicate::And(x, y) => Ok(eval_pred_list(x, env, inst, ctx, gamma)?
-            && eval_pred_list(y, env, inst, ctx, gamma)?),
-        Predicate::Or(x, y) => Ok(eval_pred_list(x, env, inst, ctx, gamma)?
-            || eval_pred_list(y, env, inst, ctx, gamma)?),
+        Predicate::And(x, y) => {
+            Ok(eval_pred_list(x, env, inst, ctx, gamma)?
+                && eval_pred_list(y, env, inst, ctx, gamma)?)
+        }
+        Predicate::Or(x, y) => {
+            Ok(eval_pred_list(x, env, inst, ctx, gamma)?
+                || eval_pred_list(y, env, inst, ctx, gamma)?)
+        }
         Predicate::True => Ok(true),
         Predicate::False => Ok(false),
         Predicate::CastPred(p, inner) => {
@@ -343,17 +347,14 @@ mod tests {
                 x_a.clone(),
                 Query::where_(
                     Query::product(Query::table("R"), Query::table("R")),
-                    Predicate::eq(
-                        hottsql::ast::Expr::p2e(x_a),
-                        hottsql::ast::Expr::p2e(y_a),
-                    ),
+                    Predicate::eq(hottsql::ast::Expr::p2e(x_a), hottsql::ast::Expr::p2e(y_a)),
                 ),
             )),
         ];
         for q in &queries {
             let rows = eval_query_list(q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
-            let rel = hottsql::eval::eval_query(q, &env, &inst, &Schema::Empty, &Tuple::Unit)
-                .unwrap();
+            let rel =
+                hottsql::eval::eval_query(q, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
             let as_rel = list_to_relation(rel.schema().clone(), rows).unwrap();
             assert!(as_rel.bag_eq(&rel), "disagreement on {q}");
         }
@@ -372,8 +373,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let one = Relation::from_tuples(sigma, [Tuple::pair(Tuple::int(1), Tuple::int(1))])
-            .unwrap();
+        let one =
+            Relation::from_tuples(sigma, [Tuple::pair(Tuple::int(1), Tuple::int(1))]).unwrap();
         let env = env.with_table("A", Schema::node(int(), int()));
         let env = env.with_table("B", Schema::node(int(), int()));
         let inst = Instance::new().with_table("A", many).with_table("B", one);

@@ -76,6 +76,7 @@ impl Card {
     /// assert_eq!(Card::ZERO.not(), Card::ONE);
     /// assert_eq!(Card::Fin(3).not(), Card::ZERO);
     /// ```
+    #[allow(clippy::should_implement_trait)] // deliberate: Definition 3.1's `· → 0`, not `!`
     pub fn not(self) -> Card {
         if self.is_zero() {
             Card::ONE

@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn infer_schema_roundtrip() {
-        let t = Tuple::pair(Tuple::string("x"), Tuple::pair(Tuple::int(1), Tuple::bool(true)));
+        let t = Tuple::pair(
+            Tuple::string("x"),
+            Tuple::pair(Tuple::int(1), Tuple::bool(true)),
+        );
         let s = infer_schema(&t);
         assert!(t.conforms_to(&s));
     }

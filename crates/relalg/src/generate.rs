@@ -232,10 +232,7 @@ mod tests {
         );
         for _ in 0..10 {
             let r = g.keyed_relation(&schema);
-            assert!(crate::constraints::is_key(&r, |t| t
-                .fst()
-                .unwrap()
-                .clone()));
+            assert!(crate::constraints::is_key(&r, |t| t.fst().unwrap().clone()));
         }
     }
 
@@ -250,6 +247,9 @@ mod tests {
             distinct.insert(t);
             total += 1;
         }
-        assert!(distinct.len() < total / 2, "domain too large for collisions");
+        assert!(
+            distinct.len() < total / 2,
+            "domain too large for collisions"
+        );
     }
 }

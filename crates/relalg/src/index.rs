@@ -60,12 +60,7 @@ impl Index {
     /// Evaluates `SELECT * FROM R WHERE a = v` through the index:
     /// semi-join `R` with the looked-up keys. `k` must be the same key
     /// projection the index was built with.
-    pub fn scan_via_index(
-        &self,
-        r: &Relation,
-        v: &Value,
-        k: impl Fn(&Tuple) -> Tuple,
-    ) -> Relation {
+    pub fn scan_via_index(&self, r: &Relation, v: &Value, k: impl Fn(&Tuple) -> Tuple) -> Relation {
         let keys: std::collections::BTreeSet<Tuple> = self.lookup(v).into_iter().collect();
         ops::select(r, |t| Card::from_bool(keys.contains(&k(t))))
     }

@@ -108,11 +108,7 @@ pub fn select(r: &Relation, pred: impl Fn(&Tuple) -> Card) -> Relation {
 ///
 /// Returns [`RelalgError::SchemaMismatch`] when `p` maps some tuple
 /// outside `out_schema`.
-pub fn project(
-    r: &Relation,
-    out_schema: Schema,
-    p: impl Fn(&Tuple) -> Tuple,
-) -> Result<Relation> {
+pub fn project(r: &Relation, out_schema: Schema, p: impl Fn(&Tuple) -> Tuple) -> Result<Relation> {
     let mut out = Relation::empty(out_schema);
     for (t, c) in r.iter() {
         out.try_insert_with(p(t), c)?;
@@ -197,9 +193,9 @@ pub fn aggregate(agg: Aggregate, r: &Relation) -> Result<Value> {
                 )))
             }
         };
-        let v = t.value().ok_or_else(|| {
-            RelalgError::TypeError(format!("{agg} over non-scalar tuples"))
-        })?;
+        let v = t
+            .value()
+            .ok_or_else(|| RelalgError::TypeError(format!("{agg} over non-scalar tuples")))?;
         count += n;
         match agg {
             Aggregate::Sum | Aggregate::Avg => {
@@ -341,8 +337,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let p = project(&r, Schema::leaf(BaseType::Int), |t| t.fst().unwrap().clone())
-            .unwrap();
+        let p = project(&r, Schema::leaf(BaseType::Int), |t| {
+            t.fst().unwrap().clone()
+        })
+        .unwrap();
         assert_eq!(p.multiplicity(&Tuple::int(1)), Card::Fin(1));
         assert_eq!(p.multiplicity(&Tuple::int(2)), Card::Fin(2));
     }
@@ -360,8 +358,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let p = project(&r, Schema::leaf(BaseType::Int), |t| t.fst().unwrap().clone())
-            .unwrap();
+        let p = project(&r, Schema::leaf(BaseType::Int), |t| {
+            t.fst().unwrap().clone()
+        })
+        .unwrap();
         let d = distinct(&p);
         assert_eq!(d.support_size(), 2);
         assert_eq!(d.total_multiplicity(), Card::Fin(2));
@@ -417,8 +417,7 @@ mod tests {
     #[test]
     fn aggregate_rejects_non_scalars() {
         let schema = Schema::node(Schema::leaf(BaseType::Int), Schema::leaf(BaseType::Int));
-        let r = Relation::from_tuples(schema, [Tuple::pair(Tuple::int(1), Tuple::int(2))])
-            .unwrap();
+        let r = Relation::from_tuples(schema, [Tuple::pair(Tuple::int(1), Tuple::int(2))]).unwrap();
         assert!(matches!(
             aggregate(Aggregate::Sum, &r),
             Err(RelalgError::TypeError(_))

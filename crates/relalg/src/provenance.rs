@@ -243,10 +243,7 @@ impl<K: Semiring> KRelation<K> {
 
     /// Product: annotations multiply.
     pub fn product(&self, other: &KRelation<K>) -> KRelation<K> {
-        let mut out = KRelation::empty(Schema::node(
-            self.schema.clone(),
-            other.schema.clone(),
-        ));
+        let mut out = KRelation::empty(Schema::node(self.schema.clone(), other.schema.clone()));
         for (t1, k1) in self.iter() {
             for (t2, k2) in other.iter() {
                 out.insert(Tuple::pair(t1.clone(), t2.clone()), k1.mul(k2));
@@ -267,11 +264,7 @@ impl<K: Semiring> KRelation<K> {
     }
 
     /// Projection: annotations of merged tuples add.
-    pub fn project(
-        &self,
-        out_schema: Schema,
-        f: impl Fn(&Tuple) -> Tuple,
-    ) -> KRelation<K> {
+    pub fn project(&self, out_schema: Schema, f: impl Fn(&Tuple) -> Tuple) -> KRelation<K> {
         let mut out = KRelation::empty(out_schema);
         for (t, k) in self.iter() {
             out.insert(f(t), k.clone());
@@ -349,8 +342,7 @@ mod tests {
         let r_poly = annotated();
         let joined_poly = r_poly.product(&r_poly);
         let ones = BTreeMap::new(); // defaults to 1 per source
-        let as_bag =
-            joined_poly.map_annotations(|p: &Polynomial| p.evaluate(&ones));
+        let as_bag = joined_poly.map_annotations(|p: &Polynomial| p.evaluate(&ones));
 
         let mut r_card: KRelation<Card> = KRelation::empty(int());
         r_card.insert(Tuple::int(1), Card::ONE);
@@ -405,13 +397,9 @@ mod tests {
 
     #[test]
     fn polynomial_display_and_constants() {
-        let p = Polynomial::constant(2)
-            .add(&Polynomial::var("x").mul(&Polynomial::var("x")));
+        let p = Polynomial::constant(2).add(&Polynomial::var("x").mul(&Polynomial::var("x")));
         assert_eq!(p.to_string(), "2 + x^2");
         assert_eq!(Polynomial::zero().to_string(), "0");
-        assert_eq!(
-            Polynomial::constant(0),
-            Polynomial::zero()
-        );
+        assert_eq!(Polynomial::constant(0), Polynomial::zero());
     }
 }

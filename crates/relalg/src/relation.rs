@@ -275,11 +275,8 @@ mod tests {
 
     #[test]
     fn to_list_expands_duplicates() {
-        let r = Relation::from_tuples(
-            int_schema(),
-            [Tuple::int(2), Tuple::int(1), Tuple::int(2)],
-        )
-        .unwrap();
+        let r = Relation::from_tuples(int_schema(), [Tuple::int(2), Tuple::int(1), Tuple::int(2)])
+            .unwrap();
         assert_eq!(
             r.to_list().unwrap(),
             vec![Tuple::int(1), Tuple::int(2), Tuple::int(2)]

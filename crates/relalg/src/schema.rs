@@ -10,9 +10,10 @@ use crate::value::BaseType;
 use std::fmt;
 
 /// A HoTTSQL schema: `σ ::= empty | leaf τ | node σ₁ σ₂` (Fig. 3).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Schema {
     /// The empty schema; its only tuple is the unit tuple.
+    #[default]
     Empty,
     /// A single attribute of base type `τ`.
     Leaf(BaseType),
@@ -138,12 +139,6 @@ impl Schema {
                 out
             }
         }
-    }
-}
-
-impl Default for Schema {
-    fn default() -> Self {
-        Schema::Empty
     }
 }
 

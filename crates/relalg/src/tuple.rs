@@ -111,9 +111,7 @@ impl Tuple {
         match (self, schema) {
             (Tuple::Unit, Schema::Empty) => true,
             (Tuple::Leaf(v), Schema::Leaf(t)) => v.conforms_to(*t),
-            (Tuple::Pair(l, r), Schema::Node(sl, sr)) => {
-                l.conforms_to(sl) && r.conforms_to(sr)
-            }
+            (Tuple::Pair(l, r), Schema::Node(sl, sr)) => l.conforms_to(sl) && r.conforms_to(sr),
             _ => false,
         }
     }

@@ -72,7 +72,10 @@ fn rel(seed: u64) -> Relation {
             max_schema_width: 2,
         },
     );
-    g.relation(&Schema::flat([relalg::BaseType::Int, relalg::BaseType::Int]))
+    g.relation(&Schema::flat([
+        relalg::BaseType::Int,
+        relalg::BaseType::Int,
+    ]))
 }
 
 proptest! {

@@ -102,9 +102,7 @@ pub fn saturate(spnf: &Spnf, axioms: &[RelAxiom], gen: &mut VarGen, trace: &mut 
         let mut kept: Vec<Atom> = Vec::new();
         for a in atoms {
             if let Atom::Rel(r, t) = &a {
-                let keyed = axioms
-                    .iter()
-                    .any(|RelAxiom::Key { rel, .. }| rel == r);
+                let keyed = axioms.iter().any(|RelAxiom::Key { rel, .. }| rel == r);
                 if keyed {
                     let dup = kept.iter().any(|k| match k {
                         Atom::Rel(r2, t2) => r2 == r && cc.equal(t, t2),

@@ -125,15 +125,14 @@ fn branch_proves(hyps: &[Atom], goal: &Spnf, ctx: &mut Ctx<'_>) -> bool {
         // Goal 0 holds only from inconsistent hypotheses.
         return build_cc(hyps).contradictory();
     }
-    goal.terms
-        .iter()
-        .any(|gt| disjunct_provable(hyps, gt, ctx))
+    goal.terms.iter().any(|gt| disjunct_provable(hyps, gt, ctx))
 }
 
 fn disjunct_provable(hyps: &[Atom], gt: &SpnfTerm, ctx: &mut Ctx<'_>) -> bool {
     let mut cc = build_cc(hyps);
     if cc.contradictory() {
-        ctx.trace.step(Lemma::MulZero, "hypotheses are inconsistent");
+        ctx.trace
+            .step(Lemma::MulZero, "hypotheses are inconsistent");
         return true;
     }
     search(hyps, &mut cc, &gt.vars, gt.atoms.clone(), ctx)
@@ -161,10 +160,7 @@ fn search(
         return true; // all atoms ground and verified above
     };
     for cand in candidates(hyps, &atoms, v) {
-        let next: Vec<Atom> = atoms
-            .iter()
-            .map(|a| atom_subst_raw(a, v, &cand))
-            .collect();
+        let next: Vec<Atom> = atoms.iter().map(|a| atom_subst_raw(a, v, &cand)).collect();
         if search(hyps, cc, rest, next, ctx) {
             ctx.trace.step(
                 Lemma::ExistsWitness,

@@ -194,8 +194,8 @@ pub fn eval_term(t: &Term, interp: &Interp, env: &Env) -> Result<Tuple, EvalErro
                 let c = eval(body, interp, &env2)?;
                 rel.insert_with(tup, c);
             }
-            let value = relalg::ops::aggregate(agg, &rel)
-                .map_err(|e| EvalError::Shape(e.to_string()))?;
+            let value =
+                relalg::ops::aggregate(agg, &rel).map_err(|e| EvalError::Shape(e.to_string()))?;
             Ok(Tuple::Leaf(value))
         }
     }
@@ -319,7 +319,10 @@ mod tests {
         let i = Interp::new().with_rel("R", simple_rel(&[1, 1]));
         let env = Env::new();
         let r1 = UExpr::rel("R", Term::int(1));
-        assert_eq!(eval(&UExpr::squash(r1.clone()), &i, &env).unwrap(), Card::ONE);
+        assert_eq!(
+            eval(&UExpr::squash(r1.clone()), &i, &env).unwrap(),
+            Card::ONE
+        );
         assert_eq!(eval(&UExpr::not(r1), &i, &env).unwrap(), Card::ZERO);
         let r9 = UExpr::rel("R", Term::int(9));
         assert_eq!(eval(&UExpr::not(r9), &i, &env).unwrap(), Card::ONE);
@@ -340,7 +343,12 @@ mod tests {
             Card::ONE
         );
         assert_eq!(
-            eval(&UExpr::pred("pos", Term::func("neg", vec![Term::int(2)])), &i, &env).unwrap(),
+            eval(
+                &UExpr::pred("pos", Term::func("neg", vec![Term::int(2)])),
+                &i,
+                &env
+            )
+            .unwrap(),
             Card::ZERO
         );
     }
@@ -389,7 +397,10 @@ mod tests {
             });
         let exprs = [
             UExpr::mul(
-                UExpr::add(UExpr::rel("R", Term::var(&t)), UExpr::rel("S", Term::var(&t))),
+                UExpr::add(
+                    UExpr::rel("R", Term::var(&t)),
+                    UExpr::rel("S", Term::var(&t)),
+                ),
                 UExpr::pred("b", Term::var(&t)),
             ),
             UExpr::sum(

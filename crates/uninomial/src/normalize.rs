@@ -19,9 +19,10 @@
 //!    matching, which suffices for all rewrite rules in the paper.
 
 use crate::lemmas::Lemma;
+use crate::syntax::intern::{Interner, UExprId};
 use crate::syntax::{Term, UExpr, Var, VarGen};
 use relalg::Schema;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A record of lemma applications — the machine-checkable skeleton of a
@@ -306,9 +307,19 @@ impl fmt::Display for Spnf {
 /// The input's binders are refreshed first, so expressions with shared
 /// (cloned) subtrees are handled correctly.
 pub fn normalize(e: &UExpr, gen: &mut VarGen, trace: &mut Trace) -> Spnf {
-    gen.reserve_above(e.max_var_id());
-    let e = e.beta_reduce_terms().refresh_binders(gen);
+    let e = normalization_input(e, gen);
     norm(&e, gen, trace)
+}
+
+/// The exact tree the normalizers hand to the rewriting core:
+/// β/η-reduced with all binders refreshed from `gen`. Exposed so batch
+/// warm-up passes (e.g. the proving engine's interner seeding) can
+/// intern precisely the trees the provers will later intern — seeding
+/// anything else (such as the raw denotation) produces nodes the
+/// workers never match.
+pub fn normalization_input(e: &UExpr, gen: &mut VarGen) -> UExpr {
+    gen.reserve_above(e.max_var_id());
+    e.beta_reduce_terms().refresh_binders(gen)
 }
 
 fn norm(e: &UExpr, gen: &mut VarGen, trace: &mut Trace) -> Spnf {
@@ -370,7 +381,7 @@ fn norm(e: &UExpr, gen: &mut VarGen, trace: &mut Trace) -> Spnf {
         }
         UExpr::Not(a) => {
             let na = norm(a, gen, trace);
-            atoms_to_spnf(not_spnf(na, gen, trace), gen, trace)
+            atoms_to_spnf(not_spnf(na, trace), gen, trace)
         }
         UExpr::Squash(a) => {
             let na = norm(a, gen, trace);
@@ -416,10 +427,7 @@ fn norm_term(t: &Term, gen: &mut VarGen, trace: &mut Trace) -> Term {
         Term::Pair(a, b) => Term::pair(norm_term(&a, gen, trace), norm_term(&b, gen, trace)),
         Term::Fst(x) => Term::fst(norm_term(&x, gen, trace)),
         Term::Snd(x) => Term::snd(norm_term(&x, gen, trace)),
-        Term::Fn(f, args) => Term::Fn(
-            f,
-            args.iter().map(|a| norm_term(a, gen, trace)).collect(),
-        ),
+        Term::Fn(f, args) => Term::Fn(f, args.iter().map(|a| norm_term(a, gen, trace)).collect()),
         other => other,
     }
     .beta_reduce()
@@ -583,16 +591,14 @@ fn atom_subst(a: Atom, var: &Var, repl: &Term, gen: &mut VarGen, trace: &mut Tra
             p,
             norm_term(&t.subst(var, repl), gen, trace),
         )]),
-        Atom::Eq(x, y) => {
-            match norm_eq(x.subst(var, repl), y.subst(var, repl), gen, trace) {
-                EqSimp::True => AtomSimp::One,
-                EqSimp::False => AtomSimp::Zero,
-                EqSimp::Atoms(atoms) => AtomSimp::Atoms(atoms),
-            }
-        }
+        Atom::Eq(x, y) => match norm_eq(x.subst(var, repl), y.subst(var, repl), gen, trace) {
+            EqSimp::True => AtomSimp::One,
+            EqSimp::False => AtomSimp::Zero,
+            EqSimp::Atoms(atoms) => AtomSimp::Atoms(atoms),
+        },
         Atom::Not(s) => {
             let s2 = spnf_subst(&s, var, repl, gen, trace);
-            match not_spnf(s2, gen, trace) {
+            match not_spnf(s2, trace) {
                 None => AtomSimp::Zero,
                 Some(atoms) if atoms.is_empty() => AtomSimp::One,
                 Some(atoms) => AtomSimp::Atoms(atoms),
@@ -657,7 +663,7 @@ pub(crate) fn term_subst(t: &SpnfTerm, var: &Var, repl: &Term) -> SpnfTerm {
 
 /// Negation of a normal form, returning the atoms of the resulting
 /// product (`None` = `0`, empty vec = `1`).
-fn not_spnf(s: Spnf, gen: &mut VarGen, trace: &mut Trace) -> Option<Vec<Atom>> {
+fn not_spnf(s: Spnf, trace: &mut Trace) -> Option<Vec<Atom>> {
     if s.terms.is_empty() {
         trace.step(Lemma::NotBase, "¬0 = 1");
         return Some(Vec::new());
@@ -676,7 +682,7 @@ fn not_spnf(s: Spnf, gen: &mut VarGen, trace: &mut Trace) -> Option<Vec<Atom>> {
             match &t.atoms[0] {
                 Atom::Squash(inner) => {
                     trace.step(Lemma::NotSquash, "¬‖x‖ = ¬x");
-                    match not_spnf(inner.clone(), gen, trace) {
+                    match not_spnf(inner.clone(), trace) {
                         None => return None,
                         Some(atoms) => {
                             out.extend(atoms);
@@ -820,6 +826,198 @@ pub(crate) fn simplify_term(
     let mut t = SpnfTerm { vars, atoms };
     t.sort_atoms();
     Some(t)
+}
+
+/// A memo table for the hash-consed normalizer: an [`Interner`] plus a
+/// map from interned node id to the node's normal form (and the trace
+/// fragment its normalization records).
+///
+/// Only **binder-free** nodes (no `Σ`, no aggregate) are memoized. For
+/// those, `norm` never draws a fresh variable, so normalization is a
+/// pure function of the tree: the cached [`Spnf`] and trace fragment are
+/// *exactly* what recomputation would produce. Binder-carrying nodes are
+/// recomputed (their results depend on the [`VarGen`] state), but their
+/// binder-free subtrees still hit the cache.
+///
+/// The cache is reusable across many [`normalize_with_cache`] calls —
+/// that is the point: the Fig. 8 catalog re-normalizes the same
+/// denotation fragments (selection predicates, join conditions, base
+/// relation atoms) dozens of times, and each worker of the batch engine
+/// carries one cache for all the rules it proves.
+#[derive(Clone, Debug, Default)]
+pub struct NormCache {
+    interner: Interner,
+    memo: HashMap<UExprId, (Spnf, Vec<(Lemma, String)>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl NormCache {
+    /// An empty cache.
+    pub fn new() -> NormCache {
+        NormCache::default()
+    }
+
+    /// A cache whose interner starts from a shared frozen snapshot (the
+    /// batch engine's per-worker seeding path).
+    pub fn from_interner(interner: Interner) -> NormCache {
+        NormCache {
+            interner,
+            ..NormCache::default()
+        }
+    }
+
+    /// The underlying interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Number of memo-table hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of memo-table misses (entries computed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// [`normalize`], but with subterm-level memoization through `cache`.
+///
+/// Produces bit-for-bit the same [`Spnf`] *and the same trace steps* as
+/// [`normalize`] on the same inputs — property-tested in
+/// `tests/prop_intern.rs` — while normalizing every distinct binder-free
+/// subterm at most once per cache lifetime.
+pub fn normalize_with_cache(
+    e: &UExpr,
+    gen: &mut VarGen,
+    trace: &mut Trace,
+    cache: &mut NormCache,
+) -> Spnf {
+    let e = normalization_input(e, gen);
+    // One interning pass at the root; the recursion below walks the
+    // id-DAG, so shared subtrees are traversed (and normalized) once.
+    let id = cache.interner.intern(&e);
+    norm_id(id, gen, trace, cache)
+}
+
+/// Mirror of [`norm`] over interned node ids: consults the memo table on
+/// binder-free nodes and recurses by id everywhere else, so cache hits
+/// happen at the deepest shared level without re-walking subtrees.
+fn norm_id(id: UExprId, gen: &mut VarGen, trace: &mut Trace, cache: &mut NormCache) -> Spnf {
+    // Memoize only nodes whose normalization does real work: compound
+    // binder-free nodes and equalities (pair-splitting chains). Trivial
+    // atoms (`0`, `1`, `R(t)`, `b(t)`) normalize in O(|t|) anyway — a
+    // table lookup per occurrence costs more than recomputing them.
+    use crate::syntax::intern::UExprNode;
+    let worth_memoizing = matches!(
+        cache.interner.uexpr_node(id),
+        UExprNode::Add(_, _)
+            | UExprNode::Mul(_, _)
+            | UExprNode::Not(_)
+            | UExprNode::Squash(_)
+            | UExprNode::Eq(_, _)
+    );
+    if worth_memoizing && !cache.interner.has_binder(id) {
+        if let Some((spnf, steps)) = cache.memo.get(&id) {
+            cache.hits += 1;
+            let spnf = spnf.clone();
+            for (lemma, note) in steps.clone() {
+                trace.step(lemma, note);
+            }
+            return spnf;
+        }
+        cache.misses += 1;
+        let mut fragment = Trace::new();
+        let spnf = norm_id_arms(id, gen, &mut fragment, cache);
+        cache
+            .memo
+            .insert(id, (spnf.clone(), fragment.steps().to_vec()));
+        trace.extend(fragment);
+        return spnf;
+    }
+    norm_id_arms(id, gen, trace, cache)
+}
+
+/// The structural arms of [`norm_id`]: identical rewriting logic to
+/// [`norm`], with child subtrees addressed by id.
+fn norm_id_arms(id: UExprId, gen: &mut VarGen, trace: &mut Trace, cache: &mut NormCache) -> Spnf {
+    use crate::syntax::intern::UExprNode;
+    // Nodes are small (ids plus a name/binder); cloning one sidesteps
+    // holding a borrow of the interner across the `&mut cache` recursion.
+    match cache.interner.uexpr_node(id).clone() {
+        UExprNode::Zero => Spnf::zero(),
+        UExprNode::One => Spnf::one(),
+        // Atoms have no `UExpr` children to memoize; `norm` handles them
+        // directly (including aggregate bodies inside their terms, which
+        // sit under a binder and are recomputed by design). Extraction
+        // runs once per distinct atom — the result is memoized under the
+        // atom's own id whenever it is binder-free.
+        UExprNode::Eq(_, _) | UExprNode::Rel(_, _) | UExprNode::Pred(_, _) => {
+            let e = cache.interner.extract(id);
+            norm(&e, gen, trace)
+        }
+        UExprNode::Add(a, b) => {
+            let mut s = norm_id(a, gen, trace, cache);
+            s.terms.extend(norm_id(b, gen, trace, cache).terms);
+            s
+        }
+        UExprNode::Mul(a, b) => {
+            let sa = norm_id(a, gen, trace, cache);
+            let sb = norm_id(b, gen, trace, cache);
+            if sa.terms.len() > 1 || sb.terms.len() > 1 {
+                trace.step(Lemma::Distrib, "distributing × over +");
+            }
+            let mut out = Spnf::zero();
+            for ta in &sa.terms {
+                for tb in &sb.terms {
+                    let mut vars = ta.vars.clone();
+                    vars.extend(tb.vars.iter().cloned());
+                    if !ta.vars.is_empty() || !tb.vars.is_empty() {
+                        trace.step(Lemma::SumHoist, "hoisting Σ out of ×");
+                    }
+                    let mut atoms = ta.atoms.clone();
+                    atoms.extend(tb.atoms.iter().cloned());
+                    if let Some(t) = simplify_term(vars, atoms, gen, trace) {
+                        out.terms.push(t);
+                    }
+                }
+            }
+            out
+        }
+        UExprNode::Sum(v, body) => {
+            let nb = norm_id(body, gen, trace, cache);
+            if nb.terms.len() > 1 {
+                trace.step(Lemma::SumAdd, "distributing Σ over +");
+            }
+            let mut out = Spnf::zero();
+            for (i, t) in nb.terms.iter().enumerate() {
+                let (binder, term) = if i == 0 {
+                    (v.clone(), t.clone())
+                } else {
+                    trace.step(Lemma::AlphaRename, "fresh binder per summand");
+                    let fresh = gen.fresh(v.schema.clone());
+                    (fresh.clone(), term_subst(t, &v, &Term::var(&fresh)))
+                };
+                let mut vars = term.vars.clone();
+                let mut atoms = term.atoms.clone();
+                push_binder_split(binder, &mut vars, &mut atoms, gen, trace);
+                if let Some(t) = simplify_term(vars, atoms, gen, trace) {
+                    out.terms.push(t);
+                }
+            }
+            out
+        }
+        UExprNode::Not(a) => {
+            let na = norm_id(a, gen, trace, cache);
+            atoms_to_spnf(not_spnf(na, trace), gen, trace)
+        }
+        UExprNode::Squash(a) => {
+            let na = norm_id(a, gen, trace, cache);
+            atoms_to_spnf(squash_spnf(na, trace), gen, trace)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1122,10 +1320,7 @@ mod tests {
         let b = UExpr::pred("b", Term::var(&t));
         let lhs = UExpr::mul(UExpr::add(r, s), b);
         normalize(&lhs, &mut g, &mut tr);
-        assert!(tr
-            .steps()
-            .iter()
-            .any(|(l, _)| *l == Lemma::Distrib));
+        assert!(tr.steps().iter().any(|(l, _)| *l == Lemma::Distrib));
         let printed = tr.to_string();
         assert!(printed.contains("distributivity"), "{printed}");
     }

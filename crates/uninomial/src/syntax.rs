@@ -13,6 +13,8 @@
 //! variables issued by [`VarGen`]; no shadowing ever occurs, which makes
 //! capture-avoiding substitution a plain traversal.
 
+pub mod intern;
+
 use relalg::{Schema, Value};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -208,9 +210,7 @@ impl Term {
                 Term::Pair(_, b) => (*b).clone(),
                 t => Term::snd(t),
             },
-            Term::Fn(f, args) => {
-                Term::Fn(f.clone(), args.iter().map(Term::beta_reduce).collect())
-            }
+            Term::Fn(f, args) => Term::Fn(f.clone(), args.iter().map(Term::beta_reduce).collect()),
             Term::Agg(name, v, body) => {
                 Term::Agg(name.clone(), v.clone(), Box::new(body.beta_reduce_terms()))
             }
@@ -323,11 +323,13 @@ pub enum UExpr {
 
 impl UExpr {
     /// Addition.
+    #[allow(clippy::should_implement_trait)] // paper-idiom constructor, not an operator impl
     pub fn add(a: UExpr, b: UExpr) -> UExpr {
         UExpr::Add(Box::new(a), Box::new(b))
     }
 
     /// Multiplication.
+    #[allow(clippy::should_implement_trait)] // paper-idiom constructor, not an operator impl
     pub fn mul(a: UExpr, b: UExpr) -> UExpr {
         UExpr::Mul(Box::new(a), Box::new(b))
     }
@@ -351,6 +353,7 @@ impl UExpr {
     }
 
     /// Negation `· → 0`.
+    #[allow(clippy::should_implement_trait)] // paper-idiom constructor, not an operator impl
     pub fn not(e: UExpr) -> UExpr {
         UExpr::Not(Box::new(e))
     }

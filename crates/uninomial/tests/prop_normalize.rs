@@ -53,9 +53,7 @@ impl ExprGen {
                     .collect(),
             ),
             1 => Term::int(self.rng.gen_range(-2..=2)),
-            _ if !leafy.is_empty() => {
-                Term::var(leafy[self.rng.gen_range(0..leafy.len())])
-            }
+            _ if !leafy.is_empty() => Term::var(leafy[self.rng.gen_range(0..leafy.len())]),
             _ => Term::int(self.rng.gen_range(-2..=2)),
         }
     }
@@ -77,7 +75,10 @@ impl ExprGen {
                 // Guard the sum with a relation atom so it stays finite
                 // in spirit (evaluation is over a finite domain anyway).
                 let body = UExpr::mul(
-                    UExpr::rel(if self.rng.gen_bool(0.5) { "R" } else { "S" }, Term::var(&v)),
+                    UExpr::rel(
+                        if self.rng.gen_bool(0.5) { "R" } else { "S" },
+                        Term::var(&v),
+                    ),
                     self.expr(&inner, depth - 1),
                 );
                 UExpr::sum(v, body)
@@ -125,7 +126,7 @@ fn interp(seed: u64) -> Interp {
         .with_rel("R", r)
         .with_rel("S", s)
         .with_pred("b", move |t: &Tuple| {
-            (format!("{t}").len() % 2 == 0) == parity
+            format!("{t}").len().is_multiple_of(2) == parity
         })
         .with_fn("f", move |vs: &[Value]| {
             // Map back into the sample domain so singleton sums stay
@@ -186,8 +187,8 @@ proptest! {
         // evaluation must agree everywhere we can test.
         let mut eg = ExprGen::new(seed);
         let scope_var = eg.gen.fresh(Schema::leaf(BaseType::Int));
-        let a = eg.expr(&[scope_var.clone()], 2);
-        let b = eg.expr(&[scope_var.clone()], 2);
+        let a = eg.expr(std::slice::from_ref(&scope_var), 2);
+        let b = eg.expr(std::slice::from_ref(&scope_var), 2);
         let mut gen = eg.gen;
         let mut trace = Trace::new();
         let na = normalize(&a, &mut gen, &mut trace);
@@ -218,8 +219,8 @@ fn deductive_prover_is_sound_on_random_prop_goals() {
     for seed in 0..400u64 {
         let mut eg = ExprGen::new(seed);
         let free = eg.gen.fresh(Schema::leaf(BaseType::Int));
-        let a = UExpr::squash(eg.expr(&[free.clone()], 2));
-        let b = UExpr::squash(eg.expr(&[free.clone()], 2));
+        let a = UExpr::squash(eg.expr(std::slice::from_ref(&free), 2));
+        let b = UExpr::squash(eg.expr(std::slice::from_ref(&free), 2));
         let mut gen = eg.gen;
         let mut trace = Trace::new();
         let na = normalize(&a, &mut gen, &mut trace);

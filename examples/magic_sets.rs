@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Tuple::flat([2.into(), 50_000.into()]),
         ],
     )?;
-    let inst = Instance::new().with_table("Emp", emp).with_table("Dept", dept);
+    let inst = Instance::new()
+        .with_table("Emp", emp)
+        .with_table("Dept", dept);
 
     // Dept ⋉ Emp on matching did: only departments with employees.
     // θ context: node(node(empty, σDept), σEmp).
@@ -58,8 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
     );
     let filter = semijoin(Query::table("Dept"), Query::table("Emp"), theta.clone());
-    let filtered =
-        eval_query(&filter, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
+    let filtered = eval_query(&filter, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
     println!("\nDept ⋉ Emp (departments with employees): {filtered:?}");
     assert_eq!(filtered.support_size(), 2);
 
@@ -76,13 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Query::product(Query::table("Dept"), Query::table("Emp")),
         join_theta.clone(),
     );
-    let join_filtered = Query::where_(
-        Query::product(filter, Query::table("Emp")),
-        join_theta,
-    );
+    let join_filtered = Query::where_(Query::product(filter, Query::table("Emp")), join_theta);
     let plain = eval_query(&join, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
     let magic = eval_query(&join_filtered, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
     assert!(plain.bag_eq(&magic));
-    println!("join and magic-set-reduced join agree: {} tuples", plain.support_size());
+    println!(
+        "join and magic-set-reduced join agree: {} tuples",
+        plain.support_size()
+    );
     Ok(())
 }

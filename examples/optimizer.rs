@@ -37,9 +37,7 @@ fn cost(q: &Query, sizes: &dyn Fn(&str) -> f64) -> f64 {
     match q {
         Query::Table(_) => 0.0,
         Query::Select(_, q) | Query::Distinct(q) => cost(q, sizes) + size(q, sizes),
-        Query::Product(a, b) => {
-            cost(a, sizes) + cost(b, sizes) + size(a, sizes) * size(b, sizes)
-        }
+        Query::Product(a, b) => cost(a, sizes) + cost(b, sizes) + size(a, sizes) * size(b, sizes),
         Query::Where(q, b) => cost(q, sizes) + size(q, sizes) * conjuncts(b),
         Query::UnionAll(a, b) | Query::Except(a, b) => cost(a, sizes) + cost(b, sizes),
     }
@@ -149,7 +147,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_in = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
     let out_best = eval_query(best, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
     assert!(out_in.bag_eq(&out_best));
-    println!("\ninput and optimized plans agree on a random instance ({} rows)",
-        out_in.support_size());
+    println!(
+        "\ninput and optimized plans agree on a random instance ({} rows)",
+        out_in.support_size()
+    );
     Ok(())
 }

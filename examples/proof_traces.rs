@@ -20,8 +20,8 @@ fn main() {
 
     // Reproduce the full proof with its trace.
     let mut gen = uninomial::syntax::VarGen::new();
-    let (t, el) = hottsql::denote::denote_closed_query(&inst.lhs, &inst.env, &mut gen)
-        .expect("lhs denotes");
+    let (t, el) =
+        hottsql::denote::denote_closed_query(&inst.lhs, &inst.env, &mut gen).expect("lhs denotes");
     let er = hottsql::denote::denote_query(
         &inst.rhs,
         &inst.env,
@@ -38,10 +38,13 @@ fn main() {
     let (method, steps) = prove_instance(&inst).expect("rule proves");
     println!("prove_instance: {method:?} in {steps} steps\n");
 
-    // Summarize every rule in the catalog with its proof method.
+    // Summarize every rule in the catalog with its proof method — via
+    // the parallel batch engine (reports come back in catalog order and
+    // agree verdict-for-verdict with sequential `prove_rule`).
     println!("=== Catalog summary ===");
-    for rule in &rules {
-        let report = prove_rule(rule);
+    let engine = dopcert::engine::Engine::new();
+    let start = std::time::Instant::now();
+    for (rule, report) in rules.iter().zip(engine.prove_catalog(&rules)) {
         println!(
             "  {:<28} [{}] {} in {} steps",
             rule.name,
@@ -53,5 +56,12 @@ fn main() {
             report.steps,
         );
         assert!(report.proved);
+        assert_eq!(report.proved, prove_rule(rule).proved);
     }
+    println!(
+        "proved {} rules on {} threads in {:.1} ms",
+        rules.len(),
+        engine.threads(),
+        start.elapsed().as_secs_f64() * 1e3,
+    );
 }

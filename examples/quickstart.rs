@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //   SELECT * FROM (R UNION ALL S) WHERE b
     //     ≡ (SELECT * FROM R WHERE b) UNION ALL (SELECT * FROM S WHERE b)
     let lhs = parse_query("SELECT Right FROM (R UNION ALL S) WHERE b")?;
-    let rhs = parse_query(
-        "(SELECT Right FROM R WHERE b) UNION ALL (SELECT Right FROM S WHERE b)",
-    )?;
+    let rhs = parse_query("(SELECT Right FROM R WHERE b) UNION ALL (SELECT Right FROM S WHERE b)")?;
 
     // Declare the meta-variables: R and S range over relations of a
     // common schema σ; b ranges over predicates reading node(empty, σ).

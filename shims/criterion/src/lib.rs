@@ -1,0 +1,338 @@
+//! Offline, std-only shim of the `criterion` API surface this workspace
+//! uses: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate is replaced by this timing harness. Compared to real criterion
+//! it does no statistical analysis: each benchmark is warmed up, then
+//! sampled `sample_size` times for at least `measurement_time`, and the
+//! mean/min per-iteration wall-clock times are printed.
+//!
+//! Command-line behavior needed by CI is preserved:
+//!
+//! - `--test` runs every benchmark body exactly once with no measurement
+//!   (the "bench smoke" mode used by the CI workflow);
+//! - `--bench` (which cargo passes to bench targets) is accepted and
+//!   ignored;
+//! - a positional `<filter>` substring restricts which benchmarks run.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measurement configuration and the entry point benches receive.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, full_id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            println!("test {full_id} ... ok");
+            return;
+        }
+        // Warm-up: run the body repeatedly without recording.
+        let mut b = Bencher {
+            mode: Mode::TimeFor(self.warm_up_time),
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        // Measurement: `sample_size` samples spread over measurement_time.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let mut b = Bencher {
+            mode: Mode::Sample {
+                per_sample: per_sample.max(Duration::from_micros(200)),
+                samples: self.sample_size,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+        let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "{full_id:<50} mean {:>12}  min {:>12}",
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run(&full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (printing is immediate, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    TestOnce,
+    TimeFor(Duration),
+    Sample {
+        per_sample: Duration,
+        samples: usize,
+    },
+}
+
+impl fmt::Debug for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::TestOnce => f.write_str("TestOnce"),
+            Mode::TimeFor(d) => write!(f, "TimeFor({d:?})"),
+            Mode::Sample { samples, .. } => write!(f, "Sample({samples})"),
+        }
+    }
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures a routine (or runs it once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::TimeFor(budget) => {
+                let start = Instant::now();
+                while start.elapsed() < *budget {
+                    black_box(routine());
+                }
+            }
+            Mode::Sample {
+                per_sample,
+                samples,
+            } => {
+                let (per_sample, samples) = (*per_sample, *samples);
+                // Calibrate iterations per sample from one timed call.
+                let t0 = Instant::now();
+                black_box(routine());
+                let one = t0.elapsed().max(Duration::from_nanos(20));
+                let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1 << 24) as u64;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions with an optional custom
+/// [`Criterion`] config, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            mode: Mode::Sample {
+                per_sample: Duration::from_micros(200),
+                samples: 3,
+            },
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("product", 100).to_string(), "product/100");
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+    }
+}

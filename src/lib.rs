@@ -12,7 +12,9 @@
 //! - [`cq`] — conjunctive queries and the automated decision procedure.
 //! - [`listsem`] — the list-semantics baseline of Sec. 2.
 //! - [`dopcert`] — the DOPCERT prover: tactics, the 23-rule catalog of
-//!   Fig. 8, and the differential-testing harness.
+//!   Fig. 8, the differential-testing harness, and the parallel batch
+//!   proving engine (`dopcert::engine`) built on the hash-consed
+//!   UniNomial core (`uninomial::syntax::intern`).
 
 pub use cq;
 pub use dopcert;

@@ -76,9 +76,7 @@ fn eval_cost(e: &uninomial::UExpr, interp: &Interp) -> f64 {
         E::Zero | E::One | E::Eq(_, _) | E::Rel(_, _) | E::Pred(_, _) => 1.0,
         E::Add(a, b) | E::Mul(a, b) => eval_cost(a, interp) + eval_cost(b, interp),
         E::Not(x) | E::Squash(x) => eval_cost(x, interp),
-        E::Sum(v, body) => {
-            interp.enumerate(&v.schema).len() as f64 * eval_cost(body, interp)
-        }
+        E::Sum(v, body) => interp.enumerate(&v.schema).len() as f64 * eval_cost(body, interp),
     }
 }
 
@@ -207,8 +205,10 @@ fn except_union_distinct_identities_hold_concretely() {
 #[test]
 fn string_and_bool_values_survive_roundtrips() {
     // Values of every base type flow through evaluation unchanged.
-    let env = hottsql::env::QueryEnv::new()
-        .with_table("S", Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Str)));
+    let env = hottsql::env::QueryEnv::new().with_table(
+        "S",
+        Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Str)),
+    );
     let rel = Relation::from_tuples(
         Schema::node(Schema::leaf(BaseType::Bool), Schema::leaf(BaseType::Str)),
         [

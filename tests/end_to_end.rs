@@ -57,8 +57,15 @@ fn sec2_q1_q2_q3_pipeline() {
     // Prove Q2 ≡ Q3 symbolically from their denotations.
     let mut gen = VarGen::new();
     let (t, e2) = denote_closed_query(&q2, &env, &mut gen).unwrap();
-    let e3 = denote_query(&q3, &env, &Schema::Empty, &Term::Unit, &Term::var(&t), &mut gen)
-        .unwrap();
+    let e3 = denote_query(
+        &q3,
+        &env,
+        &Schema::Empty,
+        &Term::Unit,
+        &Term::var(&t),
+        &mut gen,
+    )
+    .unwrap();
     let proof = uninomial::prove_eq(&e2, &e3, &mut gen).expect("Q2 ≡ Q3 proves");
     assert!(proof.steps() >= 1);
 
@@ -87,12 +94,8 @@ fn group_by_pipeline_with_constraints() {
     )
     .unwrap();
     let inst = Instance::new().with_table("Emp", emp);
-    let grouped = hottsql::desugar::group_by_agg(
-        Query::table("Emp"),
-        Proj::Left,
-        "SUM",
-        Proj::Right,
-    );
+    let grouped =
+        hottsql::desugar::group_by_agg(Query::table("Emp"), Proj::Left, "SUM", Proj::Right);
     let out = eval_query(&grouped, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
     assert_eq!(
         out.multiplicity(&Tuple::pair(Tuple::int(1), Tuple::int(150))),
@@ -107,11 +110,10 @@ fn group_by_pipeline_with_constraints() {
     assert!(relalg::constraints::is_key(&out, key));
     assert!(relalg::constraints::is_key_semantic(&out, key));
     // And key → sum is a functional dependency, twice over.
-    assert!(relalg::constraints::functional_dependency(
-        &out,
-        key,
-        |t| t.snd().unwrap().clone()
-    ));
+    assert!(relalg::constraints::functional_dependency(&out, key, |t| t
+        .snd()
+        .unwrap()
+        .clone()));
 }
 
 #[test]
@@ -132,9 +134,10 @@ fn where_filter_on_aggregate_subquery() {
     )
     .unwrap();
     let dept =
-        Relation::from_tuples(Schema::leaf(BaseType::Int), [Tuple::int(1), Tuple::int(2)])
-            .unwrap();
-    let inst = Instance::new().with_table("Emp", emp).with_table("Dept", dept);
+        Relation::from_tuples(Schema::leaf(BaseType::Int), [Tuple::int(1), Tuple::int(2)]).unwrap();
+    let inst = Instance::new()
+        .with_table("Emp", emp)
+        .with_table("Dept", dept);
     // SELECT * FROM Dept WHERE SUM(SELECT sal FROM Emp WHERE did = dept) = 150
     // Inner select context: node(node(empty, int), σEmp).
     let salaries = Query::select(
@@ -182,9 +185,7 @@ fn index_machinery_end_to_end() {
     )
     .expect("first column is a key");
     let via_index = idx.scan_via_index(&r, &relalg::Value::Int(5), fst);
-    let full = relalg::ops::select(&r, |t| {
-        Card::from_bool(t.snd().unwrap() == &Tuple::int(5))
-    });
+    let full = relalg::ops::select(&r, |t| Card::from_bool(t.snd().unwrap() == &Tuple::int(5)));
     assert!(via_index.bag_eq(&full));
     assert_eq!(via_index.support_size(), 2);
 }
@@ -204,22 +205,20 @@ fn outer_join_and_nulls_integration() {
     .unwrap();
     let s = Relation::from_tuples(
         s_schema.clone(),
-        [Tuple::flat([1.into(), 10.into()]), Tuple::flat([3.into(), 30.into()])],
+        [
+            Tuple::flat([1.into(), 10.into()]),
+            Tuple::flat([3.into(), 30.into()]),
+        ],
     )
     .unwrap();
-    let inst = hottsql::desugar::install_null_fns(
-        Instance::new().with_table("R", r).with_table("S", s),
-    );
+    let inst =
+        hottsql::desugar::install_null_fns(Instance::new().with_table("R", r).with_table("S", s));
     let theta = Predicate::eq(
         Expr::p2e(Proj::path([Proj::Right, Proj::Left])),
         Expr::p2e(Proj::path([Proj::Right, Proj::Right, Proj::Left])),
     );
-    let loj = hottsql::desugar::left_outer_join(
-        Query::table("R"),
-        Query::table("S"),
-        theta,
-        &s_schema,
-    );
+    let loj =
+        hottsql::desugar::left_outer_join(Query::table("R"), Query::table("S"), theta, &s_schema);
     let out = eval_query(&loj, &env, &inst, &Schema::Empty, &Tuple::Unit).unwrap();
     assert_eq!(out.support_size(), 3, "{out:?}");
     // The unmatched row (2) is NULL-padded.
@@ -241,21 +240,24 @@ fn parser_typing_denotation_round_trip_for_paper_queries() {
     let env = QueryEnv::new()
         .with_table("R", sr.clone())
         .with_table("S", ss.clone())
-        .with_proj("p", Schema::node(Schema::Empty, Schema::node(sr.clone(), ss.clone())), Schema::leaf(BaseType::Int))
+        .with_proj(
+            "p",
+            Schema::node(Schema::Empty, Schema::node(sr.clone(), ss.clone())),
+            Schema::leaf(BaseType::Int),
+        )
         .with_fn("add", BaseType::Int);
     let queries = [
-        "SELECT Right.Left FROM R, S",                       // q1: R.*
-        "SELECT Right.Right FROM R, S",                      // q2: S.*
-        "SELECT Right.Right.Left FROM R, S",                 // q3: S.p
+        "SELECT Right.Left FROM R, S",                           // q1: R.*
+        "SELECT Right.Right FROM R, S",                          // q2: S.*
+        "SELECT Right.Right.Left FROM R, S",                     // q3: S.p
         "SELECT (Right.Left.Left, Right.Right.Right) FROM R, S", // q4
-        "SELECT E2P(add(Right.Left, Right.Right)) FROM R",   // q5: p1 + p2
+        "SELECT E2P(add(Right.Left, Right.Right)) FROM R",       // q5: p1 + p2
     ];
     for text in queries {
         let q = parse_query(text).unwrap_or_else(|e| panic!("{text}: {e}"));
         hottsql::ty::infer_query(&q, &env, &Schema::Empty)
             .unwrap_or_else(|e| panic!("{text}: {e}"));
         let mut gen = VarGen::new();
-        denote_closed_query(&q, &env, &mut gen)
-            .unwrap_or_else(|e| panic!("{text}: {e}"));
+        denote_closed_query(&q, &env, &mut gen).unwrap_or_else(|e| panic!("{text}: {e}"));
     }
 }

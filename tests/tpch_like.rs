@@ -108,8 +108,15 @@ fn aggregation_pushdown_proves_at_concrete_schema() {
     // Then the symbolic proof at this concrete schema.
     let mut gen = VarGen::new();
     let (t, el) = denote_closed_query(&lhs, &env, &mut gen).unwrap();
-    let er = denote_query(&rhs, &env, &Schema::Empty, &Term::Unit, &Term::var(&t), &mut gen)
-        .unwrap();
+    let er = denote_query(
+        &rhs,
+        &env,
+        &Schema::Empty,
+        &Term::Unit,
+        &Term::var(&t),
+        &mut gen,
+    )
+    .unwrap();
     let proof = uninomial::prove_eq(&el, &er, &mut gen)
         .expect("concrete-schema aggregation pushdown proves");
     assert!(proof.steps() >= 1);
@@ -165,8 +172,15 @@ fn prover_fails_fast_outside_its_fragment() {
     let rhs = Query::table("R");
     let mut gen = VarGen::new();
     let (t, el) = denote_closed_query(&lhs, &env, &mut gen).unwrap();
-    let er = denote_query(&rhs, &env, &Schema::Empty, &Term::Unit, &Term::var(&t), &mut gen)
-        .unwrap();
+    let er = denote_query(
+        &rhs,
+        &env,
+        &Schema::Empty,
+        &Term::Unit,
+        &Term::var(&t),
+        &mut gen,
+    )
+    .unwrap();
     let started = std::time::Instant::now();
     let result = uninomial::prove_eq(&el, &er, &mut gen);
     assert!(started.elapsed().as_secs() < 5, "must fail fast");
