@@ -1,0 +1,44 @@
+//! Criterion benchmark: proving cost of the Fig. 8 catalog under the
+//! normalization-based tactics vs equality saturation alone, plus the
+//! N-thousand-pair CQ equivalence batch that exercises the scale path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dopcert::prove::{ProveOptions, SaturateMode};
+
+fn bench_saturation_vs_tactics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation-vs-tactics/fig8-catalog");
+    for (mode, name) in [
+        (SaturateMode::Off, "tactics"),
+        (SaturateMode::Only, "saturate"),
+        (SaturateMode::Fallback, "fallback"),
+    ] {
+        let opts = ProveOptions {
+            saturate: mode,
+            ..ProveOptions::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let reports = bench::fig8_reports_with(opts);
+                assert!(reports.iter().all(|r| r.proved), "catalog regressed");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cq_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation-vs-tactics/cq-batch");
+    for n in [1000usize, 2000] {
+        let pairs = cq::generate::equivalent_pairs(0x5CA1E, n);
+        group.bench_with_input(BenchmarkId::new("pairs", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let equivalent = bench::decide_cq_pairs(pairs);
+                assert_eq!(equivalent, pairs.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturation_vs_tactics, bench_cq_scale);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Scale harness: batch-proves thousands of generated CQ equivalence
+//! pairs and compares tactic vs saturation proving over the Fig. 8
+//! catalog, emitting machine-readable BENCH json lines (one object per
+//! measurement) alongside a human summary.
+//!
+//! Usage: `cargo run -p bench --bin scale --release [-- pairs]`
+
+use dopcert::prove::{ProveOptions, SaturateMode};
+
+fn emit(json: String, human: String) {
+    println!("BENCH {json}");
+    eprintln!("{human}");
+}
+
+fn main() {
+    let max_pairs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000);
+
+    // N-thousand CQ equivalence pairs through the batch decider.
+    let mut n = 1000;
+    while n <= max_pairs {
+        let pairs = cq::generate::equivalent_pairs(0x5CA1E, n);
+        let (time, equivalent) = bench::timed(|| bench::decide_cq_pairs(&pairs));
+        assert_eq!(equivalent, n, "every generated pair is equivalent");
+        emit(
+            format!(
+                "{{\"bench\":\"cq_scale\",\"pairs\":{n},\"equivalent\":{equivalent},\"millis\":{:.3}}}",
+                time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "cq_scale: {n} pairs decided in {:.1} ms ({:.1} µs/pair)",
+                time.as_secs_f64() * 1e3,
+                time.as_secs_f64() * 1e6 / n as f64
+            ),
+        );
+        n *= 2;
+    }
+
+    // Fig. 8 catalog: tactics-only vs saturation-only cost.
+    for (mode, name) in [
+        (SaturateMode::Off, "tactics"),
+        (SaturateMode::Only, "saturate"),
+    ] {
+        let opts = ProveOptions {
+            saturate: mode,
+            ..ProveOptions::default()
+        };
+        let (time, reports) = bench::timed(|| bench::fig8_reports_with(opts));
+        let proved = reports.iter().filter(|r| r.proved).count();
+        let steps: usize = reports.iter().map(|r| r.steps).sum();
+        emit(
+            format!(
+                "{{\"bench\":\"saturation_vs_tactics\",\"mode\":\"{name}\",\"rules\":{},\"proved\":{proved},\"steps\":{steps},\"millis\":{:.3}}}",
+                reports.len(),
+                time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "saturation_vs_tactics[{name}]: {proved}/{} rules, {steps} total steps, {:.1} ms",
+                reports.len(),
+                time.as_secs_f64() * 1e3
+            ),
+        );
+    }
+}

@@ -212,6 +212,30 @@ pub fn baseline_equivalence_times(n: u64) -> (Duration, Duration) {
     (list_time, rel_time)
 }
 
+/// Proves the Fig. 8 sound catalog with explicit verification options
+/// (the `saturation_vs_tactics` comparison entry point).
+pub fn fig8_reports_with(opts: dopcert::prove::ProveOptions) -> Vec<RuleReport> {
+    Engine::with_prove_options(opts).prove_catalog(&dopcert::catalog::sound_rules())
+}
+
+/// Decides a seeded batch of equivalent-by-construction CQ pairs with
+/// the shared-index batch decider, returning how many were (correctly)
+/// decided equivalent. This is the N-thousand-pair scale workload that
+/// makes batching and indexing costs visible.
+pub fn decide_cq_pairs(pairs: &[(Cq, Cq)]) -> usize {
+    let mut queries = Vec::with_capacity(pairs.len() * 2);
+    let mut index_pairs = Vec::with_capacity(pairs.len());
+    for (a, b) in pairs {
+        queries.push(a.clone());
+        queries.push(b.clone());
+        index_pairs.push((queries.len() - 2, queries.len() - 1));
+    }
+    cq::containment::equivalent_set_batch(&queries, &index_pairs)
+        .into_iter()
+        .filter(|&eq| eq)
+        .count()
+}
+
 /// Generates the Cq pair of Fig. 10 (used by both the example and the
 /// benchmark).
 pub fn fig10_pair() -> (Cq, Cq) {
@@ -274,5 +298,24 @@ mod tests {
         let (a, b) = fig10_pair();
         assert!(cq::containment::equivalent_set(&a, &b));
         assert!(!cq::bag::bag_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn cq_pair_batch_decides_all_equivalent() {
+        let pairs = cq::generate::equivalent_pairs(7, 200);
+        assert_eq!(decide_cq_pairs(&pairs), 200);
+    }
+
+    #[test]
+    fn saturation_mode_proves_the_catalog() {
+        use dopcert::prove::{ProveOptions, SaturateMode, VerifyMethod};
+        let reports = fig8_reports_with(ProveOptions {
+            saturate: SaturateMode::Only,
+            ..ProveOptions::default()
+        });
+        assert!(reports.iter().all(|r| r.proved));
+        assert!(reports
+            .iter()
+            .any(|r| r.method == Some(VerifyMethod::Saturation)));
     }
 }

@@ -111,6 +111,30 @@ pub fn shuffled_copy(q: &Cq, seed: u64) -> Cq {
     renamed
 }
 
+/// A seeded batch of `n` *equivalent-by-construction* CQ pairs: each
+/// pair is a random query and an α-renamed, atom-shuffled copy, so set
+/// (and bag) equivalence holds for every pair. This is the scale
+/// workload for the batch deciders — thousands of pairs sharing the
+/// small relation vocabulary, making parallel scaling and per-pair
+/// indexing costs visible.
+pub fn equivalent_pairs(seed: u64, n: usize) -> Vec<(Cq, Cq)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let atoms = 3 + (i % 5) as u32;
+            let vars = 2 + (i % 3) as u32;
+            let q_seed = rng.gen_range(0..u64::MAX / 2);
+            let q = random_cq(q_seed, atoms, vars, &["R", "S", "T"]);
+            let copy = shuffled_copy(&q, q_seed ^ 0xC0FFEE);
+            if i % 2 == 0 {
+                (q, copy)
+            } else {
+                (copy, q)
+            }
+        })
+        .collect()
+}
+
 /// A random CQ over `rels` relation names with `n_atoms` binary atoms on
 /// `n_vars` variables, head on the first variable.
 pub fn random_cq(seed: u64, n_atoms: u32, n_vars: u32, rels: &[&str]) -> Cq {
@@ -185,5 +209,18 @@ mod tests {
         let a = random_cq(7, 5, 3, &["R"]);
         let b = random_cq(7, 5, 3, &["R"]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equivalent_pairs_are_equivalent_and_deterministic() {
+        let pairs = equivalent_pairs(0xABCD, 64);
+        assert_eq!(pairs.len(), 64);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert!(
+                crate::containment::equivalent_set(a, b),
+                "pair {i}: {a} vs {b}"
+            );
+        }
+        assert_eq!(pairs, equivalent_pairs(0xABCD, 64), "seeded determinism");
     }
 }

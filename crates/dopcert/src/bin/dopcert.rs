@@ -1,10 +1,25 @@
 //! The DOPCERT command-line checker.
 //!
 //! ```sh
-//! dopcert check file.dop       # run a verification script
-//! dopcert catalog              # verify the whole built-in rule catalog
-//! dopcert catalog --jobs 4     # …on an explicit number of worker threads
+//! dopcert check file.dop        # run a verification script
+//! dopcert prove file.dop        # prover-only (no counterexample search
+//!                               #   shortcuts), same script syntax
+//! dopcert prove --saturate -    # …every non-CQ goal by equality
+//!                               #   saturation alone
+//! dopcert catalog               # verify the whole built-in rule catalog
+//! dopcert catalog --jobs 4      # …on an explicit number of workers
+//! dopcert catalog --saturate    # …with saturation instead of tactics
 //! ```
+//!
+//! Shared flags:
+//!
+//! - `--saturate` — prove with equality saturation only (the smoke mode
+//!   for the `egraph` crate); the default is tactics with saturation
+//!   fallback;
+//! - `--sat-iters N` / `--sat-nodes N` — saturation budget;
+//! - `--jobs N` / `-j N` — worker threads (catalog mode);
+//! - `--no-shared-cache` — per-worker normalization memo tables only
+//!   (catalog mode; the default shares one striped table).
 //!
 //! Script syntax (see `dopcert::script`):
 //!
@@ -15,86 +30,190 @@
 //!        WHERE Right.Left.Left = Right.Right.Left;
 //! ```
 
+use dopcert::engine::{Engine, EngineConfig};
+use dopcert::prove::{ProveOptions, SaturateMode};
 use std::io::Read;
 use std::process::ExitCode;
 
-/// Parses `--jobs N` / `-j N` out of the trailing arguments.
-fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+/// Flags shared by the subcommands, parsed from the trailing arguments.
+#[derive(Debug, Default)]
+struct Flags {
+    jobs: Option<usize>,
+    saturate: bool,
+    sat_iters: Option<usize>,
+    sat_nodes: Option<usize>,
+    no_shared_cache: bool,
+    /// First non-flag argument (the script path for check/prove).
+    positional: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
     let mut it = args.iter();
+    let parse_num = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a number"))?;
+        v.parse::<usize>()
+            .map_err(|_| format!("invalid {flag} value {v:?}"))
+    };
     while let Some(arg) = it.next() {
-        if arg == "--jobs" || arg == "-j" {
-            let n = it
-                .next()
-                .ok_or_else(|| format!("{arg} needs a thread count"))?;
-            return n
-                .parse::<usize>()
-                .map(Some)
-                .map_err(|_| format!("invalid thread count {n:?}"));
+        match arg.as_str() {
+            "--jobs" | "-j" => flags.jobs = Some(parse_num(arg, it.next())?),
+            "--saturate" => flags.saturate = true,
+            "--sat-iters" => flags.sat_iters = Some(parse_num(arg, it.next())?),
+            "--sat-nodes" => flags.sat_nodes = Some(parse_num(arg, it.next())?),
+            "--no-shared-cache" => flags.no_shared_cache = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => {
+                if flags.positional.replace(other.to_owned()).is_some() {
+                    return Err("more than one input path".into());
+                }
+            }
         }
     }
-    Ok(None)
+    Ok(flags)
+}
+
+impl Flags {
+    /// Rejects flags the subcommand would silently ignore.
+    fn validate_for(&self, cmd: &str) -> Result<(), String> {
+        let reject = |cond: bool, flag: &str| {
+            if cond {
+                Err(format!("{flag} is not accepted by `{cmd}`"))
+            } else {
+                Ok(())
+            }
+        };
+        match cmd {
+            "check" => {
+                reject(self.jobs.is_some(), "--jobs")?;
+                reject(self.no_shared_cache, "--no-shared-cache")?;
+                reject(self.saturate, "--saturate (use `prove`)")?;
+                reject(self.sat_iters.is_some(), "--sat-iters (use `prove`)")?;
+                reject(self.sat_nodes.is_some(), "--sat-nodes (use `prove`)")?;
+            }
+            "prove" => {
+                reject(self.jobs.is_some(), "--jobs")?;
+                reject(self.no_shared_cache, "--no-shared-cache")?;
+            }
+            "catalog" => {
+                reject(self.positional.is_some(), "a script path")?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn prove_options(&self) -> ProveOptions {
+        let mut opts = ProveOptions {
+            saturate: if self.saturate {
+                SaturateMode::Only
+            } else {
+                SaturateMode::Fallback
+            },
+            ..ProveOptions::default()
+        };
+        if let Some(n) = self.sat_iters {
+            opts.budget.max_iters = n;
+        }
+        if let Some(n) = self.sat_nodes {
+            opts.budget.max_nodes = n;
+        }
+        opts
+    }
+
+    fn engine(&self) -> Engine {
+        let mut config = match self.jobs {
+            Some(n) => EngineConfig::with_threads(n),
+            None => EngineConfig::default(),
+        };
+        config.prove = self.prove_options();
+        config.shared_cache = !self.no_shared_cache;
+        Engine::with_config(config)
+    }
+
+    fn read_script(&self) -> Result<String, String> {
+        match self.positional.as_deref() {
+            Some("-") | None => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                Ok(buf)
+            }
+            Some(path) => {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+            }
+        }
+    }
+}
+
+fn run_script_mode(flags: &Flags, opts: ProveOptions) -> ExitCode {
+    let source = match flags.read_script() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script = match dopcert::script::parse_script(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcomes = dopcert::script::run_script_with(&script, opts);
+    let mut ok = true;
+    for (goal, outcome) in script.goals.iter().zip(&outcomes) {
+        let expected = if goal.expect_equivalent {
+            "verify"
+        } else {
+            "refute"
+        };
+        let satisfied = outcome.satisfies(goal.expect_equivalent);
+        ok &= satisfied;
+        println!(
+            "[{}] {expected}: {}\n    {}",
+            if satisfied { "ok" } else { "FAIL" },
+            goal.lhs,
+            outcome
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("check") => {
-            let source = match args.get(1).map(String::as_str) {
-                Some("-") | None => {
-                    let mut buf = String::new();
-                    if std::io::stdin().read_to_string(&mut buf).is_err() {
-                        eprintln!("error: cannot read stdin");
-                        return ExitCode::FAILURE;
-                    }
-                    buf
-                }
-                Some(path) => match std::fs::read_to_string(path) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("error: cannot read {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                },
-            };
-            let script = match dopcert::script::parse_script(&source) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("parse error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let outcomes = dopcert::script::run_script(&script);
-            let mut ok = true;
-            for (goal, outcome) in script.goals.iter().zip(&outcomes) {
-                let expected = if goal.expect_equivalent {
-                    "verify"
-                } else {
-                    "refute"
-                };
-                let satisfied = outcome.satisfies(goal.expect_equivalent);
-                ok &= satisfied;
-                println!(
-                    "[{}] {expected}: {}\n    {}",
-                    if satisfied { "ok" } else { "FAIL" },
-                    goal.lhs,
-                    outcome
-                );
-            }
-            if ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => ("", &[][..]),
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        Some("catalog") => {
-            let engine = match parse_jobs(&args[1..]) {
-                Ok(None) => dopcert::engine::Engine::new(),
-                Ok(Some(n)) => dopcert::engine::Engine::with_threads(n),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+    };
+    if let Err(e) = flags.validate_for(cmd) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    match cmd {
+        // `check` uses the library default: tactics first, saturation
+        // as fallback (non-CQ goals only gain proofs from this; refute
+        // goals pay at most the ms-scale saturation budget before the
+        // counterexample hunt). `prove` exposes the saturation flags.
+        "check" => run_script_mode(&flags, ProveOptions::default()),
+        "prove" => run_script_mode(&flags, flags.prove_options()),
+        "catalog" => {
+            let engine = flags.engine();
             let start = std::time::Instant::now();
             let results = engine.check_catalog(&dopcert::catalog::all_rules());
             let mut ok = true;
@@ -103,10 +222,15 @@ fn main() -> ExitCode {
                 ok &= passed;
             }
             println!(
-                "{} rules checked on {} threads in {:.1} ms",
+                "{} rules checked on {} threads in {:.1} ms{}",
                 results.len(),
                 engine.threads(),
                 start.elapsed().as_secs_f64() * 1e3,
+                if flags.saturate {
+                    " (saturation only)"
+                } else {
+                    ""
+                },
             );
             if ok {
                 ExitCode::SUCCESS
@@ -115,7 +239,11 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: dopcert check <file.dop | -> | dopcert catalog [--jobs N]");
+            eprintln!(
+                "usage: dopcert check <file.dop | ->\n\
+                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] <file.dop | ->\n\
+                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--no-shared-cache]"
+            );
             ExitCode::FAILURE
         }
     }

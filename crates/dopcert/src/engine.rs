@@ -27,12 +27,12 @@
 //! [`VarGen`]: uninomial::VarGen
 
 use crate::difftest::{differential_test, DiffOutcome};
-use crate::prove::{denote_instance, prove_rule_cached, RuleReport};
+use crate::prove::{denote_instance, prove_rule_with, ProveOptions, RuleReport};
 use crate::rule::Rule;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use uninomial::normalize::{normalization_input, NormCache};
+use uninomial::normalize::{normalization_input, NormCache, SharedMemo};
 use uninomial::syntax::intern::{Interner, InternerSnapshot};
 
 /// Tuning for the batch engine.
@@ -44,6 +44,14 @@ pub struct EngineConfig {
     /// snapshot before starting the workers (on by default; costs one
     /// sequential denotation pass, saves re-interning in every worker).
     pub warm_interner: bool,
+    /// Verification options for every rule: by default the tactics run
+    /// first and equality saturation is the fallback when they fail,
+    /// reported as the distinct [`crate::prove::VerifyMethod::Saturation`].
+    pub prove: ProveOptions,
+    /// Whether workers share one striped memo table for the
+    /// normalization of snapshot-interned subterms (on by default; the
+    /// `--no-shared-cache` escape hatch turns it off).
+    pub shared_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +60,8 @@ impl Default for EngineConfig {
             threads: std::thread::available_parallelism()
                 .unwrap_or(NonZeroUsize::new(1).expect("1 is nonzero")),
             warm_interner: true,
+            prove: ProveOptions::default(),
+            shared_cache: true,
         }
     }
 }
@@ -89,6 +99,14 @@ impl Engine {
         Engine::with_config(EngineConfig::with_threads(threads))
     }
 
+    /// An engine with explicit verification options (all cores).
+    pub fn with_prove_options(prove: ProveOptions) -> Engine {
+        Engine::with_config(EngineConfig {
+            prove,
+            ..EngineConfig::default()
+        })
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.config.threads.get()
@@ -120,8 +138,9 @@ impl Engine {
     /// identical to running [`crate::prove::prove_rule`] sequentially.
     pub fn prove_catalog(&self, rules: &[Rule]) -> Vec<RuleReport> {
         let snapshot = self.seed_snapshot(rules);
+        let opts = self.config.prove;
         self.par_map(rules, &snapshot, |rule, cache| {
-            prove_rule_cached(rule, cache)
+            prove_rule_with(rule, cache, opts)
         })
     }
 
@@ -153,8 +172,9 @@ impl Engine {
     /// `(name, passed)` in catalog order.
     pub fn check_catalog(&self, rules: &[Rule]) -> Vec<(String, bool)> {
         let snapshot = self.seed_snapshot(rules);
+        let opts = self.config.prove;
         self.par_map(rules, &snapshot, |rule, cache| {
-            let report = prove_rule_cached(rule, cache);
+            let report = prove_rule_with(rule, cache, opts);
             let ok = report.proved == rule.expected_sound
                 || (!rule.expected_sound
                     && matches!(differential_test(rule, 200, 0xC11), DiffOutcome::Refuted(_)));
@@ -165,6 +185,11 @@ impl Engine {
     /// Order-preserving parallel map over the rules: a shared atomic
     /// cursor hands out indices, each worker owns a [`NormCache`] seeded
     /// from the frozen snapshot, and results land in their input slots.
+    /// Unless disabled, workers additionally share one `Mutex`-striped
+    /// [`SharedMemo`] covering the snapshot-prefix ids, so a denotation
+    /// fragment common to several rules normalizes once per *batch*
+    /// rather than once per worker — with results and traces
+    /// bit-identical to the unshared path.
     fn par_map<R, F>(&self, rules: &[Rule], snapshot: &InternerSnapshot, f: F) -> Vec<R>
     where
         R: Send,
@@ -177,15 +202,26 @@ impl Engine {
             let mut cache = NormCache::from_interner((**snapshot).clone());
             return rules.iter().map(|r| f(r, &mut cache)).collect();
         }
+        let shared_memo = self
+            .config
+            .shared_cache
+            .then(|| SharedMemo::for_snapshot(snapshot, 4 * threads));
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..rules.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| {
+                let shared_memo = shared_memo.clone();
+                let (cursor, slots, f) = (&cursor, &slots, &f);
+                scope.spawn(move || {
                     // Per-worker state: a private VarGen lives inside
                     // each prove call; the cache persists across the
                     // rules this worker claims.
-                    let mut cache = NormCache::from_interner((**snapshot).clone());
+                    let mut cache = match shared_memo {
+                        Some(shared) => {
+                            NormCache::from_interner_shared((**snapshot).clone(), shared)
+                        }
+                        None => NormCache::from_interner((**snapshot).clone()),
+                    };
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(rule) = rules.get(i) else { break };

@@ -6,6 +6,8 @@
 //! handed to the UniNomial provers with any declared axioms.
 
 use crate::rule::{Category, Rule, RuleInstance};
+use egraph::solve::Budget;
+use egraph::{prove_eq_saturate, prove_eq_saturate_cached};
 use hottsql::denote::{denote_closed_query, denote_query};
 use relalg::Schema;
 use std::time::Instant;
@@ -18,8 +20,10 @@ use uninomial::syntax::{Term, UExpr, VarGen};
 pub enum VerifyMethod {
     /// The conjunctive-query decision procedure (fully automatic).
     CqDecision,
-    /// A UniNomial tactic.
+    /// A UniNomial normalization-based tactic.
     Tactic(Method),
+    /// Equality-saturation proof search (the `egraph` crate).
+    Saturation,
 }
 
 impl std::fmt::Display for VerifyMethod {
@@ -27,8 +31,32 @@ impl std::fmt::Display for VerifyMethod {
         match self {
             VerifyMethod::CqDecision => write!(f, "decision procedure"),
             VerifyMethod::Tactic(m) => write!(f, "{m} tactic"),
+            VerifyMethod::Saturation => write!(f, "saturation search"),
         }
     }
+}
+
+/// When the saturation tactic runs relative to the normalization-based
+/// tactics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SaturateMode {
+    /// Never saturate (the pre-saturation pipeline).
+    Off,
+    /// Try the tactics first; fall back to saturation when they fail.
+    #[default]
+    Fallback,
+    /// Saturation only (the `--saturate` smoke mode): every non-CQ rule
+    /// must fall to the generic search, no bespoke tactic involved.
+    Only,
+}
+
+/// Verification options: saturation scheduling and budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProveOptions {
+    /// When to run the saturation tactic.
+    pub saturate: SaturateMode,
+    /// Saturation budget (iterations / e-nodes / oracle calls).
+    pub budget: Budget,
 }
 
 /// The result of attempting to verify one rule.
@@ -47,13 +75,17 @@ pub struct RuleReport {
     pub steps: usize,
     /// Wall-clock verification time in microseconds.
     pub micros: u128,
-    /// Failure diagnostics (normal forms) when not proved.
+    /// Every method attempted, in order (also populated on success).
+    pub attempted: Vec<String>,
+    /// Failure diagnostics when not proved: the attempted-method list,
+    /// saturation budget status if saturation ran, and normal forms.
     pub failure: Option<String>,
 }
 
-/// Verifies a rule with the appropriate procedure.
+/// Verifies a rule with the appropriate procedure (default options:
+/// tactics with saturation fallback).
 pub fn prove_rule(rule: &Rule) -> RuleReport {
-    prove_rule_impl(rule, None)
+    prove_rule_impl(rule, None, ProveOptions::default())
 }
 
 /// [`prove_rule`] with memoized normalization through a reusable
@@ -61,10 +93,15 @@ pub fn prove_rule(rule: &Rule) -> RuleReport {
 /// [`prove_rule`]; only `micros` (wall clock) may differ. This is the
 /// per-worker entry point of [`crate::engine`].
 pub fn prove_rule_cached(rule: &Rule, cache: &mut NormCache) -> RuleReport {
-    prove_rule_impl(rule, Some(cache))
+    prove_rule_impl(rule, Some(cache), ProveOptions::default())
 }
 
-fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>) -> RuleReport {
+/// [`prove_rule_cached`] with explicit verification options.
+pub fn prove_rule_with(rule: &Rule, cache: &mut NormCache, opts: ProveOptions) -> RuleReport {
+    prove_rule_impl(rule, Some(cache), opts)
+}
+
+fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>, opts: ProveOptions) -> RuleReport {
     let start = Instant::now();
     let inst = rule.generic();
     // Conjunctive-query rules go to the decision procedure.
@@ -77,6 +114,7 @@ fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>) -> RuleReport {
             method: ok.map(|_| VerifyMethod::CqDecision),
             steps: 1,
             micros: start.elapsed().as_micros(),
+            attempted: vec!["decision procedure".into()],
             failure: match ok {
                 Some(true) => None,
                 Some(false) => Some("decision procedure: not equivalent".into()),
@@ -84,24 +122,26 @@ fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>) -> RuleReport {
             },
         };
     }
-    match prove_instance_impl(&inst, cache) {
-        Ok((method, steps)) => RuleReport {
+    match verify_instance(&inst, cache, opts) {
+        Ok((method, steps, attempted)) => RuleReport {
             name: rule.name,
             category: rule.category,
             proved: true,
-            method: Some(VerifyMethod::Tactic(method)),
+            method: Some(method),
             steps,
             micros: start.elapsed().as_micros(),
+            attempted,
             failure: None,
         },
-        Err(msg) => RuleReport {
+        Err((msg, attempted)) => RuleReport {
             name: rule.name,
             category: rule.category,
             proved: false,
             method: None,
             steps: 0,
             micros: start.elapsed().as_micros(),
-            failure: Some(msg),
+            failure: Some(format!("tried [{}]; {msg}", attempted.join(", "))),
+            attempted,
         },
     }
 }
@@ -156,9 +196,30 @@ fn prove_instance_impl(
     inst: &RuleInstance,
     cache: Option<&mut NormCache>,
 ) -> Result<(Method, usize), String> {
+    let opts = ProveOptions {
+        saturate: SaturateMode::Off,
+        ..ProveOptions::default()
+    };
+    match verify_instance(inst, cache, opts) {
+        Ok((VerifyMethod::Tactic(m), steps, _)) => Ok((m, steps)),
+        Ok((other, _, _)) => Err(format!("unexpected method {other}")),
+        Err((msg, _)) => Err(msg),
+    }
+}
+
+/// Denotes an instance and runs the configured verification pipeline.
+/// On success returns the method, step count, and every method
+/// attempted; on failure the diagnostic and the attempted list.
+#[allow(clippy::type_complexity)] // (method, steps, attempts) / (diag, attempts)
+pub fn verify_instance(
+    inst: &RuleInstance,
+    mut cache: Option<&mut NormCache>,
+    opts: ProveOptions,
+) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
+    let bail = |msg: String| (msg, Vec::new());
     let mut gen = VarGen::new();
-    let (t, el) =
-        denote_closed_query(&inst.lhs, &inst.env, &mut gen).map_err(|e| format!("lhs: {e}"))?;
+    let (t, el) = denote_closed_query(&inst.lhs, &inst.env, &mut gen)
+        .map_err(|e| bail(format!("lhs: {e}")))?;
     let er = denote_query(
         &inst.rhs,
         &inst.env,
@@ -167,23 +228,60 @@ fn prove_instance_impl(
         &Term::var(&t),
         &mut gen,
     )
-    .map_err(|e| format!("rhs: {e}"))?;
+    .map_err(|e| bail(format!("rhs: {e}")))?;
     // Schemas of both sides must agree for the rule to be well-formed.
     let sl = hottsql::ty::infer_query(&inst.lhs, &inst.env, &Schema::Empty)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| bail(e.to_string()))?;
     let sr = hottsql::ty::infer_query(&inst.rhs, &inst.env, &Schema::Empty)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| bail(e.to_string()))?;
     if sl != sr {
-        return Err(format!("schema mismatch: {sl} vs {sr}"));
+        return Err(bail(format!("schema mismatch: {sl} vs {sr}")));
     }
-    let outcome = match cache {
-        Some(cache) => prove_eq_cached(&el, &er, &inst.axioms, &mut gen, cache),
-        None => prove_eq_with_axioms(&el, &er, &inst.axioms, &mut gen),
-    };
-    match outcome {
-        Ok(proof) => Ok((proof.method(), proof.steps())),
-        Err(e) => Err(e.to_string()),
+    let mut attempted: Vec<String> = Vec::new();
+    let mut tactic_diag: Option<String> = None;
+    if opts.saturate != SaturateMode::Only {
+        attempted.extend(["syntactic", "equational", "deductive"].map(String::from));
+        let outcome = match cache.as_deref_mut() {
+            Some(cache) => prove_eq_cached(&el, &er, &inst.axioms, &mut gen, cache),
+            None => prove_eq_with_axioms(&el, &er, &inst.axioms, &mut gen),
+        };
+        match outcome {
+            Ok(proof) => {
+                return Ok((
+                    VerifyMethod::Tactic(proof.method()),
+                    proof.steps(),
+                    attempted,
+                ))
+            }
+            Err(e) => tactic_diag = Some(e.to_string()),
+        }
     }
+    if opts.saturate != SaturateMode::Off {
+        attempted.push(format!(
+            "saturation (≤{} iters, ≤{} nodes)",
+            opts.budget.max_iters, opts.budget.max_nodes
+        ));
+        let outcome = match cache {
+            Some(cache) => {
+                prove_eq_saturate_cached(&el, &er, &inst.axioms, &mut gen, cache, opts.budget)
+            }
+            None => prove_eq_saturate(&el, &er, &inst.axioms, &mut gen, opts.budget),
+        };
+        match outcome {
+            Ok(proof) => return Ok((VerifyMethod::Saturation, proof.steps(), attempted)),
+            Err(sat) => {
+                let mut msg = sat.to_string();
+                if let Some(diag) = tactic_diag {
+                    msg = format!("{diag}; saturation: {msg}");
+                }
+                return Err((msg, attempted));
+            }
+        }
+    }
+    Err((
+        tactic_diag.unwrap_or_else(|| "no verification method enabled".into()),
+        attempted,
+    ))
 }
 
 /// A Fig. 8 table row: per-category counts and average proof steps.

@@ -20,7 +20,7 @@
 //! a counterexample search runs. `refute` goals assert the pair is
 //! *inequivalent* and must produce a counterexample.
 
-use crate::prove::{decide_cq, prove_instance, VerifyMethod};
+use crate::prove::{decide_cq, verify_instance, ProveOptions, VerifyMethod};
 use crate::rule::RuleInstance;
 use hottsql::ast::Query;
 use hottsql::env::QueryEnv;
@@ -174,19 +174,25 @@ fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>), String> {
     Ok((name.to_owned(), cols))
 }
 
-/// Checks one goal with the full pipeline.
+/// Checks one goal with the full pipeline (default options: tactics
+/// with saturation fallback).
 pub fn check_goal(env: &QueryEnv, goal: &Goal) -> GoalOutcome {
     let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
     let decision = decide_cq(&inst);
-    check_goal_inst(env, goal, inst, decision)
+    check_goal_inst(env, goal, inst, decision, ProveOptions::default())
 }
 
 /// Entry point of the batched path: the CQ decision was precomputed by
 /// [`run_script`]'s batch pass (`Some` = decided, `None` = outside the
 /// conjunctive fragment).
-fn check_goal_with_decision(env: &QueryEnv, goal: &Goal, cq_decision: Option<bool>) -> GoalOutcome {
+fn check_goal_with_decision(
+    env: &QueryEnv,
+    goal: &Goal,
+    cq_decision: Option<bool>,
+    opts: ProveOptions,
+) -> GoalOutcome {
     let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
-    check_goal_inst(env, goal, inst, cq_decision)
+    check_goal_inst(env, goal, inst, cq_decision, opts)
 }
 
 /// The shared tail: instance already built, CQ decision already known.
@@ -195,6 +201,7 @@ fn check_goal_inst(
     goal: &Goal,
     inst: RuleInstance,
     cq_decision: Option<bool>,
+    opts: ProveOptions,
 ) -> GoalOutcome {
     // 1. Decision procedure for the conjunctive fragment.
     if let Some(decided) = cq_decision {
@@ -216,13 +223,10 @@ fn check_goal_inst(
                 .into(),
         };
     }
-    // 2. General prover.
-    match prove_instance(&inst) {
-        Ok((method, steps)) => GoalOutcome::Proved {
-            method: VerifyMethod::Tactic(method),
-            steps,
-        },
-        Err(diag) => match hunt_counterexample(env, goal) {
+    // 2. General prover (tactics and/or saturation per `opts`).
+    match verify_instance(&inst, None, opts) {
+        Ok((method, steps, _)) => GoalOutcome::Proved { method, steps },
+        Err((diag, _)) => match hunt_counterexample(env, goal) {
             Some(cex) => GoalOutcome::Refuted {
                 counterexample: cex,
             },
@@ -268,14 +272,21 @@ fn hunt_counterexample(env: &QueryEnv, goal: &Goal) -> Option<String> {
     None
 }
 
+/// Runs a whole script with default options ([`run_script_with`]).
+pub fn run_script(script: &Script) -> Vec<GoalOutcome> {
+    run_script_with(script, ProveOptions::default())
+}
+
 /// Runs a whole script; returns per-goal outcomes.
 ///
 /// The conjunctive-query fragment is decided in one batch: every
 /// CQ-translatable side across all goals is indexed once
 /// ([`cq::containment::equivalent_set_batch`]), so a script with many
 /// goals over the same tables pays the homomorphism-target indexing per
-/// query, not per goal.
-pub fn run_script(script: &Script) -> Vec<GoalOutcome> {
+/// query, not per goal. Non-CQ goals go to the prover configured by
+/// `opts` — the CLI's `prove --saturate` mode routes every such goal
+/// through equality saturation alone.
+pub fn run_script_with(script: &Script, opts: ProveOptions) -> Vec<GoalOutcome> {
     // Translate every goal side once; collect the CQ-decidable goals.
     let mut queries = Vec::new();
     let mut pair_of_goal: Vec<Option<(usize, usize)>> = Vec::new();
@@ -299,7 +310,7 @@ pub fn run_script(script: &Script) -> Vec<GoalOutcome> {
         .zip(&pair_of_goal)
         .map(|(goal, cq_pair)| {
             let decision = cq_pair.map(|_| decisions.next().expect("one decision per CQ goal"));
-            check_goal_with_decision(&script.env, goal, decision)
+            check_goal_with_decision(&script.env, goal, decision, opts)
         })
         .collect()
 }

@@ -1,0 +1,455 @@
+//! The e-node language: a locally nameless (de Bruijn) rendering of the
+//! UniNomial term language, flattened over e-class ids.
+//!
+//! Named bound variables are the enemy of equality saturation: two
+//! α-equivalent expressions must land in the same e-class, but named
+//! binders make them structurally different. Conversion therefore
+//! replaces every bound-variable occurrence by a [`ENode::Bound`] index
+//! (distance to its binder), so α-equivalent inputs hash-cons to the
+//! *same* e-nodes and merge for free — the e-graph's rendering of
+//! [`Lemma::AlphaRename`]. Free variables stay named ([`ENode::FreeVar`])
+//! and binders keep only their schema.
+//!
+//! `+` and `×` are *n-ary* nodes whose children are kept sorted by
+//! canonical class id. Associativity and commutativity
+//! ([`Lemma::AddAcu`], [`Lemma::MulAcu`]) are thereby structural rather
+//! than searched-for: any two reorderings or reassociations of the same
+//! factors canonicalize to one node. Duplicate children are *kept* —
+//! UniNomial is a bag algebra, `R(t) × R(t) ≠ R(t)`.
+//!
+//! Seeding reads interned [`UExprId`]/[`TermId`] nodes straight out of a
+//! [`uninomial::Interner`] arena, walking the id-DAG rather than a boxed
+//! tree.
+//!
+//! [`Lemma::AlphaRename`]: uninomial::lemmas::Lemma::AlphaRename
+//! [`Lemma::AddAcu`]: uninomial::lemmas::Lemma::AddAcu
+//! [`Lemma::MulAcu`]: uninomial::lemmas::Lemma::MulAcu
+
+use crate::unionfind::Id;
+use relalg::{Schema, Value};
+use uninomial::syntax::intern::{Interner, TermId, TermNode, UExprId, UExprNode};
+use uninomial::syntax::{Term, UExpr, Var, VarGen};
+
+/// A flattened UniNomial node over e-class ids. The first group is the
+/// type-valued (`UExpr`) sort, the second the tuple-valued (`Term`)
+/// sort; rewrites never equate nodes across sorts.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ENode {
+    // --- UExpr sort ---
+    /// `0`.
+    Zero,
+    /// `1`.
+    One,
+    /// n-ary `+`; children sorted by class id, duplicates kept.
+    Add(Vec<Id>),
+    /// n-ary `×`; children sorted by class id, duplicates kept.
+    Mul(Vec<Id>),
+    /// `n → 0`.
+    Not(Id),
+    /// `‖n‖`.
+    Squash(Id),
+    /// `Σ` over the given binder schema; the body sees the binder as
+    /// `Bound(0)`.
+    Sum(Schema, Id),
+    /// `t₁ = t₂`; children kept sorted by class id (Lemma `EqSym`).
+    Eq(Id, Id),
+    /// `⟦R⟧ t`.
+    Rel(String, Id),
+    /// `⟦b⟧ t`.
+    Pred(String, Id),
+    // --- Term sort ---
+    /// A free (never-bound-here) named variable.
+    FreeVar(Var),
+    /// A bound variable: de Bruijn distance to its binder, plus the
+    /// binder's schema (kept so open classes can be extracted).
+    Bound(u32, Schema),
+    /// The unit tuple.
+    Unit,
+    /// A scalar constant.
+    Const(Value),
+    /// Pairing.
+    Pair(Id, Id),
+    /// First projection.
+    Fst(Id),
+    /// Second projection.
+    Snd(Id),
+    /// Uninterpreted function application.
+    Fn(String, Vec<Id>),
+    /// Aggregate over a relation body; the body sees the binder as
+    /// `Bound(0)`.
+    Agg(String, Schema, Id),
+}
+
+impl ENode {
+    /// The children, in node order.
+    pub fn children(&self) -> Vec<Id> {
+        match self {
+            ENode::Zero
+            | ENode::One
+            | ENode::FreeVar(_)
+            | ENode::Bound(_, _)
+            | ENode::Unit
+            | ENode::Const(_) => Vec::new(),
+            ENode::Add(xs) | ENode::Mul(xs) | ENode::Fn(_, xs) => xs.clone(),
+            ENode::Not(x)
+            | ENode::Squash(x)
+            | ENode::Sum(_, x)
+            | ENode::Rel(_, x)
+            | ENode::Pred(_, x)
+            | ENode::Fst(x)
+            | ENode::Snd(x)
+            | ENode::Agg(_, _, x) => vec![*x],
+            ENode::Eq(a, b) | ENode::Pair(a, b) => vec![*a, *b],
+        }
+    }
+
+    /// Rebuilds the node with children replaced by `f(child)`, applying
+    /// the canonical child ordering for AC and symmetric operators.
+    pub fn map_children(&self, mut f: impl FnMut(Id) -> Id) -> ENode {
+        match self {
+            ENode::Zero
+            | ENode::One
+            | ENode::FreeVar(_)
+            | ENode::Bound(_, _)
+            | ENode::Unit
+            | ENode::Const(_) => self.clone(),
+            ENode::Add(xs) => {
+                let mut xs: Vec<Id> = xs.iter().map(|&x| f(x)).collect();
+                xs.sort_unstable();
+                ENode::Add(xs)
+            }
+            ENode::Mul(xs) => {
+                let mut xs: Vec<Id> = xs.iter().map(|&x| f(x)).collect();
+                xs.sort_unstable();
+                ENode::Mul(xs)
+            }
+            ENode::Fn(name, xs) => ENode::Fn(name.clone(), xs.iter().map(|&x| f(x)).collect()),
+            ENode::Not(x) => ENode::Not(f(*x)),
+            ENode::Squash(x) => ENode::Squash(f(*x)),
+            ENode::Sum(s, x) => ENode::Sum(s.clone(), f(*x)),
+            ENode::Rel(r, x) => ENode::Rel(r.clone(), f(*x)),
+            ENode::Pred(p, x) => ENode::Pred(p.clone(), f(*x)),
+            ENode::Fst(x) => ENode::Fst(f(*x)),
+            ENode::Snd(x) => ENode::Snd(f(*x)),
+            ENode::Agg(name, s, x) => ENode::Agg(name.clone(), s.clone(), f(*x)),
+            ENode::Eq(a, b) => {
+                let (a, b) = (f(*a), f(*b));
+                // Canonical orientation (Lemma `EqSym`).
+                if a <= b {
+                    ENode::Eq(a, b)
+                } else {
+                    ENode::Eq(b, a)
+                }
+            }
+            ENode::Pair(a, b) => ENode::Pair(f(*a), f(*b)),
+        }
+    }
+
+    /// Operator name, for congruence-proof notes.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            ENode::Zero => "0",
+            ENode::One => "1",
+            ENode::Add(_) => "+",
+            ENode::Mul(_) => "×",
+            ENode::Not(_) => "¬",
+            ENode::Squash(_) => "‖·‖",
+            ENode::Sum(_, _) => "Σ",
+            ENode::Eq(_, _) => "=",
+            ENode::Rel(_, _) => "rel",
+            ENode::Pred(_, _) => "pred",
+            ENode::FreeVar(_) => "var",
+            ENode::Bound(_, _) => "bound",
+            ENode::Unit => "()",
+            ENode::Const(_) => "const",
+            ENode::Pair(_, _) => "pair",
+            ENode::Fst(_) => ".1",
+            ENode::Snd(_) => ".2",
+            ENode::Fn(_, _) => "fn",
+            ENode::Agg(_, _, _) => "agg",
+        }
+    }
+}
+
+/// A binder stack used during conversion: innermost binder last.
+#[derive(Clone, Debug, Default)]
+pub struct BinderStack {
+    vars: Vec<Var>,
+}
+
+impl BinderStack {
+    /// An empty stack (conversion of a closed expression).
+    pub fn new() -> BinderStack {
+        BinderStack::default()
+    }
+
+    /// A stack with the given binders already in scope, innermost last —
+    /// used to re-seed rewritten open subexpressions in their original
+    /// binder context.
+    pub fn with_scope(vars: Vec<Var>) -> BinderStack {
+        BinderStack { vars }
+    }
+
+    /// De Bruijn index of `v`, if bound here.
+    fn index_of(&self, v: &Var) -> Option<u32> {
+        self.vars
+            .iter()
+            .rev()
+            .position(|b| b == v)
+            .map(|i| u32::try_from(i).expect("binder depth fits u32"))
+    }
+}
+
+/// Converts interned arena nodes into e-nodes via the callback `add`
+/// (which interns each produced node into the e-graph and returns its
+/// class id). Walks the interner's id-DAG directly — no boxed-tree
+/// re-hashing. `Add`/`Mul` chains are flattened into single n-ary nodes.
+pub fn seed_uexpr(
+    interner: &Interner,
+    id: UExprId,
+    stack: &mut BinderStack,
+    add: &mut impl FnMut(ENode) -> Id,
+) -> Id {
+    let node = match interner.uexpr_node(id).clone() {
+        UExprNode::Zero => ENode::Zero,
+        UExprNode::One => ENode::One,
+        UExprNode::Add(_, _) => {
+            let mut kids = Vec::new();
+            flatten_add(interner, id, stack, add, &mut kids);
+            kids.sort_unstable();
+            ENode::Add(kids)
+        }
+        UExprNode::Mul(_, _) => {
+            let mut kids = Vec::new();
+            flatten_mul(interner, id, stack, add, &mut kids);
+            kids.sort_unstable();
+            ENode::Mul(kids)
+        }
+        UExprNode::Not(x) => ENode::Not(seed_uexpr(interner, x, stack, add)),
+        UExprNode::Squash(x) => ENode::Squash(seed_uexpr(interner, x, stack, add)),
+        UExprNode::Sum(v, body) => {
+            stack.vars.push(v.clone());
+            let body = seed_uexpr(interner, body, stack, add);
+            stack.vars.pop();
+            ENode::Sum(v.schema, body)
+        }
+        UExprNode::Eq(a, b) => {
+            let (a, b) = (
+                seed_term(interner, a, stack, add),
+                seed_term(interner, b, stack, add),
+            );
+            if a <= b {
+                ENode::Eq(a, b)
+            } else {
+                ENode::Eq(b, a)
+            }
+        }
+        UExprNode::Rel(r, t) => ENode::Rel(r, seed_term(interner, t, stack, add)),
+        UExprNode::Pred(p, t) => ENode::Pred(p, seed_term(interner, t, stack, add)),
+    };
+    add(node)
+}
+
+fn flatten_add(
+    interner: &Interner,
+    id: UExprId,
+    stack: &mut BinderStack,
+    add: &mut impl FnMut(ENode) -> Id,
+    out: &mut Vec<Id>,
+) {
+    match interner.uexpr_node(id) {
+        UExprNode::Add(a, b) => {
+            let (a, b) = (*a, *b);
+            flatten_add(interner, a, stack, add, out);
+            flatten_add(interner, b, stack, add, out);
+        }
+        _ => out.push(seed_uexpr(interner, id, stack, add)),
+    }
+}
+
+fn flatten_mul(
+    interner: &Interner,
+    id: UExprId,
+    stack: &mut BinderStack,
+    add: &mut impl FnMut(ENode) -> Id,
+    out: &mut Vec<Id>,
+) {
+    match interner.uexpr_node(id) {
+        UExprNode::Mul(a, b) => {
+            let (a, b) = (*a, *b);
+            flatten_mul(interner, a, stack, add, out);
+            flatten_mul(interner, b, stack, add, out);
+        }
+        _ => out.push(seed_uexpr(interner, id, stack, add)),
+    }
+}
+
+/// Term-sort counterpart of [`seed_uexpr`].
+pub fn seed_term(
+    interner: &Interner,
+    id: TermId,
+    stack: &mut BinderStack,
+    add: &mut impl FnMut(ENode) -> Id,
+) -> Id {
+    let node = match interner.term_node(id).clone() {
+        TermNode::Var(v) => match stack.index_of(&v) {
+            Some(i) => ENode::Bound(i, v.schema),
+            None => ENode::FreeVar(v),
+        },
+        TermNode::Unit => ENode::Unit,
+        TermNode::Const(c) => ENode::Const(c),
+        TermNode::Pair(a, b) => ENode::Pair(
+            seed_term(interner, a, stack, add),
+            seed_term(interner, b, stack, add),
+        ),
+        TermNode::Fst(t) => ENode::Fst(seed_term(interner, t, stack, add)),
+        TermNode::Snd(t) => ENode::Snd(seed_term(interner, t, stack, add)),
+        TermNode::Fn(f, args) => ENode::Fn(
+            f,
+            args.iter()
+                .map(|&a| seed_term(interner, a, stack, add))
+                .collect(),
+        ),
+        TermNode::Agg(name, v, body) => {
+            stack.vars.push(v.clone());
+            let body = seed_uexpr(interner, body, stack, add);
+            stack.vars.pop();
+            ENode::Agg(name, v.schema, body)
+        }
+    };
+    add(node)
+}
+
+/// Naming environment for extraction: maps de Bruijn levels back to
+/// named variables. Binders crossed during extraction push fresh names;
+/// `Bound` indices that escape the extraction root (open classes) are
+/// resolved through `outer`, lazily allocating one canonical free
+/// variable per escaped level — consistently, so two open classes
+/// extracted under the same environment agree on their shared context.
+#[derive(Debug)]
+pub struct NameEnv<'a> {
+    /// Fresh-variable source for binders and escaped levels.
+    pub gen: &'a mut VarGen,
+    /// Innermost-last stack of binders crossed during this extraction.
+    stack: Vec<Var>,
+    /// Canonical names for levels escaping the extraction root, by
+    /// escape depth (0 = nearest enclosing binder outside the root).
+    outer: Vec<Option<Var>>,
+}
+
+impl<'a> NameEnv<'a> {
+    /// A fresh environment.
+    pub fn new(gen: &'a mut VarGen) -> NameEnv<'a> {
+        NameEnv {
+            gen,
+            stack: Vec::new(),
+            outer: Vec::new(),
+        }
+    }
+
+    /// Resolves a `Bound(index, schema)` occurrence to a named variable.
+    ///
+    /// Schema-strict on escaped levels: when two extractions under this
+    /// environment disagree on the schema of the same outer level (they
+    /// come from binder contexts of different shapes), the occurrence
+    /// gets a *fresh, unshared* name instead of the canonical one.
+    /// Sharing only same-schema levels is what makes cross-class
+    /// comparisons sound: an oracle proof over distinct free variables
+    /// quantifies over them independently, never conflating
+    /// type-incompatible contexts.
+    pub fn resolve(&mut self, index: u32, schema: &Schema) -> Var {
+        let i = index as usize;
+        if i < self.stack.len() {
+            return self.stack[self.stack.len() - 1 - i].clone();
+        }
+        let escape = i - self.stack.len();
+        if escape >= self.outer.len() {
+            self.outer.resize(escape + 1, None);
+        }
+        match &self.outer[escape] {
+            Some(v) if v.schema != *schema => self.gen.fresh(schema.clone()),
+            _ => self.outer[escape]
+                .get_or_insert_with(|| self.gen.fresh(schema.clone()))
+                .clone(),
+        }
+    }
+
+    /// Runs `f` with a fresh binder pushed, returning the binder.
+    pub fn with_binder<T>(&mut self, schema: &Schema, f: impl FnOnce(&mut Self, &Var) -> T) -> T {
+        let v = self.gen.fresh(schema.clone());
+        self.stack.push(v.clone());
+        let out = f(self, &v.clone());
+        self.stack.pop();
+        out
+    }
+
+    /// The binder stack (innermost last) an expression extracted at the
+    /// root of this environment lives under: the canonical names of all
+    /// escaped levels. Levels never referenced get placeholder binders so
+    /// the de Bruijn arithmetic of a re-seed stays aligned.
+    pub fn outer_scope(&mut self) -> Vec<Var> {
+        let gen = &mut *self.gen;
+        let names: Vec<Var> = self
+            .outer
+            .iter_mut()
+            .map(|slot| slot.get_or_insert_with(|| gen.fresh(Schema::Empty)).clone())
+            .collect();
+        // `outer` is indexed by escape depth (0 = innermost); a binder
+        // stack lists outermost first.
+        names.into_iter().rev().collect()
+    }
+}
+
+/// Builds the named [`UExpr`] for an extraction choice: `node` is the
+/// chosen representative e-node, `child` recursively extracts a class
+/// (UExpr sort) and `child_term` a term-sort class.
+pub fn node_to_uexpr(
+    node: &ENode,
+    env: &mut NameEnv<'_>,
+    child: &mut impl FnMut(Id, &mut NameEnv<'_>) -> UExpr,
+    child_term: &mut impl FnMut(Id, &mut NameEnv<'_>) -> Term,
+) -> UExpr {
+    match node {
+        ENode::Zero => UExpr::Zero,
+        ENode::One => UExpr::One,
+        ENode::Add(xs) => UExpr::sum_of(xs.iter().map(|&x| child(x, env)).collect::<Vec<_>>()),
+        ENode::Mul(xs) => UExpr::product(xs.iter().map(|&x| child(x, env)).collect::<Vec<_>>()),
+        ENode::Not(x) => UExpr::not(child(*x, env)),
+        ENode::Squash(x) => UExpr::squash(child(*x, env)),
+        ENode::Sum(schema, body) => {
+            let (v, b) = env.with_binder(schema, |env, v| (v.clone(), child(*body, env)));
+            UExpr::sum(v, b)
+        }
+        ENode::Eq(a, b) => UExpr::eq(child_term(*a, env), child_term(*b, env)),
+        ENode::Rel(r, t) => UExpr::Rel(r.clone(), child_term(*t, env)),
+        ENode::Pred(p, t) => UExpr::Pred(p.clone(), child_term(*t, env)),
+        other => panic!("term-sort node {other:?} extracted at UExpr position"),
+    }
+}
+
+/// Term-sort counterpart of [`node_to_uexpr`].
+pub fn node_to_term(
+    node: &ENode,
+    env: &mut NameEnv<'_>,
+    child: &mut impl FnMut(Id, &mut NameEnv<'_>) -> UExpr,
+    child_term: &mut impl FnMut(Id, &mut NameEnv<'_>) -> Term,
+) -> Term {
+    match node {
+        ENode::FreeVar(v) => Term::Var(v.clone()),
+        ENode::Bound(i, schema) => Term::Var(env.resolve(*i, schema)),
+        ENode::Unit => Term::Unit,
+        ENode::Const(c) => Term::Const(c.clone()),
+        ENode::Pair(a, b) => Term::pair(child_term(*a, env), child_term(*b, env)),
+        ENode::Fst(t) => Term::fst(child_term(*t, env)),
+        ENode::Snd(t) => Term::snd(child_term(*t, env)),
+        ENode::Fn(f, args) => Term::Fn(
+            f.clone(),
+            args.iter().map(|&a| child_term(a, env)).collect(),
+        ),
+        ENode::Agg(name, schema, body) => {
+            let (v, b) = env.with_binder(schema, |env, v| (v.clone(), child(*body, env)));
+            Term::agg(name.clone(), v, b)
+        }
+        other => panic!("UExpr-sort node {other:?} extracted at term position"),
+    }
+}

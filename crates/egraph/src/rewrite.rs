@@ -1,0 +1,843 @@
+//! The rewrite compiler: from the trusted axiom catalog
+//! ([`uninomial::lemmas::Lemma`]) to executable e-graph rewrites.
+//!
+//! Every rewrite the saturation solver fires is an instance of a named
+//! lemma, and [`compile`] is the (total) table mapping each lemma to its
+//! executable form. Three compilation shapes exist:
+//!
+//! - **structural** — the law is decided by the e-graph's canonical
+//!   forms themselves (sorted n-ary `+`/`×` children for `AddAcu`/
+//!   `MulAcu` commutativity, de Bruijn conversion for `AlphaRename`,
+//!   child ordering for `EqSym`) or by the theory-aware rebuild in
+//!   [`crate::graph`] (units, `MulZero`, `SumZero`, `EqRefl`,
+//!   `EqConstNeq`, tuple β, squash/negation of `0`/`1`). `compile`
+//!   returns no searching rewrite for these;
+//! - **syntactic search** — a match over e-nodes that constructs the
+//!   rewritten node directly (distributivity, `SumAdd`, the squash and
+//!   negation laws, `EqPairSplit`, tuple η);
+//! - **conditional search** — a match whose side condition is discharged
+//!   by the trusted deductive/equational oracles of `uninomial`
+//!   (absorption between products, `PropExt` between squash bodies);
+//!   the oracle's own lemma steps are attached to the union's
+//!   justification so the extracted proof stays complete.
+//!
+//! Binder-crossing rewrites (`SumHoist`, `SumSingleton`, Σ-interchange)
+//! are *extraction-based*: the class is read back as a named tree, the
+//! lemma is applied with the ordinary capture-avoiding operations of
+//! [`uninomial::syntax`], and the result is re-seeded under the original
+//! binder context.
+
+use crate::graph::EGraph;
+use crate::lang::{BinderStack, ENode, NameEnv};
+use crate::unionfind::Id;
+use std::collections::{HashMap, HashSet};
+use uninomial::deduce::Ctx;
+use uninomial::equiv;
+use uninomial::lemmas::Lemma;
+use uninomial::normalize::{normalize, Spnf, Trace};
+use uninomial::syntax::{Term, UExpr, Var, VarGen};
+use uninomial::Interner;
+
+/// All lemmas of the catalog, in declaration order.
+pub const ALL_LEMMAS: [Lemma; 28] = [
+    Lemma::AddAcu,
+    Lemma::MulAcu,
+    Lemma::MulZero,
+    Lemma::Distrib,
+    Lemma::SumAdd,
+    Lemma::SumHoist,
+    Lemma::SumZero,
+    Lemma::SumPairSplit,
+    Lemma::SumSingleton,
+    Lemma::SquashBase,
+    Lemma::SquashDedup,
+    Lemma::SquashMul,
+    Lemma::SquashProp,
+    Lemma::NotBase,
+    Lemma::NotAdd,
+    Lemma::NotSquash,
+    Lemma::Absorption,
+    Lemma::EqRefl,
+    Lemma::EqConstNeq,
+    Lemma::EqPairSplit,
+    Lemma::EqSym,
+    Lemma::EqCongruence,
+    Lemma::TupleBeta,
+    Lemma::FunExt,
+    Lemma::PropExt,
+    Lemma::ExistsWitness,
+    Lemma::CaseSplit,
+    Lemma::AlphaRename,
+];
+
+/// An executable rewrite, tagged with the lemma it instantiates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rewrite {
+    /// `a × (b + c) = a × b + a × c` (expansion direction).
+    Distrib,
+    /// `Σx.(f + g) = Σx.f + Σx.g` (splitting direction).
+    SumAdd,
+    /// `a × Σx.f = Σx.(a × f)` when `x ∉ fv(a)` — applied in the
+    /// hoisting-out direction on extracted trees.
+    SumHoist,
+    /// `Σx.(x = e) × P x = P e` when `x ∉ fv(e)`.
+    SumSingleton,
+    /// `Σx.Σy.f = Σy.Σx.f` — Σ-interchange (Fubini), the infinitary
+    /// reading of `+`-commutativity.
+    SumSwap,
+    /// `‖‖n‖‖ = ‖n‖`.
+    SquashCollapse,
+    /// Duplicate factors/summands collapse under `‖·‖`.
+    SquashDedup,
+    /// `‖a × b‖ = ‖a‖ × ‖b‖`.
+    SquashMul,
+    /// `‖p‖ = p` for propositional `p`.
+    SquashProp,
+    /// `¬¬n = ‖n‖`.
+    NotNot,
+    /// `¬(a + b) = ¬a × ¬b`.
+    NotAdd,
+    /// `¬‖n‖ = ¬n`.
+    NotSquash,
+    /// `((a,b) = (c,d)) = (a = c) × (b = d)`.
+    EqPairSplit,
+    /// `(t.1, t.2) = t` (tuple η; β is structural).
+    TupleEta,
+    /// Lemma 5.3 + congruence between whole products: two products with
+    /// equal relation-atom multisets (modulo their own equalities) and
+    /// mutually entailed propositional factors are equal.
+    ProductEquiv,
+    /// `(A ↔ B) ⇒ (‖A‖ = ‖B‖)` between squash bodies, discharged by the
+    /// deductive bi-implication prover.
+    PropExt,
+}
+
+impl Rewrite {
+    /// The trusted lemma this rewrite instantiates.
+    pub fn lemma(self) -> Lemma {
+        match self {
+            Rewrite::Distrib => Lemma::Distrib,
+            Rewrite::SumAdd => Lemma::SumAdd,
+            Rewrite::SumHoist => Lemma::SumHoist,
+            Rewrite::SumSingleton => Lemma::SumSingleton,
+            Rewrite::SumSwap => Lemma::AddAcu,
+            Rewrite::SquashCollapse => Lemma::SquashBase,
+            Rewrite::SquashDedup => Lemma::SquashDedup,
+            Rewrite::SquashMul => Lemma::SquashMul,
+            Rewrite::SquashProp => Lemma::SquashProp,
+            Rewrite::NotNot => Lemma::NotBase,
+            Rewrite::NotAdd => Lemma::NotAdd,
+            Rewrite::NotSquash => Lemma::NotSquash,
+            Rewrite::EqPairSplit => Lemma::EqPairSplit,
+            Rewrite::TupleEta => Lemma::TupleBeta,
+            Rewrite::ProductEquiv => Lemma::Absorption,
+            Rewrite::PropExt => Lemma::PropExt,
+        }
+    }
+}
+
+/// Compiles one lemma into its searching rewrites. An empty vector means
+/// the lemma is *structural*: decided by canonical forms and the
+/// theory-aware rebuild (or, for the proof-level lemmas, built into the
+/// goal setup and the side-condition oracles) rather than searched for.
+pub fn compile(lemma: Lemma) -> Vec<Rewrite> {
+    match lemma {
+        // Commutativity/associativity/units: sorted n-ary children plus
+        // rebuild-time unit dropping. The searching residue of `AddAcu`
+        // is Σ-interchange (Σ is an infinitary `+`).
+        Lemma::AddAcu => vec![Rewrite::SumSwap],
+        Lemma::MulAcu => vec![],
+        Lemma::MulZero => vec![],
+        Lemma::Distrib => vec![Rewrite::Distrib],
+        Lemma::SumAdd => vec![Rewrite::SumAdd],
+        Lemma::SumHoist => vec![Rewrite::SumHoist],
+        Lemma::SumZero => vec![],
+        // Pair-valued binders are split by the (lemma-tracing) normalizer
+        // before seeding; no pair-schema Σ reaches the e-graph.
+        Lemma::SumPairSplit => vec![],
+        Lemma::SumSingleton => vec![Rewrite::SumSingleton],
+        Lemma::SquashBase => vec![Rewrite::SquashCollapse],
+        Lemma::SquashDedup => vec![Rewrite::SquashDedup],
+        Lemma::SquashMul => vec![Rewrite::SquashMul],
+        Lemma::SquashProp => vec![Rewrite::SquashProp],
+        Lemma::NotBase => vec![Rewrite::NotNot],
+        Lemma::NotAdd => vec![Rewrite::NotAdd],
+        Lemma::NotSquash => vec![Rewrite::NotSquash],
+        Lemma::Absorption => vec![Rewrite::ProductEquiv],
+        Lemma::EqRefl => vec![],
+        Lemma::EqConstNeq => vec![],
+        Lemma::EqPairSplit => vec![Rewrite::EqPairSplit],
+        Lemma::EqSym => vec![],
+        // Congruence closure is the rebuild loop; transport inside a
+        // product is part of the `ProductEquiv` oracle.
+        Lemma::EqCongruence => vec![],
+        Lemma::TupleBeta => vec![Rewrite::TupleEta],
+        // Applied once at goal setup (queries → pointwise denotations).
+        Lemma::FunExt => vec![],
+        Lemma::PropExt => vec![Rewrite::PropExt],
+        // Witness search and case splitting live inside the deductive
+        // oracle that discharges `PropExt`/`Absorption` side conditions.
+        Lemma::ExistsWitness => vec![],
+        Lemma::CaseSplit => vec![],
+        // α-equivalence is structural under the de Bruijn conversion.
+        Lemma::AlphaRename => vec![],
+    }
+}
+
+/// The full default rewrite set: every lemma of the catalog, compiled.
+pub fn default_rewrites() -> Vec<Rewrite> {
+    ALL_LEMMAS.iter().flat_map(|&l| compile(l)).collect()
+}
+
+/// Shared per-iteration state handed to each rewrite's match phase.
+#[derive(Debug)]
+pub struct RewriteCtx<'a> {
+    /// Fresh-variable source (extraction naming, oracle calls).
+    pub gen: &'a mut VarGen,
+    /// `(canonical node, class)` snapshot taken at iteration start.
+    pub snapshot: &'a [(ENode, Id)],
+    /// Minimum-size extraction table at iteration start.
+    pub best: &'a HashMap<Id, (usize, ENode)>,
+    /// Classes known to denote propositions.
+    pub props: &'a HashSet<Id>,
+    /// Conditional-rewrite pairs already attempted (and failed); keyed
+    /// by canonical ids, so post-union retries happen naturally.
+    pub attempted: &'a mut HashSet<(Rewrite, Id, Id)>,
+    /// Cap on oracle invocations per iteration (they are the expensive
+    /// part of a round).
+    pub oracle_budget: usize,
+}
+
+impl RewriteCtx<'_> {
+    fn pair_key(rw: Rewrite, a: Id, b: Id) -> (Rewrite, Id, Id) {
+        if a <= b {
+            (rw, a, b)
+        } else {
+            (rw, b, a)
+        }
+    }
+
+    fn already_tried(&self, rw: Rewrite, a: Id, b: Id) -> bool {
+        self.attempted.contains(&Self::pair_key(rw, a, b))
+    }
+
+    fn mark_tried(&mut self, rw: Rewrite, a: Id, b: Id) {
+        self.attempted.insert(Self::pair_key(rw, a, b));
+    }
+}
+
+/// Re-seeds a named expression into the e-graph under the given binder
+/// scope (innermost last), returning its class.
+pub fn reseed(eg: &mut EGraph, expr: &UExpr, scope: Vec<Var>) -> Id {
+    let mut interner = Interner::new();
+    let id = interner.intern(expr);
+    let mut stack = BinderStack::with_scope(scope);
+    crate::lang::seed_uexpr(&interner, id, &mut stack, &mut |n| eg.add(n))
+}
+
+/// Flattens a named product into factors (inverse of `UExpr::product`).
+fn factors(e: &UExpr) -> Vec<UExpr> {
+    match e {
+        UExpr::Mul(a, b) => {
+            let mut out = factors(a);
+            out.extend(factors(b));
+            out
+        }
+        UExpr::One => Vec::new(),
+        other => vec![other.clone()],
+    }
+}
+
+impl Rewrite {
+    /// Runs one match-and-apply pass. Returns the number of unions
+    /// performed.
+    pub fn apply(self, eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+        match self {
+            Rewrite::Distrib => apply_distrib(eg, ctx),
+            Rewrite::SumAdd => apply_sum_add(eg, ctx),
+            Rewrite::SumHoist => apply_sum_extract(eg, ctx, self),
+            Rewrite::SumSingleton => apply_sum_extract(eg, ctx, self),
+            Rewrite::SumSwap => apply_sum_extract(eg, ctx, self),
+            Rewrite::SquashCollapse => apply_squash_collapse(eg, ctx),
+            Rewrite::SquashDedup => apply_squash_dedup(eg, ctx),
+            Rewrite::SquashMul => apply_squash_mul(eg, ctx),
+            Rewrite::SquashProp => apply_squash_prop(eg, ctx),
+            Rewrite::NotNot => apply_not_not(eg, ctx),
+            Rewrite::NotAdd => apply_not_add(eg, ctx),
+            Rewrite::NotSquash => apply_not_squash(eg, ctx),
+            Rewrite::EqPairSplit => apply_eq_pair_split(eg, ctx),
+            Rewrite::TupleEta => apply_tuple_eta(eg, ctx),
+            Rewrite::ProductEquiv => apply_product_equiv(eg, ctx),
+            Rewrite::PropExt => apply_prop_ext(eg, ctx),
+        }
+    }
+}
+
+/// `Mul[..., c, ...]` where `c`'s class contains `Add[k₁..kₙ]` becomes
+/// `Add[Mul[..., k₁, ...], ..., Mul[..., kₙ, ...]]`.
+fn apply_distrib(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Mul(xs) = node else { continue };
+        for (i, &x) in xs.iter().enumerate() {
+            let adds: Vec<Vec<Id>> = eg
+                .class_nodes(x)
+                .into_iter()
+                .filter_map(|n| match n {
+                    ENode::Add(kids) => Some(kids),
+                    _ => None,
+                })
+                .take(1)
+                .collect();
+            for kids in adds {
+                let summands: Vec<Id> = kids
+                    .iter()
+                    .map(|&k| {
+                        let mut ys = xs.clone();
+                        ys[i] = k;
+                        eg.add(ENode::Mul(ys))
+                    })
+                    .collect();
+                let rhs = eg.add(ENode::Add(summands));
+                if eg.union(*id, rhs, Lemma::Distrib, "a × (b + c) = a×b + a×c") {
+                    unions += 1;
+                }
+            }
+        }
+    }
+    unions
+}
+
+/// `Σx.(f + g) = Σx.f + Σx.g`.
+fn apply_sum_add(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Sum(schema, body) = node else {
+            continue;
+        };
+        let adds: Vec<Vec<Id>> = eg
+            .class_nodes(*body)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Add(kids) => Some(kids),
+                _ => None,
+            })
+            .take(1)
+            .collect();
+        for kids in adds {
+            let sums: Vec<Id> = kids
+                .iter()
+                .map(|&k| eg.add(ENode::Sum(schema.clone(), k)))
+                .collect();
+            let rhs = eg.add(ENode::Add(sums));
+            if eg.union(*id, rhs, Lemma::SumAdd, "Σx.(f + g) = Σx.f + Σx.g") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// The extraction-based binder rewrites: hoisting, singleton-sum
+/// elimination, and Σ-interchange all read the `Σ` class back as a named
+/// tree, apply the lemma with capture-avoiding syntax operations, and
+/// re-seed the result in the original context.
+fn apply_sum_extract(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>, rw: Rewrite) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Sum(_, _) = node else { continue };
+        let mut env = NameEnv::new(ctx.gen);
+        let Some(expr) = eg.extract_uexpr(ctx.best, *id, &mut env) else {
+            continue;
+        };
+        let UExpr::Sum(v, body) = &expr else { continue };
+        let rewritten: Option<(UExpr, String)> = match rw {
+            Rewrite::SumSwap => match body.as_ref() {
+                UExpr::Sum(w, inner) => Some((
+                    UExpr::sum(w.clone(), UExpr::sum(v.clone(), (**inner).clone())),
+                    "Σ-interchange (Fubini)".to_owned(),
+                )),
+                _ => None,
+            },
+            Rewrite::SumSingleton => singleton_eliminate(v, body),
+            Rewrite::SumHoist => hoist(v, body),
+            _ => unreachable!("not an extraction rewrite"),
+        };
+        let Some((expr2, note)) = rewritten else {
+            continue;
+        };
+        let scope = env.outer_scope();
+        let rhs = reseed(eg, &expr2, scope);
+        if eg.union(*id, rhs, rw.lemma(), note) {
+            unions += 1;
+        }
+    }
+    unions
+}
+
+/// `Σv.(v = e) × P v = P e` when `v ∉ fv(e)`.
+fn singleton_eliminate(v: &Var, body: &UExpr) -> Option<(UExpr, String)> {
+    let fs = factors(body);
+    for (i, f) in fs.iter().enumerate() {
+        let UExpr::Eq(a, b) = f else { continue };
+        let repl = if *a == Term::var(v) && !b.free_vars().contains(v) {
+            Some(b.clone())
+        } else if *b == Term::var(v) && !a.free_vars().contains(v) {
+            Some(a.clone())
+        } else {
+            None
+        };
+        let Some(repl) = repl else { continue };
+        let rest: Vec<UExpr> = fs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, g)| g.subst(v, &repl))
+            .collect();
+        return Some((
+            UExpr::product(rest),
+            format!("Σ{} eliminated by {} := {repl}", v.name(), v.name()),
+        ));
+    }
+    None
+}
+
+/// `Σv.(a × f v) = a × Σv.f v` for the `v`-free factors `a`.
+fn hoist(v: &Var, body: &UExpr) -> Option<(UExpr, String)> {
+    let fs = factors(body);
+    let (free, bound): (Vec<UExpr>, Vec<UExpr>) =
+        fs.into_iter().partition(|f| !f.free_vars().contains(v));
+    if free.is_empty() {
+        return None;
+    }
+    let inner = UExpr::sum(v.clone(), UExpr::product(bound));
+    let note = format!("hoisting {} {}-free factors out of Σ", free.len(), v.name());
+    Some((UExpr::mul(UExpr::product(free), inner), note))
+}
+
+/// `‖‖n‖‖ = ‖n‖`.
+fn apply_squash_collapse(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Squash(x) = node else { continue };
+        let inner: Vec<Id> = eg
+            .class_nodes(*x)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Squash(y) => Some(y),
+                _ => None,
+            })
+            .collect();
+        for y in inner {
+            let collapsed = eg.add(ENode::Squash(y));
+            if eg.union(*id, collapsed, Lemma::SquashBase, "‖‖n‖‖ = ‖n‖") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// Duplicate factors and summands collapse under `‖·‖`.
+fn apply_squash_dedup(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Squash(x) = node else { continue };
+        for n in eg.class_nodes(*x) {
+            let (dedup, op): (Option<ENode>, &str) = match &n {
+                ENode::Mul(kids) => {
+                    let mut d = kids.clone();
+                    d.dedup();
+                    if d.len() < kids.len() {
+                        (Some(ENode::Mul(d)), "×")
+                    } else {
+                        (None, "×")
+                    }
+                }
+                ENode::Add(kids) => {
+                    let mut d = kids.clone();
+                    d.dedup();
+                    if d.len() < kids.len() {
+                        (Some(ENode::Add(d)), "+")
+                    } else {
+                        (None, "+")
+                    }
+                }
+                _ => (None, ""),
+            };
+            if let Some(dn) = dedup {
+                let inner = eg.add(dn);
+                let rhs = eg.add(ENode::Squash(inner));
+                if eg.union(
+                    *id,
+                    rhs,
+                    Lemma::SquashDedup,
+                    format!("dedup under ‖·‖ ({op})"),
+                ) {
+                    unions += 1;
+                }
+            }
+        }
+    }
+    unions
+}
+
+/// `‖a × b‖ = ‖a‖ × ‖b‖`.
+fn apply_squash_mul(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Squash(x) = node else { continue };
+        let muls: Vec<Vec<Id>> = eg
+            .class_nodes(*x)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Mul(kids) => Some(kids),
+                _ => None,
+            })
+            .take(1)
+            .collect();
+        for kids in muls {
+            let squashed: Vec<Id> = kids.iter().map(|&k| eg.add(ENode::Squash(k))).collect();
+            let rhs = eg.add(ENode::Mul(squashed));
+            if eg.union(*id, rhs, Lemma::SquashMul, "‖a × b‖ = ‖a‖ × ‖b‖") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// `‖p‖ = p` for propositional classes.
+fn apply_squash_prop(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Squash(x) = node else { continue };
+        if ctx.props.contains(x) && eg.union(*id, *x, Lemma::SquashProp, "‖prop‖ = prop") {
+            unions += 1;
+        }
+    }
+    unions
+}
+
+/// `¬¬n = ‖n‖`.
+fn apply_not_not(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Not(x) = node else { continue };
+        let inner: Vec<Id> = eg
+            .class_nodes(*x)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Not(y) => Some(y),
+                _ => None,
+            })
+            .collect();
+        for y in inner {
+            let rhs = eg.add(ENode::Squash(y));
+            if eg.union(*id, rhs, Lemma::NotBase, "¬¬n = ‖n‖") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// `¬(a + b) = ¬a × ¬b`.
+fn apply_not_add(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Not(x) = node else { continue };
+        let adds: Vec<Vec<Id>> = eg
+            .class_nodes(*x)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Add(kids) => Some(kids),
+                _ => None,
+            })
+            .take(1)
+            .collect();
+        for kids in adds {
+            let negs: Vec<Id> = kids.iter().map(|&k| eg.add(ENode::Not(k))).collect();
+            let rhs = eg.add(ENode::Mul(negs));
+            if eg.union(*id, rhs, Lemma::NotAdd, "¬(a + b) = ¬a × ¬b") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// `¬‖n‖ = ¬n`.
+fn apply_not_squash(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Not(x) = node else { continue };
+        let inner: Vec<Id> = eg
+            .class_nodes(*x)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Squash(y) => Some(y),
+                _ => None,
+            })
+            .collect();
+        for y in inner {
+            let rhs = eg.add(ENode::Not(y));
+            if eg.union(*id, rhs, Lemma::NotSquash, "¬‖n‖ = ¬n") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// `((a,b) = (c,d)) = (a = c) × (b = d)`.
+fn apply_eq_pair_split(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Eq(l, r) = node else { continue };
+        let lp: Vec<(Id, Id)> = eg
+            .class_nodes(*l)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Pair(a, b) => Some((a, b)),
+                _ => None,
+            })
+            .take(1)
+            .collect();
+        let rp: Vec<(Id, Id)> = eg
+            .class_nodes(*r)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Pair(a, b) => Some((a, b)),
+                _ => None,
+            })
+            .take(1)
+            .collect();
+        for &(a, b) in &lp {
+            for &(c, d) in &rp {
+                let e1 = eg.add(ENode::Eq(a, c));
+                let e2 = eg.add(ENode::Eq(b, d));
+                let rhs = eg.add(ENode::Mul(vec![e1, e2]));
+                if eg.union(*id, rhs, Lemma::EqPairSplit, "((a,b)=(c,d)) = (a=c)×(b=d)") {
+                    unions += 1;
+                }
+            }
+        }
+    }
+    unions
+}
+
+/// `(t.1, t.2) = t`.
+fn apply_tuple_eta(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        let ENode::Pair(a, b) = node else { continue };
+        let fsts: Vec<Id> = eg
+            .class_nodes(*a)
+            .into_iter()
+            .filter_map(|n| match n {
+                ENode::Fst(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        for t in fsts {
+            // Stored child ids may be stale after unions; compare
+            // canonical representatives.
+            let snds: Vec<Id> = eg
+                .class_nodes(*b)
+                .into_iter()
+                .filter_map(|n| match n {
+                    ENode::Snd(u) => Some(u),
+                    _ => None,
+                })
+                .collect();
+            let tc = eg.find(t);
+            let has_snd = snds.into_iter().any(|u| eg.find(u) == tc);
+            if has_snd && eg.union(*id, t, Lemma::TupleBeta, "(t.1, t.2) = t") {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// Rel-name multiset of a product class's children — the cheap
+/// compatibility prefilter for the conditional rewrites.
+fn rel_signature(eg: &mut EGraph, kids: &[Id]) -> Vec<String> {
+    let mut sig = Vec::new();
+    for &k in kids {
+        for n in eg.class_nodes(k) {
+            if let ENode::Rel(name, _) = n {
+                sig.push(name);
+                break;
+            }
+        }
+    }
+    sig.sort();
+    sig
+}
+
+/// Normalizes an extracted expression into a single binder-free product
+/// of atoms, if it has that shape.
+fn as_product_atoms(expr: &UExpr, gen: &mut VarGen) -> Option<(Vec<uninomial::Atom>, Spnf)> {
+    let mut scratch = Trace::new();
+    let nf = normalize(expr, gen, &mut scratch);
+    match nf.terms.as_slice() {
+        [t] if t.vars.is_empty() => Some((t.atoms.clone(), nf.clone())),
+        _ => None,
+    }
+}
+
+/// Whole-product equality: for pairs of `×` classes with compatible
+/// relation signatures, asks the trusted equational oracle
+/// ([`uninomial::equiv::product_equiv`]) whether the two products are
+/// equal by mutual entailment of propositional factors (Lemma 5.3) plus
+/// congruence transport of relation arguments. The oracle's trace is
+/// attached to the union.
+fn apply_product_equiv(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    // Candidate classes: products and lone atoms cohabit via the `Mul`
+    // nodes only — a product can also equal a single atom after
+    // absorption drops to one factor, but that collapse is structural.
+    let muls: Vec<(Vec<Id>, Id)> = ctx
+        .snapshot
+        .iter()
+        .filter_map(|(n, id)| match n {
+            ENode::Mul(kids) => Some((kids.clone(), *id)),
+            _ => None,
+        })
+        .collect();
+    let mut budget = ctx.oracle_budget;
+    for i in 0..muls.len() {
+        for j in (i + 1)..muls.len() {
+            if budget == 0 {
+                return unions;
+            }
+            let (ref ka, ia) = muls[i];
+            let (ref kb, ib) = muls[j];
+            if eg.same(ia, ib) || ctx.already_tried(Rewrite::ProductEquiv, ia, ib) {
+                continue;
+            }
+            // Mark before the prefilter: a pair that fails it now can
+            // only start passing after a union, which re-keys the pair
+            // under fresh canonical ids anyway.
+            ctx.mark_tried(Rewrite::ProductEquiv, ia, ib);
+            if rel_signature(eg, ka) != rel_signature(eg, kb) {
+                continue;
+            }
+            budget -= 1;
+            // Extract both products under ONE naming environment so
+            // shared bound levels resolve to shared names.
+            let mut env = NameEnv::new(ctx.gen);
+            let (Some(ea), Some(eb)) = (
+                eg.extract_uexpr(ctx.best, ia, &mut env),
+                eg.extract_uexpr(ctx.best, ib, &mut env),
+            ) else {
+                continue;
+            };
+            let (Some((atoms_a, _)), Some((atoms_b, _))) = (
+                as_product_atoms(&ea, ctx.gen),
+                as_product_atoms(&eb, ctx.gen),
+            ) else {
+                continue;
+            };
+            let mut oracle_trace = Trace::new();
+            let mut octx = Ctx::new(ctx.gen, &mut oracle_trace);
+            if equiv::product_equiv(&atoms_a, &atoms_b, &[], &mut octx)
+                && eg.union_detailed(
+                    ia,
+                    ib,
+                    Lemma::Absorption,
+                    "products equal by mutual entailment (Lemma 5.3)",
+                    oracle_trace.steps().to_vec(),
+                )
+            {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// `(A ↔ B) ⇒ (‖A‖ = ‖B‖)`: for pairs of squash classes, the deductive
+/// bi-implication prover decides whether the bodies are inter-derivable;
+/// its witness searches and case splits are the `ExistsWitness`/
+/// `CaseSplit` steps of the attached sub-trace.
+fn apply_prop_ext(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
+    let mut unions = 0;
+    let squashes: Vec<(Id, Id)> = ctx
+        .snapshot
+        .iter()
+        .filter_map(|(n, id)| match n {
+            ENode::Squash(x) => Some((*x, *id)),
+            _ => None,
+        })
+        .collect();
+    let mut budget = ctx.oracle_budget;
+    for i in 0..squashes.len() {
+        for j in (i + 1)..squashes.len() {
+            if budget == 0 {
+                return unions;
+            }
+            let (ba, ia) = squashes[i];
+            let (bb, ib) = squashes[j];
+            if eg.same(ia, ib) || ctx.already_tried(Rewrite::PropExt, ia, ib) {
+                continue;
+            }
+            // Mark before extracting: pairs that fail the prefilter are
+            // not re-extracted every iteration (a union re-keys the
+            // pair under fresh canonical ids, retrying naturally).
+            ctx.mark_tried(Rewrite::PropExt, ia, ib);
+            // Prefilter: squashed bodies must mention the same relation
+            // symbols to stand a chance of bi-implication.
+            let mut env = NameEnv::new(ctx.gen);
+            let (Some(ea), Some(eb)) = (
+                eg.extract_uexpr(ctx.best, ba, &mut env),
+                eg.extract_uexpr(ctx.best, bb, &mut env),
+            ) else {
+                continue;
+            };
+            if rel_names(&ea) != rel_names(&eb) {
+                continue;
+            }
+            budget -= 1;
+            let mut oracle_trace = Trace::new();
+            let na = normalize(&ea, ctx.gen, &mut oracle_trace);
+            let nb = normalize(&eb, ctx.gen, &mut oracle_trace);
+            let mut octx = Ctx::new(ctx.gen, &mut oracle_trace);
+            if uninomial::deduce::prove_iff(&na, &nb, &[], &mut octx)
+                && eg.union_detailed(
+                    ia,
+                    ib,
+                    Lemma::PropExt,
+                    "squash bodies are bi-implicable",
+                    oracle_trace.steps().to_vec(),
+                )
+            {
+                unions += 1;
+            }
+        }
+    }
+    unions
+}
+
+/// The set of relation symbols an expression mentions.
+fn rel_names(e: &UExpr) -> std::collections::BTreeSet<String> {
+    fn go(e: &UExpr, out: &mut std::collections::BTreeSet<String>) {
+        match e {
+            UExpr::Rel(r, _) => {
+                out.insert(r.clone());
+            }
+            UExpr::Add(a, b) | UExpr::Mul(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            UExpr::Not(x) | UExpr::Squash(x) => go(x, out),
+            UExpr::Sum(_, b) => go(b, out),
+            UExpr::Zero | UExpr::One | UExpr::Eq(_, _) | UExpr::Pred(_, _) => {}
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    go(e, &mut out);
+    out
+}

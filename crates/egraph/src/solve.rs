@@ -1,0 +1,232 @@
+//! The saturation scheduler: iterate match → apply → rebuild under an
+//! iteration/node budget until the goal classes merge, the graph
+//! saturates, or the budget runs out.
+
+use crate::graph::EGraph;
+use crate::lang::{BinderStack, ENode};
+use crate::rewrite::{default_rewrites, Rewrite, RewriteCtx};
+use crate::unionfind::Id;
+use std::collections::HashSet;
+use std::fmt;
+use uninomial::normalize::Trace;
+use uninomial::syntax::VarGen;
+use uninomial::{Interner, UExpr, UExprId};
+
+/// Saturation budget. Defaults are sized so that every Fig. 8 catalog
+/// rule closes comfortably while runaway searches stay bounded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum saturation iterations (match/apply/rebuild rounds).
+    pub max_iters: usize,
+    /// Maximum distinct e-nodes before the search is cut off.
+    pub max_nodes: usize,
+    /// Maximum oracle invocations (deductive/equational side-condition
+    /// checks) per iteration.
+    pub oracle_calls_per_iter: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_iters: 24,
+            max_nodes: 10_000,
+            oracle_calls_per_iter: 64,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with explicit iteration and node caps.
+    pub fn new(max_iters: usize, max_nodes: usize) -> Budget {
+        Budget {
+            max_iters,
+            max_nodes,
+            ..Budget::default()
+        }
+    }
+}
+
+/// Why the saturation loop stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The goal classes merged: the equality is proved.
+    Proved,
+    /// A full iteration produced no new nodes or unions: the rewrite
+    /// set is exhausted and the goal classes remain distinct.
+    Saturated,
+    /// The iteration budget ran out first.
+    IterBudget,
+    /// The node budget ran out first.
+    NodeBudget,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Proved => write!(f, "proved"),
+            Outcome::Saturated => write!(f, "saturated without merging"),
+            Outcome::IterBudget => write!(f, "iteration budget exhausted"),
+            Outcome::NodeBudget => write!(f, "node budget exhausted"),
+        }
+    }
+}
+
+/// Search statistics, reported alongside the outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Iterations run.
+    pub iters: usize,
+    /// Distinct e-nodes at stop time.
+    pub nodes: usize,
+    /// Unions performed (rewrites + congruence + theory collapses).
+    pub unions: usize,
+}
+
+/// The equality-saturation solver: an e-graph plus the compiled default
+/// rewrite set and a budget. Owned data only — `Send`, so the parallel
+/// batch engine runs one solver per worker.
+#[derive(Debug)]
+pub struct Solver {
+    budget: Budget,
+    eg: EGraph,
+    gen: VarGen,
+    rewrites: Vec<Rewrite>,
+    attempted: HashSet<(Rewrite, Id, Id)>,
+}
+
+impl Solver {
+    /// A solver with the full lemma-compiled rewrite set.
+    pub fn new(budget: Budget) -> Solver {
+        Solver {
+            budget,
+            eg: EGraph::new(),
+            gen: VarGen::new(),
+            rewrites: default_rewrites(),
+            attempted: HashSet::new(),
+        }
+    }
+
+    /// The underlying e-graph.
+    pub fn egraph(&mut self) -> &mut EGraph {
+        &mut self.eg
+    }
+
+    /// Reserves fresh-variable ids above `id` so extraction-generated
+    /// names never collide with names already in the seeds.
+    pub fn reserve_names_above(&mut self, id: u32) {
+        self.gen.reserve_above(id);
+    }
+
+    /// Seeds an interned expression (no boxed-tree re-hashing: the
+    /// interner's id-DAG is walked directly). Returns the seed class.
+    pub fn seed_interned(&mut self, interner: &Interner, id: UExprId) -> Id {
+        let eg = &mut self.eg;
+        let mut stack = BinderStack::new();
+        crate::lang::seed_uexpr(interner, id, &mut stack, &mut |n| eg.add(n))
+    }
+
+    /// Convenience: interns a boxed expression and seeds it.
+    pub fn seed_expr(&mut self, e: &UExpr) -> Id {
+        self.gen.reserve_above(e.max_var_id());
+        let mut interner = Interner::new();
+        let id = interner.intern(e);
+        self.seed_interned(&interner, id)
+    }
+
+    /// Runs the saturation loop until `l = r` is proved or the search
+    /// gives out.
+    pub fn run(&mut self, l: Id, r: Id) -> (Outcome, Stats) {
+        let mut stats = Stats::default();
+        loop {
+            self.eg.rebuild();
+            stats.nodes = self.eg.node_count();
+            stats.unions = self.eg.union_count();
+            if self.eg.same(l, r) {
+                return (Outcome::Proved, stats);
+            }
+            if stats.iters >= self.budget.max_iters {
+                return (Outcome::IterBudget, stats);
+            }
+            if stats.nodes >= self.budget.max_nodes {
+                return (Outcome::NodeBudget, stats);
+            }
+            stats.iters += 1;
+            let nodes_before = self.eg.node_count();
+            let unions_before = self.eg.union_count();
+            let snapshot = self.eg.node_snapshot();
+            let best = self.eg.extraction();
+            let props = self.prop_classes(&snapshot);
+            let rewrites = self.rewrites.clone();
+            let mut ctx = RewriteCtx {
+                gen: &mut self.gen,
+                snapshot: &snapshot,
+                best: &best,
+                props: &props,
+                attempted: &mut self.attempted,
+                oracle_budget: self.budget.oracle_calls_per_iter,
+            };
+            for rw in rewrites {
+                rw.apply(&mut self.eg, &mut ctx);
+                if self.eg.node_count() >= self.budget.max_nodes {
+                    break;
+                }
+            }
+            self.eg.rebuild();
+            if self.eg.union_count() != unions_before {
+                // Progress can change a conditional rewrite's verdict
+                // even for pairs whose canonical ids survived (a class
+                // may have gained nodes/hypotheses), so failed attempts
+                // become retryable. Dedup only matters within stalled
+                // rounds, where the set persists and drives termination.
+                self.attempted.clear();
+            }
+            if self.eg.node_count() == nodes_before && self.eg.union_count() == unions_before {
+                stats.nodes = self.eg.node_count();
+                stats.unions = self.eg.union_count();
+                let outcome = if self.eg.same(l, r) {
+                    Outcome::Proved
+                } else {
+                    Outcome::Saturated
+                };
+                return (outcome, stats);
+            }
+        }
+    }
+
+    /// Appends the lemma chain that merged `a` and `b` to `trace`.
+    pub fn explain_into(&mut self, a: Id, b: Id, trace: &mut Trace) -> bool {
+        self.eg.explain_into(a, b, trace)
+    }
+
+    /// Classes known to denote propositions (squash types): fixpoint of
+    /// "node is a `Pred`/`Eq`/`Not`/`Squash`/`0`/`1`, or a `×` of
+    /// propositional classes".
+    fn prop_classes(&mut self, snapshot: &[(ENode, Id)]) -> HashSet<Id> {
+        let mut props: HashSet<Id> = HashSet::new();
+        loop {
+            let mut changed = false;
+            for (node, id) in snapshot {
+                if props.contains(id) {
+                    continue;
+                }
+                let is_prop = match node {
+                    ENode::Zero
+                    | ENode::One
+                    | ENode::Pred(_, _)
+                    | ENode::Eq(_, _)
+                    | ENode::Not(_)
+                    | ENode::Squash(_) => true,
+                    ENode::Mul(kids) => kids.iter().all(|k| props.contains(k)),
+                    _ => false,
+                };
+                if is_prop {
+                    props.insert(*id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return props;
+            }
+        }
+    }
+}

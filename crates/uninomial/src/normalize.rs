@@ -24,6 +24,7 @@ use crate::syntax::{Term, UExpr, Var, VarGen};
 use relalg::Schema;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// A record of lemma applications — the machine-checkable skeleton of a
 /// proof, analogous to the lines of a Coq proof script.
@@ -847,9 +848,90 @@ pub(crate) fn simplify_term(
 #[derive(Clone, Debug, Default)]
 pub struct NormCache {
     interner: Interner,
-    memo: HashMap<UExprId, (Spnf, Vec<(Lemma, String)>)>,
+    memo: HashMap<UExprId, MemoEntry>,
+    shared: Option<Arc<SharedMemo>>,
     hits: u64,
     misses: u64,
+    shared_hits: u64,
+}
+
+/// A memoized normalization result: the normal form plus the trace
+/// fragment its computation records.
+type MemoEntry = (Spnf, Vec<(Lemma, String)>);
+
+/// A `Mutex`-striped memo table shared across the batch engine's
+/// workers.
+///
+/// Per-worker [`NormCache`]s never see each other's work; a catalog
+/// whose rules share denotation fragments normalizes each fragment once
+/// *per worker*. `SharedMemo` closes that gap for the ids every worker
+/// agrees on: each worker's interner is a clone of one frozen snapshot,
+/// and arena ids are dense indices, so ids **below the snapshot size**
+/// denote the identical tree in every worker. Only those ids are
+/// admitted to the shared table (worker-private ids diverge and stay in
+/// the private memo), which is why sharing preserves the bit-identical
+/// results and traces of the private path: memoized normalization of a
+/// binder-free node is a pure function of the tree, no matter which
+/// worker computed it.
+///
+/// Striping: entries are sharded by id so concurrent workers contend on
+/// different locks; each lock is held only for one lookup or insert.
+#[derive(Debug, Default)]
+pub struct SharedMemo {
+    /// Ids below this bound are snapshot ids, identical in all workers.
+    limit: usize,
+    shards: Vec<Mutex<HashMap<UExprId, MemoEntry>>>,
+}
+
+impl SharedMemo {
+    /// A table covering the snapshot prefix of `interner`, striped over
+    /// `shards` locks.
+    pub fn for_snapshot(interner: &Interner, shards: usize) -> Arc<SharedMemo> {
+        Arc::new(SharedMemo {
+            limit: interner.uexpr_count(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        })
+    }
+
+    /// Whether an id is eligible for sharing.
+    fn covers(&self, id: UExprId) -> bool {
+        id.index() < self.limit
+    }
+
+    fn shard(&self, id: UExprId) -> &Mutex<HashMap<UExprId, MemoEntry>> {
+        &self.shards[id.index() % self.shards.len()]
+    }
+
+    fn get(&self, id: UExprId) -> Option<MemoEntry> {
+        self.shard(id)
+            .lock()
+            .expect("no poisoned memo shard")
+            .get(&id)
+            .cloned()
+    }
+
+    fn insert(&self, id: UExprId, entry: MemoEntry) {
+        self.shard(id)
+            .lock()
+            .expect("no poisoned memo shard")
+            .entry(id)
+            .or_insert(entry);
+    }
+
+    /// Total entries across all shards (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned memo shard").len())
+            .sum()
+    }
+
+    /// Whether no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl NormCache {
@@ -867,12 +949,23 @@ impl NormCache {
         }
     }
 
+    /// [`NormCache::from_interner`] with a cross-worker [`SharedMemo`]
+    /// attached. Results and traces are bit-identical to the unshared
+    /// path; only the wall-clock cost of repeated normalizations drops.
+    pub fn from_interner_shared(interner: Interner, shared: Arc<SharedMemo>) -> NormCache {
+        NormCache {
+            interner,
+            shared: Some(shared),
+            ..NormCache::default()
+        }
+    }
+
     /// The underlying interner.
     pub fn interner(&self) -> &Interner {
         &self.interner
     }
 
-    /// Number of memo-table hits so far.
+    /// Number of private memo-table hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -880,6 +973,11 @@ impl NormCache {
     /// Number of memo-table misses (entries computed) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of hits served by the cross-worker shared table.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
     }
 }
 
@@ -928,12 +1026,28 @@ fn norm_id(id: UExprId, gen: &mut VarGen, trace: &mut Trace, cache: &mut NormCac
             }
             return spnf;
         }
+        // Snapshot-prefix ids denote the same tree in every worker, so
+        // another worker's entry is exactly what recomputation would
+        // produce (normalization of binder-free nodes is pure); copy it
+        // into the private memo to skip the lock next time.
+        if let Some(shared) = cache.shared.as_ref().filter(|s| s.covers(id)) {
+            if let Some((spnf, steps)) = shared.get(id) {
+                cache.shared_hits += 1;
+                for (lemma, note) in steps.iter().cloned() {
+                    trace.step(lemma, note);
+                }
+                cache.memo.insert(id, (spnf.clone(), steps));
+                return spnf;
+            }
+        }
         cache.misses += 1;
         let mut fragment = Trace::new();
         let spnf = norm_id_arms(id, gen, &mut fragment, cache);
-        cache
-            .memo
-            .insert(id, (spnf.clone(), fragment.steps().to_vec()));
+        let entry = (spnf.clone(), fragment.steps().to_vec());
+        if let Some(shared) = cache.shared.as_ref().filter(|s| s.covers(id)) {
+            shared.insert(id, entry.clone());
+        }
+        cache.memo.insert(id, entry);
         trace.extend(fragment);
         return spnf;
     }

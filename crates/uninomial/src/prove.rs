@@ -33,6 +33,11 @@ pub enum Method {
     Equational,
     /// Deductive bi-implication on propositional goals.
     Deductive,
+    /// Equality saturation: the `egraph` crate's budgeted proof search
+    /// over rewrites compiled from the [`Lemma`] catalog. The tactic
+    /// lives downstream (the solver depends on this crate); this variant
+    /// is how its proofs are reported and traced.
+    Saturate,
 }
 
 impl fmt::Display for Method {
@@ -41,6 +46,7 @@ impl fmt::Display for Method {
             Method::Syntactic => write!(f, "syntactic"),
             Method::Equational => write!(f, "equational"),
             Method::Deductive => write!(f, "deductive"),
+            Method::Saturate => write!(f, "saturation"),
         }
     }
 }
@@ -55,6 +61,18 @@ pub struct Proof {
 }
 
 impl Proof {
+    /// Assembles a proof from its parts — the constructor used by
+    /// external tactics (notably the `egraph` saturation solver) whose
+    /// search produces a [`Trace`] of trusted-lemma applications.
+    pub fn new(method: Method, trace: Trace, lhs_nf: Spnf, rhs_nf: Spnf) -> Proof {
+        Proof {
+            method,
+            trace,
+            lhs_nf,
+            rhs_nf,
+        }
+    }
+
     /// Which tactic closed the proof.
     pub fn method(&self) -> Method {
         self.method

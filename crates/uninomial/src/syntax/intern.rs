@@ -35,6 +35,22 @@ pub struct TermId(u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UExprId(u32);
 
+impl TermId {
+    /// The raw arena index. Ids are issued densely from 0, so an index
+    /// below a snapshot's `term_count` addresses the same tree in every
+    /// clone of that snapshot.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UExprId {
+    /// The raw arena index (see [`TermId::index`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Flattened [`Term`] node: children are ids, not boxes.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TermNode {

@@ -195,6 +195,52 @@ fn shared_cache_across_goals_is_consistent_and_hits() {
 }
 
 #[test]
+fn shared_memo_across_workers_is_bit_identical_and_hits() {
+    // Two "workers" clone one interner snapshot and share a striped
+    // memo (the engine's shared-cache path): every result and trace
+    // must match the tree normalizer, and the second worker must serve
+    // snapshot-prefix entries from the shared table.
+    use uninomial::normalize::{normalization_input, SharedMemo};
+    use uninomial::Interner;
+
+    let exprs: Vec<UExpr> = (0..40u64)
+        .map(|seed| {
+            let mut eg = ExprGen::new(seed % 11); // overlap → shared structure
+            let scope = eg.gen.fresh(Schema::leaf(BaseType::Int));
+            eg.expr(&[scope], 3)
+        })
+        .collect();
+    // Warm pass: intern the exact normalization-input trees, as the
+    // engine's snapshot seeding does.
+    let mut interner = Interner::new();
+    for e in &exprs {
+        let mut g = VarGen::new();
+        let input = normalization_input(e, &mut g);
+        interner.intern(&input);
+    }
+    let shared = SharedMemo::for_snapshot(&interner, 4);
+    let mut worker_a = NormCache::from_interner_shared(interner.clone(), shared.clone());
+    let mut worker_b = NormCache::from_interner_shared(interner, shared.clone());
+    for (i, e) in exprs.iter().enumerate() {
+        let mut gen_tree = VarGen::new();
+        let mut tr_tree = Trace::new();
+        let nf_tree = normalize(e, &mut gen_tree, &mut tr_tree);
+        for (name, worker) in [("a", &mut worker_a), ("b", &mut worker_b)] {
+            let mut gen = VarGen::new();
+            let mut tr = Trace::new();
+            let nf = normalize_with_cache(e, &mut gen, &mut tr, worker);
+            assert_eq!(nf, nf_tree, "expr {i} worker {name}: {e}");
+            assert_eq!(tr.steps(), tr_tree.steps(), "expr {i} worker {name}: {e}");
+        }
+    }
+    assert!(!shared.is_empty(), "shared table must have entries");
+    assert!(
+        worker_b.shared_hits() > 0,
+        "worker b must hit entries worker a computed"
+    );
+}
+
+#[test]
 fn cached_prover_agrees_with_uncached_prover() {
     use uninomial::prove::{prove_eq_cached, prove_eq_with_axioms};
     let mut cache = NormCache::new();
