@@ -1,0 +1,42 @@
+//! Criterion benchmark: the certified optimizer end-to-end — one
+//! hand-picked redundant query through the full pipeline, and a small
+//! generated-CQ corpus through the batch engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hottsql::parse::parse_query;
+use optimizer::{optimize_query, OptimizeOptions};
+use relalg::stats::Statistics;
+use relalg::{BaseType, Schema};
+
+fn bench_self_join_dedup(c: &mut Criterion) {
+    let env =
+        hottsql::env::QueryEnv::new().with_table("R", Schema::flat([BaseType::Int, BaseType::Int]));
+    let stats = Statistics::new().with_rows("R", 1000.0);
+    let q = parse_query(
+        "DISTINCT SELECT Right.Left.Left FROM R, R \
+         WHERE Right.Left.Left = Right.Right.Left",
+    )
+    .unwrap();
+    c.bench_function("optimizer/self-join-dedup", |b| {
+        b.iter(|| {
+            let report =
+                optimize_query(&q, &env, &stats, OptimizeOptions::default()).expect("optimizes");
+            assert!(report.improved && report.cost_after < report.cost_before);
+        })
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let (env, queries) = bench::optimizer_corpus(0x0971, 8);
+    let budget = egraph::Budget::new(8, 1500);
+    c.bench_function("optimizer/corpus-8", |b| {
+        b.iter(|| {
+            let summary = bench::optimize_corpus(&env, &queries, budget);
+            assert_eq!(summary.queries, queries.len());
+            assert!(summary.cost_after <= summary.cost_before);
+        })
+    });
+}
+
+criterion_group!(benches, bench_self_join_dedup, bench_corpus);
+criterion_main!(benches);

@@ -38,6 +38,34 @@ fn main() {
         n *= 2;
     }
 
+    // Certified optimizer over a generated CQ corpus: total cost
+    // reduction and wall time (the optimizer's first BENCH series).
+    {
+        let n = 64.min(max_pairs.max(2));
+        let (env, queries) = bench::optimizer_corpus(0x0971, n);
+        let budget = egraph::Budget::new(8, 1500);
+        let (time, summary) = bench::timed(|| bench::optimize_corpus(&env, &queries, budget));
+        emit(
+            format!(
+                "{{\"bench\":\"optimizer_scale\",\"queries\":{},\"improved\":{},\"cost_before\":{:.0},\"cost_after\":{:.0},\"millis\":{:.3}}}",
+                summary.queries,
+                summary.improved,
+                summary.cost_before,
+                summary.cost_after,
+                time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "optimizer_scale: {} queries, {} improved, total cost {:.0} -> {:.0} ({:.1}% saved) in {:.1} ms",
+                summary.queries,
+                summary.improved,
+                summary.cost_before,
+                summary.cost_after,
+                100.0 * (1.0 - summary.cost_after / summary.cost_before.max(1.0)),
+                time.as_secs_f64() * 1e3
+            ),
+        );
+    }
+
     // Fig. 8 catalog: tactics-only vs saturation-only cost.
     for (mode, name) in [
         (SaturateMode::Off, "tactics"),

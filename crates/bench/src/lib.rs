@@ -236,6 +236,72 @@ pub fn decide_cq_pairs(pairs: &[(Cq, Cq)]) -> usize {
         .count()
 }
 
+/// The certified-optimizer scale corpus: a seeded batch of generated
+/// conjunctive queries (both sides of every equivalent pair) rendered
+/// as `DISTINCT SELECT` queries over the binary `R`/`S`/`T` vocabulary.
+pub fn optimizer_corpus(seed: u64, n: usize) -> (hottsql::env::QueryEnv, Vec<hottsql::ast::Query>) {
+    use relalg::{BaseType, Schema};
+    let binary = Schema::flat([BaseType::Int, BaseType::Int]);
+    let env = hottsql::env::QueryEnv::new()
+        .with_table("R", binary.clone())
+        .with_table("S", binary.clone())
+        .with_table("T", binary);
+    // Over-generate: unsafe heads (a head variable absent from the
+    // body) have no query rendering and are skipped.
+    let mut queries = Vec::with_capacity(n);
+    for (a, b) in cq::generate::equivalent_pairs(seed, n) {
+        for side in [&a, &b] {
+            if queries.len() < n {
+                if let Some(q) = cq::translate::to_query(side, &env) {
+                    queries.push(q);
+                }
+            }
+        }
+    }
+    (env, queries)
+}
+
+/// Aggregate outcome of optimizing a corpus.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimizeSummary {
+    /// Queries optimized.
+    pub queries: usize,
+    /// Plans that genuinely changed.
+    pub improved: usize,
+    /// Total estimated work before.
+    pub cost_before: f64,
+    /// Total estimated work after (`≤ cost_before`).
+    pub cost_after: f64,
+}
+
+/// Optimizes a corpus through the parallel batch engine under the
+/// given saturation budget, checking the no-worse invariant on every
+/// report.
+pub fn optimize_corpus(
+    env: &hottsql::env::QueryEnv,
+    queries: &[hottsql::ast::Query],
+    budget: egraph::Budget,
+) -> OptimizeSummary {
+    let engine = Engine::with_config(dopcert::engine::EngineConfig {
+        prove: dopcert::prove::ProveOptions {
+            budget,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let stats = relalg::stats::Statistics::new();
+    let mut summary = OptimizeSummary::default();
+    for report in engine.optimize_batch(env, &stats, queries) {
+        let r = report.expect("corpus queries optimize");
+        assert!(r.cost_after <= r.cost_before, "{}: costlier plan", r.input);
+        summary.queries += 1;
+        summary.improved += usize::from(r.improved);
+        summary.cost_before += r.cost_before;
+        summary.cost_after += r.cost_after;
+    }
+    summary
+}
+
 /// Generates the Cq pair of Fig. 10 (used by both the example and the
 /// benchmark).
 pub fn fig10_pair() -> (Cq, Cq) {

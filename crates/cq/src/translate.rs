@@ -1,11 +1,16 @@
-//! Translation from HoTTSQL queries to conjunctive queries.
+//! Translation between HoTTSQL queries and conjunctive queries.
 //!
-//! Recognizes the CQ fragment of Sec. 5.2:
+//! [`from_query`] recognizes the CQ fragment of Sec. 5.2:
 //! `DISTINCT SELECT p FROM t₁, …, tₙ [WHERE b]` where every `tᵢ` is a
 //! base table, `p` is built from paths/pairs/constants, and `b` is a
 //! conjunction of equalities between paths (or paths and constants).
 //! Returns `None` for queries outside the fragment — the caller then
 //! falls back to the general prover.
+//!
+//! [`to_query`] goes the other way: a [`Cq`] becomes the canonical
+//! `DISTINCT SELECT head FROM atoms WHERE joins` query, with repeated
+//! variables rendered as explicit join equalities. The certified
+//! optimizer uses it to turn a minimized core back into a plan.
 
 use crate::{Cq, CqBuilder, CqTerm};
 use hottsql::ast::{Expr, Predicate, Proj, Query};
@@ -186,6 +191,102 @@ fn resolve_proj(p: &Proj, ctx: &Shape, b: &mut CqBuilder) -> Option<Shape> {
     }
 }
 
+/// Renders a CQ as the canonical HoTTSQL query of its fragment:
+/// `DISTINCT SELECT h₁, … FROM R₁, … WHERE joins`. The head projects a
+/// right-nested pair of columns (a single projection when the head has
+/// one term, `Empty` for Boolean queries). Every table mentioned must
+/// be declared in `env` with a schema whose leaf count matches the
+/// atom's arity; returns `None` otherwise.
+pub fn to_query(cq: &Cq, env: &QueryEnv) -> Option<Query> {
+    if cq.atoms.is_empty() {
+        return None;
+    }
+    let n = cq.atoms.len();
+    // Path to table slot `i` in the left-associated FROM product, then
+    // to leaf `j` of that table's schema, all under the WHERE/SELECT
+    // context `node(empty, σ_FROM)` (hence the leading `Right`).
+    let slot_proj = |i: usize| -> Proj {
+        let mut p = Proj::Right;
+        for _ in 0..(n - 1 - i) {
+            p = Proj::dot(p, Proj::Left);
+        }
+        if i > 0 {
+            p = Proj::dot(p, Proj::Right);
+        }
+        p
+    };
+    let mut schemas = Vec::with_capacity(n);
+    for atom in &cq.atoms {
+        let schema = env.table(&atom.rel)?;
+        if schema.width() != atom.terms.len() {
+            return None;
+        }
+        schemas.push(schema);
+    }
+    // First occurrence of each variable, and join equalities for the
+    // rest; constants constrain their column directly.
+    let mut rep: std::collections::BTreeMap<u32, Proj> = std::collections::BTreeMap::new();
+    let mut preds: Vec<Predicate> = Vec::new();
+    for (i, atom) in cq.atoms.iter().enumerate() {
+        for (j, term) in atom.terms.iter().enumerate() {
+            let col = leaf_proj(slot_proj(i), schemas[i], j)?;
+            match term {
+                CqTerm::Var(v) => match rep.get(v) {
+                    None => {
+                        rep.insert(*v, col);
+                    }
+                    Some(first) => {
+                        preds.push(Predicate::eq(Expr::p2e(first.clone()), Expr::p2e(col)))
+                    }
+                },
+                CqTerm::Const(c) => {
+                    preds.push(Predicate::eq(Expr::p2e(col), Expr::value(c.clone())))
+                }
+            }
+        }
+    }
+    let head: Option<Vec<Proj>> = cq
+        .head
+        .iter()
+        .map(|t| match t {
+            CqTerm::Var(v) => rep.get(v).cloned(),
+            CqTerm::Const(c) => Some(Proj::e2p(Expr::value(c.clone()))),
+        })
+        .collect();
+    let head = head?;
+    let head_proj = match head.len() {
+        0 => Proj::Empty,
+        _ => {
+            let mut it = head.into_iter().rev();
+            let last = it.next().expect("nonempty head");
+            it.fold(last, |acc, p| Proj::pair(p, acc))
+        }
+    };
+    let from = Query::product_all(cq.atoms.iter().map(|a| Query::table(a.rel.clone())));
+    let body = if preds.is_empty() {
+        from
+    } else {
+        Query::where_(from, Predicate::and_all(preds))
+    };
+    Some(Query::distinct(Query::select(head_proj, body)))
+}
+
+/// Projection from a table slot to its `j`-th leaf.
+fn leaf_proj(base: Proj, schema: &Schema, j: usize) -> Option<Proj> {
+    match schema {
+        Schema::Empty => None,
+        Schema::Leaf(_) => (j == 0).then_some(base),
+        Schema::Node(l, r) => {
+            let lw = l.width();
+            if j < lw {
+                leaf_proj(Proj::dot(base, Proj::Left), l, j)
+            } else {
+                leaf_proj(Proj::dot(base, Proj::Right), r, j - lw)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +383,51 @@ mod tests {
         let q = parse_query("DISTINCT SELECT Right FROM R").unwrap();
         let cq = from_query(&q, &env()).unwrap();
         assert_eq!(cq.head.len(), 2);
+    }
+
+    #[test]
+    fn to_query_roundtrips_through_from_query() {
+        // Cq → Query → Cq must be set-equivalent to the original.
+        let e = env();
+        for (i, cq) in [
+            crate::generate::chain(3),
+            crate::generate::star(4),
+            crate::generate::random_cq(7, 5, 3, &["R", "R1"]),
+        ]
+        .iter()
+        .enumerate()
+        {
+            // chain/star use binary "E"; declare it.
+            let e = e
+                .clone()
+                .with_table("E", Schema::flat([BaseType::Int, BaseType::Int]));
+            let q = to_query(cq, &e).unwrap_or_else(|| panic!("case {i}: to_query failed"));
+            let back = from_query(&q, &e).unwrap_or_else(|| panic!("case {i}: not in fragment"));
+            assert!(equivalent_set(cq, &back), "case {i}: {cq} vs {back}");
+        }
+    }
+
+    #[test]
+    fn to_query_renders_constants_and_boolean_heads() {
+        let e = env();
+        let cq = Cq::new(
+            vec![],
+            vec![crate::CqAtom::new(
+                "R",
+                vec![CqTerm::Var(0), CqTerm::Const(relalg::Value::Int(3))],
+            )],
+        );
+        let q = to_query(&cq, &e).unwrap();
+        let back = from_query(&q, &e).unwrap();
+        assert!(equivalent_set(&cq, &back), "{cq} vs {back}");
+    }
+
+    #[test]
+    fn to_query_rejects_unknown_tables_and_arity_mismatch() {
+        let e = env();
+        let unknown = Cq::new(vec![], vec![crate::CqAtom::new("Z", vec![CqTerm::Var(0)])]);
+        assert!(to_query(&unknown, &e).is_none());
+        let wrong_arity = Cq::new(vec![], vec![crate::CqAtom::new("R", vec![CqTerm::Var(0)])]);
+        assert!(to_query(&wrong_arity, &e).is_none());
     }
 }

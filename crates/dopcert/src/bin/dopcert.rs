@@ -6,6 +6,8 @@
 //!                               #   shortcuts), same script syntax
 //! dopcert prove --saturate -    # …every non-CQ goal by equality
 //!                               #   saturation alone
+//! dopcert optimize file.dop     # certified cost-based optimization of
+//!                               #   every query in the script's goals
 //! dopcert catalog               # verify the whole built-in rule catalog
 //! dopcert catalog --jobs 4      # …on an explicit number of workers
 //! dopcert catalog --saturate    # …with saturation instead of tactics
@@ -96,6 +98,11 @@ impl Flags {
             "prove" => {
                 reject(self.jobs.is_some(), "--jobs")?;
                 reject(self.no_shared_cache, "--no-shared-cache")?;
+            }
+            "optimize" => {
+                // Optimization always saturates; the mode flag would be
+                // silently ignored, so reject it (budget flags apply).
+                reject(self.saturate, "--saturate (optimize always saturates)")?;
             }
             "catalog" => {
                 reject(self.positional.is_some(), "a script path")?;
@@ -188,6 +195,82 @@ fn run_script_mode(flags: &Flags, opts: ProveOptions) -> ExitCode {
     }
 }
 
+/// `dopcert optimize`: run the certified optimizer over every query
+/// appearing in the script's goals. Fails (exit code) if any plan is
+/// costlier than its input or any certificate fails to replay — the CI
+/// smoke gate.
+fn run_optimize_mode(flags: &Flags) -> ExitCode {
+    let source = match flags.read_script() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script = match dopcert::script::parse_script(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Every distinct query across the goals, in first-seen order.
+    let mut queries: Vec<hottsql::ast::Query> = Vec::new();
+    for goal in &script.goals {
+        for q in [&goal.lhs, &goal.rhs] {
+            if !queries.contains(q) {
+                queries.push(q.clone());
+            }
+        }
+    }
+    if queries.is_empty() {
+        eprintln!("error: the script declares no goals to optimize");
+        return ExitCode::FAILURE;
+    }
+    let stats = relalg::stats::Statistics::new();
+    let engine = flags.engine();
+    let budget = flags.prove_options().budget;
+    let start = std::time::Instant::now();
+    let reports = engine.optimize_batch(&script.env, &stats, &queries);
+    let mut ok = true;
+    for (q, report) in queries.iter().zip(&reports) {
+        match report {
+            Err(e) => {
+                ok = false;
+                println!("[FAIL] {q}\n    {e}");
+            }
+            Ok(r) => {
+                let sound = r.cost_after <= r.cost_before
+                    && r.certificate
+                        .replay(&r.input, &r.output, &script.env, budget);
+                ok &= sound;
+                println!(
+                    "[{}] cost {:.0} -> {:.0} via {} ({} in {} steps)\n    in:  {}\n    out: {}",
+                    if sound { "ok" } else { "FAIL" },
+                    r.cost_before,
+                    r.cost_after,
+                    r.route,
+                    r.certificate.method,
+                    r.certificate.trace.len(),
+                    r.input,
+                    r.output,
+                );
+            }
+        }
+    }
+    println!(
+        "{} queries optimized on {} threads in {:.1} ms",
+        queries.len(),
+        engine.threads(),
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -212,6 +295,7 @@ fn main() -> ExitCode {
         // counterexample hunt). `prove` exposes the saturation flags.
         "check" => run_script_mode(&flags, ProveOptions::default()),
         "prove" => run_script_mode(&flags, flags.prove_options()),
+        "optimize" => run_optimize_mode(&flags),
         "catalog" => {
             let engine = flags.engine();
             let start = std::time::Instant::now();
@@ -242,9 +326,90 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: dopcert check <file.dop | ->\n\
                  \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] <file.dop | ->\n\
+                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--no-shared-cache] <file.dop | ->\n\
                  \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--no-shared-cache]"
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<Flags, String> {
+        parse_flags(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags_and_positional() {
+        let f = flags(&["--jobs", "4", "--sat-iters", "9", "x.dop"]).unwrap();
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(f.sat_iters, Some(9));
+        assert_eq!(f.positional.as_deref(), Some("x.dop"));
+        assert!(flags(&["--jobs"]).is_err());
+        assert!(flags(&["--bogus"]).is_err());
+        assert!(flags(&["a.dop", "b.dop"]).is_err());
+    }
+
+    #[test]
+    fn check_rejects_every_flag_it_would_ignore() {
+        for args in [
+            &["--saturate"][..],
+            &["--sat-iters", "5"][..],
+            &["--sat-nodes", "100"][..],
+            &["--jobs", "2"][..],
+            &["--no-shared-cache"][..],
+        ] {
+            let f = flags(args).unwrap();
+            let err = f.validate_for("check").unwrap_err();
+            assert!(err.contains("not accepted"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn prove_rejects_engine_flags_but_accepts_saturation_budget() {
+        let f = flags(&["--saturate", "--sat-iters", "5", "--sat-nodes", "10"]).unwrap();
+        f.validate_for("prove").unwrap();
+        assert!(flags(&["--jobs", "2"])
+            .unwrap()
+            .validate_for("prove")
+            .is_err());
+        assert!(flags(&["--no-shared-cache"])
+            .unwrap()
+            .validate_for("prove")
+            .is_err());
+    }
+
+    #[test]
+    fn optimize_accepts_budget_and_jobs_but_rejects_saturate() {
+        let f = flags(&[
+            "--jobs",
+            "2",
+            "--sat-iters",
+            "5",
+            "--sat-nodes",
+            "10",
+            "--no-shared-cache",
+            "x.dop",
+        ])
+        .unwrap();
+        f.validate_for("optimize").unwrap();
+        let err = flags(&["--saturate"])
+            .unwrap()
+            .validate_for("optimize")
+            .unwrap_err();
+        assert!(err.contains("--saturate"), "{err}");
+    }
+
+    #[test]
+    fn catalog_rejects_a_script_path_and_budget_flags_reach_the_engine() {
+        assert!(flags(&["x.dop"]).unwrap().validate_for("catalog").is_err());
+        let f = flags(&["--sat-iters", "7", "--sat-nodes", "11"]).unwrap();
+        f.validate_for("catalog").unwrap();
+        let opts = f.prove_options();
+        assert_eq!(opts.budget.max_iters, 7);
+        assert_eq!(opts.budget.max_nodes, 11);
     }
 }

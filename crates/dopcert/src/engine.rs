@@ -29,11 +29,16 @@
 use crate::difftest::{differential_test, DiffOutcome};
 use crate::prove::{denote_instance, prove_rule_with, ProveOptions, RuleReport};
 use crate::rule::Rule;
+use hottsql::ast::Query;
+use hottsql::env::QueryEnv;
+use optimizer::{OptimizeError, OptimizeOptions, OptimizeReport};
+use relalg::stats::Statistics;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use uninomial::normalize::{normalization_input, NormCache, SharedMemo};
 use uninomial::syntax::intern::{Interner, InternerSnapshot};
+use uninomial::syntax::VarGen;
 
 /// Tuning for the batch engine.
 #[derive(Clone, Debug)]
@@ -182,32 +187,71 @@ impl Engine {
         })
     }
 
-    /// Order-preserving parallel map over the rules: a shared atomic
+    /// Warm snapshot for a query batch: every query's denotation is
+    /// interned over the same fresh-`VarGen` stream the optimizer
+    /// consumes, so workers hit the shared prefix on their first
+    /// normalization.
+    fn seed_query_snapshot(&self, env: &QueryEnv, queries: &[Query]) -> InternerSnapshot {
+        let mut interner = Interner::new();
+        if self.config.warm_interner && self.threads() > 1 {
+            for q in queries {
+                let mut gen = VarGen::new();
+                if let Ok((_, e)) = hottsql::denote::denote_closed_query(q, env, &mut gen) {
+                    interner.intern(&normalization_input(&e, &mut gen));
+                }
+            }
+        }
+        interner.snapshot()
+    }
+
+    /// Optimizes a batch of closed queries in parallel with the
+    /// certified optimizer, returning reports in input order. Budget
+    /// comes from the engine's prove options; the interner snapshot and
+    /// (unless disabled) the striped [`SharedMemo`] are shared across
+    /// workers exactly as in [`Engine::prove_catalog`]. Reports are
+    /// identical to calling [`optimizer::optimize_query`] sequentially.
+    pub fn optimize_batch(
+        &self,
+        env: &QueryEnv,
+        stats: &Statistics,
+        queries: &[Query],
+    ) -> Vec<Result<OptimizeReport, OptimizeError>> {
+        let snapshot = self.seed_query_snapshot(env, queries);
+        let opts = OptimizeOptions {
+            budget: self.config.prove.budget,
+        };
+        self.par_map(queries, &snapshot, |q, cache| {
+            optimizer::optimize_query_cached(q, env, stats, opts, cache)
+        })
+    }
+
+    /// Order-preserving parallel map over a work list: a shared atomic
     /// cursor hands out indices, each worker owns a [`NormCache`] seeded
     /// from the frozen snapshot, and results land in their input slots.
     /// Unless disabled, workers additionally share one `Mutex`-striped
     /// [`SharedMemo`] covering the snapshot-prefix ids, so a denotation
-    /// fragment common to several rules normalizes once per *batch*
+    /// fragment common to several items normalizes once per *batch*
     /// rather than once per worker — with results and traces
     /// bit-identical to the unshared path.
-    fn par_map<R, F>(&self, rules: &[Rule], snapshot: &InternerSnapshot, f: F) -> Vec<R>
+    fn par_map<T, R, F>(&self, items: &[T], snapshot: &InternerSnapshot, f: F) -> Vec<R>
     where
+        T: Sync,
         R: Send,
-        F: Fn(&Rule, &mut NormCache) -> R + Sync,
+        F: Fn(&T, &mut NormCache) -> R + Sync,
     {
-        let threads = self.threads().min(rules.len().max(1));
+        let threads = self.threads().min(items.len().max(1));
         if threads <= 1 {
             // Degenerate pool: run inline (still through the cache, so
             // single-threaded callers get the memoization win).
             let mut cache = NormCache::from_interner((**snapshot).clone());
-            return rules.iter().map(|r| f(r, &mut cache)).collect();
+            return items.iter().map(|r| f(r, &mut cache)).collect();
         }
         let shared_memo = self
             .config
             .shared_cache
             .then(|| SharedMemo::for_snapshot(snapshot, 4 * threads));
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..rules.len()).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let shared_memo = shared_memo.clone();
@@ -215,7 +259,7 @@ impl Engine {
                 scope.spawn(move || {
                     // Per-worker state: a private VarGen lives inside
                     // each prove call; the cache persists across the
-                    // rules this worker claims.
+                    // items this worker claims.
                     let mut cache = match shared_memo {
                         Some(shared) => {
                             NormCache::from_interner_shared((**snapshot).clone(), shared)
@@ -224,8 +268,8 @@ impl Engine {
                     };
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(rule) = rules.get(i) else { break };
-                        let result = f(rule, &mut cache);
+                        let Some(item) = items.get(i) else { break };
+                        let result = f(item, &mut cache);
                         slots.lock().expect("no poisoned workers")[i] = Some(result);
                     }
                 });

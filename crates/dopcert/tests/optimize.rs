@@ -1,0 +1,76 @@
+//! Engine integration of the certified optimizer: the parallel batch
+//! path must agree report-for-report with the sequential
+//! `optimizer::optimize_query`, in input order, and uphold the
+//! cost/certificate gates.
+
+use dopcert::engine::Engine;
+use hottsql::ast::Query;
+use optimizer::{optimize_query, OptimizeOptions};
+use relalg::stats::Statistics;
+
+const SCRIPT: &str = "\
+table R(int, int);
+table S(int, int);
+
+verify DISTINCT SELECT Right.Left.Left FROM R, R
+       WHERE Right.Left.Left = Right.Right.Left
+    == DISTINCT SELECT Right.Left FROM R;
+
+verify SELECT Right FROM S == S;
+";
+
+fn queries() -> (hottsql::env::QueryEnv, Vec<Query>) {
+    let script = dopcert::script::parse_script(SCRIPT).unwrap();
+    let mut queries = Vec::new();
+    for goal in &script.goals {
+        queries.push(goal.lhs.clone());
+        queries.push(goal.rhs.clone());
+    }
+    (script.env, queries)
+}
+
+#[test]
+fn batch_reports_match_sequential_and_keep_order() {
+    let (env, queries) = queries();
+    let stats = Statistics::new();
+    let batch = Engine::with_threads(3).optimize_batch(&env, &stats, &queries);
+    assert_eq!(batch.len(), queries.len());
+    for (q, report) in queries.iter().zip(&batch) {
+        let report = report.as_ref().expect("optimizes");
+        assert_eq!(&report.input, q, "reports must stay in input order");
+        let sequential =
+            optimize_query(q, &env, &stats, OptimizeOptions::default()).expect("optimizes");
+        assert_eq!(report.output, sequential.output, "{q}");
+        assert_eq!(report.route, sequential.route, "{q}");
+        assert_eq!(report.cost_before, sequential.cost_before, "{q}");
+        assert_eq!(report.cost_after, sequential.cost_after, "{q}");
+        assert_eq!(
+            report.certificate.trace.steps(),
+            sequential.certificate.trace.steps(),
+            "{q}: certificates must be bit-identical across the cache"
+        );
+    }
+}
+
+#[test]
+fn batch_upholds_the_cost_and_certificate_gates() {
+    let (env, queries) = queries();
+    let stats = Statistics::new();
+    let opts = OptimizeOptions::default();
+    let reports = Engine::new().optimize_batch(&env, &stats, &queries);
+    let mut improved = 0;
+    for report in reports {
+        let r = report.expect("optimizes");
+        assert!(r.cost_after <= r.cost_before, "{}: costlier plan", r.input);
+        assert!(
+            r.certificate.replay(&r.input, &r.output, &env, opts.budget),
+            "{}: certificate does not replay",
+            r.input
+        );
+        if r.improved {
+            improved += 1;
+        }
+    }
+    // The redundant self-join and the SELECT * must both improve.
+    assert!(improved >= 2, "expected at least two improved plans");
+}

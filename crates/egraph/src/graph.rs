@@ -397,62 +397,52 @@ impl EGraph {
     }
 
     /// A snapshot of `(canonical node, class id)` pairs for the match
-    /// phase of a saturation iteration.
+    /// phase of a saturation iteration. Sorted by class then node, so
+    /// rewrite matching and extraction tie-breaking are deterministic
+    /// (hash-map iteration order must never leak into chosen plans or
+    /// explanations).
     pub fn node_snapshot(&mut self) -> Vec<(ENode, Id)> {
         let entries: Vec<(ENode, Id)> = self
             .hashcons
             .iter()
             .map(|(n, &id)| (n.clone(), id))
             .collect();
-        entries
+        let mut canon: Vec<(ENode, Id)> = entries
             .into_iter()
             .map(|(n, id)| {
                 let id = self.uf.find(id);
                 (n.map_children(|c| self.uf.find(c)), id)
             })
-            .collect()
+            .collect();
+        canon.sort_unstable_by(|(na, ia), (nb, ib)| ia.cmp(ib).then_with(|| na.cmp(nb)));
+        canon
     }
 
     /// Minimum-size extraction table: canonical class id → (cost, best
-    /// node). Classes reachable only through cycles are absent.
+    /// node). Classes reachable only through cycles are absent. The
+    /// cost-generic version is [`EGraph::extraction_with`].
     pub fn extraction(&mut self) -> HashMap<Id, (usize, ENode)> {
-        let snapshot = self.node_snapshot();
-        let mut best: HashMap<Id, (usize, ENode)> = HashMap::new();
-        loop {
-            let mut changed = false;
-            for (node, id) in &snapshot {
-                let mut cost = 1usize;
-                let mut ok = true;
-                for c in node.children() {
-                    match best.get(&c) {
-                        Some((k, _)) => cost = cost.saturating_add(*k),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let entry = best.get(id);
-                if entry.is_none_or(|(k, _)| cost < *k) {
-                    best.insert(*id, (cost, node.clone()));
-                    changed = true;
-                }
-            }
-            if !changed {
-                return best;
-            }
-        }
+        self.extraction_with(&crate::extract::TreeSize)
     }
 
-    /// Extracts the minimum-size [`UExpr`] of a class, resolving bound
-    /// indices through `env`. `None` when the class has no finite-cost
-    /// representative (cycle-only) or `best` lacks an entry.
-    pub fn extract_uexpr(
+    /// Best-cost extraction table under an arbitrary
+    /// [`CostFunction`](crate::extract::CostFunction): canonical class
+    /// id → (cost, best node).
+    pub fn extraction_with<C: crate::extract::CostFunction>(
         &mut self,
-        best: &HashMap<Id, (usize, ENode)>,
+        cost: &C,
+    ) -> HashMap<Id, (C::Cost, ENode)> {
+        let snapshot = self.node_snapshot();
+        crate::extract::best_costs(&snapshot, cost)
+    }
+
+    /// Extracts the best [`UExpr`] of a class under an extraction table
+    /// (any cost type), resolving bound indices through `env`. `None`
+    /// when the class has no finite-cost representative (cycle-only) or
+    /// `best` lacks an entry.
+    pub fn extract_uexpr<K: Clone>(
+        &mut self,
+        best: &HashMap<Id, (K, ENode)>,
         id: Id,
         env: &mut NameEnv<'_>,
     ) -> Option<UExpr> {
@@ -465,9 +455,9 @@ impl EGraph {
     }
 
     /// Term-sort counterpart of [`EGraph::extract_uexpr`].
-    pub fn extract_term(
+    pub fn extract_term<K: Clone>(
         &mut self,
-        best: &HashMap<Id, (usize, ENode)>,
+        best: &HashMap<Id, (K, ENode)>,
         id: Id,
         env: &mut NameEnv<'_>,
     ) -> Option<Term> {
@@ -483,7 +473,7 @@ impl EGraph {
     /// table is keyed by ids canonical at the time it was built; unions
     /// performed since may have re-rooted `id`, in which case the
     /// original id still indexes the (still-valid) pre-union entry.
-    fn extraction_key(&mut self, best: &HashMap<Id, (usize, ENode)>, id: Id) -> Option<Id> {
+    fn extraction_key<K>(&mut self, best: &HashMap<Id, (K, ENode)>, id: Id) -> Option<Id> {
         let canon = self.uf.find(id);
         if best.contains_key(&canon) {
             Some(canon)
@@ -495,19 +485,43 @@ impl EGraph {
     }
 
     /// Whether every class reachable from `id`'s best node has a best
-    /// node itself (extraction will not panic). `id` must be a valid
-    /// extraction key.
-    fn extractable(&mut self, best: &HashMap<Id, (usize, ENode)>, id: Id) -> bool {
-        let mut stack = vec![id];
-        let mut seen = HashSet::new();
-        while let Some(c) = stack.pop() {
-            if !seen.insert(c) {
-                continue;
+    /// node itself, with no cycle among the chosen nodes (extraction
+    /// will neither panic nor recurse forever). A non-monotone cost
+    /// function can record a self-referential best node — a table a
+    /// readback must refuse, not chase. `id` must be a valid extraction
+    /// key.
+    fn extractable<K>(&mut self, best: &HashMap<Id, (K, ENode)>, id: Id) -> bool {
+        // Iterative DFS with an explicit on-path set: `Enter` pushes the
+        // children, `Exit` pops the class off the current path.
+        enum Step {
+            Enter(Id),
+            Exit(Id),
+        }
+        let mut stack = vec![Step::Enter(id)];
+        let mut done: HashSet<Id> = HashSet::new();
+        let mut on_path: HashSet<Id> = HashSet::new();
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(c) => {
+                    if done.contains(&c) {
+                        continue;
+                    }
+                    if !on_path.insert(c) {
+                        return false; // chosen nodes form a cycle
+                    }
+                    let Some((_, node)) = best.get(&c) else {
+                        return false;
+                    };
+                    stack.push(Step::Exit(c));
+                    for child in node.children() {
+                        stack.push(Step::Enter(child));
+                    }
+                }
+                Step::Exit(c) => {
+                    on_path.remove(&c);
+                    done.insert(c);
+                }
             }
-            let Some((_, node)) = best.get(&c) else {
-                return false;
-            };
-            stack.extend(node.children());
         }
         true
     }
@@ -563,8 +577,12 @@ impl EGraph {
     }
 }
 
-/// Builds the minimum-size [`UExpr`] from a chosen representative node.
-fn best_uexpr(best: &HashMap<Id, (usize, ENode)>, node: &ENode, env: &mut NameEnv<'_>) -> UExpr {
+/// Builds the best [`UExpr`] from a chosen representative node.
+fn best_uexpr<K: Clone>(
+    best: &HashMap<Id, (K, ENode)>,
+    node: &ENode,
+    env: &mut NameEnv<'_>,
+) -> UExpr {
     node_to_uexpr(
         node,
         env,
@@ -579,8 +597,12 @@ fn best_uexpr(best: &HashMap<Id, (usize, ENode)>, node: &ENode, env: &mut NameEn
     )
 }
 
-/// Builds the minimum-size [`Term`] from a chosen representative node.
-fn best_term(best: &HashMap<Id, (usize, ENode)>, node: &ENode, env: &mut NameEnv<'_>) -> Term {
+/// Builds the best [`Term`] from a chosen representative node.
+fn best_term<K: Clone>(
+    best: &HashMap<Id, (K, ENode)>,
+    node: &ENode,
+    env: &mut NameEnv<'_>,
+) -> Term {
     node_to_term(
         node,
         env,

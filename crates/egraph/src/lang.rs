@@ -33,7 +33,11 @@ use uninomial::syntax::{Term, UExpr, Var, VarGen};
 /// A flattened UniNomial node over e-class ids. The first group is the
 /// type-valued (`UExpr`) sort, the second the tuple-valued (`Term`)
 /// sort; rewrites never equate nodes across sorts.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// The `Ord` instance is structural and exists so node collections can
+/// be sorted into a *deterministic* traversal order — match phases and
+/// extraction tie-breaks must not depend on hash-map iteration order.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ENode {
     // --- UExpr sort ---
     /// `0`.

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod extract;
 pub mod graph;
 pub mod lang;
 pub mod prove;
@@ -37,6 +38,7 @@ pub mod rewrite;
 pub mod solve;
 pub mod unionfind;
 
+pub use extract::{CostFunction, TreeSize};
 pub use graph::EGraph;
 pub use lang::ENode;
 pub use prove::{prove_eq_saturate, prove_eq_saturate_cached, SaturateFailure};

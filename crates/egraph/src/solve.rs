@@ -136,13 +136,28 @@ impl Solver {
     /// Runs the saturation loop until `l = r` is proved or the search
     /// gives out.
     pub fn run(&mut self, l: Id, r: Id) -> (Outcome, Stats) {
+        self.run_impl(Some((l, r)))
+    }
+
+    /// Runs the saturation loop with no goal: saturate the graph under
+    /// the rewrite set until nothing changes or the budget runs out.
+    /// Never returns [`Outcome::Proved`] — this is the optimizer's entry
+    /// point, where the payoff is the enriched class structure that
+    /// [`Solver::extract_best`] mines, not a merge of two seeds.
+    pub fn saturate(&mut self) -> (Outcome, Stats) {
+        self.run_impl(None)
+    }
+
+    fn run_impl(&mut self, goal: Option<(Id, Id)>) -> (Outcome, Stats) {
         let mut stats = Stats::default();
         loop {
             self.eg.rebuild();
             stats.nodes = self.eg.node_count();
             stats.unions = self.eg.union_count();
-            if self.eg.same(l, r) {
-                return (Outcome::Proved, stats);
+            if let Some((l, r)) = goal {
+                if self.eg.same(l, r) {
+                    return (Outcome::Proved, stats);
+                }
             }
             if stats.iters >= self.budget.max_iters {
                 return (Outcome::IterBudget, stats);
@@ -183,14 +198,31 @@ impl Solver {
             if self.eg.node_count() == nodes_before && self.eg.union_count() == unions_before {
                 stats.nodes = self.eg.node_count();
                 stats.unions = self.eg.union_count();
-                let outcome = if self.eg.same(l, r) {
-                    Outcome::Proved
-                } else {
-                    Outcome::Saturated
+                let outcome = match goal {
+                    Some((l, r)) if self.eg.same(l, r) => Outcome::Proved,
+                    _ => Outcome::Saturated,
                 };
                 return (outcome, stats);
             }
         }
+    }
+
+    /// Extracts the cheapest equivalent [`UExpr`] of a class under the
+    /// given cost function, together with its table cost. `None` when
+    /// the class has no finite-cost representative.
+    pub fn extract_best<C: crate::extract::CostFunction>(
+        &mut self,
+        id: Id,
+        cost: &C,
+    ) -> Option<(C::Cost, UExpr)> {
+        let best = self.eg.extraction_with(cost);
+        let canon = self.eg.find(id);
+        let key = if best.contains_key(&canon) { canon } else { id };
+        let recorded = best.get(&key)?.0.clone();
+        let Solver { eg, gen, .. } = self;
+        let mut env = crate::lang::NameEnv::new(gen);
+        let expr = eg.extract_uexpr(&best, id, &mut env)?;
+        Some((recorded, expr))
     }
 
     /// Appends the lemma chain that merged `a` and `b` to `trace`.

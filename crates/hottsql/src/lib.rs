@@ -45,6 +45,7 @@ pub mod env;
 pub mod error;
 pub mod eval;
 pub mod parse;
+pub mod readback;
 pub mod ty;
 
 pub use ast::{Expr, Predicate, Proj, Query};

@@ -1,0 +1,309 @@
+//! The certified optimization pipeline.
+//!
+//! [`optimize_query`] takes a HoTTSQL query, denotes it (Fig. 7),
+//! saturates an e-graph under the lemma-compiled rewrites, extracts the
+//! cheapest equivalent denotation under the cost model, reads it back
+//! into a plan, and — crucially — *certifies* the plan: the input and
+//! output denotations are proved equal by the ordinary prover stack
+//! (tactics, then equality saturation), and the resulting
+//! [`ProofTrace`] ships inside the report. A plan that cannot be
+//! certified is never returned: the pipeline falls back to the next
+//! cheapest candidate, ultimately the input itself, whose reflexive
+//! certificate always exists. `cost_after ≤ cost_before` therefore
+//! holds by construction, with both costs measured the same way (on the
+//! query denotations, not on intermediate forms).
+//!
+//! Candidate plans come from two routes:
+//!
+//! - **e-graph extraction** — normalize, seed, saturate under budget,
+//!   extract the best class representative under [`StatsCost`], read
+//!   back via [`hottsql::readback`];
+//! - **core minimization** — queries in the conjunctive fragment are
+//!   minimized (Chandra–Merlin cores) and rendered back via
+//!   [`cq::translate::to_query`], the Cosette-lineage redundant-join
+//!   elimination.
+
+use crate::cost::{Cost, StatsCost};
+use egraph::extract::cost_uexpr;
+use egraph::solve::{Budget, Outcome, Solver, Stats};
+use hottsql::ast::Query;
+use hottsql::denote::{denote_closed_query, denote_query};
+use hottsql::env::QueryEnv;
+use relalg::stats::Statistics;
+use relalg::Schema;
+use std::fmt;
+use uninomial::normalize::{normalize, normalize_with_cache, NormCache, Trace};
+use uninomial::prove::{prove_eq_cached, prove_eq_with_axioms, Method, ProofTrace};
+use uninomial::syntax::{Term, UExpr, VarGen};
+
+/// Optimization options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimizeOptions {
+    /// Saturation budget for the plan search (and for the certificate's
+    /// saturation fallback).
+    pub budget: Budget,
+}
+
+/// Which route produced the chosen plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Cost-based extraction from the saturated e-graph.
+    EGraph,
+    /// Conjunctive-query core minimization.
+    CqMinimize,
+    /// No certified cheaper plan was found; the input is returned.
+    Unchanged,
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Route::EGraph => write!(f, "e-graph extraction"),
+            Route::CqMinimize => write!(f, "CQ core minimization"),
+            Route::Unchanged => write!(f, "unchanged"),
+        }
+    }
+}
+
+/// The machine-checkable equivalence certificate shipped with a plan:
+/// an ordinary [`ProofTrace`] over the trusted lemma catalog, exactly
+/// like the proof-checker's traces.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Which prover closed the equivalence.
+    pub method: Method,
+    /// The lemma-application trace.
+    pub trace: ProofTrace,
+}
+
+impl Certificate {
+    /// Replays the certificate: re-derives the input ≡ output proof
+    /// through the same (deterministic) pipeline and checks that it
+    /// reproduces this trace step for step. `false` means the
+    /// certificate does not match what the checker derives — a corrupt
+    /// or forged report.
+    pub fn replay(&self, input: &Query, output: &Query, env: &QueryEnv, budget: Budget) -> bool {
+        match certify(input, output, env, budget, None) {
+            Some(fresh) => fresh.method == self.method && fresh.trace.steps() == self.trace.steps(),
+            None => false,
+        }
+    }
+}
+
+/// The result of optimizing one query.
+#[derive(Clone, Debug)]
+pub struct OptimizeReport {
+    /// The query as given.
+    pub input: Query,
+    /// The chosen (certified) plan.
+    pub output: Query,
+    /// Estimated work of the input plan.
+    pub cost_before: f64,
+    /// Estimated work of the output plan (`≤ cost_before` by
+    /// construction).
+    pub cost_after: f64,
+    /// Which route produced the plan.
+    pub route: Route,
+    /// Whether the output differs from the input.
+    pub improved: bool,
+    /// The equivalence certificate (present even when unchanged — the
+    /// reflexive proof).
+    pub certificate: Certificate,
+    /// How the plan-search saturation ended.
+    pub sat_outcome: Outcome,
+    /// Plan-search saturation statistics.
+    pub sat_stats: Stats,
+}
+
+/// Failure to optimize: the query does not denote (typing error).
+#[derive(Clone, Debug)]
+pub struct OptimizeError(pub String);
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot optimize: {}", self.0)
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Optimizes a closed query under the given statistics.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError`] when the query fails to type or denote.
+pub fn optimize_query(
+    q: &Query,
+    env: &QueryEnv,
+    stats: &Statistics,
+    opts: OptimizeOptions,
+) -> Result<OptimizeReport, OptimizeError> {
+    optimize_query_impl(q, env, stats, opts, None)
+}
+
+/// [`optimize_query`] with memoized normalization through a reusable
+/// [`NormCache`] — the batch engine's per-worker entry point. Reports
+/// are identical to the uncached path (the cache is trace-exact).
+///
+/// # Errors
+///
+/// Returns [`OptimizeError`] when the query fails to type or denote.
+pub fn optimize_query_cached(
+    q: &Query,
+    env: &QueryEnv,
+    stats: &Statistics,
+    opts: OptimizeOptions,
+    cache: &mut NormCache,
+) -> Result<OptimizeReport, OptimizeError> {
+    optimize_query_impl(q, env, stats, opts, Some(cache))
+}
+
+fn optimize_query_impl(
+    q: &Query,
+    env: &QueryEnv,
+    stats: &Statistics,
+    opts: OptimizeOptions,
+    mut cache: Option<&mut NormCache>,
+) -> Result<OptimizeReport, OptimizeError> {
+    let model = StatsCost::new(stats);
+    let input_schema = hottsql::ty::infer_query(q, env, &Schema::Empty)
+        .map_err(|e| OptimizeError(e.to_string()))?;
+    let mut gen = VarGen::new();
+    let (t, el) =
+        denote_closed_query(q, env, &mut gen).map_err(|e| OptimizeError(e.to_string()))?;
+    let cost_before = cost_uexpr(&el.beta_reduce_terms(), &model);
+
+    // Plan search: normalize, seed, saturate, extract cheapest.
+    let mut scratch = Trace::new();
+    let nf = match cache.as_deref_mut() {
+        Some(cache) => normalize_with_cache(&el, &mut gen, &mut scratch, cache),
+        None => normalize(&el, &mut gen, &mut scratch),
+    };
+    let mut solver = Solver::new(opts.budget);
+    let seed = nf.reify();
+    let root = solver.seed_expr(&seed);
+    let (sat_outcome, sat_stats) = solver.saturate();
+    let mut candidates: Vec<(Query, Route)> = Vec::new();
+    if let Some((_, best)) = solver.extract_best(root, &model) {
+        if let Some(q2) = readback(&best, &t, env, &mut gen) {
+            candidates.push((q2, Route::EGraph));
+        }
+    }
+    // Conjunctive-query core minimization.
+    if let Some(cq0) = cq::translate::from_query(q, env) {
+        let core = cq::minimize::minimize(&cq0);
+        if core.size() < cq0.size() {
+            if let Some(q2) = cq::translate::to_query(&core, env) {
+                candidates.push((q2, Route::CqMinimize));
+            }
+        }
+    }
+    // Measure every candidate the same way the input was measured,
+    // discarding plans that fail to type at the input schema. The input
+    // goes FIRST: the sort is stable, so an equal-cost rewritten plan
+    // never displaces it — no plan churn without a strict cost win.
+    let mut measured: Vec<(Cost, Query, Route)> = vec![(cost_before, q.clone(), Route::Unchanged)];
+    for (cand, route) in candidates {
+        if hottsql::ty::infer_query(&cand, env, &Schema::Empty).ok() != Some(input_schema.clone()) {
+            continue;
+        }
+        if let Some(cost) = measure(&cand, env, &model) {
+            measured.push((cost, cand, route));
+        }
+    }
+    measured.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Ship the cheapest candidate that certifies; the input always
+    // does (reflexive proof), so the loop cannot fall through.
+    for (cost, cand, route) in measured {
+        let Some(certificate) = certify(q, &cand, env, opts.budget, cache.as_deref_mut()) else {
+            continue;
+        };
+        let route = if cand == *q { Route::Unchanged } else { route };
+        // Holds by construction (the input sorts into the list and the
+        // sort is stable); reported unclamped so the downstream gates
+        // can actually catch a regression here.
+        debug_assert!(cost.work <= cost_before.work);
+        return Ok(OptimizeReport {
+            improved: route != Route::Unchanged,
+            input: q.clone(),
+            output: cand,
+            cost_before: cost_before.work,
+            cost_after: cost.work,
+            route,
+            certificate,
+            sat_outcome,
+            sat_stats,
+        });
+    }
+    Err(OptimizeError(
+        "reflexive certificate unexpectedly failed".into(),
+    ))
+}
+
+/// Extraction → normal form → query syntax. Re-normalizing the
+/// extracted expression puts it into the shape the readback fragment
+/// covers (and is itself a trusted, lemma-audited step).
+fn readback(best: &UExpr, t: &uninomial::Var, env: &QueryEnv, gen: &mut VarGen) -> Option<Query> {
+    gen.reserve_above(best.max_var_id());
+    let mut scratch = Trace::new();
+    let nf = normalize(best, gen, &mut scratch);
+    hottsql::readback::query_of_spnf(&nf, t, env)
+}
+
+/// Costs a candidate plan exactly the way the input was costed: on its
+/// β-reduced denotation.
+fn measure(q: &Query, env: &QueryEnv, model: &StatsCost) -> Option<Cost> {
+    let mut gen = VarGen::new();
+    let (_, e) = denote_closed_query(q, env, &mut gen).ok()?;
+    Some(cost_uexpr(&e.beta_reduce_terms(), model))
+}
+
+/// Proves `input ≡ output` with the ordinary prover stack and packages
+/// the trace as a [`Certificate`]. Deterministic: the same pair always
+/// yields the same trace, which is what makes certificates replayable.
+fn certify(
+    input: &Query,
+    output: &Query,
+    env: &QueryEnv,
+    budget: Budget,
+    cache: Option<&mut NormCache>,
+) -> Option<Certificate> {
+    let mut gen = VarGen::new();
+    let (t, el) = denote_closed_query(input, env, &mut gen).ok()?;
+    let er = denote_query(
+        output,
+        env,
+        &Schema::Empty,
+        &Term::Unit,
+        &Term::var(&t),
+        &mut gen,
+    )
+    .ok()?;
+    match cache {
+        Some(cache) => match prove_eq_cached(&el, &er, &[], &mut gen, cache) {
+            Ok(proof) => Some(Certificate {
+                method: proof.method(),
+                trace: proof.trace().clone(),
+            }),
+            Err(_) => egraph::prove_eq_saturate_cached(&el, &er, &[], &mut gen, cache, budget)
+                .ok()
+                .map(|proof| Certificate {
+                    method: proof.method(),
+                    trace: proof.trace().clone(),
+                }),
+        },
+        None => match prove_eq_with_axioms(&el, &er, &[], &mut gen) {
+            Ok(proof) => Some(Certificate {
+                method: proof.method(),
+                trace: proof.trace().clone(),
+            }),
+            Err(_) => egraph::prove_eq_saturate(&el, &er, &[], &mut gen, budget)
+                .ok()
+                .map(|proof| Certificate {
+                    method: proof.method(),
+                    trace: proof.trace().clone(),
+                }),
+        },
+    }
+}

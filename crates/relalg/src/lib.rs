@@ -21,6 +21,8 @@
 //! - [`index`] — index-as-relation (Sec. 4.2, after Tsatalos et al.).
 //! - [`generate`] — random schema/instance generators used by the
 //!   differential-testing harness.
+//! - [`stats`] — table statistics (row counts, per-column distinct
+//!   estimates) feeding the certified optimizer's cost model.
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ pub mod generate;
 pub mod index;
 pub mod ops;
 pub mod provenance;
+pub mod stats;
 
 pub use card::Card;
 pub use error::{RelalgError, Result};

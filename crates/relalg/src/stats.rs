@@ -1,0 +1,206 @@
+//! Table statistics for cost-based optimization.
+//!
+//! A cost model needs to know how big the base relations are. This
+//! module provides the minimal statistics layer the certified optimizer
+//! consumes: per-table row counts plus optional per-column
+//! distinct-value estimates, either declared by hand or measured from a
+//! concrete [`Relation`].
+
+use crate::card::Card;
+use crate::relation::Relation;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Statistics for one table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableStats {
+    /// Estimated row count (total bag multiplicity).
+    pub rows: f64,
+    /// Estimated distinct values per column (left-to-right leaf order),
+    /// when known.
+    pub distinct: Option<Vec<f64>>,
+}
+
+impl TableStats {
+    /// Statistics with a row count only.
+    pub fn with_rows(rows: f64) -> TableStats {
+        TableStats {
+            rows: rows.max(0.0),
+            distinct: None,
+        }
+    }
+
+    /// Measures a concrete relation: total multiplicity as the row
+    /// count, distinct leaf values per column. `ω` multiplicities are
+    /// clamped to a large finite stand-in.
+    pub fn from_relation(r: &Relation) -> TableStats {
+        let rows = match r.total_multiplicity() {
+            Card::Fin(n) => n as f64,
+            Card::Omega => 1e18,
+        };
+        let width = r.schema().width();
+        let mut columns: Vec<BTreeSet<String>> = vec![BTreeSet::new(); width];
+        for (t, _) in r.iter() {
+            for (i, v) in t.leaves().into_iter().enumerate() {
+                if let Some(col) = columns.get_mut(i) {
+                    col.insert(v.to_string());
+                }
+            }
+        }
+        TableStats {
+            rows,
+            distinct: Some(columns.into_iter().map(|c| c.len() as f64).collect()),
+        }
+    }
+}
+
+/// A statistics catalog: per-table [`TableStats`] plus a default row
+/// count for undeclared tables (and relation meta-variables, which have
+/// no instances to measure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statistics {
+    tables: BTreeMap<String, TableStats>,
+    /// Row estimate for tables without declared statistics.
+    pub default_rows: f64,
+}
+
+impl Default for Statistics {
+    fn default() -> Statistics {
+        Statistics {
+            tables: BTreeMap::new(),
+            default_rows: 1000.0,
+        }
+    }
+}
+
+impl Statistics {
+    /// An empty catalog with the default row estimate (1000).
+    pub fn new() -> Statistics {
+        Statistics::default()
+    }
+
+    /// Sets the default row estimate for undeclared tables.
+    pub fn with_default_rows(mut self, rows: f64) -> Statistics {
+        self.default_rows = rows.max(0.0);
+        self
+    }
+
+    /// Declares statistics for a table.
+    pub fn with_table(mut self, name: impl Into<String>, stats: TableStats) -> Statistics {
+        self.tables.insert(name.into(), stats);
+        self
+    }
+
+    /// Declares a bare row count for a table.
+    pub fn with_rows(self, name: impl Into<String>, rows: f64) -> Statistics {
+        self.with_table(name, TableStats::with_rows(rows))
+    }
+
+    /// The statistics declared for a table, if any.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// Estimated rows of a table (the default for undeclared names).
+    pub fn rows(&self, name: &str) -> f64 {
+        self.tables
+            .get(name)
+            .map(|t| t.rows)
+            .unwrap_or(self.default_rows)
+    }
+
+    /// Iterates over declared tables.
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &TableStats)> {
+        self.tables.iter()
+    }
+
+    /// Estimated selectivity of one equality conjunct: `1 / d̄` where
+    /// `d̄` is the average per-column distinct count over tables that
+    /// declare one, clamped to `[1e-6, 1]`. Falls back to `0.1`
+    /// (the textbook default) when no distinct estimates are declared.
+    pub fn eq_selectivity(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for t in self.tables.values() {
+            if let Some(d) = &t.distinct {
+                for &c in d {
+                    sum += c.max(1.0);
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            return 0.1;
+        }
+        let avg = sum / n as f64;
+        (1.0 / avg).clamp(1e-6, 1.0)
+    }
+
+    /// Estimated shrink factor of `DISTINCT` (squash): the average ratio
+    /// of per-table distinct support to rows, clamped to `[0.05, 1]`.
+    /// Falls back to `0.5` when nothing is declared.
+    pub fn distinct_ratio(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for t in self.tables.values() {
+            if let (Some(d), true) = (&t.distinct, t.rows > 0.0) {
+                let support = d.iter().copied().fold(1.0f64, f64::max);
+                sum += (support / t.rows).clamp(0.0, 1.0);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return 0.5;
+        }
+        (sum / n as f64).clamp(0.05, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::value::BaseType;
+
+    #[test]
+    fn declared_rows_and_default() {
+        let s = Statistics::new()
+            .with_rows("R", 200.0)
+            .with_default_rows(50.0);
+        assert_eq!(s.rows("R"), 200.0);
+        assert_eq!(s.rows("S"), 50.0);
+    }
+
+    #[test]
+    fn measured_relation_counts_rows_and_distincts() {
+        let schema = Schema::flat([BaseType::Int, BaseType::Int]);
+        let mut r = Relation::empty(schema);
+        for (a, b) in [(1, 40), (2, 40), (2, 50)] {
+            r.insert(Tuple::pair(Tuple::int(a), Tuple::int(b)));
+        }
+        let t = TableStats::from_relation(&r);
+        assert_eq!(t.rows, 3.0);
+        assert_eq!(t.distinct, Some(vec![2.0, 2.0]));
+    }
+
+    #[test]
+    fn selectivity_derives_from_distincts() {
+        let s = Statistics::new().with_table(
+            "R",
+            TableStats {
+                rows: 100.0,
+                distinct: Some(vec![4.0, 4.0]),
+            },
+        );
+        assert!((s.eq_selectivity() - 0.25).abs() < 1e-9);
+        // Distinct support 4 of 100 rows → heavy squash shrink.
+        assert!((s.distinct_ratio() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallbacks_without_declarations() {
+        let s = Statistics::new();
+        assert_eq!(s.eq_selectivity(), 0.1);
+        assert_eq!(s.distinct_ratio(), 0.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Certified optimization over the TPC-H-flavored schemas of
+//! `tests/tpch_like.rs`: statistics are *measured* from a concrete
+//! instance (`TableStats::from_relation`), so equality selectivities
+//! and `DISTINCT` discounts come from real distinct-value counts, and
+//! each optimized plan is executed against the instance to show the
+//! certificate is not just decorative.
+//!
+//! Run with: `cargo run --example optimize`
+
+use hottsql::env::QueryEnv;
+use hottsql::eval::{eval_query, Instance};
+use hottsql::parse::parse_query;
+use optimizer::{optimize_query, OptimizeOptions};
+use relalg::stats::{Statistics, TableStats};
+use relalg::{BaseType, Relation, Schema, Tuple};
+
+/// lineitem(orderkey, quantity, price) — as in `tests/tpch_like.rs`.
+fn lineitem_schema() -> Schema {
+    Schema::flat([BaseType::Int, BaseType::Int, BaseType::Int])
+}
+
+fn orders_schema() -> Schema {
+    Schema::flat([BaseType::Int, BaseType::Int])
+}
+
+fn instance() -> Instance {
+    let lineitem = Relation::from_tuples(
+        lineitem_schema(),
+        [
+            Tuple::flat([1.into(), 5.into(), 100.into()]),
+            Tuple::flat([1.into(), 3.into(), 60.into()]),
+            Tuple::flat([2.into(), 7.into(), 700.into()]),
+            Tuple::flat([3.into(), 1.into(), 10.into()]),
+        ],
+    )
+    .unwrap();
+    let orders = Relation::from_tuples(
+        orders_schema(),
+        [
+            Tuple::flat([1.into(), 10.into()]),
+            Tuple::flat([2.into(), 20.into()]),
+            Tuple::flat([3.into(), 10.into()]),
+        ],
+    )
+    .unwrap();
+    Instance::new()
+        .with_table("lineitem", lineitem)
+        .with_table("orders", orders)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = QueryEnv::new()
+        .with_table("lineitem", lineitem_schema())
+        .with_table("orders", orders_schema());
+    let inst = instance();
+
+    // Statistics measured from the instance, then scaled: the real
+    // tables are 1000× the sample.
+    let mut stats = Statistics::new();
+    for (name, rel) in &inst.tables {
+        let mut t = TableStats::from_relation(rel);
+        t.rows *= 1000.0;
+        if let Some(d) = &mut t.distinct {
+            for c in d {
+                *c *= 1000.0;
+            }
+        }
+        stats = stats.with_table(name.clone(), t);
+    }
+    println!(
+        "measured statistics: lineitem {} rows, orders {} rows, eq selectivity {:.4}",
+        stats.rows("lineitem"),
+        stats.rows("orders"),
+        stats.eq_selectivity()
+    );
+
+    // A redundant self-join on the order key (the Sec. 2 pattern at
+    // TPC-H shape) and an already-minimal key join: the optimizer must
+    // collapse the first and leave the second alone.
+    let queries = [
+        "DISTINCT SELECT Right.Left.Left FROM lineitem, lineitem \
+         WHERE Right.Left.Left = Right.Right.Left",
+        "DISTINCT SELECT Right.Right.Right FROM lineitem, orders \
+         WHERE Right.Left.Left = Right.Right.Left",
+    ];
+    let opts = OptimizeOptions::default();
+    for sql in queries {
+        let q = parse_query(sql)?;
+        let report = optimize_query(&q, &env, &stats, opts)?;
+        println!("\ninput plan:  {}", report.input);
+        println!("chosen plan: {}", report.output);
+        println!(
+            "cost {:.0} -> {:.0} via {}, certificate: {} steps ({})",
+            report.cost_before,
+            report.cost_after,
+            report.route,
+            report.certificate.trace.len(),
+            report.certificate.method,
+        );
+        assert!(report.cost_after <= report.cost_before);
+        let a = eval_query(&report.input, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
+        let b = eval_query(&report.output, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
+        assert!(a.bag_eq(&b), "certified plans must agree on the instance");
+        println!("plans agree on the instance ({} rows)", a.support_size());
+    }
+    Ok(())
+}

@@ -1,105 +1,26 @@
-//! A miniature verified-rule-driven query optimizer — the paper's
-//! motivating use case (Sec. 1): a plan enumerator that only applies
-//! rewrites proved correct by DOPCERT, with a simple cost model, shown
-//! end-to-end on a concrete query and instance.
+//! The paper's motivating use case (Sec. 1), now end-to-end: a query
+//! optimizer that only ships plans it can *prove* correct. The old
+//! version of this example enumerated plans with hand-rolled rewrite
+//! closures and a local cost model; all of that now lives in
+//! `crates/optimizer` — saturate the e-graph under the verified lemma
+//! catalog, extract the cheapest equivalent plan under table
+//! statistics, and attach a replayable proof certificate.
 //!
 //! Run with: `cargo run --example optimizer`
 
 use hottsql::ast::{Predicate, Query};
 use hottsql::env::QueryEnv;
 use hottsql::eval::{eval_query, Instance};
+use hottsql::parse::parse_query;
+use optimizer::{optimize_query, OptimizeOptions};
 use relalg::generate::Generator;
+use relalg::stats::Statistics;
 use relalg::{Schema, Tuple};
 
-/// Number of conjuncts a predicate evaluates per row.
-fn conjuncts(b: &Predicate) -> f64 {
-    match b {
-        Predicate::And(x, y) => conjuncts(x) + conjuncts(y),
-        _ => 1.0,
-    }
-}
-
-/// Estimated output cardinality (each filter conjunct halves the input).
-fn size(q: &Query, sizes: &dyn Fn(&str) -> f64) -> f64 {
-    match q {
-        Query::Table(n) => sizes(n),
-        Query::Select(_, q) | Query::Distinct(q) => size(q, sizes),
-        Query::Product(a, b) => size(a, sizes) * size(b, sizes),
-        Query::Where(q, b) => size(q, sizes) * 0.5f64.powf(conjuncts(b)),
-        Query::UnionAll(a, b) => size(a, sizes) + size(b, sizes),
-        Query::Except(a, _) => size(a, sizes),
-    }
-}
-
-/// A naive cost model: work per operator (predicate evaluations for
-/// selections, pairwise combination for products).
-fn cost(q: &Query, sizes: &dyn Fn(&str) -> f64) -> f64 {
-    match q {
-        Query::Table(_) => 0.0,
-        Query::Select(_, q) | Query::Distinct(q) => cost(q, sizes) + size(q, sizes),
-        Query::Product(a, b) => cost(a, sizes) + cost(b, sizes) + size(a, sizes) * size(b, sizes),
-        Query::Where(q, b) => cost(q, sizes) + size(q, sizes) * conjuncts(b),
-        Query::UnionAll(a, b) | Query::Except(a, b) => cost(a, sizes) + cost(b, sizes),
-    }
-}
-
-/// One verified rewrite: pushing a conjunct filter into nested
-/// selections (the proved `conj-slct-split` rule, applied left-to-right
-/// wherever it matches).
-fn apply_filter_split(q: &Query) -> Option<Query> {
-    match q {
-        Query::Where(inner, Predicate::And(b1, b2)) => Some(Query::where_(
-            Query::where_((**inner).clone(), (**b1).clone()),
-            (**b2).clone(),
-        )),
-        _ => None,
-    }
-}
-
-/// Another verified rewrite: selection distributes over UNION ALL
-/// (`union-slct-distr`, Fig. 1), enabling per-branch filtering.
-fn apply_union_push(q: &Query) -> Option<Query> {
-    match q {
-        Query::Where(inner, b) => match &**inner {
-            Query::UnionAll(l, r) => Some(Query::union_all(
-                Query::where_((**l).clone(), b.clone()),
-                Query::where_((**r).clone(), b.clone()),
-            )),
-            _ => None,
-        },
-        _ => None,
-    }
-}
-
-/// Exhaustive plan enumeration by verified rewrites (tiny search space).
-fn enumerate(q: &Query) -> Vec<Query> {
-    let mut plans = vec![q.clone()];
-    let mut frontier = vec![q.clone()];
-    while let Some(p) = frontier.pop() {
-        for rewrite in [apply_filter_split, apply_union_push] {
-            if let Some(p2) = rewrite(&p) {
-                if !plans.contains(&p2) {
-                    plans.push(p2.clone());
-                    frontier.push(p2);
-                }
-            }
-        }
-        // Also rewrite inside union branches.
-        if let Query::UnionAll(a, b) = &p {
-            for (ra, rb) in enumerate(a).into_iter().zip(enumerate(b)) {
-                let p2 = Query::union_all(ra, rb);
-                if !plans.contains(&p2) {
-                    plans.push(p2);
-                }
-            }
-        }
-    }
-    plans
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The rewrites this optimizer uses are proved sound first.
-    for name in ["conj-slct-split", "union-slct-distr"] {
+    // The rewrites the optimizer draws on are proved sound first — the
+    // whole point of DOPCERT's existence.
+    for name in ["conj-slct-split", "union-slct-distr", "self-join-dedup"] {
         let rules = dopcert::catalog::sound_rules();
         let rule = rules.iter().find(|r| r.name == name).expect("in catalog");
         let report = dopcert::prove::prove_rule(rule);
@@ -107,7 +28,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("verified rewrite: {name} ({} steps)", report.steps);
     }
 
-    // Input query: SELECT * FROM (R UNION ALL S) WHERE b1 AND b2.
     let sigma = Schema::flat([relalg::BaseType::Int, relalg::BaseType::Int]);
     let pred_ctx = Schema::node(Schema::Empty, sigma.clone());
     let env = QueryEnv::new()
@@ -115,25 +35,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_table("S", sigma.clone())
         .with_pred("b1", pred_ctx.clone())
         .with_pred("b2", pred_ctx);
-    let q = Query::where_(
-        Query::union_all(Query::table("R"), Query::table("S")),
-        Predicate::and(Predicate::var("b1"), Predicate::var("b2")),
-    );
-    println!("\ninput plan: {q}");
+    let stats = Statistics::new()
+        .with_rows("R", 1000.0)
+        .with_rows("S", 500.0);
+    let opts = OptimizeOptions::default();
 
-    // Enumerate and cost plans.
-    let sizes = |n: &str| if n == "R" { 1000.0 } else { 500.0 };
-    let mut plans = enumerate(&q);
-    plans.sort_by(|a, b| cost(a, &sizes).total_cmp(&cost(b, &sizes)));
-    println!("\n{} equivalent plans found:", plans.len());
-    for p in &plans {
-        println!("  cost {:>8.0}  {p}", cost(p, &sizes));
-    }
-    let best = plans.first().expect("at least the input plan");
-    println!("\nchosen plan: {best}");
+    // Three inputs: the Sec. 1 filter-over-union (already minimal — the
+    // optimizer must return it unchanged rather than a costlier
+    // "rewritten" form), the Sec. 2 redundant self-join (the core is a
+    // single scan), and a dead union branch (killed by the e-graph's
+    // constant-equality collapse).
+    let queries = vec![
+        Query::where_(
+            Query::union_all(Query::table("R"), Query::table("S")),
+            Predicate::and(Predicate::var("b1"), Predicate::var("b2")),
+        ),
+        parse_query(
+            "DISTINCT SELECT Right.Left.Left FROM R, R \
+             WHERE Right.Left.Left = Right.Right.Left",
+        )?,
+        Query::union_all(
+            Query::table("R"),
+            Query::where_(Query::table("S"), Predicate::False),
+        ),
+    ];
 
-    // Execute the input and the chosen plan on a random instance; the
-    // results must be identical because every rewrite was verified.
     let mut g = Generator::new(11);
     let inst = Instance::new()
         .with_table("R", g.relation(&sigma))
@@ -144,12 +70,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_pred("b2", |t: &Tuple| {
             t.leaves().last().and_then(|v| v.as_int()).unwrap_or(0) >= 0
         });
-    let out_in = eval_query(&q, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
-    let out_best = eval_query(best, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
-    assert!(out_in.bag_eq(&out_best));
-    println!(
-        "\ninput and optimized plans agree on a random instance ({} rows)",
-        out_in.support_size()
-    );
+
+    for q in &queries {
+        let report = optimize_query(q, &env, &stats, opts)?;
+        println!("\ninput plan:  {}", report.input);
+        println!("chosen plan: {}", report.output);
+        println!(
+            "cost {:.0} -> {:.0} via {}, certified by the {} prover in {} steps",
+            report.cost_before,
+            report.cost_after,
+            report.route,
+            report.certificate.method,
+            report.certificate.trace.len(),
+        );
+        assert!(report.cost_after <= report.cost_before);
+        assert!(report
+            .certificate
+            .replay(&report.input, &report.output, &env, opts.budget));
+
+        // Execute both plans; the results must be identical because the
+        // plan shipped with a proof.
+        let out_in = eval_query(&report.input, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
+        let out_best = eval_query(&report.output, &env, &inst, &Schema::Empty, &Tuple::Unit)?;
+        assert!(out_in.bag_eq(&out_best));
+        println!(
+            "input and optimized plans agree on a random instance ({} rows)",
+            out_in.support_size()
+        );
+    }
     Ok(())
 }

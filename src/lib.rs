@@ -11,6 +11,9 @@
 //!   desugaring, denotational semantics (Fig. 7), concrete evaluation.
 //! - [`cq`] — conjunctive queries and the automated decision procedure.
 //! - [`listsem`] — the list-semantics baseline of Sec. 2.
+//! - [`optimizer`] — certified cost-based query optimization: saturate,
+//!   extract the cheapest equivalent plan under table statistics, read
+//!   it back to HoTTSQL, and ship a replayable proof certificate.
 //! - [`dopcert`] — the DOPCERT prover: tactics, the 23-rule catalog of
 //!   Fig. 8, the differential-testing harness, and the parallel batch
 //!   proving engine (`dopcert::engine`) built on the hash-consed
@@ -20,5 +23,6 @@ pub use cq;
 pub use dopcert;
 pub use hottsql;
 pub use listsem;
+pub use optimizer;
 pub use relalg;
 pub use uninomial;
