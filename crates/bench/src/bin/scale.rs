@@ -66,6 +66,42 @@ fn main() {
         );
     }
 
+    // Persistent sessions vs fresh solver state over a repetition-heavy
+    // generated corpus (≥1k goals sampled from a pool of distinct
+    // equivalent CQ pairs — production traffic repeats, and repetition
+    // is what the per-worker session amortizes). Verdicts must be
+    // identical; only the wall clock may differ.
+    {
+        let goals = max_pairs.max(1000);
+        let (env, pairs, distinct) = bench::session_corpus(0x005E_5510, goals, 48);
+        let mut fresh_reports = None;
+        for (session, name) in [(false, "fresh"), (true, "session")] {
+            let (time, reports) = bench::timed(|| bench::prove_corpus(&env, &pairs, session));
+            let proved = reports.iter().filter(|r| r.proved).count();
+            let steps: usize = reports.iter().map(|r| r.steps).sum();
+            emit(
+                format!(
+                    "{{\"bench\":\"session_vs_fresh\",\"mode\":\"{name}\",\"goals\":{},\"distinct\":{distinct},\"proved\":{proved},\"steps\":{steps},\"millis\":{:.3}}}",
+                    pairs.len(),
+                    time.as_secs_f64() * 1e3
+                ),
+                format!(
+                    "session_vs_fresh[{name}]: {proved}/{} goals proved ({distinct} distinct), {:.1} ms ({:.1} µs/goal)",
+                    pairs.len(),
+                    time.as_secs_f64() * 1e3,
+                    time.as_secs_f64() * 1e6 / pairs.len() as f64
+                ),
+            );
+            match &fresh_reports {
+                None => fresh_reports = Some(reports),
+                Some(fresh) => assert_eq!(
+                    fresh, &reports,
+                    "session-mode verdicts must be identical to fresh mode"
+                ),
+            }
+        }
+    }
+
     // Fig. 8 catalog: tactics-only vs saturation-only cost.
     for (mode, name) in [
         (SaturateMode::Off, "tactics"),

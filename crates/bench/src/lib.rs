@@ -302,6 +302,68 @@ pub fn optimize_corpus(
     summary
 }
 
+/// Corpus for the `session_vs_fresh` series: `goals` equivalence goals
+/// sampled *with repetition* from a pool of `pool` generated equivalent
+/// CQ pairs rendered as queries — production query traffic repeats
+/// heavily, and repetition is exactly what a persistent session
+/// amortizes. Returns the environment, the goal list, and the number of
+/// distinct pairs actually in play.
+pub fn session_corpus(
+    seed: u64,
+    goals: usize,
+    pool: usize,
+) -> (
+    hottsql::env::QueryEnv,
+    Vec<(hottsql::ast::Query, hottsql::ast::Query)>,
+    usize,
+) {
+    use relalg::{BaseType, Schema};
+    let binary = Schema::flat([BaseType::Int, BaseType::Int]);
+    let env = hottsql::env::QueryEnv::new()
+        .with_table("R", binary.clone())
+        .with_table("S", binary.clone())
+        .with_table("T", binary);
+    let mut base = Vec::new();
+    for (a, b) in cq::generate::equivalent_pairs(seed, pool) {
+        if let (Some(qa), Some(qb)) = (
+            cq::translate::to_query(&a, &env),
+            cq::translate::to_query(&b, &env),
+        ) {
+            base.push((qa, qb));
+        }
+    }
+    assert!(!base.is_empty(), "pool must render at least one pair");
+    // Sample with repetition through a seeded LCG (no third-party RNG).
+    let mut out = Vec::with_capacity(goals);
+    let mut state = seed | 1;
+    for _ in 0..goals {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = (state >> 33) as usize % base.len();
+        out.push(base[idx].clone());
+    }
+    let distinct = base.len();
+    (env, out, distinct)
+}
+
+/// Batch-proves a pair corpus through the engine with sessions on or
+/// off, returning the reports.
+pub fn prove_corpus(
+    env: &hottsql::env::QueryEnv,
+    pairs: &[(hottsql::ast::Query, hottsql::ast::Query)],
+    session: bool,
+) -> Vec<dopcert::engine::PairReport> {
+    let engine = Engine::with_config(dopcert::engine::EngineConfig {
+        prove: dopcert::prove::ProveOptions {
+            session,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    engine.prove_pairs(env, pairs)
+}
+
 /// Generates the Cq pair of Fig. 10 (used by both the example and the
 /// benchmark).
 pub fn fig10_pair() -> (Cq, Cq) {

@@ -18,10 +18,17 @@
 //! - `--saturate` — prove with equality saturation only (the smoke mode
 //!   for the `egraph` crate); the default is tactics with saturation
 //!   fallback;
-//! - `--sat-iters N` / `--sat-nodes N` — saturation budget;
+//! - `--sat-iters N` / `--sat-nodes N` / `--sat-oracle-calls N` —
+//!   saturation budget (iterations, e-nodes, oracle calls/iteration);
 //! - `--jobs N` / `-j N` — worker threads (catalog mode);
 //! - `--no-shared-cache` — per-worker normalization memo tables only
-//!   (catalog mode; the default shares one striped table).
+//!   (catalog mode; the default shares one striped table);
+//! - `--no-session` — fresh solver state per goal instead of one
+//!   persistent session per worker (the differential baseline; answers
+//!   are identical either way);
+//! - `--discover` — after `catalog` verification, saturate one
+//!   multi-seed session over every rule's sides and list the
+//!   equalities it proved between *different* rules' seeds.
 //!
 //! Script syntax (see `dopcert::script`):
 //!
@@ -44,7 +51,10 @@ struct Flags {
     saturate: bool,
     sat_iters: Option<usize>,
     sat_nodes: Option<usize>,
+    sat_oracle_calls: Option<usize>,
     no_shared_cache: bool,
+    no_session: bool,
+    discover: bool,
     /// First non-flag argument (the script path for check/prove).
     positional: Option<String>,
 }
@@ -63,7 +73,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--saturate" => flags.saturate = true,
             "--sat-iters" => flags.sat_iters = Some(parse_num(arg, it.next())?),
             "--sat-nodes" => flags.sat_nodes = Some(parse_num(arg, it.next())?),
+            "--sat-oracle-calls" => flags.sat_oracle_calls = Some(parse_num(arg, it.next())?),
             "--no-shared-cache" => flags.no_shared_cache = true,
+            "--no-session" => flags.no_session = true,
+            "--discover" => flags.discover = true,
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -94,15 +107,23 @@ impl Flags {
                 reject(self.saturate, "--saturate (use `prove`)")?;
                 reject(self.sat_iters.is_some(), "--sat-iters (use `prove`)")?;
                 reject(self.sat_nodes.is_some(), "--sat-nodes (use `prove`)")?;
+                reject(
+                    self.sat_oracle_calls.is_some(),
+                    "--sat-oracle-calls (use `prove`)",
+                )?;
+                reject(self.no_session, "--no-session (use `prove`)")?;
+                reject(self.discover, "--discover (use `catalog`)")?;
             }
             "prove" => {
                 reject(self.jobs.is_some(), "--jobs")?;
                 reject(self.no_shared_cache, "--no-shared-cache")?;
+                reject(self.discover, "--discover (use `catalog`)")?;
             }
             "optimize" => {
                 // Optimization always saturates; the mode flag would be
                 // silently ignored, so reject it (budget flags apply).
                 reject(self.saturate, "--saturate (optimize always saturates)")?;
+                reject(self.discover, "--discover (use `catalog`)")?;
             }
             "catalog" => {
                 reject(self.positional.is_some(), "a script path")?;
@@ -119,6 +140,7 @@ impl Flags {
             } else {
                 SaturateMode::Fallback
             },
+            session: !self.no_session,
             ..ProveOptions::default()
         };
         if let Some(n) = self.sat_iters {
@@ -126,6 +148,9 @@ impl Flags {
         }
         if let Some(n) = self.sat_nodes {
             opts.budget.max_nodes = n;
+        }
+        if let Some(n) = self.sat_oracle_calls {
+            opts.budget.oracle_calls_per_iter = n;
         }
         opts
     }
@@ -227,7 +252,9 @@ fn run_optimize_mode(flags: &Flags) -> ExitCode {
         eprintln!("error: the script declares no goals to optimize");
         return ExitCode::FAILURE;
     }
-    let stats = relalg::stats::Statistics::new();
+    // Declared cardinalities (`rows R 1e6;`, `distinct R.a 100;`) drive
+    // the cost model; undeclared tables get the library default.
+    let stats = script.stats.clone();
     let engine = flags.engine();
     let budget = flags.prove_options().budget;
     let start = std::time::Instant::now();
@@ -316,6 +343,26 @@ fn main() -> ExitCode {
                     ""
                 },
             );
+            if flags.discover {
+                // Cross-rule discovery: one multi-seed session over the
+                // whole sound catalog — equalities between *different*
+                // rules' sides, the first step beyond prove-given-pairs.
+                let found = dopcert::session::discover_catalog(
+                    &dopcert::catalog::sound_rules(),
+                    flags.prove_options(),
+                );
+                println!("{} cross-rule equalities discovered:", found.len());
+                for (a, b, structural) in &found {
+                    println!(
+                        "  {a} == {b}{}",
+                        if *structural {
+                            " (same normal form)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+            }
             if ok {
                 ExitCode::SUCCESS
             } else {
@@ -325,9 +372,9 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: dopcert check <file.dop | ->\n\
-                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] <file.dop | ->\n\
-                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--no-shared-cache] <file.dop | ->\n\
-                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--no-shared-cache]"
+                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] <file.dop | ->\n\
+                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] <file.dop | ->\n\
+                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover]"
             );
             ExitCode::FAILURE
         }
@@ -359,12 +406,46 @@ mod tests {
             &["--saturate"][..],
             &["--sat-iters", "5"][..],
             &["--sat-nodes", "100"][..],
+            &["--sat-oracle-calls", "16"][..],
             &["--jobs", "2"][..],
             &["--no-shared-cache"][..],
+            &["--no-session"][..],
+            &["--discover"][..],
         ] {
             let f = flags(args).unwrap();
             let err = f.validate_for("check").unwrap_err();
             assert!(err.contains("not accepted"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn oracle_calls_flag_reaches_the_budget() {
+        let f = flags(&["--sat-oracle-calls", "7"]).unwrap();
+        f.validate_for("prove").unwrap();
+        f.validate_for("optimize").unwrap();
+        f.validate_for("catalog").unwrap();
+        assert_eq!(f.prove_options().budget.oracle_calls_per_iter, 7);
+        assert!(flags(&["--sat-oracle-calls"]).is_err(), "needs a number");
+        assert!(flags(&["--sat-oracle-calls", "x"]).is_err());
+    }
+
+    #[test]
+    fn no_session_flag_reaches_prove_options() {
+        let f = flags(&["--no-session"]).unwrap();
+        f.validate_for("prove").unwrap();
+        f.validate_for("optimize").unwrap();
+        f.validate_for("catalog").unwrap();
+        assert!(!f.prove_options().session);
+        assert!(flags(&[]).unwrap().prove_options().session, "on by default");
+    }
+
+    #[test]
+    fn discover_is_catalog_only() {
+        let f = flags(&["--discover"]).unwrap();
+        f.validate_for("catalog").unwrap();
+        for cmd in ["check", "prove", "optimize"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--discover"), "{cmd}: {err}");
         }
     }
 

@@ -14,7 +14,13 @@
 //!   into a lock-free [`InternerSnapshot`]. Each worker clones the
 //!   snapshot once into a private [`NormCache`] and keeps it for all the
 //!   rules it proves, so structurally shared subterms normalize once per
-//!   worker instead of once per occurrence.
+//!   worker instead of once per occurrence. On top of the cache, each
+//!   worker keeps ONE persistent session for its whole shard (a
+//!   [`ProveSession`] for proving, a [`PlanSession`] for optimizing,
+//!   unless `prove.session` is off): verdicts, plans, and certificates
+//!   are memoized across the shard's goals, and every saturation goal
+//!   seeds the session's shared multi-seed e-graph. Session answers are
+//!   byte-identical to fresh-solver mode by construction.
 //!
 //! Determinism: every worker uses its own [`VarGen`] (created per rule
 //! inside the prover, exactly as on the sequential path), and reports
@@ -27,11 +33,12 @@
 //! [`VarGen`]: uninomial::VarGen
 
 use crate::difftest::{differential_test, DiffOutcome};
-use crate::prove::{denote_instance, prove_rule_with, ProveOptions, RuleReport};
-use crate::rule::Rule;
+use crate::prove::{denote_instance, prove_rule_session, ProveOptions, RuleReport, VerifyMethod};
+use crate::rule::{Rule, RuleInstance};
+use crate::session::ProveSession;
 use hottsql::ast::Query;
 use hottsql::env::QueryEnv;
-use optimizer::{OptimizeError, OptimizeOptions, OptimizeReport};
+use optimizer::{OptimizeError, OptimizeOptions, OptimizeReport, PlanSession};
 use relalg::stats::Statistics;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,6 +95,17 @@ pub struct Engine {
     config: EngineConfig,
 }
 
+/// Outcome of one goal in a [`Engine::prove_pairs`] batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairReport {
+    /// Whether the pair was proved equivalent.
+    pub proved: bool,
+    /// The successful method, if any.
+    pub method: Option<VerifyMethod>,
+    /// Proof-trace length (0 when unproved).
+    pub steps: usize,
+}
+
 impl Engine {
     /// An engine with default configuration (all cores).
     pub fn new() -> Engine {
@@ -141,12 +159,19 @@ impl Engine {
     /// Proves every rule of the catalog in parallel, returning reports
     /// in catalog order. Verdicts, methods, and step counts are
     /// identical to running [`crate::prove::prove_rule`] sequentially.
+    /// Unless `prove.session` is off, each worker keeps ONE persistent
+    /// [`ProveSession`] for its whole shard — memoized verdicts plus the
+    /// multi-seed discovery graph — with answers byte-identical to the
+    /// sessionless path.
     pub fn prove_catalog(&self, rules: &[Rule]) -> Vec<RuleReport> {
         let snapshot = self.seed_snapshot(rules);
         let opts = self.config.prove;
-        self.par_map(rules, &snapshot, |rule, cache| {
-            prove_rule_with(rule, cache, opts)
-        })
+        self.par_map(
+            rules,
+            &snapshot,
+            || opts.session.then(|| ProveSession::new(opts)),
+            |rule, cache, session| prove_rule_session(rule, cache, session.as_mut(), opts),
+        )
     }
 
     /// Differentially tests every rule in parallel (`trials` random
@@ -160,12 +185,17 @@ impl Engine {
         // Difftest evaluates concrete instances — the normalizer cache
         // is idle here, but the same pool machinery applies.
         let snapshot = Interner::new().snapshot();
-        self.par_map(rules, &snapshot, |rule, _cache| {
-            (
-                rule.name.to_owned(),
-                differential_test(rule, trials, base_seed),
-            )
-        })
+        self.par_map(
+            rules,
+            &snapshot,
+            || (),
+            |rule, _cache, _state| {
+                (
+                    rule.name.to_owned(),
+                    differential_test(rule, trials, base_seed),
+                )
+            },
+        )
     }
 
     /// The full catalog check the CLI runs: each rule passes when the
@@ -178,13 +208,18 @@ impl Engine {
     pub fn check_catalog(&self, rules: &[Rule]) -> Vec<(String, bool)> {
         let snapshot = self.seed_snapshot(rules);
         let opts = self.config.prove;
-        self.par_map(rules, &snapshot, |rule, cache| {
-            let report = prove_rule_with(rule, cache, opts);
-            let ok = report.proved == rule.expected_sound
-                || (!rule.expected_sound
-                    && matches!(differential_test(rule, 200, 0xC11), DiffOutcome::Refuted(_)));
-            (rule.name.to_owned(), ok)
-        })
+        self.par_map(
+            rules,
+            &snapshot,
+            || opts.session.then(|| ProveSession::new(opts)),
+            |rule, cache, session| {
+                let report = prove_rule_session(rule, cache, session.as_mut(), opts);
+                let ok = report.proved == rule.expected_sound
+                    || (!rule.expected_sound
+                        && matches!(differential_test(rule, 200, 0xC11), DiffOutcome::Refuted(_)));
+                (rule.name.to_owned(), ok)
+            },
+        )
     }
 
     /// Warm snapshot for a query batch: every query's denotation is
@@ -220,31 +255,102 @@ impl Engine {
         let opts = OptimizeOptions {
             budget: self.config.prove.budget,
         };
-        self.par_map(queries, &snapshot, |q, cache| {
-            optimizer::optimize_query_cached(q, env, stats, opts, cache)
-        })
+        let use_session = self.config.prove.session;
+        self.par_map(
+            queries,
+            &snapshot,
+            || use_session.then(|| PlanSession::new(opts.budget)),
+            |q, cache, session| match session.as_mut() {
+                Some(session) => {
+                    optimizer::optimize_query_session(q, env, stats, opts, cache, session)
+                }
+                None => optimizer::optimize_query_cached(q, env, stats, opts, cache),
+            },
+        )
+    }
+
+    /// Warm snapshot for a pair batch: both sides of every goal are
+    /// denoted over the same fresh-`VarGen` stream the verifier uses.
+    fn seed_pair_snapshot(&self, env: &QueryEnv, pairs: &[(Query, Query)]) -> InternerSnapshot {
+        let mut interner = Interner::new();
+        if self.config.warm_interner && self.threads() > 1 {
+            for (l, r) in pairs {
+                let inst = RuleInstance::plain(env.clone(), l.clone(), r.clone());
+                if let Ok((el, er, mut gen)) = denote_instance(&inst) {
+                    interner.intern(&normalization_input(&el, &mut gen));
+                    interner.intern(&normalization_input(&er, &mut gen));
+                }
+            }
+        }
+        interner.snapshot()
+    }
+
+    /// Batch-proves arbitrary query pairs in parallel — the traffic-
+    /// scale entry point behind the `session_vs_fresh` BENCH series.
+    /// Each worker keeps one [`ProveSession`] for its shard (unless
+    /// `prove.session` is off); reports land in input order and are
+    /// identical to verifying each pair alone.
+    pub fn prove_pairs(&self, env: &QueryEnv, pairs: &[(Query, Query)]) -> Vec<PairReport> {
+        let snapshot = self.seed_pair_snapshot(env, pairs);
+        let opts = self.config.prove;
+        self.par_map(
+            pairs,
+            &snapshot,
+            || opts.session.then(|| ProveSession::new(opts)),
+            |(l, r), cache, session| {
+                let inst = RuleInstance::plain(env.clone(), l.clone(), r.clone());
+                match crate::prove::verify_instance_session(
+                    &inst,
+                    Some(cache),
+                    session.as_mut(),
+                    opts,
+                ) {
+                    Ok((method, steps, _)) => PairReport {
+                        proved: true,
+                        method: Some(method),
+                        steps,
+                    },
+                    Err(_) => PairReport {
+                        proved: false,
+                        method: None,
+                        steps: 0,
+                    },
+                }
+            },
+        )
     }
 
     /// Order-preserving parallel map over a work list: a shared atomic
     /// cursor hands out indices, each worker owns a [`NormCache`] seeded
-    /// from the frozen snapshot, and results land in their input slots.
-    /// Unless disabled, workers additionally share one `Mutex`-striped
-    /// [`SharedMemo`] covering the snapshot-prefix ids, so a denotation
-    /// fragment common to several items normalizes once per *batch*
-    /// rather than once per worker — with results and traces
-    /// bit-identical to the unshared path.
-    fn par_map<T, R, F>(&self, items: &[T], snapshot: &InternerSnapshot, f: F) -> Vec<R>
+    /// from the frozen snapshot plus one extra worker-state value built
+    /// by `mk_state` (the persistent per-worker session, or `()`), and
+    /// results land in their input slots. Unless disabled, workers
+    /// additionally share one `Mutex`-striped [`SharedMemo`] covering
+    /// the snapshot-prefix ids, so a denotation fragment common to
+    /// several items normalizes once per *batch* rather than once per
+    /// worker — with results and traces bit-identical to the unshared
+    /// path.
+    fn par_map<T, S, R, F, M>(
+        &self,
+        items: &[T],
+        snapshot: &InternerSnapshot,
+        mk_state: M,
+        f: F,
+    ) -> Vec<R>
     where
         T: Sync,
         R: Send,
-        F: Fn(&T, &mut NormCache) -> R + Sync,
+        M: Fn() -> S + Sync,
+        F: Fn(&T, &mut NormCache, &mut S) -> R + Sync,
     {
         let threads = self.threads().min(items.len().max(1));
         if threads <= 1 {
-            // Degenerate pool: run inline (still through the cache, so
-            // single-threaded callers get the memoization win).
+            // Degenerate pool: run inline (still through the cache and
+            // worker state, so single-threaded callers get the
+            // memoization win).
             let mut cache = NormCache::from_interner((**snapshot).clone());
-            return items.iter().map(|r| f(r, &mut cache)).collect();
+            let mut state = mk_state();
+            return items.iter().map(|r| f(r, &mut cache, &mut state)).collect();
         }
         let shared_memo = self
             .config
@@ -255,21 +361,22 @@ impl Engine {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let shared_memo = shared_memo.clone();
-                let (cursor, slots, f) = (&cursor, &slots, &f);
+                let (cursor, slots, f, mk_state) = (&cursor, &slots, &f, &mk_state);
                 scope.spawn(move || {
                     // Per-worker state: a private VarGen lives inside
-                    // each prove call; the cache persists across the
-                    // items this worker claims.
+                    // each prove call; the cache and session persist
+                    // across the items this worker claims.
                     let mut cache = match shared_memo {
                         Some(shared) => {
                             NormCache::from_interner_shared((**snapshot).clone(), shared)
                         }
                         None => NormCache::from_interner((**snapshot).clone()),
                     };
+                    let mut state = mk_state();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        let result = f(item, &mut cache);
+                        let result = f(item, &mut cache, &mut state);
                         slots.lock().expect("no poisoned workers")[i] = Some(result);
                     }
                 });

@@ -37,6 +37,7 @@ pub mod prove;
 pub mod rule;
 pub mod rules;
 pub mod script;
+pub mod session;
 
 pub use engine::{Engine, EngineConfig};
 pub use prove::{prove_rule, prove_rule_cached, RuleReport};

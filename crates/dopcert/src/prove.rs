@@ -6,8 +6,9 @@
 //! handed to the UniNomial provers with any declared axioms.
 
 use crate::rule::{Category, Rule, RuleInstance};
+use crate::session::ProveSession;
 use egraph::solve::Budget;
-use egraph::{prove_eq_saturate, prove_eq_saturate_cached};
+use egraph::{prove_eq_saturate, prove_eq_saturate_cached, prove_eq_saturate_session};
 use hottsql::denote::{denote_closed_query, denote_query};
 use relalg::Schema;
 use std::time::Instant;
@@ -50,13 +51,30 @@ pub enum SaturateMode {
     Only,
 }
 
-/// Verification options: saturation scheduling and budget.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Verification options: saturation scheduling, budget, and whether
+/// batch callers keep a persistent per-worker session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProveOptions {
     /// When to run the saturation tactic.
     pub saturate: SaturateMode,
     /// Saturation budget (iterations / e-nodes / oracle calls).
     pub budget: Budget,
+    /// Whether batch callers (engine workers, scripts) keep one
+    /// persistent [`ProveSession`](crate::session::ProveSession) across
+    /// their goals (on by default; `--no-session` is the escape hatch
+    /// and the differential baseline). Verdicts and traces are identical
+    /// either way — the session only memoizes and discovers.
+    pub session: bool,
+}
+
+impl Default for ProveOptions {
+    fn default() -> ProveOptions {
+        ProveOptions {
+            saturate: SaturateMode::default(),
+            budget: Budget::default(),
+            session: true,
+        }
+    }
 }
 
 /// The result of attempting to verify one rule.
@@ -85,7 +103,7 @@ pub struct RuleReport {
 /// Verifies a rule with the appropriate procedure (default options:
 /// tactics with saturation fallback).
 pub fn prove_rule(rule: &Rule) -> RuleReport {
-    prove_rule_impl(rule, None, ProveOptions::default())
+    prove_rule_impl(rule, None, None, ProveOptions::default())
 }
 
 /// [`prove_rule`] with memoized normalization through a reusable
@@ -93,15 +111,34 @@ pub fn prove_rule(rule: &Rule) -> RuleReport {
 /// [`prove_rule`]; only `micros` (wall clock) may differ. This is the
 /// per-worker entry point of [`crate::engine`].
 pub fn prove_rule_cached(rule: &Rule, cache: &mut NormCache) -> RuleReport {
-    prove_rule_impl(rule, Some(cache), ProveOptions::default())
+    prove_rule_impl(rule, Some(cache), None, ProveOptions::default())
 }
 
 /// [`prove_rule_cached`] with explicit verification options.
 pub fn prove_rule_with(rule: &Rule, cache: &mut NormCache, opts: ProveOptions) -> RuleReport {
-    prove_rule_impl(rule, Some(cache), opts)
+    prove_rule_impl(rule, Some(cache), None, opts)
 }
 
-fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>, opts: ProveOptions) -> RuleReport {
+/// [`prove_rule_with`] through a persistent per-worker
+/// [`ProveSession`]: verdict, method, and step count are identical to
+/// the sessionless path (property-tested); repeated goals are answered
+/// from the session memo and every saturation goal feeds the session's
+/// multi-seed discovery graph.
+pub fn prove_rule_session(
+    rule: &Rule,
+    cache: &mut NormCache,
+    session: Option<&mut ProveSession>,
+    opts: ProveOptions,
+) -> RuleReport {
+    prove_rule_impl(rule, Some(cache), session, opts)
+}
+
+fn prove_rule_impl(
+    rule: &Rule,
+    cache: Option<&mut NormCache>,
+    session: Option<&mut ProveSession>,
+    opts: ProveOptions,
+) -> RuleReport {
     let start = Instant::now();
     let inst = rule.generic();
     // Conjunctive-query rules go to the decision procedure.
@@ -122,7 +159,7 @@ fn prove_rule_impl(rule: &Rule, cache: Option<&mut NormCache>, opts: ProveOption
             },
         };
     }
-    match verify_instance(&inst, cache, opts) {
+    match verify_instance_session(&inst, cache, session, opts) {
         Ok((method, steps, attempted)) => RuleReport {
             name: rule.name,
             category: rule.category,
@@ -213,7 +250,23 @@ fn prove_instance_impl(
 #[allow(clippy::type_complexity)] // (method, steps, attempts) / (diag, attempts)
 pub fn verify_instance(
     inst: &RuleInstance,
-    mut cache: Option<&mut NormCache>,
+    cache: Option<&mut NormCache>,
+    opts: ProveOptions,
+) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
+    verify_instance_session(inst, cache, None, opts)
+}
+
+/// [`verify_instance`] through a persistent per-worker
+/// [`ProveSession`]. Axiom-free goals are answered from the session's
+/// verdict memo when already seen (byte-identical by determinism of the
+/// pipeline); misses run the ordinary pipeline — with the saturation
+/// step routed through the session's goal memo and multi-seed graph —
+/// and are recorded.
+#[allow(clippy::type_complexity)] // same result shape as verify_instance
+pub fn verify_instance_session(
+    inst: &RuleInstance,
+    cache: Option<&mut NormCache>,
+    mut session: Option<&mut ProveSession>,
     opts: ProveOptions,
 ) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
     let bail = |msg: String| (msg, Vec::new());
@@ -237,13 +290,44 @@ pub fn verify_instance(
     if sl != sr {
         return Err(bail(format!("schema mismatch: {sl} vs {sr}")));
     }
+    // Verdict memo: raw denotations are deterministic per query pair
+    // (fresh `VarGen` each instance), so they key the whole pipeline.
+    // Declared axioms are not part of the key — such goals bypass.
+    let memoizable = inst.axioms.is_empty();
+    if memoizable {
+        if let Some(session) = session.as_deref_mut() {
+            if let Some(verdict) = session.lookup(&el, &er, opts) {
+                return verdict;
+            }
+        }
+    }
+    let verdict = verify_denoted(&el, &er, inst, &mut gen, cache, &mut session, opts);
+    if memoizable {
+        if let Some(session) = session {
+            session.record(&el, &er, opts, verdict.clone());
+        }
+    }
+    verdict
+}
+
+/// The tactic/saturation pipeline over already-denoted sides.
+#[allow(clippy::type_complexity)] // same result shape as verify_instance
+fn verify_denoted(
+    el: &UExpr,
+    er: &UExpr,
+    inst: &RuleInstance,
+    gen: &mut VarGen,
+    mut cache: Option<&mut NormCache>,
+    session: &mut Option<&mut ProveSession>,
+    opts: ProveOptions,
+) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
     let mut attempted: Vec<String> = Vec::new();
     let mut tactic_diag: Option<String> = None;
     if opts.saturate != SaturateMode::Only {
         attempted.extend(["syntactic", "equational", "deductive"].map(String::from));
         let outcome = match cache.as_deref_mut() {
-            Some(cache) => prove_eq_cached(&el, &er, &inst.axioms, &mut gen, cache),
-            None => prove_eq_with_axioms(&el, &er, &inst.axioms, &mut gen),
+            Some(cache) => prove_eq_cached(el, er, &inst.axioms, gen, cache),
+            None => prove_eq_with_axioms(el, er, &inst.axioms, gen),
         };
         match outcome {
             Ok(proof) => {
@@ -261,11 +345,14 @@ pub fn verify_instance(
             "saturation (≤{} iters, ≤{} nodes)",
             opts.budget.max_iters, opts.budget.max_nodes
         ));
-        let outcome = match cache {
-            Some(cache) => {
-                prove_eq_saturate_cached(&el, &er, &inst.axioms, &mut gen, cache, opts.budget)
+        let outcome = match (cache, session.as_deref_mut()) {
+            (Some(cache), Some(session)) => {
+                prove_eq_saturate_session(el, er, &inst.axioms, gen, cache, &mut session.sat)
             }
-            None => prove_eq_saturate(&el, &er, &inst.axioms, &mut gen, opts.budget),
+            (Some(cache), None) => {
+                prove_eq_saturate_cached(el, er, &inst.axioms, gen, cache, opts.budget)
+            }
+            (None, _) => prove_eq_saturate(el, er, &inst.axioms, gen, opts.budget),
         };
         match outcome {
             Ok(proof) => return Ok((VerifyMethod::Saturation, proof.steps(), attempted)),

@@ -2,12 +2,17 @@
 //! checking query pairs, in the spirit of the Cosette web tool the
 //! paper's artifact shipped (<http://dopcert.cs.washington.edu>).
 //!
-//! A script declares tables and poses verification goals:
+//! A script declares tables, optional statistics, and poses
+//! verification goals:
 //!
 //! ```text
 //! -- comments run to end of line
-//! table R(int, int);
+//! table R(a int, b int);      -- column names are optional
 //! table S(int);
+//!
+//! rows R 1e6;                 -- declared cardinality for `optimize`
+//! distinct R.a 100;           -- per-column distinct-value estimate
+//! distinct S.1 50;            -- …columns also addressable by position
 //!
 //! verify SELECT Right.Left FROM R
 //!     == SELECT Right.Left FROM R;
@@ -20,14 +25,18 @@
 //! a counterexample search runs. `refute` goals assert the pair is
 //! *inequivalent* and must produce a counterexample.
 
-use crate::prove::{decide_cq, verify_instance, ProveOptions, VerifyMethod};
+use crate::prove::{decide_cq, verify_instance_session, ProveOptions, VerifyMethod};
 use crate::rule::RuleInstance;
+use crate::session::ProveSession;
 use hottsql::ast::Query;
 use hottsql::env::QueryEnv;
 use hottsql::error::HottsqlError;
 use hottsql::parse::parse_query;
+use relalg::stats::Statistics;
 use relalg::{BaseType, Schema};
+use std::collections::BTreeMap;
 use std::fmt;
+use uninomial::normalize::NormCache;
 
 /// A parsed script.
 #[derive(Clone, Debug, Default)]
@@ -36,6 +45,12 @@ pub struct Script {
     pub env: QueryEnv,
     /// Goals in declaration order.
     pub goals: Vec<Goal>,
+    /// Declared statistics (`rows R 1e6;`, `distinct R.a 100;`) for the
+    /// cost-based optimizer.
+    pub stats: Statistics,
+    /// Declared column names per table (empty when a table was declared
+    /// with bare types).
+    pub columns: BTreeMap<String, Vec<String>>,
 }
 
 /// One goal.
@@ -115,12 +130,33 @@ pub fn parse_script(input: &str) -> Result<Script, HottsqlError> {
         if stmt.is_empty() {
             continue;
         }
+        let err = |m: String| HottsqlError::Parse {
+            message: format!("statement {}: {m}", i + 1),
+            offset: 0,
+        };
         if let Some(rest) = stmt.strip_prefix("table") {
-            let (name, cols) = parse_table_decl(rest).map_err(|m| HottsqlError::Parse {
-                message: format!("statement {}: {m}", i + 1),
-                offset: 0,
+            let (name, cols, col_names) = parse_table_decl(rest).map_err(&err)?;
+            script.env = script.env.with_table(&name, Schema::flat(cols));
+            if !col_names.is_empty() {
+                script.columns.insert(name, col_names);
+            }
+        } else if let Some(rest) = stmt.strip_prefix("rows ") {
+            let (name, value) = parse_rows_decl(rest).map_err(&err)?;
+            if script.env.table(&name).is_none() {
+                return Err(err(format!(
+                    "rows declaration for undeclared table {name:?}"
+                )));
+            }
+            script.stats = std::mem::take(&mut script.stats).with_rows(name, value);
+        } else if let Some(rest) = stmt.strip_prefix("distinct ") {
+            let (name, col, value) = parse_distinct_decl(rest, &script).map_err(&err)?;
+            let width = script.env.table(&name).map(|s| s.width()).ok_or_else(|| {
+                err(format!(
+                    "distinct declaration for undeclared table {name:?}"
+                ))
             })?;
-            script.env = script.env.with_table(name, Schema::flat(cols));
+            script.stats =
+                std::mem::take(&mut script.stats).with_column_distinct(name, width, col, value);
         } else if let Some(rest) = stmt
             .strip_prefix("verify")
             .map(|r| (true, r))
@@ -139,19 +175,17 @@ pub fn parse_script(input: &str) -> Result<Script, HottsqlError> {
                 rhs: parse_query(r.trim())?,
             });
         } else {
-            return Err(HottsqlError::Parse {
-                message: format!(
-                    "statement {}: expected `table`, `verify`, or `refute`",
-                    i + 1
-                ),
-                offset: 0,
-            });
+            return Err(err(
+                "expected `table`, `rows`, `distinct`, `verify`, or `refute`".into(),
+            ));
         }
     }
     Ok(script)
 }
 
-fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>), String> {
+/// Parses `R(int, int)` or `R(a int, b int)` — column names optional,
+/// but all-or-nothing per table.
+fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>, Vec<String>), String> {
     let rest = rest.trim();
     let open = rest.find('(').ok_or("missing ( in table declaration")?;
     let close = rest.rfind(')').ok_or("missing ) in table declaration")?;
@@ -160,18 +194,100 @@ fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>), String> {
         return Err("missing table name".into());
     }
     let mut cols = Vec::new();
+    let mut names: Vec<String> = Vec::new();
     for c in rest[open + 1..close].split(',') {
-        match c.trim() {
+        let mut parts = c.split_whitespace();
+        let (first, second) = (parts.next(), parts.next());
+        if parts.next().is_some() {
+            return Err(format!("malformed column declaration {:?}", c.trim()));
+        }
+        let (col_name, ty) = match (first, second) {
+            (Some(ty), None) => (None, ty),
+            (Some(name), Some(ty)) => (Some(name), ty),
+            _ => return Err("empty column declaration".into()),
+        };
+        match ty {
             "int" => cols.push(BaseType::Int),
             "bool" => cols.push(BaseType::Bool),
             "string" => cols.push(BaseType::Str),
             other => return Err(format!("unknown column type {other:?}")),
         }
+        if let Some(n) = col_name {
+            names.push(n.to_owned());
+        }
     }
     if cols.is_empty() {
         return Err("table needs at least one column".into());
     }
-    Ok((name.to_owned(), cols))
+    if !names.is_empty() && names.len() != cols.len() {
+        return Err("either all columns are named or none".into());
+    }
+    Ok((name.to_owned(), cols, names))
+}
+
+/// Parses `R 1e6` (a table name and a row-count estimate).
+fn parse_rows_decl(rest: &str) -> Result<(String, f64), String> {
+    let mut parts = rest.split_whitespace();
+    let (Some(name), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err("rows declaration needs `rows <table> <count>`".into());
+    };
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("invalid row count {value:?}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "row count must be finite and non-negative, got {value}"
+        ));
+    }
+    Ok((name.to_owned(), value))
+}
+
+/// Parses `R.a 100` (a column reference and a distinct-value estimate).
+/// Columns are addressed by declared name (`table R(a int, …)`) or by
+/// 1-based position (`R.1`).
+fn parse_distinct_decl(rest: &str, script: &Script) -> Result<(String, usize, f64), String> {
+    let mut parts = rest.split_whitespace();
+    let (Some(colref), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err("distinct declaration needs `distinct <table>.<column> <count>`".into());
+    };
+    let (table, col) = colref
+        .split_once('.')
+        .ok_or_else(|| format!("column reference {colref:?} needs the form table.column"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("invalid distinct count {value:?}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "distinct count must be finite and non-negative, got {value}"
+        ));
+    }
+    let index = if let Ok(pos) = col.parse::<usize>() {
+        if pos == 0 {
+            return Err("column positions are 1-based".into());
+        }
+        pos - 1
+    } else {
+        let names = script
+            .columns
+            .get(table)
+            .ok_or_else(|| format!("table {table:?} declares no column names"))?;
+        names
+            .iter()
+            .position(|n| n == col)
+            .ok_or_else(|| format!("table {table:?} has no column named {col:?}"))?
+    };
+    let width = script
+        .env
+        .table(table)
+        .map(|s| s.width())
+        .ok_or_else(|| format!("distinct declaration for undeclared table {table:?}"))?;
+    if index >= width {
+        return Err(format!(
+            "column {} is out of range for {table:?} ({width} columns)",
+            index + 1
+        ));
+    }
+    Ok((table.to_owned(), index, value))
 }
 
 /// Checks one goal with the full pipeline (default options: tactics
@@ -179,28 +295,26 @@ fn parse_table_decl(rest: &str) -> Result<(String, Vec<BaseType>), String> {
 pub fn check_goal(env: &QueryEnv, goal: &Goal) -> GoalOutcome {
     let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
     let decision = decide_cq(&inst);
-    check_goal_inst(env, goal, inst, decision, ProveOptions::default())
+    check_goal_inst(
+        env,
+        goal,
+        inst,
+        decision,
+        None,
+        None,
+        ProveOptions::default(),
+    )
 }
 
-/// Entry point of the batched path: the CQ decision was precomputed by
-/// [`run_script`]'s batch pass (`Some` = decided, `None` = outside the
-/// conjunctive fragment).
-fn check_goal_with_decision(
-    env: &QueryEnv,
-    goal: &Goal,
-    cq_decision: Option<bool>,
-    opts: ProveOptions,
-) -> GoalOutcome {
-    let inst = RuleInstance::plain(env.clone(), goal.lhs.clone(), goal.rhs.clone());
-    check_goal_inst(env, goal, inst, cq_decision, opts)
-}
-
-/// The shared tail: instance already built, CQ decision already known.
+/// The shared tail: instance already built, CQ decision already known,
+/// the script's persistent cache and session (if any) threaded through.
 fn check_goal_inst(
     env: &QueryEnv,
     goal: &Goal,
     inst: RuleInstance,
     cq_decision: Option<bool>,
+    cache: Option<&mut NormCache>,
+    session: Option<&mut ProveSession>,
     opts: ProveOptions,
 ) -> GoalOutcome {
     // 1. Decision procedure for the conjunctive fragment.
@@ -224,7 +338,7 @@ fn check_goal_inst(
         };
     }
     // 2. General prover (tactics and/or saturation per `opts`).
-    match verify_instance(&inst, None, opts) {
+    match verify_instance_session(&inst, cache, session, opts) {
         Ok((method, steps, _)) => GoalOutcome::Proved { method, steps },
         Err((diag, _)) => match hunt_counterexample(env, goal) {
             Some(cex) => GoalOutcome::Refuted {
@@ -304,13 +418,27 @@ pub fn run_script_with(script: &Script, opts: ProveOptions) -> Vec<GoalOutcome> 
     }
     let pairs: Vec<(usize, usize)> = pair_of_goal.iter().flatten().copied().collect();
     let mut decisions = cq::containment::equivalent_set_batch(&queries, &pairs).into_iter();
+    // One normalization cache and (unless disabled) one persistent
+    // proving session serve every goal of the script — outcomes are
+    // identical to checking each goal alone.
+    let mut cache = NormCache::new();
+    let mut session = opts.session.then(|| ProveSession::new(opts));
     script
         .goals
         .iter()
         .zip(&pair_of_goal)
         .map(|(goal, cq_pair)| {
             let decision = cq_pair.map(|_| decisions.next().expect("one decision per CQ goal"));
-            check_goal_with_decision(&script.env, goal, decision, opts)
+            let inst = RuleInstance::plain(script.env.clone(), goal.lhs.clone(), goal.rhs.clone());
+            check_goal_inst(
+                &script.env,
+                goal,
+                inst,
+                decision,
+                Some(&mut cache),
+                session.as_mut(),
+                opts,
+            )
         })
         .collect()
 }
@@ -392,6 +520,39 @@ refute DISTINCT SELECT Right.Left FROM R
         assert!(parse_script("table R();").is_err());
         assert!(parse_script("table R(int); verify R;").is_err());
         assert!(parse_script("table R(float);").is_err());
+    }
+
+    #[test]
+    fn statistics_declarations_feed_the_catalog() {
+        let s = parse_script(
+            "table R(a int, b int);\n\
+             table S(int);\n\
+             rows R 1e6;\n\
+             distinct R.a 100;\n\
+             distinct S.1 50;\n",
+        )
+        .unwrap();
+        assert_eq!(s.stats.rows("R"), 1e6);
+        assert_eq!(s.stats.table("R").unwrap().distinct, Some(vec![100.0, 0.0]));
+        assert_eq!(s.stats.table("S").unwrap().distinct, Some(vec![50.0]));
+        assert_eq!(s.columns["R"], vec!["a", "b"]);
+    }
+
+    #[test]
+    fn statistics_declaration_errors() {
+        // Undeclared table.
+        assert!(parse_script("rows R 10;").is_err());
+        assert!(parse_script("table R(int);\ndistinct S.1 5;").is_err());
+        // Unnamed columns cannot be addressed by name.
+        assert!(parse_script("table R(int);\ndistinct R.a 5;").is_err());
+        // Out-of-range / 0-based positions.
+        assert!(parse_script("table R(int);\ndistinct R.2 5;").is_err());
+        assert!(parse_script("table R(int);\ndistinct R.0 5;").is_err());
+        // Malformed values.
+        assert!(parse_script("table R(int);\nrows R many;").is_err());
+        assert!(parse_script("table R(int);\nrows R -3;").is_err());
+        // Partial column naming is rejected.
+        assert!(parse_script("table R(a int, int);").is_err());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Per-worker proving sessions: the verification-pipeline face of
+//! [`egraph::Session`].
+//!
+//! The batch engine keeps ONE [`ProveSession`] per worker for its whole
+//! shard. It layers a *verdict memo* over the e-graph session: a goal is
+//! keyed by its raw denotations (which are deterministic per query pair
+//! — every instance denotes over a fresh `VarGen`), and the recorded
+//! answer is the full [`verify_instance`](crate::prove::verify_instance)
+//! result — method, step count, attempted list, or failure diagnostics.
+//! Because the underlying pipeline is deterministic, a memo hit is
+//! byte-identical to recomputation; repeated goals across a batch (the
+//! common case in production query traffic) skip normalization, tactics,
+//! and saturation entirely.
+//!
+//! The embedded [`egraph::Session`] additionally collects every
+//! saturation goal's sides as seeds of one shared multi-seed graph,
+//! which powers the cross-rule discovery report
+//! ([`discover_catalog`], `dopcert catalog --discover`).
+
+use crate::prove::{denote_instance, ProveOptions, VerifyMethod};
+use crate::rule::Rule;
+use egraph::session::Session;
+use std::collections::HashMap;
+use uninomial::normalize::{NormCache, Trace};
+use uninomial::syntax::intern::{Interner, UExprId};
+use uninomial::UExpr;
+
+/// The memoized outcome of one verification goal — exactly the shape
+/// [`verify_instance`](crate::prove::verify_instance) returns.
+pub type Verdict = Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)>;
+
+/// A persistent per-worker proving session: verdict memo over raw
+/// denotations plus the shared saturation session.
+#[derive(Debug)]
+pub struct ProveSession {
+    /// The underlying multi-seed saturation session.
+    pub sat: Session,
+    /// The options verdicts were computed under. A verdict depends on
+    /// the saturation mode and budget, not just the goal, so lookups
+    /// under different options bypass the memo.
+    opts: ProveOptions,
+    interner: Interner,
+    verdicts: HashMap<(UExprId, UExprId), Verdict>,
+    hits: usize,
+}
+
+impl ProveSession {
+    /// A session bound to one set of verification options (and sized by
+    /// its saturation budget).
+    pub fn new(opts: ProveOptions) -> ProveSession {
+        ProveSession {
+            sat: Session::new(opts.budget),
+            opts,
+            interner: Interner::new(),
+            verdicts: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// Number of goals answered from the verdict memo.
+    pub fn verdict_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Looks up the recorded verdict for a goal with these denotations,
+    /// verified under `opts`. Only axiom-free goals are memoized
+    /// (declared integrity axioms are not part of the key), and only
+    /// under the options this session is bound to — a different mode or
+    /// budget bypasses the memo rather than replaying a stale verdict.
+    pub fn lookup(&mut self, el: &UExpr, er: &UExpr, opts: ProveOptions) -> Option<Verdict> {
+        if opts != self.opts {
+            return None;
+        }
+        let key = (self.interner.intern(el), self.interner.intern(er));
+        let hit = self.verdicts.get(&key).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Records a goal's verdict computed under `opts` (ignored when the
+    /// options differ from the session's).
+    pub fn record(&mut self, el: &UExpr, er: &UExpr, opts: ProveOptions, verdict: Verdict) {
+        if opts != self.opts {
+            return;
+        }
+        let key = (self.interner.intern(el), self.interner.intern(er));
+        self.verdicts.insert(key, verdict);
+    }
+}
+
+/// Cross-rule discovery over the catalog: seed every rule's normalized
+/// sides into ONE multi-seed session, saturate under the batch budget,
+/// and report equalities the session proved between *different* rules'
+/// seeds — the first step from "prove given pairs" toward "search for
+/// equal pairs". The report is deterministic (sorted by tag) and purely
+/// additive: per-rule verdicts are untouched. The boolean marks pairs
+/// whose sides already normalize to one expression (equal before any
+/// saturation) as opposed to equalities the rewrites proved.
+pub fn discover_catalog(rules: &[Rule], opts: ProveOptions) -> Vec<(String, String, bool)> {
+    let mut session = Session::new(opts.budget);
+    let mut cache = NormCache::new();
+    for rule in rules {
+        let Ok((el, er, mut gen)) = denote_instance(&rule.generic()) else {
+            continue;
+        };
+        let mut scratch = Trace::new();
+        let nl =
+            uninomial::normalize::normalize_with_cache(&el, &mut gen, &mut scratch, &mut cache);
+        let nr =
+            uninomial::normalize::normalize_with_cache(&er, &mut gen, &mut scratch, &mut cache);
+        session.add_root(format!("{}.lhs", rule.name), &nl.reify());
+        session.add_root(format!("{}.rhs", rule.name), &nr.reify());
+        // Incremental resume: saturation continues from the current
+        // graph after each rule's seeds, charging that rule's share of
+        // the batch budget ( `discovered` drains whatever remains).
+        session.resume();
+    }
+    let rule_of = |tag: &str| tag.rsplit_once('.').map(|(r, _)| r.to_owned());
+    session
+        .discovered()
+        .into_iter()
+        .filter(|(a, b, _)| rule_of(a) != rule_of(b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::prove::SaturateMode;
+
+    #[test]
+    fn verdict_memo_round_trips_and_is_option_bound() {
+        let opts = ProveOptions::default();
+        let mut s = ProveSession::new(opts);
+        let el = UExpr::rel("R", uninomial::syntax::Term::Unit);
+        let er = UExpr::rel("S", uninomial::syntax::Term::Unit);
+        assert!(s.lookup(&el, &er, opts).is_none());
+        s.record(&el, &er, opts, Ok((VerifyMethod::CqDecision, 1, vec![])));
+        let hit = s.lookup(&el, &er, opts).expect("recorded");
+        assert_eq!(hit.unwrap().1, 1);
+        assert_eq!(s.verdict_hits(), 1);
+        // A different mode or budget must bypass the memo: the recorded
+        // verdict is only valid for the options it was computed under.
+        let other = ProveOptions {
+            saturate: SaturateMode::Only,
+            ..opts
+        };
+        assert!(s.lookup(&el, &er, other).is_none());
+        let mut tighter = opts;
+        tighter.budget.max_iters = 1;
+        assert!(s.lookup(&el, &er, tighter).is_none());
+    }
+
+    #[test]
+    fn discovery_runs_on_a_catalog_slice_and_is_deterministic() {
+        let rules: Vec<Rule> = catalog::sound_rules().into_iter().take(6).collect();
+        let opts = ProveOptions {
+            saturate: SaturateMode::Only,
+            ..ProveOptions::default()
+        };
+        let a = discover_catalog(&rules, opts);
+        let b = discover_catalog(&rules, opts);
+        assert_eq!(a, b, "discovery report must be deterministic");
+        for (x, y, _) in &a {
+            let rule = |t: &str| t.rsplit_once('.').unwrap().0.to_owned();
+            assert_ne!(rule(x), rule(y), "only cross-rule equalities reported");
+        }
+    }
+}

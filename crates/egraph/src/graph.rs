@@ -37,6 +37,7 @@ pub struct EGraph {
     dirty: Vec<Id>,
     n_nodes: usize,
     n_unions: usize,
+    generation: u64,
     zero: Id,
     one: Id,
 }
@@ -68,6 +69,7 @@ impl EGraph {
             dirty: Vec::new(),
             n_nodes: 0,
             n_unions: 0,
+            generation: 0,
             zero: Id(0),
             one: Id(0),
         };
@@ -105,6 +107,15 @@ impl EGraph {
     /// Number of unions performed so far.
     pub fn union_count(&self) -> usize {
         self.n_unions
+    }
+
+    /// Monotone modification counter: bumped whenever a new node is
+    /// interned or a union merges two classes. A persistent session uses
+    /// it to detect that nothing changed since its last full saturation
+    /// pass and skip the (whole-graph) match phase entirely — the
+    /// epoch-tracking half of incremental rebuild.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Canonical representative of a class id.
@@ -159,6 +170,7 @@ impl EGraph {
                 class.nodes.push(node.clone());
                 self.hashcons.insert(node, id);
                 self.n_nodes += 1;
+                self.generation += 1;
                 id
             }
         }
@@ -327,6 +339,7 @@ impl EGraph {
             return false;
         };
         self.n_unions += 1;
+        self.generation += 1;
         let lost = self.classes.remove(&loser).unwrap_or_default();
         let class = self.classes.entry(winner).or_default();
         class.nodes.extend(lost.nodes);

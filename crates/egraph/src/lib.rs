@@ -25,7 +25,12 @@
 //!    iteration/node budget runs out.
 //!
 //! The solver is `Send`: the parallel batch engine runs one e-graph per
-//! worker.
+//! worker. For batch workloads the one-shot [`Solver`] generalizes to a
+//! persistent [`Session`] (one per worker, shared across the whole
+//! batch): goal answers are memoized with byte-identical traces, new
+//! roots seed incrementally with saturation *resuming* rather than
+//! restarting, and cross-seed discovery reports equalities between
+//! different goals' sides — see [`session`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -35,12 +40,16 @@ pub mod graph;
 pub mod lang;
 pub mod prove;
 pub mod rewrite;
+pub mod session;
 pub mod solve;
 pub mod unionfind;
 
 pub use extract::{CostFunction, TreeSize};
 pub use graph::EGraph;
 pub use lang::ENode;
-pub use prove::{prove_eq_saturate, prove_eq_saturate_cached, SaturateFailure};
+pub use prove::{
+    prove_eq_saturate, prove_eq_saturate_cached, prove_eq_saturate_session, SaturateFailure,
+};
+pub use session::{BatchBudget, Session, SessionStats};
 pub use solve::{Budget, Outcome, Solver, Stats};
 pub use unionfind::Id;

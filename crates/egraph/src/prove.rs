@@ -9,6 +9,7 @@
 //! lemma rewrites run under budget, and success extracts the union-find
 //! explanation into the proof trace.
 
+use crate::session::Session;
 use crate::solve::{Budget, Outcome, Solver, Stats};
 use std::fmt;
 use uninomial::axioms::RelAxiom;
@@ -77,14 +78,52 @@ pub fn prove_eq_saturate_cached(
     prove_eq_saturate_impl(lhs, rhs, axioms, gen, Some(cache), budget)
 }
 
-fn prove_eq_saturate_impl(
+/// [`prove_eq_saturate_cached`] through a persistent [`Session`]: the
+/// goal-closing search is memoized across goals (and its answer is
+/// byte-identical to the fresh-solver path by construction — see the
+/// [`Session`] docs), and the goal's sides additionally seed the
+/// session's shared multi-seed graph for cross-goal discovery.
+///
+/// # Errors
+///
+/// Returns [`SaturateFailure`] when the goal classes never merge.
+pub fn prove_eq_saturate_session(
+    lhs: &UExpr,
+    rhs: &UExpr,
+    axioms: &[RelAxiom],
+    gen: &mut VarGen,
+    cache: &mut NormCache,
+    session: &mut Session,
+) -> Result<Proof, SaturateFailure> {
+    let (mut trace, nl, nr) = saturate_prefix(lhs, rhs, axioms, gen, Some(cache));
+    let el = nl.reify();
+    let er = nr.reify();
+    let prop = nl.is_prop() && nr.is_prop();
+    match session.close_goal(&el, &er, prop, &mut trace) {
+        Ok(()) => Ok(Proof::new(Method::Saturate, trace, nl, nr)),
+        Err((outcome, stats)) => Err(SaturateFailure {
+            lhs_nf: nl.to_string(),
+            rhs_nf: nr.to_string(),
+            outcome,
+            stats,
+        }),
+    }
+}
+
+/// The trace prefix every saturation proof shares: functional
+/// extensionality, (possibly memoized) normalization, and declared
+/// integrity-constraint axioms.
+fn saturate_prefix(
     lhs: &UExpr,
     rhs: &UExpr,
     axioms: &[RelAxiom],
     gen: &mut VarGen,
     cache: Option<&mut NormCache>,
-    budget: Budget,
-) -> Result<Proof, SaturateFailure> {
+) -> (
+    Trace,
+    uninomial::normalize::Spnf,
+    uninomial::normalize::Spnf,
+) {
     let mut trace = Trace::new();
     trace.step(
         Lemma::FunExt,
@@ -102,6 +141,18 @@ fn prove_eq_saturate_impl(
     };
     let nl = uninomial::axioms::saturate(&nl, axioms, gen, &mut trace);
     let nr = uninomial::axioms::saturate(&nr, axioms, gen, &mut trace);
+    (trace, nl, nr)
+}
+
+fn prove_eq_saturate_impl(
+    lhs: &UExpr,
+    rhs: &UExpr,
+    axioms: &[RelAxiom],
+    gen: &mut VarGen,
+    cache: Option<&mut NormCache>,
+    budget: Budget,
+) -> Result<Proof, SaturateFailure> {
+    let (mut trace, nl, nr) = saturate_prefix(lhs, rhs, axioms, gen, cache);
     let el = nl.reify();
     let er = nr.reify();
     let mut solver = Solver::new(budget);

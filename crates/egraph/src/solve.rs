@@ -44,6 +44,13 @@ impl Budget {
             ..Budget::default()
         }
     }
+
+    /// Replaces the per-iteration oracle-call cap (the third budget
+    /// knob: side-condition checks are the expensive part of a round).
+    pub fn with_oracle_calls(mut self, calls: usize) -> Budget {
+        self.oracle_calls_per_iter = calls;
+        self
+    }
 }
 
 /// Why the saturation loop stopped.
@@ -111,6 +118,11 @@ impl Solver {
         &mut self.eg
     }
 
+    /// The solver's configured (per-run) budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
     /// Reserves fresh-variable ids above `id` so extraction-generated
     /// names never collide with names already in the seeds.
     pub fn reserve_names_above(&mut self, id: u32) {
@@ -136,7 +148,7 @@ impl Solver {
     /// Runs the saturation loop until `l = r` is proved or the search
     /// gives out.
     pub fn run(&mut self, l: Id, r: Id) -> (Outcome, Stats) {
-        self.run_impl(Some((l, r)))
+        self.run_with_budget(Some((l, r)), self.budget)
     }
 
     /// Runs the saturation loop with no goal: saturate the graph under
@@ -145,10 +157,17 @@ impl Solver {
     /// point, where the payoff is the enriched class structure that
     /// [`Solver::extract_best`] mines, not a merge of two seeds.
     pub fn saturate(&mut self) -> (Outcome, Stats) {
-        self.run_impl(None)
+        self.run_with_budget(None, self.budget)
     }
 
-    fn run_impl(&mut self, goal: Option<(Id, Id)>) -> (Outcome, Stats) {
+    /// Resumes the saturation loop under an *explicit* budget,
+    /// continuing from the graph's current state — seeds added since the
+    /// last run are picked up by the next match phase and saturation
+    /// proceeds incrementally instead of restarting. The iteration count
+    /// in the returned [`Stats`] covers this call only, which is what
+    /// lets a persistent [`Session`](crate::session::Session) do
+    /// batch-level budget accounting across many resumes.
+    pub fn run_with_budget(&mut self, goal: Option<(Id, Id)>, budget: Budget) -> (Outcome, Stats) {
         let mut stats = Stats::default();
         loop {
             self.eg.rebuild();
@@ -159,10 +178,10 @@ impl Solver {
                     return (Outcome::Proved, stats);
                 }
             }
-            if stats.iters >= self.budget.max_iters {
+            if stats.iters >= budget.max_iters {
                 return (Outcome::IterBudget, stats);
             }
-            if stats.nodes >= self.budget.max_nodes {
+            if stats.nodes >= budget.max_nodes {
                 return (Outcome::NodeBudget, stats);
             }
             stats.iters += 1;
@@ -178,11 +197,11 @@ impl Solver {
                 best: &best,
                 props: &props,
                 attempted: &mut self.attempted,
-                oracle_budget: self.budget.oracle_calls_per_iter,
+                oracle_budget: budget.oracle_calls_per_iter,
             };
             for rw in rewrites {
                 rw.apply(&mut self.eg, &mut ctx);
-                if self.eg.node_count() >= self.budget.max_nodes {
+                if self.eg.node_count() >= budget.max_nodes {
                     break;
                 }
             }

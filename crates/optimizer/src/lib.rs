@@ -50,9 +50,11 @@
 
 pub mod cost;
 pub mod optimize;
+pub mod session;
 
 pub use cost::{Cost, StatsCost};
 pub use optimize::{
-    optimize_query, optimize_query_cached, Certificate, OptimizeError, OptimizeOptions,
-    OptimizeReport, Route,
+    optimize_query, optimize_query_cached, optimize_query_session, Certificate, OptimizeError,
+    OptimizeOptions, OptimizeReport, Route,
 };
+pub use session::PlanSession;

@@ -24,6 +24,7 @@
 //!   elimination.
 
 use crate::cost::{Cost, StatsCost};
+use crate::session::PlanSession;
 use egraph::extract::cost_uexpr;
 use egraph::solve::{Budget, Outcome, Solver, Stats};
 use hottsql::ast::Query;
@@ -83,7 +84,7 @@ impl Certificate {
     /// certificate does not match what the checker derives — a corrupt
     /// or forged report.
     pub fn replay(&self, input: &Query, output: &Query, env: &QueryEnv, budget: Budget) -> bool {
-        match certify(input, output, env, budget, None) {
+        match certify(input, output, env, budget, None, None) {
             Some(fresh) => fresh.method == self.method && fresh.trace.steps() == self.trace.steps(),
             None => false,
         }
@@ -138,7 +139,7 @@ pub fn optimize_query(
     stats: &Statistics,
     opts: OptimizeOptions,
 ) -> Result<OptimizeReport, OptimizeError> {
-    optimize_query_impl(q, env, stats, opts, None)
+    optimize_query_impl(q, env, stats, opts, None, None)
 }
 
 /// [`optimize_query`] with memoized normalization through a reusable
@@ -155,7 +156,38 @@ pub fn optimize_query_cached(
     opts: OptimizeOptions,
     cache: &mut NormCache,
 ) -> Result<OptimizeReport, OptimizeError> {
-    optimize_query_impl(q, env, stats, opts, Some(cache))
+    optimize_query_impl(q, env, stats, opts, Some(cache), None)
+}
+
+/// [`optimize_query_cached`] through a persistent per-worker
+/// [`PlanSession`]: repeated queries are answered from the plan memo,
+/// candidate certifications from the certificate memo (both
+/// byte-identical by determinism of the pipeline), and the query's
+/// input denotation, CQ-core route, and candidates all seed the
+/// session's shared multi-seed saturation graph for cross-seed
+/// discovery.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError`] when the query fails to type or denote.
+pub fn optimize_query_session(
+    q: &Query,
+    env: &QueryEnv,
+    stats: &Statistics,
+    opts: OptimizeOptions,
+    cache: &mut NormCache,
+    session: &mut PlanSession,
+) -> Result<OptimizeReport, OptimizeError> {
+    // Memoized reports are only valid under the exact configuration
+    // they were computed with; rebinding under a different one clears
+    // the memos rather than replaying stale costs.
+    session.bind_config(format!("{env:?}|{stats:?}|{opts:?}"));
+    if let Some(report) = session.lookup_plan(q) {
+        return Ok(report);
+    }
+    let report = optimize_query_impl(q, env, stats, opts, Some(cache), Some(session))?;
+    session.record_plan(q, &report);
+    Ok(report)
 }
 
 fn optimize_query_impl(
@@ -164,6 +196,7 @@ fn optimize_query_impl(
     stats: &Statistics,
     opts: OptimizeOptions,
     mut cache: Option<&mut NormCache>,
+    mut session: Option<&mut PlanSession>,
 ) -> Result<OptimizeReport, OptimizeError> {
     let model = StatsCost::new(stats);
     let input_schema = hottsql::ty::infer_query(q, env, &Schema::Empty)
@@ -198,6 +231,35 @@ fn optimize_query_impl(
             }
         }
     }
+    // Multi-seed discovery (session mode): the input, its CQ-core
+    // route, and every candidate seed the session's shared graph;
+    // saturation is lazy (it resumes when discovery is queried via
+    // `Session::discovered`). Purely a side-channel — the report below
+    // never reads the shared graph, so session-mode reports stay
+    // byte-identical to fresh mode.
+    if let Some(session) = session.as_deref_mut() {
+        let n = session.next_query_ordinal();
+        // The input's normal form is already in hand — seeding it is
+        // pure hash-consing. Candidates cost one (memoized) normalize
+        // each; their denotations are needed below by `measure` anyway.
+        session.sat.add_root(format!("q{n}/input"), &seed);
+        for (j, (cand, route)) in candidates.iter().enumerate() {
+            let mut cgen = VarGen::new();
+            let Ok((_, ce)) = denote_closed_query(cand, env, &mut cgen) else {
+                continue;
+            };
+            let mut scratch = Trace::new();
+            let cnf = match cache.as_deref_mut() {
+                Some(cache) => normalize_with_cache(&ce, &mut cgen, &mut scratch, cache),
+                None => normalize(&ce, &mut cgen, &mut scratch),
+            };
+            let tag = match route {
+                Route::CqMinimize => format!("q{n}/cq-core"),
+                _ => format!("q{n}/cand{j}"),
+            };
+            session.sat.add_root(tag, &cnf.reify());
+        }
+    }
     // Measure every candidate the same way the input was measured,
     // discarding plans that fail to type at the input schema. The input
     // goes FIRST: the sort is stable, so an equal-cost rewritten plan
@@ -216,7 +278,14 @@ fn optimize_query_impl(
     // Ship the cheapest candidate that certifies; the input always
     // does (reflexive proof), so the loop cannot fall through.
     for (cost, cand, route) in measured {
-        let Some(certificate) = certify(q, &cand, env, opts.budget, cache.as_deref_mut()) else {
+        let Some(certificate) = certify(
+            q,
+            &cand,
+            env,
+            opts.budget,
+            cache.as_deref_mut(),
+            session.as_deref_mut(),
+        ) else {
             continue;
         };
         let route = if cand == *q { Route::Unchanged } else { route };
@@ -261,14 +330,21 @@ fn measure(q: &Query, env: &QueryEnv, model: &StatsCost) -> Option<Cost> {
 
 /// Proves `input ≡ output` with the ordinary prover stack and packages
 /// the trace as a [`Certificate`]. Deterministic: the same pair always
-/// yields the same trace, which is what makes certificates replayable.
+/// yields the same trace, which is what makes certificates replayable —
+/// and what makes the session's certificate memo byte-exact.
 fn certify(
     input: &Query,
     output: &Query,
     env: &QueryEnv,
     budget: Budget,
     cache: Option<&mut NormCache>,
+    mut session: Option<&mut PlanSession>,
 ) -> Option<Certificate> {
+    if let Some(session) = session.as_deref_mut() {
+        if let Some(hit) = session.lookup_cert(input, output) {
+            return hit;
+        }
+    }
     let mut gen = VarGen::new();
     let (t, el) = denote_closed_query(input, env, &mut gen).ok()?;
     let er = denote_query(
@@ -280,30 +356,38 @@ fn certify(
         &mut gen,
     )
     .ok()?;
-    match cache {
+    let package = |proof: &uninomial::prove::Proof| Certificate {
+        method: proof.method(),
+        trace: proof.trace().clone(),
+    };
+    let cert = match cache {
         Some(cache) => match prove_eq_cached(&el, &er, &[], &mut gen, cache) {
-            Ok(proof) => Some(Certificate {
-                method: proof.method(),
-                trace: proof.trace().clone(),
-            }),
-            Err(_) => egraph::prove_eq_saturate_cached(&el, &er, &[], &mut gen, cache, budget)
+            Ok(proof) => Some(package(&proof)),
+            Err(_) => match session.as_deref_mut() {
+                Some(session) => egraph::prove_eq_saturate_session(
+                    &el,
+                    &er,
+                    &[],
+                    &mut gen,
+                    cache,
+                    &mut session.sat,
+                )
                 .ok()
-                .map(|proof| Certificate {
-                    method: proof.method(),
-                    trace: proof.trace().clone(),
-                }),
+                .map(|proof| package(&proof)),
+                None => egraph::prove_eq_saturate_cached(&el, &er, &[], &mut gen, cache, budget)
+                    .ok()
+                    .map(|proof| package(&proof)),
+            },
         },
         None => match prove_eq_with_axioms(&el, &er, &[], &mut gen) {
-            Ok(proof) => Some(Certificate {
-                method: proof.method(),
-                trace: proof.trace().clone(),
-            }),
+            Ok(proof) => Some(package(&proof)),
             Err(_) => egraph::prove_eq_saturate(&el, &er, &[], &mut gen, budget)
                 .ok()
-                .map(|proof| Certificate {
-                    method: proof.method(),
-                    trace: proof.trace().clone(),
-                }),
+                .map(|proof| package(&proof)),
         },
+    };
+    if let Some(session) = session {
+        session.record_cert(input, output, cert.clone());
     }
+    cert
 }

@@ -90,9 +90,44 @@ impl Statistics {
         self
     }
 
-    /// Declares a bare row count for a table.
-    pub fn with_rows(self, name: impl Into<String>, rows: f64) -> Statistics {
-        self.with_table(name, TableStats::with_rows(rows))
+    /// Declares a bare row count for a table, preserving any distinct
+    /// estimates already declared for it.
+    pub fn with_rows(mut self, name: impl Into<String>, rows: f64) -> Statistics {
+        let name = name.into();
+        match self.tables.get_mut(&name) {
+            Some(t) => {
+                t.rows = rows.max(0.0);
+                self
+            }
+            None => self.with_table(name, TableStats::with_rows(rows)),
+        }
+    }
+
+    /// Declares the distinct-value estimate of one column (0-based
+    /// position) of a `width`-column table — the script front end's
+    /// `distinct R.a 100;` statement. Columns without a declaration
+    /// hold `0.0`, the "unknown" sentinel the selectivity estimators
+    /// skip.
+    pub fn with_column_distinct(
+        mut self,
+        name: impl Into<String>,
+        width: usize,
+        col: usize,
+        value: f64,
+    ) -> Statistics {
+        let default_rows = self.default_rows;
+        let entry = self
+            .tables
+            .entry(name.into())
+            .or_insert_with(|| TableStats::with_rows(default_rows));
+        let d = entry.distinct.get_or_insert_with(|| vec![0.0; width]);
+        if d.len() < width {
+            d.resize(width, 0.0);
+        }
+        if let Some(slot) = d.get_mut(col) {
+            *slot = value.max(0.0);
+        }
+        self
     }
 
     /// The statistics declared for a table, if any.
@@ -117,12 +152,16 @@ impl Statistics {
     /// `d̄` is the average per-column distinct count over tables that
     /// declare one, clamped to `[1e-6, 1]`. Falls back to `0.1`
     /// (the textbook default) when no distinct estimates are declared.
+    /// Columns holding the `0.0` "unknown" sentinel are skipped.
     pub fn eq_selectivity(&self) -> f64 {
         let mut sum = 0.0;
         let mut n = 0usize;
         for t in self.tables.values() {
             if let Some(d) = &t.distinct {
                 for &c in d {
+                    if c <= 0.0 {
+                        continue;
+                    }
                     sum += c.max(1.0);
                     n += 1;
                 }
@@ -143,8 +182,11 @@ impl Statistics {
         let mut n = 0usize;
         for t in self.tables.values() {
             if let (Some(d), true) = (&t.distinct, t.rows > 0.0) {
-                let support = d.iter().copied().fold(1.0f64, f64::max);
-                sum += (support / t.rows).clamp(0.0, 1.0);
+                let support = d.iter().copied().fold(0.0f64, f64::max);
+                if support <= 0.0 {
+                    continue; // all columns unknown
+                }
+                sum += (support.max(1.0) / t.rows).clamp(0.0, 1.0);
                 n += 1;
             }
         }
@@ -200,6 +242,36 @@ mod tests {
     #[test]
     fn fallbacks_without_declarations() {
         let s = Statistics::new();
+        assert_eq!(s.eq_selectivity(), 0.1);
+        assert_eq!(s.distinct_ratio(), 0.5);
+    }
+
+    #[test]
+    fn column_distinct_declarations_compose_with_rows() {
+        // Declaration order must not matter.
+        let a = Statistics::new()
+            .with_rows("R", 1e6)
+            .with_column_distinct("R", 2, 0, 100.0);
+        let b = Statistics::new()
+            .with_column_distinct("R", 2, 0, 100.0)
+            .with_rows("R", 1e6);
+        assert_eq!(a, b);
+        assert_eq!(a.rows("R"), 1e6);
+        assert_eq!(a.table("R").unwrap().distinct, Some(vec![100.0, 0.0]));
+        // Unknown columns (the 0.0 sentinel) are skipped by the
+        // estimators: only the declared column drives selectivity.
+        assert!((a.eq_selectivity() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_unknown_columns_fall_back() {
+        let s = Statistics::new().with_table(
+            "R",
+            TableStats {
+                rows: 10.0,
+                distinct: Some(vec![0.0, 0.0]),
+            },
+        );
         assert_eq!(s.eq_selectivity(), 0.1);
         assert_eq!(s.distinct_ratio(), 0.5);
     }
