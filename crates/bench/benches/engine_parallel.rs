@@ -5,8 +5,8 @@
 //! hash-consing win from the parallelism win).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dopcert::api::prove_rule;
 use dopcert::engine::Engine;
-use dopcert::prove::prove_rule;
 
 fn bench_catalog_proving(c: &mut Criterion) {
     let rules = dopcert::catalog::sound_rules();

@@ -1,7 +1,7 @@
 //! Criterion benchmark for Fig. 8: proving each rule category.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dopcert::prove::prove_rule;
+use dopcert::api::prove_rule;
 use dopcert::rule::Category;
 
 fn bench_fig8(c: &mut Criterion) {

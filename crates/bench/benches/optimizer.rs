@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hottsql::parse::parse_query;
-use optimizer::{optimize_query, OptimizeOptions};
+use optimizer::{optimize, OptimizeOptions, PlanCtx};
 use relalg::stats::Statistics;
 use relalg::{BaseType, Schema};
 
@@ -19,8 +19,14 @@ fn bench_self_join_dedup(c: &mut Criterion) {
     .unwrap();
     c.bench_function("optimizer/self-join-dedup", |b| {
         b.iter(|| {
-            let report =
-                optimize_query(&q, &env, &stats, OptimizeOptions::default()).expect("optimizes");
+            let report = optimize(
+                &q,
+                &env,
+                &stats,
+                OptimizeOptions::default(),
+                PlanCtx::default(),
+            )
+            .expect("optimizes");
             assert!(report.improved && report.cost_after < report.cost_before);
         })
     });

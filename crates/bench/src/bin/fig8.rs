@@ -24,7 +24,7 @@ fn main() {
     }
     println!("\nExtension rules (beyond the paper's catalog):");
     for rule in dopcert::catalog::extension_rules() {
-        let report = dopcert::prove::prove_rule(&rule);
+        let report = dopcert::api::prove_rule(&rule);
         println!(
             "  {:<28} {:<22} {:>4} steps",
             rule.name,
@@ -39,7 +39,7 @@ fn main() {
     let unsound = dopcert::catalog::unsound_rules();
     println!("\nRejected (unsound) rules:");
     for rule in &unsound {
-        let report = dopcert::prove::prove_rule(rule);
+        let report = dopcert::api::prove_rule(rule);
         let outcome = dopcert::difftest::differential_test(rule, 200, 0x5EED);
         let refuted = matches!(outcome, dopcert::difftest::DiffOutcome::Refuted(_));
         println!(

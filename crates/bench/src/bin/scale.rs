@@ -3,20 +3,48 @@
 //! catalog, emitting machine-readable BENCH json lines (one object per
 //! measurement) alongside a human summary.
 //!
-//! Usage: `cargo run -p bench --bin scale --release [-- pairs]`
+//! Usage: `cargo run -p bench --bin scale --release [-- pairs] [--out file.json]`
+//!
+//! `--out` additionally writes the BENCH objects as newline-delimited
+//! JSON to a file — the committed `bench-results/` artifacts and the
+//! CI upload come from this.
 
 use dopcert::prove::{ProveOptions, SaturateMode};
+use std::io::Write;
 
-fn emit(json: String, human: String) {
-    println!("BENCH {json}");
-    eprintln!("{human}");
+/// Emits one measurement: a `BENCH {json}` line on stdout, the human
+/// summary on stderr, and (with `--out`) the bare JSON object appended
+/// to the artifact file.
+struct Emitter {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Emitter {
+    fn emit(&mut self, json: String, human: String) {
+        println!("BENCH {json}");
+        eprintln!("{human}");
+        if let Some(f) = &mut self.out {
+            writeln!(f, "{json}").expect("write --out file");
+        }
+    }
 }
 
 fn main() {
-    let max_pairs: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4000);
+    let mut max_pairs: usize = 4000;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            let path = args.next().expect("--out needs a path");
+            out = Some(std::io::BufWriter::new(
+                std::fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}")),
+            ));
+        } else {
+            max_pairs = arg.parse().expect("pairs must be a number");
+        }
+    }
+    let mut em = Emitter { out };
 
     // N-thousand CQ equivalence pairs through the batch decider.
     let mut n = 1000;
@@ -24,7 +52,7 @@ fn main() {
         let pairs = cq::generate::equivalent_pairs(0x5CA1E, n);
         let (time, equivalent) = bench::timed(|| bench::decide_cq_pairs(&pairs));
         assert_eq!(equivalent, n, "every generated pair is equivalent");
-        emit(
+        em.emit(
             format!(
                 "{{\"bench\":\"cq_scale\",\"pairs\":{n},\"equivalent\":{equivalent},\"millis\":{:.3}}}",
                 time.as_secs_f64() * 1e3
@@ -45,7 +73,7 @@ fn main() {
         let (env, queries) = bench::optimizer_corpus(0x0971, n);
         let budget = egraph::Budget::new(8, 1500);
         let (time, summary) = bench::timed(|| bench::optimize_corpus(&env, &queries, budget));
-        emit(
+        em.emit(
             format!(
                 "{{\"bench\":\"optimizer_scale\",\"queries\":{},\"improved\":{},\"cost_before\":{:.0},\"cost_after\":{:.0},\"millis\":{:.3}}}",
                 summary.queries,
@@ -79,7 +107,7 @@ fn main() {
             let (time, reports) = bench::timed(|| bench::prove_corpus(&env, &pairs, session));
             let proved = reports.iter().filter(|r| r.proved).count();
             let steps: usize = reports.iter().map(|r| r.steps).sum();
-            emit(
+            em.emit(
                 format!(
                     "{{\"bench\":\"session_vs_fresh\",\"mode\":\"{name}\",\"goals\":{},\"distinct\":{distinct},\"proved\":{proved},\"steps\":{steps},\"millis\":{:.3}}}",
                     pairs.len(),
@@ -114,7 +142,7 @@ fn main() {
         let (time, reports) = bench::timed(|| bench::fig8_reports_with(opts));
         let proved = reports.iter().filter(|r| r.proved).count();
         let steps: usize = reports.iter().map(|r| r.steps).sum();
-        emit(
+        em.emit(
             format!(
                 "{{\"bench\":\"saturation_vs_tactics\",\"mode\":\"{name}\",\"rules\":{},\"proved\":{proved},\"steps\":{steps},\"millis\":{:.3}}}",
                 reports.len(),

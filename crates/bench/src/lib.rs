@@ -9,8 +9,9 @@
 #![warn(missing_debug_implementations)]
 
 use cq::Cq;
+use dopcert::api::prove_rule;
 use dopcert::engine::Engine;
-use dopcert::prove::{fig8_table, prove_rule, Fig8Row, RuleReport};
+use dopcert::prove::{fig8_table, Fig8Row, RuleReport};
 use std::time::{Duration, Instant};
 
 /// Runs the full Fig. 8 experiment on the parallel batch engine:

@@ -1,0 +1,881 @@
+//! The unified request API: one typed entry point for everything the
+//! system can be asked to do.
+//!
+//! Before this module, each capability had its own free-function family
+//! (`prove_rule`/`_cached`/`_with`/`_session`,
+//! `optimize_query`/`_cached`/`_session`) and each front end — the CLI
+//! subcommands, the `.dop` script runner, the batch engine — wired the
+//! caches and sessions together by hand. No wire protocol can sanely
+//! expose seven entry points, so the families collapse here:
+//!
+//! - [`Prover`] / [`Planner`] own the per-worker state (normalization
+//!   cache plus optional persistent session) and expose *one* method
+//!   each. The old free functions survive as deprecated shims.
+//! - [`Request`] / [`Response`] are the typed request values every
+//!   front end routes through: the CLI builds a `Request` from its
+//!   flags, the script runner from a parsed [`Script`], and the
+//!   `dopcert serve` daemon decodes one from each wire line.
+//! - [`execute`] answers a request on fresh state — the single-shot
+//!   CLI path. [`Workspace::execute`] answers it on resident state —
+//!   the daemon's per-worker path — with responses byte-identical to
+//!   [`execute`] by the session-identity guarantee.
+//! - [`BudgetSpec`] is the one place the three saturation-budget knobs
+//!   are parsed and validated; CLI flags, script `budget` directives,
+//!   and serve requests all funnel through it.
+//!
+//! [`Response::render`] produces exactly the lines the CLI prints, so
+//! "daemon answers bit-identical to the single-shot CLI" is a property
+//! of shared code, not of two renderers kept manually in sync.
+
+use crate::prove::{ProveOptions, RuleReport, SaturateMode, VerifyMethod};
+use crate::rule::{Rule, RuleInstance};
+use crate::script::{parse_script, GoalOutcome, Script};
+use crate::session::ProveSession;
+use egraph::solve::Budget;
+use hottsql::ast::Query;
+use hottsql::env::QueryEnv;
+use optimizer::{OptimizeError, OptimizeOptions, OptimizeReport, PlanCtx, PlanSession};
+use relalg::stats::Statistics;
+use uninomial::normalize::NormCache;
+
+/// Partial saturation budget: the three knobs, each optionally
+/// overridden. This is THE parse/validate point for budgets — CLI
+/// flags (`--sat-iters` …), script directives (`budget iters 40;`),
+/// and serve requests (`"budget":{"iters":40}`) all build one of
+/// these, and [`BudgetSpec::apply`] resolves it against a base.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Override for [`Budget::max_iters`].
+    pub iters: Option<usize>,
+    /// Override for [`Budget::max_nodes`].
+    pub nodes: Option<usize>,
+    /// Override for [`Budget::oracle_calls_per_iter`].
+    pub oracle_calls: Option<usize>,
+}
+
+impl BudgetSpec {
+    /// The knob names, as spelled in scripts and wire requests.
+    pub const KNOBS: [&'static str; 3] = ["iters", "nodes", "oracle-calls"];
+
+    /// Sets one knob by name, rejecting unknown knobs and zero values
+    /// (a zero budget can never prove anything and always signals a
+    /// caller mistake).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the bad knob or value.
+    pub fn set(&mut self, knob: &str, value: usize) -> Result<(), String> {
+        if value == 0 {
+            return Err(format!("budget {knob} must be positive"));
+        }
+        match knob {
+            "iters" => self.iters = Some(value),
+            "nodes" => self.nodes = Some(value),
+            "oracle-calls" => self.oracle_calls = Some(value),
+            other => {
+                return Err(format!(
+                    "unknown budget knob {other:?} (expected iters, nodes, or oracle-calls)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// [`BudgetSpec::set`] from an unparsed value string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the bad knob or value.
+    pub fn parse_set(&mut self, knob: &str, value: &str) -> Result<(), String> {
+        let value = value
+            .parse::<usize>()
+            .map_err(|_| format!("invalid budget {knob} value {value:?}"))?;
+        self.set(knob, value)
+    }
+
+    /// Whether any knob is set.
+    pub fn is_empty(&self) -> bool {
+        *self == BudgetSpec::default()
+    }
+
+    /// This spec with unset knobs filled from `fallback` — the
+    /// precedence combinator (explicit request knobs over script
+    /// directives over defaults).
+    pub fn or(self, fallback: BudgetSpec) -> BudgetSpec {
+        BudgetSpec {
+            iters: self.iters.or(fallback.iters),
+            nodes: self.nodes.or(fallback.nodes),
+            oracle_calls: self.oracle_calls.or(fallback.oracle_calls),
+        }
+    }
+
+    /// Resolves the spec against a base budget.
+    pub fn apply(self, base: Budget) -> Budget {
+        Budget {
+            max_iters: self.iters.unwrap_or(base.max_iters),
+            max_nodes: self.nodes.unwrap_or(base.max_nodes),
+            oracle_calls_per_iter: self.oracle_calls.unwrap_or(base.oracle_calls_per_iter),
+        }
+    }
+}
+
+/// Options carried by a [`Request`]: how to verify, on how much state.
+/// The budget is a *partial* [`BudgetSpec`] so that unset knobs fall
+/// through to the script's `budget` directives and then the defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// When the saturation tactic runs.
+    pub saturate: SaturateMode,
+    /// Explicit budget overrides (highest precedence).
+    pub budget: BudgetSpec,
+    /// Whether to keep a persistent session (`--no-session` off).
+    pub session: bool,
+    /// Worker threads for batch subcommands (`None` = all cores).
+    pub jobs: Option<usize>,
+    /// Whether batch workers share one striped normalization memo.
+    pub shared_cache: bool,
+}
+
+impl Default for RequestOptions {
+    fn default() -> RequestOptions {
+        RequestOptions {
+            saturate: SaturateMode::default(),
+            budget: BudgetSpec::default(),
+            session: true,
+            jobs: None,
+            shared_cache: true,
+        }
+    }
+}
+
+impl RequestOptions {
+    /// Resolves to concrete [`ProveOptions`], merging budgets by
+    /// precedence: explicit request knobs over the script's `budget`
+    /// directives over [`Budget::default`].
+    pub fn prove_options(&self, script_budget: BudgetSpec) -> ProveOptions {
+        ProveOptions {
+            saturate: self.saturate,
+            budget: self.budget.or(script_budget).apply(Budget::default()),
+            session: self.session,
+        }
+    }
+
+    /// The batch engine these options describe.
+    pub fn engine(&self, script_budget: BudgetSpec) -> crate::engine::Engine {
+        let mut config = match self.jobs {
+            Some(n) => crate::engine::EngineConfig::with_threads(n),
+            None => crate::engine::EngineConfig::default(),
+        };
+        config.prove = self.prove_options(script_budget);
+        config.shared_cache = self.shared_cache;
+        crate::engine::Engine::with_config(config)
+    }
+}
+
+/// A typed request — everything the system can be asked to do, in one
+/// value the CLI, the script runner, and the serve daemon all build.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run a verification script (`dopcert check` / `dopcert prove`).
+    Prove {
+        /// The `.dop` script source.
+        script: String,
+        /// Verification options.
+        opts: RequestOptions,
+    },
+    /// Certified cost-based optimization of every query in a script's
+    /// goals (`dopcert optimize`).
+    Optimize {
+        /// The `.dop` script source.
+        script: String,
+        /// Verification options (the budget drives the plan search).
+        opts: RequestOptions,
+    },
+    /// Check the built-in rule catalog (`dopcert catalog`).
+    Catalog {
+        /// Also run cross-rule discovery (`--discover`).
+        discover: bool,
+        /// Verification options.
+        opts: RequestOptions,
+    },
+    /// Cross-rule discovery alone over the sound catalog.
+    Discover {
+        /// Verification options (the budget bounds the shared graph).
+        opts: RequestOptions,
+    },
+    /// Server counters (`dopcert serve` only).
+    Stats,
+    /// Graceful daemon shutdown (`dopcert serve` only).
+    Shutdown,
+}
+
+/// One goal's result, rendered for the wire but keeping the verdict
+/// machine-readable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GoalReport {
+    /// Whether the goal was `verify` (else `refute`).
+    pub expect_equivalent: bool,
+    /// Whether the outcome satisfied the expectation.
+    pub satisfied: bool,
+    /// The goal's left query, rendered.
+    pub lhs: String,
+    /// The outcome line ([`GoalOutcome`]'s display form).
+    pub outcome: String,
+}
+
+/// One query's optimization result (or failure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanReport {
+    /// Whether the plan is certified sound (cost did not regress and
+    /// the certificate replays). `false` for errored queries.
+    pub sound: bool,
+    /// Estimated work of the input plan.
+    pub cost_before: f64,
+    /// Estimated work of the chosen plan.
+    pub cost_after: f64,
+    /// Which route produced the plan, rendered.
+    pub route: String,
+    /// The certifying prover, rendered.
+    pub method: String,
+    /// Certificate-trace length.
+    pub steps: usize,
+    /// The input query, rendered.
+    pub input: String,
+    /// The chosen plan, rendered.
+    pub output: String,
+    /// The optimizer error, when the query failed to optimize (the
+    /// other fields are then zero/empty except `input`).
+    pub error: Option<String>,
+}
+
+/// One catalog rule's check result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleCheck {
+    /// Rule name.
+    pub name: String,
+    /// Whether the verdict matched the rule's expected soundness.
+    pub passed: bool,
+}
+
+/// One discovered cross-rule equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Discovery {
+    /// First seed tag.
+    pub lhs: String,
+    /// Second seed tag.
+    pub rhs: String,
+    /// Whether the sides already normalize to one expression.
+    pub structural: bool,
+}
+
+/// Counters a `dopcert serve` daemon reports for a `stats` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Worker threads (each owning one resident [`Workspace`]).
+    pub workers: usize,
+    /// Requests received (including rejected and malformed ones).
+    pub requests: usize,
+    /// Requests answered with `ok: true`.
+    pub ok: usize,
+    /// Requests answered with an error response.
+    pub errors: usize,
+    /// Requests rejected by per-tenant budget admission control.
+    pub budget_rejections: usize,
+    /// Script goals checked across all prove requests.
+    pub goals: usize,
+    /// Memo hits across all resident sessions (verdict + plan memos).
+    pub memo_hits: usize,
+    /// Busy time across workers, microseconds.
+    pub micros: u128,
+}
+
+/// A typed response. [`Response::render`] yields exactly the lines the
+/// single-shot CLI prints for the same request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Per-goal outcomes of a prove/check request.
+    Goals(Vec<GoalReport>),
+    /// Per-query reports of an optimize request.
+    Plans(Vec<PlanReport>),
+    /// Catalog check results, with discovery when requested.
+    Catalog {
+        /// Per-rule pass/fail in catalog order.
+        rules: Vec<RuleCheck>,
+        /// Cross-rule discoveries (`--discover` only).
+        discovered: Option<Vec<Discovery>>,
+    },
+    /// Cross-rule discoveries alone.
+    Discovered(Vec<Discovery>),
+    /// Server counters.
+    Stats(ServerStats),
+    /// The request failed before producing a report (parse error,
+    /// budget rejection, malformed wire line, …).
+    Error(String),
+}
+
+impl Response {
+    /// Whether every goal/plan/rule in the response passed.
+    pub fn ok(&self) -> bool {
+        match self {
+            Response::Goals(goals) => goals.iter().all(|g| g.satisfied),
+            Response::Plans(plans) => plans.iter().all(|p| p.sound),
+            Response::Catalog { rules, .. } => rules.iter().all(|r| r.passed),
+            Response::Discovered(_) | Response::Stats(_) => true,
+            Response::Error(_) => false,
+        }
+    }
+
+    /// The exact stdout lines the CLI prints for this response — one
+    /// string per `println!`, embedded newlines included. Shared by
+    /// the CLI and the serve daemon, which is what makes their outputs
+    /// diffable byte for byte.
+    pub fn render(&self) -> Vec<String> {
+        let tag = |ok: bool| if ok { "ok" } else { "FAIL" };
+        match self {
+            Response::Goals(goals) => goals
+                .iter()
+                .map(|g| {
+                    format!(
+                        "[{}] {}: {}\n    {}",
+                        tag(g.satisfied),
+                        if g.expect_equivalent {
+                            "verify"
+                        } else {
+                            "refute"
+                        },
+                        g.lhs,
+                        g.outcome
+                    )
+                })
+                .collect(),
+            Response::Plans(plans) => plans
+                .iter()
+                .map(|p| match &p.error {
+                    Some(e) => format!("[FAIL] {}\n    {e}", p.input),
+                    None => format!(
+                        "[{}] cost {:.0} -> {:.0} via {} ({} in {} steps)\n    in:  {}\n    out: {}",
+                        tag(p.sound),
+                        p.cost_before,
+                        p.cost_after,
+                        p.route,
+                        p.method,
+                        p.steps,
+                        p.input,
+                        p.output,
+                    ),
+                })
+                .collect(),
+            Response::Catalog { rules, discovered } => {
+                let mut lines: Vec<String> = rules
+                    .iter()
+                    .map(|r| format!("[{}] {}", tag(r.passed), r.name))
+                    .collect();
+                if let Some(found) = discovered {
+                    lines.extend(render_discoveries(found));
+                }
+                lines
+            }
+            Response::Discovered(found) => render_discoveries(found),
+            Response::Stats(s) => {
+                let hit_rate = if s.goals == 0 {
+                    0.0
+                } else {
+                    100.0 * s.memo_hits as f64 / s.goals as f64
+                };
+                vec![
+                    format!("workers: {}", s.workers),
+                    format!(
+                        "requests: {} ({} ok, {} error, {} budget-rejected)",
+                        s.requests, s.ok, s.errors, s.budget_rejections
+                    ),
+                    format!("goals: {}", s.goals),
+                    format!("memo hits: {} ({hit_rate:.1}% of goals)", s.memo_hits),
+                    format!("busy: {:.1} ms", s.micros as f64 / 1e3),
+                ]
+            }
+            Response::Error(e) => vec![format!("error: {e}")],
+        }
+    }
+}
+
+fn render_discoveries(found: &[Discovery]) -> Vec<String> {
+    let mut lines = vec![format!("{} cross-rule equalities discovered:", found.len())];
+    lines.extend(found.iter().map(|d| {
+        format!(
+            "  {} == {}{}",
+            d.lhs,
+            d.rhs,
+            if d.structural {
+                " (same normal form)"
+            } else {
+                ""
+            }
+        )
+    }));
+    lines
+}
+
+/// Per-worker proving state: one normalization cache plus (per
+/// options) one persistent [`ProveSession`]. The collapsed form of the
+/// old `prove_rule{,_cached,_with,_session}` family — which state a
+/// call runs on is decided once, at construction.
+#[derive(Debug)]
+pub struct Prover {
+    pub(crate) cache: NormCache,
+    pub(crate) session: Option<ProveSession>,
+    pub(crate) opts: ProveOptions,
+}
+
+impl Prover {
+    /// A prover on fresh state (session iff `opts.session`).
+    pub fn new(opts: ProveOptions) -> Prover {
+        Prover::with_cache(NormCache::new(), opts)
+    }
+
+    /// A prover over a pre-seeded cache — the batch engine hands each
+    /// worker a cache cloned from the shared interner snapshot.
+    pub fn with_cache(cache: NormCache, opts: ProveOptions) -> Prover {
+        Prover {
+            cache,
+            session: opts.session.then(|| ProveSession::new(opts)),
+            opts,
+        }
+    }
+
+    /// The options this prover verifies under.
+    pub fn options(&self) -> ProveOptions {
+        self.opts
+    }
+
+    /// Verifies a rule. Verdict, method, and step count are identical
+    /// whatever state the prover holds (fresh, cached, or session —
+    /// the PR 4 identity guarantee); only wall-clock differs.
+    pub fn prove_rule(&mut self, rule: &Rule) -> RuleReport {
+        crate::prove::prove_rule_on(
+            rule,
+            Some(&mut self.cache),
+            self.session.as_mut(),
+            self.opts,
+        )
+    }
+
+    /// Verifies one denoted instance (the engine's pair path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the diagnostics and attempted-method list on failure.
+    #[allow(clippy::type_complexity)] // the verify_instance result shape
+    pub fn verify_instance(
+        &mut self,
+        inst: &RuleInstance,
+    ) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
+        crate::prove::verify_instance_session(
+            inst,
+            Some(&mut self.cache),
+            self.session.as_mut(),
+            self.opts,
+        )
+    }
+
+    /// Runs a parsed script's goals on this prover's state.
+    pub fn run_script(&mut self, script: &Script) -> Vec<GoalOutcome> {
+        crate::script::run_script_in(script, self)
+    }
+
+    /// Goals answered from the session's verdict memo so far.
+    pub fn memo_hits(&self) -> usize {
+        self.session.as_ref().map_or(0, ProveSession::verdict_hits)
+    }
+}
+
+/// One-shot rule verification on fresh state — the collapsed form of
+/// the old `prove_rule` free function.
+pub fn prove_rule(rule: &Rule) -> RuleReport {
+    // No session: a one-shot call has nothing to memoize across.
+    Prover::new(ProveOptions {
+        session: false,
+        ..ProveOptions::default()
+    })
+    .prove_rule(rule)
+}
+
+/// Per-worker planning state: one normalization cache plus (per
+/// options) one persistent [`PlanSession`] — the collapsed form of the
+/// old `optimize_query{,_cached,_session}` family.
+#[derive(Debug)]
+pub struct Planner {
+    cache: NormCache,
+    session: Option<PlanSession>,
+    budget: Budget,
+}
+
+impl Planner {
+    /// A planner on fresh state (session iff `opts.session`).
+    pub fn new(opts: ProveOptions) -> Planner {
+        Planner::with_cache(NormCache::new(), opts)
+    }
+
+    /// A planner over a pre-seeded cache (see [`Prover::with_cache`]).
+    pub fn with_cache(cache: NormCache, opts: ProveOptions) -> Planner {
+        Planner {
+            cache,
+            session: opts.session.then(|| PlanSession::new(opts.budget)),
+            budget: opts.budget,
+        }
+    }
+
+    /// The saturation budget plan searches run under.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Optimizes one query on this planner's state. Reports are
+    /// identical whatever state the planner holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] when the query fails to type or
+    /// denote.
+    pub fn optimize(
+        &mut self,
+        q: &Query,
+        env: &QueryEnv,
+        stats: &Statistics,
+    ) -> Result<OptimizeReport, OptimizeError> {
+        optimizer::optimize(
+            q,
+            env,
+            stats,
+            OptimizeOptions {
+                budget: self.budget,
+            },
+            PlanCtx {
+                cache: Some(&mut self.cache),
+                session: self.session.as_mut(),
+            },
+        )
+    }
+
+    /// Queries answered from the session's plan memo so far.
+    pub fn memo_hits(&self) -> usize {
+        self.session.as_ref().map_or(0, PlanSession::plan_hits)
+    }
+}
+
+/// Answers a request on fresh state — what one CLI invocation does.
+/// `Stats`/`Shutdown` are daemon-only and answer with an error here.
+pub fn execute(req: &Request) -> Response {
+    match req {
+        Request::Prove { script, opts } => {
+            let script = match parse_script(script) {
+                Ok(s) => s,
+                Err(e) => return Response::Error(format!("parse error: {e}")),
+            };
+            let popts = opts.prove_options(script.budget);
+            let mut prover = Prover::new(popts);
+            goals_response(&script, prover.run_script(&script))
+        }
+        Request::Optimize { script, opts } => {
+            let script = match parse_script(script) {
+                Ok(s) => s,
+                Err(e) => return Response::Error(format!("parse error: {e}")),
+            };
+            optimize_script(&script, opts, None)
+        }
+        Request::Catalog { discover, opts } => {
+            let popts = opts.prove_options(BudgetSpec::default());
+            let engine = opts.engine(BudgetSpec::default());
+            let rules = engine
+                .check_catalog(&crate::catalog::all_rules())
+                .into_iter()
+                .map(|(name, passed)| RuleCheck { name, passed })
+                .collect();
+            let discovered = discover.then(|| discoveries(popts));
+            Response::Catalog { rules, discovered }
+        }
+        Request::Discover { opts } => {
+            Response::Discovered(discoveries(opts.prove_options(BudgetSpec::default())))
+        }
+        Request::Stats | Request::Shutdown => {
+            Response::Error("stats/shutdown requests are answered by `dopcert serve` only".into())
+        }
+    }
+}
+
+/// Resident per-worker state for the serve daemon: one [`Prover`] and
+/// one [`Planner`], built once at the server's default options and
+/// kept across requests so repeated goals hit the memos.
+///
+/// Responses are byte-identical to [`execute`] on fresh state: session
+/// memos replay recorded verdicts/plans of a deterministic pipeline,
+/// and the shared multi-seed graph is a discovery side-channel only
+/// (the PR 4 identity guarantee, asserted by `tests/serve.rs`).
+/// Requests whose *effective options differ* from the server defaults
+/// fall back to fresh [`execute`] — a session only answers under the
+/// exact options it was built with, so routing, say, a tighter-budget
+/// request through it would either bypass every memo or (worse) reuse
+/// a graph saturated under the wrong budget.
+#[derive(Debug)]
+pub struct Workspace {
+    prover: Prover,
+    planner: Planner,
+    defaults: RequestOptions,
+}
+
+impl Workspace {
+    /// A workspace resident at these default options.
+    pub fn new(defaults: RequestOptions) -> Workspace {
+        let popts = defaults.prove_options(BudgetSpec::default());
+        Workspace {
+            prover: Prover::new(popts),
+            planner: Planner::new(popts),
+            defaults,
+        }
+    }
+
+    /// Total memo hits across the resident sessions.
+    pub fn memo_hits(&self) -> usize {
+        self.prover.memo_hits() + self.planner.memo_hits()
+    }
+
+    /// Answers a request on the resident state where the effective
+    /// options allow it, on fresh state otherwise (see type docs).
+    pub fn execute(&mut self, req: &Request) -> Response {
+        match req {
+            Request::Prove { script, opts } => {
+                let script = match parse_script(script) {
+                    Ok(s) => s,
+                    Err(e) => return Response::Error(format!("parse error: {e}")),
+                };
+                if opts.prove_options(script.budget) != self.prover.opts {
+                    return execute(req);
+                }
+                goals_response(&script, self.prover.run_script(&script))
+            }
+            Request::Optimize { script, opts } => {
+                let script = match parse_script(script) {
+                    Ok(s) => s,
+                    Err(e) => return Response::Error(format!("parse error: {e}")),
+                };
+                let popts = opts.prove_options(script.budget);
+                if popts.budget != self.planner.budget || !popts.session {
+                    return execute(req);
+                }
+                optimize_script(&script, opts, Some(&mut self.planner))
+            }
+            // Catalog/discovery runs are engine-shaped (their own
+            // worker pool and warm snapshot); resident state would buy
+            // nothing, so they always run fresh.
+            _ => execute(req),
+        }
+    }
+
+    /// The default options resident requests are answered under.
+    pub fn defaults(&self) -> RequestOptions {
+        self.defaults
+    }
+}
+
+/// Zips a script's goals with their outcomes into a response.
+fn goals_response(script: &Script, outcomes: Vec<GoalOutcome>) -> Response {
+    Response::Goals(
+        script
+            .goals
+            .iter()
+            .zip(outcomes)
+            .map(|(goal, outcome)| GoalReport {
+                expect_equivalent: goal.expect_equivalent,
+                satisfied: outcome.satisfies(goal.expect_equivalent),
+                lhs: goal.lhs.to_string(),
+                outcome: outcome.to_string(),
+            })
+            .collect(),
+    )
+}
+
+/// The optimize pipeline over a parsed script: every distinct goal
+/// query in first-seen order, through the batch engine (fresh path) or
+/// a resident [`Planner`] (serve path), each plan gated on its
+/// certificate replaying.
+fn optimize_script(
+    script: &Script,
+    opts: &RequestOptions,
+    resident: Option<&mut Planner>,
+) -> Response {
+    let mut queries: Vec<Query> = Vec::new();
+    for goal in &script.goals {
+        for q in [&goal.lhs, &goal.rhs] {
+            if !queries.contains(q) {
+                queries.push(q.clone());
+            }
+        }
+    }
+    if queries.is_empty() {
+        return Response::Error("the script declares no goals to optimize".into());
+    }
+    let budget = opts.prove_options(script.budget).budget;
+    let reports: Vec<Result<OptimizeReport, OptimizeError>> = match resident {
+        Some(planner) => queries
+            .iter()
+            .map(|q| planner.optimize(q, &script.env, &script.stats))
+            .collect(),
+        None => opts
+            .engine(script.budget)
+            .optimize_batch(&script.env, &script.stats, &queries),
+    };
+    Response::Plans(
+        queries
+            .iter()
+            .zip(reports)
+            .map(|(q, report)| match report {
+                Err(e) => PlanReport {
+                    sound: false,
+                    cost_before: 0.0,
+                    cost_after: 0.0,
+                    route: String::new(),
+                    method: String::new(),
+                    steps: 0,
+                    input: q.to_string(),
+                    output: String::new(),
+                    error: Some(e.to_string()),
+                },
+                Ok(r) => PlanReport {
+                    sound: r.cost_after <= r.cost_before
+                        && r.certificate
+                            .replay(&r.input, &r.output, &script.env, budget),
+                    cost_before: r.cost_before,
+                    cost_after: r.cost_after,
+                    route: r.route.to_string(),
+                    method: r.certificate.method.to_string(),
+                    steps: r.certificate.trace.len(),
+                    input: r.input.to_string(),
+                    output: r.output.to_string(),
+                    error: None,
+                },
+            })
+            .collect(),
+    )
+}
+
+/// Cross-rule discovery over the sound catalog.
+fn discoveries(popts: ProveOptions) -> Vec<Discovery> {
+    crate::session::discover_catalog(&crate::catalog::sound_rules(), popts)
+        .into_iter()
+        .map(|(lhs, rhs, structural)| Discovery {
+            lhs,
+            rhs,
+            structural,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_spec_is_the_single_validation_point() {
+        let mut spec = BudgetSpec::default();
+        assert!(spec.is_empty());
+        spec.set("iters", 40).unwrap();
+        spec.parse_set("oracle-calls", "7").unwrap();
+        assert!(spec.set("iters", 0).is_err(), "zero budgets rejected");
+        assert!(spec.set("bogus", 3).is_err(), "unknown knobs rejected");
+        assert!(spec.parse_set("nodes", "many").is_err());
+        let resolved = spec.apply(Budget::default());
+        assert_eq!(resolved.max_iters, 40);
+        assert_eq!(resolved.max_nodes, Budget::default().max_nodes);
+        assert_eq!(resolved.oracle_calls_per_iter, 7);
+    }
+
+    #[test]
+    fn budget_precedence_is_request_over_script_over_default() {
+        let mut request = BudgetSpec::default();
+        request.set("iters", 50).unwrap();
+        let mut script = BudgetSpec::default();
+        script.set("iters", 10).unwrap();
+        script.set("nodes", 500).unwrap();
+        let merged = request.or(script).apply(Budget::default());
+        assert_eq!(merged.max_iters, 50, "request knob wins");
+        assert_eq!(merged.max_nodes, 500, "script fills unset knobs");
+        assert_eq!(
+            merged.oracle_calls_per_iter,
+            Budget::default().oracle_calls_per_iter,
+            "defaults fill the rest"
+        );
+    }
+
+    #[test]
+    fn execute_prove_matches_the_script_runner() {
+        let src = "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);";
+        let resp = execute(&Request::Prove {
+            script: src.into(),
+            opts: RequestOptions::default(),
+        });
+        assert!(resp.ok());
+        let lines = resp.render();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("[ok] verify: "), "{}", lines[0]);
+        assert!(lines[0].contains("proved by"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn execute_reports_parse_errors_as_error_responses() {
+        let resp = execute(&Request::Prove {
+            script: "tble R(int);".into(),
+            opts: RequestOptions::default(),
+        });
+        assert!(!resp.ok());
+        assert!(matches!(&resp, Response::Error(e) if e.starts_with("parse error:")));
+    }
+
+    #[test]
+    fn workspace_is_bit_identical_to_fresh_execute_and_hits_its_memo() {
+        let src = "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);";
+        let req = Request::Prove {
+            script: src.into(),
+            opts: RequestOptions::default(),
+        };
+        let fresh = execute(&req);
+        let mut ws = Workspace::new(RequestOptions::default());
+        let first = ws.execute(&req);
+        let second = ws.execute(&req);
+        assert_eq!(fresh.render(), first.render());
+        assert_eq!(fresh.render(), second.render());
+        assert!(ws.memo_hits() > 0, "repeat request must hit the memo");
+    }
+
+    #[test]
+    fn workspace_falls_back_to_fresh_state_on_non_default_options() {
+        let src = "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);";
+        let mut tighter = RequestOptions::default();
+        tighter.budget.set("iters", 3).unwrap();
+        let req = Request::Prove {
+            script: src.into(),
+            opts: tighter,
+        };
+        let mut ws = Workspace::new(RequestOptions::default());
+        let resp = ws.execute(&req);
+        assert_eq!(resp.render(), execute(&req).render());
+        ws.execute(&req);
+        assert_eq!(ws.memo_hits(), 0, "non-default requests bypass the memo");
+    }
+
+    #[test]
+    fn stats_render_reports_the_hit_rate() {
+        let stats = ServerStats {
+            workers: 2,
+            requests: 10,
+            ok: 8,
+            errors: 1,
+            budget_rejections: 1,
+            goals: 20,
+            memo_hits: 5,
+            micros: 1234,
+        };
+        let lines = Response::Stats(stats).render();
+        assert_eq!(lines[0], "workers: 2");
+        assert_eq!(lines[1], "requests: 10 (8 ok, 1 error, 1 budget-rejected)");
+        assert_eq!(lines[3], "memo hits: 5 (25.0% of goals)");
+    }
+}

@@ -11,7 +11,15 @@
 //! dopcert catalog               # verify the whole built-in rule catalog
 //! dopcert catalog --jobs 4      # …on an explicit number of workers
 //! dopcert catalog --saturate    # …with saturation instead of tactics
+//! dopcert serve --addr 127.0.0.1:7411   # resident daemon (JSON lines)
+//! dopcert request --addr 127.0.0.1:7411 file.dop   # one request to it
 //! ```
+//!
+//! Every subcommand builds one [`dopcert::api::Request`] and prints
+//! [`dopcert::api::Response::render`] — the same code path the `serve`
+//! daemon answers over the wire, which is why `dopcert request` output
+//! is byte-identical to running the subcommand locally. Timing
+//! summaries go to stderr so stdout is diffable.
 //!
 //! Shared flags:
 //!
@@ -19,8 +27,10 @@
 //!   for the `egraph` crate); the default is tactics with saturation
 //!   fallback;
 //! - `--sat-iters N` / `--sat-nodes N` / `--sat-oracle-calls N` —
-//!   saturation budget (iterations, e-nodes, oracle calls/iteration);
-//! - `--jobs N` / `-j N` — worker threads (catalog mode);
+//!   saturation budget (iterations, e-nodes, oracle calls/iteration),
+//!   validated by the same [`BudgetSpec`] as script `budget` directives
+//!   and serve requests;
+//! - `--jobs N` / `-j N` — worker threads (catalog/optimize/serve);
 //! - `--no-shared-cache` — per-worker normalization memo tables only
 //!   (catalog mode; the default shares one striped table);
 //! - `--no-session` — fresh solver state per goal instead of one
@@ -28,19 +38,27 @@
 //!   are identical either way);
 //! - `--discover` — after `catalog` verification, saturate one
 //!   multi-seed session over every rule's sides and list the
-//!   equalities it proved between *different* rules' seeds.
+//!   equalities it proved between *different* rules' seeds;
+//! - `--addr HOST:PORT` — listen address (`serve`) or daemon address
+//!   (`request`);
+//! - `--cmd NAME` / `--tenant NAME` — the request kind (default
+//!   `prove`) and budget account (`request` only).
 //!
 //! Script syntax (see `dopcert::script`):
 //!
 //! ```text
 //! table R(int, int);
+//! budget iters 40;
 //! verify DISTINCT SELECT Right.Left FROM R
 //!     == DISTINCT SELECT Right.Left.Left FROM R, R
 //!        WHERE Right.Left.Left = Right.Right.Left;
 //! ```
 
-use dopcert::engine::{Engine, EngineConfig};
-use dopcert::prove::{ProveOptions, SaturateMode};
+use dopcert::api::{BudgetSpec, Request, RequestOptions, Response};
+use dopcert::prove::SaturateMode;
+use dopcert::serve::{request_once, ServeConfig, Server};
+use dopcert::wire::Json;
+use egraph::session::BatchBudget;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -49,12 +67,14 @@ use std::process::ExitCode;
 struct Flags {
     jobs: Option<usize>,
     saturate: bool,
-    sat_iters: Option<usize>,
-    sat_nodes: Option<usize>,
-    sat_oracle_calls: Option<usize>,
+    /// The three saturation knobs, through the shared validation point.
+    budget: BudgetSpec,
     no_shared_cache: bool,
     no_session: bool,
     discover: bool,
+    addr: Option<String>,
+    cmd: Option<String>,
+    tenant: Option<String>,
     /// First non-flag argument (the script path for check/prove).
     positional: Option<String>,
 }
@@ -67,16 +87,26 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         v.parse::<usize>()
             .map_err(|_| format!("invalid {flag} value {v:?}"))
     };
+    let parse_str = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_knob = |flags: &mut Flags, knob: &str, v: Option<&String>| match v {
+        Some(v) => flags.budget.parse_set(knob, v),
+        None => Err(format!("--sat-{knob} needs a number")),
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--jobs" | "-j" => flags.jobs = Some(parse_num(arg, it.next())?),
             "--saturate" => flags.saturate = true,
-            "--sat-iters" => flags.sat_iters = Some(parse_num(arg, it.next())?),
-            "--sat-nodes" => flags.sat_nodes = Some(parse_num(arg, it.next())?),
-            "--sat-oracle-calls" => flags.sat_oracle_calls = Some(parse_num(arg, it.next())?),
+            "--sat-iters" => parse_knob(&mut flags, "iters", it.next())?,
+            "--sat-nodes" => parse_knob(&mut flags, "nodes", it.next())?,
+            "--sat-oracle-calls" => parse_knob(&mut flags, "oracle-calls", it.next())?,
             "--no-shared-cache" => flags.no_shared_cache = true,
             "--no-session" => flags.no_session = true,
             "--discover" => flags.discover = true,
+            "--addr" => flags.addr = Some(parse_str(arg, it.next())?),
+            "--cmd" => flags.cmd = Some(parse_str(arg, it.next())?),
+            "--tenant" => flags.tenant = Some(parse_str(arg, it.next())?),
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -100,15 +130,20 @@ impl Flags {
                 Ok(())
             }
         };
+        if !matches!(cmd, "serve" | "request") {
+            reject(self.addr.is_some(), "--addr (use `serve` or `request`)")?;
+            reject(self.cmd.is_some(), "--cmd (use `request`)")?;
+            reject(self.tenant.is_some(), "--tenant (use `request`)")?;
+        }
         match cmd {
             "check" => {
                 reject(self.jobs.is_some(), "--jobs")?;
                 reject(self.no_shared_cache, "--no-shared-cache")?;
                 reject(self.saturate, "--saturate (use `prove`)")?;
-                reject(self.sat_iters.is_some(), "--sat-iters (use `prove`)")?;
-                reject(self.sat_nodes.is_some(), "--sat-nodes (use `prove`)")?;
+                reject(self.budget.iters.is_some(), "--sat-iters (use `prove`)")?;
+                reject(self.budget.nodes.is_some(), "--sat-nodes (use `prove`)")?;
                 reject(
-                    self.sat_oracle_calls.is_some(),
+                    self.budget.oracle_calls.is_some(),
                     "--sat-oracle-calls (use `prove`)",
                 )?;
                 reject(self.no_session, "--no-session (use `prove`)")?;
@@ -128,41 +163,34 @@ impl Flags {
             "catalog" => {
                 reject(self.positional.is_some(), "a script path")?;
             }
+            "serve" => {
+                reject(self.positional.is_some(), "a script path")?;
+                reject(self.discover, "--discover (use `catalog`)")?;
+                reject(self.cmd.is_some(), "--cmd (use `request`)")?;
+                reject(self.tenant.is_some(), "--tenant (use `request`)")?;
+            }
+            "request" => {
+                reject(self.addr.is_none(), "(missing) --addr")?;
+            }
             _ => {}
         }
         Ok(())
     }
 
-    fn prove_options(&self) -> ProveOptions {
-        let mut opts = ProveOptions {
+    /// The request options these flags describe — [`RequestOptions`] is
+    /// the typed form every front end shares.
+    fn request_options(&self) -> RequestOptions {
+        RequestOptions {
             saturate: if self.saturate {
                 SaturateMode::Only
             } else {
                 SaturateMode::Fallback
             },
+            budget: self.budget,
             session: !self.no_session,
-            ..ProveOptions::default()
-        };
-        if let Some(n) = self.sat_iters {
-            opts.budget.max_iters = n;
+            jobs: self.jobs,
+            shared_cache: !self.no_shared_cache,
         }
-        if let Some(n) = self.sat_nodes {
-            opts.budget.max_nodes = n;
-        }
-        if let Some(n) = self.sat_oracle_calls {
-            opts.budget.oracle_calls_per_iter = n;
-        }
-        opts
-    }
-
-    fn engine(&self) -> Engine {
-        let mut config = match self.jobs {
-            Some(n) => EngineConfig::with_threads(n),
-            None => EngineConfig::default(),
-        };
-        config.prove = self.prove_options();
-        config.shared_cache = !self.no_shared_cache;
-        Engine::with_config(config)
     }
 
     fn read_script(&self) -> Result<String, String> {
@@ -179,119 +207,123 @@ impl Flags {
             }
         }
     }
-}
 
-fn run_script_mode(flags: &Flags, opts: ProveOptions) -> ExitCode {
-    let source = match flags.read_script() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let script = match dopcert::script::parse_script(&source) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let outcomes = dopcert::script::run_script_with(&script, opts);
-    let mut ok = true;
-    for (goal, outcome) in script.goals.iter().zip(&outcomes) {
-        let expected = if goal.expect_equivalent {
-            "verify"
-        } else {
-            "refute"
-        };
-        let satisfied = outcome.satisfies(goal.expect_equivalent);
-        ok &= satisfied;
-        println!(
-            "[{}] {expected}: {}\n    {}",
-            if satisfied { "ok" } else { "FAIL" },
-            goal.lhs,
-            outcome
-        );
-    }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    /// Builds the typed request for a subcommand (or `--cmd` name).
+    fn build_request(&self, cmd: &str) -> Result<Request, String> {
+        Ok(match cmd {
+            // `check` runs at the library defaults: tactics first,
+            // saturation as fallback (non-CQ goals only gain proofs
+            // from this; refute goals pay at most the ms-scale
+            // saturation budget before the counterexample hunt).
+            "check" => Request::Prove {
+                script: self.read_script()?,
+                opts: RequestOptions::default(),
+            },
+            "prove" => Request::Prove {
+                script: self.read_script()?,
+                opts: self.request_options(),
+            },
+            "optimize" => Request::Optimize {
+                script: self.read_script()?,
+                opts: self.request_options(),
+            },
+            "catalog" => Request::Catalog {
+                discover: self.discover,
+                opts: self.request_options(),
+            },
+            "discover" => Request::Discover {
+                opts: self.request_options(),
+            },
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown request cmd {other:?}")),
+        })
     }
 }
 
-/// `dopcert optimize`: run the certified optimizer over every query
-/// appearing in the script's goals. Fails (exit code) if any plan is
-/// costlier than its input or any certificate fails to replay — the CI
-/// smoke gate.
-fn run_optimize_mode(flags: &Flags) -> ExitCode {
-    let source = match flags.read_script() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+/// Prints a response the way the subcommands always have: rendered
+/// lines to stdout, error responses to stderr, exit code from `ok()`.
+fn print_response(resp: &Response) -> ExitCode {
+    match resp {
+        Response::Error(_) => {
+            for line in resp.render() {
+                eprintln!("{line}");
+            }
+            ExitCode::FAILURE
         }
-    };
-    let script = match dopcert::script::parse_script(&source) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // Every distinct query across the goals, in first-seen order.
-    let mut queries: Vec<hottsql::ast::Query> = Vec::new();
-    for goal in &script.goals {
-        for q in [&goal.lhs, &goal.rhs] {
-            if !queries.contains(q) {
-                queries.push(q.clone());
+        other => {
+            for line in other.render() {
+                println!("{line}");
+            }
+            if other.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
         }
     }
-    if queries.is_empty() {
-        eprintln!("error: the script declares no goals to optimize");
+}
+
+/// `dopcert serve`: bind, announce, and block until a client sends a
+/// `shutdown` request.
+fn run_serve(flags: &Flags) -> ExitCode {
+    let defaults = flags.request_options();
+    let config = ServeConfig {
+        addr: flags
+            .addr
+            .clone()
+            .unwrap_or_else(|| ServeConfig::default().addr),
+        workers: flags.jobs.unwrap_or(ServeConfig::default().workers),
+        // Each tenant may spend what a generous batch would; scaled
+        // from the same per-goal budget requests are charged at.
+        tenant_budget: BatchBudget::scaled_from(
+            defaults.prove_options(BudgetSpec::default()).budget,
+        ),
+        defaults,
+    };
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    // The announce line must reach pipes before we block.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    ExitCode::SUCCESS
+}
+
+/// `dopcert request`: one request to a running daemon, printed exactly
+/// as the local subcommand would print it.
+fn run_request(flags: &Flags) -> ExitCode {
+    let addr = flags.addr.as_deref().expect("validated");
+    let cmd = flags.cmd.as_deref().unwrap_or("prove");
+    let req = match flags.build_request(cmd) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tenant = flags.tenant.as_deref().unwrap_or("default");
+    let reply = match request_once(addr, &Json::Null, tenant, &req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(e) = &reply.error {
+        eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
-    // Declared cardinalities (`rows R 1e6;`, `distinct R.a 100;`) drive
-    // the cost model; undeclared tables get the library default.
-    let stats = script.stats.clone();
-    let engine = flags.engine();
-    let budget = flags.prove_options().budget;
-    let start = std::time::Instant::now();
-    let reports = engine.optimize_batch(&script.env, &stats, &queries);
-    let mut ok = true;
-    for (q, report) in queries.iter().zip(&reports) {
-        match report {
-            Err(e) => {
-                ok = false;
-                println!("[FAIL] {q}\n    {e}");
-            }
-            Ok(r) => {
-                let sound = r.cost_after <= r.cost_before
-                    && r.certificate
-                        .replay(&r.input, &r.output, &script.env, budget);
-                ok &= sound;
-                println!(
-                    "[{}] cost {:.0} -> {:.0} via {} ({} in {} steps)\n    in:  {}\n    out: {}",
-                    if sound { "ok" } else { "FAIL" },
-                    r.cost_before,
-                    r.cost_after,
-                    r.route,
-                    r.certificate.method,
-                    r.certificate.trace.len(),
-                    r.input,
-                    r.output,
-                );
-            }
-        }
+    for line in &reply.lines {
+        println!("{line}");
     }
-    println!(
-        "{} queries optimized on {} threads in {:.1} ms",
-        queries.len(),
-        engine.threads(),
-        start.elapsed().as_secs_f64() * 1e3,
-    );
-    if ok {
+    if reply.ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -316,65 +348,56 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     match cmd {
-        // `check` uses the library default: tactics first, saturation
-        // as fallback (non-CQ goals only gain proofs from this; refute
-        // goals pay at most the ms-scale saturation budget before the
-        // counterexample hunt). `prove` exposes the saturation flags.
-        "check" => run_script_mode(&flags, ProveOptions::default()),
-        "prove" => run_script_mode(&flags, flags.prove_options()),
-        "optimize" => run_optimize_mode(&flags),
-        "catalog" => {
-            let engine = flags.engine();
-            let start = std::time::Instant::now();
-            let results = engine.check_catalog(&dopcert::catalog::all_rules());
-            let mut ok = true;
-            for (name, passed) in &results {
-                println!("[{}] {name}", if *passed { "ok" } else { "FAIL" });
-                ok &= passed;
-            }
-            println!(
-                "{} rules checked on {} threads in {:.1} ms{}",
-                results.len(),
-                engine.threads(),
-                start.elapsed().as_secs_f64() * 1e3,
-                if flags.saturate {
-                    " (saturation only)"
-                } else {
-                    ""
-                },
-            );
-            if flags.discover {
-                // Cross-rule discovery: one multi-seed session over the
-                // whole sound catalog — equalities between *different*
-                // rules' sides, the first step beyond prove-given-pairs.
-                let found = dopcert::session::discover_catalog(
-                    &dopcert::catalog::sound_rules(),
-                    flags.prove_options(),
-                );
-                println!("{} cross-rule equalities discovered:", found.len());
-                for (a, b, structural) in &found {
-                    println!(
-                        "  {a} == {b}{}",
-                        if *structural {
-                            " (same normal form)"
-                        } else {
-                            ""
-                        }
-                    );
+        "check" | "prove" | "optimize" | "catalog" => {
+            let req = match flags.build_request(cmd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
                 }
+            };
+            let start = std::time::Instant::now();
+            let resp = dopcert::api::execute(&req);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            let code = print_response(&resp);
+            // Timing is diagnostics, not output: stderr keeps stdout
+            // byte-comparable with serve responses.
+            match (&resp, cmd) {
+                (Response::Plans(plans), _) => eprintln!(
+                    "{} queries optimized on {} threads in {elapsed_ms:.1} ms",
+                    plans.len(),
+                    flags
+                        .request_options()
+                        .engine(BudgetSpec::default())
+                        .threads(),
+                ),
+                (Response::Catalog { rules, .. }, _) => eprintln!(
+                    "{} rules checked on {} threads in {elapsed_ms:.1} ms{}",
+                    rules.len(),
+                    flags
+                        .request_options()
+                        .engine(BudgetSpec::default())
+                        .threads(),
+                    if flags.saturate {
+                        " (saturation only)"
+                    } else {
+                        ""
+                    },
+                ),
+                _ => {}
             }
-            if ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
+            code
         }
+        "serve" => run_serve(&flags),
+        "request" => run_request(&flags),
         _ => {
             eprintln!(
                 "usage: dopcert check <file.dop | ->\n\
                  \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] <file.dop | ->\n\
                  \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] <file.dop | ->\n\
-                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover]"
+                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover]\n\
+                 \x20      dopcert serve [--addr HOST:PORT] [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session]\n\
+                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|stats|shutdown] [--tenant NAME] [flags] [file.dop | -]"
             );
             ExitCode::FAILURE
         }
@@ -393,11 +416,22 @@ mod tests {
     fn parses_flags_and_positional() {
         let f = flags(&["--jobs", "4", "--sat-iters", "9", "x.dop"]).unwrap();
         assert_eq!(f.jobs, Some(4));
-        assert_eq!(f.sat_iters, Some(9));
+        assert_eq!(f.budget.iters, Some(9));
         assert_eq!(f.positional.as_deref(), Some("x.dop"));
         assert!(flags(&["--jobs"]).is_err());
         assert!(flags(&["--bogus"]).is_err());
         assert!(flags(&["a.dop", "b.dop"]).is_err());
+    }
+
+    #[test]
+    fn budget_flags_share_the_api_validation() {
+        // Zero and garbage are rejected at parse time, by BudgetSpec —
+        // the same code path scripts and serve requests go through.
+        assert!(flags(&["--sat-iters", "0"]).is_err());
+        assert!(flags(&["--sat-nodes", "many"]).is_err());
+        assert!(flags(&["--sat-oracle-calls"]).is_err(), "needs a number");
+        let f = flags(&["--sat-oracle-calls", "7"]).unwrap();
+        assert_eq!(f.budget.oracle_calls, Some(7));
     }
 
     #[test]
@@ -411,6 +445,8 @@ mod tests {
             &["--no-shared-cache"][..],
             &["--no-session"][..],
             &["--discover"][..],
+            &["--addr", "h:1"][..],
+            &["--tenant", "t"][..],
         ] {
             let f = flags(args).unwrap();
             let err = f.validate_for("check").unwrap_err();
@@ -424,9 +460,8 @@ mod tests {
         f.validate_for("prove").unwrap();
         f.validate_for("optimize").unwrap();
         f.validate_for("catalog").unwrap();
-        assert_eq!(f.prove_options().budget.oracle_calls_per_iter, 7);
-        assert!(flags(&["--sat-oracle-calls"]).is_err(), "needs a number");
-        assert!(flags(&["--sat-oracle-calls", "x"]).is_err());
+        let opts = f.request_options().prove_options(BudgetSpec::default());
+        assert_eq!(opts.budget.oracle_calls_per_iter, 7);
     }
 
     #[test]
@@ -435,15 +470,18 @@ mod tests {
         f.validate_for("prove").unwrap();
         f.validate_for("optimize").unwrap();
         f.validate_for("catalog").unwrap();
-        assert!(!f.prove_options().session);
-        assert!(flags(&[]).unwrap().prove_options().session, "on by default");
+        assert!(!f.request_options().session);
+        assert!(
+            flags(&[]).unwrap().request_options().session,
+            "on by default"
+        );
     }
 
     #[test]
     fn discover_is_catalog_only() {
         let f = flags(&["--discover"]).unwrap();
         f.validate_for("catalog").unwrap();
-        for cmd in ["check", "prove", "optimize"] {
+        for cmd in ["check", "prove", "optimize", "serve"] {
             let err = f.validate_for(cmd).unwrap_err();
             assert!(err.contains("--discover"), "{cmd}: {err}");
         }
@@ -489,8 +527,22 @@ mod tests {
         assert!(flags(&["x.dop"]).unwrap().validate_for("catalog").is_err());
         let f = flags(&["--sat-iters", "7", "--sat-nodes", "11"]).unwrap();
         f.validate_for("catalog").unwrap();
-        let opts = f.prove_options();
+        let opts = f.request_options().prove_options(BudgetSpec::default());
         assert_eq!(opts.budget.max_iters, 7);
         assert_eq!(opts.budget.max_nodes, 11);
+    }
+
+    #[test]
+    fn serve_and_request_own_the_network_flags() {
+        let f = flags(&["--addr", "127.0.0.1:7411", "--jobs", "2"]).unwrap();
+        f.validate_for("serve").unwrap();
+        let err = flags(&[]).unwrap().validate_for("request").unwrap_err();
+        assert!(err.contains("--addr"), "request requires an address: {err}");
+        let f = flags(&["--addr", "h:1", "--cmd", "stats", "--tenant", "alice"]).unwrap();
+        f.validate_for("request").unwrap();
+        assert!(matches!(f.build_request("stats"), Ok(Request::Stats)));
+        assert!(f.build_request("levitate").is_err());
+        let err = f.validate_for("serve").unwrap_err();
+        assert!(err.contains("--cmd"), "{err}");
     }
 }

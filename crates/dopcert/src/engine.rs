@@ -15,12 +15,14 @@
 //!   snapshot once into a private [`NormCache`] and keeps it for all the
 //!   rules it proves, so structurally shared subterms normalize once per
 //!   worker instead of once per occurrence. On top of the cache, each
-//!   worker keeps ONE persistent session for its whole shard (a
-//!   [`ProveSession`] for proving, a [`PlanSession`] for optimizing,
-//!   unless `prove.session` is off): verdicts, plans, and certificates
-//!   are memoized across the shard's goals, and every saturation goal
-//!   seeds the session's shared multi-seed e-graph. Session answers are
-//!   byte-identical to fresh-solver mode by construction.
+//!   worker keeps ONE persistent state value for its whole shard (an
+//!   [`api::Prover`](crate::api::Prover) for proving, an
+//!   [`api::Planner`](crate::api::Planner) for optimizing — each owning
+//!   its session unless `prove.session` is off): verdicts, plans, and
+//!   certificates are memoized across the shard's goals, and every
+//!   saturation goal seeds the session's shared multi-seed e-graph.
+//!   Session answers are byte-identical to fresh-solver mode by
+//!   construction.
 //!
 //! Determinism: every worker uses its own [`VarGen`] (created per rule
 //! inside the prover, exactly as on the sequential path), and reports
@@ -32,13 +34,13 @@
 //! [`Interner`]: uninomial::Interner
 //! [`VarGen`]: uninomial::VarGen
 
+use crate::api::{Planner, Prover};
 use crate::difftest::{differential_test, DiffOutcome};
-use crate::prove::{denote_instance, prove_rule_session, ProveOptions, RuleReport, VerifyMethod};
+use crate::prove::{denote_instance, ProveOptions, RuleReport, VerifyMethod};
 use crate::rule::{Rule, RuleInstance};
-use crate::session::ProveSession;
 use hottsql::ast::Query;
 use hottsql::env::QueryEnv;
-use optimizer::{OptimizeError, OptimizeOptions, OptimizeReport, PlanSession};
+use optimizer::{OptimizeError, OptimizeReport};
 use relalg::stats::Statistics;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -158,10 +160,11 @@ impl Engine {
 
     /// Proves every rule of the catalog in parallel, returning reports
     /// in catalog order. Verdicts, methods, and step counts are
-    /// identical to running [`crate::prove::prove_rule`] sequentially.
-    /// Unless `prove.session` is off, each worker keeps ONE persistent
-    /// [`ProveSession`] for its whole shard — memoized verdicts plus the
-    /// multi-seed discovery graph — with answers byte-identical to the
+    /// identical to running [`crate::api::prove_rule`] sequentially.
+    /// Each worker is one [`crate::api::Prover`] for its whole shard —
+    /// snapshot-seeded cache plus (unless `prove.session` is off) the
+    /// persistent session with memoized verdicts and the multi-seed
+    /// discovery graph — with answers byte-identical to the
     /// sessionless path.
     pub fn prove_catalog(&self, rules: &[Rule]) -> Vec<RuleReport> {
         let snapshot = self.seed_snapshot(rules);
@@ -169,8 +172,8 @@ impl Engine {
         self.par_map(
             rules,
             &snapshot,
-            || opts.session.then(|| ProveSession::new(opts)),
-            |rule, cache, session| prove_rule_session(rule, cache, session.as_mut(), opts),
+            |cache| Prover::with_cache(cache, opts),
+            |rule, prover| prover.prove_rule(rule),
         )
     }
 
@@ -188,8 +191,8 @@ impl Engine {
         self.par_map(
             rules,
             &snapshot,
-            || (),
-            |rule, _cache, _state| {
+            |_cache| (),
+            |rule, _state| {
                 (
                     rule.name.to_owned(),
                     differential_test(rule, trials, base_seed),
@@ -211,9 +214,9 @@ impl Engine {
         self.par_map(
             rules,
             &snapshot,
-            || opts.session.then(|| ProveSession::new(opts)),
-            |rule, cache, session| {
-                let report = prove_rule_session(rule, cache, session.as_mut(), opts);
+            |cache| Prover::with_cache(cache, opts),
+            |rule, prover| {
+                let report = prover.prove_rule(rule);
                 let ok = report.proved == rule.expected_sound
                     || (!rule.expected_sound
                         && matches!(differential_test(rule, 200, 0xC11), DiffOutcome::Refuted(_)));
@@ -243,8 +246,9 @@ impl Engine {
     /// certified optimizer, returning reports in input order. Budget
     /// comes from the engine's prove options; the interner snapshot and
     /// (unless disabled) the striped [`SharedMemo`] are shared across
-    /// workers exactly as in [`Engine::prove_catalog`]. Reports are
-    /// identical to calling [`optimizer::optimize_query`] sequentially.
+    /// workers exactly as in [`Engine::prove_catalog`]. Each worker is
+    /// one [`crate::api::Planner`]; reports are identical to calling
+    /// [`optimizer::optimize`] sequentially on fresh state.
     pub fn optimize_batch(
         &self,
         env: &QueryEnv,
@@ -252,20 +256,12 @@ impl Engine {
         queries: &[Query],
     ) -> Vec<Result<OptimizeReport, OptimizeError>> {
         let snapshot = self.seed_query_snapshot(env, queries);
-        let opts = OptimizeOptions {
-            budget: self.config.prove.budget,
-        };
-        let use_session = self.config.prove.session;
+        let opts = self.config.prove;
         self.par_map(
             queries,
             &snapshot,
-            || use_session.then(|| PlanSession::new(opts.budget)),
-            |q, cache, session| match session.as_mut() {
-                Some(session) => {
-                    optimizer::optimize_query_session(q, env, stats, opts, cache, session)
-                }
-                None => optimizer::optimize_query_cached(q, env, stats, opts, cache),
-            },
+            |cache| Planner::with_cache(cache, opts),
+            |q, planner| planner.optimize(q, env, stats),
         )
     }
 
@@ -296,15 +292,10 @@ impl Engine {
         self.par_map(
             pairs,
             &snapshot,
-            || opts.session.then(|| ProveSession::new(opts)),
-            |(l, r), cache, session| {
+            |cache| Prover::with_cache(cache, opts),
+            |(l, r), prover| {
                 let inst = RuleInstance::plain(env.clone(), l.clone(), r.clone());
-                match crate::prove::verify_instance_session(
-                    &inst,
-                    Some(cache),
-                    session.as_mut(),
-                    opts,
-                ) {
+                match prover.verify_instance(&inst) {
                     Ok((method, steps, _)) => PairReport {
                         proved: true,
                         method: Some(method),
@@ -321,15 +312,16 @@ impl Engine {
     }
 
     /// Order-preserving parallel map over a work list: a shared atomic
-    /// cursor hands out indices, each worker owns a [`NormCache`] seeded
-    /// from the frozen snapshot plus one extra worker-state value built
-    /// by `mk_state` (the persistent per-worker session, or `()`), and
-    /// results land in their input slots. Unless disabled, workers
-    /// additionally share one `Mutex`-striped [`SharedMemo`] covering
-    /// the snapshot-prefix ids, so a denotation fragment common to
-    /// several items normalizes once per *batch* rather than once per
-    /// worker — with results and traces bit-identical to the unshared
-    /// path.
+    /// cursor hands out indices, each worker builds ONE state value
+    /// from a [`NormCache`] seeded off the frozen snapshot (`mk_state`
+    /// — an [`api::Prover`](crate::api::Prover), an
+    /// [`api::Planner`](crate::api::Planner), or `()` for cache-free
+    /// work), and results land in their input slots. Unless disabled,
+    /// workers additionally share one `Mutex`-striped [`SharedMemo`]
+    /// covering the snapshot-prefix ids, so a denotation fragment
+    /// common to several items normalizes once per *batch* rather than
+    /// once per worker — with results and traces bit-identical to the
+    /// unshared path.
     fn par_map<T, S, R, F, M>(
         &self,
         items: &[T],
@@ -340,17 +332,16 @@ impl Engine {
     where
         T: Sync,
         R: Send,
-        M: Fn() -> S + Sync,
-        F: Fn(&T, &mut NormCache, &mut S) -> R + Sync,
+        M: Fn(NormCache) -> S + Sync,
+        F: Fn(&T, &mut S) -> R + Sync,
     {
         let threads = self.threads().min(items.len().max(1));
         if threads <= 1 {
-            // Degenerate pool: run inline (still through the cache and
-            // worker state, so single-threaded callers get the
-            // memoization win).
-            let mut cache = NormCache::from_interner((**snapshot).clone());
-            let mut state = mk_state();
-            return items.iter().map(|r| f(r, &mut cache, &mut state)).collect();
+            // Degenerate pool: run inline (still through the worker
+            // state, so single-threaded callers get the memoization
+            // win).
+            let mut state = mk_state(NormCache::from_interner((**snapshot).clone()));
+            return items.iter().map(|r| f(r, &mut state)).collect();
         }
         let shared_memo = self
             .config
@@ -364,19 +355,20 @@ impl Engine {
                 let (cursor, slots, f, mk_state) = (&cursor, &slots, &f, &mk_state);
                 scope.spawn(move || {
                     // Per-worker state: a private VarGen lives inside
-                    // each prove call; the cache and session persist
-                    // across the items this worker claims.
-                    let mut cache = match shared_memo {
+                    // each prove call; the cache and session inside the
+                    // state persist across the items this worker
+                    // claims.
+                    let cache = match shared_memo {
                         Some(shared) => {
                             NormCache::from_interner_shared((**snapshot).clone(), shared)
                         }
                         None => NormCache::from_interner((**snapshot).clone()),
                     };
-                    let mut state = mk_state();
+                    let mut state = mk_state(cache);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        let result = f(item, &mut cache, &mut state);
+                        let result = f(item, &mut state);
                         slots.lock().expect("no poisoned workers")[i] = Some(result);
                     }
                 });
@@ -403,7 +395,7 @@ mod tests {
         let parallel = engine.prove_catalog(&rules);
         assert_eq!(parallel.len(), rules.len());
         for (rule, report) in rules.iter().zip(&parallel) {
-            let sequential = crate::prove::prove_rule(rule);
+            let sequential = crate::api::prove_rule(rule);
             assert_eq!(report.name, sequential.name);
             assert_eq!(report.proved, sequential.proved, "{}", rule.name);
             assert_eq!(report.method, sequential.method, "{}", rule.name);

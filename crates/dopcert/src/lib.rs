@@ -23,13 +23,21 @@
 //! let rules = dopcert::catalog::sound_rules();
 //! assert_eq!(rules.len(), 23); // the Fig. 8 census
 //! let fig1 = rules.iter().find(|r| r.name == "union-slct-distr").unwrap();
-//! let report = dopcert::prove::prove_rule(fig1);
+//! let report = dopcert::api::prove_rule(fig1);
 //! assert!(report.proved);
 //! ```
+//!
+//! Everything the system can do is reachable through one typed request
+//! API ([`api`]): the CLI subcommands, the script runner, and the
+//! resident `dopcert serve` daemon ([`serve`], line-delimited JSON over
+//! TCP — [`wire`]) all build [`api::Request`] values and render
+//! [`api::Response`]s through the same code, which is what makes the
+//! daemon's answers byte-identical to the single-shot CLI's.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod api;
 pub mod catalog;
 pub mod difftest;
 pub mod engine;
@@ -37,8 +45,11 @@ pub mod prove;
 pub mod rule;
 pub mod rules;
 pub mod script;
+pub mod serve;
 pub mod session;
+pub mod wire;
 
+pub use api::{execute, BudgetSpec, Planner, Prover, Request, RequestOptions, Response, Workspace};
 pub use engine::{Engine, EngineConfig};
-pub use prove::{prove_rule, prove_rule_cached, RuleReport};
+pub use prove::RuleReport;
 pub use rule::{Category, Rule, RuleInstance, SchemaSource};

@@ -102,38 +102,46 @@ pub struct RuleReport {
 
 /// Verifies a rule with the appropriate procedure (default options:
 /// tactics with saturation fallback).
+#[deprecated(note = "use `dopcert::api::prove_rule` (or an `api::Prover` for batches)")]
 pub fn prove_rule(rule: &Rule) -> RuleReport {
-    prove_rule_impl(rule, None, None, ProveOptions::default())
+    prove_rule_on(rule, None, None, ProveOptions::default())
 }
 
-/// [`prove_rule`] with memoized normalization through a reusable
-/// [`NormCache`]. Produces the same verdict, method, and step count as
-/// [`prove_rule`]; only `micros` (wall clock) may differ. This is the
-/// per-worker entry point of [`crate::engine`].
+/// [`api::prove_rule`](crate::api::prove_rule) with memoized
+/// normalization through a reusable [`NormCache`].
+#[deprecated(note = "use an `api::Prover` (it owns the cache)")]
 pub fn prove_rule_cached(rule: &Rule, cache: &mut NormCache) -> RuleReport {
-    prove_rule_impl(rule, Some(cache), None, ProveOptions::default())
+    prove_rule_on(rule, Some(cache), None, ProveOptions::default())
 }
 
 /// [`prove_rule_cached`] with explicit verification options.
+#[deprecated(note = "use an `api::Prover` built with the options")]
+#[allow(deprecated)]
 pub fn prove_rule_with(rule: &Rule, cache: &mut NormCache, opts: ProveOptions) -> RuleReport {
-    prove_rule_impl(rule, Some(cache), None, opts)
+    prove_rule_on(rule, Some(cache), None, opts)
 }
 
 /// [`prove_rule_with`] through a persistent per-worker
-/// [`ProveSession`]: verdict, method, and step count are identical to
-/// the sessionless path (property-tested); repeated goals are answered
-/// from the session memo and every saturation goal feeds the session's
-/// multi-seed discovery graph.
+/// [`ProveSession`].
+#[deprecated(note = "use an `api::Prover` (it owns the session)")]
+#[allow(deprecated)]
 pub fn prove_rule_session(
     rule: &Rule,
     cache: &mut NormCache,
     session: Option<&mut ProveSession>,
     opts: ProveOptions,
 ) -> RuleReport {
-    prove_rule_impl(rule, Some(cache), session, opts)
+    prove_rule_on(rule, Some(cache), session, opts)
 }
 
-fn prove_rule_impl(
+/// The one rule-verification pipeline all entry points share; which
+/// state it runs on is the caller's choice ([`crate::api::Prover`]
+/// makes it once, at construction). Verdict, method, and step count
+/// are identical whatever state is supplied (property-tested); only
+/// `micros` (wall clock) differs. Repeated goals are answered from the
+/// session memo and every saturation goal feeds the session's
+/// multi-seed discovery graph.
+pub(crate) fn prove_rule_on(
     rule: &Rule,
     cache: Option<&mut NormCache>,
     session: Option<&mut ProveSession>,
@@ -446,7 +454,7 @@ mod tests {
             build: fig1,
             expected_sound: true,
         };
-        let report = prove_rule(&rule);
+        let report = crate::api::prove_rule(&rule);
         assert!(report.proved, "{:?}", report.failure);
         assert!(report.steps >= 1);
     }
@@ -467,7 +475,7 @@ mod tests {
             build: bad,
             expected_sound: false,
         };
-        let report = prove_rule(&rule);
+        let report = crate::api::prove_rule(&rule);
         assert!(!report.proved);
         assert!(report.failure.unwrap().contains("schema mismatch"));
     }

@@ -52,7 +52,7 @@ fn groupby_filter_pushdown(src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prove::prove_rule;
+    use crate::api::prove_rule;
 
     #[test]
     fn aggregation_rule_proves() {

@@ -208,7 +208,7 @@ fn where_false_empty(src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prove::prove_rule;
+    use crate::api::prove_rule;
 
     #[test]
     fn all_basic_rules_prove() {

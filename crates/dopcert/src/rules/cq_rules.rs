@@ -67,7 +67,8 @@ fn cq_self_join(_src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prove::{decide_cq, prove_rule};
+    use crate::api::prove_rule;
+    use crate::prove::decide_cq;
 
     #[test]
     fn cq_rules_decided_automatically() {

@@ -209,8 +209,8 @@ fn distinct_union_absorb(src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::prove_rule;
     use crate::difftest::{differential_test, DiffOutcome};
-    use crate::prove::prove_rule;
 
     #[test]
     fn extension_rules_prove() {

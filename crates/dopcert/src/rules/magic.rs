@@ -283,7 +283,7 @@ fn semijoin_distinct_commute(src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prove::prove_rule;
+    use crate::api::prove_rule;
 
     #[test]
     fn magic_set_rules_prove() {

@@ -92,7 +92,7 @@ fn exists_union_or(src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prove::prove_rule;
+    use crate::api::prove_rule;
 
     #[test]
     fn subquery_rules_prove() {

@@ -144,7 +144,7 @@ fn wrong_join_union_typo(src: &mut dyn SchemaSource) -> RuleInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prove::prove_rule;
+    use crate::api::prove_rule;
 
     #[test]
     fn wrong_rules_are_rejected_by_the_prover() {

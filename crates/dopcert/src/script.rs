@@ -14,6 +14,11 @@
 //! distinct R.a 100;           -- per-column distinct-value estimate
 //! distinct S.1 50;            -- …columns also addressable by position
 //!
+//! budget iters 40;            -- saturation-budget directives; knobs
+//! budget nodes 20000;         --   are iters, nodes, oracle-calls.
+//!                             --   Explicit CLI/request knobs override
+//!                             --   the script's.
+//!
 //! verify SELECT Right.Left FROM R
 //!     == SELECT Right.Left FROM R;
 //!
@@ -25,6 +30,7 @@
 //! a counterexample search runs. `refute` goals assert the pair is
 //! *inequivalent* and must produce a counterexample.
 
+use crate::api::{BudgetSpec, Prover};
 use crate::prove::{decide_cq, verify_instance_session, ProveOptions, VerifyMethod};
 use crate::rule::RuleInstance;
 use crate::session::ProveSession;
@@ -51,6 +57,10 @@ pub struct Script {
     /// Declared column names per table (empty when a table was declared
     /// with bare types).
     pub columns: BTreeMap<String, Vec<String>>,
+    /// Saturation-budget directives (`budget iters 40;`), resolved
+    /// against the defaults by the caller — explicit CLI flags and
+    /// serve-request knobs take precedence over these.
+    pub budget: BudgetSpec,
 }
 
 /// One goal.
@@ -157,6 +167,15 @@ pub fn parse_script(input: &str) -> Result<Script, HottsqlError> {
             })?;
             script.stats =
                 std::mem::take(&mut script.stats).with_column_distinct(name, width, col, value);
+        } else if let Some(rest) = stmt.strip_prefix("budget ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(knob), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err("budget directive needs `budget <knob> <value>`".into()));
+            };
+            // BudgetSpec is the single parse/validate point for budget
+            // knobs — scripts share it with CLI flags and serve
+            // requests.
+            script.budget.parse_set(knob, value).map_err(&err)?;
         } else if let Some(rest) = stmt
             .strip_prefix("verify")
             .map(|r| (true, r))
@@ -401,6 +420,18 @@ pub fn run_script(script: &Script) -> Vec<GoalOutcome> {
 /// `opts` — the CLI's `prove --saturate` mode routes every such goal
 /// through equality saturation alone.
 pub fn run_script_with(script: &Script, opts: ProveOptions) -> Vec<GoalOutcome> {
+    // One normalization cache and (unless disabled) one persistent
+    // proving session serve every goal of the script — outcomes are
+    // identical to checking each goal alone.
+    run_script_in(script, &mut Prover::new(opts))
+}
+
+/// Runs a script's goals on an existing [`Prover`] — the resident path
+/// the serve daemon's workers use, with the prover's cache and session
+/// persisting across scripts. Outcomes are identical to
+/// [`run_script_with`] on fresh state (the session-identity
+/// guarantee).
+pub fn run_script_in(script: &Script, prover: &mut Prover) -> Vec<GoalOutcome> {
     // Translate every goal side once; collect the CQ-decidable goals.
     let mut queries = Vec::new();
     let mut pair_of_goal: Vec<Option<(usize, usize)>> = Vec::new();
@@ -418,11 +449,7 @@ pub fn run_script_with(script: &Script, opts: ProveOptions) -> Vec<GoalOutcome> 
     }
     let pairs: Vec<(usize, usize)> = pair_of_goal.iter().flatten().copied().collect();
     let mut decisions = cq::containment::equivalent_set_batch(&queries, &pairs).into_iter();
-    // One normalization cache and (unless disabled) one persistent
-    // proving session serve every goal of the script — outcomes are
-    // identical to checking each goal alone.
-    let mut cache = NormCache::new();
-    let mut session = opts.session.then(|| ProveSession::new(opts));
+    let opts = prover.opts;
     script
         .goals
         .iter()
@@ -435,8 +462,8 @@ pub fn run_script_with(script: &Script, opts: ProveOptions) -> Vec<GoalOutcome> 
                 goal,
                 inst,
                 decision,
-                Some(&mut cache),
-                session.as_mut(),
+                Some(&mut prover.cache),
+                prover.session.as_mut(),
                 opts,
             )
         })
@@ -553,6 +580,27 @@ refute DISTINCT SELECT Right.Left FROM R
         assert!(parse_script("table R(int);\nrows R -3;").is_err());
         // Partial column naming is rejected.
         assert!(parse_script("table R(a int, int);").is_err());
+    }
+
+    #[test]
+    fn budget_directives_parse_through_the_shared_spec() {
+        let s = parse_script(
+            "table R(int);\n\
+             budget iters 40;\n\
+             budget nodes 20000;\n\
+             budget oracle-calls 8;\n\
+             verify R == R;",
+        )
+        .unwrap();
+        assert_eq!(s.budget.iters, Some(40));
+        assert_eq!(s.budget.nodes, Some(20000));
+        assert_eq!(s.budget.oracle_calls, Some(8));
+        // Same validation as CLI flags and serve requests.
+        assert!(parse_script("budget iters 0;").is_err());
+        assert!(parse_script("budget bogus 5;").is_err());
+        assert!(parse_script("budget iters many;").is_err());
+        assert!(parse_script("budget iters;").is_err());
+        assert!(parse_script("budget iters 1 2;").is_err());
     }
 
     #[test]

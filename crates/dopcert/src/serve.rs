@@ -1,0 +1,554 @@
+//! `dopcert serve`: the resident proving/optimization daemon.
+//!
+//! The server accepts newline-delimited JSON requests ([`crate::wire`])
+//! over plain TCP and shards them across a fixed pool of worker
+//! threads, each owning one resident [`Workspace`] (prover session +
+//! planner session). Requests are routed by a stable hash of their
+//! script, so a repeated script always lands on the worker whose memos
+//! already hold its verdicts — that is where the hit-rate reported by
+//! `stats` comes from. By the session-identity guarantee, every answer
+//! is byte-identical to a fresh single-shot CLI run of the same
+//! request (`tests/serve.rs` asserts this against [`crate::execute`]).
+//!
+//! Admission control is per *tenant* (the request's `tenant` field,
+//! default `"default"`): each prove/optimize/catalog/discover request
+//! charges its effective per-goal iteration budget against the
+//! server's [`BatchBudget`] before dispatch. A single oversized
+//! request is rejected by the per-goal cap; a tenant that has spent
+//! its cumulative allowance is rejected as exhausted, so one hot
+//! client cannot starve the rest.
+//!
+//! Error handling is per request: a malformed line or rejected budget
+//! answers with an error *response* on the same connection — the
+//! connection stays open and subsequent lines are processed normally.
+//! A `shutdown` request is acknowledged, then the listener and all
+//! workers drain and exit; [`Server::wait`] joins them.
+
+use crate::api::{Request, RequestOptions, Response, ServerStats, Workspace};
+use crate::wire::{decode_request, encode_response, Json};
+use egraph::session::{Admission, BatchBudget};
+use egraph::solve::Budget;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked connection reads wake up to poll the shutdown
+/// flag. Short enough that `shutdown` feels immediate, long enough
+/// that idle connections cost nothing measurable.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (the default —
+    /// [`Server::local_addr`] reports what was bound).
+    pub addr: String,
+    /// Worker threads, each with one resident [`Workspace`].
+    pub workers: usize,
+    /// Options resident workspaces are built at; requests that resolve
+    /// to different effective options run on fresh state instead.
+    pub defaults: RequestOptions,
+    /// Per-tenant admission budget.
+    pub tenant_budget: BatchBudget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            defaults: RequestOptions::default(),
+            tenant_budget: BatchBudget::default(),
+        }
+    }
+}
+
+/// Rolling counters behind one lock (all cheap increments; the lock is
+/// never held across proving work).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: usize,
+    ok: usize,
+    errors: usize,
+    budget_rejections: usize,
+    goals: usize,
+    micros: u128,
+}
+
+/// State shared by the listener, every connection, and every worker.
+#[derive(Debug)]
+struct Shared {
+    config: ServeConfig,
+    /// The bound listen address (port 0 resolved).
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    counters: Mutex<Counters>,
+    /// Iterations charged per tenant, for admission control.
+    tenants: Mutex<HashMap<String, usize>>,
+    /// Each worker's cumulative memo hits (published after every
+    /// request, summed by `stats`).
+    memo_hits: Vec<AtomicUsize>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let c = self.counters.lock().expect("counters lock");
+        ServerStats {
+            workers: self.config.workers,
+            requests: c.requests,
+            ok: c.ok,
+            errors: c.errors,
+            budget_rejections: c.budget_rejections,
+            goals: c.goals,
+            memo_hits: self
+                .memo_hits
+                .iter()
+                .map(|h| h.load(Ordering::SeqCst))
+                .sum(),
+            micros: c.micros,
+        }
+    }
+
+    /// Counts a finished response into the rolling counters.
+    fn count_response(&self, resp: &Response, micros: u128) {
+        let mut c = self.counters.lock().expect("counters lock");
+        match resp {
+            Response::Error(_) => c.errors += 1,
+            Response::Goals(goals) => {
+                c.ok += 1;
+                c.goals += goals.len();
+            }
+            _ => c.ok += 1,
+        }
+        c.micros += micros;
+    }
+}
+
+/// A unit of work handed to a worker: the request plus a reply slot.
+struct Job {
+    req: Request,
+    reply: Sender<Response>,
+}
+
+/// A running `dopcert serve` daemon. Dropping the handle does *not*
+/// stop the server — call [`Server::shutdown`] (or send a `shutdown`
+/// request) and then [`Server::wait`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    senders: Vec<Sender<Job>>,
+    listener_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the address and starts the listener and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config: ServeConfig { workers, ..config },
+            addr,
+            shutdown: AtomicBool::new(false),
+            counters: Mutex::new(Counters::default()),
+            tenants: Mutex::new(HashMap::new()),
+            memo_hits: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+        });
+
+        let mut senders = Vec::with_capacity(workers);
+        let mut worker_threads = Vec::with_capacity(workers);
+        for slot in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            worker_threads.push(std::thread::spawn(move || {
+                let mut workspace = Workspace::new(shared.config.defaults);
+                while let Ok(job) = rx.recv() {
+                    let start = Instant::now();
+                    let resp = workspace.execute(&job.req);
+                    shared.memo_hits[slot].store(workspace.memo_hits(), Ordering::SeqCst);
+                    shared.count_response(&resp, start.elapsed().as_micros());
+                    // A dropped receiver means the client hung up
+                    // mid-request; the work is already counted.
+                    let _ = job.reply.send(resp);
+                }
+            }));
+        }
+
+        let listener_shared = Arc::clone(&shared);
+        let listener_senders = senders.clone();
+        let listener_thread = std::thread::spawn(move || {
+            let mut connections = Vec::new();
+            for stream in listener.incoming() {
+                if listener_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&listener_shared);
+                let senders = listener_senders.clone();
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(stream, &shared, &senders);
+                }));
+            }
+            connections
+        });
+
+        Ok(Server {
+            addr,
+            shared,
+            senders,
+            listener_thread: Some(listener_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Initiates a graceful shutdown: no new connections are accepted,
+    /// open connections drain their in-flight request and close.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until the listener, every connection, and every worker
+    /// have exited. Call after [`Server::shutdown`] or after a client
+    /// sent a `shutdown` request.
+    pub fn wait(mut self) {
+        if let Some(listener) = self.listener_thread.take() {
+            if let Ok(connections) = listener.join() {
+                for conn in connections {
+                    let _ = conn.join();
+                }
+            }
+        }
+        // Workers exit once every sender is gone (connections hold
+        // clones only transiently, and they have all joined by now).
+        self.senders.clear();
+        for worker in self.worker_threads.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Flips the shutdown flag and wakes the blocking `accept` with one
+/// throwaway connection so the listener notices.
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    drop(TcpStream::connect(addr));
+}
+
+/// One connection's read loop: one request per line, one response line
+/// per request, until EOF or shutdown.
+fn serve_connection(stream: TcpStream, shared: &Shared, senders: &[Sender<Job>]) {
+    // Reads wake up periodically to poll the shutdown flag; a timeout
+    // mid-line keeps the partial line in `line` and resumes appending.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF: the client hung up.
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let reply = answer_line(line.trim(), shared, senders);
+                    if writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one request line: decode, admit, dispatch, encode.
+fn answer_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> String {
+    shared.counters.lock().expect("counters lock").requests += 1;
+    let (id, tenant, req) = match decode_request(line) {
+        Ok(parts) => parts,
+        Err(e) => {
+            shared.counters.lock().expect("counters lock").errors += 1;
+            return encode_response(&Json::Null, &Response::Error(format!("bad request: {e}")));
+        }
+    };
+
+    // Control requests are answered inline — they must work even when
+    // every worker is busy proving.
+    match req {
+        Request::Stats => {
+            let resp = Response::Stats(shared.stats());
+            shared.counters.lock().expect("counters lock").ok += 1;
+            return encode_response(&id, &resp);
+        }
+        Request::Shutdown => {
+            shared.counters.lock().expect("counters lock").ok += 1;
+            // Acknowledge first, then stop the listener; the caller's
+            // connection drains with everyone else's.
+            let ack = {
+                let mut map = std::collections::BTreeMap::new();
+                map.insert("id".to_owned(), id);
+                map.insert("ok".to_owned(), Json::Bool(true));
+                map.insert("kind".to_owned(), Json::Str("shutdown".to_owned()));
+                map.insert(
+                    "lines".to_owned(),
+                    Json::Arr(vec![Json::Str("shutting down".to_owned())]),
+                );
+                Json::Obj(map).render()
+            };
+            request_shutdown(shared, shared.addr);
+            return ack;
+        }
+        _ => {}
+    }
+
+    if let Err(rejection) = admit(&tenant, &req, shared) {
+        let mut c = shared.counters.lock().expect("counters lock");
+        c.budget_rejections += 1;
+        return encode_response(&id, &Response::Error(rejection));
+    }
+
+    let (reply_tx, reply_rx) = channel();
+    let worker = route(&req, senders.len());
+    if senders[worker]
+        .send(Job {
+            req,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        shared.counters.lock().expect("counters lock").errors += 1;
+        return encode_response(&id, &Response::Error("server is shutting down".into()));
+    }
+    match reply_rx.recv() {
+        Ok(resp) => encode_response(&id, &resp),
+        Err(_) => {
+            shared.counters.lock().expect("counters lock").errors += 1;
+            encode_response(&id, &Response::Error("server is shutting down".into()))
+        }
+    }
+}
+
+/// Per-tenant admission control: charges the request's effective
+/// per-goal iteration budget against the tenant's allowance.
+fn admit(tenant: &str, req: &Request, shared: &Shared) -> Result<(), String> {
+    let opts = match req {
+        Request::Prove { opts, .. }
+        | Request::Optimize { opts, .. }
+        | Request::Catalog { opts, .. }
+        | Request::Discover { opts } => opts,
+        Request::Stats | Request::Shutdown => return Ok(()),
+    };
+    // The declared budget; scripts cannot raise it past the admission
+    // check because a script directive only fills knobs the request
+    // left unset, and unset knobs resolve to the same default charged
+    // here.
+    let iters = opts.budget.apply(Budget::default()).max_iters;
+    let budget = shared.config.tenant_budget;
+    let mut tenants = shared.tenants.lock().expect("tenants lock");
+    let spent = tenants.entry(tenant.to_owned()).or_insert(0);
+    match budget.admit(*spent, iters) {
+        Admission::Admit => {
+            *spent += iters;
+            Ok(())
+        }
+        Admission::PerGoalCap => Err(format!(
+            "budget rejected: {iters} iterations exceeds the per-request cap of {}",
+            budget.per_goal_iters
+        )),
+        Admission::Exhausted => Err(format!(
+            "budget rejected: tenant {tenant:?} has exhausted its allowance of {} iterations",
+            budget.max_total_iters
+        )),
+    }
+}
+
+/// Stable request routing: identical scripts hash to the same worker,
+/// so repeats land on the workspace whose memos already hold them.
+fn route(req: &Request, workers: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    match req {
+        Request::Prove { script, .. } => {
+            "prove".hash(&mut hasher);
+            script.hash(&mut hasher);
+        }
+        Request::Optimize { script, .. } => {
+            "optimize".hash(&mut hasher);
+            script.hash(&mut hasher);
+        }
+        Request::Catalog { .. } => "catalog".hash(&mut hasher),
+        Request::Discover { .. } => "discover".hash(&mut hasher),
+        Request::Stats | Request::Shutdown => {}
+    }
+    (hasher.finish() % workers as u64) as usize
+}
+
+/// Blocking client helper: sends one request and reads one response
+/// line — the `dopcert request` subcommand and the CI smoke test.
+///
+/// # Errors
+///
+/// Returns the connect/write/read error, or the malformed response
+/// line described as [`ErrorKind::InvalidData`].
+pub fn request_once(
+    addr: &str,
+    id: &Json,
+    tenant: &str,
+    req: &Request,
+) -> std::io::Result<crate::wire::WireReply> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let line = crate::wire::encode_request(id, tenant, req);
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    crate::wire::decode_response(reply.trim())
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::execute;
+
+    fn local_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let req = Request::Prove {
+            script: "table R(int);\nverify R == R;".into(),
+            opts: RequestOptions::default(),
+        };
+        let w = route(&req, 4);
+        assert_eq!(route(&req, 4), w, "same script, same worker");
+        assert!(w < 4);
+        assert_eq!(route(&Request::Stats, 1), 0);
+    }
+
+    #[test]
+    fn server_answers_identically_to_fresh_execute() {
+        let server = Server::start(local_config()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let req = Request::Prove {
+            script: "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);".into(),
+            opts: RequestOptions::default(),
+        };
+        let reply = request_once(&addr, &Json::Num(1.0), "default", &req).expect("request");
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.lines, execute(&req).render());
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_the_connection_survives() {
+        let server = Server::start(local_config()).expect("bind");
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"this is not json\n").expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let reply = crate::wire::decode_response(line.trim()).expect("decode");
+        assert!(!reply.ok);
+        assert!(reply.error.expect("error").starts_with("bad request:"));
+        // The connection is still usable.
+        writer.write_all(b"{\"cmd\":\"stats\"}\n").expect("write");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        let reply = crate::wire::decode_response(line.trim()).expect("decode");
+        assert!(reply.ok);
+        let stats = reply.stats.expect("stats");
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 1);
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn admission_rejects_oversized_and_exhausted_tenants() {
+        let mut config = local_config();
+        config.tenant_budget = BatchBudget {
+            max_total_iters: 48,
+            max_nodes: 60_000,
+            per_goal_iters: 24,
+        };
+        let server = Server::start(config).expect("bind");
+        let addr = server.local_addr().to_string();
+        let mut big = RequestOptions::default();
+        big.budget.set("iters", 100).unwrap();
+        let oversized = Request::Prove {
+            script: "table R(int);\nverify R == R;".into(),
+            opts: big,
+        };
+        let reply = request_once(&addr, &Json::Null, "default", &oversized).expect("request");
+        assert!(!reply.ok);
+        assert!(
+            reply.error.expect("error").contains("per-request cap"),
+            "oversized request hits the per-goal cap"
+        );
+
+        let small = Request::Prove {
+            script: "table R(int);\nverify R == R;".into(),
+            opts: RequestOptions::default(),
+        };
+        // Default budget is 24 iters; the third request exceeds 48.
+        for _ in 0..2 {
+            let reply = request_once(&addr, &Json::Null, "bob", &small).expect("request");
+            assert!(reply.ok, "{reply:?}");
+        }
+        let reply = request_once(&addr, &Json::Null, "bob", &small).expect("request");
+        assert!(!reply.ok);
+        assert!(reply.error.expect("error").contains("exhausted"));
+        // Another tenant's allowance is untouched.
+        let reply = request_once(&addr, &Json::Null, "carol", &small).expect("request");
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(server.stats().budget_rejections, 2);
+        server.shutdown();
+        server.wait();
+    }
+}

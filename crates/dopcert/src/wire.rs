@@ -1,0 +1,705 @@
+//! The serve wire protocol: newline-delimited JSON, std-only.
+//!
+//! One request per line, one response line per request, over a plain
+//! TCP stream — `nc` is a full-featured client. The container bakes in
+//! no third-party crates, so this module carries a deliberately small
+//! JSON parser/printer (objects, arrays, strings with escapes, finite
+//! numbers, booleans, null — no trailing commas, no comments) rather
+//! than an external dependency.
+//!
+//! Request object:
+//!
+//! ```json
+//! {"cmd": "prove", "id": 1, "tenant": "alice",
+//!  "script": "table R(int); verify R == R;",
+//!  "saturate": "fallback", "session": true,
+//!  "budget": {"iters": 24, "nodes": 10000, "oracle-calls": 64},
+//!  "jobs": 2, "shared-cache": true, "discover": false}
+//! ```
+//!
+//! `cmd` is required: `check`, `prove`, `optimize`, `catalog`,
+//! `discover`, `stats`, or `shutdown`. `script` is required for
+//! `check`/`prove`/`optimize`. Everything else is optional; `id` is
+//! echoed back verbatim, `tenant` names the budget-admission account
+//! (default `"default"`). Budget knobs are validated by the same
+//! [`BudgetSpec`] the CLI flags and script directives go through.
+//!
+//! Response object:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "kind": "goals",
+//!  "lines": ["[ok] verify: ...\n    proved by ..."]}
+//! ```
+//!
+//! `lines` are exactly the stdout lines the single-shot CLI prints for
+//! the same request ([`Response::render`]); error responses carry
+//! `"kind": "error"` and an `"error"` string instead; `stats`
+//! responses add a `"stats"` object with the raw counters.
+
+use crate::api::{Request, RequestOptions, Response, ServerStats};
+use crate::prove::SaturateMode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep insertion order irrelevant —
+/// a sorted map keeps rendering deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON value, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a position-annotated description of the first problem.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(input, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(input, bytes, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(input, bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(input, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(input, bytes, pos).map(Json::Str),
+        Some(b't') if input[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if input[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if input[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while let Some(b) = bytes.get(*pos) {
+                if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if *pos == start {
+                return Err(format!("unexpected character at byte {start}"));
+            }
+            let text = &input[start..*pos];
+            let n: f64 = text
+                .parse()
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))?;
+            if !n.is_finite() {
+                return Err(format!("non-finite number {text:?} at byte {start}"));
+            }
+            Ok(Json::Num(n))
+        }
+    }
+}
+
+fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    let mut chars = input[*pos..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'b')) => out.push('\u{8}'),
+                Some((_, 'f')) => out.push('\u{c}'),
+                Some((j, 'u')) => {
+                    let hex = input
+                        .get(*pos + j + 1..*pos + j + 5)
+                        .ok_or("truncated \\u escape")?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                    // Surrogate pairs are out of scope for this
+                    // protocol (scripts are ASCII-leaning); lone
+                    // surrogates map to the replacement character.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                other => return Err(format!("invalid escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// A decoded response line, as a client sees it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireReply {
+    /// The request's `id`, echoed (null when absent).
+    pub id: Json,
+    /// Whether every goal/plan/rule in the response passed.
+    pub ok: bool,
+    /// The response kind (`goals`, `plans`, `catalog`, `discovered`,
+    /// `stats`, `error`).
+    pub kind: String,
+    /// The rendered CLI lines.
+    pub lines: Vec<String>,
+    /// The error message, for `kind == "error"`.
+    pub error: Option<String>,
+    /// The raw counters, for `kind == "stats"`.
+    pub stats: Option<ServerStats>,
+}
+
+/// Decodes one request line into its id, tenant, and typed request.
+///
+/// # Errors
+///
+/// Returns a description of the malformed line — the daemon wraps it
+/// in an error *response* rather than dropping the connection.
+pub fn decode_request(line: &str) -> Result<(Json, String, Request), String> {
+    let value = parse_json(line)?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let id = value.get("id").cloned().unwrap_or(Json::Null);
+    let tenant = match value.get("tenant") {
+        None => "default".to_owned(),
+        Some(t) => t
+            .as_str()
+            .ok_or_else(|| "tenant must be a string".to_owned())?
+            .to_owned(),
+    };
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a \"cmd\" string".to_owned())?;
+    let opts = decode_options(&value)?;
+    let script = || -> Result<String, String> {
+        value
+            .get("script")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("{cmd:?} needs a \"script\" string"))
+    };
+    let req = match cmd {
+        // `check` is `prove` at the library-default options, exactly
+        // like the CLI subcommand.
+        "check" => Request::Prove {
+            script: script()?,
+            opts: RequestOptions::default(),
+        },
+        "prove" => Request::Prove {
+            script: script()?,
+            opts,
+        },
+        "optimize" => Request::Optimize {
+            script: script()?,
+            opts,
+        },
+        "catalog" => Request::Catalog {
+            discover: value
+                .get("discover")
+                .map(|v| v.as_bool().ok_or("discover must be a boolean"))
+                .transpose()?
+                .unwrap_or(false),
+            opts,
+        },
+        "discover" => Request::Discover { opts },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown cmd {other:?}")),
+    };
+    Ok((id, tenant, req))
+}
+
+fn decode_options(value: &Json) -> Result<RequestOptions, String> {
+    let mut opts = RequestOptions::default();
+    if let Some(mode) = value.get("saturate") {
+        opts.saturate = match mode.as_str() {
+            Some("off") => SaturateMode::Off,
+            Some("fallback") => SaturateMode::Fallback,
+            Some("only") => SaturateMode::Only,
+            _ => return Err("saturate must be \"off\", \"fallback\", or \"only\"".into()),
+        };
+    }
+    if let Some(session) = value.get("session") {
+        opts.session = session.as_bool().ok_or("session must be a boolean")?;
+    }
+    if let Some(jobs) = value.get("jobs") {
+        opts.jobs = Some(
+            jobs.as_usize()
+                .ok_or("jobs must be a non-negative integer")?,
+        );
+    }
+    if let Some(shared) = value.get("shared-cache") {
+        opts.shared_cache = shared.as_bool().ok_or("shared-cache must be a boolean")?;
+    }
+    if let Some(budget) = value.get("budget") {
+        let Json::Obj(map) = budget else {
+            return Err("budget must be an object".into());
+        };
+        for (knob, v) in map {
+            let v = v
+                .as_usize()
+                .ok_or_else(|| format!("budget {knob} must be a non-negative integer"))?;
+            // The same validation point as CLI flags and script
+            // directives.
+            opts.budget.set(knob, v)?;
+        }
+    }
+    Ok(opts)
+}
+
+/// Encodes a typed request into one wire line (no trailing newline) —
+/// the `dopcert request` client path.
+pub fn encode_request(id: &Json, tenant: &str, req: &Request) -> String {
+    let mut map = BTreeMap::new();
+    if *id != Json::Null {
+        map.insert("id".to_owned(), id.clone());
+    }
+    if tenant != "default" {
+        map.insert("tenant".to_owned(), Json::Str(tenant.to_owned()));
+    }
+    let put_opts = |map: &mut BTreeMap<String, Json>, opts: &RequestOptions| {
+        let defaults = RequestOptions::default();
+        if opts.saturate != defaults.saturate {
+            let mode = match opts.saturate {
+                SaturateMode::Off => "off",
+                SaturateMode::Fallback => "fallback",
+                SaturateMode::Only => "only",
+            };
+            map.insert("saturate".to_owned(), Json::Str(mode.to_owned()));
+        }
+        if opts.session != defaults.session {
+            map.insert("session".to_owned(), Json::Bool(opts.session));
+        }
+        if let Some(jobs) = opts.jobs {
+            map.insert("jobs".to_owned(), Json::Num(jobs as f64));
+        }
+        if opts.shared_cache != defaults.shared_cache {
+            map.insert("shared-cache".to_owned(), Json::Bool(opts.shared_cache));
+        }
+        if !opts.budget.is_empty() {
+            let mut b = BTreeMap::new();
+            for (knob, v) in [
+                ("iters", opts.budget.iters),
+                ("nodes", opts.budget.nodes),
+                ("oracle-calls", opts.budget.oracle_calls),
+            ] {
+                if let Some(v) = v {
+                    b.insert(knob.to_owned(), Json::Num(v as f64));
+                }
+            }
+            map.insert("budget".to_owned(), Json::Obj(b));
+        }
+    };
+    let cmd = match req {
+        Request::Prove { script, opts } => {
+            map.insert("script".to_owned(), Json::Str(script.clone()));
+            put_opts(&mut map, opts);
+            "prove"
+        }
+        Request::Optimize { script, opts } => {
+            map.insert("script".to_owned(), Json::Str(script.clone()));
+            put_opts(&mut map, opts);
+            "optimize"
+        }
+        Request::Catalog { discover, opts } => {
+            if *discover {
+                map.insert("discover".to_owned(), Json::Bool(true));
+            }
+            put_opts(&mut map, opts);
+            "catalog"
+        }
+        Request::Discover { opts } => {
+            put_opts(&mut map, opts);
+            "discover"
+        }
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+    };
+    map.insert("cmd".to_owned(), Json::Str(cmd.to_owned()));
+    Json::Obj(map).render()
+}
+
+/// Encodes a response into one wire line (no trailing newline).
+pub fn encode_response(id: &Json, resp: &Response) -> String {
+    let kind = match resp {
+        Response::Goals(_) => "goals",
+        Response::Plans(_) => "plans",
+        Response::Catalog { .. } => "catalog",
+        Response::Discovered(_) => "discovered",
+        Response::Stats(_) => "stats",
+        Response::Error(_) => "error",
+    };
+    let mut map = BTreeMap::new();
+    map.insert("id".to_owned(), id.clone());
+    map.insert("ok".to_owned(), Json::Bool(resp.ok()));
+    map.insert("kind".to_owned(), Json::Str(kind.to_owned()));
+    match resp {
+        Response::Error(e) => {
+            map.insert("error".to_owned(), Json::Str(e.clone()));
+        }
+        other => {
+            map.insert(
+                "lines".to_owned(),
+                Json::Arr(other.render().into_iter().map(Json::Str).collect()),
+            );
+        }
+    }
+    if let Response::Stats(s) = resp {
+        let mut counters = BTreeMap::new();
+        for (k, v) in [
+            ("workers", s.workers),
+            ("requests", s.requests),
+            ("ok", s.ok),
+            ("errors", s.errors),
+            ("budget-rejections", s.budget_rejections),
+            ("goals", s.goals),
+            ("memo-hits", s.memo_hits),
+        ] {
+            counters.insert(k.to_owned(), Json::Num(v as f64));
+        }
+        counters.insert("micros".to_owned(), Json::Num(s.micros as f64));
+        map.insert("stats".to_owned(), Json::Obj(counters));
+    }
+    Json::Obj(map).render()
+}
+
+/// Decodes a response line — the client half of [`encode_response`].
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn decode_response(line: &str) -> Result<WireReply, String> {
+    let value = parse_json(line)?;
+    let ok = value
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("response needs an \"ok\" boolean")?;
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("response needs a \"kind\" string")?
+        .to_owned();
+    let lines = match value.get("lines") {
+        None => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|l| l.as_str().map(str::to_owned).ok_or("lines must be strings"))
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err("lines must be an array".into()),
+    };
+    let error = value.get("error").and_then(Json::as_str).map(str::to_owned);
+    let stats = value.get("stats").map(|s| {
+        let count = |k: &str| s.get(k).and_then(Json::as_usize).unwrap_or(0);
+        ServerStats {
+            workers: count("workers"),
+            requests: count("requests"),
+            ok: count("ok"),
+            errors: count("errors"),
+            budget_rejections: count("budget-rejections"),
+            goals: count("goals"),
+            memo_hits: count("memo-hits"),
+            micros: count("micros") as u128,
+        }
+    });
+    Ok(WireReply {
+        id: value.get("id").cloned().unwrap_or(Json::Null),
+        ok,
+        kind,
+        lines,
+        error,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let cases = [
+            r#"{"a":1,"b":[true,false,null],"c":"x\ny"}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#"-3.5"#,
+            r#""A\"quoted\"""#,
+        ];
+        for case in cases {
+            let parsed = parse_json(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            let rendered = parsed.render();
+            assert_eq!(parse_json(&rendered).unwrap(), parsed, "{case}");
+        }
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("hello").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+        assert!(parse_json("1e999").is_err(), "non-finite rejected");
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire() {
+        let mut opts = RequestOptions::default();
+        opts.budget.set("iters", 40).unwrap();
+        opts.saturate = SaturateMode::Only;
+        opts.session = false;
+        opts.jobs = Some(2);
+        let reqs = [
+            Request::Prove {
+                script: "table R(int);\nverify R == R;".into(),
+                opts,
+            },
+            Request::Optimize {
+                script: "table R(int);\nverify R == R;".into(),
+                opts: RequestOptions::default(),
+            },
+            Request::Catalog {
+                discover: true,
+                opts: RequestOptions::default(),
+            },
+            Request::Discover {
+                opts: RequestOptions::default(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = encode_request(&Json::Num(7.0), "alice", &req);
+            let (id, tenant, decoded) = decode_request(&line).unwrap();
+            assert_eq!(id, Json::Num(7.0));
+            assert_eq!(tenant, "alice");
+            assert_eq!(decoded, req, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described_not_crashed() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"cmd":"levitate"}"#,
+            r#"{"cmd":"prove"}"#,
+            r#"{"cmd":"prove","script":7}"#,
+            r#"{"cmd":"prove","script":"x","budget":{"iters":0}}"#,
+            r#"{"cmd":"prove","script":"x","budget":{"bogus":3}}"#,
+            r#"{"cmd":"prove","script":"x","saturate":"sideways"}"#,
+            r#"{"cmd":"prove","script":"x","jobs":-1}"#,
+        ] {
+            assert!(decode_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_stats() {
+        let resp = Response::Error("boom".into());
+        let reply = decode_response(&encode_response(&Json::Null, &resp)).unwrap();
+        assert!(!reply.ok);
+        assert_eq!(reply.kind, "error");
+        assert_eq!(reply.error.as_deref(), Some("boom"));
+
+        let stats = ServerStats {
+            workers: 2,
+            requests: 5,
+            ok: 4,
+            errors: 1,
+            budget_rejections: 0,
+            goals: 9,
+            memo_hits: 3,
+            micros: 1000,
+        };
+        let reply =
+            decode_response(&encode_response(&Json::Num(1.0), &Response::Stats(stats))).unwrap();
+        assert_eq!(reply.stats, Some(stats));
+        assert_eq!(reply.lines, Response::Stats(stats).render());
+    }
+}

@@ -3,8 +3,8 @@
 //! full catalog (sound rules, extension rules, unsound rules, and the
 //! conjunctive-query instances that take the decision-procedure path).
 
+use dopcert::api::prove_rule;
 use dopcert::engine::{Engine, EngineConfig};
-use dopcert::prove::prove_rule;
 use dopcert::{catalog, RuleReport};
 
 fn key(r: &RuleReport) -> (String, bool, String, usize) {

@@ -1,11 +1,11 @@
 //! Engine integration of the certified optimizer: the parallel batch
 //! path must agree report-for-report with the sequential
-//! `optimizer::optimize_query`, in input order, and uphold the
+//! `optimizer::optimize`, in input order, and uphold the
 //! cost/certificate gates.
 
 use dopcert::engine::Engine;
 use hottsql::ast::Query;
-use optimizer::{optimize_query, OptimizeOptions};
+use optimizer::{optimize, OptimizeOptions, PlanCtx};
 use relalg::stats::Statistics;
 
 const SCRIPT: &str = "\
@@ -38,8 +38,14 @@ fn batch_reports_match_sequential_and_keep_order() {
     for (q, report) in queries.iter().zip(&batch) {
         let report = report.as_ref().expect("optimizes");
         assert_eq!(&report.input, q, "reports must stay in input order");
-        let sequential =
-            optimize_query(q, &env, &stats, OptimizeOptions::default()).expect("optimizes");
+        let sequential = optimize(
+            q,
+            &env,
+            &stats,
+            OptimizeOptions::default(),
+            PlanCtx::default(),
+        )
+        .expect("optimizes");
         assert_eq!(report.output, sequential.output, "{q}");
         assert_eq!(report.route, sequential.route, "{q}");
         assert_eq!(report.cost_before, sequential.cost_before, "{q}");

@@ -3,21 +3,22 @@
 //! be proved by equality saturation *alone* (no bespoke tactic), within
 //! the default budget, with a trace referencing only `Lemma` axioms.
 
+use dopcert::api::{prove_rule, Prover};
 use dopcert::catalog;
-use dopcert::prove::{prove_rule, prove_rule_with, ProveOptions, SaturateMode, VerifyMethod};
+use dopcert::prove::{ProveOptions, SaturateMode, VerifyMethod};
 use dopcert::rule::Category;
-use uninomial::normalize::NormCache;
 
 fn saturate_only() -> ProveOptions {
     ProveOptions {
         saturate: SaturateMode::Only,
+        session: false, // the old cache-only path: no verdict memo
         ..ProveOptions::default()
     }
 }
 
 #[test]
 fn every_tactic_proved_rule_is_proved_by_saturation_alone() {
-    let mut cache = NormCache::new();
+    let mut prover = Prover::new(saturate_only());
     for rule in catalog::sound_rules() {
         if rule.category == Category::ConjunctiveQuery {
             continue; // decided by the CQ procedure, not a tactic
@@ -26,7 +27,7 @@ fn every_tactic_proved_rule_is_proved_by_saturation_alone() {
         if !tactics.proved {
             continue; // nothing to mirror
         }
-        let sat = prove_rule_with(&rule, &mut cache, saturate_only());
+        let sat = prover.prove_rule(&rule);
         assert!(
             sat.proved,
             "{}: tactics prove it but saturation does not: {:?}",
@@ -50,11 +51,10 @@ fn saturation_fallback_is_reported_distinctly() {
         .iter()
         .find(|r| r.name == "union-slct-distr")
         .expect("catalog rule");
-    let mut cache = NormCache::new();
-    let report = prove_rule_with(rule, &mut cache, ProveOptions::default());
+    let report = prove_rule(rule);
     assert!(matches!(report.method, Some(VerifyMethod::Tactic(_))));
     // …while saturate-only reports the distinct method.
-    let report = prove_rule_with(rule, &mut cache, saturate_only());
+    let report = Prover::new(saturate_only()).prove_rule(rule);
     assert_eq!(report.method, Some(VerifyMethod::Saturation));
     assert!(report.attempted.iter().any(|a| a.contains("saturation")));
 }
@@ -68,8 +68,7 @@ fn failure_diagnostics_list_attempts_and_budget() {
         .iter()
         .find(|r| r.category != Category::ConjunctiveQuery && prove_rule(r).failure.is_some())
         .expect("an unsound non-CQ rule");
-    let mut cache = NormCache::new();
-    let report = prove_rule_with(rule, &mut cache, ProveOptions::default());
+    let report = prove_rule(rule);
     assert!(!report.proved);
     let failure = report.failure.expect("failure diagnostics");
     assert!(failure.contains("tried ["), "{failure}");

@@ -4,11 +4,10 @@
 //! and every certificate a session-mode optimization ships must still
 //! replay. `--no-session` is the differential baseline throughout.
 
+use dopcert::api::Prover;
 use dopcert::catalog;
 use dopcert::engine::{Engine, EngineConfig};
-use dopcert::prove::{
-    prove_rule_session, prove_rule_with, ProveOptions, SaturateMode, VerifyMethod,
-};
+use dopcert::prove::{ProveOptions, SaturateMode, VerifyMethod};
 use dopcert::rule::RuleInstance;
 use dopcert::session::ProveSession;
 use egraph::Budget;
@@ -88,17 +87,19 @@ fn repeated_rule_through_one_session_replays_the_same_report() {
         .iter()
         .find(|r| r.name == "union-slct-distr")
         .expect("catalog rule");
-    let mut cache = NormCache::new();
-    let mut session = ProveSession::new(opts);
-    let first = prove_rule_session(rule, &mut cache, Some(&mut session), opts);
-    let second = prove_rule_session(rule, &mut cache, Some(&mut session), opts);
+    let mut prover = Prover::new(opts);
+    let first = prover.prove_rule(rule);
+    let second = prover.prove_rule(rule);
     assert!(first.proved);
     assert_eq!(first.method, second.method);
     assert_eq!(first.steps, second.steps);
-    assert_eq!(session.verdict_hits(), 1, "second answer from the memo");
+    assert_eq!(prover.memo_hits(), 1, "second answer from the memo");
     // And the memoized answer equals a sessionless derivation.
-    let mut cache2 = NormCache::new();
-    let fresh = prove_rule_with(rule, &mut cache2, opts);
+    let fresh = Prover::new(ProveOptions {
+        session: false,
+        ..opts
+    })
+    .prove_rule(rule);
     assert_eq!(fresh.method, second.method);
     assert_eq!(fresh.steps, second.steps);
 }
@@ -153,7 +154,7 @@ fn optimize_batch_session_reports_are_identical_and_certificates_replay() {
 
 #[test]
 fn plan_session_rebind_under_new_statistics_invalidates_the_memo() {
-    use optimizer::{optimize_query_session, OptimizeOptions, PlanSession};
+    use optimizer::{optimize, OptimizeOptions, PlanCtx, PlanSession};
     use relalg::stats::Statistics;
     let (env, pairs) = corpus(0x57A1E, 1, 4);
     let q = pairs[0].0.clone();
@@ -162,8 +163,22 @@ fn plan_session_rebind_under_new_statistics_invalidates_the_memo() {
     let mut session = PlanSession::new(opts.budget);
     let small = Statistics::new().with_default_rows(10.0);
     let large = Statistics::new().with_default_rows(1e6);
-    let a = optimize_query_session(&q, &env, &small, opts, &mut cache, &mut session).unwrap();
-    let b = optimize_query_session(&q, &env, &large, opts, &mut cache, &mut session).unwrap();
+    let a = optimize(
+        &q,
+        &env,
+        &small,
+        opts,
+        PlanCtx::session(&mut cache, &mut session),
+    )
+    .unwrap();
+    let b = optimize(
+        &q,
+        &env,
+        &large,
+        opts,
+        PlanCtx::session(&mut cache, &mut session),
+    )
+    .unwrap();
     assert!(
         b.cost_before > a.cost_before,
         "a session reused under new statistics must not replay stale costs \
@@ -172,7 +187,14 @@ fn plan_session_rebind_under_new_statistics_invalidates_the_memo() {
         a.cost_before
     );
     // And rebinding back must still be self-consistent.
-    let c = optimize_query_session(&q, &env, &small, opts, &mut cache, &mut session).unwrap();
+    let c = optimize(
+        &q,
+        &env,
+        &small,
+        opts,
+        PlanCtx::session(&mut cache, &mut session),
+    )
+    .unwrap();
     assert_eq!(a.cost_before, c.cost_before);
     assert_eq!(a.output, c.output);
 }

@@ -50,6 +50,6 @@ pub use lang::ENode;
 pub use prove::{
     prove_eq_saturate, prove_eq_saturate_cached, prove_eq_saturate_session, SaturateFailure,
 };
-pub use session::{BatchBudget, Session, SessionStats};
+pub use session::{Admission, BatchBudget, Session, SessionStats};
 pub use solve::{Budget, Outcome, Solver, Stats};
 pub use unionfind::Id;

@@ -83,6 +83,35 @@ impl BatchBudget {
             per_goal_iters: goal.max_iters,
         }
     }
+
+    /// Admission control against this budget: may a goal that wants
+    /// `request_iters` iterations run, given `spent_iters` already
+    /// charged to the same account? This is the per-tenant gate the
+    /// `dopcert serve` daemon applies before dispatching a request —
+    /// [`Admission::PerGoalCap`] rejects a single oversized goal,
+    /// [`Admission::Exhausted`] rejects once the cumulative allowance
+    /// is gone (so one hot tenant cannot starve the rest).
+    pub fn admit(&self, spent_iters: usize, request_iters: usize) -> Admission {
+        if request_iters > self.per_goal_iters {
+            Admission::PerGoalCap
+        } else if spent_iters.saturating_add(request_iters) > self.max_total_iters {
+            Admission::Exhausted
+        } else {
+            Admission::Admit
+        }
+    }
+}
+
+/// Outcome of a [`BatchBudget::admit`] check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Within budget: run the goal and charge its iterations.
+    Admit,
+    /// The single goal asks for more iterations than the per-goal cap
+    /// allows — rejected regardless of how much allowance remains.
+    PerGoalCap,
+    /// The cumulative allowance is exhausted.
+    Exhausted,
 }
 
 /// Accounting across the session's lifetime.
@@ -391,6 +420,22 @@ mod tests {
 
     fn rel(name: &str) -> UExpr {
         UExpr::rel(name, Term::Unit)
+    }
+
+    #[test]
+    fn admission_control_orders_its_rejections() {
+        let budget = BatchBudget {
+            max_total_iters: 100,
+            max_nodes: 1000,
+            per_goal_iters: 24,
+        };
+        assert_eq!(budget.admit(0, 24), Admission::Admit);
+        assert_eq!(budget.admit(76, 24), Admission::Admit);
+        // One oversized goal is rejected even with a full allowance.
+        assert_eq!(budget.admit(0, 25), Admission::PerGoalCap);
+        // A within-cap goal is rejected once the allowance is gone.
+        assert_eq!(budget.admit(77, 24), Admission::Exhausted);
+        assert_eq!(budget.admit(usize::MAX, 1), Admission::Exhausted);
     }
 
     #[test]

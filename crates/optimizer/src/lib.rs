@@ -25,7 +25,7 @@
 //! ```
 //! use hottsql::parse::parse_query;
 //! use hottsql::env::QueryEnv;
-//! use optimizer::{optimize_query, OptimizeOptions};
+//! use optimizer::{optimize, OptimizeOptions, PlanCtx};
 //! use relalg::stats::Statistics;
 //! use relalg::{BaseType, Schema};
 //!
@@ -36,9 +36,9 @@
 //!     "DISTINCT SELECT Right.Left.Left FROM R, R \
 //!      WHERE Right.Left.Left = Right.Right.Left",
 //! ).unwrap();
-//! let report = optimize_query(
+//! let report = optimize(
 //!     &q, &env, &Statistics::new().with_rows("R", 1000.0),
-//!     OptimizeOptions::default(),
+//!     OptimizeOptions::default(), PlanCtx::default(),
 //! ).unwrap();
 //! assert!(report.improved);
 //! assert!(report.cost_after < report.cost_before);
@@ -54,7 +54,8 @@ pub mod session;
 
 pub use cost::{Cost, StatsCost};
 pub use optimize::{
-    optimize_query, optimize_query_cached, optimize_query_session, Certificate, OptimizeError,
-    OptimizeOptions, OptimizeReport, Route,
+    optimize, Certificate, OptimizeError, OptimizeOptions, OptimizeReport, PlanCtx, Route,
 };
+#[allow(deprecated)]
+pub use optimize::{optimize_query, optimize_query_cached, optimize_query_session};
 pub use session::PlanSession;

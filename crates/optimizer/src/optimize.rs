@@ -128,27 +128,100 @@ impl fmt::Display for OptimizeError {
 
 impl std::error::Error for OptimizeError {}
 
+/// The normalization/session context an [`optimize`] call runs in.
+///
+/// Both fields are optional, so the one entry point covers the whole
+/// old variant family: `PlanCtx::default()` is the fresh path, a cache
+/// alone is the old `_cached` path, and cache + session is the old
+/// `_session` path. Borrowed (not owned) so a batch worker can thread
+/// its long-lived cache and session through many calls.
+#[derive(Debug, Default)]
+pub struct PlanCtx<'a> {
+    /// Memoized normalization. Reports are identical with or without
+    /// it (the cache is trace-exact).
+    pub cache: Option<&'a mut NormCache>,
+    /// Persistent per-worker session: plan memo, certificate memo, and
+    /// the shared multi-seed saturation graph.
+    pub session: Option<&'a mut PlanSession>,
+}
+
+impl<'a> PlanCtx<'a> {
+    /// A context with memoized normalization only.
+    pub fn cached(cache: &'a mut NormCache) -> PlanCtx<'a> {
+        PlanCtx {
+            cache: Some(cache),
+            session: None,
+        }
+    }
+
+    /// A full session context: memoized normalization plus the
+    /// persistent per-worker [`PlanSession`].
+    pub fn session(cache: &'a mut NormCache, session: &'a mut PlanSession) -> PlanCtx<'a> {
+        PlanCtx {
+            cache: Some(cache),
+            session: Some(session),
+        }
+    }
+}
+
+/// Optimizes a closed query under the given statistics — the single
+/// entry point for fresh, cached, and session-backed optimization.
+///
+/// With a session in the context, repeated queries are answered from
+/// the plan memo, candidate certifications from the certificate memo
+/// (both byte-identical by determinism of the pipeline), and the
+/// query's input denotation, CQ-core route, and candidates all seed the
+/// session's shared multi-seed saturation graph for cross-seed
+/// discovery. Memoized reports are only valid under the exact
+/// configuration they were computed with; rebinding a session under a
+/// different one clears its memos rather than replaying stale costs.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError`] when the query fails to type or denote.
+pub fn optimize(
+    q: &Query,
+    env: &QueryEnv,
+    stats: &Statistics,
+    opts: OptimizeOptions,
+    ctx: PlanCtx<'_>,
+) -> Result<OptimizeReport, OptimizeError> {
+    let PlanCtx { cache, mut session } = ctx;
+    if let Some(session) = session.as_deref_mut() {
+        session.bind_config(format!("{env:?}|{stats:?}|{opts:?}"));
+        if let Some(report) = session.lookup_plan(q) {
+            return Ok(report);
+        }
+    }
+    let report = optimize_query_impl(q, env, stats, opts, cache, session.as_deref_mut())?;
+    if let Some(session) = session {
+        session.record_plan(q, &report);
+    }
+    Ok(report)
+}
+
 /// Optimizes a closed query under the given statistics.
 ///
 /// # Errors
 ///
 /// Returns [`OptimizeError`] when the query fails to type or denote.
+#[deprecated(note = "use `optimize` with `PlanCtx::default()`")]
 pub fn optimize_query(
     q: &Query,
     env: &QueryEnv,
     stats: &Statistics,
     opts: OptimizeOptions,
 ) -> Result<OptimizeReport, OptimizeError> {
-    optimize_query_impl(q, env, stats, opts, None, None)
+    optimize(q, env, stats, opts, PlanCtx::default())
 }
 
-/// [`optimize_query`] with memoized normalization through a reusable
-/// [`NormCache`] — the batch engine's per-worker entry point. Reports
-/// are identical to the uncached path (the cache is trace-exact).
+/// [`optimize`] with memoized normalization through a reusable
+/// [`NormCache`].
 ///
 /// # Errors
 ///
 /// Returns [`OptimizeError`] when the query fails to type or denote.
+#[deprecated(note = "use `optimize` with `PlanCtx::cached(..)`")]
 pub fn optimize_query_cached(
     q: &Query,
     env: &QueryEnv,
@@ -156,20 +229,15 @@ pub fn optimize_query_cached(
     opts: OptimizeOptions,
     cache: &mut NormCache,
 ) -> Result<OptimizeReport, OptimizeError> {
-    optimize_query_impl(q, env, stats, opts, Some(cache), None)
+    optimize(q, env, stats, opts, PlanCtx::cached(cache))
 }
 
-/// [`optimize_query_cached`] through a persistent per-worker
-/// [`PlanSession`]: repeated queries are answered from the plan memo,
-/// candidate certifications from the certificate memo (both
-/// byte-identical by determinism of the pipeline), and the query's
-/// input denotation, CQ-core route, and candidates all seed the
-/// session's shared multi-seed saturation graph for cross-seed
-/// discovery.
+/// [`optimize`] through a persistent per-worker [`PlanSession`].
 ///
 /// # Errors
 ///
 /// Returns [`OptimizeError`] when the query fails to type or denote.
+#[deprecated(note = "use `optimize` with `PlanCtx::session(..)`")]
 pub fn optimize_query_session(
     q: &Query,
     env: &QueryEnv,
@@ -178,16 +246,7 @@ pub fn optimize_query_session(
     cache: &mut NormCache,
     session: &mut PlanSession,
 ) -> Result<OptimizeReport, OptimizeError> {
-    // Memoized reports are only valid under the exact configuration
-    // they were computed with; rebinding under a different one clears
-    // the memos rather than replaying stale costs.
-    session.bind_config(format!("{env:?}|{stats:?}|{opts:?}"));
-    if let Some(report) = session.lookup_plan(q) {
-        return Ok(report);
-    }
-    let report = optimize_query_impl(q, env, stats, opts, Some(cache), Some(session))?;
-    session.record_plan(q, &report);
-    Ok(report)
+    optimize(q, env, stats, opts, PlanCtx::session(cache, session))
 }
 
 fn optimize_query_impl(

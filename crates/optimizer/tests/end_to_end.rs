@@ -8,7 +8,7 @@ use hottsql::ast::{Expr, Predicate, Proj, Query};
 use hottsql::env::QueryEnv;
 use hottsql::eval::{eval_query, Instance};
 use hottsql::parse::parse_query;
-use optimizer::{optimize_query, OptimizeOptions, Route};
+use optimizer::{optimize, OptimizeOptions, PlanCtx, Route};
 use relalg::generate::Generator;
 use relalg::stats::Statistics;
 use relalg::{BaseType, Schema, Tuple};
@@ -66,7 +66,7 @@ fn gate(q: &Query, env: &QueryEnv) -> optimizer::OptimizeReport {
 }
 
 fn gate_with(q: &Query, env: &QueryEnv, opts: OptimizeOptions) -> optimizer::OptimizeReport {
-    let report = optimize_query(q, env, &stats(), opts).expect("optimizes");
+    let report = optimize(q, env, &stats(), opts, PlanCtx::default()).expect("optimizes");
     assert!(
         report.cost_after <= report.cost_before,
         "{q}: cost went up: {} -> {}",

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example magic_sets`
 
-use dopcert::prove::prove_rule;
+use dopcert::api::prove_rule;
 use hottsql::ast::{Expr, Predicate, Proj, Query};
 use hottsql::desugar::semijoin;
 use hottsql::env::QueryEnv;

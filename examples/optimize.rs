@@ -10,7 +10,7 @@
 use hottsql::env::QueryEnv;
 use hottsql::eval::{eval_query, Instance};
 use hottsql::parse::parse_query;
-use optimizer::{optimize_query, OptimizeOptions};
+use optimizer::{optimize, OptimizeOptions, PlanCtx};
 use relalg::stats::{Statistics, TableStats};
 use relalg::{BaseType, Relation, Schema, Tuple};
 
@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = OptimizeOptions::default();
     for sql in queries {
         let q = parse_query(sql)?;
-        let report = optimize_query(&q, &env, &stats, opts)?;
+        let report = optimize(&q, &env, &stats, opts, PlanCtx::default())?;
         println!("\ninput plan:  {}", report.input);
         println!("chosen plan: {}", report.output);
         println!(

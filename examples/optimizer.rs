@@ -12,7 +12,7 @@ use hottsql::ast::{Predicate, Query};
 use hottsql::env::QueryEnv;
 use hottsql::eval::{eval_query, Instance};
 use hottsql::parse::parse_query;
-use optimizer::{optimize_query, OptimizeOptions};
+use optimizer::{optimize, OptimizeOptions, PlanCtx};
 use relalg::generate::Generator;
 use relalg::stats::Statistics;
 use relalg::{Schema, Tuple};
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["conj-slct-split", "union-slct-distr", "self-join-dedup"] {
         let rules = dopcert::catalog::sound_rules();
         let rule = rules.iter().find(|r| r.name == name).expect("in catalog");
-        let report = dopcert::prove::prove_rule(rule);
+        let report = dopcert::api::prove_rule(rule);
         assert!(report.proved);
         println!("verified rewrite: {name} ({} steps)", report.steps);
     }
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
 
     for q in &queries {
-        let report = optimize_query(q, &env, &stats, opts)?;
+        let report = optimize(q, &env, &stats, opts, PlanCtx::default())?;
         println!("\ninput plan:  {}", report.input);
         println!("chosen plan: {}", report.output);
         println!(

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --example proof_traces`
 
-use dopcert::prove::{prove_instance, prove_rule};
+use dopcert::api::prove_rule;
+use dopcert::prove::prove_instance;
 
 fn main() {
     // Fig. 2: Q2 ≡ Q3.

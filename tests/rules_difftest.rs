@@ -40,7 +40,7 @@ fn proof_and_testing_verdicts_agree() {
     // unproved-and-unrefuted is acceptable only for sound rules, and all
     // our sound rules do prove).
     for rule in dopcert::catalog::all_rules() {
-        let report = dopcert::prove::prove_rule(&rule);
+        let report = dopcert::api::prove_rule(&rule);
         let outcome = differential_test(&rule, 40, 0x7E57);
         match (rule.expected_sound, report.proved, outcome.agreed()) {
             (true, true, true) => {}
