@@ -130,6 +130,50 @@ fn main() {
         }
     }
 
+    // Telemetry: the disabled-path overhead (same 1k-goal session
+    // corpus proved with collection off and on — verdicts must be
+    // bit-identical, only the wall clock may move) and the phase
+    // breakdown the enabled run recorded.
+    {
+        let goals = 1000;
+        let (env, pairs, distinct) = bench::session_corpus(0x005E_5510, goals, 48);
+        telemetry::disable();
+        telemetry::reset();
+        let (t_off, off_reports) = bench::timed(|| bench::prove_corpus(&env, &pairs, true));
+        telemetry::enable();
+        telemetry::reset();
+        let (t_on, on_reports) = bench::timed(|| bench::prove_corpus(&env, &pairs, true));
+        assert_eq!(
+            off_reports, on_reports,
+            "telemetry must not change a verdict"
+        );
+        let snap = telemetry::snapshot();
+        telemetry::disable();
+        let (off_ms, on_ms) = (t_off.as_secs_f64() * 1e3, t_on.as_secs_f64() * 1e3);
+        em.emit(
+            format!(
+                "{{\"bench\":\"telemetry_overhead\",\"goals\":{goals},\"distinct\":{distinct},\"millis_off\":{off_ms:.3},\"millis_on\":{on_ms:.3}}}"
+            ),
+            format!(
+                "telemetry_overhead: {goals} goals, {off_ms:.1} ms off vs {on_ms:.1} ms on ({:+.1}%)",
+                100.0 * (on_ms - off_ms) / off_ms.max(1e-9)
+            ),
+        );
+        let hits = snap.counter("memo.verdict.hit");
+        let misses = snap.counter("memo.verdict.miss");
+        em.emit(
+            format!(
+                "{{\"bench\":\"telemetry_phases\",\"goals\":{goals},\"distinct\":{distinct},\"breakdown\":{}}}",
+                bench::phase_breakdown_json(&snap)
+            ),
+            format!(
+                "telemetry_phases: {} spans, {} counters recorded; memo.verdict {hits} hit / {misses} miss",
+                snap.hists().count(),
+                snap.counters().count()
+            ),
+        );
+    }
+
     // Fig. 8 catalog: tactics-only vs saturation-only cost.
     for (mode, name) in [
         (SaturateMode::Off, "tactics"),

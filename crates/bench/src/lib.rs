@@ -89,6 +89,37 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (Duration, T) {
     (start.elapsed(), value)
 }
 
+/// Renders a telemetry snapshot as one JSON object for BENCH lines:
+/// every span histogram (count, total and p50/p99 in ns) and every
+/// counter, sorted by name — the phase-breakdown fields committed to
+/// `bench-results/`.
+pub fn phase_breakdown_json(snap: &telemetry::Metrics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"spans\":{");
+    for (i, (name, h)) in snap.hists().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            h.count(),
+            h.sum(),
+            h.p50(),
+            h.p99()
+        );
+    }
+    out.push_str("},\"counters\":{");
+    for (i, (name, v)) in snap.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("}}");
+    out
+}
+
 /// Fig. 9 row 1 (NP-complete set containment): time to decide whether a
 /// random graph query contains a `k`-clique pattern, for growing `k`.
 /// The worst-case blowup is exponential in `k`.

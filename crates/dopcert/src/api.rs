@@ -36,6 +36,8 @@ use hottsql::ast::Query;
 use hottsql::env::QueryEnv;
 use optimizer::{OptimizeError, OptimizeOptions, OptimizeReport, PlanCtx, PlanSession};
 use relalg::stats::Statistics;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 use uninomial::normalize::NormCache;
 
 /// Partial saturation budget: the three knobs, each optionally
@@ -205,6 +207,10 @@ pub enum Request {
     },
     /// Server counters (`dopcert serve` only).
     Stats,
+    /// Prometheus-style metrics exposition (`dopcert serve` only):
+    /// per-request-kind latency histograms, memo hit/miss counters, and
+    /// the saturation phase breakdown.
+    Metrics,
     /// Graceful daemon shutdown (`dopcert serve` only).
     Shutdown,
 }
@@ -268,8 +274,24 @@ pub struct Discovery {
     pub structural: bool,
 }
 
+/// Latency summary of one request kind, derived from the daemon's
+/// log₂-bucketed histogram for that kind.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindLatency {
+    /// Request kind (`prove`, `optimize`, `catalog`, …).
+    pub kind: String,
+    /// Requests of this kind that completed.
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
 /// Counters a `dopcert serve` daemon reports for a `stats` request.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Worker threads (each owning one resident [`Workspace`]).
     pub workers: usize,
@@ -284,9 +306,16 @@ pub struct ServerStats {
     /// Script goals checked across all prove requests.
     pub goals: usize,
     /// Memo hits across all resident sessions (verdict + plan memos).
+    /// Published live, per goal — a long-running request shows progress
+    /// here before it finishes.
     pub memo_hits: usize,
     /// Busy time across workers, microseconds.
     pub micros: u128,
+    /// Memo hits per worker slot (sums to `memo_hits`; empty when the
+    /// daemon predates the breakdown or has no workers).
+    pub memo_hits_by_worker: Vec<usize>,
+    /// Per-request-kind latency summaries, sorted by kind.
+    pub latency: Vec<KindLatency>,
 }
 
 /// A typed response. [`Response::render`] yields exactly the lines the
@@ -308,6 +337,8 @@ pub enum Response {
     Discovered(Vec<Discovery>),
     /// Server counters.
     Stats(ServerStats),
+    /// Prometheus-style text exposition (one newline-terminated block).
+    Metrics(String),
     /// The request failed before producing a report (parse error,
     /// budget rejection, malformed wire line, …).
     Error(String),
@@ -320,7 +351,7 @@ impl Response {
             Response::Goals(goals) => goals.iter().all(|g| g.satisfied),
             Response::Plans(plans) => plans.iter().all(|p| p.sound),
             Response::Catalog { rules, .. } => rules.iter().all(|r| r.passed),
-            Response::Discovered(_) | Response::Stats(_) => true,
+            Response::Discovered(_) | Response::Stats(_) | Response::Metrics(_) => true,
             Response::Error(_) => false,
         }
     }
@@ -382,7 +413,7 @@ impl Response {
                 } else {
                     100.0 * s.memo_hits as f64 / s.goals as f64
                 };
-                vec![
+                let mut lines = vec![
                     format!("workers: {}", s.workers),
                     format!(
                         "requests: {} ({} ok, {} error, {} budget-rejected)",
@@ -391,8 +422,25 @@ impl Response {
                     format!("goals: {}", s.goals),
                     format!("memo hits: {} ({hit_rate:.1}% of goals)", s.memo_hits),
                     format!("busy: {:.1} ms", s.micros as f64 / 1e3),
-                ]
+                ];
+                if !s.memo_hits_by_worker.is_empty() {
+                    let per_worker: Vec<String> = s
+                        .memo_hits_by_worker
+                        .iter()
+                        .enumerate()
+                        .map(|(i, h)| format!("w{i}={h}"))
+                        .collect();
+                    lines.push(format!("memo hits by worker: {}", per_worker.join(" ")));
+                }
+                for l in &s.latency {
+                    lines.push(format!(
+                        "latency[{}]: p50={}us p90={}us p99={}us (n={})",
+                        l.kind, l.p50_us, l.p90_us, l.p99_us, l.count
+                    ));
+                }
+                lines
             }
+            Response::Metrics(text) => text.lines().map(str::to_owned).collect(),
             Response::Error(e) => vec![format!("error: {e}")],
         }
     }
@@ -447,10 +495,21 @@ impl Prover {
         self.opts
     }
 
+    /// Routes the session's live memo-hit count into `sink` (stored on
+    /// every subsequent hit): the serve daemon polls the sink so a
+    /// long-running request shows memo progress before it finishes.
+    pub fn publish_hits_to(&mut self, sink: Arc<AtomicUsize>) {
+        match self.session.as_mut() {
+            Some(session) => session.publish_hits_to(sink),
+            None => sink.store(0, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
     /// Verifies a rule. Verdict, method, and step count are identical
     /// whatever state the prover holds (fresh, cached, or session —
     /// the PR 4 identity guarantee); only wall-clock differs.
     pub fn prove_rule(&mut self, rule: &Rule) -> RuleReport {
+        let _span = telemetry::span("prove.rule");
         crate::prove::prove_rule_on(
             rule,
             Some(&mut self.cache),
@@ -469,6 +528,7 @@ impl Prover {
         &mut self,
         inst: &RuleInstance,
     ) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
+        let _span = telemetry::span("prove.goal");
         crate::prove::verify_instance_session(
             inst,
             Some(&mut self.cache),
@@ -560,6 +620,15 @@ impl Planner {
     pub fn memo_hits(&self) -> usize {
         self.session.as_ref().map_or(0, PlanSession::plan_hits)
     }
+
+    /// Routes the session's live plan-memo hit count into `sink` (see
+    /// [`Prover::publish_hits_to`]).
+    pub fn publish_hits_to(&mut self, sink: Arc<AtomicUsize>) {
+        match self.session.as_mut() {
+            Some(session) => session.publish_hits_to(sink),
+            None => sink.store(0, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
 }
 
 /// Answers a request on fresh state — what one CLI invocation does.
@@ -596,9 +665,9 @@ pub fn execute(req: &Request) -> Response {
         Request::Discover { opts } => {
             Response::Discovered(discoveries(opts.prove_options(BudgetSpec::default())))
         }
-        Request::Stats | Request::Shutdown => {
-            Response::Error("stats/shutdown requests are answered by `dopcert serve` only".into())
-        }
+        Request::Stats | Request::Metrics | Request::Shutdown => Response::Error(
+            "stats/metrics/shutdown requests are answered by `dopcert serve` only".into(),
+        ),
     }
 }
 
@@ -636,6 +705,13 @@ impl Workspace {
     /// Total memo hits across the resident sessions.
     pub fn memo_hits(&self) -> usize {
         self.prover.memo_hits() + self.planner.memo_hits()
+    }
+
+    /// Routes both resident sessions' live memo-hit counts into per-kind
+    /// sinks; the daemon sums them for the per-worker `stats` breakdown.
+    pub fn publish_memo_hits(&mut self, prover: Arc<AtomicUsize>, planner: Arc<AtomicUsize>) {
+        self.prover.publish_hits_to(prover);
+        self.planner.publish_hits_to(planner);
     }
 
     /// Answers a request on the resident state where the effective
@@ -872,10 +948,20 @@ mod tests {
             goals: 20,
             memo_hits: 5,
             micros: 1234,
+            memo_hits_by_worker: vec![2, 3],
+            latency: vec![KindLatency {
+                kind: "prove".into(),
+                count: 8,
+                p50_us: 150,
+                p90_us: 900,
+                p99_us: 1100,
+            }],
         };
         let lines = Response::Stats(stats).render();
         assert_eq!(lines[0], "workers: 2");
         assert_eq!(lines[1], "requests: 10 (8 ok, 1 error, 1 budget-rejected)");
         assert_eq!(lines[3], "memo hits: 5 (25.0% of goals)");
+        assert!(lines.contains(&"memo hits by worker: w0=2 w1=3".to_owned()));
+        assert!(lines.contains(&"latency[prove]: p50=150us p90=900us p99=1100us (n=8)".to_owned()));
     }
 }

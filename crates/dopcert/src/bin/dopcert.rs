@@ -42,7 +42,11 @@
 //! - `--addr HOST:PORT` — listen address (`serve`) or daemon address
 //!   (`request`);
 //! - `--cmd NAME` / `--tenant NAME` — the request kind (default
-//!   `prove`) and budget account (`request` only).
+//!   `prove`) and budget account (`request` only);
+//! - `--trace-out FILE` — dump phase spans as Chrome trace-event JSON
+//!   on exit (`prove`/`optimize`/`serve`; load in Perfetto);
+//! - `--budget-refill N` — refill every tenant's spent iterations at
+//!   `N` iterations/second (`serve`; the default never refills).
 //!
 //! Script syntax (see `dopcert::script`):
 //!
@@ -56,7 +60,7 @@
 
 use dopcert::api::{BudgetSpec, Request, RequestOptions, Response};
 use dopcert::prove::SaturateMode;
-use dopcert::serve::{request_once, ServeConfig, Server};
+use dopcert::serve::{request_once, RefillPolicy, ServeConfig, Server};
 use dopcert::wire::Json;
 use egraph::session::BatchBudget;
 use std::io::Read;
@@ -75,6 +79,11 @@ struct Flags {
     addr: Option<String>,
     cmd: Option<String>,
     tenant: Option<String>,
+    /// Chrome-trace output path (`prove`/`optimize`/`serve`): enables
+    /// phase tracing and dumps the events on exit.
+    trace_out: Option<String>,
+    /// Budget refill rate in iterations per second (`serve` only).
+    budget_refill: Option<u64>,
     /// First non-flag argument (the script path for check/prove).
     positional: Option<String>,
 }
@@ -107,6 +116,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--addr" => flags.addr = Some(parse_str(arg, it.next())?),
             "--cmd" => flags.cmd = Some(parse_str(arg, it.next())?),
             "--tenant" => flags.tenant = Some(parse_str(arg, it.next())?),
+            "--trace-out" => flags.trace_out = Some(parse_str(arg, it.next())?),
+            "--budget-refill" => {
+                let n = parse_num(arg, it.next())?;
+                if n == 0 {
+                    return Err("--budget-refill must be positive".into());
+                }
+                flags.budget_refill = Some(n as u64);
+            }
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -134,6 +151,18 @@ impl Flags {
             reject(self.addr.is_some(), "--addr (use `serve` or `request`)")?;
             reject(self.cmd.is_some(), "--cmd (use `request`)")?;
             reject(self.tenant.is_some(), "--tenant (use `request`)")?;
+        }
+        if !matches!(cmd, "prove" | "optimize" | "serve") {
+            reject(
+                self.trace_out.is_some(),
+                "--trace-out (use `prove`, `optimize`, or `serve`)",
+            )?;
+        }
+        if cmd != "serve" {
+            reject(
+                self.budget_refill.is_some(),
+                "--budget-refill (use `serve`)",
+            )?;
         }
         match cmd {
             "check" => {
@@ -235,9 +264,28 @@ impl Flags {
                 opts: self.request_options(),
             },
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown request cmd {other:?}")),
         })
+    }
+}
+
+/// Turns phase tracing on when `--trace-out` was given.
+fn start_tracing(flags: &Flags) {
+    if flags.trace_out.is_some() {
+        telemetry::enable_tracing();
+    }
+}
+
+/// Dumps the buffered trace events as Chrome trace-event JSON (load in
+/// Perfetto / `chrome://tracing`) when `--trace-out` was given.
+fn finish_tracing(flags: &Flags) {
+    if let Some(path) = &flags.trace_out {
+        match telemetry::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => eprintln!("error: cannot write trace to {path}: {e}"),
+        }
     }
 }
 
@@ -279,8 +327,12 @@ fn run_serve(flags: &Flags) -> ExitCode {
         tenant_budget: BatchBudget::scaled_from(
             defaults.prove_options(BudgetSpec::default()).budget,
         ),
+        refill: flags
+            .budget_refill
+            .map(|iters_per_sec| RefillPolicy { iters_per_sec }),
         defaults,
     };
+    start_tracing(flags);
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -293,6 +345,9 @@ fn run_serve(flags: &Flags) -> ExitCode {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.wait();
+    // Workers have exited (their buffered spans flushed on thread
+    // drop), so the dump is complete.
+    finish_tracing(flags);
     ExitCode::SUCCESS
 }
 
@@ -356,9 +411,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            start_tracing(&flags);
             let start = std::time::Instant::now();
             let resp = dopcert::api::execute(&req);
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            finish_tracing(&flags);
             let code = print_response(&resp);
             // Timing is diagnostics, not output: stderr keeps stdout
             // byte-comparable with serve responses.
@@ -393,11 +450,11 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: dopcert check <file.dop | ->\n\
-                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] <file.dop | ->\n\
-                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] <file.dop | ->\n\
+                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--trace-out FILE] <file.dop | ->\n\
+                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--trace-out FILE] <file.dop | ->\n\
                  \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover]\n\
-                 \x20      dopcert serve [--addr HOST:PORT] [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session]\n\
-                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|stats|shutdown] [--tenant NAME] [flags] [file.dop | -]"
+                 \x20      dopcert serve [--addr HOST:PORT] [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--budget-refill N] [--trace-out FILE]\n\
+                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|stats|metrics|shutdown] [--tenant NAME] [flags] [file.dop | -]"
             );
             ExitCode::FAILURE
         }
@@ -447,6 +504,8 @@ mod tests {
             &["--discover"][..],
             &["--addr", "h:1"][..],
             &["--tenant", "t"][..],
+            &["--trace-out", "t.json"][..],
+            &["--budget-refill", "10"][..],
         ] {
             let f = flags(args).unwrap();
             let err = f.validate_for("check").unwrap_err();
@@ -544,5 +603,40 @@ mod tests {
         assert!(f.build_request("levitate").is_err());
         let err = f.validate_for("serve").unwrap_err();
         assert!(err.contains("--cmd"), "{err}");
+    }
+
+    #[test]
+    fn trace_out_is_prove_optimize_serve_only() {
+        let f = flags(&["--trace-out", "trace.json"]).unwrap();
+        assert_eq!(f.trace_out.as_deref(), Some("trace.json"));
+        f.validate_for("prove").unwrap();
+        f.validate_for("optimize").unwrap();
+        f.validate_for("serve").unwrap();
+        for cmd in ["check", "catalog", "request"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--trace-out"), "{cmd}: {err}");
+        }
+        assert!(flags(&["--trace-out"]).is_err(), "needs a path");
+    }
+
+    #[test]
+    fn budget_refill_is_serve_only_and_positive() {
+        let f = flags(&["--budget-refill", "48"]).unwrap();
+        assert_eq!(f.budget_refill, Some(48));
+        f.validate_for("serve").unwrap();
+        for cmd in ["check", "prove", "optimize", "catalog", "request"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--budget-refill"), "{cmd}: {err}");
+        }
+        assert!(flags(&["--budget-refill", "0"]).is_err(), "zero rejected");
+        assert!(flags(&["--budget-refill", "x"]).is_err());
+        assert!(flags(&["--budget-refill"]).is_err());
+    }
+
+    #[test]
+    fn metrics_request_builds() {
+        let f = flags(&["--addr", "h:1", "--cmd", "metrics"]).unwrap();
+        f.validate_for("request").unwrap();
+        assert!(matches!(f.build_request("metrics"), Ok(Request::Metrics)));
     }
 }

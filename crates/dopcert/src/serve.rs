@@ -16,7 +16,17 @@
 //! server's [`BatchBudget`] before dispatch. A single oversized
 //! request is rejected by the per-goal cap; a tenant that has spent
 //! its cumulative allowance is rejected as exhausted, so one hot
-//! client cannot starve the rest.
+//! client cannot starve the rest. With a [`RefillPolicy`] configured
+//! (`--budget-refill`), spent iterations decay over wall-clock time,
+//! so a steady client regains allowance instead of being locked out
+//! for the daemon's lifetime.
+//!
+//! Observability is part of the protocol: every request's end-to-end
+//! latency lands in a per-request-kind histogram, each worker's memo
+//! hits are published *live* (mid-request, not only after a worker
+//! finishes), and a `metrics` request answers with a Prometheus-style
+//! text exposition combining these server-owned series with the
+//! process-wide [`telemetry`] snapshot (phase spans, memo counters).
 //!
 //! Error handling is per request: a malformed line or rejected budget
 //! answers with an error *response* on the same connection — the
@@ -24,12 +34,12 @@
 //! A `shutdown` request is acknowledged, then the listener and all
 //! workers drain and exit; [`Server::wait`] joins them.
 
-use crate::api::{Request, RequestOptions, Response, ServerStats, Workspace};
+use crate::api::{KindLatency, Request, RequestOptions, Response, ServerStats, Workspace};
 use crate::wire::{decode_request, encode_response, Json};
 use egraph::session::{Admission, BatchBudget};
 use egraph::solve::Budget;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,11 +48,20 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::Histogram;
 
 /// How often blocked connection reads wake up to poll the shutdown
 /// flag. Short enough that `shutdown` feels immediate, long enough
 /// that idle connections cost nothing measurable.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Budget refill: a tenant's spent iterations decay at this rate, so
+/// exhaustion is a rate limit rather than a lifetime ban.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefillPolicy {
+    /// Iterations credited back per second of wall-clock time.
+    pub iters_per_sec: u64,
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -57,6 +76,9 @@ pub struct ServeConfig {
     pub defaults: RequestOptions,
     /// Per-tenant admission budget.
     pub tenant_budget: BatchBudget,
+    /// Budget refill policy; `None` (the default) keeps the original
+    /// behavior where spent iterations never decay.
+    pub refill: Option<RefillPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +88,7 @@ impl Default for ServeConfig {
             workers: 2,
             defaults: RequestOptions::default(),
             tenant_budget: BatchBudget::default(),
+            refill: None,
         }
     }
 }
@@ -82,23 +105,110 @@ struct Counters {
     micros: u128,
 }
 
+/// One tenant's admission account.
+#[derive(Debug)]
+struct TenantEntry {
+    /// Iterations charged so far (net of refill).
+    spent: usize,
+    /// Clock reading (ns since server start) up to which refill has
+    /// been credited; the fractional remainder stays pending so slow
+    /// drips are not rounded away.
+    credited_ns: u64,
+}
+
+/// Per-tenant spent-iteration accounts with optional time-based decay.
+/// The clock is injected (`now_ns`) so the refill arithmetic is unit
+/// testable without sleeping.
+#[derive(Debug)]
+struct TenantLedger {
+    policy: Option<RefillPolicy>,
+    entries: HashMap<String, TenantEntry>,
+}
+
+impl TenantLedger {
+    fn new(policy: Option<RefillPolicy>) -> TenantLedger {
+        TenantLedger {
+            policy,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Refills the tenant's account (if a policy is configured), then
+    /// charges `iters` against it under `budget`'s admission rule.
+    fn charge(
+        &mut self,
+        tenant: &str,
+        iters: usize,
+        now_ns: u64,
+        budget: BatchBudget,
+    ) -> Admission {
+        let e = self
+            .entries
+            .entry(tenant.to_owned())
+            .or_insert(TenantEntry {
+                spent: 0,
+                credited_ns: now_ns,
+            });
+        if let Some(policy) = self.policy {
+            let elapsed = now_ns.saturating_sub(e.credited_ns);
+            let refill = (elapsed as u128 * policy.iters_per_sec as u128 / 1_000_000_000) as usize;
+            if refill >= e.spent {
+                // Fully refilled; restart the drip from now.
+                e.spent = 0;
+                e.credited_ns = now_ns;
+            } else if refill > 0 {
+                e.spent -= refill;
+                // Advance only by the time the granted refill accounts
+                // for, keeping the fractional remainder pending.
+                e.credited_ns +=
+                    (refill as u128 * 1_000_000_000 / policy.iters_per_sec as u128) as u64;
+            }
+        }
+        let admission = budget.admit(e.spent, iters);
+        if admission == Admission::Admit {
+            e.spent += iters;
+        }
+        admission
+    }
+}
+
+/// One worker's live memo-hit counters. The resident sessions store
+/// into these on *every* memo hit (see `publish_hits_to`), so `stats`
+/// sees progress mid-request instead of only after a worker finishes.
+#[derive(Debug)]
+struct WorkerHits {
+    prover: Arc<AtomicUsize>,
+    planner: Arc<AtomicUsize>,
+}
+
+impl WorkerHits {
+    fn total(&self) -> usize {
+        self.prover.load(Ordering::Relaxed) + self.planner.load(Ordering::Relaxed)
+    }
+}
+
 /// State shared by the listener, every connection, and every worker.
 #[derive(Debug)]
 struct Shared {
     config: ServeConfig,
     /// The bound listen address (port 0 resolved).
     addr: SocketAddr,
+    /// The refill clock's epoch (ns-since-start feeds the ledger).
+    started: Instant,
     shutdown: AtomicBool,
     counters: Mutex<Counters>,
-    /// Iterations charged per tenant, for admission control.
-    tenants: Mutex<HashMap<String, usize>>,
-    /// Each worker's cumulative memo hits (published after every
-    /// request, summed by `stats`).
-    memo_hits: Vec<AtomicUsize>,
+    /// Per-tenant admission accounts.
+    tenants: Mutex<TenantLedger>,
+    /// Each worker's live memo-hit counters.
+    memo_hits: Vec<WorkerHits>,
+    /// End-to-end request latency (µs) per request kind, including
+    /// queueing — the tail a client actually observes.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
+        let by_worker: Vec<usize> = self.memo_hits.iter().map(WorkerHits::total).collect();
         let c = self.counters.lock().expect("counters lock");
         ServerStats {
             workers: self.config.workers,
@@ -107,12 +217,10 @@ impl Shared {
             errors: c.errors,
             budget_rejections: c.budget_rejections,
             goals: c.goals,
-            memo_hits: self
-                .memo_hits
-                .iter()
-                .map(|h| h.load(Ordering::SeqCst))
-                .sum(),
+            memo_hits: by_worker.iter().sum(),
             micros: c.micros,
+            memo_hits_by_worker: by_worker,
+            latency: self.latency_summaries(),
         }
     }
 
@@ -128,6 +236,54 @@ impl Shared {
             _ => c.ok += 1,
         }
         c.micros += micros;
+    }
+
+    /// Records one request's end-to-end latency under its kind.
+    fn record_latency(&self, kind: &'static str, micros: u64) {
+        let mut lat = self.latency.lock().expect("latency lock");
+        lat.entry(kind).or_default().record(micros);
+    }
+
+    /// Per-kind latency summaries for the `stats` response.
+    fn latency_summaries(&self) -> Vec<KindLatency> {
+        let lat = self.latency.lock().expect("latency lock");
+        lat.iter()
+            .map(|(kind, h)| KindLatency {
+                kind: (*kind).to_owned(),
+                count: h.count(),
+                p50_us: h.p50(),
+                p90_us: h.p90(),
+                p99_us: h.p99(),
+            })
+            .collect()
+    }
+
+    /// The Prometheus-style text exposition: server-owned counters and
+    /// latency histograms merged with the process-wide [`telemetry`]
+    /// snapshot (phase spans, memo hit/miss counters).
+    fn metrics_text(&self) -> String {
+        let mut bag = telemetry::snapshot();
+        {
+            let c = self.counters.lock().expect("counters lock");
+            bag.incr("serve.requests", c.requests as u64);
+            bag.incr("serve.ok", c.ok as u64);
+            bag.incr("serve.errors", c.errors as u64);
+            bag.incr("serve.budget_rejections", c.budget_rejections as u64);
+            bag.incr("serve.goals", c.goals as u64);
+        }
+        for (slot, hits) in self.memo_hits.iter().enumerate() {
+            bag.incr(
+                &format!("serve.memo_hits{{worker=\"{slot}\"}}"),
+                hits.total() as u64,
+            );
+        }
+        {
+            let lat = self.latency.lock().expect("latency lock");
+            for (kind, h) in lat.iter() {
+                bag.merge_hist(&format!("request.latency_us{{kind=\"{kind}\"}}"), h);
+            }
+        }
+        bag.render_prometheus()
     }
 }
 
@@ -151,21 +307,34 @@ pub struct Server {
 
 impl Server {
     /// Binds the address and starts the listener and worker threads.
+    /// Enables process-wide telemetry metrics (if not already on) so
+    /// the `metrics` exposition carries phase spans and memo counters.
     ///
     /// # Errors
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        if !telemetry::metrics_enabled() {
+            telemetry::enable();
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let refill = config.refill;
         let shared = Arc::new(Shared {
             config: ServeConfig { workers, ..config },
             addr,
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             counters: Mutex::new(Counters::default()),
-            tenants: Mutex::new(HashMap::new()),
-            memo_hits: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            tenants: Mutex::new(TenantLedger::new(refill)),
+            memo_hits: (0..workers)
+                .map(|_| WorkerHits {
+                    prover: Arc::new(AtomicUsize::new(0)),
+                    planner: Arc::new(AtomicUsize::new(0)),
+                })
+                .collect(),
+            latency: Mutex::new(BTreeMap::new()),
         });
 
         let mut senders = Vec::with_capacity(workers);
@@ -176,10 +345,16 @@ impl Server {
             let shared = Arc::clone(&shared);
             worker_threads.push(std::thread::spawn(move || {
                 let mut workspace = Workspace::new(shared.config.defaults);
+                // Live publishing: the resident sessions store into the
+                // shared counters on every memo hit, so `stats` during a
+                // long request reflects it mid-flight.
+                workspace.publish_memo_hits(
+                    Arc::clone(&shared.memo_hits[slot].prover),
+                    Arc::clone(&shared.memo_hits[slot].planner),
+                );
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
                     let resp = workspace.execute(&job.req);
-                    shared.memo_hits[slot].store(workspace.memo_hits(), Ordering::SeqCst);
                     shared.count_response(&resp, start.elapsed().as_micros());
                     // A dropped receiver means the client hung up
                     // mid-request; the work is already counted.
@@ -223,6 +398,12 @@ impl Server {
     /// Live server counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// The Prometheus-style text exposition the `metrics` request
+    /// answers with.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
     }
 
     /// Initiates a graceful shutdown: no new connections are accepted,
@@ -298,16 +479,42 @@ fn serve_connection(stream: TcpStream, shared: &Shared, senders: &[Sender<Job>])
     }
 }
 
-/// Answers one request line: decode, admit, dispatch, encode.
+/// The latency-histogram label of a request.
+fn kind_of(req: &Request) -> &'static str {
+    match req {
+        Request::Prove { .. } => "prove",
+        Request::Optimize { .. } => "optimize",
+        Request::Catalog { .. } => "catalog",
+        Request::Discover { .. } => "discover",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Answers one request line, recording its end-to-end latency
+/// (decode through response, queueing included) under its kind.
 fn answer_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> String {
+    let start = Instant::now();
+    let (kind, reply) = handle_line(line, shared, senders);
+    shared.record_latency(kind, start.elapsed().as_micros() as u64);
+    reply
+}
+
+/// One request line's actual handling: decode, admit, dispatch, encode.
+fn handle_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> (&'static str, String) {
     shared.counters.lock().expect("counters lock").requests += 1;
     let (id, tenant, req) = match decode_request(line) {
         Ok(parts) => parts,
         Err(e) => {
             shared.counters.lock().expect("counters lock").errors += 1;
-            return encode_response(&Json::Null, &Response::Error(format!("bad request: {e}")));
+            return (
+                "invalid",
+                encode_response(&Json::Null, &Response::Error(format!("bad request: {e}"))),
+            );
         }
     };
+    let kind = kind_of(&req);
 
     // Control requests are answered inline — they must work even when
     // every worker is busy proving.
@@ -315,7 +522,12 @@ fn answer_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> String {
         Request::Stats => {
             let resp = Response::Stats(shared.stats());
             shared.counters.lock().expect("counters lock").ok += 1;
-            return encode_response(&id, &resp);
+            return (kind, encode_response(&id, &resp));
+        }
+        Request::Metrics => {
+            let resp = Response::Metrics(shared.metrics_text());
+            shared.counters.lock().expect("counters lock").ok += 1;
+            return (kind, encode_response(&id, &resp));
         }
         Request::Shutdown => {
             shared.counters.lock().expect("counters lock").ok += 1;
@@ -333,7 +545,7 @@ fn answer_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> String {
                 Json::Obj(map).render()
             };
             request_shutdown(shared, shared.addr);
-            return ack;
+            return (kind, ack);
         }
         _ => {}
     }
@@ -341,7 +553,7 @@ fn answer_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> String {
     if let Err(rejection) = admit(&tenant, &req, shared) {
         let mut c = shared.counters.lock().expect("counters lock");
         c.budget_rejections += 1;
-        return encode_response(&id, &Response::Error(rejection));
+        return (kind, encode_response(&id, &Response::Error(rejection)));
     }
 
     let (reply_tx, reply_rx) = channel();
@@ -354,26 +566,33 @@ fn answer_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> String {
         .is_err()
     {
         shared.counters.lock().expect("counters lock").errors += 1;
-        return encode_response(&id, &Response::Error("server is shutting down".into()));
+        return (
+            kind,
+            encode_response(&id, &Response::Error("server is shutting down".into())),
+        );
     }
     match reply_rx.recv() {
-        Ok(resp) => encode_response(&id, &resp),
+        Ok(resp) => (kind, encode_response(&id, &resp)),
         Err(_) => {
             shared.counters.lock().expect("counters lock").errors += 1;
-            encode_response(&id, &Response::Error("server is shutting down".into()))
+            (
+                kind,
+                encode_response(&id, &Response::Error("server is shutting down".into())),
+            )
         }
     }
 }
 
 /// Per-tenant admission control: charges the request's effective
-/// per-goal iteration budget against the tenant's allowance.
+/// per-goal iteration budget against the tenant's allowance (refilled
+/// first, when a policy is configured).
 fn admit(tenant: &str, req: &Request, shared: &Shared) -> Result<(), String> {
     let opts = match req {
         Request::Prove { opts, .. }
         | Request::Optimize { opts, .. }
         | Request::Catalog { opts, .. }
         | Request::Discover { opts } => opts,
-        Request::Stats | Request::Shutdown => return Ok(()),
+        Request::Stats | Request::Metrics | Request::Shutdown => return Ok(()),
     };
     // The declared budget; scripts cannot raise it past the admission
     // check because a script directive only fills knobs the request
@@ -381,13 +600,10 @@ fn admit(tenant: &str, req: &Request, shared: &Shared) -> Result<(), String> {
     // here.
     let iters = opts.budget.apply(Budget::default()).max_iters;
     let budget = shared.config.tenant_budget;
-    let mut tenants = shared.tenants.lock().expect("tenants lock");
-    let spent = tenants.entry(tenant.to_owned()).or_insert(0);
-    match budget.admit(*spent, iters) {
-        Admission::Admit => {
-            *spent += iters;
-            Ok(())
-        }
+    let now_ns = shared.started.elapsed().as_nanos() as u64;
+    let mut ledger = shared.tenants.lock().expect("tenants lock");
+    match ledger.charge(tenant, iters, now_ns, budget) {
+        Admission::Admit => Ok(()),
         Admission::PerGoalCap => Err(format!(
             "budget rejected: {iters} iterations exceeds the per-request cap of {}",
             budget.per_goal_iters
@@ -414,7 +630,7 @@ fn route(req: &Request, workers: usize) -> usize {
         }
         Request::Catalog { .. } => "catalog".hash(&mut hasher),
         Request::Discover { .. } => "discover".hash(&mut hasher),
-        Request::Stats | Request::Shutdown => {}
+        Request::Stats | Request::Metrics | Request::Shutdown => {}
     }
     (hasher.finish() % workers as u64) as usize
 }
@@ -548,6 +764,130 @@ mod tests {
         let reply = request_once(&addr, &Json::Null, "carol", &small).expect("request");
         assert!(reply.ok, "{reply:?}");
         assert_eq!(server.stats().budget_rejections, 2);
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn refill_recovers_an_exhausted_tenant_over_time() {
+        let budget = BatchBudget {
+            max_total_iters: 48,
+            max_nodes: 60_000,
+            per_goal_iters: 24,
+        };
+        let mut ledger = TenantLedger::new(Some(RefillPolicy { iters_per_sec: 24 }));
+        // Two 24-iter requests exhaust the 48-iter allowance at t=0.
+        assert_eq!(ledger.charge("bob", 24, 0, budget), Admission::Admit);
+        assert_eq!(ledger.charge("bob", 24, 0, budget), Admission::Admit);
+        assert_eq!(ledger.charge("bob", 24, 0, budget), Admission::Exhausted);
+        // Half a second refills 12 iterations — not yet enough headroom
+        // for a 24-iter request (36 + 24 > 48).
+        assert_eq!(
+            ledger.charge("bob", 24, 500_000_000, budget),
+            Admission::Exhausted
+        );
+        // A full second from start has refilled 24 total: recovered.
+        assert_eq!(
+            ledger.charge("bob", 24, 1_000_000_000, budget),
+            Admission::Admit
+        );
+        // The per-goal cap is not affected by refill.
+        assert_eq!(
+            ledger.charge("bob", 100, 2_000_000_000, budget),
+            Admission::PerGoalCap
+        );
+    }
+
+    #[test]
+    fn refill_fractions_accumulate_and_no_policy_means_no_decay() {
+        let budget = BatchBudget {
+            max_total_iters: 10,
+            max_nodes: 60_000,
+            per_goal_iters: 10,
+        };
+        // 4 iters/sec: one 250ms step is exactly one iteration; an 80ms
+        // step grants nothing but the remainder must not be lost.
+        let mut ledger = TenantLedger::new(Some(RefillPolicy { iters_per_sec: 4 }));
+        assert_eq!(ledger.charge("t", 10, 0, budget), Admission::Admit);
+        assert_eq!(
+            ledger.charge("t", 1, 80_000_000, budget),
+            Admission::Exhausted
+        );
+        assert_eq!(
+            ledger.charge("t", 1, 160_000_000, budget),
+            Admission::Exhausted
+        );
+        // 250ms total: the three fractional steps add up to 1 iteration.
+        assert_eq!(ledger.charge("t", 1, 250_000_000, budget), Admission::Admit);
+
+        // Without a policy, exhaustion is permanent (pre-refill
+        // behavior preserved — the default configuration).
+        let mut fixed = TenantLedger::new(None);
+        assert_eq!(fixed.charge("t", 10, 0, budget), Admission::Admit);
+        assert_eq!(fixed.charge("t", 1, u64::MAX, budget), Admission::Exhausted);
+    }
+
+    #[test]
+    fn metrics_exposition_reflects_served_traffic() {
+        let server = Server::start(local_config()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let prove = Request::Prove {
+            script: "table R(int);\nverify R == R;".into(),
+            opts: RequestOptions::default(),
+        };
+        for _ in 0..2 {
+            let reply = request_once(&addr, &Json::Null, "default", &prove).expect("request");
+            assert!(reply.ok, "{reply:?}");
+        }
+        let reply = request_once(&addr, &Json::Null, "default", &Request::Metrics)
+            .expect("metrics request");
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.kind, "metrics");
+        let text = reply.lines.join("\n");
+        // Server-owned counters match the actual request totals: two
+        // proves plus the metrics request itself.
+        assert!(text.contains("dopcert_serve_requests 3"), "{text}");
+        assert!(text.contains("dopcert_serve_ok 2"), "{text}");
+        // The per-kind latency histogram counted both proves.
+        assert!(
+            text.contains("dopcert_request_latency_us_count{kind=\"prove\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dopcert_request_latency_us_bucket{kind=\"prove\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        // Quantile summary lines are present for the kind.
+        assert!(
+            text.contains("dopcert_request_latency_us{kind=\"prove\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        // The whole exposition parses: every non-comment line is
+        // `name[{labels}] value` with a numeric value.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("metric line");
+            assert!(!name.is_empty(), "{line}");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("{line}"));
+        }
+
+        // Live memo hits: the repeated script was a memo hit on its
+        // worker, visible in `stats` per worker and in total.
+        let stats = server.stats();
+        assert!(stats.memo_hits >= 1, "{stats:?}");
+        assert_eq!(
+            stats.memo_hits,
+            stats.memo_hits_by_worker.iter().sum::<usize>()
+        );
+        assert!(
+            stats
+                .latency
+                .iter()
+                .any(|l| l.kind == "prove" && l.count == 2),
+            "{stats:?}"
+        );
         server.shutdown();
         server.wait();
     }

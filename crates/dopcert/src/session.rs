@@ -21,6 +21,8 @@ use crate::prove::{denote_instance, ProveOptions, VerifyMethod};
 use crate::rule::Rule;
 use egraph::session::Session;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use uninomial::normalize::{NormCache, Trace};
 use uninomial::syntax::intern::{Interner, UExprId};
 use uninomial::UExpr;
@@ -42,6 +44,7 @@ pub struct ProveSession {
     interner: Interner,
     verdicts: HashMap<(UExprId, UExprId), Verdict>,
     hits: usize,
+    publish: Option<Arc<AtomicUsize>>,
 }
 
 impl ProveSession {
@@ -54,12 +57,21 @@ impl ProveSession {
             interner: Interner::new(),
             verdicts: HashMap::new(),
             hits: 0,
+            publish: None,
         }
     }
 
     /// Number of goals answered from the verdict memo.
     pub fn verdict_hits(&self) -> usize {
         self.hits
+    }
+
+    /// Mirrors the live hit count into `sink` on every subsequent memo
+    /// hit (and once now), so an observer sees progress mid-batch
+    /// instead of only after the session's current request completes.
+    pub fn publish_hits_to(&mut self, sink: Arc<AtomicUsize>) {
+        sink.store(self.hits, Ordering::Relaxed);
+        self.publish = Some(sink);
     }
 
     /// Looks up the recorded verdict for a goal with these denotations,
@@ -75,6 +87,12 @@ impl ProveSession {
         let hit = self.verdicts.get(&key).cloned();
         if hit.is_some() {
             self.hits += 1;
+            if let Some(sink) = &self.publish {
+                sink.store(self.hits, Ordering::Relaxed);
+            }
+            telemetry::count("memo.verdict.hit", 1);
+        } else {
+            telemetry::count("memo.verdict.miss", 1);
         }
         hit
     }

@@ -36,7 +36,7 @@
 //! `"kind": "error"` and an `"error"` string instead; `stats`
 //! responses add a `"stats"` object with the raw counters.
 
-use crate::api::{Request, RequestOptions, Response, ServerStats};
+use crate::api::{KindLatency, Request, RequestOptions, Response, ServerStats};
 use crate::prove::SaturateMode;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -394,6 +394,7 @@ pub fn decode_request(line: &str) -> Result<(Json, String, Request), String> {
         },
         "discover" => Request::Discover { opts },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd {other:?}")),
     };
@@ -504,6 +505,7 @@ pub fn encode_request(id: &Json, tenant: &str, req: &Request) -> String {
             "discover"
         }
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
     };
     map.insert("cmd".to_owned(), Json::Str(cmd.to_owned()));
@@ -518,6 +520,7 @@ pub fn encode_response(id: &Json, resp: &Response) -> String {
         Response::Catalog { .. } => "catalog",
         Response::Discovered(_) => "discovered",
         Response::Stats(_) => "stats",
+        Response::Metrics(_) => "metrics",
         Response::Error(_) => "error",
     };
     let mut map = BTreeMap::new();
@@ -549,6 +552,40 @@ pub fn encode_response(id: &Json, resp: &Response) -> String {
             counters.insert(k.to_owned(), Json::Num(v as f64));
         }
         counters.insert("micros".to_owned(), Json::Num(s.micros as f64));
+        if !s.memo_hits_by_worker.is_empty() {
+            counters.insert(
+                "memo-hits-by-worker".to_owned(),
+                Json::Arr(
+                    s.memo_hits_by_worker
+                        .iter()
+                        .map(|&h| Json::Num(h as f64))
+                        .collect(),
+                ),
+            );
+        }
+        if !s.latency.is_empty() {
+            counters.insert(
+                "latency".to_owned(),
+                Json::Arr(
+                    s.latency
+                        .iter()
+                        .map(|l| {
+                            let mut entry = BTreeMap::new();
+                            entry.insert("kind".to_owned(), Json::Str(l.kind.clone()));
+                            for (k, v) in [
+                                ("count", l.count),
+                                ("p50-us", l.p50_us),
+                                ("p90-us", l.p90_us),
+                                ("p99-us", l.p99_us),
+                            ] {
+                                entry.insert(k.to_owned(), Json::Num(v as f64));
+                            }
+                            Json::Obj(entry)
+                        })
+                        .collect(),
+                ),
+            );
+        }
         map.insert("stats".to_owned(), Json::Obj(counters));
     }
     Json::Obj(map).render()
@@ -581,6 +618,30 @@ pub fn decode_response(line: &str) -> Result<WireReply, String> {
     let error = value.get("error").and_then(Json::as_str).map(str::to_owned);
     let stats = value.get("stats").map(|s| {
         let count = |k: &str| s.get(k).and_then(Json::as_usize).unwrap_or(0);
+        let memo_hits_by_worker = match s.get("memo-hits-by-worker") {
+            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_usize).collect(),
+            _ => Vec::new(),
+        };
+        let latency = match s.get("latency") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|entry| {
+                    let num = |k: &str| entry.get(k).and_then(Json::as_usize).unwrap_or(0) as u64;
+                    KindLatency {
+                        kind: entry
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_owned(),
+                        count: num("count"),
+                        p50_us: num("p50-us"),
+                        p90_us: num("p90-us"),
+                        p99_us: num("p99-us"),
+                    }
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         ServerStats {
             workers: count("workers"),
             requests: count("requests"),
@@ -590,6 +651,8 @@ pub fn decode_response(line: &str) -> Result<WireReply, String> {
             goals: count("goals"),
             memo_hits: count("memo-hits"),
             micros: count("micros") as u128,
+            memo_hits_by_worker,
+            latency,
         }
     });
     Ok(WireReply {
@@ -651,6 +714,7 @@ mod tests {
                 opts: RequestOptions::default(),
             },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -696,10 +760,31 @@ mod tests {
             goals: 9,
             memo_hits: 3,
             micros: 1000,
+            memo_hits_by_worker: vec![1, 2],
+            latency: vec![KindLatency {
+                kind: "prove".into(),
+                count: 4,
+                p50_us: 10,
+                p90_us: 20,
+                p99_us: 30,
+            }],
         };
-        let reply =
-            decode_response(&encode_response(&Json::Num(1.0), &Response::Stats(stats))).unwrap();
-        assert_eq!(reply.stats, Some(stats));
+        let reply = decode_response(&encode_response(
+            &Json::Num(1.0),
+            &Response::Stats(stats.clone()),
+        ))
+        .unwrap();
+        assert_eq!(reply.stats, Some(stats.clone()));
         assert_eq!(reply.lines, Response::Stats(stats).render());
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        let text = "# TYPE dopcert_serve_requests counter\ndopcert_serve_requests 3\n";
+        let resp = Response::Metrics(text.into());
+        let reply = decode_response(&encode_response(&Json::Num(2.0), &resp)).unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.kind, "metrics");
+        assert_eq!(reply.lines.join("\n"), text.trim_end_matches('\n'));
     }
 }

@@ -1,0 +1,128 @@
+//! The bit-identity gate for telemetry: turning collection on (metrics
+//! and full tracing) must not change a single byte of any verdict,
+//! report, or rendered response. Spans and counters observe the hot
+//! paths; they must never steer them.
+//!
+//! This test binary owns its process (integration tests compile
+//! separately), so it can flip the process-wide telemetry state freely
+//! without racing other tests.
+
+use dopcert::api::{execute, Request, RequestOptions, Workspace};
+use dopcert::engine::Engine;
+use dopcert::{catalog, RuleReport};
+use std::sync::{Mutex, MutexGuard};
+
+/// Tests in one binary run on parallel threads; the telemetry state is
+/// process-wide, so each test holds this for its whole body.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const SCRIPT: &str = "table R(int);\n\
+    table S(int);\n\
+    verify (R UNION ALL S) == (S UNION ALL R);\n\
+    verify DISTINCT (R UNION ALL R) == DISTINCT R;\n\
+    refute R == S;\n";
+
+fn render_all(reqs: &[Request]) -> Vec<Vec<String>> {
+    reqs.iter().map(|r| execute(r).render()).collect()
+}
+
+fn requests() -> Vec<Request> {
+    vec![
+        Request::Prove {
+            script: SCRIPT.into(),
+            opts: RequestOptions::default(),
+        },
+        Request::Optimize {
+            script: SCRIPT.into(),
+            opts: RequestOptions::default(),
+        },
+        Request::Catalog {
+            discover: false,
+            opts: RequestOptions::default(),
+        },
+    ]
+}
+
+fn rule_key(r: &RuleReport) -> (String, bool, String, usize) {
+    (
+        r.name.to_owned(),
+        r.proved,
+        r.method.map(|m| m.to_string()).unwrap_or_default(),
+        r.steps,
+    )
+}
+
+#[test]
+fn responses_are_bit_identical_with_telemetry_on_and_off() {
+    let _guard = exclusive();
+    telemetry::disable();
+    telemetry::reset();
+    let off = render_all(&requests());
+
+    telemetry::enable();
+    let metrics_on = render_all(&requests());
+
+    telemetry::enable_tracing();
+    let tracing_on = render_all(&requests());
+
+    assert_eq!(off, metrics_on, "metrics collection changed a response");
+    assert_eq!(off, tracing_on, "tracing changed a response");
+
+    // The instrumentation actually fired: the enabled runs recorded
+    // phase spans and memo counters.
+    let snap = telemetry::snapshot();
+    assert!(snap.hist("egraph.run").is_some(), "no egraph.run span");
+    assert!(
+        snap.counter("memo.norm.hit") + snap.counter("memo.norm.miss") > 0,
+        "no normalization memo traffic"
+    );
+    let events = telemetry::take_trace();
+    assert!(!events.is_empty(), "tracing recorded no events");
+
+    telemetry::disable();
+    telemetry::reset();
+}
+
+#[test]
+fn engine_reports_are_bit_identical_with_telemetry_on_and_off() {
+    let _guard = exclusive();
+    let rules = catalog::sound_rules();
+    telemetry::disable();
+    let off: Vec<_> = Engine::with_threads(4)
+        .prove_catalog(&rules)
+        .iter()
+        .map(rule_key)
+        .collect();
+    telemetry::enable();
+    let on: Vec<_> = Engine::with_threads(4)
+        .prove_catalog(&rules)
+        .iter()
+        .map(rule_key)
+        .collect();
+    assert_eq!(off, on, "telemetry changed an engine verdict");
+    telemetry::disable();
+    telemetry::reset();
+}
+
+#[test]
+fn workspace_sessions_are_bit_identical_with_telemetry_on_and_off() {
+    let _guard = exclusive();
+    let req = Request::Prove {
+        script: SCRIPT.into(),
+        opts: RequestOptions::default(),
+    };
+    telemetry::disable();
+    let mut ws = Workspace::new(RequestOptions::default());
+    // Second execution answers from the verdict memo — both the fresh
+    // and the memoized path must be identity-preserving.
+    let off = [ws.execute(&req).render(), ws.execute(&req).render()];
+    telemetry::enable_tracing();
+    let mut ws = Workspace::new(RequestOptions::default());
+    let on = [ws.execute(&req).render(), ws.execute(&req).render()];
+    assert_eq!(off, on);
+    telemetry::disable();
+    telemetry::reset();
+}

@@ -726,6 +726,8 @@ fn apply_product_equiv(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 continue;
             }
             budget -= 1;
+            let _oracle = telemetry::span("egraph.oracle");
+            telemetry::count("egraph.oracle_calls", 1);
             // Extract both products under ONE naming environment so
             // shared bound levels resolve to shared names.
             let mut env = NameEnv::new(ctx.gen);
@@ -801,6 +803,8 @@ fn apply_prop_ext(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 continue;
             }
             budget -= 1;
+            let _oracle = telemetry::span("egraph.oracle");
+            telemetry::count("egraph.oracle_calls", 1);
             let mut oracle_trace = Trace::new();
             let na = normalize(&ea, ctx.gen, &mut oracle_trace);
             let nb = normalize(&eb, ctx.gen, &mut oracle_trace);

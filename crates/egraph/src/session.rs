@@ -223,10 +223,12 @@ impl Session {
         prop: bool,
         trace: &mut Trace,
     ) -> Result<(), (Outcome, Stats)> {
+        let _span = telemetry::span("egraph.goal");
         self.stats.goals += 1;
         let key = (self.interner.intern(el), self.interner.intern(er), prop);
         if let Some(entry) = self.memo.get(&key) {
             self.stats.memo_hits += 1;
+            telemetry::count("memo.goal.hit", 1);
             return match entry {
                 MemoEntry::Proved(steps) => {
                     for (lemma, note) in steps {
@@ -237,6 +239,7 @@ impl Session {
                 MemoEntry::Unproved { outcome, stats } => Err((*outcome, *stats)),
             };
         }
+        telemetry::count("memo.goal.miss", 1);
         // Goal-scoped derivation: an isolated solver seeded with exactly
         // this goal — the same construction as fresh-solver mode, so the
         // verdict and trace are identical by construction.
@@ -310,6 +313,7 @@ impl Session {
     /// budget (capped per goal). A resume with no graph changes since
     /// the last full saturation is a no-op.
     pub fn resume(&mut self) -> (Outcome, Stats) {
+        let _span = telemetry::span("egraph.resume");
         let generation = self.shared.egraph().generation();
         if self.clean_at == Some(generation) {
             self.stats.resume_noops += 1;

@@ -168,9 +168,13 @@ impl Solver {
     /// lets a persistent [`Session`](crate::session::Session) do
     /// batch-level budget accounting across many resumes.
     pub fn run_with_budget(&mut self, goal: Option<(Id, Id)>, budget: Budget) -> (Outcome, Stats) {
+        let _run = telemetry::span("egraph.run");
         let mut stats = Stats::default();
         loop {
-            self.eg.rebuild();
+            {
+                let _s = telemetry::span("egraph.rebuild");
+                self.eg.rebuild();
+            }
             stats.nodes = self.eg.node_count();
             stats.unions = self.eg.union_count();
             if let Some((l, r)) = goal {
@@ -199,13 +203,31 @@ impl Solver {
                 attempted: &mut self.attempted,
                 oracle_budget: budget.oracle_calls_per_iter,
             };
-            for rw in rewrites {
-                rw.apply(&mut self.eg, &mut ctx);
-                if self.eg.node_count() >= budget.max_nodes {
-                    break;
+            {
+                // Matching and applying are fused in this rewrite
+                // representation: each `Rewrite::apply` scans the
+                // snapshot for its pattern and installs the result.
+                let _s = telemetry::span("egraph.match_apply");
+                for rw in rewrites {
+                    rw.apply(&mut self.eg, &mut ctx);
+                    if self.eg.node_count() >= budget.max_nodes {
+                        break;
+                    }
                 }
             }
-            self.eg.rebuild();
+            {
+                let _s = telemetry::span("egraph.rebuild");
+                self.eg.rebuild();
+            }
+            telemetry::count("egraph.iters", 1);
+            telemetry::count(
+                "egraph.nodes_added",
+                self.eg.node_count().saturating_sub(nodes_before) as u64,
+            );
+            telemetry::count(
+                "egraph.unions",
+                self.eg.union_count().saturating_sub(unions_before) as u64,
+            );
             if self.eg.union_count() != unions_before {
                 // Progress can change a conditional rewrite's verdict
                 // even for pairs whose canonical ids survived (a class
@@ -234,6 +256,7 @@ impl Solver {
         id: Id,
         cost: &C,
     ) -> Option<(C::Cost, UExpr)> {
+        let _span = telemetry::span("egraph.extract");
         let best = self.eg.extraction_with(cost);
         let canon = self.eg.find(id);
         let key = if best.contains_key(&canon) { canon } else { id };

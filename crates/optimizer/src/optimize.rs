@@ -186,13 +186,16 @@ pub fn optimize(
     opts: OptimizeOptions,
     ctx: PlanCtx<'_>,
 ) -> Result<OptimizeReport, OptimizeError> {
+    let _span = telemetry::span("optimizer.query");
     let PlanCtx { cache, mut session } = ctx;
     if let Some(session) = session.as_deref_mut() {
         session.bind_config(format!("{env:?}|{stats:?}|{opts:?}"));
         if let Some(report) = session.lookup_plan(q) {
+            telemetry::count("memo.plan.hit", 1);
             return Ok(report);
         }
     }
+    telemetry::count("memo.plan.miss", 1);
     let report = optimize_query_impl(q, env, stats, opts, cache, session.as_deref_mut())?;
     if let Some(session) = session {
         session.record_plan(q, &report);
@@ -261,9 +264,11 @@ fn optimize_query_impl(
     let input_schema = hottsql::ty::infer_query(q, env, &Schema::Empty)
         .map_err(|e| OptimizeError(e.to_string()))?;
     let mut gen = VarGen::new();
+    let denote_span = telemetry::span("optimizer.denote");
     let (t, el) =
         denote_closed_query(q, env, &mut gen).map_err(|e| OptimizeError(e.to_string()))?;
     let cost_before = cost_uexpr(&el.beta_reduce_terms(), &model);
+    drop(denote_span);
 
     // Plan search: normalize, seed, saturate, extract cheapest.
     let mut scratch = Trace::new();
@@ -274,9 +279,13 @@ fn optimize_query_impl(
     let mut solver = Solver::new(opts.budget);
     let seed = nf.reify();
     let root = solver.seed_expr(&seed);
-    let (sat_outcome, sat_stats) = solver.saturate();
+    let (sat_outcome, sat_stats) = {
+        let _s = telemetry::span("optimizer.search");
+        solver.saturate()
+    };
     let mut candidates: Vec<(Query, Route)> = Vec::new();
     if let Some((_, best)) = solver.extract_best(root, &model) {
+        let _s = telemetry::span("optimizer.readback");
         if let Some(q2) = readback(&best, &t, env, &mut gen) {
             candidates.push((q2, Route::EGraph));
         }
@@ -399,11 +408,14 @@ fn certify(
     cache: Option<&mut NormCache>,
     mut session: Option<&mut PlanSession>,
 ) -> Option<Certificate> {
+    let _span = telemetry::span("optimizer.certify");
     if let Some(session) = session.as_deref_mut() {
         if let Some(hit) = session.lookup_cert(input, output) {
+            telemetry::count("memo.cert.hit", 1);
             return hit;
         }
     }
+    telemetry::count("memo.cert.miss", 1);
     let mut gen = VarGen::new();
     let (t, el) = denote_closed_query(input, env, &mut gen).ok()?;
     let er = denote_query(

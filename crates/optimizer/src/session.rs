@@ -28,6 +28,8 @@ use egraph::session::Session;
 use egraph::solve::Budget;
 use hottsql::ast::Query;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A persistent per-worker optimization session.
 #[derive(Debug)]
@@ -46,6 +48,7 @@ pub struct PlanSession {
     plan_hits: usize,
     cert_hits: usize,
     queries: usize,
+    publish: Option<Arc<AtomicUsize>>,
 }
 
 impl PlanSession {
@@ -59,7 +62,16 @@ impl PlanSession {
             plan_hits: 0,
             cert_hits: 0,
             queries: 0,
+            publish: None,
         }
+    }
+
+    /// Mirrors the live plan-hit count into `sink` on every subsequent
+    /// memo hit (and once now): an observer sees a long batch's memo
+    /// progress without waiting for it to finish.
+    pub fn publish_hits_to(&mut self, sink: Arc<AtomicUsize>) {
+        sink.store(self.plan_hits, Ordering::Relaxed);
+        self.publish = Some(sink);
     }
 
     /// Binds the session to an optimization configuration. Reports and
@@ -82,6 +94,9 @@ impl PlanSession {
         let hit = self.plans.get(q).cloned();
         if hit.is_some() {
             self.plan_hits += 1;
+            if let Some(sink) = &self.publish {
+                sink.store(self.plan_hits, Ordering::Relaxed);
+            }
         }
         hit
     }

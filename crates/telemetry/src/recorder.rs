@@ -1,0 +1,372 @@
+//! Thread-local recorder + process-wide sink.
+//!
+//! Each thread accumulates into a private [`Metrics`] bag (no locking on
+//! the hot path); the bag is merged into the process-wide sink when the
+//! thread's outermost span closes and when the thread exits (TLS drop —
+//! this is what collects the scoped worker threads of
+//! `dopcert::engine`). Counters bumped outside any span go straight to
+//! the sink so long-lived threads (serve workers between requests) stay
+//! visible.
+//!
+//! When telemetry is disabled every entry point is a strict no-op behind
+//! one relaxed atomic load, and [`span`] returns [`SpanGuard::Off`] —
+//! static enum dispatch, no clock read, no allocation.
+
+use crate::clock;
+use crate::metrics::Metrics;
+use crate::trace::{render_chrome_trace, TraceEvent};
+use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+const METRICS_BIT: u8 = 0b01;
+const TRACING_BIT: u8 = 0b10;
+
+/// Hard cap on buffered trace events (drops beyond it are counted in the
+/// `trace.dropped` counter instead of exhausting memory).
+const TRACE_CAP: usize = 1 << 20;
+
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+static GLOBAL: Mutex<Metrics> = Mutex::new(Metrics::new());
+static TRACE: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+struct Recorder {
+    tid: u64,
+    depth: usize,
+    metrics: Metrics,
+    events: Vec<TraceEvent>,
+}
+
+impl Recorder {
+    fn flush_out(&mut self) {
+        if !self.metrics.is_empty() {
+            let mut global = lock(&GLOBAL);
+            global.merge(&self.metrics);
+            self.metrics.clear();
+        }
+        if !self.events.is_empty() {
+            let mut trace = lock(&TRACE);
+            let room = TRACE_CAP.saturating_sub(trace.len());
+            let n = self.events.len();
+            trace.extend(self.events.drain(..n.min(room)));
+            if n > room {
+                drop(trace);
+                lock(&GLOBAL).incr("trace.dropped", (n - room) as u64);
+                self.events.clear();
+            }
+        }
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        self.flush_out();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Recorder> = RefCell::new(Recorder {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        depth: 0,
+        metrics: Metrics::new(),
+        events: Vec::new(),
+    });
+}
+
+fn lock<T>(m: &'static Mutex<T>) -> std::sync::MutexGuard<'static, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Enables metric collection (counters + histograms), tracing off.
+pub fn enable() {
+    ENABLED.store(METRICS_BIT, Ordering::Relaxed);
+}
+
+/// Enables metric collection AND span tracing (Chrome trace events).
+pub fn enable_tracing() {
+    ENABLED.store(METRICS_BIT | TRACING_BIT, Ordering::Relaxed);
+}
+
+/// Disables all collection; every subsequent call is a strict no-op.
+pub fn disable() {
+    ENABLED.store(0, Ordering::Relaxed);
+}
+
+/// Whether metric collection is on.
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) & METRICS_BIT != 0
+}
+
+/// Whether span tracing is on.
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) & TRACING_BIT != 0
+}
+
+/// Adds `by` to a named counter (no-op when disabled).
+pub fn count(name: &'static str, by: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let direct = LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            if local.depth == 0 {
+                true
+            } else {
+                local.metrics.incr(name, by);
+                false
+            }
+        })
+        .unwrap_or(true);
+    if direct {
+        lock(&GLOBAL).incr(name, by);
+    }
+}
+
+/// Records one observation into a named histogram (no-op when disabled).
+pub fn observe(name: &'static str, v: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let direct = LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            if local.depth == 0 {
+                true
+            } else {
+                local.metrics.observe(name, v);
+                false
+            }
+        })
+        .unwrap_or(true);
+    if direct {
+        lock(&GLOBAL).observe(name, v);
+    }
+}
+
+/// An RAII span: duration is recorded into the histogram of the same
+/// name when the guard drops (and as a trace event when tracing is on).
+/// [`SpanGuard::Off`] — returned whenever telemetry is disabled — does
+/// nothing on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing"]
+pub enum SpanGuard {
+    /// Telemetry disabled: dropping does nothing.
+    Off,
+    /// Telemetry enabled: dropping records the span.
+    On {
+        /// Metric/trace name of the span.
+        name: &'static str,
+        /// Start timestamp from [`clock::now_ns`].
+        start_ns: u64,
+    },
+}
+
+/// Opens a span. Bind the guard (`let _span = telemetry::span(..)`) so it
+/// covers the intended scope; early returns and `?` still record it.
+pub fn span(name: &'static str) -> SpanGuard {
+    if ENABLED.load(Ordering::Relaxed) == 0 {
+        return SpanGuard::Off;
+    }
+    let _ = LOCAL.try_with(|local| {
+        local.borrow_mut().depth += 1;
+    });
+    SpanGuard::On {
+        name,
+        start_ns: clock::now_ns(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let SpanGuard::On { name, start_ns } = *self else {
+            return;
+        };
+        let dur_ns = clock::now_ns().saturating_sub(start_ns);
+        let tracing = tracing_enabled();
+        let fallback = LOCAL
+            .try_with(|local| {
+                let mut local = local.borrow_mut();
+                local.metrics.observe(name, dur_ns);
+                if tracing && local.events.len() < TRACE_CAP {
+                    let tid = local.tid;
+                    local.events.push(TraceEvent {
+                        name,
+                        ts_ns: start_ns,
+                        dur_ns,
+                        tid,
+                    });
+                }
+                local.depth = local.depth.saturating_sub(1);
+                if local.depth == 0 {
+                    local.flush_out();
+                }
+                false
+            })
+            .unwrap_or(true);
+        if fallback {
+            lock(&GLOBAL).observe(name, dur_ns);
+        }
+    }
+}
+
+/// Current thread's open-span depth (0 when balanced). Test hook for the
+/// span-nesting-balance properties.
+pub fn local_depth() -> usize {
+    LOCAL.try_with(|local| local.borrow().depth).unwrap_or(0)
+}
+
+/// Merges the current thread's buffered data into the process-wide sink.
+pub fn flush() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().flush_out());
+}
+
+/// Flushes the current thread and returns a copy of the process-wide
+/// metrics.
+pub fn snapshot() -> Metrics {
+    flush();
+    lock(&GLOBAL).clone()
+}
+
+/// Flushes the current thread and drains all buffered trace events.
+pub fn take_trace() -> Vec<TraceEvent> {
+    flush();
+    std::mem::take(&mut *lock(&TRACE))
+}
+
+/// Drains buffered trace events and writes them to `path` as Chrome
+/// trace-event JSON (Perfetto / `about:tracing` loadable).
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    let events = take_trace();
+    std::fs::write(path, render_chrome_trace(&events))
+}
+
+/// Clears the process-wide sink, buffered trace events, and the current
+/// thread's buffers. Does not change the enabled state.
+pub fn reset() {
+    let _ = LOCAL.try_with(|local| {
+        let mut local = local.borrow_mut();
+        local.metrics.clear();
+        local.events.clear();
+    });
+    lock(&GLOBAL).clear();
+    lock(&TRACE).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_guard;
+
+    #[test]
+    fn disabled_is_a_strict_noop() {
+        let _g = test_guard();
+        disable();
+        reset();
+        count("x", 1);
+        observe("y", 2);
+        {
+            let _span = span("z");
+            assert!(matches!(_span, SpanGuard::Off));
+        }
+        assert_eq!(local_depth(), 0);
+        assert!(snapshot().is_empty());
+        assert!(take_trace().is_empty());
+    }
+
+    #[test]
+    fn span_durations_land_in_the_histogram() {
+        let _g = test_guard();
+        clock::set_manual(1_000);
+        enable_tracing();
+        reset();
+        {
+            let _outer = span("outer");
+            clock::advance_manual(10);
+            {
+                let _inner = span("egraph.rebuild");
+                clock::advance_manual(500);
+            }
+            clock::advance_manual(5);
+            count("memo.norm.hit", 3);
+        }
+        assert_eq!(local_depth(), 0);
+        let m = snapshot();
+        assert_eq!(m.hist("egraph.rebuild").unwrap().count(), 1);
+        assert_eq!(m.hist("egraph.rebuild").unwrap().sum(), 500);
+        assert_eq!(m.hist("outer").unwrap().sum(), 515);
+        assert_eq!(m.counter("memo.norm.hit"), 3);
+        let trace = take_trace();
+        assert_eq!(trace.len(), 2);
+        // Inner span closed first.
+        assert_eq!(trace[0].name, "egraph.rebuild");
+        assert_eq!(trace[0].ts_ns, 1_010);
+        assert_eq!(trace[0].dur_ns, 500);
+        assert_eq!(trace[1].name, "outer");
+        disable();
+        reset();
+        clock::use_real();
+    }
+
+    #[test]
+    fn counters_outside_spans_are_immediately_visible() {
+        let _g = test_guard();
+        enable();
+        reset();
+        count("serve.live", 7);
+        // No flush: depth-0 counts go straight to the sink.
+        assert_eq!(lock(&GLOBAL).counter("serve.live"), 7);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn early_returns_keep_span_depth_balanced() {
+        let _g = test_guard();
+        clock::set_manual(0);
+        enable();
+        reset();
+        fn may_bail(bail: bool) -> Option<u64> {
+            let _span = span("work");
+            let _inner = span("work.inner");
+            if bail {
+                return None;
+            }
+            Some(clock::now_ns())
+        }
+        assert!(may_bail(true).is_none());
+        assert_eq!(local_depth(), 0);
+        assert!(may_bail(false).is_some());
+        assert_eq!(local_depth(), 0);
+        let m = snapshot();
+        assert_eq!(m.hist("work").unwrap().count(), 2);
+        assert_eq!(m.hist("work.inner").unwrap().count(), 2);
+        disable();
+        reset();
+        clock::use_real();
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _g = test_guard();
+        clock::set_manual(0);
+        enable();
+        reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _span = span("worker.goal");
+                    clock::advance_manual(1);
+                    count("memo.verdict.hit", 2);
+                });
+            }
+        });
+        let m = snapshot();
+        assert_eq!(m.hist("worker.goal").unwrap().count(), 4);
+        assert_eq!(m.counter("memo.verdict.hit"), 8);
+        disable();
+        reset();
+        clock::use_real();
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the telemetry substrate.
+//!
+//! Histograms: merging per-worker histograms must be observationally
+//! identical to recording everything into one histogram, and quantile
+//! estimates must bracket the exact quantile within the log₂ bucket's
+//! resolution. Spans: arbitrary nesting with early returns must leave the
+//! thread's span depth balanced at zero.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use telemetry::Histogram;
+
+/// Serializes tests that touch the process-wide recorder/clock state.
+fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn random_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Spread across magnitudes so many buckets are exercised.
+            let bits = rng.gen_range(0..48u32);
+            let base = 1u64 << bits;
+            rng.gen_range(0..=base)
+        })
+        .collect()
+}
+
+/// Exact q-quantile by sorting (rank = ceil(q·n), 1-based).
+fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+    values.sort_unstable();
+    let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+    values[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_equals_single_histogram(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let values = random_values(seed, rng.gen_range(1..400));
+        let workers = rng.gen_range(1..8usize);
+        // One histogram over everything...
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        // ...vs per-worker shards merged in arbitrary order.
+        let mut shards = vec![Histogram::new(); workers];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % workers].record(v);
+        }
+        let mut merged = Histogram::new();
+        for shard in shards.iter().rev() {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate(seed in 0u64..10_000) {
+        let mut values = random_values(seed, 1 + (seed as usize % 300));
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&mut values, q);
+            let est = h.quantile(q);
+            // The estimate is the upper bound of the exact value's bucket
+            // (clamped to observed min/max): never below the exact value,
+            // never more than 2x above it (log2 buckets), always within
+            // the observed range.
+            prop_assert!(est >= exact.min(h.max()), "q={q} est={est} exact={exact}");
+            prop_assert!(
+                est <= exact.saturating_mul(2).max(1).min(h.max()),
+                "q={q} est={est} exact={exact} max={}", h.max()
+            );
+            prop_assert!(est >= h.min() && est <= h.max());
+        }
+    }
+
+    #[test]
+    fn span_depth_balances_under_early_returns(seed in 0u64..5_000) {
+        let _g = test_guard();
+        telemetry::enable();
+        fn walk(rng: &mut StdRng, depth: usize) -> Result<usize, usize> {
+            let _span = telemetry::span("prop.walk");
+            if rng.gen_bool(0.25) {
+                return Err(depth); // early return with the guard live
+            }
+            let mut seen = 1;
+            if depth < 5 {
+                for _ in 0..rng.gen_range(0..3usize) {
+                    seen += walk(rng, depth + 1).unwrap_or(1);
+                }
+            }
+            Ok(seen)
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let _ = walk(&mut rng, 0);
+            prop_assert_eq!(telemetry::local_depth(), 0);
+        }
+        telemetry::disable();
+        telemetry::reset();
+    }
+}
+
+#[test]
+fn exposition_of_merged_workers_is_consistent() {
+    let _g = test_guard();
+    let mut total = telemetry::Metrics::new();
+    for worker in 0..4u64 {
+        let mut m = telemetry::Metrics::new();
+        for i in 0..worker + 1 {
+            m.incr("memo.norm.hit", 1);
+            m.observe("egraph.rebuild", (i + 1) * 100);
+        }
+        total.merge(&m);
+    }
+    assert_eq!(total.counter("memo.norm.hit"), 10);
+    let h = total.hist("egraph.rebuild").unwrap();
+    assert_eq!(h.count(), 10);
+    let text = total.render_prometheus();
+    assert!(text.contains("dopcert_memo_norm_hit 10"));
+    assert!(text.contains("dopcert_egraph_rebuild_count 10"));
+    assert!(text.contains("dopcert_egraph_rebuild_bucket{le=\"+Inf\"} 10"));
+}

@@ -993,11 +993,17 @@ pub fn normalize_with_cache(
     trace: &mut Trace,
     cache: &mut NormCache,
 ) -> Spnf {
+    let _span = telemetry::span("uninomial.normalize");
+    let (hits0, misses0, shared0) = (cache.hits, cache.misses, cache.shared_hits);
     let e = normalization_input(e, gen);
     // One interning pass at the root; the recursion below walks the
     // id-DAG, so shared subtrees are traversed (and normalized) once.
     let id = cache.interner.intern(&e);
-    norm_id(id, gen, trace, cache)
+    let spnf = norm_id(id, gen, trace, cache);
+    telemetry::count("memo.norm.hit", cache.hits - hits0);
+    telemetry::count("memo.norm.miss", cache.misses - misses0);
+    telemetry::count("memo.norm.shared_hit", cache.shared_hits - shared0);
+    spnf
 }
 
 /// Mirror of [`norm`] over interned node ids: consults the memo table on
