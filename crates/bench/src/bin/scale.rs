@@ -7,10 +7,40 @@
 //!
 //! `--out` additionally writes the BENCH objects as newline-delimited
 //! JSON to a file — the committed `bench-results/` artifacts and the
-//! CI upload come from this.
+//! CI upload come from this. The first object is always a `meta` line
+//! carrying the artifact schema version and the series list, so that
+//! `diff` can refuse incompatible artifacts.
+//!
+//! Regression mode: `scale diff baseline.json candidate.json
+//! [--tolerance pct]` compares two artifacts series-by-series. A schema
+//! mismatch or a series present in the baseline but missing from the
+//! candidate is a hard failure (exit 1); numeric regressions beyond the
+//! tolerance are warnings only (exit 0) — deterministic count fields
+//! (anything that is not a timing) must match exactly.
 
+use dopcert::engine::{Engine, EngineConfig};
 use dopcert::prove::{ProveOptions, SaturateMode};
+use dopcert::wire::{parse_json, Json};
+use std::fmt::Write as _;
 use std::io::Write;
+use std::process::ExitCode;
+
+/// Artifact schema version: bump when a series changes shape or
+/// meaning, so `diff` refuses to compare across the break.
+const SCHEMA: u64 = 2;
+
+/// Every series a full run emits, in emission order. `diff` hard-fails
+/// when a baseline series is missing from the candidate.
+const SERIES: [&str; 8] = [
+    "cq_scale",
+    "optimizer_scale",
+    "session_vs_fresh",
+    "telemetry_overhead",
+    "telemetry_phases",
+    "saturation_vs_tactics",
+    "rule_attribution",
+    "egraph_growth",
+];
 
 /// Emits one measurement: a `BENCH {json}` line on stdout, the human
 /// summary on stderr, and (with `--out`) the bare JSON object appended
@@ -29,10 +59,15 @@ impl Emitter {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        return run_diff(&argv[1..]);
+    }
+
     let mut max_pairs: usize = 4000;
     let mut out = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         if arg == "--out" {
             let path = args.next().expect("--out needs a path");
@@ -45,6 +80,18 @@ fn main() {
         }
     }
     let mut em = Emitter { out };
+
+    // The meta line first: schema and series versioning for `diff`.
+    {
+        let series: Vec<String> = SERIES.iter().map(|s| format!("\"{s}\"")).collect();
+        em.emit(
+            format!(
+                "{{\"bench\":\"meta\",\"schema\":{SCHEMA},\"series\":[{}]}}",
+                series.join(",")
+            ),
+            format!("meta: schema v{SCHEMA}, {} series", SERIES.len()),
+        );
+    }
 
     // N-thousand CQ equivalence pairs through the batch decider.
     let mut n = 1000;
@@ -199,4 +246,334 @@ fn main() {
             ),
         );
     }
+
+    // Per-rule attribution over the saturation-only catalog run: which
+    // rewrite rules produce the matches, nodes, unions, and oracle
+    // calls. The counter fields are deterministic (the saturation loop
+    // is), so `diff` compares them exactly; only `millis` gets the
+    // tolerance.
+    {
+        telemetry::disable();
+        telemetry::reset();
+        telemetry::enable();
+        telemetry::enable_profiling();
+        let opts = ProveOptions {
+            saturate: SaturateMode::Only,
+            ..ProveOptions::default()
+        };
+        let (time, reports) = bench::timed(|| bench::fig8_reports_with(opts));
+        assert!(reports.iter().all(|r| r.proved), "catalog must prove");
+        let profile = telemetry::profile_snapshot();
+        let snap = telemetry::snapshot();
+        telemetry::disable();
+        telemetry::reset();
+        assert!(!profile.is_empty(), "saturation left no attribution rows");
+        assert_eq!(
+            profile.total("nodes_added"),
+            snap.counter("egraph.nodes_added"),
+            "attribution must telescope to the aggregate"
+        );
+        let mut rows = String::from("{");
+        for (i, (label, metrics)) in profile.rows().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let _ = write!(
+                rows,
+                "\"{label}\":{{\"matches\":{},\"unions\":{},\"nodes_added\":{},\"oracle_calls\":{}}}",
+                metrics.counter("matches"),
+                metrics.counter("unions"),
+                metrics.counter("nodes_added"),
+                metrics.counter("oracle_calls")
+            );
+        }
+        rows.push('}');
+        em.emit(
+            format!(
+                "{{\"bench\":\"rule_attribution\",\"rules\":{},\"rows\":{rows},\"total_matches\":{},\"total_unions\":{},\"total_nodes_added\":{},\"total_oracle_calls\":{},\"millis\":{:.3}}}",
+                reports.len(),
+                profile.total("matches"),
+                profile.total("unions"),
+                profile.total("nodes_added"),
+                profile.total("oracle_calls"),
+                time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "rule_attribution: {} rules, {} attribution rows, {} matches -> {} nodes added, {} unions, {} oracle calls in {:.1} ms",
+                reports.len(),
+                profile.len(),
+                profile.total("matches"),
+                profile.total("nodes_added"),
+                profile.total("unions"),
+                profile.total("oracle_calls"),
+                time.as_secs_f64() * 1e3
+            ),
+        );
+    }
+
+    // E-graph growth timeline: the classes/nodes/memo counter samples
+    // the solve loop emits once per iteration, over the saturation-only
+    // catalog on a single worker (sequential, so the sample order is
+    // the catalog order). Deterministic — `diff` compares the arrays
+    // exactly.
+    {
+        telemetry::disable();
+        telemetry::reset();
+        telemetry::enable();
+        telemetry::enable_tracing();
+        telemetry::enable_profiling();
+        let rules = dopcert::catalog::sound_rules();
+        let engine = Engine::with_config(EngineConfig {
+            prove: ProveOptions {
+                saturate: SaturateMode::Only,
+                ..ProveOptions::default()
+            },
+            ..EngineConfig::with_threads(1)
+        });
+        let reports = engine.prove_catalog(&rules);
+        assert!(reports.iter().all(|r| r.proved), "catalog must prove");
+        let events = telemetry::take_trace();
+        telemetry::disable();
+        telemetry::reset();
+        let series = |metric: &str| -> Vec<u64> {
+            events
+                .iter()
+                .filter(|ev| ev.name == metric)
+                .filter_map(|ev| ev.value)
+                .collect()
+        };
+        let (classes, nodes, memo) = (
+            series("egraph.classes"),
+            series("egraph.nodes"),
+            series("egraph.memo"),
+        );
+        assert!(!classes.is_empty(), "no growth samples recorded");
+        let arr = |vs: &[u64]| {
+            let strs: Vec<String> = vs.iter().map(u64::to_string).collect();
+            format!("[{}]", strs.join(","))
+        };
+        em.emit(
+            format!(
+                "{{\"bench\":\"egraph_growth\",\"rules\":{},\"iterations\":{},\"classes\":{},\"nodes\":{},\"memo\":{}}}",
+                reports.len(),
+                classes.len(),
+                arr(&classes),
+                arr(&nodes),
+                arr(&memo)
+            ),
+            format!(
+                "egraph_growth: {} samples over {} rules, peak {} classes / {} nodes / {} memo entries",
+                classes.len(),
+                reports.len(),
+                classes.iter().max().copied().unwrap_or(0),
+                nodes.iter().max().copied().unwrap_or(0),
+                memo.iter().max().copied().unwrap_or(0)
+            ),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// `scale diff`: the bench-regression pipeline.
+// ---------------------------------------------------------------------
+
+/// One parsed artifact: the meta line plus every measurement keyed by
+/// series name (and `mode`/size where a series emits several points).
+struct Artifact {
+    schema: u64,
+    series_names: Vec<String>,
+    measurements: Vec<(String, Json)>,
+}
+
+fn series_key(obj: &Json) -> Option<String> {
+    let bench = obj.get("bench")?.as_str()?;
+    let mut key = bench.to_owned();
+    if let Some(mode) = obj.get("mode").and_then(Json::as_str) {
+        let _ = write!(key, "[{mode}]");
+    }
+    if bench == "cq_scale" {
+        if let Some(Json::Num(pairs)) = obj.get("pairs") {
+            let _ = write!(key, "[{pairs}]");
+        }
+    }
+    Some(key)
+}
+
+fn load_artifact(path: &str) -> Result<Artifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut schema = None;
+    let mut series_names = Vec::new();
+    let mut measurements = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim().trim_start_matches("BENCH ");
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_json(line).map_err(|e| format!("{path}:{}: bad JSON: {e}", lineno + 1))?;
+        let bench = obj
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}:{}: object without a \"bench\" field", lineno + 1))?;
+        if bench == "meta" {
+            schema = obj.get("schema").and_then(Json::as_usize).map(|s| s as u64);
+            if let Some(Json::Arr(names)) = obj.get("series") {
+                series_names = names
+                    .iter()
+                    .filter_map(|n| n.as_str().map(str::to_owned))
+                    .collect();
+            }
+        } else if let Some(key) = series_key(&obj) {
+            measurements.push((key, obj));
+        }
+    }
+    let schema = schema.ok_or_else(|| {
+        format!("{path}: no meta line — not a versioned BENCH artifact (regenerate with the current harness)")
+    })?;
+    Ok(Artifact {
+        schema,
+        series_names,
+        measurements,
+    })
+}
+
+/// Numeric leaves whose key names a duration are compared with the
+/// tolerance; everything else in a BENCH object is a deterministic
+/// count and must match exactly.
+fn is_timing_field(key: &str) -> bool {
+    key.contains("millis") || key.ends_with("_ms") || key.ends_with("_ns")
+}
+
+/// Walks two JSON values in parallel, appending one warning line per
+/// divergence. `path` names the location for the report.
+fn diff_values(path: &str, base: &Json, cand: &Json, tolerance: f64, warnings: &mut Vec<String>) {
+    match (base, cand) {
+        (Json::Num(b), Json::Num(c)) => {
+            let key = path.rsplit('.').next().unwrap_or(path);
+            if is_timing_field(key) {
+                if *c > *b * (1.0 + tolerance / 100.0) && *c - *b > 1.0 {
+                    warnings.push(format!(
+                        "{path}: {c:.1} vs baseline {b:.1} ({:+.1}%, tolerance {tolerance}%)",
+                        100.0 * (c - b) / b.max(1e-9)
+                    ));
+                }
+            } else if b != c {
+                warnings.push(format!(
+                    "{path}: deterministic field changed: {c} vs baseline {b}"
+                ));
+            }
+        }
+        (Json::Obj(b), Json::Obj(c)) => {
+            for (k, bv) in b {
+                match c.get(k) {
+                    Some(cv) => diff_values(&format!("{path}.{k}"), bv, cv, tolerance, warnings),
+                    None => warnings.push(format!("{path}.{k}: missing from candidate")),
+                }
+            }
+            for k in c.keys().filter(|k| !b.contains_key(*k)) {
+                warnings.push(format!("{path}.{k}: new field absent from baseline"));
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            if b.len() != c.len() {
+                warnings.push(format!(
+                    "{path}: length changed: {} vs baseline {}",
+                    c.len(),
+                    b.len()
+                ));
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                diff_values(&format!("{path}[{i}]"), bv, cv, tolerance, warnings);
+            }
+        }
+        _ => {
+            if base != cand {
+                warnings.push(format!("{path}: value changed shape or content"));
+            }
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerance = 25.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let pct = it.next().expect("--tolerance needs a percentage");
+            tolerance = pct.parse().expect("tolerance must be a number");
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        eprintln!("usage: scale diff <baseline.json> <candidate.json> [--tolerance pct]");
+        return ExitCode::FAILURE;
+    };
+    let (base, cand) = match (load_artifact(base_path), load_artifact(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench diff: error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Hard failures: incompatible schema, or a baseline series with no
+    // candidate measurement at all.
+    if base.schema != cand.schema {
+        eprintln!(
+            "bench diff: error: schema mismatch: baseline v{} vs candidate v{}",
+            base.schema, cand.schema
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut missing = Vec::new();
+    for name in &base.series_names {
+        let covered = cand
+            .measurements
+            .iter()
+            .any(|(_, obj)| obj.get("bench").and_then(Json::as_str) == Some(name.as_str()));
+        if !covered {
+            missing.push(name.clone());
+        }
+    }
+    for (key, _) in &base.measurements {
+        // A keyed point absent from the candidate is only fatal when its
+        // whole series vanished; scale points beyond the candidate's
+        // pair count are fine.
+        let series_alive = cand
+            .measurements
+            .iter()
+            .any(|(k, _)| k == key || k.split('[').next() == key.split('[').next());
+        if !series_alive && !missing.contains(key) {
+            missing.push(key.clone());
+        }
+    }
+    if !missing.is_empty() {
+        for name in &missing {
+            eprintln!("bench diff: error: series missing from candidate: {name}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Series-by-series numeric comparison: warn-only.
+    let mut warnings = Vec::new();
+    let mut compared = 0;
+    for (key, base_obj) in &base.measurements {
+        let Some((_, cand_obj)) = cand.measurements.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        compared += 1;
+        diff_values(key, base_obj, cand_obj, tolerance, &mut warnings);
+    }
+    for w in &warnings {
+        println!("WARN {w}");
+    }
+    println!(
+        "bench diff: {compared} series compared, {} warnings (tolerance {tolerance}%)",
+        warnings.len()
+    );
+    ExitCode::SUCCESS
 }

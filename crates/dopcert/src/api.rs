@@ -211,6 +211,13 @@ pub enum Request {
     /// per-request-kind latency histograms, memo hit/miss counters, and
     /// the saturation phase breakdown.
     Metrics,
+    /// Per-rule saturation attribution table (`dopcert serve` only):
+    /// the daemon's merged [`telemetry::Profile`] across all workers.
+    Profile,
+    /// Flush the Chrome-trace buffer (`dopcert serve` only): drains the
+    /// accumulated events and returns them rendered, without stopping
+    /// the daemon.
+    Trace,
     /// Graceful daemon shutdown (`dopcert serve` only).
     Shutdown,
 }
@@ -252,6 +259,16 @@ pub struct PlanReport {
     /// The optimizer error, when the query failed to optimize (the
     /// other fields are then zero/empty except `input`).
     pub error: Option<String>,
+    /// Every candidate plan the optimizer measured (cheapest first,
+    /// input included), with the shipped one flagged — the route
+    /// narrative behind `dopcert optimize --explain`. Always populated
+    /// on success; [`Response::render`] ignores it, so plain output is
+    /// unchanged.
+    pub candidates: Vec<optimizer::CandidateInfo>,
+    /// Distinct lemma names appearing in the winning certificate's
+    /// trace, in first-appearance order. Empty for structural
+    /// (zero-step) certificates and errored queries.
+    pub lemmas: Vec<String>,
 }
 
 /// One catalog rule's check result.
@@ -316,6 +333,9 @@ pub struct ServerStats {
     pub memo_hits_by_worker: Vec<usize>,
     /// Per-request-kind latency summaries, sorted by kind.
     pub latency: Vec<KindLatency>,
+    /// Chrome-trace events dropped at the ring-buffer cap since start.
+    /// Zero in healthy daemons; rendered only when nonzero.
+    pub trace_dropped: u64,
 }
 
 /// A typed response. [`Response::render`] yields exactly the lines the
@@ -339,6 +359,10 @@ pub enum Response {
     Stats(ServerStats),
     /// Prometheus-style text exposition (one newline-terminated block).
     Metrics(String),
+    /// The daemon's merged per-rule attribution table.
+    Profile(telemetry::Profile),
+    /// The drained Chrome-trace buffer, rendered as trace JSON.
+    Trace(String),
     /// The request failed before producing a report (parse error,
     /// budget rejection, malformed wire line, …).
     Error(String),
@@ -351,7 +375,11 @@ impl Response {
             Response::Goals(goals) => goals.iter().all(|g| g.satisfied),
             Response::Plans(plans) => plans.iter().all(|p| p.sound),
             Response::Catalog { rules, .. } => rules.iter().all(|r| r.passed),
-            Response::Discovered(_) | Response::Stats(_) | Response::Metrics(_) => true,
+            Response::Discovered(_)
+            | Response::Stats(_)
+            | Response::Metrics(_)
+            | Response::Profile(_)
+            | Response::Trace(_) => true,
             Response::Error(_) => false,
         }
     }
@@ -438,11 +466,49 @@ impl Response {
                         l.kind, l.p50_us, l.p90_us, l.p99_us, l.count
                     ));
                 }
+                if s.trace_dropped > 0 {
+                    lines.push(format!("trace events dropped: {}", s.trace_dropped));
+                }
                 lines
             }
             Response::Metrics(text) => text.lines().map(str::to_owned).collect(),
+            Response::Profile(profile) => profile.render_table(),
+            Response::Trace(text) => text.lines().map(str::to_owned).collect(),
             Response::Error(e) => vec![format!("error: {e}")],
         }
+    }
+
+    /// The `dopcert optimize --explain` narrative: per query, every
+    /// candidate route the optimizer measured with its estimated cost
+    /// (the shipped one flagged) and the lemmas the winning certificate
+    /// leans on. Empty for non-plan responses and errored queries. The
+    /// data rides inside the memoized [`OptimizeReport`], so session
+    /// and fresh answers narrate identically.
+    pub fn render_explain(&self) -> Vec<String> {
+        let Response::Plans(plans) = self else {
+            return Vec::new();
+        };
+        let mut lines = Vec::new();
+        for p in plans {
+            if p.error.is_some() {
+                continue;
+            }
+            lines.push(format!("explain {}:", p.input));
+            for c in &p.candidates {
+                lines.push(format!(
+                    "  candidate cost {:>8.0}  {}{}",
+                    c.cost,
+                    c.route,
+                    if c.chosen { "  <- shipped" } else { "" }
+                ));
+            }
+            if p.lemmas.is_empty() {
+                lines.push("  certificate lemmas: none (structural)".into());
+            } else {
+                lines.push(format!("  certificate lemmas: {}", p.lemmas.join(", ")));
+            }
+        }
+        lines
     }
 }
 
@@ -665,8 +731,13 @@ pub fn execute(req: &Request) -> Response {
         Request::Discover { opts } => {
             Response::Discovered(discoveries(opts.prove_options(BudgetSpec::default())))
         }
-        Request::Stats | Request::Metrics | Request::Shutdown => Response::Error(
-            "stats/metrics/shutdown requests are answered by `dopcert serve` only".into(),
+        Request::Stats
+        | Request::Metrics
+        | Request::Profile
+        | Request::Trace
+        | Request::Shutdown => Response::Error(
+            "stats/metrics/profile/trace/shutdown requests are answered by `dopcert serve` only"
+                .into(),
         ),
     }
 }
@@ -814,6 +885,8 @@ fn optimize_script(
                     input: q.to_string(),
                     output: String::new(),
                     error: Some(e.to_string()),
+                    candidates: Vec::new(),
+                    lemmas: Vec::new(),
                 },
                 Ok(r) => PlanReport {
                     sound: r.cost_after <= r.cost_before
@@ -827,10 +900,26 @@ fn optimize_script(
                     input: r.input.to_string(),
                     output: r.output.to_string(),
                     error: None,
+                    lemmas: certificate_lemmas(&r.certificate),
+                    candidates: r.candidates,
                 },
             })
             .collect(),
     )
+}
+
+/// Distinct lemma names in a certificate's trace, first-appearance
+/// order — the "which algebra did the proof lean on" half of the
+/// explain narrative.
+fn certificate_lemmas(cert: &optimizer::Certificate) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (lemma, _) in cert.trace.steps() {
+        let name = lemma.name();
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_owned());
+        }
+    }
+    names
 }
 
 /// Cross-rule discovery over the sound catalog.
@@ -956,12 +1045,23 @@ mod tests {
                 p90_us: 900,
                 p99_us: 1100,
             }],
+            trace_dropped: 0,
         };
-        let lines = Response::Stats(stats).render();
+        let lines = Response::Stats(stats.clone()).render();
         assert_eq!(lines[0], "workers: 2");
         assert_eq!(lines[1], "requests: 10 (8 ok, 1 error, 1 budget-rejected)");
         assert_eq!(lines[3], "memo hits: 5 (25.0% of goals)");
         assert!(lines.contains(&"memo hits by worker: w0=2 w1=3".to_owned()));
         assert!(lines.contains(&"latency[prove]: p50=150us p90=900us p99=1100us (n=8)".to_owned()));
+        assert!(
+            !lines.iter().any(|l| l.contains("trace events dropped")),
+            "healthy daemons don't mention the drop counter"
+        );
+        let noisy = ServerStats {
+            trace_dropped: 3,
+            ..stats
+        };
+        let lines = Response::Stats(noisy).render();
+        assert_eq!(lines.last().unwrap(), "trace events dropped: 3");
     }
 }

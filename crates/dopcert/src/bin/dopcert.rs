@@ -45,6 +45,12 @@
 //!   `prove`) and budget account (`request` only);
 //! - `--trace-out FILE` — dump phase spans as Chrome trace-event JSON
 //!   on exit (`prove`/`optimize`/`serve`; load in Perfetto);
+//! - `--profile` — after the response, print the per-rule saturation
+//!   attribution table: matches, unions, e-nodes added, oracle calls,
+//!   and apply time per rewrite rule (`prove`/`optimize`/`catalog`);
+//! - `--explain` — after the plans, narrate each query's optimization:
+//!   every candidate route measured with its cost, which one shipped,
+//!   and the lemmas the winning certificate leans on (`optimize`);
 //! - `--budget-refill N` — refill every tenant's spent iterations at
 //!   `N` iterations/second (`serve`; the default never refills).
 //!
@@ -82,6 +88,12 @@ struct Flags {
     /// Chrome-trace output path (`prove`/`optimize`/`serve`): enables
     /// phase tracing and dumps the events on exit.
     trace_out: Option<String>,
+    /// Print the per-rule attribution table after the response
+    /// (`prove`/`optimize`/`catalog`): enables profiling for the run.
+    profile: bool,
+    /// Narrate candidate routes and certificate lemmas per optimized
+    /// query (`optimize` only).
+    explain: bool,
     /// Budget refill rate in iterations per second (`serve` only).
     budget_refill: Option<u64>,
     /// First non-flag argument (the script path for check/prove).
@@ -117,6 +129,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--cmd" => flags.cmd = Some(parse_str(arg, it.next())?),
             "--tenant" => flags.tenant = Some(parse_str(arg, it.next())?),
             "--trace-out" => flags.trace_out = Some(parse_str(arg, it.next())?),
+            "--profile" => flags.profile = true,
+            "--explain" => flags.explain = true,
             "--budget-refill" => {
                 let n = parse_num(arg, it.next())?;
                 if n == 0 {
@@ -163,6 +177,15 @@ impl Flags {
                 self.budget_refill.is_some(),
                 "--budget-refill (use `serve`)",
             )?;
+        }
+        if !matches!(cmd, "prove" | "optimize" | "catalog") {
+            reject(
+                self.profile,
+                "--profile (use `prove`, `optimize`, or `catalog`)",
+            )?;
+        }
+        if cmd != "optimize" {
+            reject(self.explain, "--explain (use `optimize`)")?;
         }
         match cmd {
             "check" => {
@@ -265,6 +288,8 @@ impl Flags {
             },
             "stats" => Request::Stats,
             "metrics" => Request::Metrics,
+            "profile" => Request::Profile,
+            "trace" => Request::Trace,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown request cmd {other:?}")),
         })
@@ -412,11 +437,26 @@ fn main() -> ExitCode {
                 }
             };
             start_tracing(&flags);
+            if flags.profile {
+                // OR-composes with tracing/metrics; without the flag the
+                // attribution paths stay strict no-ops.
+                telemetry::enable_profiling();
+            }
             let start = std::time::Instant::now();
             let resp = dopcert::api::execute(&req);
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             finish_tracing(&flags);
             let code = print_response(&resp);
+            if flags.explain {
+                for line in resp.render_explain() {
+                    println!("{line}");
+                }
+            }
+            if flags.profile {
+                for line in telemetry::profile_snapshot().render_table() {
+                    println!("{line}");
+                }
+            }
             // Timing is diagnostics, not output: stderr keeps stdout
             // byte-comparable with serve responses.
             match (&resp, cmd) {
@@ -450,11 +490,11 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: dopcert check <file.dop | ->\n\
-                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--trace-out FILE] <file.dop | ->\n\
-                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--trace-out FILE] <file.dop | ->\n\
-                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover]\n\
+                 \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--trace-out FILE] [--profile] <file.dop | ->\n\
+                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--trace-out FILE] [--profile] [--explain] <file.dop | ->\n\
+                 \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover] [--profile]\n\
                  \x20      dopcert serve [--addr HOST:PORT] [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--budget-refill N] [--trace-out FILE]\n\
-                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|stats|metrics|shutdown] [--tenant NAME] [flags] [file.dop | -]"
+                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|stats|metrics|profile|trace|shutdown] [--tenant NAME] [flags] [file.dop | -]"
             );
             ExitCode::FAILURE
         }
@@ -506,11 +546,45 @@ mod tests {
             &["--tenant", "t"][..],
             &["--trace-out", "t.json"][..],
             &["--budget-refill", "10"][..],
+            &["--profile"][..],
+            &["--explain"][..],
         ] {
             let f = flags(args).unwrap();
             let err = f.validate_for("check").unwrap_err();
             assert!(err.contains("not accepted"), "{args:?}: {err}");
         }
+    }
+
+    #[test]
+    fn profile_is_prove_optimize_catalog_only() {
+        let f = flags(&["--profile"]).unwrap();
+        assert!(f.profile);
+        f.validate_for("prove").unwrap();
+        f.validate_for("optimize").unwrap();
+        f.validate_for("catalog").unwrap();
+        for cmd in ["check", "serve", "request"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--profile"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn explain_is_optimize_only() {
+        let f = flags(&["--explain"]).unwrap();
+        assert!(f.explain);
+        f.validate_for("optimize").unwrap();
+        for cmd in ["check", "prove", "catalog", "serve", "request"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--explain"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn profile_and_trace_requests_build() {
+        let f = flags(&["--addr", "h:1", "--cmd", "profile"]).unwrap();
+        f.validate_for("request").unwrap();
+        assert!(matches!(f.build_request("profile"), Ok(Request::Profile)));
+        assert!(matches!(f.build_request("trace"), Ok(Request::Trace)));
     }
 
     #[test]

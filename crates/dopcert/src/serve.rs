@@ -221,6 +221,7 @@ impl Shared {
             micros: c.micros,
             memo_hits_by_worker: by_worker,
             latency: self.latency_summaries(),
+            trace_dropped: telemetry::snapshot().counter("trace.dropped"),
         }
     }
 
@@ -263,6 +264,9 @@ impl Shared {
     /// snapshot (phase spans, memo hit/miss counters).
     fn metrics_text(&self) -> String {
         let mut bag = telemetry::snapshot();
+        // Surface the drop counter even while it is zero, so dashboards
+        // can alert on it existing-but-rising rather than appearing.
+        bag.incr("trace.dropped", 0);
         {
             let c = self.counters.lock().expect("counters lock");
             bag.incr("serve.requests", c.requests as u64);
@@ -308,7 +312,9 @@ pub struct Server {
 impl Server {
     /// Binds the address and starts the listener and worker threads.
     /// Enables process-wide telemetry metrics (if not already on) so
-    /// the `metrics` exposition carries phase spans and memo counters.
+    /// the `metrics` exposition carries phase spans and memo counters,
+    /// and per-rule attribution profiling so a `profile` request always
+    /// has a table to answer with.
     ///
     /// # Errors
     ///
@@ -317,6 +323,7 @@ impl Server {
         if !telemetry::metrics_enabled() {
             telemetry::enable();
         }
+        telemetry::enable_profiling();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
@@ -488,6 +495,8 @@ fn kind_of(req: &Request) -> &'static str {
         Request::Discover { .. } => "discover",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
+        Request::Profile => "profile",
+        Request::Trace => "trace",
         Request::Shutdown => "shutdown",
     }
 }
@@ -526,6 +535,22 @@ fn handle_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> (&'stati
         }
         Request::Metrics => {
             let resp = Response::Metrics(shared.metrics_text());
+            shared.counters.lock().expect("counters lock").ok += 1;
+            return (kind, encode_response(&id, &resp));
+        }
+        Request::Profile => {
+            // The process-wide profile is already merged across worker
+            // flushes; snapshotting it here costs one lock, not a trip
+            // through the (possibly busy) worker pool.
+            let resp = Response::Profile(telemetry::profile_snapshot());
+            shared.counters.lock().expect("counters lock").ok += 1;
+            return (kind, encode_response(&id, &resp));
+        }
+        Request::Trace => {
+            // Drain-and-render on demand: the daemon keeps running and
+            // the buffer starts filling again from empty.
+            let events = telemetry::take_trace();
+            let resp = Response::Trace(telemetry::trace::render_chrome_trace(&events));
             shared.counters.lock().expect("counters lock").ok += 1;
             return (kind, encode_response(&id, &resp));
         }
@@ -592,7 +617,11 @@ fn admit(tenant: &str, req: &Request, shared: &Shared) -> Result<(), String> {
         | Request::Optimize { opts, .. }
         | Request::Catalog { opts, .. }
         | Request::Discover { opts } => opts,
-        Request::Stats | Request::Metrics | Request::Shutdown => return Ok(()),
+        Request::Stats
+        | Request::Metrics
+        | Request::Profile
+        | Request::Trace
+        | Request::Shutdown => return Ok(()),
     };
     // The declared budget; scripts cannot raise it past the admission
     // check because a script directive only fills knobs the request
@@ -630,7 +659,11 @@ fn route(req: &Request, workers: usize) -> usize {
         }
         Request::Catalog { .. } => "catalog".hash(&mut hasher),
         Request::Discover { .. } => "discover".hash(&mut hasher),
-        Request::Stats | Request::Metrics | Request::Shutdown => {}
+        Request::Stats
+        | Request::Metrics
+        | Request::Profile
+        | Request::Trace
+        | Request::Shutdown => {}
     }
     (hasher.finish() % workers as u64) as usize
 }
@@ -825,6 +858,44 @@ mod tests {
         let mut fixed = TenantLedger::new(None);
         assert_eq!(fixed.charge("t", 10, 0, budget), Admission::Admit);
         assert_eq!(fixed.charge("t", 1, u64::MAX, budget), Admission::Exhausted);
+    }
+
+    #[test]
+    fn profile_and_trace_requests_answer_inline() {
+        let server = Server::start(local_config()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let opts = RequestOptions {
+            saturate: crate::prove::SaturateMode::Only,
+            ..Default::default()
+        };
+        let prove = Request::Prove {
+            script: "table R(int);\ntable S(int);\nverify (R UNION ALL S) == (S UNION ALL R);"
+                .into(),
+            opts,
+        };
+        let reply = request_once(&addr, &Json::Null, "default", &prove).expect("request");
+        assert!(reply.ok, "{reply:?}");
+
+        // The daemon enabled profiling at start, so the saturation run
+        // left per-rule attribution rows behind.
+        let reply =
+            request_once(&addr, &Json::Null, "default", &Request::Profile).expect("profile");
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.kind, "profile");
+        let profile = reply.profile.expect("profile table");
+        assert!(
+            !profile.is_empty(),
+            "a saturation run must leave attribution rows"
+        );
+
+        // `trace` drains on demand without stopping the daemon; with
+        // tracing off the buffer is empty but the reply is well-formed.
+        let reply = request_once(&addr, &Json::Null, "default", &Request::Trace).expect("trace");
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.kind, "trace");
+        assert!(reply.lines.concat().contains("traceEvents"), "{reply:?}");
+        server.shutdown();
+        server.wait();
     }
 
     #[test]

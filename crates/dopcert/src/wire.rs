@@ -18,11 +18,12 @@
 //! ```
 //!
 //! `cmd` is required: `check`, `prove`, `optimize`, `catalog`,
-//! `discover`, `stats`, or `shutdown`. `script` is required for
-//! `check`/`prove`/`optimize`. Everything else is optional; `id` is
-//! echoed back verbatim, `tenant` names the budget-admission account
-//! (default `"default"`). Budget knobs are validated by the same
-//! [`BudgetSpec`] the CLI flags and script directives go through.
+//! `discover`, `stats`, `metrics`, `profile`, `trace`, or `shutdown`.
+//! `script` is required for `check`/`prove`/`optimize`. Everything
+//! else is optional; `id` is echoed back verbatim, `tenant` names the
+//! budget-admission account (default `"default"`). Budget knobs are
+//! validated by the same [`BudgetSpec`] the CLI flags and script
+//! directives go through.
 //!
 //! Response object:
 //!
@@ -34,7 +35,10 @@
 //! `lines` are exactly the stdout lines the single-shot CLI prints for
 //! the same request ([`Response::render`]); error responses carry
 //! `"kind": "error"` and an `"error"` string instead; `stats`
-//! responses add a `"stats"` object with the raw counters.
+//! responses add a `"stats"` object with the raw counters; `profile`
+//! responses add a `"profile"` object mapping each attribution label
+//! to its raw counters and histograms (losslessly — clients rebuild
+//! the exact [`telemetry::Profile`]).
 
 use crate::api::{KindLatency, Request, RequestOptions, Response, ServerStats};
 use crate::prove::SaturateMode;
@@ -336,6 +340,8 @@ pub struct WireReply {
     pub error: Option<String>,
     /// The raw counters, for `kind == "stats"`.
     pub stats: Option<ServerStats>,
+    /// The rebuilt attribution table, for `kind == "profile"`.
+    pub profile: Option<telemetry::Profile>,
 }
 
 /// Decodes one request line into its id, tenant, and typed request.
@@ -395,6 +401,8 @@ pub fn decode_request(line: &str) -> Result<(Json, String, Request), String> {
         "discover" => Request::Discover { opts },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
+        "profile" => Request::Profile,
+        "trace" => Request::Trace,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd {other:?}")),
     };
@@ -506,6 +514,8 @@ pub fn encode_request(id: &Json, tenant: &str, req: &Request) -> String {
         }
         Request::Stats => "stats",
         Request::Metrics => "metrics",
+        Request::Profile => "profile",
+        Request::Trace => "trace",
         Request::Shutdown => "shutdown",
     };
     map.insert("cmd".to_owned(), Json::Str(cmd.to_owned()));
@@ -521,6 +531,8 @@ pub fn encode_response(id: &Json, resp: &Response) -> String {
         Response::Discovered(_) => "discovered",
         Response::Stats(_) => "stats",
         Response::Metrics(_) => "metrics",
+        Response::Profile(_) => "profile",
+        Response::Trace(_) => "trace",
         Response::Error(_) => "error",
     };
     let mut map = BTreeMap::new();
@@ -552,6 +564,12 @@ pub fn encode_response(id: &Json, resp: &Response) -> String {
             counters.insert(k.to_owned(), Json::Num(v as f64));
         }
         counters.insert("micros".to_owned(), Json::Num(s.micros as f64));
+        if s.trace_dropped > 0 {
+            counters.insert(
+                "trace-dropped".to_owned(),
+                Json::Num(s.trace_dropped as f64),
+            );
+        }
         if !s.memo_hits_by_worker.is_empty() {
             counters.insert(
                 "memo-hits-by-worker".to_owned(),
@@ -588,7 +606,100 @@ pub fn encode_response(id: &Json, resp: &Response) -> String {
         }
         map.insert("stats".to_owned(), Json::Obj(counters));
     }
+    if let Response::Profile(profile) = resp {
+        map.insert("profile".to_owned(), encode_profile(profile));
+    }
     Json::Obj(map).render()
+}
+
+/// Encodes an attribution table losslessly: each label maps to its raw
+/// counters and histograms, buckets sparse (only nonzero, keyed by
+/// bucket index). [`decode_profile`] rebuilds the exact table.
+fn encode_profile(profile: &telemetry::Profile) -> Json {
+    let mut rows = BTreeMap::new();
+    for (label, metrics) in profile.rows() {
+        let mut row = BTreeMap::new();
+        let counters: BTreeMap<String, Json> = metrics
+            .counters()
+            .map(|(name, v)| (name.to_owned(), Json::Num(v as f64)))
+            .collect();
+        if !counters.is_empty() {
+            row.insert("counters".to_owned(), Json::Obj(counters));
+        }
+        let hists: BTreeMap<String, Json> = metrics
+            .hists()
+            .map(|(name, h)| {
+                let mut entry = BTreeMap::new();
+                for (k, v) in [
+                    ("count", h.count()),
+                    ("sum", h.sum()),
+                    ("min", h.min()),
+                    ("max", h.max()),
+                ] {
+                    entry.insert(k.to_owned(), Json::Num(v as f64));
+                }
+                let buckets: BTreeMap<String, Json> = h
+                    .buckets()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &n)| n > 0)
+                    .map(|(i, &n)| (i.to_string(), Json::Num(n as f64)))
+                    .collect();
+                entry.insert("buckets".to_owned(), Json::Obj(buckets));
+                (name.to_owned(), Json::Obj(entry))
+            })
+            .collect();
+        if !hists.is_empty() {
+            row.insert("hists".to_owned(), Json::Obj(hists));
+        }
+        rows.insert(label.to_owned(), Json::Obj(row));
+    }
+    Json::Obj(rows)
+}
+
+/// Rebuilds a [`telemetry::Profile`] from its wire object. Tolerant of
+/// absent sections (a row may carry only counters or only histograms);
+/// malformed entries decode as zero rather than failing the reply.
+fn decode_profile(value: &Json) -> telemetry::Profile {
+    let mut profile = telemetry::Profile::new();
+    let Json::Obj(rows) = value else {
+        return profile;
+    };
+    let num = |v: &Json| match v {
+        Json::Num(n) if *n >= 0.0 => *n as u64,
+        _ => 0,
+    };
+    for (label, row) in rows {
+        if let Some(Json::Obj(counters)) = row.get("counters") {
+            for (name, v) in counters {
+                profile.incr(label, name, num(v));
+            }
+        }
+        if let Some(Json::Obj(hists)) = row.get("hists") {
+            for (name, entry) in hists {
+                let field = |k: &str| entry.get(k).map(&num).unwrap_or(0);
+                let mut buckets = [0u64; telemetry::hist::BUCKETS];
+                if let Some(Json::Obj(sparse)) = entry.get("buckets") {
+                    for (idx, n) in sparse {
+                        if let Ok(i) = idx.parse::<usize>() {
+                            if i < buckets.len() {
+                                buckets[i] = num(n);
+                            }
+                        }
+                    }
+                }
+                let h = telemetry::Histogram::from_parts(
+                    field("count"),
+                    field("sum"),
+                    field("min"),
+                    field("max"),
+                    buckets,
+                );
+                profile.merge_hist(label, name, &h);
+            }
+        }
+    }
+    profile
 }
 
 /// Decodes a response line — the client half of [`encode_response`].
@@ -653,8 +764,10 @@ pub fn decode_response(line: &str) -> Result<WireReply, String> {
             micros: count("micros") as u128,
             memo_hits_by_worker,
             latency,
+            trace_dropped: count("trace-dropped") as u64,
         }
     });
+    let profile = value.get("profile").map(decode_profile);
     Ok(WireReply {
         id: value.get("id").cloned().unwrap_or(Json::Null),
         ok,
@@ -662,6 +775,7 @@ pub fn decode_response(line: &str) -> Result<WireReply, String> {
         lines,
         error,
         stats,
+        profile,
     })
 }
 
@@ -715,6 +829,8 @@ mod tests {
             },
             Request::Stats,
             Request::Metrics,
+            Request::Profile,
+            Request::Trace,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -768,6 +884,7 @@ mod tests {
                 p90_us: 20,
                 p99_us: 30,
             }],
+            trace_dropped: 7,
         };
         let reply = decode_response(&encode_response(
             &Json::Num(1.0),
@@ -776,6 +893,33 @@ mod tests {
         .unwrap();
         assert_eq!(reply.stats, Some(stats.clone()));
         assert_eq!(reply.lines, Response::Stats(stats).render());
+    }
+
+    #[test]
+    fn profile_responses_round_trip_losslessly() {
+        let mut profile = telemetry::Profile::new();
+        profile.incr("Distrib", "matches", 12);
+        profile.incr("Distrib", "unions", 3);
+        profile.incr("congruence", "unions", 5);
+        profile.observe("Distrib", "apply_ns", 1_500);
+        profile.observe("Distrib", "apply_ns", 40_000);
+        profile.observe("session", "apply_ns", 9);
+        let resp = Response::Profile(profile.clone());
+        let reply = decode_response(&encode_response(&Json::Num(3.0), &resp)).unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.kind, "profile");
+        assert_eq!(reply.profile, Some(profile.clone()));
+        assert_eq!(reply.lines, Response::Profile(profile).render());
+    }
+
+    #[test]
+    fn trace_responses_carry_the_rendered_buffer() {
+        let text = "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+        let reply =
+            decode_response(&encode_response(&Json::Null, &Response::Trace(text.into()))).unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.kind, "trace");
+        assert_eq!(reply.lines, vec![text.to_owned()]);
     }
 
     #[test]

@@ -109,6 +109,18 @@ impl EGraph {
         self.n_unions
     }
 
+    /// Number of live e-class entries (growth-timeline sample; includes
+    /// child-only classes that exist solely to track parents).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of live hashcons (memo) entries — the canonical-node
+    /// index whose growth bounds congruence-rebuild work.
+    pub fn memo_size(&self) -> usize {
+        self.hashcons.len()
+    }
+
     /// Monotone modification counter: bumped whenever a new node is
     /// interned or a union merges two classes. A persistent session uses
     /// it to detect that nothing changed since its last full saturation

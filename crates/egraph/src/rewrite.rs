@@ -134,6 +134,28 @@ impl Rewrite {
             Rewrite::PropExt => Lemma::PropExt,
         }
     }
+
+    /// Stable attribution label of this rewrite (profile row key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rewrite::Distrib => "Distrib",
+            Rewrite::SumAdd => "SumAdd",
+            Rewrite::SumHoist => "SumHoist",
+            Rewrite::SumSingleton => "SumSingleton",
+            Rewrite::SumSwap => "SumSwap",
+            Rewrite::SquashCollapse => "SquashCollapse",
+            Rewrite::SquashDedup => "SquashDedup",
+            Rewrite::SquashMul => "SquashMul",
+            Rewrite::SquashProp => "SquashProp",
+            Rewrite::NotNot => "NotNot",
+            Rewrite::NotAdd => "NotAdd",
+            Rewrite::NotSquash => "NotSquash",
+            Rewrite::EqPairSplit => "EqPairSplit",
+            Rewrite::TupleEta => "TupleEta",
+            Rewrite::ProductEquiv => "ProductEquiv",
+            Rewrite::PropExt => "PropExt",
+        }
+    }
 }
 
 /// Compiles one lemma into its searching rewrites. An empty vector means
@@ -206,6 +228,14 @@ pub struct RewriteCtx<'a> {
     /// Cap on oracle invocations per iteration (they are the expensive
     /// part of a round).
     pub oracle_budget: usize,
+    /// Match candidates the current rewrite pass constructed (union
+    /// attempts / oracle invocations). The solver reads the delta around
+    /// each [`Rewrite::apply`] for per-rule attribution; plain counting,
+    /// never consulted by search.
+    pub matches: usize,
+    /// Oracle invocations of the current rewrite pass (delta-read by the
+    /// solver alongside `matches`).
+    pub oracle_calls: usize,
 }
 
 impl RewriteCtx<'_> {
@@ -299,6 +329,7 @@ fn apply_distrib(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                     })
                     .collect();
                 let rhs = eg.add(ENode::Add(summands));
+                ctx.matches += 1;
                 if eg.union(*id, rhs, Lemma::Distrib, "a × (b + c) = a×b + a×c") {
                     unions += 1;
                 }
@@ -330,6 +361,7 @@ fn apply_sum_add(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 .map(|&k| eg.add(ENode::Sum(schema.clone(), k)))
                 .collect();
             let rhs = eg.add(ENode::Add(sums));
+            ctx.matches += 1;
             if eg.union(*id, rhs, Lemma::SumAdd, "Σx.(f + g) = Σx.f + Σx.g") {
                 unions += 1;
             }
@@ -368,6 +400,7 @@ fn apply_sum_extract(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>, rw: Rewrite) -> 
         };
         let scope = env.outer_scope();
         let rhs = reseed(eg, &expr2, scope);
+        ctx.matches += 1;
         if eg.union(*id, rhs, rw.lemma(), note) {
             unions += 1;
         }
@@ -430,6 +463,7 @@ fn apply_squash_collapse(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             .collect();
         for y in inner {
             let collapsed = eg.add(ENode::Squash(y));
+            ctx.matches += 1;
             if eg.union(*id, collapsed, Lemma::SquashBase, "‖‖n‖‖ = ‖n‖") {
                 unions += 1;
             }
@@ -468,6 +502,7 @@ fn apply_squash_dedup(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             if let Some(dn) = dedup {
                 let inner = eg.add(dn);
                 let rhs = eg.add(ENode::Squash(inner));
+                ctx.matches += 1;
                 if eg.union(
                     *id,
                     rhs,
@@ -499,6 +534,7 @@ fn apply_squash_mul(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
         for kids in muls {
             let squashed: Vec<Id> = kids.iter().map(|&k| eg.add(ENode::Squash(k))).collect();
             let rhs = eg.add(ENode::Mul(squashed));
+            ctx.matches += 1;
             if eg.union(*id, rhs, Lemma::SquashMul, "‖a × b‖ = ‖a‖ × ‖b‖") {
                 unions += 1;
             }
@@ -512,8 +548,11 @@ fn apply_squash_prop(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
     let mut unions = 0;
     for (node, id) in ctx.snapshot {
         let ENode::Squash(x) = node else { continue };
-        if ctx.props.contains(x) && eg.union(*id, *x, Lemma::SquashProp, "‖prop‖ = prop") {
-            unions += 1;
+        if ctx.props.contains(x) {
+            ctx.matches += 1;
+            if eg.union(*id, *x, Lemma::SquashProp, "‖prop‖ = prop") {
+                unions += 1;
+            }
         }
     }
     unions
@@ -534,6 +573,7 @@ fn apply_not_not(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             .collect();
         for y in inner {
             let rhs = eg.add(ENode::Squash(y));
+            ctx.matches += 1;
             if eg.union(*id, rhs, Lemma::NotBase, "¬¬n = ‖n‖") {
                 unions += 1;
             }
@@ -559,6 +599,7 @@ fn apply_not_add(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
         for kids in adds {
             let negs: Vec<Id> = kids.iter().map(|&k| eg.add(ENode::Not(k))).collect();
             let rhs = eg.add(ENode::Mul(negs));
+            ctx.matches += 1;
             if eg.union(*id, rhs, Lemma::NotAdd, "¬(a + b) = ¬a × ¬b") {
                 unions += 1;
             }
@@ -582,6 +623,7 @@ fn apply_not_squash(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             .collect();
         for y in inner {
             let rhs = eg.add(ENode::Not(y));
+            ctx.matches += 1;
             if eg.union(*id, rhs, Lemma::NotSquash, "¬‖n‖ = ¬n") {
                 unions += 1;
             }
@@ -618,6 +660,7 @@ fn apply_eq_pair_split(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 let e1 = eg.add(ENode::Eq(a, c));
                 let e2 = eg.add(ENode::Eq(b, d));
                 let rhs = eg.add(ENode::Mul(vec![e1, e2]));
+                ctx.matches += 1;
                 if eg.union(*id, rhs, Lemma::EqPairSplit, "((a,b)=(c,d)) = (a=c)×(b=d)") {
                     unions += 1;
                 }
@@ -653,8 +696,11 @@ fn apply_tuple_eta(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 .collect();
             let tc = eg.find(t);
             let has_snd = snds.into_iter().any(|u| eg.find(u) == tc);
-            if has_snd && eg.union(*id, t, Lemma::TupleBeta, "(t.1, t.2) = t") {
-                unions += 1;
+            if has_snd {
+                ctx.matches += 1;
+                if eg.union(*id, t, Lemma::TupleBeta, "(t.1, t.2) = t") {
+                    unions += 1;
+                }
             }
         }
     }
@@ -726,6 +772,8 @@ fn apply_product_equiv(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 continue;
             }
             budget -= 1;
+            ctx.matches += 1;
+            ctx.oracle_calls += 1;
             let _oracle = telemetry::span("egraph.oracle");
             telemetry::count("egraph.oracle_calls", 1);
             // Extract both products under ONE naming environment so
@@ -803,6 +851,8 @@ fn apply_prop_ext(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
                 continue;
             }
             budget -= 1;
+            ctx.matches += 1;
+            ctx.oracle_calls += 1;
             let _oracle = telemetry::span("egraph.oracle");
             telemetry::count("egraph.oracle_calls", 1);
             let mut oracle_trace = Trace::new();

@@ -229,6 +229,7 @@ impl Session {
         if let Some(entry) = self.memo.get(&key) {
             self.stats.memo_hits += 1;
             telemetry::count("memo.goal.hit", 1);
+            telemetry::profile_count("session", "goal_memo_hits", 1);
             return match entry {
                 MemoEntry::Proved(steps) => {
                     for (lemma, note) in steps {
@@ -253,6 +254,8 @@ impl Session {
         }
         let (outcome, stats) = solver.run(l, r);
         self.stats.local_iters += stats.iters;
+        telemetry::profile_count("session", "goal_derivations", 1);
+        telemetry::profile_count("session", "local_iters", stats.iters as u64);
         let result = if outcome == Outcome::Proved {
             let mark = trace.len();
             solver.explain_into(l, r, trace);
@@ -344,6 +347,7 @@ impl Session {
         };
         let (outcome, stats) = self.shared.run_with_budget(None, budget);
         self.stats.shared_iters += stats.iters;
+        telemetry::profile_count("session", "shared_iters", stats.iters as u64);
         if outcome == Outcome::Saturated {
             self.clean_at = Some(self.shared.egraph().generation());
         }

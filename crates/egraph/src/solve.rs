@@ -202,22 +202,76 @@ impl Solver {
                 props: &props,
                 attempted: &mut self.attempted,
                 oracle_budget: budget.oracle_calls_per_iter,
+                matches: 0,
+                oracle_calls: 0,
             };
+            let profiling = telemetry::profiling_enabled();
             {
                 // Matching and applying are fused in this rewrite
                 // representation: each `Rewrite::apply` scans the
                 // snapshot for its pattern and installs the result.
                 let _s = telemetry::span("egraph.match_apply");
                 for rw in rewrites {
-                    rw.apply(&mut self.eg, &mut ctx);
+                    if profiling {
+                        // Node/union counts are monotone, so the deltas
+                        // around each pass — plus the rebuild delta below
+                        // — telescope exactly to the flat
+                        // `egraph.nodes_added`/`egraph.unions` counters.
+                        let t0 = telemetry::clock::now_ns();
+                        let n0 = self.eg.node_count();
+                        let u0 = self.eg.union_count();
+                        let m0 = ctx.matches;
+                        let o0 = ctx.oracle_calls;
+                        rw.apply(&mut self.eg, &mut ctx);
+                        let label = rw.name();
+                        telemetry::profile_observe(
+                            label,
+                            "apply_ns",
+                            telemetry::clock::now_ns().saturating_sub(t0),
+                        );
+                        telemetry::profile_count(label, "matches", (ctx.matches - m0) as u64);
+                        telemetry::profile_count(
+                            label,
+                            "nodes_added",
+                            (self.eg.node_count() - n0) as u64,
+                        );
+                        telemetry::profile_count(
+                            label,
+                            "unions",
+                            (self.eg.union_count() - u0) as u64,
+                        );
+                        telemetry::profile_count(
+                            label,
+                            "oracle_calls",
+                            (ctx.oracle_calls - o0) as u64,
+                        );
+                    } else {
+                        rw.apply(&mut self.eg, &mut ctx);
+                    }
                     if self.eg.node_count() >= budget.max_nodes {
                         break;
                     }
                 }
             }
+            let nodes_mid = self.eg.node_count();
+            let unions_mid = self.eg.union_count();
             {
                 let _s = telemetry::span("egraph.rebuild");
                 self.eg.rebuild();
+            }
+            if profiling {
+                // Congruence restoration gets its own attribution row so
+                // the per-label sums still telescope to the aggregates.
+                telemetry::profile_count(
+                    "congruence",
+                    "nodes_added",
+                    (self.eg.node_count() - nodes_mid) as u64,
+                );
+                telemetry::profile_count(
+                    "congruence",
+                    "unions",
+                    (self.eg.union_count() - unions_mid) as u64,
+                );
             }
             telemetry::count("egraph.iters", 1);
             telemetry::count(
@@ -228,6 +282,12 @@ impl Solver {
                 "egraph.unions",
                 self.eg.union_count().saturating_sub(unions_before) as u64,
             );
+            // Growth timeline: one counter sample per iteration, drawn
+            // as value-over-time tracks by Perfetto (no-op unless both
+            // tracing and profiling are on).
+            telemetry::counter_event("egraph.classes", self.eg.class_count() as u64);
+            telemetry::counter_event("egraph.nodes", self.eg.node_count() as u64);
+            telemetry::counter_event("egraph.memo", self.eg.memo_size() as u64);
             if self.eg.union_count() != unions_before {
                 // Progress can change a conditional rewrite's verdict
                 // even for pairs whose canonical ids survived (a class

@@ -54,7 +54,8 @@ pub mod session;
 
 pub use cost::{Cost, StatsCost};
 pub use optimize::{
-    optimize, Certificate, OptimizeError, OptimizeOptions, OptimizeReport, PlanCtx, Route,
+    optimize, CandidateInfo, Certificate, OptimizeError, OptimizeOptions, OptimizeReport, PlanCtx,
+    Route,
 };
 #[allow(deprecated)]
 pub use optimize::{optimize_query, optimize_query_cached, optimize_query_session};

@@ -91,6 +91,17 @@ impl Certificate {
     }
 }
 
+/// One measured plan candidate — a line of the `--explain` narrative.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CandidateInfo {
+    /// Which route produced it.
+    pub route: String,
+    /// Its measured cost (same cost model as the input).
+    pub cost: f64,
+    /// Whether this is the candidate that certified and shipped.
+    pub chosen: bool,
+}
+
 /// The result of optimizing one query.
 #[derive(Clone, Debug)]
 pub struct OptimizeReport {
@@ -114,6 +125,10 @@ pub struct OptimizeReport {
     pub sat_outcome: Outcome,
     /// Plan-search saturation statistics.
     pub sat_stats: Stats,
+    /// Every candidate measured (cheapest first, input included), with
+    /// the shipped one flagged — the route narrative of `--explain`.
+    /// Deterministic, so memoized reports replay it byte-identically.
+    pub candidates: Vec<CandidateInfo>,
 }
 
 /// Failure to optimize: the query does not denote (typing error).
@@ -343,9 +358,18 @@ fn optimize_query_impl(
     }
     measured.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
+    let considered: Vec<CandidateInfo> = measured
+        .iter()
+        .map(|(cost, _, route)| CandidateInfo {
+            route: route.to_string(),
+            cost: cost.work,
+            chosen: false,
+        })
+        .collect();
+
     // Ship the cheapest candidate that certifies; the input always
     // does (reflexive proof), so the loop cannot fall through.
-    for (cost, cand, route) in measured {
+    for (k, (cost, cand, route)) in measured.into_iter().enumerate() {
         let Some(certificate) = certify(
             q,
             &cand,
@@ -357,6 +381,8 @@ fn optimize_query_impl(
             continue;
         };
         let route = if cand == *q { Route::Unchanged } else { route };
+        let mut candidates = considered;
+        candidates[k].chosen = true;
         // Holds by construction (the input sorts into the list and the
         // sort is stable); reported unclamped so the downstream gates
         // can actually catch a regression here.
@@ -371,6 +397,7 @@ fn optimize_query_impl(
             certificate,
             sat_outcome,
             sat_stats,
+            candidates,
         });
     }
     Err(OptimizeError(

@@ -54,6 +54,25 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from previously exposed parts — how the
+    /// wire layer rehydrates profile histograms losslessly. `min` is as
+    /// returned by [`Histogram::min`] (0 when empty).
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    ) -> Histogram {
+        Histogram {
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+            buckets,
+        }
+    }
+
     /// Records one observation.
     pub fn record(&mut self, v: u64) {
         self.count += 1;

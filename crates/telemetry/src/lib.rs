@@ -29,14 +29,17 @@
 pub mod clock;
 pub mod hist;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod trace;
 
 pub use hist::Histogram;
 pub use metrics::Metrics;
+pub use profile::Profile;
 pub use recorder::{
-    count, disable, enable, enable_tracing, flush, local_depth, metrics_enabled, observe, reset,
-    snapshot, span, take_trace, tracing_enabled, write_chrome_trace, SpanGuard,
+    count, counter_event, disable, enable, enable_profiling, enable_tracing, flush, local_depth,
+    metrics_enabled, observe, profile_count, profile_observe, profile_snapshot, profiling_enabled,
+    reset, snapshot, span, take_trace, tracing_enabled, write_chrome_trace, SpanGuard,
 };
 pub use trace::TraceEvent;
 

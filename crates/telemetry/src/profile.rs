@@ -1,0 +1,210 @@
+//! Labeled attribution tables.
+//!
+//! A [`Profile`] is a two-level metric bag: rows keyed by a small string
+//! label (rule name, phase, worker), each row an ordinary mergeable
+//! [`Metrics`] bag of counters + histograms. It answers the questions the
+//! flat process-wide sink cannot — *which rule* burned the time, blew up
+//! the e-graph, or never fired — while inheriting the merge/rendering
+//! vocabulary of [`Metrics`] (merging two profiles never loses an
+//! observation; rows are kept sorted so renders are deterministic).
+//!
+//! Collection goes through the thread-local recorder behind its own
+//! enable bit ([`crate::recorder::enable_profiling`]); see the recorder
+//! docs for the buffering/flush contract.
+
+use crate::hist::Histogram;
+use crate::metrics::Metrics;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Counter names the rendered attribution table has columns for (other
+/// metrics still merge and travel the wire; they are just not columns).
+const TABLE_COUNTERS: [&str; 4] = ["matches", "unions", "nodes_added", "oracle_calls"];
+
+/// Histogram whose sum is rendered as the per-row `apply_ms` column.
+const TABLE_TIME: &str = "apply_ns";
+
+/// A mergeable attribution table: label → metric bag.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    rows: BTreeMap<String, Metrics>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub const fn new() -> Profile {
+        Profile {
+            rows: BTreeMap::new(),
+        }
+    }
+
+    fn row_mut(&mut self, label: &str) -> &mut Metrics {
+        if !self.rows.contains_key(label) {
+            self.rows.insert(label.to_owned(), Metrics::new());
+        }
+        self.rows.get_mut(label).expect("row just inserted")
+    }
+
+    /// Adds `by` to `metric` in the row of `label`.
+    pub fn incr(&mut self, label: &str, metric: &str, by: u64) {
+        self.row_mut(label).incr(metric, by);
+    }
+
+    /// Records one observation into `metric`'s histogram in the row of
+    /// `label`.
+    pub fn observe(&mut self, label: &str, metric: &str, v: u64) {
+        self.row_mut(label).observe(metric, v);
+    }
+
+    /// Merges a whole histogram into a row's metric slot (used when
+    /// rehydrating a profile from the wire).
+    pub fn merge_hist(&mut self, label: &str, metric: &str, h: &Histogram) {
+        self.row_mut(label).merge_hist(metric, h);
+    }
+
+    /// Merges another profile into this one. Row-wise [`Metrics::merge`]:
+    /// counters sum, histograms merge bucket-wise — no observation is
+    /// dropped (property-tested in `dopcert/tests/telemetry_identity.rs`).
+    pub fn merge(&mut self, other: &Profile) {
+        for (label, metrics) in &other.rows {
+            self.row_mut(label).merge(metrics);
+        }
+    }
+
+    /// True when no row holds any data.
+    pub fn is_empty(&self) -> bool {
+        self.rows.values().all(Metrics::is_empty)
+    }
+
+    /// Number of rows (labels).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Drops all rows.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// The row of `label`, if present.
+    pub fn row(&self, label: &str) -> Option<&Metrics> {
+        self.rows.get(label)
+    }
+
+    /// All rows, sorted by label.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, &Metrics)> {
+        self.rows.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Value of `metric` in the row of `label` (0 when absent).
+    pub fn counter(&self, label: &str, metric: &str) -> u64 {
+        self.rows.get(label).map_or(0, |m| m.counter(metric))
+    }
+
+    /// Sum of `metric` across all rows — the cross-check against the
+    /// flat aggregate counters (`egraph.unions`, `egraph.nodes_added`).
+    pub fn total(&self, metric: &str) -> u64 {
+        self.rows.values().map(|m| m.counter(metric)).sum()
+    }
+
+    /// Total observations recorded anywhere in the profile (counter
+    /// increments + histogram observations) — the conserved quantity of
+    /// [`Profile::merge`].
+    pub fn observations(&self) -> u64 {
+        self.rows
+            .values()
+            .map(|m| {
+                m.counters().map(|(_, v)| v).sum::<u64>()
+                    + m.hists().map(|(_, h)| h.count()).sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Renders the per-label attribution table (deterministic: rows
+    /// sorted by label, fixed columns, totals line last).
+    pub fn render_table(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.rows.len() + 2);
+        let width = self
+            .rows
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(4)
+            .max("total".len());
+        let mut header = format!("{:width$}", "label");
+        for c in TABLE_COUNTERS {
+            let _ = write!(header, " {c:>12}");
+        }
+        let _ = write!(header, " {:>12}", "apply_ms");
+        out.push(header);
+        for (label, m) in &self.rows {
+            out.push(render_row(label, m, width));
+        }
+        let mut totals = Metrics::new();
+        for m in self.rows.values() {
+            totals.merge(m);
+        }
+        out.push(render_row("total", &totals, width));
+        out
+    }
+}
+
+fn render_row(label: &str, m: &Metrics, width: usize) -> String {
+    let mut line = format!("{label:width$}");
+    for c in TABLE_COUNTERS {
+        let _ = write!(line, " {:>12}", m.counter(c));
+    }
+    let ms = m.hist(TABLE_TIME).map_or(0, Histogram::sum) as f64 / 1e6;
+    let _ = write!(line, " {ms:>12.3}");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_rows_and_keeps_all_observations() {
+        let mut a = Profile::new();
+        a.incr("Distrib", "unions", 3);
+        a.observe("Distrib", "apply_ns", 100);
+        let mut b = Profile::new();
+        b.incr("Distrib", "unions", 4);
+        b.incr("SumSwap", "matches", 1);
+        b.observe("Distrib", "apply_ns", 50);
+        let before = a.observations() + b.observations();
+        a.merge(&b);
+        assert_eq!(a.counter("Distrib", "unions"), 7);
+        assert_eq!(a.counter("SumSwap", "matches"), 1);
+        assert_eq!(
+            a.row("Distrib").unwrap().hist("apply_ns").unwrap().count(),
+            2
+        );
+        assert_eq!(a.observations(), before);
+        assert_eq!(a.total("unions"), 7);
+    }
+
+    #[test]
+    fn table_render_is_deterministic_and_totalled() {
+        let mut p = Profile::new();
+        p.incr("SumSwap", "unions", 2);
+        p.incr("Distrib", "unions", 5);
+        p.incr("Distrib", "nodes_added", 9);
+        let table = p.render_table();
+        assert_eq!(table.len(), 4, "{table:?}");
+        assert!(table[0].starts_with("label"));
+        // Rows sorted by label; totals close the table.
+        assert!(table[1].starts_with("Distrib"));
+        assert!(table[2].starts_with("SumSwap"));
+        assert!(table[3].starts_with("total"));
+        assert!(table[3].contains('7'), "{:?}", table[3]);
+    }
+
+    #[test]
+    fn empty_profile_reports_empty() {
+        let p = Profile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.observations(), 0);
+        assert_eq!(p.len(), 0);
+    }
+}

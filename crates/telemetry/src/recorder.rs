@@ -14,6 +14,7 @@
 
 use crate::clock;
 use crate::metrics::Metrics;
+use crate::profile::Profile;
 use crate::trace::{render_chrome_trace, TraceEvent};
 use std::cell::RefCell;
 use std::path::Path;
@@ -22,6 +23,7 @@ use std::sync::Mutex;
 
 const METRICS_BIT: u8 = 0b01;
 const TRACING_BIT: u8 = 0b10;
+const PROFILE_BIT: u8 = 0b100;
 
 /// Hard cap on buffered trace events (drops beyond it are counted in the
 /// `trace.dropped` counter instead of exhausting memory).
@@ -29,6 +31,7 @@ const TRACE_CAP: usize = 1 << 20;
 
 static ENABLED: AtomicU8 = AtomicU8::new(0);
 static GLOBAL: Mutex<Metrics> = Mutex::new(Metrics::new());
+static PROFILE: Mutex<Profile> = Mutex::new(Profile::new());
 static TRACE: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
@@ -36,6 +39,7 @@ struct Recorder {
     tid: u64,
     depth: usize,
     metrics: Metrics,
+    profile: Profile,
     events: Vec<TraceEvent>,
 }
 
@@ -45,6 +49,11 @@ impl Recorder {
             let mut global = lock(&GLOBAL);
             global.merge(&self.metrics);
             self.metrics.clear();
+        }
+        if !self.profile.is_empty() {
+            let mut profile = lock(&PROFILE);
+            profile.merge(&self.profile);
+            self.profile.clear();
         }
         if !self.events.is_empty() {
             let mut trace = lock(&TRACE);
@@ -71,6 +80,7 @@ thread_local! {
         tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
         depth: 0,
         metrics: Metrics::new(),
+        profile: Profile::new(),
         events: Vec::new(),
     });
 }
@@ -89,6 +99,14 @@ pub fn enable_tracing() {
     ENABLED.store(METRICS_BIT | TRACING_BIT, Ordering::Relaxed);
 }
 
+/// Additionally enables per-label profiling (attribution tables +
+/// growth counter events). Unlike [`enable`]/[`enable_tracing`] this
+/// composes: it ORs its bit into whatever mode is already on, so
+/// `enable_tracing(); enable_profiling();` yields all three.
+pub fn enable_profiling() {
+    ENABLED.fetch_or(PROFILE_BIT, Ordering::Relaxed);
+}
+
 /// Disables all collection; every subsequent call is a strict no-op.
 pub fn disable() {
     ENABLED.store(0, Ordering::Relaxed);
@@ -102,6 +120,11 @@ pub fn metrics_enabled() -> bool {
 /// Whether span tracing is on.
 pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed) & TRACING_BIT != 0
+}
+
+/// Whether per-label profiling is on.
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) & PROFILE_BIT != 0
 }
 
 /// Adds `by` to a named counter (no-op when disabled).
@@ -143,6 +166,87 @@ pub fn observe(name: &'static str, v: u64) {
         .unwrap_or(true);
     if direct {
         lock(&GLOBAL).observe(name, v);
+    }
+}
+
+/// Adds `by` to `metric` in the profile row of `label` (no-op unless
+/// profiling is on). Buffered like [`count`]: thread-local inside spans,
+/// straight to the process-wide profile at depth 0.
+pub fn profile_count(label: &str, metric: &'static str, by: u64) {
+    if !profiling_enabled() {
+        return;
+    }
+    let direct = LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            if local.depth == 0 {
+                true
+            } else {
+                local.profile.incr(label, metric, by);
+                false
+            }
+        })
+        .unwrap_or(true);
+    if direct {
+        lock(&PROFILE).incr(label, metric, by);
+    }
+}
+
+/// Records one observation into `metric`'s histogram in the profile row
+/// of `label` (no-op unless profiling is on).
+pub fn profile_observe(label: &str, metric: &'static str, v: u64) {
+    if !profiling_enabled() {
+        return;
+    }
+    let direct = LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            if local.depth == 0 {
+                true
+            } else {
+                local.profile.observe(label, metric, v);
+                false
+            }
+        })
+        .unwrap_or(true);
+    if direct {
+        lock(&PROFILE).observe(label, metric, v);
+    }
+}
+
+/// Emits one counter sample (a `"ph":"C"` value-over-time track point in
+/// the Chrome trace — how e-graph growth curves are drawn). No-op unless
+/// BOTH tracing and profiling are on, so plain `--trace-out` dumps stay
+/// byte-identical to their pre-profiling shape.
+pub fn counter_event(name: &'static str, value: u64) {
+    if !tracing_enabled() || !profiling_enabled() {
+        return;
+    }
+    let ts_ns = clock::now_ns();
+    let spilled = LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            let tid = local.tid;
+            if local.events.len() < TRACE_CAP {
+                local
+                    .events
+                    .push(TraceEvent::counter(name, ts_ns, tid, value));
+            }
+            let depth0 = local.depth == 0;
+            if depth0 {
+                local.flush_out();
+            }
+            false
+        })
+        .unwrap_or(true);
+    if spilled {
+        let mut trace = lock(&TRACE);
+        if trace.len() < TRACE_CAP {
+            trace.push(TraceEvent::counter(name, ts_ns, 0, value));
+        } else {
+            drop(trace);
+            lock(&GLOBAL).incr("trace.dropped", 1);
+        }
     }
 }
 
@@ -191,12 +295,9 @@ impl Drop for SpanGuard {
                 local.metrics.observe(name, dur_ns);
                 if tracing && local.events.len() < TRACE_CAP {
                     let tid = local.tid;
-                    local.events.push(TraceEvent {
-                        name,
-                        ts_ns: start_ns,
-                        dur_ns,
-                        tid,
-                    });
+                    local
+                        .events
+                        .push(TraceEvent::span(name, start_ns, dur_ns, tid));
                 }
                 local.depth = local.depth.saturating_sub(1);
                 if local.depth == 0 {
@@ -229,6 +330,13 @@ pub fn snapshot() -> Metrics {
     lock(&GLOBAL).clone()
 }
 
+/// Flushes the current thread and returns a copy of the process-wide
+/// attribution profile (merged across all flushed threads/workers).
+pub fn profile_snapshot() -> Profile {
+    flush();
+    lock(&PROFILE).clone()
+}
+
 /// Flushes the current thread and drains all buffered trace events.
 pub fn take_trace() -> Vec<TraceEvent> {
     flush();
@@ -248,9 +356,11 @@ pub fn reset() {
     let _ = LOCAL.try_with(|local| {
         let mut local = local.borrow_mut();
         local.metrics.clear();
+        local.profile.clear();
         local.events.clear();
     });
     lock(&GLOBAL).clear();
+    lock(&PROFILE).clear();
     lock(&TRACE).clear();
 }
 
@@ -304,6 +414,77 @@ mod tests {
         assert_eq!(trace[0].ts_ns, 1_010);
         assert_eq!(trace[0].dur_ns, 500);
         assert_eq!(trace[1].name, "outer");
+        disable();
+        reset();
+        clock::use_real();
+    }
+
+    #[test]
+    fn profiling_is_a_strict_noop_until_enabled() {
+        let _g = test_guard();
+        enable_tracing();
+        reset();
+        profile_count("Distrib", "unions", 3);
+        profile_observe("Distrib", "apply_ns", 10);
+        counter_event("egraph.classes", 7);
+        assert!(profile_snapshot().is_empty());
+        assert!(take_trace().is_empty());
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn profile_rows_buffer_in_spans_and_flush_to_the_sink() {
+        let _g = test_guard();
+        clock::set_manual(0);
+        enable();
+        enable_profiling();
+        reset();
+        {
+            let _span = span("egraph.run");
+            profile_count("Distrib", "unions", 2);
+            profile_observe("Distrib", "apply_ns", 40);
+            // Buffered: the sink sees nothing until the span closes.
+            assert!(lock(&PROFILE).is_empty());
+        }
+        profile_count("Distrib", "unions", 1); // depth 0 → direct
+        let p = profile_snapshot();
+        assert_eq!(p.counter("Distrib", "unions"), 3);
+        assert_eq!(
+            p.row("Distrib").unwrap().hist("apply_ns").unwrap().sum(),
+            40
+        );
+        // Worker threads merge on exit, losing nothing.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _span = span("egraph.run");
+                profile_count("Distrib", "unions", 5);
+                profile_count("SumSwap", "matches", 1);
+            });
+        });
+        let p = profile_snapshot();
+        assert_eq!(p.counter("Distrib", "unions"), 8);
+        assert_eq!(p.counter("SumSwap", "matches"), 1);
+        disable();
+        reset();
+        clock::use_real();
+    }
+
+    #[test]
+    fn counter_events_need_both_tracing_and_profiling() {
+        let _g = test_guard();
+        clock::set_manual(2_000);
+        enable_tracing();
+        reset();
+        counter_event("egraph.classes", 10);
+        assert!(take_trace().is_empty(), "tracing alone must not emit");
+        enable_profiling();
+        counter_event("egraph.classes", 11);
+        let trace = take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].name, "egraph.classes");
+        assert_eq!(trace[0].value, Some(11));
+        assert_eq!(trace[0].ts_ns, 2_000);
         disable();
         reset();
         clock::use_real();

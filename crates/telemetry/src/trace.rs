@@ -4,22 +4,51 @@
 //! events in the Trace Event Format, loadable in `about:tracing` or
 //! <https://ui.perfetto.dev>. Timestamps/durations are microseconds per
 //! the format; sub-microsecond spans are rounded up to 1µs so they stay
-//! visible.
+//! visible. Sampled series (e-graph growth: classes/nodes/memo per
+//! saturation iteration) are counter (`"ph":"C"`) events — Perfetto
+//! renders each name as a value-over-time track, which is how the growth
+//! curves are read.
 
 use std::fmt::Write as _;
 
-/// One completed span: name, start, duration, and the recording thread.
+/// One completed span — or, when `value` is set, one counter sample.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Span name (also used as the metric name for its duration
-    /// histogram).
+    /// histogram) or counter-track name.
     pub name: &'static str,
     /// Start time in nanoseconds (clock of [`crate::clock::now_ns`]).
     pub ts_ns: u64,
-    /// Duration in nanoseconds.
+    /// Duration in nanoseconds (0 for counter samples).
     pub dur_ns: u64,
     /// Stable per-thread id (assigned in recorder registration order).
     pub tid: u64,
+    /// `Some(sample)` marks a counter event; `None` a span.
+    pub value: Option<u64>,
+}
+
+impl TraceEvent {
+    /// A completed span.
+    pub fn span(name: &'static str, ts_ns: u64, dur_ns: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            ts_ns,
+            dur_ns,
+            tid,
+            value: None,
+        }
+    }
+
+    /// A counter sample (value-over-time track point).
+    pub fn counter(name: &'static str, ts_ns: u64, tid: u64, value: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            ts_ns,
+            dur_ns: 0,
+            tid,
+            value: Some(value),
+        }
+    }
 }
 
 /// Renders events as a Chrome trace-event JSON document.
@@ -31,16 +60,31 @@ pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
             out.push(',');
         }
         let cat = ev.name.split('.').next().unwrap_or("span");
-        let _ = write!(
-            out,
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
-             \"ts\":{},\"dur\":{}}}",
-            escape(ev.name),
-            escape(cat),
-            ev.tid,
-            ev.ts_ns / 1_000,
-            (ev.dur_ns / 1_000).max(1),
-        );
+        match ev.value {
+            None => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{},\"dur\":{}}}",
+                    escape(ev.name),
+                    escape(cat),
+                    ev.tid,
+                    ev.ts_ns / 1_000,
+                    (ev.dur_ns / 1_000).max(1),
+                );
+            }
+            Some(v) => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{},\"args\":{{\"value\":{v}}}}}",
+                    escape(ev.name),
+                    escape(cat),
+                    ev.tid,
+                    ev.ts_ns / 1_000,
+                );
+            }
+        }
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
@@ -70,18 +114,8 @@ mod tests {
     #[test]
     fn render_produces_complete_events() {
         let events = vec![
-            TraceEvent {
-                name: "egraph.rebuild",
-                ts_ns: 5_000,
-                dur_ns: 2_500,
-                tid: 1,
-            },
-            TraceEvent {
-                name: "optimizer.certify",
-                ts_ns: 10_000,
-                dur_ns: 100,
-                tid: 2,
-            },
+            TraceEvent::span("egraph.rebuild", 5_000, 2_500, 1),
+            TraceEvent::span("optimizer.certify", 10_000, 100, 2),
         ];
         let json = render_chrome_trace(&events);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -92,5 +126,15 @@ mod tests {
         // Sub-microsecond durations round up to 1 so Perfetto shows them.
         assert!(json.contains("\"ts\":10,\"dur\":1}"));
         assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn counter_events_render_as_value_tracks() {
+        let events = vec![TraceEvent::counter("egraph.classes", 7_000, 3, 42)];
+        let json = render_chrome_trace(&events);
+        assert!(json.contains(
+            "{\"name\":\"egraph.classes\",\"cat\":\"egraph\",\"ph\":\"C\",\
+             \"pid\":1,\"tid\":3,\"ts\":7,\"args\":{\"value\":42}}"
+        ));
     }
 }
