@@ -31,8 +31,9 @@ const SCHEMA: u64 = 2;
 
 /// Every series a full run emits, in emission order. `diff` hard-fails
 /// when a baseline series is missing from the candidate.
-const SERIES: [&str; 8] = [
+const SERIES: [&str; 9] = [
     "cq_scale",
+    "containment_scale",
     "optimizer_scale",
     "session_vs_fresh",
     "telemetry_overhead",
@@ -93,6 +94,14 @@ fn main() -> ExitCode {
         );
     }
 
+    // Untimed warmup: the first timed block of the process otherwise
+    // absorbs one-time costs (allocator arena growth, lazy binding)
+    // that have nothing to do with the series being measured.
+    {
+        let warmup = cq::generate::equivalent_pairs(0x5CA1E, 1000.min(max_pairs));
+        let _ = bench::decide_cq_pairs(&warmup);
+    }
+
     // N-thousand CQ equivalence pairs through the batch decider.
     let mut n = 1000;
     while n <= max_pairs {
@@ -111,6 +120,39 @@ fn main() -> ExitCode {
             ),
         );
         n *= 2;
+    }
+
+    // Containment-search internals: the same batch decider over a
+    // corpus decorated so the per-relation candidate bitsets have
+    // something to prune (same-relation atoms of mixed arity and with
+    // clashing constant positions). The counts are deterministic — the
+    // pruned/scanned split is exactly the bitset index's claim to its
+    // speedup, so `diff` compares it exactly; only `millis` floats.
+    {
+        let n = max_pairs.min(1000);
+        let (queries, index_pairs) = bench::containment_corpus(0x0B175E7, n);
+        let (time, (verdicts, stats)) =
+            bench::timed(|| cq::containment::equivalent_set_batch_stats(&queries, &index_pairs));
+        let equivalent = verdicts.iter().filter(|&&v| v).count();
+        assert_eq!(equivalent, n, "decorated pairs stay equivalent");
+        em.emit(
+            format!(
+                "{{\"bench\":\"containment_scale\",\"pairs\":{n},\"equivalent\":{equivalent},\"checks\":{},\"candidates_total\":{},\"bitset_pruned\":{},\"candidates_scanned\":{},\"millis\":{:.3}}}",
+                stats.checks,
+                stats.candidates_total,
+                stats.bitset_pruned,
+                stats.candidates_scanned,
+                time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "containment_scale: {n} pairs, {} hom checks, {} of {} candidates bitset-pruned ({} scanned) in {:.1} ms",
+                stats.checks,
+                stats.bitset_pruned,
+                stats.candidates_total,
+                stats.candidates_scanned,
+                time.as_secs_f64() * 1e3
+            ),
+        );
     }
 
     // Certified optimizer over a generated CQ corpus: total cost
@@ -529,8 +571,17 @@ fn run_diff(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Coverage is judged over the *intersection* of the two meta series
+    // lists: a series only one artifact's harness knows about (an older
+    // baseline diffed against a newer candidate, or vice versa) is not a
+    // regression — a series both metas claim but the candidate failed to
+    // measure is.
     let mut missing = Vec::new();
-    for name in &base.series_names {
+    for name in base
+        .series_names
+        .iter()
+        .filter(|n| cand.series_names.contains(n))
+    {
         let covered = cand
             .measurements
             .iter()
@@ -541,8 +592,13 @@ fn run_diff(args: &[String]) -> ExitCode {
     }
     for (key, _) in &base.measurements {
         // A keyed point absent from the candidate is only fatal when its
-        // whole series vanished; scale points beyond the candidate's
-        // pair count are fine.
+        // whole series vanished *and* the candidate's meta claims the
+        // series; scale points beyond the candidate's pair count — or
+        // whole series outside the meta intersection — are fine.
+        let series = key.split('[').next().unwrap_or(key);
+        if !cand.series_names.iter().any(|n| n == series) {
+            continue;
+        }
         let series_alive = cand
             .measurements
             .iter()

@@ -255,17 +255,21 @@ pub fn fig8_reports_with(opts: dopcert::prove::ProveOptions) -> Vec<RuleReport> 
 /// decided equivalent. This is the N-thousand-pair scale workload that
 /// makes batching and indexing costs visible.
 pub fn decide_cq_pairs(pairs: &[(Cq, Cq)]) -> usize {
+    decide_cq_pairs_stats(pairs).0
+}
+
+/// [`decide_cq_pairs`] that also reports the batch decider's
+/// [`cq::containment::SearchStats`] — the `containment_scale` series.
+pub fn decide_cq_pairs_stats(pairs: &[(Cq, Cq)]) -> (usize, cq::containment::SearchStats) {
     let mut queries = Vec::with_capacity(pairs.len() * 2);
     let mut index_pairs = Vec::with_capacity(pairs.len());
     for (a, b) in pairs {
-        queries.push(a.clone());
-        queries.push(b.clone());
+        queries.push(a);
+        queries.push(b);
         index_pairs.push((queries.len() - 2, queries.len() - 1));
     }
-    cq::containment::equivalent_set_batch(&queries, &index_pairs)
-        .into_iter()
-        .filter(|&eq| eq)
-        .count()
+    let (verdicts, stats) = cq::containment::equivalent_set_batch_stats_ref(&queries, &index_pairs);
+    (verdicts.into_iter().filter(|&eq| eq).count(), stats)
 }
 
 /// The certified-optimizer scale corpus: a seeded batch of generated
@@ -332,6 +336,44 @@ pub fn optimize_corpus(
         summary.cost_after += r.cost_after;
     }
     summary
+}
+
+/// Corpus for the `containment_scale` series: `n` equivalent CQ pairs
+/// decorated so the containment search's per-relation bitset indexes
+/// have something to prune. Each side gains three same-relation `K`
+/// atoms over its own head variable — one unary, two binary with
+/// *different* constants — so every `K` goal atom faces candidates that
+/// mismatch on arity or on a constant position. Both sides get the same
+/// decoration, so pair equivalence is preserved (the α-rename between
+/// them extends trivially). Returns the flat query list plus the
+/// `(lhs, rhs)` index pairs for the batch decider.
+pub fn containment_corpus(seed: u64, n: usize) -> (Vec<Cq>, Vec<(usize, usize)>) {
+    use cq::{CqAtom, CqTerm};
+    use relalg::Value;
+    let pairs = cq::generate::equivalent_pairs(seed, n);
+    let mut queries = Vec::with_capacity(2 * n);
+    let mut index_pairs = Vec::with_capacity(n);
+    for (i, (a, b)) in pairs.into_iter().enumerate() {
+        let c1 = Value::Int((i % 4) as i64);
+        let c2 = Value::Int(((i % 4) + 4) as i64);
+        let decorate = |mut q: Cq| {
+            let head = q.head[0].clone();
+            q.atoms.push(CqAtom::new(
+                "K",
+                vec![head.clone(), CqTerm::Const(c1.clone())],
+            ));
+            q.atoms.push(CqAtom::new(
+                "K",
+                vec![head.clone(), CqTerm::Const(c2.clone())],
+            ));
+            q.atoms.push(CqAtom::new("K", vec![head]));
+            q
+        };
+        queries.push(decorate(a));
+        queries.push(decorate(b));
+        index_pairs.push((2 * i, 2 * i + 1));
+    }
+    (queries, index_pairs)
 }
 
 /// Corpus for the `session_vs_fresh` series: `goals` equivalence goals

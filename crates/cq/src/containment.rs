@@ -6,10 +6,27 @@
 //! NP-complete (Fig. 9); the implementation is a backtracking search over
 //! atom images with forward-checking on the variable assignment.
 //!
+//! Two layers keep the search fast without changing a single verdict:
+//!
+//! * **Bitset candidate indexes** — [`prepare`] builds, per relation, a
+//!   bitset over that relation's body atoms for every arity and for every
+//!   `(position, constant)` occurrence. A containment check intersects
+//!   those words once per goal atom, so the backtracking loop only ever
+//!   visits candidates that could possibly match, instead of re-scanning
+//!   (and arity-checking) the full atom list at every search node. The
+//!   filters only remove candidates the old scan would have rejected
+//!   anyway, so the first witness found — and therefore the returned
+//!   [`Homomorphism`] — is bit-identical to the plain scan's.
+//! * **Trail-based backtracking** — variable bindings live in a dense
+//!   slot array with an undo trail; backtracking pops the trail instead
+//!   of cloning the whole assignment map per candidate.
+//!
 //! The homomorphism witness is returned explicitly: printed, it is the
-//! arrow diagram of Fig. 10.
+//! arrow diagram of Fig. 10. [`SearchStats`] reports how much work the
+//! bitsets saved (the `containment_scale` BENCH series plots it).
 
 use crate::{Cq, CqAtom, CqTerm};
+use relalg::Value;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -43,10 +60,285 @@ impl fmt::Display for Homomorphism {
     }
 }
 
+/// Deterministic work counters for the homomorphism search. Candidate
+/// accounting is static per (goal, target) pair — the bitsets are built
+/// before the search runs — so repeated runs over the same corpus report
+/// the same numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Containment checks that got past the head-width guard.
+    pub checks: u64,
+    /// Candidate atoms a full per-goal-atom scan would have visited
+    /// (sum of same-relation body atom counts over all goal atoms).
+    pub candidates_total: u64,
+    /// Candidates the bitset intersection excluded before the search
+    /// (arity mismatch or constant-position mismatch).
+    pub bitset_pruned: u64,
+    /// Candidates the backtracking search actually attempted.
+    pub candidates_scanned: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another stats bag into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.checks += other.checks;
+        self.candidates_total += other.candidates_total;
+        self.bitset_pruned += other.bitset_pruned;
+        self.candidates_scanned += other.candidates_scanned;
+    }
+}
+
+/// A bitset over one relation's candidate atoms. Up to 64 candidates —
+/// effectively every real query — live inline in one word; larger
+/// bodies spill into a vector. Cloning/intersecting the inline form is
+/// allocation-free, which keeps [`prepare`] cheap on small queries.
+#[derive(Clone, Debug, Default)]
+struct Mask {
+    head: u64,
+    spill: Vec<u64>,
+}
+
+impl Mask {
+    fn empty(len: usize) -> Mask {
+        Mask {
+            head: 0,
+            spill: vec![0; len.div_ceil(64).saturating_sub(1)],
+        }
+    }
+
+    /// All candidates live: the identity of [`Mask::intersect`].
+    fn all(len: usize) -> Mask {
+        let mut m = Mask::empty(len);
+        m.head = ones_below(len.min(64));
+        for (w, chunk) in m.spill.iter_mut().zip((64..len).step_by(64)) {
+            *w = ones_below((len - chunk).min(64));
+        }
+        m
+    }
+
+    fn set(&mut self, i: usize) {
+        if i < 64 {
+            self.head |= 1u64 << i;
+        } else {
+            self.spill[i / 64 - 1] |= 1u64 << (i % 64);
+        }
+    }
+
+    fn intersect(&mut self, other: &Mask) {
+        self.head &= other.head;
+        for (a, b) in self.spill.iter_mut().zip(&other.spill) {
+            *a &= b;
+        }
+    }
+
+    fn count(&self) -> u64 {
+        u64::from(self.head.count_ones())
+            + self
+                .spill
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum::<u64>()
+    }
+}
+
+/// The low `n` bits set (`n ≤ 64`).
+fn ones_below(n: usize) -> u64 {
+    match n {
+        64 => u64::MAX,
+        n => (1u64 << n) - 1,
+    }
+}
+
+/// One relation's candidate group inside a [`PreparedCq`]: a contiguous
+/// run of the flat candidate-atom array plus the static bitset filters a
+/// goal atom intersects before searching. The filter tables are built
+/// lazily — `None` when they could never prune (all candidates share one
+/// arity / carry no constants), which is the common case and keeps
+/// [`prepare`] allocation-light.
+#[derive(Clone, Debug)]
+struct RelGroup<'a> {
+    rel: &'a str,
+    /// Offset of this group's run in `PreparedCq::atoms`.
+    start: u32,
+    /// Number of candidate atoms in the run.
+    len: u32,
+    /// The uniform arity when `arity_masks` is `None`.
+    arity: u32,
+    /// Candidates disagree on arity (tracked while grouping, so the
+    /// common uniform case skips mask building entirely).
+    mixed: bool,
+    /// Some candidate carries a constant.
+    any_const: bool,
+    /// `(arity, candidates with that arity)`; `None` when uniform.
+    arity_masks: Option<Vec<(usize, Mask)>>,
+    /// `(position, constant, candidates with that constant there)`;
+    /// `None` when no candidate carries a constant.
+    const_masks: Option<Vec<(u32, &'a Value, Mask)>>,
+}
+
+impl<'a> RelGroup<'a> {
+    /// Builds the lazy filter tables over this group's candidate run
+    /// (bit indexes are group-relative). Only called for groups whose
+    /// grouping-time flags say a filter could prune.
+    fn build_masks(&mut self, atoms: &[&'a CqAtom]) {
+        let n = atoms.len();
+        self.arity_masks = self.mixed.then(|| {
+            let mut masks: Vec<(usize, Mask)> = Vec::new();
+            for (i, atom) in atoms.iter().enumerate() {
+                let k = atom.terms.len();
+                match masks.iter_mut().find(|(a, _)| *a == k) {
+                    Some((_, mask)) => mask.set(i),
+                    None => {
+                        let mut mask = Mask::empty(n);
+                        mask.set(i);
+                        masks.push((k, mask));
+                    }
+                }
+            }
+            masks
+        });
+        self.const_masks = self.any_const.then(|| {
+            let mut masks: Vec<(u32, &'a Value, Mask)> = Vec::new();
+            for (i, atom) in atoms.iter().enumerate() {
+                for (p, t) in atom.terms.iter().enumerate() {
+                    if let CqTerm::Const(c) = t {
+                        let p = p as u32;
+                        match masks.iter_mut().find(|(q, v, _)| *q == p && *v == c) {
+                            Some((_, _, mask)) => mask.set(i),
+                            None => {
+                                let mut mask = Mask::empty(n);
+                                mask.set(i);
+                                masks.push((p, c, mask));
+                            }
+                        }
+                    }
+                }
+            }
+            masks
+        });
+    }
+
+    /// Candidate set for one goal atom: arity filter ∩ constant
+    /// filters. Every candidate removed here is one the term matcher
+    /// would have rejected (arity mismatch, or a Const/Const or
+    /// Const/Var mismatch independent of any variable bindings). The
+    /// common no-filter case (uniform arity, no constants anywhere)
+    /// costs no mask construction at all.
+    fn candidates(&self, atom: &CqAtom) -> Candidates {
+        let goal_consts = atom.terms.iter().any(|t| matches!(t, CqTerm::Const(_)));
+        let mut mask = match &self.arity_masks {
+            Some(masks) => match masks.iter().find(|(a, _)| *a == atom.terms.len()) {
+                Some((_, m)) => m.clone(),
+                None => return Candidates::None,
+            },
+            None if atom.terms.len() as u32 != self.arity => return Candidates::None,
+            None if self.const_masks.is_none() && !goal_consts => {
+                // Nothing can prune: every body atom is a candidate.
+                return Candidates::All(self.len);
+            }
+            None => Mask::all(self.len as usize),
+        };
+        if let Some(masks) = &self.const_masks {
+            for (p, t) in atom.terms.iter().enumerate() {
+                if let CqTerm::Const(c) = t {
+                    match masks.iter().find(|(q, v, _)| *q == p as u32 && *v == c) {
+                        Some((_, _, m)) => mask.intersect(m),
+                        None => return Candidates::None,
+                    }
+                }
+            }
+        } else if goal_consts {
+            // Goal demands a constant no candidate carries.
+            return Candidates::None;
+        }
+        Candidates::Mask(mask)
+    }
+}
+
+/// A goal atom's candidate set, with the no-filter case kept symbolic
+/// so the hot path never touches bitset words.
+enum Candidates {
+    /// Every body atom of the relation is live.
+    All(u32),
+    /// The bitset intersection pruned some candidates.
+    Mask(Mask),
+    /// No candidate can match (dead goal atom).
+    None,
+}
+
+impl Candidates {
+    #[inline]
+    fn live(&self) -> u64 {
+        match self {
+            Candidates::All(n) => u64::from(*n),
+            Candidates::Mask(m) => m.count(),
+            Candidates::None => 0,
+        }
+    }
+}
+
+/// Borrow-free iteration state over one [`Candidates`] set, so the
+/// iterative search can keep a reusable stack of these in [`Scratch`]
+/// without tying lifetimes to the plan slice. Candidates come out in
+/// increasing body-atom order, so the first witness found matches the
+/// unindexed scan's.
+enum Cursor {
+    Range { pos: u32, n: u32 },
+    Bits { word: u64, spill_pos: u32 },
+}
+
+impl Cursor {
+    fn start(c: &Candidates) -> Cursor {
+        match c {
+            Candidates::All(n) => Cursor::Range { pos: 0, n: *n },
+            Candidates::Mask(m) => Cursor::Bits {
+                word: m.head,
+                spill_pos: 0,
+            },
+            Candidates::None => Cursor::Range { pos: 0, n: 0 },
+        }
+    }
+
+    /// Next candidate index in body order, refilling spill words from
+    /// the candidate set this cursor was started on.
+    #[inline]
+    fn next(&mut self, c: &Candidates) -> Option<usize> {
+        match self {
+            Cursor::Range { pos, n } => {
+                if pos < n {
+                    let i = *pos as usize;
+                    *pos += 1;
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+            Cursor::Bits { word, spill_pos } => {
+                let spill: &[u64] = match c {
+                    Candidates::Mask(m) => &m.spill,
+                    _ => &[],
+                };
+                loop {
+                    if *word != 0 {
+                        let bit = word.trailing_zeros() as usize;
+                        *word &= *word - 1;
+                        return Some(*spill_pos as usize * 64 + bit);
+                    }
+                    if *spill_pos as usize >= spill.len() {
+                        return None;
+                    }
+                    *word = spill[*spill_pos as usize];
+                    *spill_pos += 1;
+                }
+            }
+        }
+    }
+}
+
 /// A conjunctive query with its homomorphism-target side index built:
-/// body atoms grouped by relation name, so the backtracking search asks
-/// "candidate images of `R(…)`" in one map lookup instead of scanning
-/// the whole body per goal atom.
+/// body atoms grouped by relation name with per-arity and per-constant
+/// candidate bitsets, so the backtracking search intersects words
+/// instead of scanning the whole body per goal atom.
 ///
 /// Preparing is the batching primitive: when one query participates in
 /// many containment checks (catalog proving, script goals, UCQ
@@ -55,21 +347,64 @@ impl fmt::Display for Homomorphism {
 pub struct PreparedCq<'a> {
     /// The underlying query.
     pub cq: &'a Cq,
-    by_rel: BTreeMap<&'a str, Vec<&'a CqAtom>>,
+    /// All body atoms, grouped into contiguous same-relation runs
+    /// (within a run, body order is preserved).
+    atoms: Vec<&'a CqAtom>,
+    /// Relation groups in first-occurrence order; queries touch a
+    /// handful of relations, so a linear scan beats a tree here.
+    groups: Vec<RelGroup<'a>>,
 }
 
 /// Builds the containment-target index of a query.
 pub fn prepare(cq: &Cq) -> PreparedCq<'_> {
-    let mut by_rel: BTreeMap<&str, Vec<&CqAtom>> = BTreeMap::new();
+    let mut atoms: Vec<&CqAtom> = Vec::with_capacity(cq.atoms.len());
+    let mut groups: Vec<RelGroup<'_>> = Vec::new();
     for atom in &cq.atoms {
-        by_rel.entry(atom.rel.as_str()).or_default().push(atom);
+        let has_const = atom.terms.iter().any(|t| matches!(t, CqTerm::Const(_)));
+        match groups.iter().position(|g| g.rel == atom.rel) {
+            Some(g) => {
+                // Insert at the end of the group's run; later runs (all
+                // groups appear in first-occurrence order) shift right.
+                let at = (groups[g].start + groups[g].len) as usize;
+                atoms.insert(at, atom);
+                groups[g].len += 1;
+                groups[g].mixed |= atom.terms.len() as u32 != groups[g].arity;
+                groups[g].any_const |= has_const;
+                for h in &mut groups[g + 1..] {
+                    h.start += 1;
+                }
+            }
+            None => {
+                groups.push(RelGroup {
+                    rel: atom.rel.as_str(),
+                    start: atoms.len() as u32,
+                    len: 1,
+                    arity: atom.terms.len() as u32,
+                    mixed: false,
+                    any_const: has_const,
+                    arity_masks: None,
+                    const_masks: None,
+                });
+                atoms.push(atom);
+            }
+        }
     }
-    PreparedCq { cq, by_rel }
+    for g in &mut groups {
+        if g.mixed || g.any_const {
+            let run = &atoms[g.start as usize..(g.start + g.len) as usize];
+            g.build_masks(run);
+        }
+    }
+    PreparedCq { cq, atoms, groups }
 }
 
-impl PreparedCq<'_> {
-    fn candidates(&self, rel: &str) -> &[&CqAtom] {
-        self.by_rel.get(rel).map(Vec::as_slice).unwrap_or(&[])
+impl<'q> PreparedCq<'q> {
+    fn group<'p>(&'p self, rel: &str) -> Option<&'p RelGroup<'q>> {
+        self.groups.iter().find(|g| g.rel == rel)
+    }
+
+    fn run<'p>(&'p self, g: &RelGroup<'q>) -> &'p [&'q CqAtom] {
+        &self.atoms[g.start as usize..(g.start + g.len) as usize]
     }
 }
 
@@ -81,21 +416,130 @@ pub fn containment_witness(sub: &Cq, sup: &Cq) -> Option<Homomorphism> {
 
 /// [`containment_witness`] against a pre-indexed `sub` side.
 pub fn containment_witness_prepared(sub: &PreparedCq<'_>, sup: &Cq) -> Option<Homomorphism> {
-    if sub.cq.head.len() != sup.head.len() {
+    containment_witness_stats(sub, sup, &mut SearchStats::default())
+}
+
+/// [`containment_witness_prepared`] that also accumulates search work
+/// counters into `stats`.
+pub fn containment_witness_stats(
+    sub: &PreparedCq<'_>,
+    sup: &Cq,
+    stats: &mut SearchStats,
+) -> Option<Homomorphism> {
+    let mut scratch = Scratch::default();
+    if !contained_core(sub, sup, stats, &mut scratch) {
         return None;
     }
-    let mut h = Homomorphism::default();
-    // The head must map exactly.
-    for (hsup, hsub) in sup.head.iter().zip(&sub.cq.head) {
-        if !extend(&mut h, hsup, hsub) {
-            return None;
+    let mut map = BTreeMap::new();
+    for (s, v) in scratch.slots.iter().enumerate() {
+        if let Some(t) = scratch.bind[s] {
+            map.insert(*v, t.clone());
         }
     }
-    if search(&mut h, &sup.atoms, 0, sub) {
-        Some(h)
-    } else {
-        None
+    Some(Homomorphism { map })
+}
+
+/// A goal-atom term, compiled against the slot table once per check so
+/// the candidate loop never re-resolves variables.
+#[derive(Clone, Copy)]
+enum TermPlan<'q> {
+    /// Goal constant: the candidate term must be this exact constant.
+    Const(&'q Value),
+    /// Goal variable, resolved to its dense slot.
+    Slot(u32),
+}
+
+/// Reusable search state: one instance serves a whole batch, so the
+/// per-check cost is clearing lengths, not reallocating. All bound
+/// terms borrow from the batch's query slice (`'q`); plans borrow the
+/// prepared indexes (`'p`).
+#[derive(Default)]
+struct Scratch<'q, 'p> {
+    slots: Vec<u32>,
+    bind: Vec<Option<&'q CqTerm>>,
+    trail: Vec<u32>,
+    plans: Vec<(&'p [&'q CqAtom], Candidates, u32)>,
+    tplans: Vec<TermPlan<'q>>,
+    cursors: Vec<(Cursor, u32)>,
+}
+
+/// The containment check proper. On success the witness is readable
+/// from `scratch` (`slots[i]` bound to `bind[i]`); the boolean batch
+/// path never materializes it.
+fn contained_core<'q, 'p>(
+    sub: &'p PreparedCq<'q>,
+    sup: &'q Cq,
+    stats: &mut SearchStats,
+    scratch: &mut Scratch<'q, 'p>,
+) -> bool {
+    if sub.cq.head.len() != sup.head.len() {
+        return false;
     }
+    stats.checks += 1;
+    let Scratch {
+        slots,
+        bind,
+        trail,
+        plans,
+        tplans,
+        cursors,
+    } = scratch;
+    // Dense slots for the goal side's variables, in first-occurrence
+    // order (head first, then body). Goal queries hold a handful of
+    // variables, so a linear-probed list beats a map.
+    slots.clear();
+    for t in sup
+        .head
+        .iter()
+        .chain(sup.atoms.iter().flat_map(|a| a.terms.iter()))
+    {
+        if let CqTerm::Var(v) = t {
+            if !slots.contains(v) {
+                slots.push(*v);
+            }
+        }
+    }
+    bind.clear();
+    bind.resize(slots.len(), None);
+    trail.clear();
+    // The head must map exactly.
+    for (hsup, hsub) in sup.head.iter().zip(&sub.cq.head) {
+        if !extend(slots, bind, trail, hsup, hsub) {
+            return false;
+        }
+    }
+    // Intersect each goal atom's candidate bitset up front, and compile
+    // the atom's terms against the slot table. A dead atom (no
+    // candidates survive) fails the whole check immediately.
+    plans.clear();
+    tplans.clear();
+    for atom in &sup.atoms {
+        let Some(group) = sub.group(&atom.rel) else {
+            return false;
+        };
+        let total = u64::from(group.len);
+        let cands = group.candidates(atom);
+        let live = cands.live();
+        stats.candidates_total += total;
+        stats.bitset_pruned += total - live;
+        if live == 0 {
+            return false;
+        }
+        let tstart = tplans.len() as u32;
+        for t in &atom.terms {
+            tplans.push(match t {
+                CqTerm::Const(c) => TermPlan::Const(c),
+                CqTerm::Var(v) => TermPlan::Slot(
+                    slots
+                        .iter()
+                        .position(|x| x == v)
+                        .expect("every goal variable has a slot") as u32,
+                ),
+            });
+        }
+        plans.push((sub.run(group), cands, tstart));
+    }
+    search(plans, tplans, bind, trail, cursors, stats)
 }
 
 /// Decides `sub ⊆ sup` under set semantics.
@@ -130,52 +574,143 @@ pub fn equivalent_set(a: &Cq, b: &Cq) -> bool {
 ///
 /// Panics when a pair index is out of bounds.
 pub fn equivalent_set_batch(queries: &[Cq], pairs: &[(usize, usize)]) -> Vec<bool> {
-    let prepared: Vec<PreparedCq<'_>> = queries.iter().map(prepare).collect();
-    pairs
+    equivalent_set_batch_stats(queries, pairs).0
+}
+
+/// [`equivalent_set_batch`] that also reports the aggregate
+/// [`SearchStats`] across every containment check in the batch — the
+/// numbers behind the `containment_scale` BENCH series.
+///
+/// # Panics
+///
+/// Panics when a pair index is out of bounds.
+pub fn equivalent_set_batch_stats(
+    queries: &[Cq],
+    pairs: &[(usize, usize)],
+) -> (Vec<bool>, SearchStats) {
+    let refs: Vec<&Cq> = queries.iter().collect();
+    equivalent_set_batch_stats_ref(&refs, pairs)
+}
+
+/// [`equivalent_set_batch_stats`] over borrowed queries — batch callers
+/// that already own their corpus elsewhere skip cloning it into a
+/// contiguous slice.
+///
+/// # Panics
+///
+/// Panics when a pair index is out of bounds.
+pub fn equivalent_set_batch_stats_ref(
+    queries: &[&Cq],
+    pairs: &[(usize, usize)],
+) -> (Vec<bool>, SearchStats) {
+    let prepared: Vec<PreparedCq<'_>> = queries.iter().map(|q| prepare(q)).collect();
+    let mut stats = SearchStats::default();
+    let mut scratch = Scratch::default();
+    let verdicts = pairs
         .iter()
         .map(|&(i, j)| {
-            contained_in_prepared(&prepared[i], prepared[j].cq)
-                && contained_in_prepared(&prepared[j], prepared[i].cq)
+            contained_core(&prepared[i], prepared[j].cq, &mut stats, &mut scratch)
+                && contained_core(&prepared[j], prepared[i].cq, &mut stats, &mut scratch)
         })
-        .collect()
+        .collect();
+    (verdicts, stats)
 }
 
-fn extend(h: &mut Homomorphism, from: &CqTerm, to: &CqTerm) -> bool {
+fn extend<'s>(
+    slots: &[u32],
+    bind: &mut [Option<&'s CqTerm>],
+    trail: &mut Vec<u32>,
+    from: &CqTerm,
+    to: &'s CqTerm,
+) -> bool {
     match from {
-        CqTerm::Const(c) => match to {
-            CqTerm::Const(d) => c == d,
-            CqTerm::Var(_) => false,
-        },
-        CqTerm::Var(v) => match h.map.get(v) {
-            Some(existing) => existing == to,
-            None => {
-                h.map.insert(*v, to.clone());
-                true
+        CqTerm::Const(c) => matches!(to, CqTerm::Const(d) if c == d),
+        CqTerm::Var(v) => {
+            let s = slots
+                .iter()
+                .position(|x| x == v)
+                .expect("every goal variable has a slot") as u32;
+            match bind[s as usize] {
+                Some(existing) => existing == to,
+                None => {
+                    bind[s as usize] = Some(to);
+                    trail.push(s);
+                    true
+                }
             }
-        },
+        }
     }
 }
 
-fn search(h: &mut Homomorphism, goal_atoms: &[CqAtom], i: usize, body: &PreparedCq<'_>) -> bool {
-    let Some(atom) = goal_atoms.get(i) else {
+/// The backtracking loop, iterative with an explicit cursor stack: one
+/// `(cursor, trail mark)` frame per goal atom. Candidates are explored
+/// in exactly the order the recursive formulation would — cursor
+/// advancement is depth-first with in-body-order candidates — so the
+/// first witness (left in `bind` on success) is unchanged.
+fn search<'q>(
+    plans: &[(&[&'q CqAtom], Candidates, u32)],
+    tplans: &[TermPlan<'q>],
+    bind: &mut [Option<&'q CqTerm>],
+    trail: &mut Vec<u32>,
+    cursors: &mut Vec<(Cursor, u32)>,
+    stats: &mut SearchStats,
+) -> bool {
+    if plans.is_empty() {
         return true;
-    };
-    for target in body.candidates(&atom.rel) {
-        if target.terms.len() != atom.terms.len() {
-            continue;
-        }
-        let saved = h.map.clone();
-        let ok = atom
-            .terms
-            .iter()
-            .zip(&target.terms)
-            .all(|(from, to)| extend(h, from, to));
-        if ok && search(h, goal_atoms, i + 1, body) {
-            return true;
-        }
-        h.map = saved;
     }
-    false
+    cursors.clear();
+    cursors.push((Cursor::start(&plans[0].1), trail.len() as u32));
+    let mut depth = 0;
+    'descend: loop {
+        // Everything depth-dependent is loaded once per depth change,
+        // not once per candidate.
+        let (run, cands, tstart) = &plans[depth];
+        let tplan = &tplans[*tstart as usize..];
+        let (cursor, mark) = cursors.last_mut().expect("stack is non-empty");
+        let mark = *mark as usize;
+        loop {
+            // Undo whatever the previous candidate at this depth bound.
+            while trail.len() > mark {
+                let s = trail.pop().expect("trail entries above mark");
+                bind[s as usize] = None;
+            }
+            let Some(cand) = cursor.next(cands) else {
+                cursors.pop();
+                if cursors.is_empty() {
+                    return false;
+                }
+                depth -= 1;
+                continue 'descend;
+            };
+            stats.candidates_scanned += 1;
+            let target = run[cand];
+            // The arity filter guarantees every candidate's term count
+            // equals the goal atom's, so the zip pairs them exactly.
+            let ok = target
+                .terms
+                .iter()
+                .zip(tplan)
+                .all(|(to, &plan)| match plan {
+                    TermPlan::Const(c) => matches!(to, CqTerm::Const(d) if d == c),
+                    TermPlan::Slot(s) => match bind[s as usize] {
+                        Some(existing) => existing == to,
+                        None => {
+                            bind[s as usize] = Some(to);
+                            trail.push(s);
+                            true
+                        }
+                    },
+                });
+            if ok {
+                if depth + 1 == plans.len() {
+                    return true;
+                }
+                depth += 1;
+                cursors.push((Cursor::start(&plans[depth].1), trail.len() as u32));
+                continue 'descend;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -346,5 +881,57 @@ mod tests {
         let (_, bwd) = equivalent_set_witness(&q2, &q3).unwrap();
         let shown = bwd.to_string();
         assert!(shown.contains("↦"), "{shown}");
+    }
+
+    #[test]
+    fn batch_stats_are_deterministic_and_prune() {
+        // Constants in distinct positions give the bitset filters
+        // something to cut: only one of the three R atoms can ever host
+        // the goal's `R(x, 5)`.
+        let q_const = Cq::new(
+            vec![v(0)],
+            vec![CqAtom::new("R", vec![v(0), CqTerm::Const(Value::Int(5))])],
+        );
+        let wide = Cq::new(
+            vec![v(0)],
+            vec![
+                CqAtom::new("R", vec![v(0), CqTerm::Const(Value::Int(7))]),
+                CqAtom::new("R", vec![v(0), CqTerm::Const(Value::Int(5))]),
+                CqAtom::new("R", vec![v(0), v(1)]),
+            ],
+        );
+        let queries = vec![q_const, wide];
+        let pairs = vec![(0, 1), (1, 0)];
+        let (verdicts, stats) = equivalent_set_batch_stats(&queries, &pairs);
+        let (again, stats2) = equivalent_set_batch_stats(&queries, &pairs);
+        assert_eq!(verdicts, again);
+        assert_eq!(stats, stats2, "stats must be deterministic");
+        assert!(stats.bitset_pruned > 0, "{stats:?}");
+        // Pruned candidates are never scanned; the search may revisit a
+        // live candidate while backtracking, but here the masks leave a
+        // single live candidate per goal atom, so scanned ≤ live.
+        assert!(
+            stats.bitset_pruned + stats.candidates_scanned <= stats.candidates_total,
+            "{stats:?}"
+        );
+        assert!(stats.checks >= pairs.len() as u64, "{stats:?}");
+    }
+
+    #[test]
+    fn bitset_search_matches_generated_corpus_decisions() {
+        // Cross-check the indexed search against fresh pairwise calls
+        // (which rebuild indexes per call) on a generated corpus.
+        let pairs = crate::generate::equivalent_pairs(0xC0FFEE, 24);
+        for (a, b) in &pairs {
+            assert!(equivalent_set(a, b), "generated pair must stay equivalent");
+            let (fwd, bwd) = equivalent_set_witness(a, b).expect("witness");
+            // Witnesses respect the head exactly.
+            for (hb, ha) in b.head.iter().zip(&a.head) {
+                assert_eq!(&fwd.apply(hb), ha);
+            }
+            for (ha, hb) in a.head.iter().zip(&b.head) {
+                assert_eq!(&bwd.apply(ha), hb);
+            }
+        }
     }
 }

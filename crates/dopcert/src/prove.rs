@@ -278,6 +278,16 @@ pub fn verify_instance_session(
     opts: ProveOptions,
 ) -> Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)> {
     let bail = |msg: String| (msg, Vec::new());
+    // Query-level verdict memo: for axiom-free goals the whole pipeline
+    // — denotation, typing, tactics, saturation — is a deterministic
+    // function of (env, lhs, rhs), so a repeated query pair is answered
+    // here, before the denote/infer work the denotation-keyed layer
+    // below still pays.
+    if let Some(session) = session.as_deref_mut() {
+        if let Some(verdict) = session.lookup_query(inst, opts) {
+            return verdict;
+        }
+    }
     let mut gen = VarGen::new();
     let (t, el) = denote_closed_query(&inst.lhs, &inst.env, &mut gen)
         .map_err(|e| bail(format!("lhs: {e}")))?;
@@ -313,6 +323,7 @@ pub fn verify_instance_session(
     if memoizable {
         if let Some(session) = session {
             session.record(&el, &er, opts, verdict.clone());
+            session.record_query(inst, opts, verdict.clone());
         }
     }
     verdict

@@ -2,15 +2,18 @@
 //! [`egraph::Session`].
 //!
 //! The batch engine keeps ONE [`ProveSession`] per worker for its whole
-//! shard. It layers a *verdict memo* over the e-graph session: a goal is
-//! keyed by its raw denotations (which are deterministic per query pair
-//! — every instance denotes over a fresh `VarGen`), and the recorded
-//! answer is the full [`verify_instance`](crate::prove::verify_instance)
-//! result — method, step count, attempted list, or failure diagnostics.
-//! Because the underlying pipeline is deterministic, a memo hit is
-//! byte-identical to recomputation; repeated goals across a batch (the
-//! common case in production query traffic) skip normalization, tactics,
-//! and saturation entirely.
+//! shard. It layers a two-level *verdict memo* over the e-graph session.
+//! The outer level keys on the surface query pair + table environment
+//! and answers before the pipeline runs at all; the inner level keys on
+//! the raw denotations (which are deterministic per query pair — every
+//! instance denotes over a fresh `VarGen`) and catches distinct query
+//! texts with equal denotations. The recorded answer is the full
+//! [`verify_instance`](crate::prove::verify_instance) result — method,
+//! step count, attempted list, or failure diagnostics. Because the
+//! underlying pipeline is deterministic, a memo hit is byte-identical to
+//! recomputation; repeated goals across a batch (the common case in
+//! production query traffic) skip denotation, type inference,
+//! normalization, tactics, and saturation entirely.
 //!
 //! The embedded [`egraph::Session`] additionally collects every
 //! saturation goal's sides as seeds of one shared multi-seed graph,
@@ -18,8 +21,10 @@
 //! ([`discover_catalog`], `dopcert catalog --discover`).
 
 use crate::prove::{denote_instance, ProveOptions, VerifyMethod};
-use crate::rule::Rule;
+use crate::rule::{Rule, RuleInstance};
 use egraph::session::Session;
+use hottsql::ast::Query;
+use relalg::Schema;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,8 +36,31 @@ use uninomial::UExpr;
 /// [`verify_instance`](crate::prove::verify_instance) returns.
 pub type Verdict = Result<(VerifyMethod, usize, Vec<String>), (String, Vec<String>)>;
 
-/// A persistent per-worker proving session: verdict memo over raw
-/// denotations plus the shared saturation session.
+/// Key of the query-level memo: the surface query pair plus the table
+/// environment it types under. Everything the pipeline computes for an
+/// axiom-free goal — denotation, typing, tactics, saturation — is a
+/// deterministic function of this triple.
+type QueryKey = (Query, Query, Vec<(String, Schema)>);
+
+fn query_key(inst: &RuleInstance) -> QueryKey {
+    (
+        inst.lhs.clone(),
+        inst.rhs.clone(),
+        inst.env
+            .tables()
+            .map(|(name, schema)| (name.clone(), schema.clone()))
+            .collect(),
+    )
+}
+
+/// A persistent per-worker proving session: a two-level verdict memo
+/// (surface query pairs, then raw denotations) plus the shared
+/// saturation session.
+///
+/// The query-level memo is the hot-path layer: a repeated goal is
+/// answered before any denotation or type inference runs. The
+/// denotation-level memo stays underneath it to catch distinct query
+/// texts that denote to the same trees.
 #[derive(Debug)]
 pub struct ProveSession {
     /// The underlying multi-seed saturation session.
@@ -43,6 +71,7 @@ pub struct ProveSession {
     opts: ProveOptions,
     interner: Interner,
     verdicts: HashMap<(UExprId, UExprId), Verdict>,
+    query_verdicts: HashMap<QueryKey, Verdict>,
     hits: usize,
     publish: Option<Arc<AtomicUsize>>,
 }
@@ -56,6 +85,7 @@ impl ProveSession {
             opts,
             interner: Interner::new(),
             verdicts: HashMap::new(),
+            query_verdicts: HashMap::new(),
             hits: 0,
             publish: None,
         }
@@ -105,6 +135,37 @@ impl ProveSession {
         }
         let key = (self.interner.intern(el), self.interner.intern(er));
         self.verdicts.insert(key, verdict);
+    }
+
+    /// Looks up the recorded verdict for a whole instance *before any
+    /// denotation or typing runs* — the fast path for repeated query
+    /// traffic. Same admission rules as the denotation layer: axiom-free
+    /// goals only (declared integrity axioms are not part of the key),
+    /// and only under the options this session is bound to. Misses are
+    /// not counted here; the goal falls through to the denotation-level
+    /// [`ProveSession::lookup`], which counts it once.
+    pub fn lookup_query(&mut self, inst: &RuleInstance, opts: ProveOptions) -> Option<Verdict> {
+        if opts != self.opts || !inst.axioms.is_empty() {
+            return None;
+        }
+        let hit = self.query_verdicts.get(&query_key(inst)).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+            if let Some(sink) = &self.publish {
+                sink.store(self.hits, Ordering::Relaxed);
+            }
+            telemetry::count("memo.verdict.hit", 1);
+        }
+        hit
+    }
+
+    /// Records an instance's verdict in the query-level memo (ignored
+    /// for axiomatized goals or when the options differ).
+    pub fn record_query(&mut self, inst: &RuleInstance, opts: ProveOptions, verdict: Verdict) {
+        if opts != self.opts || !inst.axioms.is_empty() {
+            return;
+        }
+        self.query_verdicts.insert(query_key(inst), verdict);
     }
 }
 
@@ -170,6 +231,35 @@ mod tests {
         let mut tighter = opts;
         tighter.budget.max_iters = 1;
         assert!(s.lookup(&el, &er, tighter).is_none());
+    }
+
+    #[test]
+    fn query_level_memo_round_trips_and_is_option_and_axiom_bound() {
+        use crate::catalog;
+        let opts = ProveOptions::default();
+        let mut s = ProveSession::new(opts);
+        let inst = catalog::sound_rules()[0].generic();
+        assert!(inst.axioms.is_empty(), "test needs an axiom-free rule");
+        assert!(s.lookup_query(&inst, opts).is_none());
+        s.record_query(&inst, opts, Ok((VerifyMethod::Saturation, 7, vec![])));
+        let hit = s.lookup_query(&inst, opts).expect("recorded");
+        assert_eq!(hit.unwrap().1, 7);
+        assert_eq!(s.verdict_hits(), 1);
+        // Different options bypass.
+        let other = ProveOptions {
+            saturate: SaturateMode::Only,
+            ..opts
+        };
+        assert!(s.lookup_query(&inst, other).is_none());
+        // Axiomatized goals are never admitted.
+        let axiomatized = catalog::sound_rules()
+            .into_iter()
+            .map(|r| r.generic())
+            .find(|i| !i.axioms.is_empty());
+        if let Some(inst) = axiomatized {
+            s.record_query(&inst, opts, Ok((VerifyMethod::Saturation, 1, vec![])));
+            assert!(s.lookup_query(&inst, opts).is_none());
+        }
     }
 
     #[test]

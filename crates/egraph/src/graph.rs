@@ -9,7 +9,24 @@
 //! ACU-with-zero fragment of the axiom catalog is decided by the
 //! rebuild loop itself; the searching rewrites in [`crate::rewrite`]
 //! only handle the laws that genuinely change term structure.
+//!
+//! Internally nodes are stored in the compact, `Copy` form of
+//! [`crate::arena`]: interned payloads plus child-list views into a
+//! shared flat arena, so hashcons lookups, class appends, and parent
+//! registration move handles instead of deep-cloning [`ENode`]s, and
+//! congruence hashing is a handle hash (the slice hash is paid once at
+//! span interning). The public API still speaks [`ENode`].
+//!
+//! Congruence repair is *deferred* by default ([`RebuildMode::Deferred`]):
+//! [`EGraph::union`] only pushes the merged class onto a pending
+//! worklist, and [`EGraph::rebuild`] drains it to fixpoint once per
+//! saturation iteration — and, via the internal clean-guard, once
+//! before any snapshot, extraction, or explanation is taken. The
+//! rebuild-per-union baseline survives as [`RebuildMode::PerUnion`] so
+//! property tests can assert the batched path is observationally
+//! identical.
 
+use crate::arena::{CNode, NodeArena};
 use crate::lang::{node_to_term, node_to_uexpr, ENode, NameEnv};
 use crate::unionfind::{Id, Justification, UnionFind};
 use relalg::Value;
@@ -23,18 +40,36 @@ use uninomial::syntax::{Term, UExpr};
 #[derive(Clone, Debug, Default)]
 pub struct EClass {
     /// Member nodes (canonical at the time they were recorded).
-    pub nodes: Vec<ENode>,
+    nodes: Vec<CNode>,
     /// Parent nodes and the class each belongs to.
-    parents: Vec<(ENode, Id)>,
+    parents: Vec<(CNode, Id)>,
+}
+
+/// When congruence repair runs relative to unions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Unions only enqueue the merged class; [`EGraph::rebuild`] drains
+    /// the worklist once per saturation iteration (and once before any
+    /// snapshot/extraction/explanation). The shipping fast path.
+    #[default]
+    Deferred,
+    /// Every union immediately rebuilds to fixpoint — the simple
+    /// baseline the batched path must be observationally identical to.
+    PerUnion,
 }
 
 /// The e-graph.
 #[derive(Clone, Debug)]
 pub struct EGraph {
     uf: UnionFind,
+    arena: NodeArena,
     classes: HashMap<Id, EClass>,
-    hashcons: HashMap<ENode, Id>,
+    hashcons: HashMap<CNode, Id>,
     dirty: Vec<Id>,
+    rebuild_mode: RebuildMode,
+    /// Re-entrancy guard: unions performed *by* the rebuild loop are
+    /// always deferred to its own worklist, in either mode.
+    rebuilding: bool,
     n_nodes: usize,
     n_unions: usize,
     generation: u64,
@@ -47,7 +82,7 @@ enum Simplified {
     /// The node collapsed to an existing class outright.
     Alias(Id, Lemma, &'static str),
     /// The (possibly rewritten) node stands on its own.
-    Node(ENode),
+    Node(CNode),
 }
 
 /// Hard cap on n-ary node width; flattening stops growing beyond it.
@@ -64,9 +99,12 @@ impl EGraph {
     pub fn new() -> EGraph {
         let mut eg = EGraph {
             uf: UnionFind::new(),
+            arena: NodeArena::new(),
             classes: HashMap::new(),
             hashcons: HashMap::new(),
             dirty: Vec::new(),
+            rebuild_mode: RebuildMode::Deferred,
+            rebuilding: false,
             n_nodes: 0,
             n_unions: 0,
             generation: 0,
@@ -75,12 +113,12 @@ impl EGraph {
         };
         // Bootstrap the constant classes directly — `add` consults them
         // during simplification, so they must exist first.
-        for node in [ENode::Zero, ENode::One] {
+        for node in [CNode::Zero, CNode::One] {
             let id = eg.uf.make_set();
-            eg.classes.entry(id).or_default().nodes.push(node.clone());
-            eg.hashcons.insert(node.clone(), id);
+            eg.classes.entry(id).or_default().nodes.push(node);
+            eg.hashcons.insert(node, id);
             eg.n_nodes += 1;
-            if node == ENode::Zero {
+            if node == CNode::Zero {
                 eg.zero = id;
             } else {
                 eg.one = id;
@@ -130,6 +168,17 @@ impl EGraph {
         self.generation
     }
 
+    /// The active [`RebuildMode`].
+    pub fn rebuild_mode(&self) -> RebuildMode {
+        self.rebuild_mode
+    }
+
+    /// Selects when congruence repair runs. [`RebuildMode::PerUnion`]
+    /// exists for differential testing against the batched default.
+    pub fn set_rebuild_mode(&mut self, mode: RebuildMode) {
+        self.rebuild_mode = mode;
+    }
+
     /// Canonical representative of a class id.
     pub fn find(&mut self, id: Id) -> Id {
         self.uf.find(id)
@@ -143,10 +192,10 @@ impl EGraph {
     /// The member nodes of the class of `id`.
     pub fn class_nodes(&mut self, id: Id) -> Vec<ENode> {
         let id = self.uf.find(id);
-        self.classes
-            .get(&id)
-            .map(|c| c.nodes.clone())
-            .unwrap_or_default()
+        match self.classes.get(&id) {
+            Some(c) => c.nodes.iter().map(|&n| self.arena.enode(n)).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// All canonical class ids (post-rebuild snapshot).
@@ -163,7 +212,16 @@ impl EGraph {
     /// class id. Theory simplification may collapse it to an existing
     /// class without creating a node.
     pub fn add(&mut self, node: ENode) -> Id {
-        let node = node.map_children(|c| self.uf.find(c));
+        let node = {
+            let EGraph { uf, arena, .. } = self;
+            arena.intern(&node, |c| uf.find(c))
+        };
+        self.add_compact(node)
+    }
+
+    /// [`EGraph::add`] after payload interning and child
+    /// canonicalization.
+    fn add_compact(&mut self, node: CNode) -> Id {
         match self.simplify(node) {
             Simplified::Alias(id, _, _) => self.uf.find(id),
             Simplified::Node(node) => {
@@ -171,15 +229,17 @@ impl EGraph {
                     return self.uf.find(id);
                 }
                 let id = self.uf.make_set();
-                for child in node.children() {
+                let mut kids = Vec::new();
+                self.arena.push_children(node, &mut kids);
+                for child in kids {
                     self.classes
                         .entry(child)
                         .or_default()
                         .parents
-                        .push((node.clone(), id));
+                        .push((node, id));
                 }
                 let class = self.classes.entry(id).or_default();
-                class.nodes.push(node.clone());
+                class.nodes.push(node);
                 self.hashcons.insert(node, id);
                 self.n_nodes += 1;
                 self.generation += 1;
@@ -189,11 +249,12 @@ impl EGraph {
     }
 
     /// Theory-aware canonicalization. `node`'s children are canonical.
-    fn simplify(&mut self, node: ENode) -> Simplified {
+    fn simplify(&mut self, node: CNode) -> Simplified {
         let zero = self.uf.find(self.zero);
         let one = self.uf.find(self.one);
         match node {
-            ENode::Mul(xs) => {
+            CNode::Mul(s) => {
+                let xs = self.arena.span_vec(s);
                 let xs = self.flatten(xs, /* mul: */ true);
                 if xs.contains(&zero) {
                     return Simplified::Alias(zero, Lemma::MulZero, "a × 0 = 0");
@@ -203,24 +264,25 @@ impl EGraph {
                 match xs.len() {
                     0 => Simplified::Alias(one, Lemma::MulAcu, "empty product is 1"),
                     1 => Simplified::Alias(xs[0], Lemma::MulAcu, "a × 1 = a"),
-                    _ => Simplified::Node(ENode::Mul(xs)),
+                    _ => Simplified::Node(CNode::Mul(self.arena.intern_span(&xs))),
                 }
             }
-            ENode::Add(xs) => {
+            CNode::Add(s) => {
+                let xs = self.arena.span_vec(s);
                 let xs = self.flatten(xs, /* mul: */ false);
                 let mut xs: Vec<Id> = xs.into_iter().filter(|&x| x != zero).collect();
                 xs.sort_unstable();
                 match xs.len() {
                     0 => Simplified::Alias(zero, Lemma::AddAcu, "empty sum is 0"),
                     1 => Simplified::Alias(xs[0], Lemma::AddAcu, "a + 0 = a"),
-                    _ => Simplified::Node(ENode::Add(xs)),
+                    _ => Simplified::Node(CNode::Add(self.arena.intern_span(&xs))),
                 }
             }
-            ENode::Eq(a, b) => {
+            CNode::Eq(a, b) => {
                 if a == b {
                     return Simplified::Alias(one, Lemma::EqRefl, "(t = t) = 1");
                 }
-                if let (Some(x), Some(y)) = (self.constant_of(a), self.constant_of(b)) {
+                if let (Some(x), Some(y)) = (self.const_id_of(a), self.const_id_of(b)) {
                     if x != y {
                         return Simplified::Alias(
                             zero,
@@ -229,44 +291,44 @@ impl EGraph {
                         );
                     }
                 }
-                Simplified::Node(ENode::Eq(a, b))
+                Simplified::Node(CNode::Eq(a, b))
             }
-            ENode::Sum(schema, body) => {
+            CNode::Sum(schema, body) => {
                 if body == zero {
                     return Simplified::Alias(zero, Lemma::SumZero, "Σx.0 = 0");
                 }
-                Simplified::Node(ENode::Sum(schema, body))
+                Simplified::Node(CNode::Sum(schema, body))
             }
-            ENode::Not(x) => {
+            CNode::Not(x) => {
                 if x == zero {
                     return Simplified::Alias(one, Lemma::NotBase, "¬0 = 1");
                 }
                 if x == one {
                     return Simplified::Alias(zero, Lemma::NotBase, "¬1 = 0");
                 }
-                Simplified::Node(ENode::Not(x))
+                Simplified::Node(CNode::Not(x))
             }
-            ENode::Squash(x) => {
+            CNode::Squash(x) => {
                 if x == zero {
                     return Simplified::Alias(zero, Lemma::SquashBase, "‖0‖ = 0");
                 }
                 if x == one {
                     return Simplified::Alias(one, Lemma::SquashBase, "‖1‖ = 1");
                 }
-                Simplified::Node(ENode::Squash(x))
+                Simplified::Node(CNode::Squash(x))
             }
-            ENode::Fst(t) => {
+            CNode::Fst(t) => {
                 // Tuple β: (a, b).1 = a.
                 if let Some((a, _)) = self.pair_of(t) {
                     return Simplified::Alias(a, Lemma::TupleBeta, "(a,b).1 = a");
                 }
-                Simplified::Node(ENode::Fst(t))
+                Simplified::Node(CNode::Fst(t))
             }
-            ENode::Snd(t) => {
+            CNode::Snd(t) => {
                 if let Some((_, b)) = self.pair_of(t) {
                     return Simplified::Alias(b, Lemma::TupleBeta, "(a,b).2 = b");
                 }
-                Simplified::Node(ENode::Snd(t))
+                Simplified::Node(CNode::Snd(t))
             }
             other => Simplified::Node(other),
         }
@@ -282,15 +344,16 @@ impl EGraph {
                 continue;
             }
             let x = self.uf.find(x);
-            let inner: Option<Vec<Id>> = self.classes.get(&x).and_then(|c| {
+            let inner: Option<crate::arena::Span> = self.classes.get(&x).and_then(|c| {
                 c.nodes.iter().find_map(|n| match (mul, n) {
-                    (true, ENode::Mul(kids)) => Some(kids.clone()),
-                    (false, ENode::Add(kids)) => Some(kids.clone()),
+                    (true, CNode::Mul(s)) => Some(*s),
+                    (false, CNode::Add(s)) => Some(*s),
                     _ => None,
                 })
             });
             match inner {
-                Some(kids) if out.len() + kids.len() <= MAX_NARY => {
+                Some(s) if out.len() + self.arena.span_len(s) <= MAX_NARY => {
+                    let kids = self.arena.span_vec(s);
                     out.extend(kids.into_iter().map(|k| self.uf.find(k)));
                 }
                 _ => out.push(x),
@@ -301,9 +364,16 @@ impl EGraph {
 
     /// The constant a term-sort class is known to equal, if any.
     pub fn constant_of(&mut self, id: Id) -> Option<Value> {
+        let v = self.const_id_of(id)?;
+        Some(self.arena.value(v).clone())
+    }
+
+    /// Interned-id form of [`EGraph::constant_of`] (payload compare
+    /// without cloning the value).
+    fn const_id_of(&mut self, id: Id) -> Option<crate::arena::ValueId> {
         let id = self.uf.find(id);
         self.classes.get(&id)?.nodes.iter().find_map(|n| match n {
-            ENode::Const(v) => Some(v.clone()),
+            CNode::Const(v) => Some(*v),
             _ => None,
         })
     }
@@ -313,14 +383,15 @@ impl EGraph {
     fn pair_of(&mut self, id: Id) -> Option<(Id, Id)> {
         let id = self.uf.find(id);
         self.classes.get(&id)?.nodes.iter().find_map(|n| match n {
-            ENode::Pair(a, b) => Some((*a, *b)),
+            CNode::Pair(a, b) => Some((*a, *b)),
             _ => None,
         })
     }
 
     /// Merges two classes with a rewrite justification. Returns whether
-    /// anything changed. Call [`EGraph::rebuild`] before the next match
-    /// phase.
+    /// anything changed. Under [`RebuildMode::Deferred`] this only
+    /// enqueues repair work — call [`EGraph::rebuild`] before the next
+    /// match phase.
     pub fn union(&mut self, a: Id, b: Id, lemma: Lemma, note: impl Into<String>) -> bool {
         self.union_detailed(a, b, lemma, note, Vec::new())
     }
@@ -357,25 +428,41 @@ impl EGraph {
         class.nodes.extend(lost.nodes);
         class.parents.extend(lost.parents);
         self.dirty.push(winner);
+        if self.rebuild_mode == RebuildMode::PerUnion && !self.rebuilding {
+            self.rebuild();
+        }
         true
+    }
+
+    /// Rebuilds now if any union left the congruence invariant pending —
+    /// the guard every snapshot/extraction/explanation entry point runs,
+    /// so deferred repair can never leak stale structure to a reader.
+    fn ensure_clean(&mut self) {
+        if !self.dirty.is_empty() {
+            self.rebuild();
+        }
     }
 
     /// Restores the congruence invariant after unions: re-canonicalizes
     /// parents of merged classes, re-simplifies them, and unions classes
     /// whose nodes collapse together. Runs to fixpoint.
     pub fn rebuild(&mut self) {
+        self.rebuilding = true;
         while let Some(id) = self.dirty.pop() {
             let id = self.uf.find(id);
             let parents = match self.classes.get_mut(&id) {
                 Some(c) => std::mem::take(&mut c.parents),
                 None => continue,
             };
-            let mut kept: Vec<(ENode, Id)> = Vec::new();
-            let mut seen: HashSet<ENode> = HashSet::new();
+            let mut kept: Vec<(CNode, Id)> = Vec::new();
+            let mut seen: HashSet<CNode> = HashSet::new();
             for (node, pid) in parents {
                 self.hashcons.remove(&node);
                 let pid = self.uf.find(pid);
-                let canon = node.map_children(|c| self.uf.find(c));
+                let canon = {
+                    let EGraph { uf, arena, .. } = self;
+                    arena.canonicalize(node, |c| uf.find(c))
+                };
                 match self.simplify(canon) {
                     Simplified::Alias(target, lemma, note) => {
                         self.union_just(
@@ -393,8 +480,12 @@ impl EGraph {
                             Some(&other) => {
                                 let other = self.uf.find(other);
                                 if other != pid {
+                                    let mut old_kids = Vec::new();
+                                    self.arena.push_children(node, &mut old_kids);
+                                    let mut new_kids = Vec::new();
+                                    self.arena.push_children(canon, &mut new_kids);
                                     let children: Vec<(Id, Id)> =
-                                        node.children().into_iter().zip(canon.children()).collect();
+                                        old_kids.into_iter().zip(new_kids).collect();
                                     self.union_just(
                                         pid,
                                         other,
@@ -406,10 +497,10 @@ impl EGraph {
                                 }
                             }
                             None => {
-                                self.hashcons.insert(canon.clone(), pid);
+                                self.hashcons.insert(canon, pid);
                             }
                         }
-                        if seen.insert(canon.clone()) {
+                        if seen.insert(canon) {
                             kept.push((canon, pid));
                         }
                     }
@@ -418,6 +509,7 @@ impl EGraph {
             let id = self.uf.find(id);
             self.classes.entry(id).or_default().parents.extend(kept);
         }
+        self.rebuilding = false;
         debug_assert!(self.dirty.is_empty());
     }
 
@@ -425,18 +517,19 @@ impl EGraph {
     /// phase of a saturation iteration. Sorted by class then node, so
     /// rewrite matching and extraction tie-breaking are deterministic
     /// (hash-map iteration order must never leak into chosen plans or
-    /// explanations).
+    /// explanations). Pending congruence repair is drained first.
     pub fn node_snapshot(&mut self) -> Vec<(ENode, Id)> {
-        let entries: Vec<(ENode, Id)> = self
-            .hashcons
-            .iter()
-            .map(|(n, &id)| (n.clone(), id))
-            .collect();
+        self.ensure_clean();
+        let entries: Vec<(CNode, Id)> = self.hashcons.iter().map(|(&n, &id)| (n, id)).collect();
         let mut canon: Vec<(ENode, Id)> = entries
             .into_iter()
             .map(|(n, id)| {
                 let id = self.uf.find(id);
-                (n.map_children(|c| self.uf.find(c)), id)
+                let cn = {
+                    let EGraph { uf, arena, .. } = self;
+                    arena.canonicalize(n, |c| uf.find(c))
+                };
+                (self.arena.enode(cn), id)
             })
             .collect();
         canon.sort_unstable_by(|(na, ia), (nb, ib)| ia.cmp(ib).then_with(|| na.cmp(nb)));
@@ -553,8 +646,10 @@ impl EGraph {
 
     /// Appends to `trace` the chain of lemma applications that merged
     /// `a` and `b`, recursing through congruence steps. Returns `false`
-    /// if the ids are not equivalent.
+    /// if the ids are not equivalent. Pending congruence repair is
+    /// drained first, so the proof forest the walk reads is final.
     pub fn explain_into(&mut self, a: Id, b: Id, trace: &mut Trace) -> bool {
+        self.ensure_clean();
         let mut seen: HashSet<(Id, Id)> = HashSet::new();
         self.explain_rec(a, b, trace, &mut seen, 0)
     }
@@ -737,5 +832,43 @@ mod tests {
         let nested = eg.add(ENode::Mul(vec![rs, t]));
         let flat = eg.add(ENode::Mul(vec![r, s, t]));
         assert!(eg.same(nested, flat), "associativity by flattening");
+    }
+
+    #[test]
+    fn per_union_mode_matches_deferred_on_congruence_cascade() {
+        // Same premise as `congruence_propagates_after_union`, but the
+        // per-union baseline needs no explicit rebuild call at all.
+        let mut eg = EGraph::new();
+        eg.set_rebuild_mode(RebuildMode::PerUnion);
+        let u = eg.add(ENode::Unit);
+        let x = eg.add(ENode::FreeVar(
+            uninomial::syntax::VarGen::new().fresh(relalg::Schema::leaf(relalg::BaseType::Int)),
+        ));
+        let ru = eg.add(ENode::Rel("R".into(), u));
+        let rx = eg.add(ENode::Rel("R".into(), x));
+        eg.union(u, x, Lemma::EqCongruence, "test premise");
+        assert!(eg.same(ru, rx), "per-union mode repairs immediately");
+    }
+
+    #[test]
+    fn snapshot_and_explain_self_clean_pending_repair() {
+        let mut eg = EGraph::new();
+        let u = eg.add(ENode::Unit);
+        let x = eg.add(ENode::FreeVar(
+            uninomial::syntax::VarGen::new().fresh(relalg::Schema::leaf(relalg::BaseType::Int)),
+        ));
+        let ru = eg.add(ENode::Rel("R".into(), u));
+        let rx = eg.add(ENode::Rel("R".into(), x));
+        eg.union(u, x, Lemma::EqCongruence, "premise");
+        // No explicit rebuild: the snapshot guard must drain the
+        // worklist, so both `R` applications land in one class.
+        let snap = eg.node_snapshot();
+        let r_classes: HashSet<Id> = snap
+            .iter()
+            .filter_map(|(n, id)| matches!(n, ENode::Rel(_, _)).then_some(*id))
+            .collect();
+        assert_eq!(r_classes.len(), 1, "snapshot self-cleans: {snap:?}");
+        let mut tr = Trace::new();
+        assert!(eg.explain_into(ru, rx, &mut tr));
     }
 }

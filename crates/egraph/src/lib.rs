@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 pub mod extract;
 pub mod graph;
 pub mod lang;
@@ -45,7 +46,7 @@ pub mod solve;
 pub mod unionfind;
 
 pub use extract::{CostFunction, TreeSize};
-pub use graph::EGraph;
+pub use graph::{EGraph, RebuildMode};
 pub use lang::ENode;
 pub use prove::{
     prove_eq_saturate, prove_eq_saturate_cached, prove_eq_saturate_session, SaturateFailure,

@@ -36,7 +36,7 @@ use uninomial::equiv;
 use uninomial::lemmas::Lemma;
 use uninomial::normalize::{normalize, Spnf, Trace};
 use uninomial::syntax::{Term, UExpr, Var, VarGen};
-use uninomial::Interner;
+use uninomial::{Interner, UExprId};
 
 /// All lemmas of the catalog, in declaration order.
 pub const ALL_LEMMAS: [Lemma; 28] = [
@@ -211,6 +211,90 @@ pub fn default_rewrites() -> Vec<Rewrite> {
     ALL_LEMMAS.iter().flat_map(|&l| compile(l)).collect()
 }
 
+/// A memoized oracle verdict for one conditional-rewrite pair.
+///
+/// `lhs`/`rhs` are the α-canonical fingerprints (hash-consed ids in the
+/// solver's memo interner) of the two extracted expressions the oracle
+/// was asked about. A later attempt on the same canonical class pair
+/// replays the verdict only when its own fingerprints match — class
+/// *content* can change while the canonical ids survive (the documented
+/// reason `attempted` is cleared on progress), and a changed extraction
+/// must re-ask the oracle, not trust a stale answer.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleVerdict {
+    lhs: UExprId,
+    rhs: UExprId,
+    proved: bool,
+}
+
+/// Cross-iteration memo of oracle verdicts, keyed like `attempted` by
+/// (rewrite, ordered canonical pair). Unlike `attempted` it is *never*
+/// cleared on progress: the fingerprint check inside each entry is what
+/// decides whether the cached verdict still applies. Positive verdicts
+/// self-cache through the union itself (the pair's classes merge and the
+/// `same` check skips them), so in steady state this suppresses the
+/// repeated *failed* oracle calls that otherwise dominate stalled
+/// `ProductEquiv`/`PropExt` rounds.
+pub type OracleMemo = HashMap<(Rewrite, Id, Id), OracleVerdict>;
+
+/// Interns `(a, b)` with all variables renamed, jointly and in first
+/// occurrence order, to a canonical sequence: extractions that differ
+/// only in the fresh names `NameEnv` happened to allocate produce equal
+/// fingerprints, while any structural or sharing difference (including
+/// which occurrences alias the same variable) changes them.
+fn pair_fingerprint(interner: &mut Interner, a: &UExpr, b: &UExpr) -> (UExprId, UExprId) {
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    let ra = rename_uexpr(a, &mut map);
+    let rb = rename_uexpr(b, &mut map);
+    (interner.intern(&ra), interner.intern(&rb))
+}
+
+fn rename_var(v: &Var, map: &mut HashMap<u32, u32>) -> Var {
+    let next = map.len() as u32;
+    let id = *map.entry(v.id).or_insert(next);
+    Var {
+        id,
+        schema: v.schema.clone(),
+    }
+}
+
+fn rename_uexpr(e: &UExpr, map: &mut HashMap<u32, u32>) -> UExpr {
+    match e {
+        UExpr::Zero => UExpr::Zero,
+        UExpr::One => UExpr::One,
+        UExpr::Add(a, b) => UExpr::add(rename_uexpr(a, map), rename_uexpr(b, map)),
+        UExpr::Mul(a, b) => UExpr::mul(rename_uexpr(a, map), rename_uexpr(b, map)),
+        UExpr::Not(x) => UExpr::not(rename_uexpr(x, map)),
+        UExpr::Squash(x) => UExpr::squash(rename_uexpr(x, map)),
+        UExpr::Sum(v, b) => {
+            let v = rename_var(v, map);
+            UExpr::sum(v, rename_uexpr(b, map))
+        }
+        UExpr::Eq(s, t) => UExpr::eq(rename_term(s, map), rename_term(t, map)),
+        UExpr::Rel(r, t) => UExpr::Rel(r.clone(), rename_term(t, map)),
+        UExpr::Pred(p, t) => UExpr::Pred(p.clone(), rename_term(t, map)),
+    }
+}
+
+fn rename_term(t: &Term, map: &mut HashMap<u32, u32>) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(rename_var(v, map)),
+        Term::Unit => Term::Unit,
+        Term::Const(c) => Term::Const(c.clone()),
+        Term::Pair(a, b) => Term::pair(rename_term(a, map), rename_term(b, map)),
+        Term::Fst(x) => Term::fst(rename_term(x, map)),
+        Term::Snd(x) => Term::snd(rename_term(x, map)),
+        Term::Fn(f, args) => Term::Fn(
+            f.clone(),
+            args.iter().map(|a| rename_term(a, map)).collect(),
+        ),
+        Term::Agg(name, v, body) => {
+            let v = rename_var(v, map);
+            Term::agg(name.clone(), v, rename_uexpr(body, map))
+        }
+    }
+}
+
 /// Shared per-iteration state handed to each rewrite's match phase.
 #[derive(Debug)]
 pub struct RewriteCtx<'a> {
@@ -234,8 +318,14 @@ pub struct RewriteCtx<'a> {
     /// never consulted by search.
     pub matches: usize,
     /// Oracle invocations of the current rewrite pass (delta-read by the
-    /// solver alongside `matches`).
+    /// solver alongside `matches`); memo hits are not counted — only
+    /// real invocations.
     pub oracle_calls: usize,
+    /// Cross-iteration oracle verdict memo (solver-owned).
+    pub oracle_memo: &'a mut OracleMemo,
+    /// Hash-consing interner backing the memo's fingerprints
+    /// (solver-owned, grows with the set of distinct extractions).
+    pub memo_interner: &'a mut Interner,
 }
 
 impl RewriteCtx<'_> {
@@ -773,9 +863,6 @@ fn apply_product_equiv(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             }
             budget -= 1;
             ctx.matches += 1;
-            ctx.oracle_calls += 1;
-            let _oracle = telemetry::span("egraph.oracle");
-            telemetry::count("egraph.oracle_calls", 1);
             // Extract both products under ONE naming environment so
             // shared bound levels resolve to shared names.
             let mut env = NameEnv::new(ctx.gen);
@@ -785,6 +872,21 @@ fn apply_product_equiv(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             ) else {
                 continue;
             };
+            let key = RewriteCtx::pair_key(Rewrite::ProductEquiv, ia, ib);
+            let (fa, fb) = pair_fingerprint(ctx.memo_interner, &ea, &eb);
+            if let Some(prev) = ctx.oracle_memo.get(&key) {
+                if !prev.proved && prev.lhs == fa && prev.rhs == fb {
+                    // Same question, already answered "no": skip the
+                    // oracle. The iteration budget was still charged, so
+                    // the schedule of pairs examined per round is
+                    // unchanged.
+                    telemetry::count("egraph.oracle_memo_hits", 1);
+                    continue;
+                }
+            }
+            ctx.oracle_calls += 1;
+            let _oracle = telemetry::span("egraph.oracle");
+            telemetry::count("egraph.oracle_calls", 1);
             let (Some((atoms_a, _)), Some((atoms_b, _))) = (
                 as_product_atoms(&ea, ctx.gen),
                 as_product_atoms(&eb, ctx.gen),
@@ -793,7 +895,16 @@ fn apply_product_equiv(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             };
             let mut oracle_trace = Trace::new();
             let mut octx = Ctx::new(ctx.gen, &mut oracle_trace);
-            if equiv::product_equiv(&atoms_a, &atoms_b, &[], &mut octx)
+            let proved = equiv::product_equiv(&atoms_a, &atoms_b, &[], &mut octx);
+            ctx.oracle_memo.insert(
+                key,
+                OracleVerdict {
+                    lhs: fa,
+                    rhs: fb,
+                    proved,
+                },
+            );
+            if proved
                 && eg.union_detailed(
                     ia,
                     ib,
@@ -852,6 +963,14 @@ fn apply_prop_ext(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             }
             budget -= 1;
             ctx.matches += 1;
+            let key = RewriteCtx::pair_key(Rewrite::PropExt, ia, ib);
+            let (fa, fb) = pair_fingerprint(ctx.memo_interner, &ea, &eb);
+            if let Some(prev) = ctx.oracle_memo.get(&key) {
+                if !prev.proved && prev.lhs == fa && prev.rhs == fb {
+                    telemetry::count("egraph.oracle_memo_hits", 1);
+                    continue;
+                }
+            }
             ctx.oracle_calls += 1;
             let _oracle = telemetry::span("egraph.oracle");
             telemetry::count("egraph.oracle_calls", 1);
@@ -859,7 +978,16 @@ fn apply_prop_ext(eg: &mut EGraph, ctx: &mut RewriteCtx<'_>) -> usize {
             let na = normalize(&ea, ctx.gen, &mut oracle_trace);
             let nb = normalize(&eb, ctx.gen, &mut oracle_trace);
             let mut octx = Ctx::new(ctx.gen, &mut oracle_trace);
-            if uninomial::deduce::prove_iff(&na, &nb, &[], &mut octx)
+            let proved = uninomial::deduce::prove_iff(&na, &nb, &[], &mut octx);
+            ctx.oracle_memo.insert(
+                key,
+                OracleVerdict {
+                    lhs: fa,
+                    rhs: fb,
+                    proved,
+                },
+            );
+            if proved
                 && eg.union_detailed(
                     ia,
                     ib,

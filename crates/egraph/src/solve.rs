@@ -4,7 +4,7 @@
 
 use crate::graph::EGraph;
 use crate::lang::{BinderStack, ENode};
-use crate::rewrite::{default_rewrites, Rewrite, RewriteCtx};
+use crate::rewrite::{default_rewrites, OracleMemo, Rewrite, RewriteCtx};
 use crate::unionfind::Id;
 use std::collections::HashSet;
 use std::fmt;
@@ -99,6 +99,12 @@ pub struct Solver {
     gen: VarGen,
     rewrites: Vec<Rewrite>,
     attempted: HashSet<(Rewrite, Id, Id)>,
+    /// Oracle verdicts memoized across iterations (never cleared on
+    /// progress — entries carry input fingerprints that decide their own
+    /// validity; see [`OracleMemo`]).
+    oracle_memo: OracleMemo,
+    /// Hash-consing interner backing the memo's fingerprints.
+    memo_interner: Interner,
 }
 
 impl Solver {
@@ -110,6 +116,8 @@ impl Solver {
             gen: VarGen::new(),
             rewrites: default_rewrites(),
             attempted: HashSet::new(),
+            oracle_memo: OracleMemo::new(),
+            memo_interner: Interner::new(),
         }
     }
 
@@ -204,6 +212,8 @@ impl Solver {
                 oracle_budget: budget.oracle_calls_per_iter,
                 matches: 0,
                 oracle_calls: 0,
+                oracle_memo: &mut self.oracle_memo,
+                memo_interner: &mut self.memo_interner,
             };
             let profiling = telemetry::profiling_enabled();
             {
@@ -255,6 +265,7 @@ impl Solver {
             }
             let nodes_mid = self.eg.node_count();
             let unions_mid = self.eg.union_count();
+            let rebuild_t0 = profiling.then(telemetry::clock::now_ns);
             {
                 let _s = telemetry::span("egraph.rebuild");
                 self.eg.rebuild();
@@ -262,6 +273,16 @@ impl Solver {
             if profiling {
                 // Congruence restoration gets its own attribution row so
                 // the per-label sums still telescope to the aggregates.
+                // With deferred rebuilds, this is where the batched
+                // repair work actually runs — charge its wall time here,
+                // not to whichever rewrite happened to union last.
+                if let Some(t0) = rebuild_t0 {
+                    telemetry::profile_observe(
+                        "congruence",
+                        "apply_ns",
+                        telemetry::clock::now_ns().saturating_sub(t0),
+                    );
+                }
                 telemetry::profile_count(
                     "congruence",
                     "nodes_added",

@@ -121,7 +121,9 @@ impl Profile {
     }
 
     /// Renders the per-label attribution table (deterministic: rows
-    /// sorted by label, fixed columns, totals line last).
+    /// sorted by apply time, most expensive first, ties broken by label;
+    /// fixed columns, totals line last). The hot rows lead, so the head
+    /// of the table is the answer to "where did the time go".
     pub fn render_table(&self) -> Vec<String> {
         let mut out = Vec::with_capacity(self.rows.len() + 2);
         let width = self
@@ -137,7 +139,13 @@ impl Profile {
         }
         let _ = write!(header, " {:>12}", "apply_ms");
         out.push(header);
-        for (label, m) in &self.rows {
+        let mut rows: Vec<(&String, &Metrics)> = self.rows.iter().collect();
+        rows.sort_by(|(la, ma), (lb, mb)| {
+            let ta = ma.hist(TABLE_TIME).map_or(0, Histogram::sum);
+            let tb = mb.hist(TABLE_TIME).map_or(0, Histogram::sum);
+            tb.cmp(&ta).then_with(|| la.cmp(lb))
+        });
+        for (label, m) in rows {
             out.push(render_row(label, m, width));
         }
         let mut totals = Metrics::new();
@@ -193,11 +201,26 @@ mod tests {
         let table = p.render_table();
         assert_eq!(table.len(), 4, "{table:?}");
         assert!(table[0].starts_with("label"));
-        // Rows sorted by label; totals close the table.
+        // Neither row has time recorded, so the label tiebreak orders
+        // them; totals close the table.
         assert!(table[1].starts_with("Distrib"));
         assert!(table[2].starts_with("SumSwap"));
         assert!(table[3].starts_with("total"));
         assert!(table[3].contains('7'), "{:?}", table[3]);
+    }
+
+    #[test]
+    fn table_rows_lead_with_the_most_expensive_label() {
+        let mut p = Profile::new();
+        p.observe("AAA_cheap", "apply_ns", 10);
+        p.observe("zzz_hot", "apply_ns", 2_000_000);
+        p.incr("mid", "matches", 1);
+        p.observe("mid", "apply_ns", 500);
+        let table = p.render_table();
+        assert!(table[1].starts_with("zzz_hot"), "{table:?}");
+        assert!(table[2].starts_with("mid"), "{table:?}");
+        assert!(table[3].starts_with("AAA_cheap"), "{table:?}");
+        assert!(table[4].starts_with("total"), "{table:?}");
     }
 
     #[test]

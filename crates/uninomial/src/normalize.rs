@@ -24,6 +24,7 @@ use crate::syntax::{Term, UExpr, Var, VarGen};
 use relalg::Schema;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A record of lemma applications — the machine-checkable skeleton of a
@@ -859,8 +860,8 @@ pub struct NormCache {
 /// fragment its computation records.
 type MemoEntry = (Spnf, Vec<(Lemma, String)>);
 
-/// A `Mutex`-striped memo table shared across the batch engine's
-/// workers.
+/// A memo table shared across the batch engine's workers, with a
+/// lock-free read path over the snapshot prefix.
 ///
 /// Per-worker [`NormCache`]s never see each other's work; a catalog
 /// whose rules share denotation fragments normalizes each fragment once
@@ -874,22 +875,54 @@ type MemoEntry = (Spnf, Vec<(Lemma, String)>);
 /// binder-free node is a pure function of the tree, no matter which
 /// worker computed it.
 ///
-/// Striping: entries are sharded by id so concurrent workers contend on
-/// different locks; each lock is held only for one lookup or insert.
+/// Layout: the snapshot prefix is a pre-sized slot array — one
+/// [`AtomicPtr`] per snapshot id. A hit is a single `Acquire` load and
+/// an entry clone: no lock, no hashing, no contention between engine
+/// workers or serve's worker-pinned sessions. A miss publishes its
+/// entry with one compare-exchange; losing a publish race just drops
+/// the duplicate (both racers computed the same pure function of the
+/// same tree). The `Mutex` stripes remain only as the writable
+/// overflow for covered ids above the pre-published read layer
+/// ([`SharedMemo::for_snapshot_striped`] routes everything through
+/// them — kept as the differential reference the property tests
+/// compare the lock-free path against).
 #[derive(Debug, Default)]
 pub struct SharedMemo {
     /// Ids below this bound are snapshot ids, identical in all workers.
     limit: usize,
-    shards: Vec<Mutex<HashMap<UExprId, MemoEntry>>>,
+    /// Lock-free read layer: slot `i` holds id `i`'s entry once some
+    /// worker publishes it. Published pointers are immutable until drop.
+    slots: Vec<AtomicPtr<MemoEntry>>,
+    /// Striped overflow for covered ids ≥ `slots.len()`.
+    stripes: Vec<Mutex<HashMap<UExprId, MemoEntry>>>,
 }
 
+// SAFETY invariant behind the raw pointers: a slot transitions once,
+// from null to a `Box::into_raw` pointer, via compare-exchange; the
+// pointee is never mutated or freed while the table is alive, so a
+// cloned read after an `Acquire` load always sees a fully initialized
+// entry. `Drop` (which has `&mut self`, hence no concurrent readers)
+// reclaims the boxes.
 impl SharedMemo {
-    /// A table covering the snapshot prefix of `interner`, striped over
-    /// `shards` locks.
-    pub fn for_snapshot(interner: &Interner, shards: usize) -> Arc<SharedMemo> {
+    /// A table covering the snapshot prefix of `interner`: the whole
+    /// prefix is the lock-free pre-published read layer; `stripes`
+    /// locks back the (here empty) overflow.
+    pub fn for_snapshot(interner: &Interner, stripes: usize) -> Arc<SharedMemo> {
+        SharedMemo::with_read_layer(interner.uexpr_count(), interner.uexpr_count(), stripes)
+    }
+
+    /// The all-striped reference implementation: same coverage, every
+    /// access through the Mutex stripes. The lock-free path is
+    /// property-tested byte-identical against this.
+    pub fn for_snapshot_striped(interner: &Interner, stripes: usize) -> Arc<SharedMemo> {
+        SharedMemo::with_read_layer(interner.uexpr_count(), 0, stripes)
+    }
+
+    fn with_read_layer(limit: usize, read: usize, stripes: usize) -> Arc<SharedMemo> {
         Arc::new(SharedMemo {
-            limit: interner.uexpr_count(),
-            shards: (0..shards.max(1))
+            limit,
+            slots: (0..read.min(limit)).map(|_| AtomicPtr::default()).collect(),
+            stripes: (0..stripes.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
         })
@@ -900,37 +933,91 @@ impl SharedMemo {
         id.index() < self.limit
     }
 
-    fn shard(&self, id: UExprId) -> &Mutex<HashMap<UExprId, MemoEntry>> {
-        &self.shards[id.index() % self.shards.len()]
+    fn stripe(&self, id: UExprId) -> &Mutex<HashMap<UExprId, MemoEntry>> {
+        &self.stripes[id.index() % self.stripes.len()]
     }
 
     fn get(&self, id: UExprId) -> Option<MemoEntry> {
-        self.shard(id)
-            .lock()
-            .expect("no poisoned memo shard")
-            .get(&id)
-            .cloned()
+        match self.slots.get(id.index()) {
+            Some(slot) => {
+                let p = slot.load(Ordering::Acquire);
+                if p.is_null() {
+                    None
+                } else {
+                    // SAFETY: non-null slots hold a published, immutable
+                    // `Box` that outlives every reader (see invariant).
+                    Some(unsafe { (*p).clone() })
+                }
+            }
+            None => self
+                .stripe(id)
+                .lock()
+                .expect("no poisoned memo stripe")
+                .get(&id)
+                .cloned(),
+        }
     }
 
     fn insert(&self, id: UExprId, entry: MemoEntry) {
-        self.shard(id)
-            .lock()
-            .expect("no poisoned memo shard")
-            .entry(id)
-            .or_insert(entry);
+        match self.slots.get(id.index()) {
+            Some(slot) => {
+                let p = Box::into_raw(Box::new(entry));
+                if slot
+                    .compare_exchange(
+                        std::ptr::null_mut(),
+                        p,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    // Lost the publish race; the winner's entry is the
+                    // same pure-function result, keep it.
+                    // SAFETY: `p` came from `Box::into_raw` above and
+                    // was never published.
+                    drop(unsafe { Box::from_raw(p) });
+                }
+            }
+            None => {
+                self.stripe(id)
+                    .lock()
+                    .expect("no poisoned memo stripe")
+                    .entry(id)
+                    .or_insert(entry);
+            }
+        }
     }
 
-    /// Total entries across all shards (diagnostics).
+    /// Total entries across the read layer and all stripes
+    /// (diagnostics).
     pub fn len(&self) -> usize {
-        self.shards
+        self.slots
             .iter()
-            .map(|s| s.lock().expect("no poisoned memo shard").len())
-            .sum()
+            .filter(|s| !s.load(Ordering::Acquire).is_null())
+            .count()
+            + self
+                .stripes
+                .iter()
+                .map(|s| s.lock().expect("no poisoned memo stripe").len())
+                .sum::<usize>()
     }
 
     /// Whether no entries have been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Drop for SharedMemo {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // SAFETY: published via `Box::into_raw`, never freed
+                // before; `&mut self` excludes concurrent readers.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
     }
 }
 
