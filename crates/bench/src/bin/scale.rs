@@ -21,17 +21,19 @@
 use dopcert::engine::{Engine, EngineConfig};
 use dopcert::prove::{ProveOptions, SaturateMode};
 use dopcert::wire::{parse_json, Json};
+use egraph::{Budget, Outcome, Solver};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::process::ExitCode;
+use uninomial::syntax::UExpr;
 
 /// Artifact schema version: bump when a series changes shape or
 /// meaning, so `diff` refuses to compare across the break.
-const SCHEMA: u64 = 2;
+const SCHEMA: u64 = 3;
 
 /// Every series a full run emits, in emission order. `diff` hard-fails
 /// when a baseline series is missing from the candidate.
-const SERIES: [&str; 9] = [
+const SERIES: [&str; 11] = [
     "cq_scale",
     "containment_scale",
     "optimizer_scale",
@@ -41,6 +43,8 @@ const SERIES: [&str; 9] = [
     "saturation_vs_tactics",
     "rule_attribution",
     "egraph_growth",
+    "rule_mining",
+    "mining_gap",
 ];
 
 /// Emits one measurement: a `BENCH {json}` line on stdout, the human
@@ -410,6 +414,88 @@ fn main() -> ExitCode {
                 classes.iter().max().copied().unwrap_or(0),
                 nodes.iter().max().copied().unwrap_or(0),
                 memo.iter().max().copied().unwrap_or(0)
+            ),
+        );
+    }
+
+    // Rule mining: the full synthesis loop (corpus → discovery →
+    // anti-unification → screening → certification). Every funnel
+    // count is deterministic under the default config; only the
+    // wall-clock is timing-tolerant.
+    let mined = {
+        let cfg = mine::MineConfig::default();
+        let (time, report) = bench::timed(|| mine::mine(&cfg));
+        let replays = report.accepted.iter().filter(|e| e.replays).count();
+        assert_eq!(
+            replays,
+            report.rules.len(),
+            "every accepted mined rule carries a replaying certificate"
+        );
+        em.emit(
+            format!(
+                "{{\"bench\":\"rule_mining\",\"corpus\":{},\"discovered\":{},\"candidates\":{},\"screened_out\":{},\"uncertified\":{},\"accepted\":{},\"replays\":{replays},\"millis\":{:.3}}}",
+                report.corpus_size,
+                report.discovered,
+                report.candidates,
+                report.screened_out,
+                report.uncertified,
+                report.rules.len(),
+                time.as_secs_f64() * 1e3
+            ),
+            format!(
+                "rule_mining: {} rules certified from {} candidates ({} screened out, {} uncertified) in {:.1} ms; all {replays} certificates replay",
+                report.rules.len(),
+                report.candidates,
+                report.screened_out,
+                report.uncertified,
+                time.as_secs_f64() * 1e3
+            ),
+        );
+        std::sync::Arc::new(report.rules)
+    };
+
+    // Mining gap: replay every mined equation under a zero oracle
+    // budget. The shallow schemas stay provable syntactically, but the
+    // CQ-derived ground rules needed the equational oracle to discover
+    // — without it the default set *saturates* unproven at any
+    // iteration budget, while the mined catalog closes each in one
+    // iteration. Mining amortizes the oracle work: certification paid
+    // it once, replay is a syntactic match.
+    {
+        let prove = |lhs: &UExpr, rhs: &UExpr, catalog: bool| {
+            let mut solver = Solver::new(Budget::new(4, 20_000).with_oracle_calls(0));
+            if catalog {
+                solver.set_mined_rules(std::sync::Arc::clone(&mined));
+            }
+            let l = solver.seed_expr(lhs);
+            let r = solver.seed_expr(rhs);
+            solver.run(l, r).0
+        };
+        let (mut proved_default, mut proved_mined, mut gap_rules) = (0usize, 0usize, 0usize);
+        for rule in mined.iter() {
+            let d = prove(&rule.lhs, &rule.rhs, false);
+            let m = prove(&rule.lhs, &rule.rhs, true);
+            proved_default += usize::from(d == Outcome::Proved);
+            proved_mined += usize::from(m == Outcome::Proved);
+            gap_rules += usize::from(d != Outcome::Proved && m == Outcome::Proved);
+        }
+        assert_eq!(
+            proved_mined,
+            mined.len(),
+            "every mined rule must replay through its own catalog"
+        );
+        assert!(
+            gap_rules > 0,
+            "at least one mined rule must close a goal the oracle-free default set cannot"
+        );
+        em.emit(
+            format!(
+                "{{\"bench\":\"mining_gap\",\"rules\":{},\"proved_default\":{proved_default},\"proved_mined\":{proved_mined},\"gap_rules\":{gap_rules}}}",
+                mined.len()
+            ),
+            format!(
+                "mining_gap: oracle-free replay of {} mined equations — default rules prove {proved_default}, mined catalog proves {proved_mined} ({gap_rules} beyond the default set's reach)",
+                mined.len()
             ),
         );
     }

@@ -136,6 +136,12 @@ pub struct RequestOptions {
     pub jobs: Option<usize>,
     /// Whether batch workers share one striped normalization memo.
     pub shared_cache: bool,
+    /// Whether the certified optimizer's plan search may use mined
+    /// rewrite rules (`--mined-rules`). Off by default: with the flag
+    /// off, every prove/optimize output is bit-identical to a build
+    /// without the mining subsystem. Mined rules only widen the search
+    /// space — shipped plans are still certified by the trusted stack.
+    pub mined_rules: bool,
 }
 
 impl Default for RequestOptions {
@@ -146,6 +152,7 @@ impl Default for RequestOptions {
             session: true,
             jobs: None,
             shared_cache: true,
+            mined_rules: false,
         }
     }
 }
@@ -170,6 +177,7 @@ impl RequestOptions {
         };
         config.prove = self.prove_options(script_budget);
         config.shared_cache = self.shared_cache;
+        config.mined = self.mined_rules.then(default_mined_catalog);
         crate::engine::Engine::with_config(config)
     }
 }
@@ -204,6 +212,18 @@ pub enum Request {
     Discover {
         /// Verification options (the budget bounds the shared graph).
         opts: RequestOptions,
+    },
+    /// Run the rule-mining loop (`dopcert mine`): generate a CQ corpus,
+    /// discover equalities, anti-unify them into candidate schemas,
+    /// screen by random interpretation, and certify survivors with the
+    /// trusted prover stack. On the daemon, accepted rules become the
+    /// resident mined catalog that `optimize` requests with
+    /// `mined-rules` on search with.
+    Mine {
+        /// Corpus seed (the whole run is a pure function of it).
+        seed: u64,
+        /// Cap on accepted rules.
+        count: usize,
     },
     /// Server counters (`dopcert serve` only).
     Stats,
@@ -278,6 +298,44 @@ pub struct RuleCheck {
     pub name: String,
     /// Whether the verdict matched the rule's expected soundness.
     pub passed: bool,
+}
+
+/// One mined rule, as reported by a `mine` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinedRuleReport {
+    /// Deterministic rule name (`m000`, `m001`, …).
+    pub name: String,
+    /// Rendered left side of the schema (holes spelled `?hN`).
+    pub lhs: String,
+    /// Rendered right side.
+    pub rhs: String,
+    /// Metavariable holes (0 = ground rule).
+    pub holes: usize,
+    /// The certifying engine (`tactics`, `tactics/syntactic`, or
+    /// `saturate`).
+    pub method: String,
+    /// Certificate length in lemma steps.
+    pub steps: usize,
+    /// Whether re-proving reproduced the certificate byte for byte.
+    pub replays: bool,
+}
+
+/// The outcome of a `mine` request: funnel counters plus the accepted
+/// rules in mining order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MineSummary {
+    /// Closed corpus expressions seeded into the discovery session.
+    pub corpus: usize,
+    /// Equal pairs the saturated session discovered.
+    pub discovered: usize,
+    /// Wellformed candidate schemas after dedup.
+    pub candidates: usize,
+    /// Candidates refuted by the screening oracle.
+    pub screened_out: usize,
+    /// Screened candidates the prover stack could not certify.
+    pub uncertified: usize,
+    /// Accepted rules with their certificates' vitals.
+    pub rules: Vec<MinedRuleReport>,
 }
 
 /// One discovered cross-rule equality.
@@ -355,6 +413,8 @@ pub enum Response {
     },
     /// Cross-rule discoveries alone.
     Discovered(Vec<Discovery>),
+    /// A mining run's funnel and accepted rules.
+    Mined(MineSummary),
     /// Server counters.
     Stats(ServerStats),
     /// Prometheus-style text exposition (one newline-terminated block).
@@ -375,6 +435,7 @@ impl Response {
             Response::Goals(goals) => goals.iter().all(|g| g.satisfied),
             Response::Plans(plans) => plans.iter().all(|p| p.sound),
             Response::Catalog { rules, .. } => rules.iter().all(|r| r.passed),
+            Response::Mined(m) => !m.rules.is_empty() && m.rules.iter().all(|r| r.replays),
             Response::Discovered(_)
             | Response::Stats(_)
             | Response::Metrics(_)
@@ -435,6 +496,34 @@ impl Response {
                 lines
             }
             Response::Discovered(found) => render_discoveries(found),
+            Response::Mined(m) => {
+                let mut lines = vec![format!(
+                    "mined {} rules (corpus {}, discovered {}, candidates {}, \
+                     screened out {}, uncertified {})",
+                    m.rules.len(), m.corpus, m.discovered, m.candidates,
+                    m.screened_out, m.uncertified,
+                )];
+                for r in &m.rules {
+                    let holes = match r.holes {
+                        0 => "ground".to_owned(),
+                        1 => "1 hole".to_owned(),
+                        n => format!("{n} holes"),
+                    };
+                    lines.push(format!(
+                        "[{}] {}{}: {} == {}\n    certified by {} in {} steps ({holes}); \
+                         certificate {}",
+                        tag(r.replays),
+                        egraph::MINED_LABEL_PREFIX,
+                        r.name,
+                        r.lhs,
+                        r.rhs,
+                        r.method,
+                        r.steps,
+                        if r.replays { "replays" } else { "DOES NOT replay" },
+                    ));
+                }
+                lines
+            }
             Response::Stats(s) => {
                 let hit_rate = if s.goals == 0 {
                     0.0
@@ -633,6 +722,7 @@ pub struct Planner {
     cache: NormCache,
     session: Option<PlanSession>,
     budget: Budget,
+    mined: Option<Arc<Vec<egraph::MinedRule>>>,
 }
 
 impl Planner {
@@ -647,12 +737,21 @@ impl Planner {
             cache,
             session: opts.session.then(|| PlanSession::new(opts.budget)),
             budget: opts.budget,
+            mined: None,
         }
     }
 
     /// The saturation budget plan searches run under.
     pub fn budget(&self) -> Budget {
         self.budget
+    }
+
+    /// Sets (or clears) the mined-rule catalog the plan search uses.
+    /// `None` restores the default search, bit-identical to a planner
+    /// that never saw mined rules; memo isolation across catalog
+    /// changes is handled by the session's configuration fingerprint.
+    pub fn set_mined_rules(&mut self, mined: Option<Arc<Vec<egraph::MinedRule>>>) {
+        self.mined = mined;
     }
 
     /// Optimizes one query on this planner's state. Reports are
@@ -678,6 +777,7 @@ impl Planner {
             PlanCtx {
                 cache: Some(&mut self.cache),
                 session: self.session.as_mut(),
+                mined: self.mined.as_ref(),
             },
         )
     }
@@ -695,6 +795,50 @@ impl Planner {
             None => sink.store(0, std::sync::atomic::Ordering::Relaxed),
         }
     }
+}
+
+/// Runs the mining loop and packages the result for the wire, returning
+/// the compiled rules alongside so residents can adopt them as their
+/// catalog.
+fn run_mine(seed: u64, count: usize) -> (MineSummary, Arc<Vec<egraph::MinedRule>>) {
+    let report = mine::mine(&mine::MineConfig {
+        seed,
+        max_rules: count.max(1),
+        ..mine::MineConfig::default()
+    });
+    let summary = MineSummary {
+        corpus: report.corpus_size,
+        discovered: report.discovered,
+        candidates: report.candidates,
+        screened_out: report.screened_out,
+        uncertified: report.uncertified,
+        rules: report
+            .accepted
+            .iter()
+            .map(|e| MinedRuleReport {
+                name: e.name.clone(),
+                lhs: e.lhs.clone(),
+                rhs: e.rhs.clone(),
+                holes: e.holes,
+                method: e.method.clone(),
+                steps: e.steps,
+                replays: e.replays,
+            })
+            .collect(),
+    };
+    (summary, Arc::new(report.rules))
+}
+
+/// The catalog a single-shot `--mined-rules` run searches with: one
+/// default-configuration mining run, cached for the life of the process
+/// (mining is a pure function of its config, so the cache is
+/// transparent).
+pub(crate) fn default_mined_catalog() -> Arc<Vec<egraph::MinedRule>> {
+    static CATALOG: std::sync::OnceLock<Arc<Vec<egraph::MinedRule>>> = std::sync::OnceLock::new();
+    Arc::clone(CATALOG.get_or_init(|| {
+        let cfg = mine::MineConfig::default();
+        run_mine(cfg.seed, cfg.max_rules).1
+    }))
 }
 
 /// Answers a request on fresh state — what one CLI invocation does.
@@ -731,6 +875,7 @@ pub fn execute(req: &Request) -> Response {
         Request::Discover { opts } => {
             Response::Discovered(discoveries(opts.prove_options(BudgetSpec::default())))
         }
+        Request::Mine { seed, count } => Response::Mined(run_mine(*seed, *count).0),
         Request::Stats
         | Request::Metrics
         | Request::Profile
@@ -760,6 +905,12 @@ pub struct Workspace {
     prover: Prover,
     planner: Planner,
     defaults: RequestOptions,
+    /// The resident mined catalog: set by `mine` requests (directly or
+    /// via [`Workspace::set_mined_catalog`] when the daemon shares one
+    /// catalog across workers), consulted by `optimize` requests with
+    /// `mined-rules` on. `None` falls back to the process-wide default
+    /// catalog on demand.
+    mined: Option<Arc<Vec<egraph::MinedRule>>>,
 }
 
 impl Workspace {
@@ -770,7 +921,21 @@ impl Workspace {
             prover: Prover::new(popts),
             planner: Planner::new(popts),
             defaults,
+            mined: None,
         }
+    }
+
+    /// Installs a mined catalog (the daemon broadcasts the outcome of a
+    /// `mine` request to every worker's workspace through this).
+    pub fn set_mined_catalog(&mut self, rules: Arc<Vec<egraph::MinedRule>>) {
+        self.mined = Some(rules);
+    }
+
+    /// The catalog `mined-rules` requests search with: the resident one
+    /// when a mining run installed it, the process-wide default
+    /// otherwise.
+    pub fn mined_catalog(&self) -> Arc<Vec<egraph::MinedRule>> {
+        self.mined.clone().unwrap_or_else(default_mined_catalog)
     }
 
     /// Total memo hits across the resident sessions.
@@ -808,7 +973,17 @@ impl Workspace {
                 if popts.budget != self.planner.budget || !popts.session {
                     return execute(req);
                 }
+                // The mined catalog is per-request: flag on searches with
+                // the resident catalog, flag off restores the default
+                // search (memo isolation via the session fingerprint).
+                let mined = opts.mined_rules.then(|| self.mined_catalog());
+                self.planner.set_mined_rules(mined);
                 optimize_script(&script, opts, Some(&mut self.planner))
+            }
+            Request::Mine { seed, count } => {
+                let (summary, rules) = run_mine(*seed, *count);
+                self.mined = Some(rules);
+                Response::Mined(summary)
             }
             // Catalog/discovery runs are engine-shaped (their own
             // worker pool and warm snapshot); resident state would buy
@@ -1024,6 +1199,54 @@ mod tests {
         assert_eq!(resp.render(), execute(&req).render());
         ws.execute(&req);
         assert_eq!(ws.memo_hits(), 0, "non-default requests bypass the memo");
+    }
+
+    #[test]
+    fn mine_request_certifies_replayable_rules() {
+        let resp = execute(&Request::Mine {
+            seed: mine::MineConfig::default().seed,
+            count: 3,
+        });
+        assert!(resp.ok(), "{:?}", resp.render());
+        let Response::Mined(summary) = &resp else {
+            panic!("expected Mined, got {resp:?}");
+        };
+        assert_eq!(summary.rules.len(), 3);
+        assert!(summary.rules.iter().all(|r| r.replays), "{summary:?}");
+        let lines = resp.render();
+        assert!(lines[0].starts_with("mined 3 rules ("), "{}", lines[0]);
+        assert!(lines[1].starts_with("[ok] mined:m000: "), "{}", lines[1]);
+        assert!(lines[2].contains("certified by"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn mined_rules_widen_the_search_and_off_restores_bit_identity() {
+        let src = "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);";
+        let on = RequestOptions {
+            mined_rules: true,
+            ..RequestOptions::default()
+        };
+        let req_on = Request::Optimize {
+            script: src.into(),
+            opts: on,
+        };
+        let req_off = Request::Optimize {
+            script: src.into(),
+            opts: RequestOptions::default(),
+        };
+        let fresh_off = execute(&req_off);
+        assert!(fresh_off.ok(), "{:?}", fresh_off.render());
+        let mut ws = Workspace::new(RequestOptions::default());
+        let resp_on = ws.execute(&req_on);
+        assert!(resp_on.ok(), "{:?}", resp_on.render());
+        // Turning the flag back off restores the default search exactly.
+        let resp_off = ws.execute(&req_off);
+        assert_eq!(resp_off.render(), fresh_off.render());
+        // The fresh (engine) path answers the flagged request the same
+        // way the resident planner does.
+        let fresh_on = execute(&req_on);
+        assert!(fresh_on.ok(), "{:?}", fresh_on.render());
+        assert_eq!(fresh_on.render(), resp_on.render());
     }
 
     #[test]

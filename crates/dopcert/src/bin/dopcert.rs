@@ -11,6 +11,10 @@
 //! dopcert catalog               # verify the whole built-in rule catalog
 //! dopcert catalog --jobs 4      # …on an explicit number of workers
 //! dopcert catalog --saturate    # …with saturation instead of tactics
+//! dopcert mine                  # synthesize rewrite rules from the
+//!                               #   discovery corpus, certify each one
+//! dopcert mine --seed 7 --count 4       # …a different corpus shuffle
+//! dopcert optimize --mined-rules q.dop  # plan with the mined catalog
 //! dopcert serve --addr 127.0.0.1:7411   # resident daemon (JSON lines)
 //! dopcert request --addr 127.0.0.1:7411 file.dop   # one request to it
 //! ```
@@ -52,7 +56,12 @@
 //!   every candidate route measured with its cost, which one shipped,
 //!   and the lemmas the winning certificate leans on (`optimize`);
 //! - `--budget-refill N` — refill every tenant's spent iterations at
-//!   `N` iterations/second (`serve`; the default never refills).
+//!   `N` iterations/second (`serve`; the default never refills);
+//! - `--mined-rules` — add the mined rewrite catalog to the plan
+//!   search (`optimize`, or `serve` to make it the daemon default);
+//!   off, plans are bit-identical to a build without mining;
+//! - `--seed N` / `--count N` — mining corpus seed and the maximum
+//!   number of rules to certify (`mine` only).
 //!
 //! Script syntax (see `dopcert::script`):
 //!
@@ -96,6 +105,12 @@ struct Flags {
     explain: bool,
     /// Budget refill rate in iterations per second (`serve` only).
     budget_refill: Option<u64>,
+    /// Plan with the mined rewrite catalog (`optimize`/`serve`).
+    mined_rules: bool,
+    /// Mining corpus seed (`mine` only).
+    seed: Option<u64>,
+    /// Maximum number of mined rules to certify (`mine` only).
+    count: Option<usize>,
     /// First non-flag argument (the script path for check/prove).
     positional: Option<String>,
 }
@@ -137,6 +152,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     return Err("--budget-refill must be positive".into());
                 }
                 flags.budget_refill = Some(n as u64);
+            }
+            "--mined-rules" => flags.mined_rules = true,
+            "--seed" => flags.seed = Some(parse_num(arg, it.next())? as u64),
+            "--count" => {
+                let n = parse_num(arg, it.next())?;
+                if n == 0 {
+                    return Err("--count must be positive".into());
+                }
+                flags.count = Some(n);
             }
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown flag {other:?}"));
@@ -187,6 +211,16 @@ impl Flags {
         if cmd != "optimize" {
             reject(self.explain, "--explain (use `optimize`)")?;
         }
+        if !matches!(cmd, "optimize" | "serve" | "request") {
+            reject(
+                self.mined_rules,
+                "--mined-rules (use `optimize`, `serve`, or `request`)",
+            )?;
+        }
+        if !matches!(cmd, "mine" | "request") {
+            reject(self.seed.is_some(), "--seed (use `mine`)")?;
+            reject(self.count.is_some(), "--count (use `mine`)")?;
+        }
         match cmd {
             "check" => {
                 reject(self.jobs.is_some(), "--jobs")?;
@@ -215,6 +249,19 @@ impl Flags {
             "catalog" => {
                 reject(self.positional.is_some(), "a script path")?;
             }
+            "mine" => {
+                // Mining runs under its own internal budgets; every
+                // engine/budget flag would be silently ignored.
+                reject(self.positional.is_some(), "a script path")?;
+                reject(self.jobs.is_some(), "--jobs")?;
+                reject(self.saturate, "--saturate")?;
+                reject(self.budget.iters.is_some(), "--sat-iters")?;
+                reject(self.budget.nodes.is_some(), "--sat-nodes")?;
+                reject(self.budget.oracle_calls.is_some(), "--sat-oracle-calls")?;
+                reject(self.no_shared_cache, "--no-shared-cache")?;
+                reject(self.no_session, "--no-session")?;
+                reject(self.discover, "--discover (use `catalog`)")?;
+            }
             "serve" => {
                 reject(self.positional.is_some(), "a script path")?;
                 reject(self.discover, "--discover (use `catalog`)")?;
@@ -242,6 +289,7 @@ impl Flags {
             session: !self.no_session,
             jobs: self.jobs,
             shared_cache: !self.no_shared_cache,
+            mined_rules: self.mined_rules,
         }
     }
 
@@ -286,6 +334,13 @@ impl Flags {
             "discover" => Request::Discover {
                 opts: self.request_options(),
             },
+            "mine" => {
+                let defaults = mine::MineConfig::default();
+                Request::Mine {
+                    seed: self.seed.unwrap_or(defaults.seed),
+                    count: self.count.unwrap_or(defaults.max_rules),
+                }
+            }
             "stats" => Request::Stats,
             "metrics" => Request::Metrics,
             "profile" => Request::Profile,
@@ -428,7 +483,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     match cmd {
-        "check" | "prove" | "optimize" | "catalog" => {
+        "check" | "prove" | "optimize" | "catalog" | "mine" => {
             let req = match flags.build_request(cmd) {
                 Ok(r) => r,
                 Err(e) => {
@@ -481,6 +536,11 @@ fn main() -> ExitCode {
                         ""
                     },
                 ),
+                (Response::Mined(m), _) => eprintln!(
+                    "{} rules certified from {} candidates in {elapsed_ms:.1} ms",
+                    m.rules.len(),
+                    m.candidates,
+                ),
                 _ => {}
             }
             code
@@ -491,10 +551,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: dopcert check <file.dop | ->\n\
                  \x20      dopcert prove [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--trace-out FILE] [--profile] <file.dop | ->\n\
-                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--trace-out FILE] [--profile] [--explain] <file.dop | ->\n\
+                 \x20      dopcert optimize [--jobs N] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--mined-rules] [--trace-out FILE] [--profile] [--explain] <file.dop | ->\n\
                  \x20      dopcert catalog [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-shared-cache] [--no-session] [--discover] [--profile]\n\
-                 \x20      dopcert serve [--addr HOST:PORT] [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--budget-refill N] [--trace-out FILE]\n\
-                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|stats|metrics|profile|trace|shutdown] [--tenant NAME] [flags] [file.dop | -]"
+                 \x20      dopcert mine [--seed N] [--count N]\n\
+                 \x20      dopcert serve [--addr HOST:PORT] [--jobs N] [--saturate] [--sat-iters N] [--sat-nodes N] [--sat-oracle-calls N] [--no-session] [--mined-rules] [--budget-refill N] [--trace-out FILE]\n\
+                 \x20      dopcert request --addr HOST:PORT [--cmd check|prove|optimize|catalog|discover|mine|stats|metrics|profile|trace|shutdown] [--tenant NAME] [flags] [file.dop | -]"
             );
             ExitCode::FAILURE
         }
@@ -548,6 +609,9 @@ mod tests {
             &["--budget-refill", "10"][..],
             &["--profile"][..],
             &["--explain"][..],
+            &["--mined-rules"][..],
+            &["--seed", "7"][..],
+            &["--count", "3"][..],
         ] {
             let f = flags(args).unwrap();
             let err = f.validate_for("check").unwrap_err();
@@ -705,6 +769,60 @@ mod tests {
         assert!(flags(&["--budget-refill", "0"]).is_err(), "zero rejected");
         assert!(flags(&["--budget-refill", "x"]).is_err());
         assert!(flags(&["--budget-refill"]).is_err());
+    }
+
+    #[test]
+    fn mined_rules_is_optimize_serve_request_only() {
+        let f = flags(&["--mined-rules"]).unwrap();
+        assert!(f.mined_rules);
+        f.validate_for("optimize").unwrap();
+        f.validate_for("serve").unwrap();
+        assert!(f.request_options().mined_rules);
+        assert!(
+            !flags(&[]).unwrap().request_options().mined_rules,
+            "off by default"
+        );
+        for cmd in ["check", "prove", "catalog", "mine"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--mined-rules"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn mine_owns_seed_and_count_and_rejects_engine_flags() {
+        let f = flags(&["--seed", "7", "--count", "4"]).unwrap();
+        f.validate_for("mine").unwrap();
+        match f.build_request("mine") {
+            Ok(Request::Mine { seed, count }) => {
+                assert_eq!(seed, 7);
+                assert_eq!(count, 4);
+            }
+            other => panic!("expected Mine request, got {other:?}"),
+        }
+        // Defaults come from the mining config itself.
+        let defaults = mine::MineConfig::default();
+        match flags(&[]).unwrap().build_request("mine") {
+            Ok(Request::Mine { seed, count }) => {
+                assert_eq!(seed, defaults.seed);
+                assert_eq!(count, defaults.max_rules);
+            }
+            other => panic!("expected Mine request, got {other:?}"),
+        }
+        assert!(flags(&["--count", "0"]).is_err(), "zero rejected");
+        for args in [
+            &["--jobs", "2"][..],
+            &["--saturate"][..],
+            &["--sat-iters", "5"][..],
+            &["--no-session"][..],
+            &["x.dop"][..],
+        ] {
+            let err = flags(args).unwrap().validate_for("mine").unwrap_err();
+            assert!(err.contains("not accepted"), "{args:?}: {err}");
+        }
+        for cmd in ["check", "prove", "optimize", "catalog", "serve"] {
+            let err = f.validate_for(cmd).unwrap_err();
+            assert!(err.contains("--seed"), "{cmd}: {err}");
+        }
     }
 
     #[test]

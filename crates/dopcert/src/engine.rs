@@ -44,7 +44,7 @@ use optimizer::{OptimizeError, OptimizeReport};
 use relalg::stats::Statistics;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use uninomial::normalize::{normalization_input, NormCache, SharedMemo};
 use uninomial::syntax::intern::{Interner, InternerSnapshot};
 use uninomial::syntax::VarGen;
@@ -66,6 +66,10 @@ pub struct EngineConfig {
     /// normalization of snapshot-interned subterms (on by default; the
     /// `--no-shared-cache` escape hatch turns it off).
     pub shared_cache: bool,
+    /// Mined rewrite rules for every worker's plan search
+    /// (`--mined-rules`). `None` (the default) keeps optimization
+    /// bit-identical to a build without the mining subsystem.
+    pub mined: Option<Arc<Vec<egraph::MinedRule>>>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +80,7 @@ impl Default for EngineConfig {
             warm_interner: true,
             prove: ProveOptions::default(),
             shared_cache: true,
+            mined: None,
         }
     }
 }
@@ -257,10 +262,15 @@ impl Engine {
     ) -> Vec<Result<OptimizeReport, OptimizeError>> {
         let snapshot = self.seed_query_snapshot(env, queries);
         let opts = self.config.prove;
+        let mined = self.config.mined.clone();
         self.par_map(
             queries,
             &snapshot,
-            |cache| Planner::with_cache(cache, opts),
+            |cache| {
+                let mut planner = Planner::with_cache(cache, opts);
+                planner.set_mined_rules(mined.clone());
+                planner
+            },
             |q, planner| planner.optimize(q, env, stats),
         )
     }

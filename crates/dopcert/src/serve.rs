@@ -204,6 +204,11 @@ struct Shared {
     /// End-to-end request latency (µs) per request kind, including
     /// queueing — the tail a client actually observes.
     latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// The daemon-wide mined catalog: published by whichever worker
+    /// answers a `mine` request, adopted by every worker before an
+    /// `optimize` request with `mined-rules` on — one catalog shared
+    /// across all resident sessions.
+    mined: std::sync::RwLock<Option<Arc<Vec<egraph::MinedRule>>>>,
 }
 
 impl Shared {
@@ -342,6 +347,7 @@ impl Server {
                 })
                 .collect(),
             latency: Mutex::new(BTreeMap::new()),
+            mined: std::sync::RwLock::new(None),
         });
 
         let mut senders = Vec::with_capacity(workers);
@@ -361,7 +367,24 @@ impl Server {
                 );
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
+                    // The mined catalog is daemon-wide: adopt the latest
+                    // published one before a mined-rules plan search …
+                    if let Request::Optimize { opts, .. } = &job.req {
+                        if opts.mined_rules {
+                            let published =
+                                shared.mined.read().expect("mined catalog lock").clone();
+                            if let Some(rules) = published {
+                                workspace.set_mined_catalog(rules);
+                            }
+                        }
+                    }
                     let resp = workspace.execute(&job.req);
+                    // … and publish the outcome of a mining run for the
+                    // other workers' sessions.
+                    if matches!(job.req, Request::Mine { .. }) {
+                        *shared.mined.write().expect("mined catalog lock") =
+                            Some(workspace.mined_catalog());
+                    }
                     shared.count_response(&resp, start.elapsed().as_micros());
                     // A dropped receiver means the client hung up
                     // mid-request; the work is already counted.
@@ -493,6 +516,7 @@ fn kind_of(req: &Request) -> &'static str {
         Request::Optimize { .. } => "optimize",
         Request::Catalog { .. } => "catalog",
         Request::Discover { .. } => "discover",
+        Request::Mine { .. } => "mine",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Profile => "profile",
@@ -612,22 +636,26 @@ fn handle_line(line: &str, shared: &Shared, senders: &[Sender<Job>]) -> (&'stati
 /// per-goal iteration budget against the tenant's allowance (refilled
 /// first, when a policy is configured).
 fn admit(tenant: &str, req: &Request, shared: &Shared) -> Result<(), String> {
-    let opts = match req {
+    let iters = match req {
         Request::Prove { opts, .. }
         | Request::Optimize { opts, .. }
         | Request::Catalog { opts, .. }
-        | Request::Discover { opts } => opts,
+        | Request::Discover { opts } => {
+            // The declared budget; scripts cannot raise it past the
+            // admission check because a script directive only fills
+            // knobs the request left unset, and unset knobs resolve to
+            // the same default charged here.
+            opts.budget.apply(Budget::default()).max_iters
+        }
+        // Mining runs its own internal discovery/certification budgets;
+        // charge it like a default-budget request.
+        Request::Mine { .. } => Budget::default().max_iters,
         Request::Stats
         | Request::Metrics
         | Request::Profile
         | Request::Trace
         | Request::Shutdown => return Ok(()),
     };
-    // The declared budget; scripts cannot raise it past the admission
-    // check because a script directive only fills knobs the request
-    // left unset, and unset knobs resolve to the same default charged
-    // here.
-    let iters = opts.budget.apply(Budget::default()).max_iters;
     let budget = shared.config.tenant_budget;
     let now_ns = shared.started.elapsed().as_nanos() as u64;
     let mut ledger = shared.tenants.lock().expect("tenants lock");
@@ -659,6 +687,10 @@ fn route(req: &Request, workers: usize) -> usize {
         }
         Request::Catalog { .. } => "catalog".hash(&mut hasher),
         Request::Discover { .. } => "discover".hash(&mut hasher),
+        Request::Mine { seed, .. } => {
+            "mine".hash(&mut hasher);
+            seed.hash(&mut hasher);
+        }
         Request::Stats
         | Request::Metrics
         | Request::Profile
@@ -894,6 +926,37 @@ mod tests {
         assert!(reply.ok, "{reply:?}");
         assert_eq!(reply.kind, "trace");
         assert!(reply.lines.concat().contains("traceEvents"), "{reply:?}");
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn mine_request_over_the_wire_publishes_the_daemon_catalog() {
+        let server = Server::start(local_config()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let mine_req = Request::Mine {
+            seed: mine::MineConfig::default().seed,
+            count: 3,
+        };
+        let reply = request_once(&addr, &Json::Null, "default", &mine_req).expect("request");
+        assert!(reply.ok, "{reply:?}");
+        assert!(
+            reply.lines[0].starts_with("mined 3 rules"),
+            "{:?}",
+            reply.lines
+        );
+        assert_eq!(reply.lines, execute(&mine_req).render());
+        // The mined catalog is now daemon-resident: a flagged optimize
+        // adopts it and still ships a certified plan.
+        let opt_req = Request::Optimize {
+            script: "table R(int);\nverify (R UNION ALL R) == (R UNION ALL R);".into(),
+            opts: RequestOptions {
+                mined_rules: true,
+                ..RequestOptions::default()
+            },
+        };
+        let reply = request_once(&addr, &Json::Null, "default", &opt_req).expect("request");
+        assert!(reply.ok, "{reply:?}");
         server.shutdown();
         server.wait();
     }

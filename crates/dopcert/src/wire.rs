@@ -18,12 +18,14 @@
 //! ```
 //!
 //! `cmd` is required: `check`, `prove`, `optimize`, `catalog`,
-//! `discover`, `stats`, `metrics`, `profile`, `trace`, or `shutdown`.
-//! `script` is required for `check`/`prove`/`optimize`. Everything
-//! else is optional; `id` is echoed back verbatim, `tenant` names the
-//! budget-admission account (default `"default"`). Budget knobs are
-//! validated by the same [`BudgetSpec`] the CLI flags and script
-//! directives go through.
+//! `discover`, `mine`, `stats`, `metrics`, `profile`, `trace`, or
+//! `shutdown`. `script` is required for `check`/`prove`/`optimize`.
+//! Everything else is optional; `id` is echoed back verbatim, `tenant`
+//! names the budget-admission account (default `"default"`). `mine`
+//! takes optional `seed` and `count` integers; `optimize` accepts
+//! `"mined-rules": true` to search with the daemon's mined catalog.
+//! Budget knobs are validated by the same [`BudgetSpec`] the CLI flags
+//! and script directives go through.
 //!
 //! Response object:
 //!
@@ -399,6 +401,29 @@ pub fn decode_request(line: &str) -> Result<(Json, String, Request), String> {
             opts,
         },
         "discover" => Request::Discover { opts },
+        "mine" => {
+            let defaults = mine::MineConfig::default();
+            Request::Mine {
+                seed: value
+                    .get("seed")
+                    .map(|v| {
+                        v.as_usize()
+                            .map(|n| n as u64)
+                            .ok_or("seed must be a non-negative integer")
+                    })
+                    .transpose()?
+                    .unwrap_or(defaults.seed),
+                count: value
+                    .get("count")
+                    .map(|v| {
+                        v.as_usize()
+                            .filter(|&n| n > 0)
+                            .ok_or("count must be a positive integer")
+                    })
+                    .transpose()?
+                    .unwrap_or(defaults.max_rules),
+            }
+        }
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "profile" => Request::Profile,
@@ -430,6 +455,9 @@ fn decode_options(value: &Json) -> Result<RequestOptions, String> {
     }
     if let Some(shared) = value.get("shared-cache") {
         opts.shared_cache = shared.as_bool().ok_or("shared-cache must be a boolean")?;
+    }
+    if let Some(mined) = value.get("mined-rules") {
+        opts.mined_rules = mined.as_bool().ok_or("mined-rules must be a boolean")?;
     }
     if let Some(budget) = value.get("budget") {
         let Json::Obj(map) = budget else {
@@ -476,6 +504,9 @@ pub fn encode_request(id: &Json, tenant: &str, req: &Request) -> String {
         if opts.shared_cache != defaults.shared_cache {
             map.insert("shared-cache".to_owned(), Json::Bool(opts.shared_cache));
         }
+        if opts.mined_rules != defaults.mined_rules {
+            map.insert("mined-rules".to_owned(), Json::Bool(opts.mined_rules));
+        }
         if !opts.budget.is_empty() {
             let mut b = BTreeMap::new();
             for (knob, v) in [
@@ -512,6 +543,11 @@ pub fn encode_request(id: &Json, tenant: &str, req: &Request) -> String {
             put_opts(&mut map, opts);
             "discover"
         }
+        Request::Mine { seed, count } => {
+            map.insert("seed".to_owned(), Json::Num(*seed as f64));
+            map.insert("count".to_owned(), Json::Num(*count as f64));
+            "mine"
+        }
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Profile => "profile",
@@ -529,6 +565,7 @@ pub fn encode_response(id: &Json, resp: &Response) -> String {
         Response::Plans(_) => "plans",
         Response::Catalog { .. } => "catalog",
         Response::Discovered(_) => "discovered",
+        Response::Mined(_) => "mined",
         Response::Stats(_) => "stats",
         Response::Metrics(_) => "metrics",
         Response::Profile(_) => "profile",
@@ -827,6 +864,14 @@ mod tests {
             Request::Discover {
                 opts: RequestOptions::default(),
             },
+            Request::Optimize {
+                script: "table R(int);\nverify R == R;".into(),
+                opts: RequestOptions {
+                    mined_rules: true,
+                    ..RequestOptions::default()
+                },
+            },
+            Request::Mine { seed: 7, count: 4 },
             Request::Stats,
             Request::Metrics,
             Request::Profile,
@@ -854,6 +899,9 @@ mod tests {
             r#"{"cmd":"prove","script":"x","budget":{"bogus":3}}"#,
             r#"{"cmd":"prove","script":"x","saturate":"sideways"}"#,
             r#"{"cmd":"prove","script":"x","jobs":-1}"#,
+            r#"{"cmd":"mine","count":0}"#,
+            r#"{"cmd":"mine","seed":-4}"#,
+            r#"{"cmd":"optimize","script":"x","mined-rules":"yes"}"#,
         ] {
             assert!(decode_request(bad).is_err(), "{bad}");
         }

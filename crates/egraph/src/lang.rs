@@ -85,6 +85,26 @@ pub enum ENode {
 }
 
 impl ENode {
+    /// Whether this node is of UExpr sort (as opposed to term sort).
+    /// Sorts never mix within a class, so any representative answers
+    /// for the whole class — extraction-based rewrites use this to skip
+    /// term-sort classes, which [`node_to_uexpr`] refuses to read back.
+    pub fn is_uexpr_sort(&self) -> bool {
+        matches!(
+            self,
+            ENode::Zero
+                | ENode::One
+                | ENode::Add(_)
+                | ENode::Mul(_)
+                | ENode::Not(_)
+                | ENode::Squash(_)
+                | ENode::Sum(_, _)
+                | ENode::Eq(_, _)
+                | ENode::Rel(_, _)
+                | ENode::Pred(_, _)
+        )
+    }
+
     /// The children, in node order.
     pub fn children(&self) -> Vec<Id> {
         match self {

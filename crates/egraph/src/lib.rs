@@ -39,6 +39,7 @@ mod arena;
 pub mod extract;
 pub mod graph;
 pub mod lang;
+pub mod mined;
 pub mod prove;
 pub mod rewrite;
 pub mod session;
@@ -48,6 +49,7 @@ pub mod unionfind;
 pub use extract::{CostFunction, TreeSize};
 pub use graph::{EGraph, RebuildMode};
 pub use lang::ENode;
+pub use mined::{MinedRule, MINED_LABEL_PREFIX};
 pub use prove::{
     prove_eq_saturate, prove_eq_saturate_cached, prove_eq_saturate_session, SaturateFailure,
 };

@@ -1,0 +1,474 @@
+//! Mined rewrite rules: certified rule schemas synthesized by the
+//! `mine` crate's discovery loop, compiled into the saturation solver's
+//! rewrite table alongside the built-in lemma rewrites.
+//!
+//! A [`MinedRule`] is a pair of *closed* pattern expressions over
+//! metavariable **holes** — nullary relation atoms whose name starts
+//! with `?` (e.g. `Rel("?h0", Unit)`). Holes stand for arbitrary
+//! (sub)expressions; the certification trace attached to the rule was
+//! produced by the trusted prover stack on the schema itself, with the
+//! hole atoms treated as opaque relations, so it is parametric in the
+//! holes: every instance union carries the same replayable lemma steps.
+//!
+//! Application is extraction-based, like the binder rewrites in
+//! [`crate::rewrite`]: each e-class is read back as a named tree, the
+//! left pattern is matched at the root (every subterm is its own class,
+//! so root matching per class covers all positions), the right side is
+//! built by hole substitution with freshly renamed binders, and the
+//! result is re-seeded under the original binder context. Matching is
+//! modulo the readback's graph-specific presentation: `+`/`×` spines
+//! compare as operand multisets (readback nests AC nodes by class id),
+//! `=` compares under both orientations (children are class-id-sorted),
+//! and `Σ` binders compare up to α. The union's
+//! justification carries the rule's certification steps as substeps, so
+//! explanations extracted through a mined union stay Lemma-only and
+//! replayable.
+//!
+//! **Capture discipline**: a hole may bind a subexpression mentioning
+//! variables free in the whole matched class (they resolve through the
+//! reseed scope), but never a variable bound by a `Σ` *inside* the
+//! matched region — that substitution would not be an instance of the
+//! certified schema. The matcher enforces this per binding.
+
+use crate::graph::EGraph;
+use crate::lang::NameEnv;
+use crate::rewrite::{reseed, RewriteCtx};
+use crate::unionfind::Id;
+use std::collections::{HashMap, HashSet};
+use uninomial::lemmas::Lemma;
+use uninomial::syntax::{Term, UExpr};
+
+/// The profile-label prefix of every mined rule. Built-in rewrite
+/// names never start with it (guarded by a test in `solve`), so mined
+/// attribution rows can never collide with catalog rule rows in
+/// `--profile` tables or `scale diff` rule_attribution series.
+pub const MINED_LABEL_PREFIX: &str = "mined:";
+
+/// Whether a relation name denotes a metavariable hole.
+pub fn is_hole(name: &str) -> bool {
+    name.starts_with('?')
+}
+
+/// A certified mined rewrite rule: closed patterns over holes, plus the
+/// replayable certification trace of the schema equality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinedRule {
+    /// Stable rule name (e.g. `m000`), unique within a mined catalog.
+    /// Attribution rows use [`MinedRule::label`], which prefixes it.
+    pub name: String,
+    /// Left pattern (match side). Closed except for hole atoms.
+    pub lhs: UExpr,
+    /// Right pattern (construct side); its holes ⊆ the left's.
+    pub rhs: UExpr,
+    /// Top-level justification lemma of instance unions (the first
+    /// lemma of the certification trace).
+    pub lemma: Lemma,
+    /// Human-readable union note.
+    pub note: String,
+    /// The schema's certification trace, attached to every instance
+    /// union as substeps (mirroring the oracle-rewrite idiom).
+    pub steps: Vec<(Lemma, String)>,
+}
+
+impl MinedRule {
+    /// The `mined:`-prefixed attribution label of this rule.
+    pub fn label(&self) -> String {
+        format!("{MINED_LABEL_PREFIX}{}", self.name)
+    }
+}
+
+/// Match state: hole bindings, pattern→target binder correspondence,
+/// and the target binders currently in scope (the capture check).
+/// Cloneable so the AC backtracking search can snapshot and roll back.
+#[derive(Default, Clone)]
+struct MatchState {
+    binds: HashMap<String, UExpr>,
+    varmap: HashMap<u32, u32>,
+    bound_target: Vec<u32>,
+}
+
+/// Flattens a `+` or `×` spine into its operand list. Extraction reads
+/// n-ary class nodes back as binary trees nested in *class-id* order,
+/// and class ids are an artifact of the particular e-graph — so the
+/// matcher must treat the whole spine as a multiset, not a tree.
+fn flatten<'a>(e: &'a UExpr, is_add: bool, out: &mut Vec<&'a UExpr>) {
+    match e {
+        UExpr::Add(a, b) if is_add => {
+            flatten(a, true, out);
+            flatten(b, true, out);
+        }
+        UExpr::Mul(a, b) if !is_add => {
+            flatten(a, false, out);
+            flatten(b, false, out);
+        }
+        _ => out.push(e),
+    }
+}
+
+/// AC spines above this many operands fall back to ordered matching:
+/// the backtracking search is factorial in the spine length, and mined
+/// schemas never come close to this fan-in.
+const AC_FANIN_CAP: usize = 8;
+
+/// Matches a pattern operand multiset against a target operand multiset
+/// (one `+`/`×` spine), backtracking over target positions. Concrete
+/// patterns are tried before holes so bindings are forced, not guessed.
+fn match_multiset(pats: &[&UExpr], tgts: &[&UExpr], st: &mut MatchState) -> bool {
+    if pats.len() != tgts.len() {
+        // Holes bind exactly one operand slot: a mined schema abstracts
+        // subterms, never sub-multisets of a spine.
+        return false;
+    }
+    let mut order: Vec<&UExpr> = pats.to_vec();
+    order.sort_by_key(|p| matches!(p, UExpr::Rel(h, Term::Unit) if is_hole(h)));
+    fn go(pats: &[&UExpr], tgts: &mut Vec<&UExpr>, st: &mut MatchState) -> bool {
+        let Some((first, rest)) = pats.split_first() else {
+            return tgts.is_empty();
+        };
+        for i in 0..tgts.len() {
+            let snapshot = st.clone();
+            if match_expr(first, tgts[i], st) {
+                let picked = tgts.remove(i);
+                if go(rest, tgts, st) {
+                    return true;
+                }
+                tgts.insert(i, picked);
+            }
+            *st = snapshot;
+        }
+        false
+    }
+    let mut remaining = tgts.to_vec();
+    go(&order, &mut remaining, st)
+}
+
+fn match_expr(pat: &UExpr, tgt: &UExpr, st: &mut MatchState) -> bool {
+    if let UExpr::Rel(h, Term::Unit) = pat {
+        if is_hole(h) {
+            // Capture check: the binding must not mention a variable
+            // bound inside the matched region.
+            if tgt
+                .free_vars()
+                .iter()
+                .any(|v| st.bound_target.contains(&v.id))
+            {
+                return false;
+            }
+            return match st.binds.get(h) {
+                // Nonlinear holes: later occurrences must bind the
+                // structurally identical subexpression.
+                Some(prev) => prev == tgt,
+                None => {
+                    st.binds.insert(h.clone(), tgt.clone());
+                    true
+                }
+            };
+        }
+    }
+    match (pat, tgt) {
+        (UExpr::Zero, UExpr::Zero) | (UExpr::One, UExpr::One) => true,
+        (UExpr::Add(_, _), UExpr::Add(_, _)) | (UExpr::Mul(_, _), UExpr::Mul(_, _)) => {
+            // `+`/`×` match modulo associativity and commutativity: both
+            // spines flatten to operand multisets. (Readback nests AC
+            // nodes by class id, so ordered matching would make a rule
+            // fire or not depending on which e-graph it runs in.)
+            let is_add = matches!(pat, UExpr::Add(_, _));
+            let (mut ps, mut ts) = (Vec::new(), Vec::new());
+            flatten(pat, is_add, &mut ps);
+            flatten(tgt, is_add, &mut ts);
+            if ps.len() != ts.len() {
+                false
+            } else if ps.len() > AC_FANIN_CAP {
+                ps.iter().zip(&ts).all(|(p, t)| match_expr(p, t, st))
+            } else {
+                match_multiset(&ps, &ts, st)
+            }
+        }
+        (UExpr::Not(a), UExpr::Not(b)) | (UExpr::Squash(a), UExpr::Squash(b)) => {
+            match_expr(a, b, st)
+        }
+        (UExpr::Sum(pv, pb), UExpr::Sum(tv, tb)) => {
+            if pv.schema != tv.schema {
+                return false;
+            }
+            let shadowed = st.varmap.insert(pv.id, tv.id);
+            st.bound_target.push(tv.id);
+            let ok = match_expr(pb, tb, st);
+            st.bound_target.pop();
+            match shadowed {
+                Some(prev) => {
+                    st.varmap.insert(pv.id, prev);
+                }
+                None => {
+                    st.varmap.remove(&pv.id);
+                }
+            }
+            ok
+        }
+        (UExpr::Eq(a, b), UExpr::Eq(c, d)) => {
+            // `=` children are kept class-id-sorted (Lemma `EqSym`), so
+            // the readback orientation is graph-specific: try both.
+            let snapshot = st.clone();
+            if match_term(a, c, st) && match_term(b, d, st) {
+                return true;
+            }
+            *st = snapshot;
+            match_term(a, d, st) && match_term(b, c, st)
+        }
+        (UExpr::Rel(n, a), UExpr::Rel(m, b)) | (UExpr::Pred(n, a), UExpr::Pred(m, b)) => {
+            n == m && match_term(a, b, st)
+        }
+        _ => false,
+    }
+}
+
+fn match_term(pat: &Term, tgt: &Term, st: &mut MatchState) -> bool {
+    match (pat, tgt) {
+        (Term::Var(pv), Term::Var(tv)) => {
+            pv.schema == tv.schema && st.varmap.get(&pv.id) == Some(&tv.id)
+        }
+        (Term::Unit, Term::Unit) => true,
+        (Term::Const(a), Term::Const(b)) => a == b,
+        (Term::Pair(a, b), Term::Pair(c, d)) => match_term(a, c, st) && match_term(b, d, st),
+        (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => match_term(a, b, st),
+        (Term::Fn(f, xs), Term::Fn(g, ys)) => {
+            f == g && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| match_term(x, y, st))
+        }
+        (Term::Agg(n, pv, pb), Term::Agg(m, tv, tb)) => {
+            if n != m || pv.schema != tv.schema {
+                return false;
+            }
+            let shadowed = st.varmap.insert(pv.id, tv.id);
+            st.bound_target.push(tv.id);
+            let ok = match_expr(pb, tb, st);
+            st.bound_target.pop();
+            match shadowed {
+                Some(prev) => {
+                    st.varmap.insert(pv.id, prev);
+                }
+                None => {
+                    st.varmap.remove(&pv.id);
+                }
+            }
+            ok
+        }
+        _ => false,
+    }
+}
+
+/// Replaces hole atoms by their bindings (identity on everything else).
+fn instantiate(e: &UExpr, binds: &HashMap<String, UExpr>) -> UExpr {
+    match e {
+        UExpr::Rel(h, Term::Unit) if is_hole(h) => match binds.get(h) {
+            Some(b) => b.clone(),
+            None => e.clone(),
+        },
+        UExpr::Zero => UExpr::Zero,
+        UExpr::One => UExpr::One,
+        UExpr::Add(a, b) => UExpr::add(instantiate(a, binds), instantiate(b, binds)),
+        UExpr::Mul(a, b) => UExpr::mul(instantiate(a, binds), instantiate(b, binds)),
+        UExpr::Not(x) => UExpr::not(instantiate(x, binds)),
+        UExpr::Squash(x) => UExpr::squash(instantiate(x, binds)),
+        UExpr::Sum(v, b) => UExpr::sum(v.clone(), instantiate(b, binds)),
+        UExpr::Eq(_, _) | UExpr::Rel(_, _) | UExpr::Pred(_, _) => e.clone(),
+    }
+}
+
+/// Instantiates a mined schema side with the given hole bindings —
+/// exactly the substitution [`apply_rule`] performs, exposed so the
+/// miner's soundness property tests exercise the same code path.
+pub fn instantiate_schema(side: &UExpr, binds: &HashMap<String, UExpr>) -> UExpr {
+    instantiate(side, binds)
+}
+
+/// Matches a mined rule's left pattern against an expression at the
+/// root, returning the hole bindings on success. Public for the miner's
+/// property tests; the solver drives [`apply_rule`].
+pub fn match_rule(lhs: &UExpr, target: &UExpr) -> Option<HashMap<String, UExpr>> {
+    let mut st = MatchState::default();
+    match_expr(lhs, target, &mut st).then_some(st.binds)
+}
+
+/// Renames all variables of an expression jointly, in first-occurrence
+/// order, to a canonical sequence — two expressions are α-equivalent
+/// (including consistent free-variable renaming) iff their canonical
+/// forms are equal, *provided* distinct binders carry distinct ids (as
+/// extraction output always does; renaming is id-keyed, so an
+/// expression reusing one id across sibling binders conflates them —
+/// refresh binders first in that case). The miner uses this to dedup
+/// schemas and to orient discovered pairs.
+pub fn alpha_canonical(e: &UExpr) -> UExpr {
+    let mut map = HashMap::new();
+    crate::rewrite::rename_uexpr(e, &mut map)
+}
+
+/// One match-and-apply pass of a mined rule over the snapshot: per
+/// class (deduped through `attempted`), extract, match at the root,
+/// build the instantiated right side with freshly renamed binders, and
+/// union with the rule's certification steps attached. Returns the
+/// number of unions performed.
+pub fn apply_rule(
+    eg: &mut EGraph,
+    ctx: &mut RewriteCtx<'_>,
+    idx: usize,
+    rule: &MinedRule,
+    attempted: &mut HashSet<(usize, Id)>,
+) -> usize {
+    let mut unions = 0;
+    for (node, id) in ctx.snapshot {
+        // Term-sort classes can never match a UExpr pattern (and the
+        // UExpr extractor refuses to read them back).
+        if !node.is_uexpr_sort() {
+            continue;
+        }
+        if !attempted.insert((idx, *id)) {
+            continue;
+        }
+        let mut env = NameEnv::new(ctx.gen);
+        let Some(expr) = eg.extract_uexpr(ctx.best, *id, &mut env) else {
+            continue;
+        };
+        let Some(binds) = match_rule(&rule.lhs, &expr) else {
+            continue;
+        };
+        let scope = env.outer_scope();
+        drop(env);
+        // Fresh binders BEFORE substitution: a schema binder id could
+        // otherwise capture a free variable inside a hole binding.
+        let fresh_rhs = rule.rhs.refresh_binders(ctx.gen);
+        let out = instantiate(&fresh_rhs, &binds);
+        let rhs = reseed(eg, &out, scope);
+        ctx.matches += 1;
+        if eg.union_detailed(*id, rhs, rule.lemma, rule.note.clone(), rule.steps.clone()) {
+            unions += 1;
+        }
+    }
+    unions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::{BaseType, Schema};
+    use uninomial::syntax::Var;
+
+    fn hole(name: &str) -> UExpr {
+        UExpr::rel(name, Term::Unit)
+    }
+
+    fn atom(name: &str) -> UExpr {
+        UExpr::rel(name, Term::Unit)
+    }
+
+    fn var(id: u32) -> Var {
+        Var {
+            id,
+            schema: Schema::leaf(BaseType::Int),
+        }
+    }
+
+    #[test]
+    fn holes_bind_and_stay_nonlinear() {
+        // ‖?a + ?a‖ matches ‖R + R‖ but not ‖R + S‖.
+        let pat = UExpr::squash(UExpr::add(hole("?a"), hole("?a")));
+        let yes = UExpr::squash(UExpr::add(atom("R"), atom("R")));
+        let no = UExpr::squash(UExpr::add(atom("R"), atom("S")));
+        let binds = match_rule(&pat, &yes).expect("matches");
+        assert_eq!(binds["?a"], atom("R"));
+        assert!(match_rule(&pat, &no).is_none());
+    }
+
+    #[test]
+    fn capture_is_rejected() {
+        // ‖?a‖ under Σ: matching Σx.‖R(x)‖'s squash body is fine at the
+        // squash class, but a pattern Σx.‖?a‖ must not bind ?a := R(x).
+        let v = var(0);
+        let pat = UExpr::sum(v.clone(), UExpr::squash(hole("?a")));
+        let tgt = UExpr::sum(v.clone(), UExpr::squash(UExpr::rel("R", Term::var(&v))));
+        assert!(match_rule(&pat, &tgt).is_none(), "capture must be rejected");
+        // A binder-free body is fine.
+        let tgt2 = UExpr::sum(v, UExpr::squash(atom("R")));
+        assert!(match_rule(&pat, &tgt2).is_some());
+    }
+
+    #[test]
+    fn binders_match_modulo_alpha() {
+        let (p, t) = (var(0), var(7));
+        let pat = UExpr::sum(p.clone(), UExpr::rel("R", Term::var(&p)));
+        let tgt = UExpr::sum(t.clone(), UExpr::rel("R", Term::var(&t)));
+        assert!(match_rule(&pat, &tgt).is_some());
+        // Mismatched bound occurrences do not.
+        let other = var(9);
+        let bad = UExpr::sum(t, UExpr::rel("R", Term::var(&other)));
+        assert!(match_rule(&pat, &bad).is_none());
+    }
+
+    #[test]
+    fn instantiation_replaces_holes() {
+        let rhs = UExpr::squash(hole("?a"));
+        let mut binds = HashMap::new();
+        binds.insert("?a".to_owned(), atom("R"));
+        assert_eq!(instantiate_schema(&rhs, &binds), UExpr::squash(atom("R")));
+    }
+
+    #[test]
+    fn ac_spines_match_as_multisets() {
+        // Readback nests `+`/`×` by class id, so the same multiset can
+        // present under any grouping and order — all must match.
+        let pat = UExpr::mul(
+            hole("?a"),
+            UExpr::mul(UExpr::mul(atom("B"), atom("C")), atom("D")),
+        );
+        let tgt = UExpr::mul(
+            UExpr::mul(atom("D"), atom("A")),
+            UExpr::mul(atom("C"), atom("B")),
+        );
+        let binds = match_rule(&pat, &tgt).expect("AC match");
+        assert_eq!(binds["?a"], atom("A"), "hole takes the leftover operand");
+        // A missing operand is still a mismatch.
+        let short = UExpr::mul(atom("B"), UExpr::mul(atom("C"), atom("D")));
+        assert!(match_rule(&pat, &short).is_none());
+    }
+
+    #[test]
+    fn eq_matches_under_both_orientations() {
+        let v = var(0);
+        let w = var(1);
+        let pat = UExpr::sum(
+            v.clone(),
+            UExpr::sum(w.clone(), UExpr::eq(Term::var(&v), Term::var(&w))),
+        );
+        // Same binder structure, `=` children swapped (class-id sorting
+        // can emit either orientation).
+        let tgt = UExpr::sum(
+            v.clone(),
+            UExpr::sum(w.clone(), UExpr::eq(Term::var(&w), Term::var(&v))),
+        );
+        assert!(match_rule(&pat, &tgt).is_some());
+    }
+
+    #[test]
+    fn builtin_rewrite_names_never_collide_with_mined_labels() {
+        // Profile attribution keys mined rows by `mined:`-prefixed
+        // labels; the built-in catalog must never produce one, or a
+        // mined row could shadow a catalog row in `scale diff`
+        // rule_attribution series.
+        for rw in crate::rewrite::default_rewrites() {
+            assert!(
+                !rw.name().starts_with(MINED_LABEL_PREFIX),
+                "built-in rewrite {:?} collides with the mined namespace",
+                rw.name()
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_canonical_identifies_renamings() {
+        let (a, b) = (var(3), var(8));
+        let e1 = UExpr::sum(a.clone(), UExpr::rel("R", Term::var(&a)));
+        let e2 = UExpr::sum(b.clone(), UExpr::rel("R", Term::var(&b)));
+        assert_eq!(alpha_canonical(&e1), alpha_canonical(&e2));
+        let e3 = UExpr::sum(b.clone(), UExpr::rel("S", Term::var(&b)));
+        assert_ne!(alpha_canonical(&e1), alpha_canonical(&e3));
+    }
+}

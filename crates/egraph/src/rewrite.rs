@@ -258,7 +258,7 @@ fn rename_var(v: &Var, map: &mut HashMap<u32, u32>) -> Var {
     }
 }
 
-fn rename_uexpr(e: &UExpr, map: &mut HashMap<u32, u32>) -> UExpr {
+pub(crate) fn rename_uexpr(e: &UExpr, map: &mut HashMap<u32, u32>) -> UExpr {
     match e {
         UExpr::Zero => UExpr::Zero,
         UExpr::One => UExpr::One,

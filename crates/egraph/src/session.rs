@@ -406,18 +406,56 @@ impl Session {
                 let (a, b) = (self.roots[i].class, self.roots[j].class);
                 if self.shared.egraph().same(a, b) {
                     let structural = self.roots[i].key == self.roots[j].key;
+                    let (ki, kj) = (self.roots[i].key.index(), self.roots[j].key.index());
                     let (ta, tb) = (self.roots[i].tag.clone(), self.roots[j].tag.clone());
                     let (ta, tb) = if ta <= tb { (ta, tb) } else { (tb, ta) };
                     if ta == tb {
                         continue;
                     }
-                    out.push((ta, tb, structural));
+                    // Canonical (lhs, rhs) interned-id pair first: the
+                    // worklist order survives tag renames, and
+                    // orientation-symmetric duplicates (same expression
+                    // pair seeded under swapped tags) land adjacent so
+                    // the id-keyed dedup below removes them.
+                    out.push((ki.min(kj), ki.max(kj), ta, tb, structural));
                 }
             }
         }
         out.sort();
-        out.dedup();
-        out
+        out.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1) && a.4 == b.4);
+        out.into_iter()
+            .map(|(_, _, ta, tb, s)| (ta, tb, s))
+            .collect()
+    }
+
+    /// The discovery worklist as expressions: every merged pair of
+    /// distinct roots whose *interned keys* differ, read back from the
+    /// session interner, deduped by canonical key pair and sorted by it.
+    /// This is the rule miner's input — tags are irrelevant to mining,
+    /// so structurally-equal seeds (same key under two tags) are
+    /// skipped rather than flagged.
+    pub fn discovered_exprs(&mut self) -> Vec<(UExpr, UExpr)> {
+        self.saturate_shared();
+        let mut keys: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.roots.len() {
+            for j in (i + 1)..self.roots.len() {
+                let (a, b) = (self.roots[i].class, self.roots[j].class);
+                let (ki, kj) = (self.roots[i].key.index(), self.roots[j].key.index());
+                if ki != kj && self.shared.egraph().same(a, b) {
+                    keys.push((ki.min(kj), ki.max(kj)));
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let ids: std::collections::HashMap<usize, _> =
+            self.roots.iter().map(|r| (r.key.index(), r.key)).collect();
+        keys.into_iter()
+            .filter_map(|(ka, kb)| {
+                let (ia, ib) = (ids.get(&ka)?, ids.get(&kb)?);
+                Some((self.interner.extract(*ia), self.interner.extract(*ib)))
+            })
+            .collect()
     }
 }
 

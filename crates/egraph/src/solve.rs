@@ -4,10 +4,12 @@
 
 use crate::graph::EGraph;
 use crate::lang::{BinderStack, ENode};
+use crate::mined::MinedRule;
 use crate::rewrite::{default_rewrites, OracleMemo, Rewrite, RewriteCtx};
 use crate::unionfind::Id;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 use uninomial::normalize::Trace;
 use uninomial::syntax::VarGen;
 use uninomial::{Interner, UExpr, UExprId};
@@ -98,7 +100,15 @@ pub struct Solver {
     eg: EGraph,
     gen: VarGen,
     rewrites: Vec<Rewrite>,
+    /// Certified mined rules applied after the built-in rewrites each
+    /// iteration. Empty by default — an empty table leaves the search
+    /// bit-identical to a solver without mined-rule support. `Arc` so a
+    /// daemon's workers share one mined catalog without copying.
+    mined: Arc<Vec<MinedRule>>,
     attempted: HashSet<(Rewrite, Id, Id)>,
+    /// Per-(rule, class) application dedup for mined rules, cleared on
+    /// progress exactly like `attempted`.
+    mined_attempted: HashSet<(usize, Id)>,
     /// Oracle verdicts memoized across iterations (never cleared on
     /// progress — entries carry input fingerprints that decide their own
     /// validity; see [`OracleMemo`]).
@@ -115,7 +125,9 @@ impl Solver {
             eg: EGraph::new(),
             gen: VarGen::new(),
             rewrites: default_rewrites(),
+            mined: Arc::new(Vec::new()),
             attempted: HashSet::new(),
+            mined_attempted: HashSet::new(),
             oracle_memo: OracleMemo::new(),
             memo_interner: Interner::new(),
         }
@@ -129,6 +141,20 @@ impl Solver {
     /// The solver's configured (per-run) budget.
     pub fn budget(&self) -> Budget {
         self.budget
+    }
+
+    /// Installs a mined-rule catalog: certified rule schemas applied
+    /// after the built-in rewrites each iteration, attributed under
+    /// `mined:`-prefixed profile labels. Passing an empty catalog
+    /// restores the default behavior exactly.
+    pub fn set_mined_rules(&mut self, rules: Arc<Vec<MinedRule>>) {
+        self.mined = rules;
+        self.mined_attempted.clear();
+    }
+
+    /// The installed mined-rule catalog (empty by default).
+    pub fn mined_rules(&self) -> &Arc<Vec<MinedRule>> {
+        &self.mined
     }
 
     /// Reserves fresh-variable ids above `id` so extraction-generated
@@ -263,6 +289,57 @@ impl Solver {
                     }
                 }
             }
+            if !self.mined.is_empty() && self.eg.node_count() < budget.max_nodes {
+                // Mined rules run after the built-ins, one pass each,
+                // with their own per-class dedup. Attribution mirrors
+                // the built-in block, under `mined:`-prefixed labels so
+                // mined rows can never collide with catalog rule rows.
+                let _s = telemetry::span("egraph.mined");
+                let mined = Arc::clone(&self.mined);
+                for (idx, rule) in mined.iter().enumerate() {
+                    if profiling {
+                        let t0 = telemetry::clock::now_ns();
+                        let n0 = self.eg.node_count();
+                        let u0 = self.eg.union_count();
+                        let m0 = ctx.matches;
+                        crate::mined::apply_rule(
+                            &mut self.eg,
+                            &mut ctx,
+                            idx,
+                            rule,
+                            &mut self.mined_attempted,
+                        );
+                        let label = rule.label();
+                        telemetry::profile_observe(
+                            &label,
+                            "apply_ns",
+                            telemetry::clock::now_ns().saturating_sub(t0),
+                        );
+                        telemetry::profile_count(&label, "matches", (ctx.matches - m0) as u64);
+                        telemetry::profile_count(
+                            &label,
+                            "nodes_added",
+                            (self.eg.node_count() - n0) as u64,
+                        );
+                        telemetry::profile_count(
+                            &label,
+                            "unions",
+                            (self.eg.union_count() - u0) as u64,
+                        );
+                    } else {
+                        crate::mined::apply_rule(
+                            &mut self.eg,
+                            &mut ctx,
+                            idx,
+                            rule,
+                            &mut self.mined_attempted,
+                        );
+                    }
+                    if self.eg.node_count() >= budget.max_nodes {
+                        break;
+                    }
+                }
+            }
             let nodes_mid = self.eg.node_count();
             let unions_mid = self.eg.union_count();
             let rebuild_t0 = profiling.then(telemetry::clock::now_ns);
@@ -316,6 +393,7 @@ impl Solver {
                 // become retryable. Dedup only matters within stalled
                 // rounds, where the set persists and drives termination.
                 self.attempted.clear();
+                self.mined_attempted.clear();
             }
             if self.eg.node_count() == nodes_before && self.eg.union_count() == unions_before {
                 stats.nodes = self.eg.node_count();

@@ -1,0 +1,350 @@
+//! Anti-unification of discovered equal pairs into rule schemas.
+//!
+//! A discovered pair `(l, r)` is a *ground* fact: the two closed
+//! expressions happen to be equal. The generalization step turns pairs
+//! of facts into *schemas*: anti-unifying `(l₁, l₂)` and `(r₁, r₂)`
+//! under one shared hole table computes the least general
+//! generalization of the two facts — positions where the facts disagree
+//! become metavariable holes (rendered as `?hN` relation atoms, the
+//! representation the e-graph matcher in [`egraph::mined`]
+//! understands), and the same disagreeing subexpression pair always maps
+//! to the same hole, so nonlinear patterns like `‖?h0 + ?h0‖` survive.
+//!
+//! Two discipline checks keep this sound:
+//!
+//! - **capture**: a position is abstracted into a hole only when both
+//!   subexpressions are closed — a subexpression mentioning a Σ-bound
+//!   variable cannot move under a metavariable without changing meaning;
+//! - **wellformedness**: the right side's holes must be a subset of the
+//!   left side's (applying the rule never invents bindings), the left
+//!   side is not a bare hole (which would match everything), and the two
+//!   sides are not α-equal (a trivial rule).
+//!
+//! The soundness contract, checked by property tests: substituting the
+//! first (resp. second) components of the returned hole assignments into
+//! the schema yields the first (resp. second) source pair back, up to α.
+
+use egraph::mined::{alpha_canonical, is_hole};
+use std::collections::HashMap;
+use uninomial::syntax::{Term, UExpr, VarGen};
+
+/// A candidate rule schema: two sides over shared `?hN` holes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Pattern side (matched against e-classes).
+    pub lhs: UExpr,
+    /// Replacement side (its holes are a subset of the pattern's).
+    pub rhs: UExpr,
+    /// Hole names in first-assignment order (empty for ground rules).
+    pub holes: Vec<String>,
+}
+
+/// A successful cross-pair generalization: the schema plus the two hole
+/// assignments that recover the source pairs.
+#[derive(Clone, Debug)]
+pub struct Generalization {
+    /// The mined schema.
+    pub candidate: Candidate,
+    /// Hole assignment recovering the first source pair.
+    pub first: HashMap<String, UExpr>,
+    /// Hole assignment recovering the second source pair.
+    pub second: HashMap<String, UExpr>,
+}
+
+/// Shared hole table: the same `(x, y)` disagreement pair always
+/// reuses its hole, across both sides of the schema. Keys are
+/// α-canonical — the two sides of a source pair carry independently
+/// refreshed binder ids, and a hole must unify across them.
+struct HoleTable {
+    entries: Vec<((UExpr, UExpr), String)>,
+}
+
+impl HoleTable {
+    fn new() -> HoleTable {
+        HoleTable {
+            entries: Vec::new(),
+        }
+    }
+
+    fn hole_for(&mut self, a: &UExpr, b: &UExpr) -> UExpr {
+        let key = (alpha_canonical(a), alpha_canonical(b));
+        for ((x, y), name) in &self.entries {
+            if *x == key.0 && *y == key.1 {
+                return hole_expr(name);
+            }
+        }
+        let name = format!("?h{}", self.entries.len());
+        self.entries.push((key, name.clone()));
+        hole_expr(&name)
+    }
+}
+
+/// The hole representation: an opaque relation atom over the unit
+/// tuple. Opaque to the normalizer, the saturation rewrites, and the
+/// eval oracle alike — so a certificate for a schema is parametric in
+/// its holes.
+pub fn hole_expr(name: &str) -> UExpr {
+    UExpr::rel(name, Term::Unit)
+}
+
+/// Least general generalization of two expressions under a shared hole
+/// table. Returns `None` when the two disagree at a position that is
+/// not closed on both sides (abstracting there would capture).
+fn lgg(a: &UExpr, b: &UExpr, tbl: &mut HoleTable) -> Option<UExpr> {
+    if a == b {
+        return Some(a.clone());
+    }
+    let structural = match (a, b) {
+        (UExpr::Add(a1, a2), UExpr::Add(b1, b2)) => {
+            lgg(a1, b1, tbl).and_then(|l| lgg(a2, b2, tbl).map(|r| UExpr::add(l, r)))
+        }
+        (UExpr::Mul(a1, a2), UExpr::Mul(b1, b2)) => {
+            lgg(a1, b1, tbl).and_then(|l| lgg(a2, b2, tbl).map(|r| UExpr::mul(l, r)))
+        }
+        (UExpr::Not(x), UExpr::Not(y)) => lgg(x, y, tbl).map(UExpr::not),
+        (UExpr::Squash(x), UExpr::Squash(y)) => lgg(x, y, tbl).map(UExpr::squash),
+        (UExpr::Sum(v1, b1), UExpr::Sum(v2, b2)) if v1.schema == v2.schema => {
+            // α-align the binders before descending: the callers
+            // pre-refresh both inputs into disjoint id ranges, so
+            // renaming v2 → v1 cannot capture.
+            let aligned = b2.subst(v2, &Term::var(v1));
+            lgg(b1, &aligned, tbl).map(|body| UExpr::sum(v1.clone(), body))
+        }
+        _ => None,
+    };
+    if let Some(e) = structural {
+        return Some(e);
+    }
+    // Disagreement (or a child that could not generalize): abstract the
+    // whole position into a hole — but only capture-free, i.e. closed.
+    if a.free_vars().is_empty() && b.free_vars().is_empty() {
+        Some(tbl.hole_for(a, b))
+    } else {
+        None
+    }
+}
+
+/// Syntactic size, used to orient schemas larger-side-left.
+pub fn size(e: &UExpr) -> usize {
+    match e {
+        UExpr::Zero | UExpr::One | UExpr::Eq(_, _) | UExpr::Rel(_, _) | UExpr::Pred(_, _) => 1,
+        UExpr::Add(a, b) | UExpr::Mul(a, b) => 1 + size(a) + size(b),
+        UExpr::Not(x) | UExpr::Squash(x) => 1 + size(x),
+        UExpr::Sum(_, b) => 1 + size(b),
+    }
+}
+
+/// Collects hole names in first-occurrence order (depth-first).
+pub fn holes_of(e: &UExpr) -> Vec<String> {
+    fn walk(e: &UExpr, out: &mut Vec<String>) {
+        match e {
+            UExpr::Rel(name, _) if is_hole(name) && !out.contains(name) => {
+                out.push(name.clone());
+            }
+            UExpr::Add(a, b) | UExpr::Mul(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            UExpr::Not(x) | UExpr::Squash(x) | UExpr::Sum(_, x) => walk(x, out),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
+/// Wellformedness of an *oriented* schema. See the module docs.
+pub fn well_formed(lhs: &UExpr, rhs: &UExpr) -> bool {
+    if matches!(lhs, UExpr::Rel(name, _) if is_hole(name)) {
+        return false; // bare hole matches everything
+    }
+    if !lhs.free_vars().is_empty() || !rhs.free_vars().is_empty() {
+        return false; // sides must be closed modulo holes
+    }
+    let lh = holes_of(lhs);
+    if !holes_of(rhs).iter().all(|h| lh.contains(h)) {
+        return false; // rhs may not invent holes
+    }
+    alpha_canonical(lhs) != alpha_canonical(rhs)
+}
+
+/// Orients a schema larger-side-left (rewriting toward smaller terms);
+/// ties break on the rendered form for determinism.
+pub fn orient(lhs: UExpr, rhs: UExpr) -> (UExpr, UExpr) {
+    let (sl, sr) = (size(&lhs), size(&rhs));
+    if sl > sr || (sl == sr && format!("{lhs}") >= format!("{rhs}")) {
+        (lhs, rhs)
+    } else {
+        (rhs, lhs)
+    }
+}
+
+/// A deterministic dedup key: α-canonical rendering of both sides.
+/// Hole names are already canonical (assignment order), so schemas
+/// differing only in bound-variable names collapse.
+pub fn canonical_key(lhs: &UExpr, rhs: &UExpr) -> String {
+    format!("{} == {}", alpha_canonical(lhs), alpha_canonical(rhs))
+}
+
+/// The ground candidate of a single discovered pair: the pair verbatim,
+/// no holes. `None` when the pair is α-trivial.
+pub fn ground_candidate(pair: &(UExpr, UExpr)) -> Option<Candidate> {
+    let (lhs, rhs) = orient(pair.0.clone(), pair.1.clone());
+    if !well_formed(&lhs, &rhs) {
+        return None;
+    }
+    Some(Candidate {
+        lhs,
+        rhs,
+        holes: Vec::new(),
+    })
+}
+
+/// Cross-pair generalization: anti-unify the left sides and the right
+/// sides of two discovered pairs under one shared hole table, orient,
+/// and check wellformedness. Returns the schema together with the two
+/// hole assignments that recover the sources.
+pub fn anti_unify(p1: &(UExpr, UExpr), p2: &(UExpr, UExpr)) -> Option<Generalization> {
+    // Disjoint binder namespaces so Sum α-alignment cannot capture.
+    let mut gen = VarGen::new();
+    gen.reserve_above(p1.0.max_var_id().max(p1.1.max_var_id()));
+    let l2 = p2.0.refresh_binders(&mut gen);
+    let r2 = p2.1.refresh_binders(&mut gen);
+
+    let mut tbl = HoleTable::new();
+    let lhs = lgg(&p1.0, &l2, &mut tbl)?;
+    let rhs = lgg(&p1.1, &r2, &mut tbl)?;
+    let swap = {
+        let (olhs, _) = orient(lhs.clone(), rhs.clone());
+        olhs != lhs
+    };
+    let (lhs, rhs) = if swap { (rhs, lhs) } else { (lhs, rhs) };
+    if !well_formed(&lhs, &rhs) {
+        return None;
+    }
+    let mut first = HashMap::new();
+    let mut second = HashMap::new();
+    let mut holes = Vec::new();
+    for ((x, y), name) in tbl.entries {
+        first.insert(name.clone(), x);
+        second.insert(name.clone(), y);
+        holes.push(name);
+    }
+    // Only holes actually used by the oriented schema matter.
+    let used = holes_of(&lhs);
+    holes.retain(|h| used.contains(h));
+    first.retain(|h, _| used.contains(h));
+    second.retain(|h, _| used.contains(h));
+    Some(Generalization {
+        candidate: Candidate { lhs, rhs, holes },
+        first,
+        second,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str) -> UExpr {
+        UExpr::rel(name, Term::Unit)
+    }
+
+    #[test]
+    fn cross_pair_lgg_generalizes_the_disagreement() {
+        let a = atom("A");
+        let b = atom("B");
+        let p1 = (
+            UExpr::squash(UExpr::squash(a.clone())),
+            UExpr::squash(a.clone()),
+        );
+        let p2 = (
+            UExpr::squash(UExpr::squash(b.clone())),
+            UExpr::squash(b.clone()),
+        );
+        let g = anti_unify(&p1, &p2).expect("generalizes");
+        assert_eq!(
+            g.candidate.lhs,
+            UExpr::squash(UExpr::squash(hole_expr("?h0")))
+        );
+        assert_eq!(g.candidate.rhs, UExpr::squash(hole_expr("?h0")));
+        assert_eq!(g.first.get("?h0"), Some(&a));
+        assert_eq!(g.second.get("?h0"), Some(&b));
+    }
+
+    #[test]
+    fn nonlinear_disagreements_share_a_hole() {
+        let a = atom("A");
+        let b = atom("B");
+        let p1 = (
+            UExpr::squash(UExpr::add(a.clone(), a.clone())),
+            UExpr::squash(a.clone()),
+        );
+        let p2 = (
+            UExpr::squash(UExpr::add(b.clone(), b.clone())),
+            UExpr::squash(b.clone()),
+        );
+        let g = anti_unify(&p1, &p2).expect("generalizes");
+        assert_eq!(g.candidate.holes, vec!["?h0".to_owned()]);
+        assert_eq!(
+            g.candidate.lhs,
+            UExpr::squash(UExpr::add(hole_expr("?h0"), hole_expr("?h0")))
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_collapses_to_an_illformed_bare_hole() {
+        let a = atom("A");
+        let b = atom("B");
+        // (a+b = b+a) vs (a×b = b×a): the whole left sides disagree in
+        // kind, so the LGG is a bare hole — rejected as ill-formed.
+        let p1 = (
+            UExpr::add(a.clone(), b.clone()),
+            UExpr::add(b.clone(), a.clone()),
+        );
+        let p2 = (
+            UExpr::mul(a.clone(), b.clone()),
+            UExpr::mul(b.clone(), a.clone()),
+        );
+        assert!(anti_unify(&p1, &p2).is_none());
+    }
+
+    #[test]
+    fn bound_variable_positions_refuse_to_abstract() {
+        use relalg::{BaseType, Schema};
+        use uninomial::syntax::Var;
+        let v = Var {
+            id: 0,
+            schema: Schema::Leaf(BaseType::Int),
+        };
+        // Σv. R(v) vs Σv. S(v): the disagreement R(v) ≠ S(v) mentions
+        // the bound variable, so no hole may form there, and the outer
+        // sums are closed — the LGG degenerates to a bare hole, which
+        // wellformedness rejects.
+        let p1 = (
+            UExpr::sum(v.clone(), UExpr::rel("R", Term::var(&v))),
+            UExpr::sum(v.clone(), UExpr::rel("R", Term::var(&v))),
+        );
+        let p2 = (
+            UExpr::sum(v.clone(), UExpr::rel("S", Term::var(&v))),
+            UExpr::sum(v.clone(), UExpr::rel("T", Term::var(&v))),
+        );
+        assert!(anti_unify(&p1, &p2).is_none());
+    }
+
+    #[test]
+    fn ground_candidates_keep_the_pair_verbatim() {
+        let a = atom("A");
+        let pair = (
+            UExpr::not(UExpr::not(UExpr::not(a.clone()))),
+            UExpr::not(a.clone()),
+        );
+        let c = ground_candidate(&pair).expect("wellformed");
+        assert_eq!(c.lhs, pair.0, "larger side stays left");
+        assert_eq!(c.rhs, pair.1);
+        assert!(c.holes.is_empty());
+        // α-trivial pairs are rejected.
+        assert!(ground_candidate(&(a.clone(), a.clone())).is_none());
+    }
+}

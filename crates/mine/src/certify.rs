@@ -1,0 +1,149 @@
+//! Certification of screened candidates with the trusted prover stack.
+//!
+//! Screening is evidence, not proof. A candidate enters the catalog
+//! only when the existing tactics-then-saturation pipeline proves its
+//! two sides equal — with holes left as opaque relation atoms, so the
+//! resulting derivation is *parametric*: it holds for every closed
+//! instantiation of the holes. The lemma trace of the proof becomes the
+//! rule's [`Certificate`]; feeding the rule back into saturation
+//! attaches that trace to every union it performs, so `explain` output
+//! for mined rules replays Lemma-only steps exactly like hand-written
+//! catalog rules. Certification is deterministic, which is what makes
+//! [`Certificate::replays`] meaningful: re-proving must reproduce the
+//! byte-identical step list.
+
+use egraph::{Budget, MinedRule, SaturateFailure};
+use uninomial::lemmas::Lemma;
+use uninomial::prove::{prove_eq_with_axioms, Method};
+use uninomial::syntax::{UExpr, VarGen};
+
+/// A replayable proof of one mined rule: which engine closed it and the
+/// Lemma-only step list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// `"tactics"` (normalizer/equational stack) or `"saturate"`.
+    pub method: String,
+    /// The full lemma trace of the proof.
+    pub steps: Vec<(Lemma, String)>,
+}
+
+/// The saturation budget used when the tactics stack cannot close a
+/// candidate on its own.
+pub fn certify_budget() -> Budget {
+    Budget::new(12, 3_000)
+}
+
+fn fresh_gen(lhs: &UExpr, rhs: &UExpr) -> VarGen {
+    let mut gen = VarGen::new();
+    gen.reserve_above(lhs.max_var_id().max(rhs.max_var_id()));
+    gen
+}
+
+/// Attempts to certify `lhs = rhs` (holes opaque): tactics first, then
+/// budgeted saturation. `None` when both engines give up — the
+/// candidate is dropped, not trusted.
+pub fn certify(lhs: &UExpr, rhs: &UExpr) -> Option<Certificate> {
+    let mut gen = fresh_gen(lhs, rhs);
+    if let Ok(proof) = prove_eq_with_axioms(lhs, rhs, &[], &mut gen) {
+        let method = match proof.method() {
+            Method::Syntactic => "tactics/syntactic",
+            _ => "tactics",
+        };
+        return Some(Certificate {
+            method: method.to_owned(),
+            steps: proof.trace().steps().to_vec(),
+        });
+    }
+    let mut gen = fresh_gen(lhs, rhs);
+    match egraph::prove_eq_saturate(lhs, rhs, &[], &mut gen, certify_budget()) {
+        Ok(proof) => Some(Certificate {
+            method: "saturate".to_owned(),
+            steps: proof.trace().steps().to_vec(),
+        }),
+        Err(SaturateFailure { .. }) => None,
+    }
+}
+
+impl Certificate {
+    /// Re-proves the rule from scratch and checks the derivation is
+    /// byte-identical — the "certificate replays" acceptance check.
+    pub fn replays(&self, lhs: &UExpr, rhs: &UExpr) -> bool {
+        certify(lhs, rhs).as_ref() == Some(self)
+    }
+}
+
+/// Compiles a certified candidate into the e-graph's [`MinedRule`]
+/// shape. The union justification leads with the certificate's first
+/// lemma (or `AlphaRename` for step-free syntactic proofs) and carries
+/// the remaining steps as substeps, so an `explain` of any union this
+/// rule performs replays the full certificate.
+///
+/// Patterns are stored with projection spines β-reduced: the e-graph
+/// beta-reduces `t.1`/`t.2` of pairs at node-add time, so extraction
+/// readback only ever presents reduced terms — an unreduced pattern
+/// would never fire outside the graph it was discovered in.
+pub fn to_mined_rule(name: &str, lhs: &UExpr, rhs: &UExpr, cert: &Certificate) -> MinedRule {
+    let label = format!("{}{name}", egraph::MINED_LABEL_PREFIX);
+    let (lemma, note, steps) = match cert.steps.split_first() {
+        Some(((first, first_note), rest)) => {
+            (*first, format!("{label}: {first_note}"), rest.to_vec())
+        }
+        None => (
+            Lemma::AlphaRename,
+            format!("{label}: sides α-equal"),
+            Vec::new(),
+        ),
+    };
+    MinedRule {
+        name: name.to_owned(),
+        lhs: lhs.beta_reduce_terms(),
+        rhs: rhs.beta_reduce_terms(),
+        lemma,
+        note,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antiunify::hole_expr;
+
+    #[test]
+    fn parametric_squash_dedup_certifies_and_replays() {
+        let lhs = UExpr::squash(UExpr::squash(hole_expr("?h0")));
+        let rhs = UExpr::squash(hole_expr("?h0"));
+        let cert = certify(&lhs, &rhs).expect("‖‖x‖‖ = ‖x‖ is provable parametrically");
+        assert!(!cert.method.is_empty());
+        assert!(
+            cert.replays(&lhs, &rhs),
+            "certificate must replay byte-identically"
+        );
+        let rule = to_mined_rule("m000", &lhs, &rhs, &cert);
+        assert_eq!(rule.label(), "mined:m000");
+    }
+
+    #[test]
+    fn compiled_patterns_are_beta_reduced() {
+        // The e-graph β-reduces projections of pairs at node-add time,
+        // so a compiled pattern carrying `((), t).2` would never match
+        // any readback — compilation must store the reduced form.
+        use uninomial::syntax::Term;
+        let raw = UExpr::pred("P", Term::snd(Term::pair(Term::Unit, Term::int(3))));
+        let lhs = UExpr::squash(UExpr::squash(raw.clone()));
+        let rhs = UExpr::squash(raw.clone());
+        let cert = certify(&lhs, &rhs).expect("‖‖P‖‖ = ‖P‖ certifies");
+        let rule = to_mined_rule("m001", &lhs, &rhs, &cert);
+        let reduced = UExpr::pred("P", Term::int(3));
+        assert_eq!(rule.lhs, UExpr::squash(UExpr::squash(reduced.clone())));
+        assert_eq!(rule.rhs, UExpr::squash(reduced));
+    }
+
+    #[test]
+    fn unprovable_candidates_are_rejected() {
+        // ‖x‖ = x is not a theorem; neither engine may accept it.
+        let lhs = UExpr::squash(hole_expr("?h0"));
+        let rhs = hole_expr("?h0");
+        assert!(certify(&lhs, &rhs).is_none());
+    }
+}

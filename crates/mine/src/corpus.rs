@@ -1,0 +1,113 @@
+//! Closed-expression corpora for the mining loop.
+//!
+//! The miner needs a pool of *closed* [`UExpr`]s: anti-unification can
+//! only abstract a subexpression into a metavariable hole when the
+//! subexpression carries no free (in particular no Σ-bound) variables,
+//! and the screening oracle evaluates candidates under an empty
+//! environment. The pool is built from generated conjunctive queries —
+//! each CQ denotes through the HoTTSQL front end exactly as the prover
+//! pipeline denotes it, then closes over its output-tuple variable with
+//! an outer Σ (turning "tuples of the answer" into "cardinality of the
+//! answer", a closed UniNomial) — plus a systematic layer of algebraic
+//! combinations (`‖·‖`, `¬`, `+`, `×`) over the base atoms. The
+//! combination layer is what makes discovery productive: saturating the
+//! combos surfaces the equal pairs (`‖‖a‖‖ = ‖a‖`, `a+b = b+a`, …)
+//! that anti-unification then generalizes across base atoms into
+//! schemas.
+
+use cq::generate::random_cq;
+use hottsql::denote::denote_closed_query;
+use hottsql::env::QueryEnv;
+use relalg::{BaseType, Schema};
+use uninomial::syntax::{UExpr, VarGen};
+
+/// The table environment all corpus CQs are generated against: three
+/// binary integer relations, the same shape `cq::generate` draws from.
+pub fn corpus_env() -> QueryEnv {
+    let binary = Schema::flat([BaseType::Int, BaseType::Int]);
+    QueryEnv::new()
+        .with_table("R", binary.clone())
+        .with_table("S", binary.clone())
+        .with_table("T", binary)
+}
+
+/// Denotes one generated CQ into a closed UniNomial: `Σ t. ⟦q⟧ t`.
+/// Returns `None` when the query does not denote (it always should for
+/// generated CQs over the corpus environment).
+pub fn closed_cq_denotation(seed: u64, env: &QueryEnv, gen: &mut VarGen) -> Option<UExpr> {
+    // Tiny queries on purpose: screening *evaluates* candidate
+    // instantiations, and Σ enumeration is exponential in the bound
+    // tuple's schema width — 1-2 atoms keeps widths ≤ 4 (≤ 5⁴ tuples).
+    let q = random_cq(
+        seed,
+        1 + (seed % 2) as u32,
+        1 + (seed % 2) as u32,
+        &["R", "S", "T"],
+    );
+    let query = cq::translate::to_query(&q, env)?;
+    let (t, body) = denote_closed_query(&query, env, gen).ok()?;
+    Some(UExpr::sum(t, body))
+}
+
+/// Builds the mining corpus: `n_atoms` closed CQ denotations plus the
+/// algebraic combination layer over consecutive atom pairs. Every
+/// element is closed; the list is fully determined by `seed`.
+pub fn corpus(seed: u64, n_atoms: usize) -> Vec<UExpr> {
+    let env = corpus_env();
+    let mut gen = VarGen::new();
+    let mut atoms = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut s = seed;
+    while atoms.len() < n_atoms {
+        if let Some(e) = closed_cq_denotation(s, &env, &mut gen) {
+            // Distinct atoms *up to α* only: α-variant denotations make
+            // cross-pair generalization degenerate into ground noise.
+            if seen.insert(format!("{}", egraph::mined::alpha_canonical(&e))) {
+                atoms.push(e);
+            }
+        }
+        s = s.wrapping_add(1);
+        if s.wrapping_sub(seed) > 10_000 {
+            break; // generation is stuck; ship what we have
+        }
+    }
+    let mut pool = atoms.clone();
+    for pair in atoms.chunks(2) {
+        let a = &pair[0];
+        let b = pair.get(1).unwrap_or(&pair[0]);
+        pool.extend([
+            UExpr::squash(a.clone()),
+            UExpr::squash(UExpr::squash(a.clone())),
+            UExpr::not(a.clone()),
+            UExpr::not(UExpr::not(UExpr::not(a.clone()))),
+            UExpr::add(a.clone(), b.clone()),
+            UExpr::add(b.clone(), a.clone()),
+            UExpr::mul(a.clone(), b.clone()),
+            UExpr::mul(b.clone(), a.clone()),
+            UExpr::squash(UExpr::mul(a.clone(), b.clone())),
+            UExpr::mul(UExpr::squash(a.clone()), UExpr::squash(b.clone())),
+            UExpr::squash(UExpr::add(a.clone(), a.clone())),
+        ]);
+    }
+    pool.dedup();
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_closed_and_deterministic() {
+        let pool = corpus(42, 4);
+        assert!(pool.len() >= 4 + 11, "atoms plus at least one combo layer");
+        for e in &pool {
+            assert!(e.free_vars().is_empty(), "corpus element not closed: {e}");
+        }
+        assert_eq!(
+            pool,
+            corpus(42, 4),
+            "corpus must be a pure function of the seed"
+        );
+    }
+}

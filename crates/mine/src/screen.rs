@@ -1,0 +1,174 @@
+//! Cheap refutation of candidate schemas by random interpretation.
+//!
+//! Every axiom in the trusted catalog is valid over *arbitrary* finite
+//! interpretations, so a candidate rule that is wrong is wrong on some
+//! concrete one — and concrete evaluation is orders of magnitude
+//! cheaper than certification. Each trial instantiates the schema's
+//! holes with random closed corpus expressions, assigns random finite
+//! relations (and constant predicates) to every symbol, and evaluates
+//! both sides under the [`uninomial::eval`] oracle. A cardinality
+//! mismatch refutes the candidate outright; an evaluation error (e.g.
+//! an uninterpretable scalar function) merely makes the trial
+//! inconclusive — screening only ever rejects on a concrete
+//! countermodel, so a certifiable candidate is never screened out.
+
+use crate::antiunify::Candidate;
+use egraph::mined::instantiate_schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relalg::generate::Generator;
+use relalg::Tuple;
+use std::collections::BTreeMap;
+use uninomial::eval::{env_of, eval, Interp};
+use uninomial::syntax::{UExpr, Var};
+
+/// Screening knobs: how many fuzz trials, under which seed.
+#[derive(Clone, Copy, Debug)]
+pub struct ScreenConfig {
+    /// Number of random-interpretation trials per candidate.
+    pub trials: usize,
+    /// Deterministic fuzzing seed.
+    pub seed: u64,
+}
+
+impl Default for ScreenConfig {
+    fn default() -> Self {
+        ScreenConfig {
+            trials: 8,
+            seed: 0x0D0B_CE27,
+        }
+    }
+}
+
+/// A concrete countermodel: which trial refuted the candidate and the
+/// two cardinalities that disagreed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Refutation {
+    /// Zero-based index of the refuting trial.
+    pub trial: usize,
+    /// Rendered cardinality of the instantiated left side.
+    pub lhs: String,
+    /// Rendered cardinality of the instantiated right side.
+    pub rhs: String,
+}
+
+/// Collects every relation and predicate symbol of `e` with the schema
+/// of its argument term (skipping symbols whose schema cannot be
+/// derived — evaluation will report those as unbound, which screening
+/// treats as inconclusive).
+fn symbol_schemas(
+    e: &UExpr,
+    rels: &mut BTreeMap<String, relalg::Schema>,
+    preds: &mut BTreeMap<String, ()>,
+) {
+    match e {
+        UExpr::Rel(name, t) => {
+            if let Some(s) = t.schema() {
+                rels.entry(name.clone()).or_insert(s);
+            }
+        }
+        UExpr::Pred(name, _) => {
+            preds.entry(name.clone()).or_insert(());
+        }
+        UExpr::Add(a, b) | UExpr::Mul(a, b) => {
+            symbol_schemas(a, rels, preds);
+            symbol_schemas(b, rels, preds);
+        }
+        UExpr::Not(x) | UExpr::Squash(x) | UExpr::Sum(_, x) => symbol_schemas(x, rels, preds),
+        UExpr::Zero | UExpr::One | UExpr::Eq(_, _) => {}
+    }
+}
+
+/// Runs `cfg.trials` random-interpretation trials of the candidate
+/// against the corpus pool.
+///
+/// # Errors
+///
+/// Returns the [`Refutation`] of the first trial on which the two sides
+/// evaluated to different cardinalities. `Ok(n)` reports how many
+/// trials were conclusive (both sides evaluated).
+pub fn screen(cand: &Candidate, pool: &[UExpr], cfg: &ScreenConfig) -> Result<usize, Refutation> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut conclusive = 0;
+    for trial in 0..cfg.trials {
+        // Random closed instantiation of every hole.
+        let binds: std::collections::HashMap<String, UExpr> = cand
+            .holes
+            .iter()
+            .map(|h| {
+                let pick = pool[rng.gen_range(0..pool.len().max(1))].clone();
+                (h.clone(), pick)
+            })
+            .collect();
+        let lhs = instantiate_schema(&cand.lhs, &binds);
+        let rhs = instantiate_schema(&cand.rhs, &binds);
+
+        // One random finite model for all symbols of either side.
+        let mut rels = BTreeMap::new();
+        let mut preds = BTreeMap::new();
+        symbol_schemas(&lhs, &mut rels, &mut preds);
+        symbol_schemas(&rhs, &mut rels, &mut preds);
+        let mut interp = Interp::new();
+        let mut generator = Generator::new(cfg.seed ^ (trial as u64).wrapping_mul(0x9E37_79B9));
+        for (name, schema) in rels {
+            interp = interp.with_rel(name, generator.relation(&schema));
+        }
+        for (name, ()) in preds {
+            let truth = rng.gen::<bool>();
+            interp = interp.with_pred(name, move |_t: &Tuple| truth);
+        }
+
+        let env = env_of(Vec::<(Var, Tuple)>::new());
+        // Unbound or shape errors make a trial teach nothing; only a
+        // pair of successful evaluations is conclusive.
+        if let (Ok(cl), Ok(cr)) = (eval(&lhs, &interp, &env), eval(&rhs, &interp, &env)) {
+            if cl != cr {
+                return Err(Refutation {
+                    trial,
+                    lhs: format!("{cl}"),
+                    rhs: format!("{cr}"),
+                });
+            }
+            conclusive += 1;
+        }
+    }
+    Ok(conclusive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antiunify::hole_expr;
+    use uninomial::syntax::Term;
+
+    fn atom(name: &str) -> UExpr {
+        UExpr::rel(name, Term::Unit)
+    }
+
+    fn pool() -> Vec<UExpr> {
+        vec![atom("A"), atom("B"), UExpr::add(atom("A"), atom("B"))]
+    }
+
+    #[test]
+    fn valid_schema_survives_screening_with_conclusive_trials() {
+        let cand = Candidate {
+            lhs: UExpr::squash(UExpr::squash(hole_expr("?h0"))),
+            rhs: UExpr::squash(hole_expr("?h0")),
+            holes: vec!["?h0".to_owned()],
+        };
+        let n = screen(&cand, &pool(), &ScreenConfig::default()).expect("valid rule survives");
+        assert!(n > 0, "at least one conclusive trial");
+    }
+
+    #[test]
+    fn wrong_schema_is_refuted_with_a_countermodel() {
+        // ‖x‖ = x is false as soon as some relation has multiplicity > 1.
+        let cand = Candidate {
+            lhs: UExpr::squash(hole_expr("?h0")),
+            rhs: hole_expr("?h0"),
+            holes: vec!["?h0".to_owned()],
+        };
+        let r = screen(&cand, &pool(), &ScreenConfig::default());
+        assert!(r.is_err(), "squash-elimination must be refuted: {r:?}");
+    }
+}

@@ -27,12 +27,14 @@ use crate::cost::{Cost, StatsCost};
 use crate::session::PlanSession;
 use egraph::extract::cost_uexpr;
 use egraph::solve::{Budget, Outcome, Solver, Stats};
+use egraph::MinedRule;
 use hottsql::ast::Query;
 use hottsql::denote::{denote_closed_query, denote_query};
 use hottsql::env::QueryEnv;
 use relalg::stats::Statistics;
 use relalg::Schema;
 use std::fmt;
+use std::sync::Arc;
 use uninomial::normalize::{normalize, normalize_with_cache, NormCache, Trace};
 use uninomial::prove::{prove_eq_cached, prove_eq_with_axioms, Method, ProofTrace};
 use uninomial::syntax::{Term, UExpr, VarGen};
@@ -158,6 +160,13 @@ pub struct PlanCtx<'a> {
     /// Persistent per-worker session: plan memo, certificate memo, and
     /// the shared multi-seed saturation graph.
     pub session: Option<&'a mut PlanSession>,
+    /// Mined rewrite rules for the plan search (`--mined-rules`). The
+    /// rules only widen the e-graph's search space; every candidate they
+    /// surface is still certified by the ordinary trusted prover stack,
+    /// so an unsound catalog can waste budget but never ship a wrong
+    /// plan. `None` (the default) leaves the search bit-identical to a
+    /// build without mining.
+    pub mined: Option<&'a Arc<Vec<MinedRule>>>,
 }
 
 impl<'a> PlanCtx<'a> {
@@ -166,6 +175,7 @@ impl<'a> PlanCtx<'a> {
         PlanCtx {
             cache: Some(cache),
             session: None,
+            mined: None,
         }
     }
 
@@ -175,7 +185,13 @@ impl<'a> PlanCtx<'a> {
         PlanCtx {
             cache: Some(cache),
             session: Some(session),
+            mined: None,
         }
+    }
+
+    /// This context with a mined-rule catalog for the plan search.
+    pub fn with_mined(self, mined: Option<&'a Arc<Vec<MinedRule>>>) -> PlanCtx<'a> {
+        PlanCtx { mined, ..self }
     }
 }
 
@@ -202,16 +218,32 @@ pub fn optimize(
     ctx: PlanCtx<'_>,
 ) -> Result<OptimizeReport, OptimizeError> {
     let _span = telemetry::span("optimizer.query");
-    let PlanCtx { cache, mut session } = ctx;
+    let PlanCtx {
+        cache,
+        mut session,
+        mined,
+    } = ctx;
+    let mined = mined.filter(|m| !m.is_empty());
     if let Some(session) = session.as_deref_mut() {
-        session.bind_config(format!("{env:?}|{stats:?}|{opts:?}"));
+        // Mined rules change the reachable plan space, so memos computed
+        // with a different catalog (or none) must not replay; the
+        // fingerprint therefore names the catalog. With mining off, the
+        // fingerprint is byte-identical to a build without mining.
+        let mined_fp = match mined {
+            Some(m) => {
+                let labels: Vec<&str> = m.iter().map(|r| r.name.as_str()).collect();
+                format!("|mined:[{}]", labels.join(","))
+            }
+            None => String::new(),
+        };
+        session.bind_config(format!("{env:?}|{stats:?}|{opts:?}{mined_fp}"));
         if let Some(report) = session.lookup_plan(q) {
             telemetry::count("memo.plan.hit", 1);
             return Ok(report);
         }
     }
     telemetry::count("memo.plan.miss", 1);
-    let report = optimize_query_impl(q, env, stats, opts, cache, session.as_deref_mut())?;
+    let report = optimize_query_impl(q, env, stats, opts, cache, session.as_deref_mut(), mined)?;
     if let Some(session) = session {
         session.record_plan(q, &report);
     }
@@ -274,6 +306,7 @@ fn optimize_query_impl(
     opts: OptimizeOptions,
     mut cache: Option<&mut NormCache>,
     mut session: Option<&mut PlanSession>,
+    mined: Option<&Arc<Vec<MinedRule>>>,
 ) -> Result<OptimizeReport, OptimizeError> {
     let model = StatsCost::new(stats);
     let input_schema = hottsql::ty::infer_query(q, env, &Schema::Empty)
@@ -292,6 +325,9 @@ fn optimize_query_impl(
         None => normalize(&el, &mut gen, &mut scratch),
     };
     let mut solver = Solver::new(opts.budget);
+    if let Some(m) = mined {
+        solver.set_mined_rules(Arc::clone(m));
+    }
     let seed = nf.reify();
     let root = solver.seed_expr(&seed);
     let (sat_outcome, sat_stats) = {
